@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks default to the ``smoke`` scale so that
+``pytest benchmarks/ --benchmark-only`` finishes in minutes while
+still reproducing every figure's *shape*.  Set ``REPRO_SCALE=default``
+or ``REPRO_SCALE=paper`` to run the larger grids (the paper scale
+takes hours; see DESIGN.md).
+
+Each figure-level benchmark stores its result rows in
+``benchmark.extra_info`` (visible in ``--benchmark-json`` output) and
+prints the same table the ``python -m repro`` CLI would.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.config import resolve_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return resolve_scale(os.environ.get("REPRO_SCALE", "smoke"))
+
+
+def attach_rows(benchmark, rows, columns=None):
+    """Stash experiment rows in the benchmark report."""
+    benchmark.extra_info["rows"] = [
+        {key: row[key] for key in (columns or row)} for row in rows
+    ]

@@ -1,0 +1,30 @@
+"""Benchmark: the d-ablation (abl-d).
+
+Section 6's observation: the graded intermediate levels are needed by
+the *analysis* but ``d > 1`` "does not significantly affect the
+running time" in experiments.  The assertion allows a factor-2 spread
+across the d sweep — flat in the sense of the paper's remark, while
+the state count grows from ``m + 3`` to ``m + 2 d_max + 1``.
+"""
+
+from conftest import attach_rows
+
+from repro.experiments.ablation_d import ablation_d_rows
+from repro.experiments.io import format_table
+
+
+def test_ablation_d(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: ablation_d_rows(scale), rounds=1, iterations=1)
+    attach_rows(benchmark, rows)
+    print()
+    print(format_table(
+        rows,
+        columns=("d", "s", "mean_parallel_time", "error_fraction"),
+        title=f"d-ablation (scale={scale.name}, m={scale.ablation_d_m})"))
+
+    times = [row["mean_parallel_time"] for row in rows]
+    assert max(times) < 2.0 * min(times), (
+        "d is expected to be performance-neutral; got "
+        f"{dict((r['d'], round(r['mean_parallel_time'], 1)) for r in rows)}")
+    assert all(row["error_fraction"] == 0.0 for row in rows)

@@ -1,0 +1,52 @@
+"""Benchmarks: engine throughput (abl-engines).
+
+Times one fixed workload per engine so the engine-selection heuristics
+in :mod:`repro.sim.run` stay honest.  These use pytest-benchmark's
+real timing loop (multiple rounds), unlike the figure-level benches.
+"""
+
+import pytest
+
+from repro import AVCProtocol, FourStateProtocol
+from repro.sim import (
+    AgentEngine,
+    BatchEngine,
+    CountEngine,
+    NullSkippingEngine,
+)
+
+
+def run_workload(engine, protocol, count_a, count_b, seed):
+    result = engine.run(protocol.initial_counts(count_a, count_b), rng=seed)
+    assert result.settled
+    return result
+
+
+@pytest.mark.parametrize("engine_class", [
+    AgentEngine, CountEngine, NullSkippingEngine,
+], ids=lambda c: c.name)
+def test_four_state_engines(benchmark, engine_class):
+    """Four-state protocol, n = 2001, margin 5%: exact engines."""
+    protocol = FourStateProtocol()
+    engine = engine_class(protocol)
+    benchmark(run_workload, engine, protocol, 1051, 950, 12)
+
+
+@pytest.mark.parametrize("engine_class", [
+    AgentEngine, CountEngine, BatchEngine,
+], ids=lambda c: c.name)
+def test_avc_engines(benchmark, engine_class):
+    """AVC s=66, n = 2001, margin one agent."""
+    protocol = AVCProtocol.with_num_states(66)
+    engine = engine_class(protocol)
+    benchmark(run_workload, engine, protocol, 1001, 1000, 12)
+
+
+def test_null_skipping_speedup_at_tiny_margin(benchmark):
+    """The null-skipping engine's reason to exist: the four-state
+    protocol at eps = 1/n, where almost all interactions are null.
+    (The agent engine needs ~n times longer on this workload.)"""
+    protocol = FourStateProtocol()
+    engine = NullSkippingEngine(protocol)
+    result = benchmark(run_workload, engine, protocol, 1001, 1000, 12)
+    assert result.productive_steps < result.steps / 10

@@ -1,0 +1,63 @@
+"""Benchmark: regenerate Figure 3 (both panels).
+
+Panel left — mean parallel convergence time of the 3-state, 4-state
+and n-state AVC protocols at margin ``eps = 1/n``; panel right — the
+fraction of erroneous runs.  The assertions pin the paper's
+qualitative claims at any scale:
+
+* the 4-state protocol is orders of magnitude slower than AVC as ``n``
+  grows (its time is ~linear in ``n``);
+* the n-state AVC time is comparable to the 3-state protocol
+  (poly-logarithmic);
+* the 3-state protocol errs with sizable probability at ``eps = 1/n``
+  while both exact protocols never err.
+"""
+
+from collections import defaultdict
+
+from conftest import attach_rows
+
+from repro.experiments.figure3 import figure3_rows
+from repro.experiments.io import format_table
+
+
+def test_figure3_regeneration(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: figure3_rows(scale), rounds=1, iterations=1)
+    attach_rows(benchmark, rows)
+    print()
+    print(format_table(
+        rows,
+        columns=("n", "protocol", "mean_parallel_time", "error_fraction"),
+        title=f"Figure 3 (scale={scale.name})"))
+
+    by_population = defaultdict(dict)
+    for row in rows:
+        kind = row["protocol"].split("(")[0]
+        by_population[row["n"]][kind] = row
+
+    largest = max(by_population)
+    at_largest = by_population[largest]
+
+    # Left panel shape: 4-state slowest by a growing factor; AVC in
+    # the same league as 3-state.
+    assert at_largest["four-state"]["mean_parallel_time"] > \
+        5 * at_largest["avc"]["mean_parallel_time"]
+    assert at_largest["avc"]["mean_parallel_time"] < \
+        20 * at_largest["three-state"]["mean_parallel_time"]
+
+    # The 4-state protocol's time grows ~linearly in n; AVC's only
+    # poly-logarithmically.
+    smallest = min(by_population)
+    growth_four = (at_largest["four-state"]["mean_parallel_time"]
+                   / by_population[smallest]["four-state"]
+                   ["mean_parallel_time"])
+    growth_avc = (at_largest["avc"]["mean_parallel_time"]
+                  / by_population[smallest]["avc"]["mean_parallel_time"])
+    assert growth_four > 3 * growth_avc
+
+    # Right panel shape: only the 3-state protocol errs.
+    for n, per_protocol in by_population.items():
+        assert per_protocol["four-state"]["error_fraction"] == 0.0
+        assert per_protocol["avc"]["error_fraction"] == 0.0
+        assert per_protocol["three-state"]["error_fraction"] > 0.1

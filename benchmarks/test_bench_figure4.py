@@ -1,0 +1,76 @@
+"""Benchmark: regenerate Figure 4 (both panels).
+
+Left panel — AVC convergence time vs margin ``eps``, one curve per
+state count ``s``; right panel — the same points against ``s * eps``.
+Assertions pin the claims the figure supports:
+
+* at fixed ``eps``, more states means (weakly) faster convergence;
+* at fixed ``s``, time grows as ``eps`` shrinks, roughly like
+  ``1/eps`` in the small-``eps`` regime (Theta(1/(s eps)) dominant
+  term);
+* plotted against ``s * eps`` the curves collapse: points with
+  similar ``s * eps`` have similar times across different ``s``.
+"""
+
+import math
+from collections import defaultdict
+
+from conftest import attach_rows
+
+from repro.analysis.scaling import fit_power_law
+from repro.experiments.figure4 import figure4_rows
+from repro.experiments.io import format_table
+
+
+def test_figure4_regeneration(benchmark, scale):
+    rows = benchmark.pedantic(
+        lambda: figure4_rows(scale), rounds=1, iterations=1)
+    attach_rows(benchmark, rows)
+    print()
+    print(format_table(
+        rows,
+        columns=("s", "epsilon", "s_times_epsilon",
+                 "mean_parallel_time", "error_fraction"),
+        title=f"Figure 4 (scale={scale.name})"))
+
+    by_s = defaultdict(list)
+    for row in rows:
+        assert row["error_fraction"] == 0.0  # AVC is exact everywhere
+        by_s[row["s"]].append(row)
+
+    # Left panel: at the smallest margin, larger s is faster.
+    smallest_eps = min(row["epsilon"] for row in rows)
+    at_smallest = {row["s"]: row["mean_parallel_time"]
+                   for row in rows if row["epsilon"] == smallest_eps}
+    ordered = [at_smallest[s] for s in sorted(at_smallest)]
+    assert ordered[0] > ordered[-1], "more states should be faster"
+
+    # Left panel: within the smallest s, time decreases with eps, and
+    # the fitted log-log slope sits near the theoretical -1 (the
+    # Theta(1/eps) ramp; log-factor slack in the bounds).
+    smallest_s = min(by_s)
+    curve = sorted(by_s[smallest_s], key=lambda r: r["epsilon"])
+    assert curve[0]["mean_parallel_time"] > curve[-1]["mean_parallel_time"]
+    fit = fit_power_law([r["epsilon"] for r in curve],
+                        [r["mean_parallel_time"] for r in curve])
+    assert -1.4 < fit.exponent < -0.5, fit
+    assert fit.r_squared > 0.85
+
+    # Right panel: the s*eps product predicts time across s — compare
+    # pairs from different s with close s*eps (within 3x) and require
+    # their times within a generous factor.
+    points = [(row["s"], row["s_times_epsilon"],
+               row["mean_parallel_time"]) for row in rows]
+    compared = 0
+    for i, (s_a, product_a, time_a) in enumerate(points):
+        for s_b, product_b, time_b in points[i + 1:]:
+            if s_a == s_b or not product_a or not product_b:
+                continue
+            if abs(math.log(product_a / product_b)) < math.log(2.0):
+                ratio = time_a / time_b
+                assert 1 / 8 < ratio < 8, (
+                    f"s*eps collapse violated: ({s_a},{product_a:.3g})"
+                    f" vs ({s_b},{product_b:.3g}): times {time_a:.1f} vs"
+                    f" {time_b:.1f}")
+                compared += 1
+    assert compared > 0, "grid too sparse to test the collapse"

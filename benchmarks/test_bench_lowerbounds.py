@@ -1,0 +1,65 @@
+"""Benchmarks: the two lower-bound experiments (thm-b1, thm-c1)."""
+
+import math
+
+from conftest import attach_rows
+
+from repro.experiments.four_state_census import census_summary, scaling_rows
+from repro.experiments.io import format_table
+from repro.experiments.lowerbound_logn import propagation_rows
+
+
+def test_info_propagation(benchmark, scale):
+    """thm-c1: K_t cover time is Theta(log n) parallel time."""
+    rows = benchmark.pedantic(
+        lambda: propagation_rows(scale), rounds=1, iterations=1)
+    attach_rows(benchmark, rows)
+    print()
+    print(format_table(rows, title="Omega(log n) information propagation"))
+
+    for row in rows:
+        # Simulation matches the closed form...
+        assert row["mean_parallel_time"] == \
+            __import__("pytest").approx(
+                row["exact_expected_parallel_time"], rel=0.15)
+        # ...and sits near ln(n), bounding any exact protocol below.
+        assert 0.5 < row["time_over_log_n"] < 1.5
+
+    # Growth across the sweep is logarithmic: doubling the decades
+    # adds, not multiplies.
+    populations = [row["n"] for row in rows]
+    times = [row["mean_parallel_time"] for row in rows]
+    expected_gap = math.log(populations[-1] / populations[0])
+    assert times[-1] - times[0] == __import__("pytest").approx(
+        expected_gap, rel=0.35)
+
+
+def test_four_state_census(benchmark, scale):
+    """thm-b1: all correct 4-state candidates are Omega(1/eps)-slow."""
+    summary, result = benchmark.pedantic(
+        lambda: census_summary(scale), rounds=1, iterations=1)
+    benchmark.extra_info["summary"] = dict(summary)
+    print()
+    print(format_table([summary], title="Four-state census"))
+
+    assert summary["num_checked"] > 0
+    assert summary["all_survivors_slow"]
+    assert summary["no_conserved_potentials"]
+
+
+def test_census_survivor_scaling(benchmark, scale):
+    """Empirical Omega(1/eps): time grows superlinearly in 1/eps."""
+    rows = benchmark.pedantic(
+        lambda: scaling_rows(scale), rounds=1, iterations=1)
+    attach_rows(benchmark, rows)
+    print()
+    print(format_table(rows, title="Canonical survivor scaling"))
+
+    assert all(row["error_fraction"] == 0.0 for row in rows)
+    ordered = sorted(rows, key=lambda r: r["one_over_epsilon"])
+    first, last = ordered[0], ordered[-1]
+    margin_ratio = last["one_over_epsilon"] / first["one_over_epsilon"]
+    time_ratio = last["mean_parallel_time"] / first["mean_parallel_time"]
+    # Claim B.8: at least linear growth in 1/eps (log n slack absorbed
+    # by the floor of 0.8x).
+    assert time_ratio > 0.8 * margin_ratio

@@ -1,0 +1,53 @@
+"""Benchmarks: the phase-structure and topology experiments."""
+
+from conftest import attach_rows
+
+from repro.experiments.io import format_table
+from repro.experiments.phases import phase_rows
+from repro.experiments.topology import topology_rows
+
+
+def test_phase_structure(benchmark, scale):
+    """abl-phases: Claim A.2's geometric weight decay, live."""
+    rows = benchmark.pedantic(lambda: phase_rows(scale),
+                              rounds=1, iterations=1)
+    attach_rows(benchmark, rows)
+    print()
+    print(format_table(rows, title="AVC phase structure (Claim A.2)"))
+
+    # Halvings happen at roughly evenly spaced times: the spread of
+    # inter-halving gaps is bounded, instead of growing with weight.
+    gaps = [row["time_since_previous"] for row in rows[1:]]
+    assert gaps, "need at least two halvings"
+    assert max(gaps) < 25 * (min(gaps) + 0.5)
+    # The halving phase is a minority of the total run at eps = 1/n
+    # (the unit-weight sweep dominates, per Claims 4.5/A.4).
+    assert rows[-1]["parallel_time"] \
+        < 0.9 * rows[-1]["total_convergence_time"]
+
+
+def test_topology_sweep(benchmark, scale):
+    """abl-topology: spectral gap predicts the topology ordering, and
+    AVC's clique-specific termination shows up on the ring."""
+    rows = benchmark.pedantic(lambda: topology_rows(scale),
+                              rounds=1, iterations=1)
+    attach_rows(benchmark, rows)
+    print()
+    print(format_table(
+        rows,
+        columns=("topology", "protocol", "spectral_gap",
+                 "predicted_time", "mean_parallel_time",
+                 "settled_fraction", "error_fraction"),
+        title="Topology sweep"))
+
+    interval = {row["topology"]: row for row in rows
+                if row["protocol"] == "interval-consensus"}
+    assert interval["ring"]["mean_parallel_time"] \
+        > interval["clique"]["mean_parallel_time"]
+    assert all(row["error_fraction"] in (0.0, row["error_fraction"])
+               and not row["error_fraction"] > 0
+               for row in rows if row["settled_fraction"] > 0)
+    avc_rows = {row["topology"]: row for row in rows
+                if row["protocol"].startswith("avc")}
+    assert avc_rows["clique"]["settled_fraction"] == 1.0
+    assert avc_rows["ring"]["settled_fraction"] < 0.5

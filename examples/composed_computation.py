@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Composition: majority and leader election in a single execution.
+
+Population protocols compose in parallel [AAD+06]: give every agent a
+*pair* of states and update the components independently on the same
+interaction sequence.  This is how richer population computations are
+assembled — e.g. phased algorithms that need a leader AND an input
+predicate.
+
+This example runs the 3-state majority protocol composed with leader
+election on one population, then inspects both marginals: the colony
+agrees on the majority reading while simultaneously electing exactly
+one coordinator, for free (composition costs states, not time — the
+run settles when the slower component does).
+
+Run:  python examples/composed_computation.py [--agents N]
+"""
+
+import argparse
+
+from repro import PairwiseLeaderElection, ProductProtocol, \
+    ThreeStateProtocol, run
+from repro.sim import CountEngine
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--agents", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=8)
+    args = parser.parse_args()
+    n = args.agents
+    count_a = int(0.6 * n)
+
+    majority = ThreeStateProtocol()
+    leader = PairwiseLeaderElection()
+    product = ProductProtocol(majority, leader, require_both=True)
+    print(f"composed protocol: {product.name}")
+    print(f"state space: {majority.num_states} x {leader.num_states} = "
+          f"{product.num_states} states per agent")
+
+    counts = product.pair_counts(
+        majority.initial_counts(count_a, n - count_a),
+        leader.initial_counts(n), rng=args.seed)
+    result = run(product, counts, seed=args.seed + 1)
+    assert result.settled
+
+    majority_marginal = product._marginal(result.final_counts, 0)
+    leader_marginal = product._marginal(result.final_counts, 1)
+    decided = "A" if majority_marginal.get("A", 0) else "B"
+    print(f"\nafter {result.parallel_time:.1f} parallel time:")
+    print(f"  majority component: consensus on {decided} "
+          f"({majority_marginal})")
+    print(f"  leader component:   {leader_marginal.get('L', 0)} leader, "
+          f"{leader_marginal.get('F', 0)} followers")
+
+    print("\nTiming comparison (same seed streams, 20 trials each):")
+    from repro.rng import spawn_many
+    from repro.sim.results import TrialStats
+
+    def mean(engine, build):
+        results = [engine.run(build(child), rng=child)
+                   for child in spawn_many(args.seed + 2, 20)]
+        return TrialStats.from_results(results).mean_parallel_time
+
+    solo_majority = mean(CountEngine(majority),
+                         lambda _: majority.initial_counts(count_a,
+                                                           n - count_a))
+    solo_leader = mean(CountEngine(leader),
+                       lambda _: leader.initial_counts(n))
+    composed = mean(CountEngine(product),
+                    lambda child: product.pair_counts(
+                        majority.initial_counts(count_a, n - count_a),
+                        leader.initial_counts(n), rng=child))
+    print(f"  majority alone:  {solo_majority:8.1f}")
+    print(f"  leader alone:    {solo_leader:8.1f}")
+    print(f"  composed (both): {composed:8.1f}  "
+          "(~max of the two, not their sum)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

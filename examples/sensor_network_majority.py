@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Exact majority voting in a sensor network: topology matters.
+
+A field of cheap sensors must agree on a binary reading (e.g. "is the
+threshold exceeded?") using anonymous pairwise gossip.  This example
+runs exact-majority protocols over several interaction topologies with
+the agent engine:
+
+* On well-connected topologies (clique, random 4-regular, torus) the
+  paper's protocols converge comfortably.
+* On a *star* (every sensor talks only to one hub), the clique form of
+  the 4-state protocol deadlocks — opposite strong leaves can never
+  meet — while [DV12]'s interval-consensus variant, whose strong
+  tokens random-walk through weak nodes, stays exact on every
+  connected graph.
+
+Run:  python examples/sensor_network_majority.py [--sensors N]
+"""
+
+import argparse
+
+from repro import FourStateProtocol, IntervalConsensusProtocol
+from repro.graphs import (
+    complete_graph,
+    grid_graph,
+    random_regular_graph,
+    star_graph,
+)
+from repro.sim import AgentEngine
+
+
+def run_on(protocol, graph, count_a, count_b, seed, budget=5000.0):
+    engine = AgentEngine(protocol, graph=graph)
+    return engine.run(protocol.initial_counts(count_a, count_b),
+                      rng=seed, expected=1, max_parallel_time=budget)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sensors", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+
+    n = args.sensors
+    count_a = n // 2 + 4
+    count_b = n - count_a
+    side = int(n ** 0.5)
+    topologies = [
+        ("clique", complete_graph(n)),
+        ("random 4-regular", random_regular_graph(n, 4, rng=args.seed)),
+        ("torus", grid_graph(side, side, periodic=True)),
+        ("star", star_graph(n)),
+    ]
+
+    print(f"{n} sensors, {count_a} read HIGH vs {count_b} LOW "
+          f"(majority HIGH)\n")
+    print(f"{'topology':>18} {'protocol':>20} {'nodes':>6} "
+          f"{'settled':>8} {'correct':>8} {'parallel time':>14}")
+    for name, graph in topologies:
+        for protocol in (IntervalConsensusProtocol(), FourStateProtocol()):
+            nodes = graph.number_of_nodes()
+            split_a = count_a + (nodes - n) // 2
+            result = run_on(protocol, graph, split_a, nodes - split_a,
+                            args.seed)
+            time_text = (f"{result.parallel_time:.1f}" if result.settled
+                         else f">{result.parallel_time:.0f} (stuck)")
+            print(f"{name:>18} {protocol.name:>20} {nodes:>6} "
+                  f"{str(result.settled):>8} {str(result.correct):>8} "
+                  f"{time_text:>14}")
+    print("\nNote the star row: the clique-form four-state protocol "
+          "cannot settle there, interval consensus can.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

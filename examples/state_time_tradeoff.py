@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""The memory/time/accuracy trade-off the paper is about.
+
+For a fixed hard input (n = 1001, majority decided by one agent) this
+example sweeps the AVC state count ``s`` and prints the convergence
+time next to the two baselines:
+
+* the 3-state protocol is fast but *wrong about half the time* at
+  this margin;
+* the 4-state protocol is exact but pays ~n parallel time;
+* AVC interpolates: every doubling of ``s`` roughly halves the time
+  (the ``1/(s eps)`` term of Theorem 4.1), with zero error throughout.
+
+Run:  python examples/state_time_tradeoff.py [--seed SEED] [--trials T]
+"""
+
+import argparse
+
+from repro import AVCProtocol, FourStateProtocol, ThreeStateProtocol, \
+    run_trials
+from repro.analysis import three_state_error_probability
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--trials", type=int, default=15)
+    parser.add_argument("--n", type=int, default=1001)
+    args = parser.parse_args()
+
+    n = args.n
+    epsilon = 1.0 / n
+    print(f"n={n}, eps=1/n (majority by a single agent), "
+          f"{args.trials} trials per row\n")
+    header = (f"{'protocol':>16} {'s':>6} {'mean time':>10} "
+              f"{'error':>7}  note")
+    print(header)
+    print("-" * len(header))
+
+    stats = run_trials(ThreeStateProtocol(), num_trials=args.trials,
+                       seed=args.seed, stats=True, n=n, epsilon=epsilon)
+    predicted = three_state_error_probability(n, epsilon)
+    print(f"{'three-state':>16} {3:>6} {stats.mean_parallel_time:>10.1f} "
+          f"{stats.error_fraction:>7.2f}  approximate "
+          f"(PVV09 bound {predicted:.2f})")
+
+    stats = run_trials(FourStateProtocol(), num_trials=args.trials,
+                       seed=args.seed + 1, stats=True, n=n, epsilon=epsilon)
+    print(f"{'four-state':>16} {4:>6} {stats.mean_parallel_time:>10.1f} "
+          f"{stats.error_fraction:>7.2f}  exact, Theta(n) at eps=1/n")
+
+    for s in (8, 16, 32, 64, 128, 256, 512, 1024):
+        protocol = AVCProtocol.with_num_states(s)
+        stats = run_trials(protocol, num_trials=args.trials,
+                           seed=args.seed + s, stats=True,
+                           n=n, epsilon=epsilon)
+        print(f"{'AVC':>16} {s:>6} {stats.mean_parallel_time:>10.1f} "
+              f"{stats.error_fraction:>7.2f}  exact")
+    print("\nEvery AVC row has error 0.00: memory buys speed, "
+          "never correctness.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,15 @@
+"""Setup shim.
+
+The environment this repository targets may lack the ``wheel`` package
+(fully offline), in which case PEP 517 editable installs fail with
+``invalid command 'bdist_wheel'``.  Keeping a ``setup.py`` enables the
+legacy path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,76 @@
+"""Analytical companions to the simulators.
+
+* :mod:`repro.analysis.theory` — the paper's closed-form bounds;
+* :mod:`repro.analysis.meanfield` — ODE limit dynamics [PVV09];
+* :mod:`repro.analysis.markov` — exact configuration-chain analysis;
+* :mod:`repro.analysis.stats` — summary statistics for experiments.
+"""
+
+from .markov import ChainSummary, ConfigurationChain
+from .meanfield import (
+    MeanFieldSolution,
+    four_state_ode,
+    four_state_ode_convergence_time,
+    solve_four_state,
+    solve_three_state,
+    three_state_ode,
+    three_state_ode_convergence_time,
+)
+from .spectral import (
+    dv12_style_bound,
+    rate_laplacian,
+    relaxation_time,
+    spectral_gap,
+)
+from .stats import (
+    SummaryStats,
+    bootstrap_mean_ci,
+    geometric_mean,
+    mean_confidence_interval,
+    summarize,
+)
+from .theory import (
+    avc_states_for_polylog,
+    avc_time_bound,
+    avc_time_bound_whp,
+    four_state_time_bound,
+    kl_bernoulli,
+    lower_bound_any_states,
+    lower_bound_four_states,
+    three_state_error_probability,
+    three_state_time_bound,
+    voter_error_probability,
+    voter_time_bound,
+)
+
+__all__ = [
+    "ConfigurationChain",
+    "ChainSummary",
+    "MeanFieldSolution",
+    "three_state_ode",
+    "four_state_ode",
+    "solve_three_state",
+    "solve_four_state",
+    "three_state_ode_convergence_time",
+    "four_state_ode_convergence_time",
+    "kl_bernoulli",
+    "three_state_error_probability",
+    "three_state_time_bound",
+    "four_state_time_bound",
+    "avc_time_bound",
+    "avc_time_bound_whp",
+    "avc_states_for_polylog",
+    "voter_error_probability",
+    "voter_time_bound",
+    "lower_bound_four_states",
+    "lower_bound_any_states",
+    "rate_laplacian",
+    "spectral_gap",
+    "relaxation_time",
+    "dv12_style_bound",
+    "SummaryStats",
+    "summarize",
+    "mean_confidence_interval",
+    "bootstrap_mean_ci",
+    "geometric_mean",
+]

@@ -1,0 +1,187 @@
+"""Mean-field (ODE) limits of the baseline dynamics.
+
+As ``n`` grows, the per-state *fractions* of the three- and four-state
+protocols concentrate around the solution of a system of ODEs — the
+"limit system dynamics" [PVV09] analyze for the three-state protocol.
+With fractions ``a`` (state A), ``b`` (state B), ``u`` (blank) and one
+parallel-time unit equal to ``n`` interactions, the three-state limit
+is::
+
+    da/dt = -a b + 2 a u
+    db/dt = -a b + 2 b u
+    du/dt = 2 a b - 2 a u - 2 b u
+
+(an ordered pair ``(A, B)`` occurs with probability ``a b`` per
+interaction and blanks the responder; a blank meets a decided agent
+with probability ``2 a u`` and is recruited).  The four-state limit,
+with ``p1/m1`` the strong and ``p0/m0`` the weak fractions::
+
+    dp1/dt = -2 p1 m1
+    dm1/dt = -2 p1 m1
+    dp0/dt =  2 p1 m1 + 2 p1 m0 - 2 m1 p0
+    dm0/dt =  2 p1 m1 - 2 p1 m0 + 2 m1 p0
+
+This module integrates both systems with ``scipy`` and extracts
+ODE-level convergence times, used (a) to validate the simulators
+against an independent model of the same dynamics and (b) to reproduce
+[PVV09]'s ``O(log(1/eps) + log n)`` limit-time claim numerically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.integrate import solve_ivp
+
+from ..errors import AnalysisError, InvalidParameterError
+
+__all__ = [
+    "three_state_ode",
+    "four_state_ode",
+    "solve_three_state",
+    "solve_four_state",
+    "three_state_ode_convergence_time",
+    "four_state_ode_convergence_time",
+    "MeanFieldSolution",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class MeanFieldSolution:
+    """An integrated mean-field trajectory.
+
+    ``times`` is the evaluation grid (parallel time); ``fractions`` has
+    one row per state, matching the order documented by the producing
+    function.
+    """
+
+    times: np.ndarray
+    fractions: np.ndarray
+    labels: tuple[str, ...]
+
+    def fraction(self, label: str) -> np.ndarray:
+        """Trajectory of one labelled state fraction."""
+        try:
+            row = self.labels.index(label)
+        except ValueError:
+            raise InvalidParameterError(
+                f"unknown label {label!r}; have {self.labels}") from None
+        return self.fractions[row]
+
+
+def three_state_ode(time: float, y: np.ndarray) -> list[float]:
+    """Right-hand side of the three-state limit ODE (a, b, u)."""
+    a, b, u = y
+    return [-a * b + 2 * a * u,
+            -a * b + 2 * b * u,
+            2 * a * b - 2 * a * u - 2 * b * u]
+
+
+def four_state_ode(time: float, y: np.ndarray) -> list[float]:
+    """Right-hand side of the four-state limit ODE (p1, m1, p0, m0)."""
+    p1, m1, p0, m0 = y
+    annihilation = 2 * p1 * m1
+    plus_flips = 2 * p1 * m0   # -0 agents flipping to +0
+    minus_flips = 2 * m1 * p0  # +0 agents flipping to -0
+    return [-annihilation,
+            -annihilation,
+            annihilation + plus_flips - minus_flips,
+            annihilation - plus_flips + minus_flips]
+
+
+def _integrate(rhs, y0, t_max, labels, num_points):
+    grid = np.linspace(0.0, t_max, num_points)
+    solution = solve_ivp(rhs, (0.0, t_max), y0, t_eval=grid,
+                         rtol=1e-9, atol=1e-12, method="RK45")
+    if not solution.success:
+        raise AnalysisError(f"ODE integration failed: {solution.message}")
+    return MeanFieldSolution(times=solution.t, fractions=solution.y,
+                             labels=labels)
+
+
+def solve_three_state(fraction_a: float, fraction_b: float, *,
+                      t_max: float = 50.0,
+                      num_points: int = 1000) -> MeanFieldSolution:
+    """Integrate the three-state limit from fractions ``(a, b)``."""
+    _check_fractions(fraction_a, fraction_b)
+    y0 = [fraction_a, fraction_b, 1.0 - fraction_a - fraction_b]
+    return _integrate(three_state_ode, y0, t_max, ("A", "B", "_"),
+                      num_points)
+
+
+def solve_four_state(fraction_a: float, fraction_b: float, *,
+                     t_max: float = 50.0,
+                     num_points: int = 1000) -> MeanFieldSolution:
+    """Integrate the four-state limit from strong fractions ``(a, b)``."""
+    _check_fractions(fraction_a, fraction_b)
+    y0 = [fraction_a, fraction_b, 0.0, 1.0 - fraction_a - fraction_b]
+    return _integrate(four_state_ode, y0, t_max, ("+1", "-1", "+0", "-0"),
+                      num_points)
+
+
+def _check_fractions(fraction_a: float, fraction_b: float) -> None:
+    if fraction_a < 0 or fraction_b < 0 or fraction_a + fraction_b > 1:
+        raise InvalidParameterError(
+            f"fractions must be non-negative with sum <= 1, "
+            f"got ({fraction_a}, {fraction_b})")
+
+
+def three_state_ode_convergence_time(epsilon: float, *,
+                                     threshold: float = 1e-3,
+                                     t_max: float = 1e4) -> float:
+    """Limit-dynamics convergence time from a margin of ``epsilon``.
+
+    Starts from ``a = (1 + eps)/2, b = (1 - eps)/2`` and reports the
+    first time the combined minority-and-blank mass drops below
+    ``threshold``.  [PVV09] prove this scales as
+    ``O(log(1/eps) + log(1/threshold))``.
+    """
+    if not 0.0 < epsilon <= 1.0:
+        raise InvalidParameterError(f"epsilon must be in (0, 1], got "
+                                    f"{epsilon}")
+
+    def settled(time, y):
+        return (y[1] + y[2]) - threshold
+
+    settled.terminal = True
+    settled.direction = -1
+    y0 = [(1.0 + epsilon) / 2.0, (1.0 - epsilon) / 2.0, 0.0]
+    solution = solve_ivp(three_state_ode, (0.0, t_max), y0,
+                         events=settled, rtol=1e-9, atol=1e-12)
+    if not solution.success:
+        raise AnalysisError(f"ODE integration failed: {solution.message}")
+    if not len(solution.t_events[0]):
+        raise AnalysisError(
+            f"three-state ODE did not converge within t_max={t_max}")
+    return float(solution.t_events[0][0])
+
+
+def four_state_ode_convergence_time(epsilon: float, *,
+                                    threshold: float = 1e-3,
+                                    t_max: float = 1e6) -> float:
+    """Limit-dynamics convergence time of the four-state protocol.
+
+    Starts from strong fractions ``((1+eps)/2, (1-eps)/2)`` and reports
+    the first time minority mass (strong plus weak) drops below
+    ``threshold``; scales as ``Theta(log(1/threshold)/eps)`` — the ODE
+    view of the protocol's ``1/eps`` wall.
+    """
+    if not 0.0 < epsilon <= 1.0:
+        raise InvalidParameterError(f"epsilon must be in (0, 1], got "
+                                    f"{epsilon}")
+
+    def settled(time, y):
+        return (y[1] + y[3]) - threshold
+
+    settled.terminal = True
+    settled.direction = -1
+    y0 = [(1.0 + epsilon) / 2.0, (1.0 - epsilon) / 2.0, 0.0, 0.0]
+    solution = solve_ivp(four_state_ode, (0.0, t_max), y0,
+                         events=settled, rtol=1e-9, atol=1e-12)
+    if not solution.success:
+        raise AnalysisError(f"ODE integration failed: {solution.message}")
+    if not len(solution.t_events[0]):
+        raise AnalysisError(
+            f"four-state ODE did not converge within t_max={t_max}")
+    return float(solution.t_events[0][0])

@@ -1,0 +1,89 @@
+"""Scaling-law fits for sweep results.
+
+The paper's claims are about *growth rates* — the four-state
+protocol's time is Θ(1/ε), AVC's leading term is Θ(1/(sε)), knowledge
+propagation is Θ(log n).  These helpers turn measured sweeps into
+fitted exponents so tests and benchmarks can assert slopes instead of
+eyeballing log-log plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnalysisError, InvalidParameterError
+
+__all__ = ["PowerLawFit", "fit_power_law", "fit_logarithmic"]
+
+
+@dataclass(frozen=True, slots=True)
+class PowerLawFit:
+    """Least-squares fit of ``y = coefficient * x ** exponent``."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """The fitted value at ``x``."""
+        return self.coefficient * x ** self.exponent
+
+
+def _validated(xs, ys, *, positive_y=True):
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.shape != ys.shape or xs.ndim != 1:
+        raise InvalidParameterError("xs and ys must be equal-length 1-D")
+    if len(xs) < 2:
+        raise InvalidParameterError("need at least two points to fit")
+    if (xs <= 0).any() or (positive_y and (ys <= 0).any()):
+        raise InvalidParameterError(
+            "log-space fits need strictly positive data")
+    return xs, ys
+
+
+def _r_squared(target, predicted) -> float:
+    residual = float(((target - predicted) ** 2).sum())
+    total = float(((target - target.mean()) ** 2).sum())
+    if total == 0.0:
+        return 1.0 if residual == 0.0 else 0.0
+    return 1.0 - residual / total
+
+
+def fit_power_law(xs, ys) -> PowerLawFit:
+    """Fit ``y ~ C * x^a`` by least squares in log-log space.
+
+    A measured Θ(1/ε) sweep over ``xs = eps`` fits ``a ≈ -1``; the
+    returned ``r_squared`` (in log space) tells you whether a power
+    law describes the data at all.
+    """
+    xs, ys = _validated(xs, ys)
+    log_x = np.log(xs)
+    log_y = np.log(ys)
+    slope, intercept = np.polyfit(log_x, log_y, 1)
+    predicted = slope * log_x + intercept
+    return PowerLawFit(exponent=float(slope),
+                       coefficient=float(np.exp(intercept)),
+                       r_squared=_r_squared(log_y, predicted))
+
+
+def fit_logarithmic(xs, ys) -> PowerLawFit:
+    """Fit ``y ~ a * ln(x) + b`` (for Θ(log n) sweeps).
+
+    Reuses :class:`PowerLawFit` with ``exponent`` holding the slope
+    ``a`` and ``coefficient`` holding the offset ``b``; ``predict``
+    is not meaningful for this fit, use ``exponent * ln(x) +
+    coefficient``.
+    """
+    xs, ys = _validated(xs, ys, positive_y=False)
+    log_x = np.log(xs)
+    slope, intercept = np.polyfit(log_x, ys, 1)
+    predicted = slope * log_x + intercept
+    fit = PowerLawFit(exponent=float(slope),
+                      coefficient=float(intercept),
+                      r_squared=_r_squared(ys, predicted))
+    if not np.isfinite(fit.exponent):
+        raise AnalysisError("logarithmic fit diverged")
+    return fit

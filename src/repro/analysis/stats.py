@@ -1,0 +1,95 @@
+"""Small statistics helpers for experiment summaries."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from ..rng import ensure_rng
+
+__all__ = ["mean_confidence_interval", "bootstrap_mean_ci",
+           "geometric_mean", "SummaryStats", "summarize"]
+
+
+@dataclass(frozen=True, slots=True)
+class SummaryStats:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Summary statistics of a non-empty sample."""
+    if not len(values):
+        raise InvalidParameterError("cannot summarize an empty sample")
+    array = np.asarray(values, dtype=float)
+    return SummaryStats(
+        count=int(array.size),
+        mean=float(array.mean()),
+        std=float(array.std(ddof=1)) if array.size > 1 else 0.0,
+        minimum=float(array.min()),
+        median=float(np.median(array)),
+        maximum=float(array.max()),
+    )
+
+
+def mean_confidence_interval(values: Sequence[float],
+                             confidence: float = 0.95
+                             ) -> tuple[float, float, float]:
+    """Normal-approximation CI for the mean: ``(mean, low, high)``."""
+    if not 0.0 < confidence < 1.0:
+        raise InvalidParameterError(
+            f"confidence must be in (0, 1), got {confidence}")
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise InvalidParameterError("cannot build a CI from no data")
+    mean = float(array.mean())
+    if array.size == 1:
+        return mean, mean, mean
+    from scipy.stats import norm
+
+    z = norm.ppf(0.5 + confidence / 2.0)
+    half_width = z * float(array.std(ddof=1)) / math.sqrt(array.size)
+    return mean, mean - half_width, mean + half_width
+
+
+def bootstrap_mean_ci(values: Sequence[float], confidence: float = 0.95,
+                      num_resamples: int = 2000, *, rng=None
+                      ) -> tuple[float, float, float]:
+    """Percentile-bootstrap CI for the mean: ``(mean, low, high)``.
+
+    Convergence times are heavy-tailed, so the bootstrap is the honest
+    default for experiment tables.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise InvalidParameterError(
+            f"confidence must be in (0, 1), got {confidence}")
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise InvalidParameterError("cannot bootstrap no data")
+    generator = ensure_rng(rng)
+    resample_indices = generator.integers(0, array.size,
+                                          size=(num_resamples, array.size))
+    resample_means = array[resample_indices].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(resample_means, [alpha, 1.0 - alpha])
+    return float(array.mean()), float(low), float(high)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (for speedup ratios)."""
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise InvalidParameterError("cannot average an empty sample")
+    if (array <= 0).any():
+        raise InvalidParameterError("geometric mean needs positive values")
+    return float(np.exp(np.log(array).mean()))

@@ -1,0 +1,141 @@
+"""Closed-form bounds and formulas quoted by the paper.
+
+These are the analytical predictions that the benchmark harness prints
+next to measured values:
+
+* Theorem 4.1 — AVC expected parallel time
+  ``O(log n / (s * eps) + log n log s)``;
+* [PVV09] — three-state error probability
+  ``exp(-n * D((1+eps)/2 || 1/2))`` with ``D`` the Kullback-Leibler
+  divergence between Bernoulli distributions, and the asymptotic form
+  ``exp(-c eps^2 n)``;
+* [DV12] — four-state expected parallel time ``O(log n / eps)`` on the
+  clique;
+* [HP99] — voter-model error probability ``(1 - eps) / 2``.
+
+Big-O constants are unknowable from the paper, so every bound here is
+reported *up to its leading constant* (set to 1); they are meant for
+shape comparisons (slopes, crossovers), not absolute predictions.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import InvalidParameterError
+
+__all__ = [
+    "kl_bernoulli",
+    "three_state_error_probability",
+    "three_state_time_bound",
+    "four_state_time_bound",
+    "avc_time_bound",
+    "avc_time_bound_whp",
+    "avc_states_for_polylog",
+    "voter_error_probability",
+    "voter_time_bound",
+    "lower_bound_four_states",
+    "lower_bound_any_states",
+]
+
+
+def _check_margin(epsilon: float) -> None:
+    if not 0.0 < epsilon <= 1.0:
+        raise InvalidParameterError(
+            f"margin epsilon must be in (0, 1], got {epsilon}")
+
+
+def _check_n(n: int) -> None:
+    if n < 2:
+        raise InvalidParameterError(f"n must be >= 2, got {n}")
+
+
+def kl_bernoulli(p: float, q: float) -> float:
+    """KL divergence ``D(p || q)`` between Bernoulli(p) and Bernoulli(q)."""
+    if not 0.0 <= p <= 1.0 or not 0.0 < q < 1.0:
+        raise InvalidParameterError(
+            f"need p in [0,1], q in (0,1); got p={p}, q={q}")
+    divergence = 0.0
+    if p > 0.0:
+        divergence += p * math.log(p / q)
+    if p < 1.0:
+        divergence += (1.0 - p) * math.log((1.0 - p) / (1.0 - q))
+    return divergence
+
+
+def three_state_error_probability(n: int, epsilon: float) -> float:
+    """[PVV09]'s tight error bound ``exp(-n D((1+eps)/2 || 1/2))``."""
+    _check_n(n)
+    _check_margin(epsilon)
+    return math.exp(-n * kl_bernoulli((1.0 + epsilon) / 2.0, 0.5))
+
+
+def three_state_time_bound(n: int, epsilon: float) -> float:
+    """[PVV09] limit-dynamics bound ``O(log(1/eps) + log n)``."""
+    _check_n(n)
+    _check_margin(epsilon)
+    return math.log(1.0 / epsilon) + math.log(n)
+
+
+def four_state_time_bound(n: int, epsilon: float) -> float:
+    """[DV12] clique bound ``O(log n / eps)``."""
+    _check_n(n)
+    _check_margin(epsilon)
+    return math.log(n) / epsilon
+
+
+def avc_time_bound(n: int, s: int, epsilon: float) -> float:
+    """Theorem 4.1 expectation: ``log n/(s eps) + log n log s``."""
+    _check_n(n)
+    _check_margin(epsilon)
+    if s < 4:
+        raise InvalidParameterError(f"AVC needs s >= 4 states, got {s}")
+    log_n = math.log(n)
+    return log_n / (s * epsilon) + log_n * math.log(s)
+
+
+def avc_time_bound_whp(n: int, s: int, epsilon: float) -> float:
+    """Theorem 4.1 w.h.p. form: ``log^2 n/(s eps) + log^2 n``."""
+    _check_n(n)
+    _check_margin(epsilon)
+    if s < 4:
+        raise InvalidParameterError(f"AVC needs s >= 4 states, got {s}")
+    log_n = math.log(n)
+    return log_n * log_n / (s * epsilon) + log_n * log_n
+
+
+def avc_states_for_polylog(epsilon: float) -> int:
+    """The state count making AVC poly-logarithmic: ``s >= 1/eps``.
+
+    Corollary 4.2's setting, rounded up to an admissible count
+    (``s = m + 2d + 1`` with odd ``m`` and ``d = 1`` needs ``s`` even).
+    """
+    _check_margin(epsilon)
+    s = max(4, math.ceil(1.0 / epsilon))
+    if s % 2:
+        s += 1  # make m = s - 3 odd
+    return s
+
+
+def voter_error_probability(epsilon: float) -> float:
+    """[HP99]: the voter model errs with the minority fraction."""
+    _check_margin(epsilon)
+    return (1.0 - epsilon) / 2.0
+
+
+def voter_time_bound(n: int) -> float:
+    """[HP99]: expected parallel convergence time ``Theta(n)``."""
+    _check_n(n)
+    return float(n)
+
+
+def lower_bound_four_states(epsilon: float) -> float:
+    """Theorem B.1: any exact 4-state protocol needs ``Omega(1/eps)``."""
+    _check_margin(epsilon)
+    return 1.0 / epsilon
+
+
+def lower_bound_any_states(n: int) -> float:
+    """Theorem C.1: any exact protocol needs ``Omega(log n)``."""
+    _check_n(n)
+    return math.log(n)

@@ -1,0 +1,123 @@
+"""Trajectory analysis: looking inside an AVC execution.
+
+The convergence proof of Theorem 4.1 decomposes an execution into
+structural phases:
+
+* **halving** (Claim A.2): the extremal weights in the system halve
+  every ``O(log n)`` parallel time, so after ``O(log m log n)`` time
+  only values in ``{-1, 0, 1}`` remain;
+* **no early zeros** (Claim A.3): no agent reaches weight 0 during the
+  halving phase (w.h.p., in the theorem's parameter regime);
+* **endgame** (Claims 4.5 / A.4): the surplus of small positive values
+  sweeps the remaining ``-1``/``-0`` agents.
+
+This module extracts exactly those quantities from recorded
+trajectories (:class:`~repro.sim.record.TrajectoryRecorder`
+snapshots), so the proof structure can be *watched* on real runs —
+see ``tests/analysis/test_trajectory.py`` and the ``phases``
+experiment for the empirical reproduction of Claim A.2's geometric
+decay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.avc import AVCProtocol
+from ..errors import InvalidParameterError
+
+__all__ = ["AVCTrajectory", "analyze_avc_trajectory"]
+
+
+@dataclass(frozen=True)
+class AVCTrajectory:
+    """Structural time series extracted from one AVC run.
+
+    All arrays are parallel to :attr:`times` (parallel-time units).
+    """
+
+    times: np.ndarray
+    #: Largest weight among positive-value agents (0 if none).
+    max_positive_weight: np.ndarray
+    #: Largest weight among negative-value agents (0 if none).
+    max_negative_weight: np.ndarray
+    #: Number of agents with weight 0.
+    weak_count: np.ndarray
+    #: Number of agents with strictly positive / negative values.
+    positive_count: np.ndarray
+    negative_count: np.ndarray
+    #: Conserved total value per snapshot (must be constant).
+    total_value: np.ndarray
+
+    @property
+    def sum_invariant_holds(self) -> bool:
+        """Invariant 4.3 across every snapshot."""
+        return bool(np.all(self.total_value == self.total_value[0]))
+
+    def halving_times(self, *, sign: int = -1) -> list[tuple[int, float]]:
+        """When the extremal weight of ``sign`` first drops below each
+        power-of-two threshold.
+
+        Returns ``(threshold, parallel_time)`` pairs for thresholds
+        ``m, m/2, m/4, ...`` — Claim A.2 predicts roughly evenly
+        spaced times (each halving costs ``O(log n)``).
+        """
+        series = (self.max_negative_weight if sign < 0
+                  else self.max_positive_weight)
+        if not len(series):
+            return []
+        start = int(series[0])
+        results = []
+        threshold = start
+        while threshold >= 1:
+            below = np.flatnonzero(series <= threshold)
+            if len(below):
+                results.append((threshold, float(self.times[below[0]])))
+            threshold //= 2
+        return results
+
+
+def analyze_avc_trajectory(protocol: AVCProtocol, steps, snapshots
+                           ) -> AVCTrajectory:
+    """Build an :class:`AVCTrajectory` from recorder output.
+
+    ``steps`` and ``snapshots`` are as returned by
+    :meth:`repro.sim.record.TrajectoryRecorder.as_matrix` (or the
+    parallel lists); snapshots are dense count vectors in the
+    protocol's state order.
+    """
+    steps = np.asarray(steps, dtype=np.int64)
+    matrix = np.asarray(snapshots, dtype=np.int64)
+    if matrix.ndim != 2 or matrix.shape[1] != protocol.num_states:
+        raise InvalidParameterError(
+            f"snapshots must be rows of {protocol.num_states} counts")
+    if len(steps) != len(matrix):
+        raise InvalidParameterError("steps and snapshots length mismatch")
+    population = matrix[0].sum()
+
+    values = np.array([state.value for state in protocol.states])
+    weights = np.array([state.weight for state in protocol.states])
+    positive = values > 0
+    negative = values < 0
+    weak = weights == 0
+
+    max_pos = np.zeros(len(matrix), dtype=np.int64)
+    max_neg = np.zeros(len(matrix), dtype=np.int64)
+    for row_index, row in enumerate(matrix):
+        present = row > 0
+        pos_weights = weights[present & positive]
+        neg_weights = weights[present & negative]
+        max_pos[row_index] = pos_weights.max() if len(pos_weights) else 0
+        max_neg[row_index] = neg_weights.max() if len(neg_weights) else 0
+
+    return AVCTrajectory(
+        times=steps / population,
+        max_positive_weight=max_pos,
+        max_negative_weight=max_neg,
+        weak_count=(matrix[:, weak]).sum(axis=1),
+        positive_count=(matrix[:, positive]).sum(axis=1),
+        negative_count=(matrix[:, negative]).sum(axis=1),
+        total_value=matrix @ values,
+    )

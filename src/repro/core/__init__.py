@@ -1,0 +1,21 @@
+"""The paper's primary contribution: the Average-and-Conquer protocol."""
+
+from .avc import AVCProtocol
+from .params import AVCParams
+from .states import (
+    AVCState,
+    enumerate_states,
+    intermediate_state,
+    strong_state,
+    weak_state,
+)
+
+__all__ = [
+    "AVCProtocol",
+    "AVCParams",
+    "AVCState",
+    "enumerate_states",
+    "strong_state",
+    "intermediate_state",
+    "weak_state",
+]

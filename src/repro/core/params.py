@@ -1,0 +1,87 @@
+"""Parameter handling for the AVC protocol.
+
+The protocol of the paper is parameterized by
+
+* ``m`` — an odd integer ``>= 1``: initial (maximum) weight; strong
+  states encode the odd values ``{-m, ..., -3} u {3, ..., m}``;
+* ``d`` — an integer ``>= 1``: the number of graded levels of the
+  weight-1 intermediate states ``±1_1 ... ±1_d``.
+
+The total number of states is ``s = m + 2d + 1``.  The analysis in the
+paper uses ``d = Theta(log m log n)``; the experiments (Section 6 /
+Appendix D) use ``d = 1``, and so do ours by default.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import InvalidParameterError
+
+__all__ = ["AVCParams"]
+
+
+@dataclass(frozen=True, slots=True)
+class AVCParams:
+    """Validated AVC parameters ``(m, d)``."""
+
+    m: int
+    d: int = 1
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.m, int) or isinstance(self.m, bool):
+            raise InvalidParameterError(f"m must be an int, got {self.m!r}")
+        if not isinstance(self.d, int) or isinstance(self.d, bool):
+            raise InvalidParameterError(f"d must be an int, got {self.d!r}")
+        if self.m < 1 or self.m % 2 == 0:
+            raise InvalidParameterError(
+                f"m must be an odd integer >= 1, got {self.m}")
+        if self.d < 1:
+            raise InvalidParameterError(f"d must be >= 1, got {self.d}")
+
+    @property
+    def num_states(self) -> int:
+        """Total number of protocol states, ``s = m + 2d + 1``."""
+        return self.m + 2 * self.d + 1
+
+    @classmethod
+    def from_num_states(cls, s: int, d: int = 1) -> "AVCParams":
+        """Parameters with exactly ``s`` states at the given ``d``.
+
+        Solves ``s = m + 2d + 1`` for ``m``; raises when no odd
+        ``m >= 1`` fits.  ``s = 4, d = 1`` gives ``m = 1`` — the
+        four-state protocol.
+        """
+        m = s - 2 * d - 1
+        if m < 1 or m % 2 == 0:
+            raise InvalidParameterError(
+                f"no valid AVC parameters with s={s} states and d={d} "
+                f"(implied m={m} must be odd and >= 1)")
+        return cls(m=m, d=d)
+
+    @classmethod
+    def theory_setting(cls, n: int, m: int | None = None) -> "AVCParams":
+        """The parameter setting used by the paper's analysis.
+
+        Theorem 4.1 requires ``log n log log n <= m <= n`` and sets
+        ``d = 1000 log m log n`` (natural logs here, as a convention;
+        the theorem is insensitive to the base up to constants).  When
+        ``m`` is omitted, the smallest admissible odd ``m`` is chosen.
+        ``d`` is computed with the theorem's constant, which makes the
+        state count large — this classmethod exists to exercise the
+        analyzed regime, not for fast experiments.
+        """
+        if n < 3:
+            raise InvalidParameterError(f"n must be >= 3, got {n}")
+        log_n = math.log(n)
+        if m is None:
+            lower = max(1.0, log_n * math.log(max(math.e, log_n)))
+            m = int(math.ceil(lower))
+            if m % 2 == 0:
+                m += 1
+        if m > n:
+            raise InvalidParameterError(
+                f"theory setting requires m <= n, got m={m}, n={n}")
+        d = max(1, int(math.ceil(1000 * math.log(max(2, m)) * log_n)))
+        return cls(m=m, d=d)

@@ -1,0 +1,204 @@
+"""State space of the AVC protocol (Figure 1, lines 1-10 of the paper).
+
+Every AVC state carries a *sign* (+1 / -1) and a *weight*:
+
+* **strong** states: weight an odd integer in ``[3, m]``,
+* **intermediate** states ``±1_j`` (``1 <= j <= d``): weight 1, with a
+  *level* ``j`` grading how close the state is to neutralization,
+* **weak** states ``±0``: weight 0.
+
+The *value* of a state is ``sign * weight``; the total value summed
+over all agents is invariant under every AVC interaction
+(Invariant 4.3), which is what makes the protocol exact.
+
+This module provides the immutable :class:`AVCState`, the canonical
+enumeration of the state space for given parameters, and the auxiliary
+functions ``phi`` / ``round_down`` / ``round_up`` / ``shift_to_zero`` /
+``sign_to_zero`` exactly as defined in the paper's pseudocode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import InvalidParameterError, InvalidStateError
+from .params import AVCParams
+
+__all__ = [
+    "AVCState",
+    "enumerate_states",
+    "phi",
+    "round_down",
+    "round_up",
+    "shift_to_zero",
+    "sign_to_zero",
+    "strong_state",
+    "intermediate_state",
+    "weak_state",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class AVCState:
+    """One AVC state: a sign, a weight, and (for weight 1) a level.
+
+    ``level`` is the intermediate grade ``j`` of ``±1_j`` and is 0 for
+    strong and weak states.  Instances are immutable and hashable, so
+    they can be used directly as protocol states.
+    """
+
+    sign: int
+    weight: int
+    level: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sign not in (1, -1):
+            raise InvalidStateError(f"sign must be +1 or -1, got {self.sign}")
+        if self.weight < 0:
+            raise InvalidStateError(f"weight must be >= 0, got {self.weight}")
+        if self.weight == 1:
+            if self.level < 1:
+                raise InvalidStateError(
+                    "intermediate states (weight 1) need a level >= 1")
+        else:
+            if self.level != 0:
+                raise InvalidStateError(
+                    f"state with weight {self.weight} cannot carry a level")
+            if self.weight > 1 and self.weight % 2 == 0:
+                raise InvalidStateError(
+                    f"strong weights must be odd, got {self.weight}")
+
+    @property
+    def value(self) -> int:
+        """The signed value ``sign * weight`` encoded by this state."""
+        return self.sign * self.weight
+
+    @property
+    def is_strong(self) -> bool:
+        """Weight strictly greater than 1."""
+        return self.weight > 1
+
+    @property
+    def is_intermediate(self) -> bool:
+        """Weight exactly 1 (a graded ``±1_j`` state)."""
+        return self.weight == 1
+
+    @property
+    def is_weak(self) -> bool:
+        """Weight 0 (a ``±0`` state)."""
+        return self.weight == 0
+
+    def __str__(self) -> str:
+        sign_char = "+" if self.sign > 0 else "-"
+        if self.is_intermediate:
+            return f"{sign_char}1_{self.level}"
+        return f"{sign_char}{self.weight}"
+
+    def __repr__(self) -> str:
+        return f"AVCState({self!s})"
+
+
+def strong_state(value: int) -> AVCState:
+    """The strong state encoding the odd value ``value`` (``|value| >= 3``)."""
+    if abs(value) < 3 or value % 2 == 0:
+        raise InvalidStateError(
+            f"strong states encode odd values with |value| >= 3, got {value}")
+    return AVCState(sign=1 if value > 0 else -1, weight=abs(value))
+
+
+def intermediate_state(sign: int, level: int) -> AVCState:
+    """The intermediate state ``±1_level``."""
+    return AVCState(sign=sign, weight=1, level=level)
+
+
+def weak_state(sign: int) -> AVCState:
+    """The weak state ``+0`` or ``-0``."""
+    return AVCState(sign=sign, weight=0)
+
+
+def enumerate_states(params: AVCParams) -> tuple[AVCState, ...]:
+    """Canonical ordering of the ``m + 2d + 1`` states for ``params``.
+
+    Order: strong negatives ``-m .. -3`` ascending by value, then
+    ``-1_1 .. -1_d``, then ``-0``, ``+0``, then ``+1_d .. +1_1``
+    (mirroring the negative side), then strong positives ``3 .. m``.
+    The ordering is monotone in value, which makes count-vector dumps
+    easy to read and lets tests assert symmetry by reversal.
+    """
+    m, d = params.m, params.d
+    states: list[AVCState] = []
+    for value in range(-m, -1, 2):
+        states.append(strong_state(value))
+    for level in range(1, d + 1):
+        states.append(intermediate_state(-1, level))
+    states.append(weak_state(-1))
+    states.append(weak_state(1))
+    for level in range(d, 0, -1):
+        states.append(intermediate_state(1, level))
+    for value in range(3, m + 1, 2):
+        states.append(strong_state(value))
+    if len(states) != params.num_states:
+        raise InvalidParameterError(
+            f"state enumeration produced {len(states)} states, "
+            f"expected {params.num_states}")
+    return tuple(states)
+
+
+# ----------------------------------------------------------------------
+# Auxiliary procedures from Figure 1 (lines 4-10)
+# ----------------------------------------------------------------------
+
+def phi(value: int) -> AVCState | int:
+    """Map the values ``±1`` to the level-1 intermediate states.
+
+    ``phi(x) = -1_1 if x = -1; 1_1 if x = 1; x otherwise`` — other
+    values are returned unchanged (as plain integers) for further
+    interpretation by the caller.
+    """
+    if value == 1:
+        return intermediate_state(1, 1)
+    if value == -1:
+        return intermediate_state(-1, 1)
+    return value
+
+
+def _as_state(value_or_state: AVCState | int) -> AVCState:
+    """Interpret a ``phi`` result as a state (integers become strong/weak)."""
+    if isinstance(value_or_state, AVCState):
+        return value_or_state
+    value = value_or_state
+    if value == 0:
+        # Averaging never produces 0 directly (odd + odd is even, and
+        # the rounded halves are odd); defend anyway.
+        raise InvalidStateError("rounding produced the ambiguous value 0")
+    return strong_state(value)
+
+
+def round_down(value: int) -> AVCState:
+    """``R_down(k)``: round to the next odd value below, then ``phi``."""
+    if value % 2 == 0:
+        value -= 1
+    return _as_state(phi(value))
+
+
+def round_up(value: int) -> AVCState:
+    """``R_up(k)``: round to the next odd value above, then ``phi``."""
+    if value % 2 == 0:
+        value += 1
+    return _as_state(phi(value))
+
+
+def shift_to_zero(state: AVCState, d: int) -> AVCState:
+    """``Shift-to-Zero``: push an intermediate state one level down.
+
+    ``±1_j`` becomes ``±1_{j+1}`` for ``j < d``; every other state
+    (including ``±1_d``) is returned unchanged.
+    """
+    if state.is_intermediate and state.level < d:
+        return intermediate_state(state.sign, state.level + 1)
+    return state
+
+
+def sign_to_zero(state: AVCState) -> AVCState:
+    """``Sign-to-Zero``: the weak state carrying ``state``'s sign."""
+    return weak_state(state.sign)

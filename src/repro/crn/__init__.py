@@ -1,0 +1,27 @@
+"""Chemical reaction networks: the molecular face of the protocols.
+
+Population protocols are implementable as DNA strand-displacement
+chemistry [CDS+13], and natural networks (the cell cycle switch)
+compute approximate majority [CCN12].  This package compiles any
+protocol in the library to a mass-action CRN and simulates CRNs
+exactly with the Gillespie SSA.
+"""
+
+from .gillespie import GillespieSimulator, SSAResult
+from .model import (
+    Reaction,
+    ReactionNetwork,
+    approximate_majority_crn,
+    cell_cycle_switch,
+    protocol_to_crn,
+)
+
+__all__ = [
+    "Reaction",
+    "ReactionNetwork",
+    "protocol_to_crn",
+    "approximate_majority_crn",
+    "cell_cycle_switch",
+    "GillespieSimulator",
+    "SSAResult",
+]

@@ -1,0 +1,190 @@
+"""Chemical reaction networks (CRNs) and the population-protocol bridge.
+
+[CDS+13] implement population protocols as DNA strand-displacement
+chemistry; [CCN12] show the cell-cycle switch computes approximate
+majority.  This module makes that correspondence executable:
+
+* :class:`Reaction` / :class:`ReactionNetwork` — bimolecular (and
+  unimolecular) mass-action CRNs;
+* :func:`protocol_to_crn` — compile any
+  :class:`~repro.protocols.base.PopulationProtocol` into the
+  equivalent CRN: one species per state, one bimolecular reaction per
+  state-changing unordered interaction (with doubled rate for the two
+  orientations of an asymmetric rule pair);
+* :func:`cell_cycle_switch` — the CCN12 network in its
+  approximate-majority-equivalent form.
+
+Under volume ``V = n - 1`` and unit rate constants, the stochastic
+mass-action semantics of the compiled CRN is exactly the
+continuous-time population-protocol model: every ordered agent pair
+interacts at rate ``1/(n-1)``.  The :class:`GillespieSimulator` in
+:mod:`repro.crn.gillespie` simulates any network exactly (SSA).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from ..errors import InvalidParameterError
+from ..protocols.base import PopulationProtocol
+
+__all__ = ["Reaction", "ReactionNetwork", "protocol_to_crn",
+           "cell_cycle_switch", "approximate_majority_crn"]
+
+
+@dataclass(frozen=True)
+class Reaction:
+    """One mass-action reaction ``reactants -> products`` at ``rate``.
+
+    ``reactants`` and ``products`` are tuples of species names; order
+    is irrelevant.  At most two reactants are supported (unimolecular
+    and bimolecular reactions — all a population protocol, and the
+    networks of [CCN12], need).
+    """
+
+    reactants: tuple
+    products: tuple
+    rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 1 <= len(self.reactants) <= 2:
+            raise InvalidParameterError(
+                f"reactions need 1 or 2 reactants, got {self.reactants}")
+        if self.rate <= 0:
+            raise InvalidParameterError(
+                f"rate must be positive, got {self.rate}")
+
+    def propensity(self, counts: Mapping, volume: float) -> float:
+        """Stochastic mass-action propensity at the given counts."""
+        if len(self.reactants) == 1:
+            return self.rate * counts.get(self.reactants[0], 0)
+        a, b = self.reactants
+        if a == b:
+            count = counts.get(a, 0)
+            return self.rate * count * (count - 1) / volume
+        return self.rate * counts.get(a, 0) * counts.get(b, 0) / volume
+
+    def __str__(self) -> str:
+        left = " + ".join(self.reactants)
+        right = " + ".join(self.products) if self.products else "0"
+        return f"{left} -> {right} (k={self.rate:g})"
+
+
+@dataclass(frozen=True)
+class ReactionNetwork:
+    """A finite set of species and mass-action reactions."""
+
+    species: tuple
+    reactions: tuple[Reaction, ...]
+    name: str = "crn"
+
+    def __post_init__(self) -> None:
+        known = set(self.species)
+        if len(known) != len(self.species):
+            raise InvalidParameterError("duplicate species")
+        for reaction in self.reactions:
+            for species in (*reaction.reactants, *reaction.products):
+                if species not in known:
+                    raise InvalidParameterError(
+                        f"reaction {reaction} uses unknown species "
+                        f"{species!r}")
+
+    def stoichiometry(self, reaction: Reaction) -> dict:
+        """Net species change when ``reaction`` fires once."""
+        delta: Counter = Counter(reaction.products)
+        delta.subtract(Counter(reaction.reactants))
+        return {species: change for species, change in delta.items()
+                if change}
+
+    def conserves_mass(self) -> bool:
+        """Whether every reaction preserves the total molecule count.
+
+        True for every compiled population protocol (two agents in,
+        two agents out).
+        """
+        return all(len(r.reactants) == len(r.products)
+                   for r in self.reactions)
+
+
+def protocol_to_crn(protocol: PopulationProtocol) -> ReactionNetwork:
+    """Compile a population protocol into its equivalent CRN.
+
+    For each *unordered* pair of states with at least one
+    state-changing orientation, emits one reaction per distinct
+    outcome; an outcome produced by both orientations of a
+    heterogeneous pair gets rate 2 (both ordered meetings realize it),
+    matching the protocol's ordered-pair semantics under volume
+    ``n - 1``.
+    """
+    states = protocol.states
+    species = tuple(str(state) for state in states)
+    reactions = []
+    s = protocol.num_states
+    for i in range(s):
+        for j in range(i, s):
+            outcomes: Counter = Counter()
+            orientations = [(i, j)] if i == j else [(i, j), (j, i)]
+            for a, b in orientations:
+                new_a, new_b = protocol.transition_index(a, b)
+                outcome = tuple(sorted((new_a, new_b)))
+                if outcome != (i, j):
+                    # Skip both true no-ops and orientation swaps
+                    # ((x, y) -> (y, x)), which leave the species
+                    # multiset unchanged.
+                    outcomes[outcome] += 1
+            for (new_a, new_b), multiplicity in outcomes.items():
+                rate = float(multiplicity) if i != j else 1.0
+                reactions.append(Reaction(
+                    reactants=(species[i], species[j]),
+                    products=(species[new_a], species[new_b]),
+                    rate=rate))
+    return ReactionNetwork(species=species, reactions=tuple(reactions),
+                           name=f"crn[{protocol.name}]")
+
+
+def approximate_majority_crn() -> ReactionNetwork:
+    """The AM network of [CCN12]: X + Y -> Y + B etc.
+
+    Species ``X`` and ``Y`` are the two opinions, ``B`` the blank
+    intermediate; this is the CRN form of the three-state protocol.
+    """
+    return ReactionNetwork(
+        species=("X", "Y", "B"),
+        reactions=(
+            Reaction(("X", "Y"), ("B", "Y"), rate=1.0),
+            Reaction(("Y", "X"), ("B", "X"), rate=1.0),
+            Reaction(("B", "X"), ("X", "X"), rate=1.0),
+            Reaction(("B", "Y"), ("Y", "Y"), rate=1.0),
+        ),
+        name="approximate-majority")
+
+
+def cell_cycle_switch() -> ReactionNetwork:
+    """A cell-cycle-switch-style network in the spirit of [CCN12].
+
+    The cell-cycle switch motif combines *mutual inhibition* with
+    *self-activation*: each of the antagonists ``X`` and ``Y`` pushes
+    the other through a suppressed intermediate form (``Z`` =
+    suppressed X, ``W`` = suppressed Y), and each autocatalytically
+    recovers its own suppressed form.  [CCN12]'s result is that such
+    switch networks compute approximate majority with the same
+    asymptotics as the AM network; this constructor provides the
+    symmetric instance used by our experiments (consensus states
+    all-``X`` / all-``Y`` are absorbing; intermediates cannot strand).
+    """
+    return ReactionNetwork(
+        species=("X", "Y", "Z", "W"),
+        reactions=(
+            # Y suppresses X through the intermediate Z...
+            Reaction(("Y", "X"), ("Y", "Z"), rate=1.0),
+            Reaction(("Y", "Z"), ("Y", "Y"), rate=1.0),
+            # ...and X autocatalytically reactivates its suppressed form.
+            Reaction(("X", "Z"), ("X", "X"), rate=1.0),
+            # Symmetrically, X suppresses Y through W.
+            Reaction(("X", "Y"), ("X", "W"), rate=1.0),
+            Reaction(("X", "W"), ("X", "X"), rate=1.0),
+            Reaction(("Y", "W"), ("Y", "Y"), rate=1.0),
+        ),
+        name="cell-cycle-switch")

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ProtocolError",
+    "InvalidParameterError",
+    "InvalidStateError",
+    "SimulationError",
+    "ConvergenceTimeout",
+    "AnalysisError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ProtocolError(ReproError):
+    """A protocol definition is malformed or misused."""
+
+
+class InvalidParameterError(ProtocolError, ValueError):
+    """A protocol or engine parameter is outside its legal range."""
+
+
+class InvalidStateError(ProtocolError, ValueError):
+    """A state object does not belong to the protocol's state space."""
+
+
+class SimulationError(ReproError):
+    """A simulation could not be set up or executed."""
+
+
+class ConvergenceTimeout(SimulationError):
+    """A run exceeded its interaction budget without converging.
+
+    The partially completed run is attached so callers can inspect how
+    far the system got before the budget ran out.
+    """
+
+    def __init__(self, message: str, *, result=None):
+        super().__init__(message)
+        self.result = result
+
+
+class AnalysisError(ReproError):
+    """An analytical computation (Markov chain, ODE, bound) failed."""
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration or run failed."""

@@ -1,0 +1,25 @@
+"""Experiment harness regenerating every figure of the paper.
+
+One module per experiment (see the per-experiment index in DESIGN.md):
+
+* :mod:`repro.experiments.figure3` — Figure 3, both panels;
+* :mod:`repro.experiments.figure4` — Figure 4, both panels;
+* :mod:`repro.experiments.ablation_d` — the d > 1 ablation (abl-d);
+* :mod:`repro.experiments.lowerbound_logn` — Theorem C.1 (thm-c1);
+* :mod:`repro.experiments.four_state_census` — Theorem B.1 (thm-b1);
+* :mod:`repro.experiments.cli` — the ``python -m repro`` dispatcher.
+"""
+
+from .config import SCALES, Scale, resolve_scale
+from .io import default_output_dir, format_table, write_csv
+from .runner import measure_majority_point
+
+__all__ = [
+    "Scale",
+    "SCALES",
+    "resolve_scale",
+    "measure_majority_point",
+    "write_csv",
+    "format_table",
+    "default_output_dir",
+]

@@ -1,0 +1,66 @@
+"""Command-line entry point: ``python -m repro <experiment>``.
+
+Subcommands regenerate the paper's figures and the lower-bound
+experiments; ``all`` runs everything at the chosen scale.  Every
+subcommand accepts ``--scale smoke|default|paper`` (or the
+``REPRO_SCALE`` environment variable) and writes a CSV under
+``results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import (
+    ablation_d,
+    leader,
+    report,
+    phases,
+    topology,
+    figure3,
+    figure4,
+    four_state_census,
+    lowerbound_logn,
+)
+
+__all__ = ["main"]
+
+_SUBCOMMANDS = {
+    "figure3": figure3.main,
+    "figure4": figure4.main,
+    "ablation-d": ablation_d.main,
+    "info-propagation": lowerbound_logn.main,
+    "four-state-census": four_state_census.main,
+    "phases": phases.main,
+    "topology": topology.main,
+    "leader-election": leader.main,
+    "report": report.main,
+}
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction experiments for 'Fast and Exact "
+                    "Majority in Population Protocols' (PODC 2015).")
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_SUBCOMMANDS) + ["all"],
+        help="which experiment to run (see DESIGN.md for the index)")
+    args, rest = parser.parse_known_args(argv)
+
+    if args.experiment == "all":
+        status = 0
+        for name in ("figure3", "figure4", "ablation-d", "phases",
+                     "topology", "leader-election",
+                     "info-propagation", "four-state-census", "report"):
+            print(f"\n=== {name} ===", flush=True)
+            status = _SUBCOMMANDS[name](list(rest)) or status
+        return status
+    return _SUBCOMMANDS[args.experiment](rest)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,114 @@
+"""Experiment scales: smoke / default / paper.
+
+The paper's sweeps (Appendix D) run 101 trials per point with ``n`` up
+to ``100001``.  That is hours of compute; day-to-day benchmarking wants
+the same *shape* in seconds-to-minutes.  Each experiment therefore
+reads its parameters from a named :class:`Scale`:
+
+* ``smoke`` — seconds; CI-sized sanity sweep.
+* ``default`` — a few minutes; resolves every qualitative claim
+  (orderings, slopes, crossovers).
+* ``paper`` — the full grids from Appendix D (Figure 3's
+  ``n = 100001`` row and Figure 4's 16340-state curve take hours).
+
+Select with ``--scale`` on the CLI or the ``REPRO_SCALE`` environment
+variable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..errors import ExperimentError
+
+__all__ = ["Scale", "SCALES", "resolve_scale"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """All tunable sizes for the experiment suite."""
+
+    name: str
+
+    #: Figure 3: population sizes (margin is always one agent).
+    figure3_populations: tuple[int, ...] = (11, 101, 1001)
+    figure3_trials: int = 25
+
+    #: Figure 4: fixed population, state counts, margins-per-point.
+    figure4_population: int = 1001
+    figure4_num_states: tuple[int, ...] = (4, 6, 12, 34, 130)
+    figure4_margins_per_decade: int = 2
+    figure4_trials: int = 15
+
+    #: abl-d: intermediate-level sweep.
+    ablation_d_population: int = 501
+    ablation_d_m: int = 63
+    ablation_d_levels: tuple[int, ...] = (1, 2, 4, 8, 16)
+    ablation_d_trials: int = 15
+
+    #: thm-c1: information propagation.
+    propagation_populations: tuple[int, ...] = (100, 1000, 10_000)
+    propagation_trials: int = 50
+
+    #: thm-b1: four-state census.
+    census_sizes: tuple[int, ...] = (3, 5)
+    census_limit: int | None = 100_000
+    census_scaling_populations: tuple[int, ...] = (25, 125)
+    census_scaling_trials: int = 25
+
+
+SCALES: dict[str, Scale] = {
+    "smoke": Scale(
+        name="smoke",
+        figure3_populations=(11, 101),
+        figure3_trials=5,
+        figure4_population=101,
+        figure4_num_states=(4, 12, 34),
+        figure4_margins_per_decade=1,
+        figure4_trials=5,
+        ablation_d_population=101,
+        ablation_d_m=15,
+        ablation_d_levels=(1, 2, 4),
+        ablation_d_trials=5,
+        propagation_populations=(100, 1000),
+        propagation_trials=20,
+        census_sizes=(3,),
+        census_limit=5_000,
+        census_scaling_populations=(15, 45),
+        census_scaling_trials=10,
+    ),
+    "default": Scale(name="default"),
+    "paper": Scale(
+        name="paper",
+        figure3_populations=(11, 101, 1001, 10_001, 100_001),
+        figure3_trials=101,
+        figure4_population=100_001,
+        figure4_num_states=(4, 6, 12, 24, 34, 66, 130, 258, 514, 1026,
+                            2050, 4098, 16340),
+        figure4_margins_per_decade=3,
+        figure4_trials=101,
+        ablation_d_population=10_001,
+        ablation_d_m=255,
+        ablation_d_levels=(1, 2, 4, 8, 16, 32, 64),
+        ablation_d_trials=101,
+        propagation_populations=(100, 1000, 10_000, 100_000),
+        propagation_trials=101,
+        census_sizes=(3, 5, 7),
+        census_limit=None,
+        census_scaling_populations=(25, 125, 625),
+        census_scaling_trials=101,
+    ),
+}
+
+
+def resolve_scale(name: str | None = None) -> Scale:
+    """Look up a scale by name, falling back to ``REPRO_SCALE``."""
+    if name is None:
+        name = os.environ.get("REPRO_SCALE", "default")
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown scale {name!r}; choose from {sorted(SCALES)}"
+        ) from None

@@ -1,0 +1,127 @@
+"""Figure 3: 3-state vs 4-state vs n-state AVC at margin one agent.
+
+Reproduces both panels of the paper's Figure 3.  For each population
+size ``n`` (odd, with ``eps = 1/n`` — the majority decided by a single
+agent) and each protocol we report:
+
+* **left panel** — mean parallel convergence time,
+* **right panel** — the fraction of runs converging to the wrong
+  final state (non-zero only for the approximate 3-state protocol).
+
+Protocol/engine choices:
+
+* three-state and four-state run on the exact null-skipping engine
+  (the 4-state protocol at ``eps = 1/n`` needs ``Theta(n)`` parallel
+  time = ``Theta(n^2)`` interactions, almost all null — skipping them
+  is what makes ``n = 100001`` runnable);
+* "n-state AVC" uses ``s = n + 1`` states (``m = n - 2``, ``d = 1``):
+  the paper's odd ``n`` values make exactly-``n`` states inadmissible
+  for ``d = 1`` since ``s = m + 3`` must be even, so we take the
+  nearest admissible count.  It runs on the exact count engine by
+  default; pass ``engine="batch"`` for the approximate vectorized
+  engine at paper scale.
+
+Expected shape (see EXPERIMENTS.md for measured values): the 4-state
+protocol's time grows linearly in ``n`` (orders of magnitude above the
+rest by ``n = 10^4``), the 3-state and AVC times stay
+poly-logarithmic and comparable, and the 3-state error fraction is
+large (close to 1/2 at ``eps = 1/n``) while AVC and 4-state never err.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..core.avc import AVCProtocol
+from ..protocols.four_state import FourStateProtocol
+from ..protocols.three_state import ThreeStateProtocol
+from .config import Scale, resolve_scale
+from .io import default_output_dir, format_table, write_csv
+from .plotting import ascii_chart
+from .runner import measure_majority_point
+
+__all__ = ["avc_n_state", "figure3_rows", "main"]
+
+#: Root seed; every (n, protocol) point derives its own stream.
+DEFAULT_SEED = 20150715
+
+
+def avc_n_state(n: int, d: int = 1) -> AVCProtocol:
+    """The "n-state" AVC instance for a population of ``n`` agents.
+
+    Returns the protocol with the smallest admissible state count
+    ``>= n`` for the given ``d`` (``n + 1`` for odd ``n``, ``d = 1``).
+    """
+    s = n
+    while True:
+        m = s - 2 * d - 1
+        if m >= 1 and m % 2 == 1:
+            return AVCProtocol(m=m, d=d)
+        s += 1
+
+
+def _protocols_for(n: int, avc_engine: str):
+    return (
+        (ThreeStateProtocol(), "null-skipping"),
+        (FourStateProtocol(), "null-skipping"),
+        (avc_n_state(n), avc_engine),
+    )
+
+
+def figure3_rows(scale: Scale, *, seed: int = DEFAULT_SEED,
+                 avc_engine: str = "count", progress=None) -> list[dict]:
+    """Compute both Figure 3 panels; one row per (n, protocol)."""
+    rows = []
+    for point_index, n in enumerate(scale.figure3_populations):
+        epsilon = 1.0 / n
+        for proto_index, (protocol, engine) in enumerate(
+                _protocols_for(n, avc_engine)):
+            if progress is not None:
+                progress(f"figure3: n={n} protocol={protocol.name}")
+            row = measure_majority_point(
+                protocol, n=n, epsilon=epsilon,
+                trials=scale.figure3_trials,
+                seed=seed + 1000 * point_index + proto_index,
+                engine=engine)
+            rows.append(row)
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro figure3", description=__doc__.split("\n")[0])
+    parser.add_argument("--scale", default=None,
+                        help="smoke | default | paper")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--avc-engine", default="count",
+                        choices=("count", "batch", "agent"),
+                        help="engine for the n-state AVC runs")
+    parser.add_argument("--output-dir", default=None)
+    args = parser.parse_args(argv)
+
+    scale = resolve_scale(args.scale)
+    rows = figure3_rows(scale, seed=args.seed, avc_engine=args.avc_engine,
+                        progress=lambda msg: print(f"  [{msg}]", flush=True))
+    columns = ("n", "protocol", "mean_parallel_time", "error_fraction",
+               "std_parallel_time", "trials", "settled_fraction",
+               "engine", "wall_seconds")
+    print(format_table(rows, columns=columns,
+                       title=f"Figure 3 (scale={scale.name}, eps=1/n)"))
+    series: dict[str, list[tuple[float, float]]] = {}
+    for row in rows:
+        kind = row["protocol"].split("(")[0]
+        series.setdefault(kind, []).append(
+            (row["n"], row["mean_parallel_time"]))
+    print()
+    print(ascii_chart(series, title="Figure 3 (left): parallel "
+                                    "convergence time vs n",
+                      x_label="n", y_label="time"))
+    output_dir = (default_output_dir() if args.output_dir is None
+                  else args.output_dir)
+    path = write_csv(f"{output_dir}/figure3_{scale.name}.csv", rows)
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,114 @@
+"""thm-b1: the four-state census experiment.
+
+Runs :func:`repro.lowerbounds.four_state_search.run_census` at the
+scale's size/limit settings and prints Theorem B.1's conclusions:
+
+* how many candidates were machine-checked and how many are correct;
+* that **every** surviving (correct) candidate carries the discrepancy
+  invariant of Claim B.8 — the structural property forcing
+  ``Omega(1/eps)`` convergence;
+* that no survivor carries a Claim B.9 conserved potential;
+* an empirical scaling table for the canonical surviving protocol,
+  showing convergence time growing like ``1/eps``.
+
+At ``--scale paper`` the census enumerates all ``4 x 10^6``
+candidates (same-state interactions fixed to no-ops; see the module
+docstring of :mod:`repro.lowerbounds.four_state_search` for why this
+restriction loses no correct protocol) against populations 3, 5 and 7
+— a few minutes of compute.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from ..lowerbounds.four_state_search import (
+    paper_four_state_candidate,
+    run_census,
+)
+from ..sim.run import run_trials
+from .config import Scale, resolve_scale
+from .io import default_output_dir, format_table, write_csv
+
+__all__ = ["census_summary", "scaling_rows", "main"]
+
+DEFAULT_SEED = 20150719
+
+
+def census_summary(scale: Scale, *, progress=None) -> dict:
+    """Run the census and return the headline numbers."""
+    started = time.perf_counter()
+    result = run_census(sizes=scale.census_sizes,
+                        limit=scale.census_limit, progress=progress)
+    from ..lowerbounds.four_state_search import check_candidate
+    paper = paper_four_state_candidate()
+    return {
+        "sizes": "x".join(str(s) for s in result.sizes),
+        "num_checked": result.num_checked,
+        "num_survivors": result.num_survivors,
+        "all_survivors_slow": result.all_survivors_slow,
+        "no_conserved_potentials": result.no_survivor_has_conserved_potential,
+        "paper_candidate_correct": check_candidate(paper,
+                                                   scale.census_sizes),
+        "wall_seconds": time.perf_counter() - started,
+    }, result
+
+
+def scaling_rows(scale: Scale, *, seed: int = DEFAULT_SEED) -> list[dict]:
+    """Empirical Omega(1/eps) scaling of the canonical survivor."""
+    protocol = paper_four_state_candidate().to_protocol()
+    rows = []
+    for index, n in enumerate(scale.census_scaling_populations):
+        epsilon = 5 / n if n >= 10 else 1 / n
+        stats = run_trials(protocol, num_trials=scale.census_scaling_trials,
+                           seed=seed + index, stats=True, n=n,
+                           epsilon=epsilon)
+        rows.append({
+            "n": n,
+            "epsilon": epsilon,
+            "one_over_epsilon": 1 / epsilon,
+            "mean_parallel_time": stats.mean_parallel_time,
+            "error_fraction": stats.error_fraction,
+            "trials": stats.num_trials,
+        })
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro four-state-census", description=__doc__.split("\n")[0])
+    parser.add_argument("--scale", default=None)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--output-dir", default=None)
+    parser.add_argument("--show-survivors", action="store_true",
+                        help="print every surviving rule set")
+    args = parser.parse_args(argv)
+
+    scale = resolve_scale(args.scale)
+
+    def progress(count):
+        print(f"  [census: {count} candidates checked]", flush=True)
+
+    summary, result = census_summary(scale, progress=progress)
+    print(format_table([summary],
+                       title=f"Four-state census (scale={scale.name})"))
+    if args.show_survivors:
+        for candidate in result.survivors:
+            print("  survivor:", candidate.describe())
+
+    rows = scaling_rows(scale, seed=args.seed)
+    print()
+    print(format_table(
+        rows, title="Empirical Omega(1/eps) scaling of the canonical "
+                    "correct 4-state protocol"))
+    output_dir = (default_output_dir() if args.output_dir is None
+                  else args.output_dir)
+    path = write_csv(f"{output_dir}/four_state_census_{scale.name}.csv",
+                     rows)
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

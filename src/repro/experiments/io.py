@@ -1,0 +1,72 @@
+"""Result output: CSV files and aligned console tables."""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+
+from ..errors import ExperimentError
+
+__all__ = ["write_csv", "format_table", "default_output_dir"]
+
+
+def default_output_dir() -> Path:
+    """Where experiment CSVs land unless overridden."""
+    return Path("results")
+
+
+def write_csv(path, rows: Sequence[Mapping], *,
+              columns: Sequence[str] | None = None) -> Path:
+    """Write dict rows to ``path`` (parents created), return the path."""
+    if not rows:
+        raise ExperimentError("refusing to write an empty result set")
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    if columns is None:
+        columns = list(rows[0].keys())
+    with open(target, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns))
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({key: row.get(key, "") for key in columns})
+    return target
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping], *,
+                 columns: Sequence[str] | None = None,
+                 title: str | None = None) -> str:
+    """Render dict rows as an aligned monospace table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[_format_cell(row.get(col, "")) for col in columns]
+                for row in rows]
+    widths = [max(len(col), *(len(line[i]) for line in rendered))
+              for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i])
+                       for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for line in rendered:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(line)))
+    return "\n".join(lines)

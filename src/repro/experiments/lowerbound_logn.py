@@ -1,0 +1,73 @@
+"""thm-c1: the Omega(log n) information-propagation experiment.
+
+Measures the parallel time for the ``K_t`` knowledge set of a 3-agent
+seed to cover the whole population (Claim C.2).  Expected shape: the
+simulated and closed-form times agree, and ``time / ln(n)`` stays
+bounded away from zero — every exact-majority protocol must pay at
+least this propagation time on the worst-case inputs of Theorem C.1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+
+from ..lowerbounds.info_propagation import (
+    expected_propagation_steps,
+    simulate_propagation,
+)
+from ..rng import spawn_many
+from .config import Scale, resolve_scale
+from .io import default_output_dir, format_table, write_csv
+
+__all__ = ["propagation_rows", "main"]
+
+DEFAULT_SEED = 20150718
+
+
+def propagation_rows(scale: Scale, *,
+                     seed: int = DEFAULT_SEED) -> list[dict]:
+    """One row per population size."""
+    rows = []
+    for index, n in enumerate(scale.propagation_populations):
+        trials = scale.propagation_trials
+        samples = [
+            simulate_propagation(n, rng=child).parallel_time
+            for child in spawn_many(seed + index, trials)
+        ]
+        mean_time = sum(samples) / len(samples)
+        exact = expected_propagation_steps(n) / n
+        rows.append({
+            "n": n,
+            "trials": trials,
+            "mean_parallel_time": mean_time,
+            "exact_expected_parallel_time": exact,
+            "log_n": math.log(n),
+            "time_over_log_n": mean_time / math.log(n),
+        })
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro info-propagation", description=__doc__.split("\n")[0])
+    parser.add_argument("--scale", default=None)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--output-dir", default=None)
+    args = parser.parse_args(argv)
+
+    scale = resolve_scale(args.scale)
+    rows = propagation_rows(scale, seed=args.seed)
+    print(format_table(
+        rows, title=f"Information propagation / Omega(log n) "
+                    f"(scale={scale.name})"))
+    output_dir = (default_output_dir() if args.output_dir is None
+                  else args.output_dir)
+    path = write_csv(f"{output_dir}/info_propagation_{scale.name}.csv",
+                     rows)
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,100 @@
+"""Terminal (ASCII) charts for the figure experiments.
+
+The original figures are log-log plots; this module renders the same
+series as monospace scatter charts so ``python -m repro figure3``
+shows the *picture*, not just the table, without any plotting
+dependency.  Output is deterministic, making the charts assertable in
+tests.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+from ..errors import ExperimentError
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "ox*+#@%&"
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        if value <= 0:
+            raise ExperimentError(
+                f"log-scale axis cannot show non-positive value {value}")
+        return math.log10(value)
+    return value
+
+
+def _format_tick(value: float, log: bool) -> str:
+    if log:
+        return f"1e{value:+.1f}" if value % 1 else f"1e{int(value):+d}"
+    return f"{value:.3g}"
+
+
+def ascii_chart(series: Mapping[str, Sequence[tuple[float, float]]], *,
+                width: int = 64, height: int = 18,
+                log_x: bool = True, log_y: bool = True,
+                title: str | None = None,
+                x_label: str = "x", y_label: str = "y") -> str:
+    """Render named ``(x, y)`` series as a monospace scatter chart.
+
+    Each series gets a marker from a fixed cycle (shown in the
+    legend); later series overwrite earlier ones on collisions.
+    """
+    if not series or all(not points for points in series.values()):
+        raise ExperimentError("nothing to plot")
+    if width < 16 or height < 4:
+        raise ExperimentError(
+            f"chart needs width >= 16 and height >= 4, got "
+            f"{width}x{height}")
+
+    transformed: dict[str, list[tuple[float, float]]] = {}
+    for name, points in series.items():
+        transformed[name] = [
+            (_transform(x, log_x), _transform(y, log_y))
+            for x, y in points
+        ]
+    xs = [x for points in transformed.values() for x, _ in points]
+    ys = [y for points in transformed.values() for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (name, points) in enumerate(transformed.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker} {name}")
+        for x, y in points:
+            column = round((x - x_low) / x_span * (width - 1))
+            row = round((y - y_low) / y_span * (height - 1))
+            grid[height - 1 - row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_tick = _format_tick(y_high, log_y)
+    bottom_tick = _format_tick(y_low, log_y)
+    gutter = max(len(top_tick), len(bottom_tick), len(y_label)) + 1
+    lines.append(f"{y_label:>{gutter}}")
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_tick
+        elif row_index == height - 1:
+            label = bottom_tick
+        else:
+            label = ""
+        lines.append(f"{label:>{gutter}} |" + "".join(row))
+    lines.append(" " * gutter + " +" + "-" * width)
+    left_tick = _format_tick(x_low, log_x)
+    right_tick = _format_tick(x_high, log_x)
+    padding = width - len(left_tick) - len(right_tick)
+    lines.append(" " * gutter + "  " + left_tick + " " * max(1, padding)
+                 + right_tick)
+    lines.append(" " * gutter + f"  ({x_label})   legend: "
+                 + "  ".join(legend))
+    return "\n".join(lines)

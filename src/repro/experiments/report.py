@@ -1,0 +1,90 @@
+"""Aggregate report: collect every CSV in ``results/`` into Markdown.
+
+``python -m repro report`` renders all experiment outputs produced so
+far (any scale, any subset) into one ``results/REPORT.md`` with a
+table per CSV — the artifact to attach when sharing a reproduction
+run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+from datetime import datetime, timezone
+from pathlib import Path
+
+from ..errors import ExperimentError
+from .io import default_output_dir, format_table
+
+__all__ = ["collect_rows", "render_report", "main"]
+
+
+def collect_rows(csv_path: Path) -> list[dict]:
+    """Load one experiment CSV back into typed rows."""
+    with open(csv_path) as handle:
+        raw_rows = list(csv.DictReader(handle))
+    rows = []
+    for raw in raw_rows:
+        row = {}
+        for key, value in raw.items():
+            if value is None or value == "":
+                row[key] = ""
+                continue
+            try:
+                number = float(value)
+                row[key] = int(number) if number.is_integer() \
+                    and "." not in value and "e" not in value.lower() \
+                    else number
+            except ValueError:
+                row[key] = value
+        rows.append(row)
+    return rows
+
+
+def render_report(output_dir: Path) -> str:
+    """Markdown report over every ``*.csv`` under ``output_dir``."""
+    csv_paths = sorted(Path(output_dir).glob("*.csv"))
+    if not csv_paths:
+        raise ExperimentError(
+            f"no CSV results under {output_dir}; run some experiments "
+            "first (python -m repro all)")
+    stamp = datetime.now(timezone.utc).strftime("%Y-%m-%d %H:%M UTC")
+    sections = [
+        "# Reproduction report",
+        "",
+        f"Generated {stamp} from {len(csv_paths)} result file(s) in "
+        f"`{output_dir}`.  See EXPERIMENTS.md for the paper-vs-measured "
+        "discussion and DESIGN.md for the experiment index.",
+    ]
+    for path in csv_paths:
+        rows = collect_rows(path)
+        sections.append("")
+        sections.append(f"## {path.stem}")
+        sections.append("")
+        sections.append("```")
+        sections.append(format_table(rows))
+        sections.append("```")
+    return "\n".join(sections) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro report", description=__doc__.split("\n")[0])
+    parser.add_argument("--output-dir", default=None)
+    # Accepted for interface uniformity with the other subcommands
+    # (so `repro all --scale smoke` can forward its arguments here).
+    parser.add_argument("--scale", default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--seed", type=int, default=None,
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+    output_dir = Path(default_output_dir() if args.output_dir is None
+                      else args.output_dir)
+    report = render_report(output_dir)
+    target = output_dir / "REPORT.md"
+    target.write_text(report)
+    print(f"wrote {target} ({len(report.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

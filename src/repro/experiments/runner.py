@@ -1,0 +1,46 @@
+"""Shared sweep machinery for the experiment modules."""
+
+from __future__ import annotations
+
+import time
+
+from ..protocols.base import MajorityProtocol
+from ..sim.results import TrialStats
+from ..sim.run import run_trials
+
+__all__ = ["measure_majority_point"]
+
+
+def measure_majority_point(protocol: MajorityProtocol, *, n: int,
+                           epsilon: float, trials: int, seed: int,
+                           engine: str = "auto",
+                           max_parallel_time: float | None = None,
+                           batch_fraction: float = 0.05) -> dict:
+    """Run one sweep point and return a flat result row.
+
+    The row carries everything a figure needs: the mean/std parallel
+    convergence time over settled trials, the error fraction (settled
+    runs that decided for the initial minority), and bookkeeping
+    columns (protocol, engine, trial count, wall time).
+    """
+    started = time.perf_counter()
+    stats: TrialStats = run_trials(
+        protocol, num_trials=trials, seed=seed, stats=True,
+        n=n, epsilon=epsilon, engine=engine,
+        max_parallel_time=max_parallel_time,
+        batch_fraction=batch_fraction)
+    elapsed = time.perf_counter() - started
+    return {
+        "protocol": protocol.name,
+        "engine": engine,
+        "n": n,
+        "epsilon": epsilon,
+        "trials": stats.num_trials,
+        "settled_fraction": stats.settled_fraction,
+        "mean_parallel_time": stats.mean_parallel_time,
+        "std_parallel_time": stats.std_parallel_time,
+        "min_parallel_time": stats.min_parallel_time,
+        "max_parallel_time": stats.max_parallel_time,
+        "error_fraction": stats.error_fraction,
+        "wall_seconds": elapsed,
+    }

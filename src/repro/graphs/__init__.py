@@ -1,0 +1,21 @@
+"""Interaction-graph builders for non-clique experiments."""
+
+from .builders import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    random_regular_graph,
+    star_graph,
+)
+
+__all__ = [
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "grid_graph",
+    "random_regular_graph",
+    "erdos_renyi_graph",
+]

@@ -1,0 +1,106 @@
+"""Interaction-graph builders.
+
+Thin wrappers around ``networkx`` generators that (a) label nodes
+``0..n-1`` as the :class:`~repro.sim.schedule.GraphPairSampler`
+expects, (b) validate connectivity up front, and (c) cover the
+topologies discussed in the population-protocols literature: the
+clique (the paper's setting), rings/paths/stars (extremal spectral
+gaps in [DV12]), random regular graphs and Erdos-Renyi graphs (typical
+expanders), and 2-D grids (spatially embedded sensor deployments).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..errors import InvalidParameterError
+from ..rng import ensure_rng
+
+__all__ = [
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "grid_graph",
+    "random_regular_graph",
+    "erdos_renyi_graph",
+]
+
+
+def _check_n(n: int, minimum: int = 2) -> None:
+    if n < minimum:
+        raise InvalidParameterError(
+            f"graph needs at least {minimum} nodes, got {n}")
+
+
+def complete_graph(n: int) -> nx.Graph:
+    """The clique on ``n`` nodes (the paper's interaction model)."""
+    _check_n(n)
+    return nx.complete_graph(n)
+
+
+def cycle_graph(n: int) -> nx.Graph:
+    """A ring — the slowest-mixing connected topology per node count."""
+    _check_n(n, minimum=3)
+    return nx.cycle_graph(n)
+
+
+def path_graph(n: int) -> nx.Graph:
+    """A path."""
+    _check_n(n)
+    return nx.path_graph(n)
+
+
+def star_graph(n: int) -> nx.Graph:
+    """A star with one hub and ``n - 1`` leaves."""
+    _check_n(n)
+    return nx.star_graph(n - 1)
+
+
+def grid_graph(rows: int, columns: int, *, periodic: bool = False) -> nx.Graph:
+    """A 2-D grid (torus when ``periodic``), nodes relabelled to ints."""
+    if rows < 1 or columns < 1 or rows * columns < 2:
+        raise InvalidParameterError(
+            f"grid needs >= 2 nodes, got {rows}x{columns}")
+    graph = nx.grid_2d_graph(rows, columns, periodic=periodic)
+    return nx.convert_node_labels_to_integers(graph)
+
+
+def random_regular_graph(n: int, degree: int, *, rng=None) -> nx.Graph:
+    """A uniformly random connected ``degree``-regular graph.
+
+    Resamples until connected (a.s. immediate for ``degree >= 3``).
+    """
+    _check_n(n)
+    if degree < 1 or degree >= n or (n * degree) % 2:
+        raise InvalidParameterError(
+            f"no {degree}-regular graph on {n} nodes exists")
+    generator = ensure_rng(rng)
+    for _ in range(100):
+        seed = int(generator.integers(0, 2**31 - 1))
+        graph = nx.random_regular_graph(degree, n, seed=seed)
+        if nx.is_connected(graph):
+            return graph
+    raise InvalidParameterError(
+        f"could not sample a connected {degree}-regular graph on {n} nodes")
+
+
+def erdos_renyi_graph(n: int, probability: float, *, rng=None) -> nx.Graph:
+    """A connected G(n, p) sample (resampled until connected).
+
+    Choose ``probability`` comfortably above ``ln(n)/n`` or expect the
+    resampling loop to fail.
+    """
+    _check_n(n)
+    if not 0.0 < probability <= 1.0:
+        raise InvalidParameterError(
+            f"edge probability must be in (0, 1], got {probability}")
+    generator = ensure_rng(rng)
+    for _ in range(100):
+        seed = int(generator.integers(0, 2**31 - 1))
+        graph = nx.erdos_renyi_graph(n, probability, seed=seed)
+        if nx.is_connected(graph):
+            return graph
+    raise InvalidParameterError(
+        f"G({n}, {probability}) samples kept coming out disconnected; "
+        "increase the edge probability")

@@ -1,0 +1,55 @@
+"""Computational reproductions of the paper's lower bounds.
+
+* :mod:`repro.lowerbounds.four_state_search` — the four-state census
+  (Theorem B.1): enumerate candidate protocols, machine-check the
+  correctness properties by configuration-space reachability, verify
+  the survivors carry the discrepancy invariant forcing
+  ``Omega(1/eps)``.
+* :mod:`repro.lowerbounds.info_propagation` — the ``K_t`` growth
+  experiment behind the ``Omega(log n)`` bound (Theorem C.1).
+* :mod:`repro.lowerbounds.reachability` — adversarial-schedule
+  reachability utilities shared by both and by the test suite.
+"""
+
+from .four_state_search import (
+    Candidate,
+    CensusResult,
+    check_candidate,
+    enumerate_rule_sets,
+    paper_four_state_candidate,
+    run_census,
+)
+from .info_propagation import (
+    PropagationTrial,
+    expected_propagation_steps,
+    propagation_probability,
+    simulate_propagation,
+)
+from .invariants import conserved_potential, has_discrepancy_invariant
+from .reachability import (
+    brute_force_is_settled,
+    brute_force_output_stable,
+    is_absorbing_for_output,
+    reachable_configurations,
+    successors,
+)
+
+__all__ = [
+    "Candidate",
+    "CensusResult",
+    "check_candidate",
+    "enumerate_rule_sets",
+    "run_census",
+    "paper_four_state_candidate",
+    "has_discrepancy_invariant",
+    "conserved_potential",
+    "PropagationTrial",
+    "propagation_probability",
+    "expected_propagation_steps",
+    "simulate_propagation",
+    "successors",
+    "reachable_configurations",
+    "is_absorbing_for_output",
+    "brute_force_is_settled",
+    "brute_force_output_stable",
+]

@@ -1,0 +1,316 @@
+"""Computational census of four-state majority protocols (Theorem B.1).
+
+The paper proves by hand that every *correct* four-state exact-majority
+protocol conserves the difference between the two input-state counts
+(the discrepancy invariant of Claim B.8), which forces ``Omega(1/eps)``
+expected parallel convergence time.  This module automates the case
+analysis:
+
+1. **Enumerate** candidate protocols.  States are ``S0, S1, X, Y`` with
+   ``gamma(S0) = 0`` and ``gamma(S1) = 1`` forced (required for
+   correctness on a one-agent population), and ``gamma(X), gamma(Y)``
+   free.  A candidate assigns an unordered outcome pair to each of the
+   six unordered pairs of distinct states — ``10^6`` rule sets per
+   output assignment.  Interactions between two agents *in the same
+   state* are fixed to no-ops: for unordered configurations a
+   same-state swap is literally the identity, and Claim B.5 of the
+   paper shows correct protocols admit no other behaviour, so no
+   correct protocol is excluded (incorrect protocols outside this
+   subfamily are eliminated by the paper's Claim B.5 argument rather
+   than by this census).
+2. **Machine-check** the paper's three correctness properties on small
+   populations by exhaustive configuration-space search: absorbing
+   output sets are greatest fixpoints, "never wrong" is emptiness of
+   the reachable wrong-output fixpoint, "always able to converge" is
+   reverse reachability covering the reachable set.
+3. **Classify** the survivors: every one must carry the discrepancy
+   invariant (Claim B.8) and none may carry a conserved potential
+   (Claim B.9) — which together yield the ``Omega(1/eps)`` bound.
+
+``run_census`` with the default sizes reproduces the theorem's
+conclusion; the experiment CLI (``python -m repro four-state-census``)
+prints the summary table.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from itertools import combinations_with_replacement, product
+
+from ..errors import InvalidParameterError
+from ..protocols.table import MajorityTableProtocol
+from .invariants import S0, S1, X, Y, conserved_potential, \
+    has_discrepancy_invariant
+
+__all__ = [
+    "Candidate",
+    "CensusResult",
+    "enumerate_rule_sets",
+    "check_candidate",
+    "run_census",
+    "paper_four_state_candidate",
+    "STATE_NAMES",
+]
+
+STATE_NAMES = ("S0", "S1", "X", "Y")
+
+#: The six unordered pairs of distinct states a candidate must define.
+DISTINCT_PAIRS = tuple(combinations_with_replacement(range(4), 2))
+DISTINCT_PAIRS = tuple(p for p in DISTINCT_PAIRS if p[0] != p[1])
+
+#: The ten possible unordered outcome pairs.
+OUTCOMES = tuple(combinations_with_replacement(range(4), 2))
+
+
+@dataclass(frozen=True, slots=True)
+class Candidate:
+    """One four-state protocol candidate.
+
+    ``rules`` maps each of the six distinct unordered pairs to an
+    unordered outcome (no-op rules may be omitted); ``gamma_x`` /
+    ``gamma_y`` are the outputs of states X and Y.
+    """
+
+    rules: tuple
+    gamma_x: int
+    gamma_y: int
+
+    @property
+    def rule_dict(self) -> dict:
+        return {pair: outcome for pair, outcome in self.rules
+                if pair != outcome}
+
+    @property
+    def outputs(self) -> tuple[int, int, int, int]:
+        return (0, 1, self.gamma_x, self.gamma_y)
+
+    def describe(self) -> str:
+        """Human-readable rule list, e.g. ``S0+S1->X+Y``."""
+        parts = []
+        for (a, b), (c, d) in sorted(self.rule_dict.items()):
+            parts.append(f"{STATE_NAMES[a]}+{STATE_NAMES[b]}->"
+                         f"{STATE_NAMES[c]}+{STATE_NAMES[d]}")
+        gamma = (f"gamma(X)={self.gamma_x},gamma(Y)={self.gamma_y}")
+        return "; ".join(parts) + f" [{gamma}]"
+
+    def to_protocol(self) -> MajorityTableProtocol:
+        """Wrap the candidate so simulation engines can run it.
+
+        Input A starts in ``S1`` (the output-1 state), input B in
+        ``S0``, matching the library's output convention.
+        """
+        transitions = {
+            (STATE_NAMES[a], STATE_NAMES[b]):
+                (STATE_NAMES[c], STATE_NAMES[d])
+            for (a, b), (c, d) in self.rule_dict.items()
+        }
+        outputs = dict(zip(STATE_NAMES, self.outputs))
+        return MajorityTableProtocol(
+            STATE_NAMES, transitions, outputs,
+            input_a="S1", input_b="S0",
+            name=f"census[{self.describe()}]")
+
+
+def enumerate_rule_sets() -> Iterator[tuple]:
+    """All ``10^6`` assignments of outcomes to the six distinct pairs."""
+    for outcomes in product(OUTCOMES, repeat=len(DISTINCT_PAIRS)):
+        yield tuple(zip(DISTINCT_PAIRS, outcomes))
+
+
+def _successor_cache(rules: dict):
+    """Precompute, per unordered pair, the count-delta it induces."""
+    deltas = {}
+    for pair, outcome in rules.items():
+        if pair == outcome:
+            continue
+        delta = [0, 0, 0, 0]
+        delta[pair[0]] -= 1
+        delta[pair[1]] -= 1
+        delta[outcome[0]] += 1
+        delta[outcome[1]] += 1
+        deltas[pair] = tuple(delta)
+    return deltas
+
+
+def _check_scenario(deltas: dict, outputs, n: int, count_s0: int) -> bool:
+    """Check properties 2 and 3 for one initial split (S0^a, S1^b)."""
+    majority = 0 if 2 * count_s0 > n else 1
+    start = (count_s0, n - count_s0, 0, 0)
+
+    # Reachable configurations and their (state-changing) successors.
+    reach: set = {start}
+    succs: dict = {}
+    frontier = [start]
+    while frontier:
+        next_frontier = []
+        for config in frontier:
+            targets = []
+            for (i, j), delta in deltas.items():
+                if i == j:
+                    if config[i] < 2:
+                        continue
+                elif not (config[i] and config[j]):
+                    continue
+                target = (config[0] + delta[0], config[1] + delta[1],
+                          config[2] + delta[2], config[3] + delta[3])
+                targets.append(target)
+                if target not in reach:
+                    reach.add(target)
+                    next_frontier.append(target)
+            succs[config] = targets
+        frontier = next_frontier
+
+    # Output-unanimous configurations, per output value.
+    unanimous: dict[int, set] = {0: set(), 1: set()}
+    for config in reach:
+        seen = None
+        for state in range(4):
+            if config[state]:
+                value = outputs[state]
+                if seen is None:
+                    seen = value
+                elif seen != value:
+                    seen = -1
+                    break
+        if seen in (0, 1):
+            unanimous[seen].add(config)
+
+    # Greatest fixpoints: absorbing-for-output sets C_i within reach.
+    for value in (0, 1):
+        absorbing = unanimous[value]
+        changed = True
+        while changed:
+            changed = False
+            for config in list(absorbing):
+                for target in succs[config]:
+                    if target not in absorbing:
+                        absorbing.discard(config)
+                        changed = True
+                        break
+
+    # Property 2: no reachable wrong-output absorbing configuration.
+    if unanimous[1 - majority]:
+        return False
+    # Property 3: every reachable configuration can reach C_majority.
+    goal = unanimous[majority]
+    if not goal:
+        return False
+    good = set(goal)
+    changed = True
+    while changed:
+        changed = False
+        for config in reach:
+            if config in good:
+                continue
+            for target in succs[config]:
+                if target in good:
+                    good.add(config)
+                    changed = True
+                    break
+    return len(good) == len(reach)
+
+
+def check_candidate(candidate: Candidate,
+                    sizes: Sequence[int] = (3, 5)) -> bool:
+    """Whether the candidate passes the paper's correctness properties
+    on every non-tied input split of each population size."""
+    deltas = _successor_cache(candidate.rule_dict)
+    outputs = candidate.outputs
+    for n in sizes:
+        if n < 2:
+            raise InvalidParameterError(f"census sizes must be >= 2: {n}")
+        for count_s0 in range(n + 1):
+            if 2 * count_s0 == n:
+                continue
+            if not _check_scenario(deltas, outputs, n, count_s0):
+                return False
+    return True
+
+
+@dataclass(frozen=True, slots=True)
+class CensusResult:
+    """Outcome of a census sweep."""
+
+    num_checked: int
+    survivors: tuple[Candidate, ...]
+    sizes: tuple[int, ...]
+
+    @property
+    def num_survivors(self) -> int:
+        return len(self.survivors)
+
+    @property
+    def all_survivors_slow(self) -> bool:
+        """Theorem B.1's conclusion: every surviving (correct)
+        candidate carries the discrepancy invariant, hence converges in
+        ``Omega(1/eps)`` parallel time (Claim B.8)."""
+        return all(has_discrepancy_invariant(c.rule_dict)
+                   for c in self.survivors)
+
+    @property
+    def no_survivor_has_conserved_potential(self) -> bool:
+        """Claim B.9 sanity check: a conserved potential would make a
+        candidate incorrect, so no survivor may carry one."""
+        return all(conserved_potential(c.rule_dict) is None
+                   for c in self.survivors)
+
+
+def run_census(*, sizes: Sequence[int] = (3, 5),
+               gammas: Iterable[tuple[int, int]] = ((0, 1), (1, 0),
+                                                    (0, 0), (1, 1)),
+               rule_sets: Iterable[tuple] | None = None,
+               limit: int | None = None,
+               progress=None) -> CensusResult:
+    """Sweep candidates and collect the correct ones.
+
+    Parameters
+    ----------
+    sizes:
+        Population sizes to machine-check; (3, 5) already eliminates
+        the overwhelming majority of incorrect candidates, (3, 5, 7, 9)
+        matches the constructions used in the paper's proof.
+    gammas:
+        Output assignments ``(gamma(X), gamma(Y))`` to sweep.
+    rule_sets:
+        Iterable of rule sets (defaults to the full enumeration).
+    limit:
+        Stop after this many candidates (for sampled sweeps).
+    progress:
+        Optional callable invoked as ``progress(num_checked)`` every
+        50_000 candidates.
+    """
+    survivors = []
+    num_checked = 0
+    gammas = tuple(gammas)
+    base_rule_sets = (tuple(enumerate_rule_sets())
+                      if rule_sets is None else tuple(rule_sets))
+    for rules in base_rule_sets:
+        for gamma_x, gamma_y in gammas:
+            if limit is not None and num_checked >= limit:
+                return CensusResult(num_checked, tuple(survivors),
+                                    tuple(sizes))
+            candidate = Candidate(rules=rules, gamma_x=gamma_x,
+                                  gamma_y=gamma_y)
+            num_checked += 1
+            if progress is not None and num_checked % 50_000 == 0:
+                progress(num_checked)
+            if check_candidate(candidate, sizes):
+                survivors.append(candidate)
+    return CensusResult(num_checked, tuple(survivors), tuple(sizes))
+
+
+def paper_four_state_candidate() -> Candidate:
+    """The known-correct protocol (Case 1.1 of the paper's analysis).
+
+    ``[S0,S1] -> [X,Y]``, ``[S1,X] -> [S1,Y]``, ``[S0,Y] -> [S0,X]``
+    with ``gamma(X) = 0, gamma(Y) = 1``: exactly the four-state
+    protocol of [DV12, MNRS14] with S1/Y positive and S0/X negative.
+    """
+    rules = {
+        (S0, S1): (X, Y),
+        (S1, X): (S1, Y),
+        (S0, Y): (S0, X),
+    }
+    full = tuple((pair, rules.get(pair, pair)) for pair in DISTINCT_PAIRS)
+    return Candidate(rules=full, gamma_x=0, gamma_y=1)

@@ -1,0 +1,90 @@
+"""Information-propagation experiment for Theorem C.1.
+
+The ``Omega(log n)`` lower bound tracks the set ``K_t`` of agents that
+may "know" the initial value of a decisive 3-agent seed set ``T``:
+``K_0 = T`` and an interaction adds both endpoints when exactly one of
+them is already in ``K_t``.  The theorem follows because (a) with
+probability ``1 - O(1/log^2 n)`` it takes more than ``alpha * n log n``
+interactions for ``K_t`` to cover everyone, and (b) an agent with no
+causal path from ``T`` guesses the output at best with probability
+1/2.
+
+Because only ``|K_t|`` matters, the growth is a pure-jump chain on
+``k = |K_t|``: the probability an interaction grows the set is
+``p_k = 2 k (n - k) / (n (n - 1))``, so the time to grow is geometric
+with that parameter.  This module samples the chain directly (O(n)
+per run), computes the exact expectation in closed form, and exposes
+the two as the ``thm-c1`` experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import InvalidParameterError
+from ..rng import ensure_rng
+
+__all__ = [
+    "propagation_probability",
+    "expected_propagation_steps",
+    "simulate_propagation",
+    "PropagationTrial",
+]
+
+
+def propagation_probability(n: int, k: int) -> float:
+    """Probability one interaction grows ``|K_t|`` from ``k``."""
+    if not 0 < k <= n:
+        raise InvalidParameterError(f"need 0 < k <= n, got k={k}, n={n}")
+    return 2.0 * k * (n - k) / (n * (n - 1))
+
+
+def expected_propagation_steps(n: int, seed_size: int = 3) -> float:
+    """Exact expected interactions until ``K_t`` covers all agents.
+
+    ``sum_{k=seed}^{n-1} n(n-1) / (2 k (n-k))``, which is
+    ``Theta(n log n)`` interactions, i.e. ``Theta(log n)`` parallel
+    time (this is Claim C.2's expectation, computed exactly).
+    """
+    _check_parameters(n, seed_size)
+    total_pairs = n * (n - 1)
+    return sum(total_pairs / (2.0 * k * (n - k))
+               for k in range(seed_size, n))
+
+
+@dataclass(frozen=True, slots=True)
+class PropagationTrial:
+    """One sampled propagation run."""
+
+    n: int
+    seed_size: int
+    steps: int
+
+    @property
+    def parallel_time(self) -> float:
+        return self.steps / self.n
+
+
+def simulate_propagation(n: int, *, seed_size: int = 3,
+                         rng=None) -> PropagationTrial:
+    """Sample the number of interactions until full coverage.
+
+    Uses the geometric-jump representation: from ``k`` known agents,
+    the wait until the next growth event is geometric with parameter
+    ``p_k``, and each growth adds exactly one agent.
+    """
+    _check_parameters(n, seed_size)
+    generator = ensure_rng(rng)
+    steps = 0
+    for k in range(seed_size, n):
+        probability = propagation_probability(n, k)
+        steps += int(generator.geometric(probability))
+    return PropagationTrial(n=n, seed_size=seed_size, steps=steps)
+
+
+def _check_parameters(n: int, seed_size: int) -> None:
+    if n < 2:
+        raise InvalidParameterError(f"n must be >= 2, got {n}")
+    if not 0 < seed_size <= n:
+        raise InvalidParameterError(
+            f"seed_size must be in [1, n], got {seed_size}")

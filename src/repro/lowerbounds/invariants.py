@@ -1,0 +1,75 @@
+"""Structural invariants of four-state protocols (Claims B.8 / B.9).
+
+The paper's case analysis sorts candidate four-state protocols into
+three bins:
+
+* protocols carrying the **discrepancy invariant** (Claim B.8): the
+  difference between the counts of the two input states never changes;
+  such protocols are *correct but slow* — the last minority-input agent
+  can only be cleared by meeting one of the ``eps*n + 1`` surplus
+  agents, forcing ``Omega(1/eps)`` expected parallel time;
+* protocols carrying a **conserved potential** (Claim B.9): an
+  assignment of ``{-3, -1, 1, 3}`` to the four states (with the two
+  0-output states positive) whose sum is preserved by every
+  interaction; such protocols can never converge from suitable inputs
+  and are *incorrect*;
+* everything else — eliminated by explicit reachability
+  counterexamples (which is what the census automates).
+
+This module tests both invariants mechanically for candidates in the
+census representation (see :mod:`repro.lowerbounds.four_state_search`):
+states are the integers ``S0 = 0``, ``S1 = 1``, ``X = 2``, ``Y = 3``
+and a rule set maps unordered state pairs to unordered state pairs.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+__all__ = [
+    "has_discrepancy_invariant",
+    "conserved_potential",
+    "S0",
+    "S1",
+    "X",
+    "Y",
+]
+
+S0, S1, X, Y = 0, 1, 2, 3
+
+
+def _pair_count(pair: tuple[int, int], state: int) -> int:
+    return (pair[0] == state) + (pair[1] == state)
+
+
+def has_discrepancy_invariant(rules: dict) -> bool:
+    """Claim B.8's hypothesis: ``#S0 - #S1`` is conserved by every rule.
+
+    ``rules`` maps unordered (sorted-tuple) state pairs to unordered
+    outcome pairs; unlisted pairs are no-ops (trivially conserving).
+    """
+    for before, after in rules.items():
+        balance_before = _pair_count(before, S0) - _pair_count(before, S1)
+        balance_after = _pair_count(after, S0) - _pair_count(after, S1)
+        if balance_before != balance_after:
+            return False
+    return True
+
+
+def conserved_potential(rules: dict) -> dict | None:
+    """Claim B.9's hypothesis: a conserved ``{-3,-1,1,3}`` potential.
+
+    Searches the assignments giving ``S0`` and ``X`` the positive
+    potentials (as the claim requires) and returns the first assignment
+    conserved by every rule, or ``None``.  A protocol admitting such a
+    potential violates the always-convergeable property and is
+    incorrect (Claim B.9).
+    """
+    for positive in permutations((1, 3)):
+        for negative in permutations((-1, -3)):
+            potential = {S0: positive[0], X: positive[1],
+                         S1: negative[0], Y: negative[1]}
+            if all(potential[a] + potential[b] == potential[c] + potential[d]
+                   for (a, b), (c, d) in rules.items()):
+                return potential
+    return None

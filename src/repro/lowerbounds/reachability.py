@@ -1,0 +1,144 @@
+"""Configuration-space reachability for small populations.
+
+The lower-bound arguments of Section 5 reason about *adversarial*
+schedules: what configurations can be reached under *some* sequence of
+interactions.  For small ``n`` this is a plain graph search over count
+vectors.  These utilities power the four-state census and double as a
+brute-force oracle for validating each protocol's ``is_settled``
+predicate.
+"""
+
+from __future__ import annotations
+
+from ..errors import InvalidParameterError
+from ..protocols.base import PopulationProtocol, UNDECIDED
+
+__all__ = [
+    "successors",
+    "reachable_configurations",
+    "is_absorbing_for_output",
+    "brute_force_is_settled",
+]
+
+
+def successors(protocol: PopulationProtocol,
+               config: tuple[int, ...]) -> set[tuple[int, ...]]:
+    """All configurations reachable in one (state-changing) interaction."""
+    result: set[tuple[int, ...]] = set()
+    occupied = [i for i, c in enumerate(config) if c]
+    for i in occupied:
+        for j in occupied:
+            if i == j and config[i] < 2:
+                continue
+            new_i, new_j = protocol.transition_index(i, j)
+            if (new_i, new_j) == (i, j):
+                continue
+            mutable = list(config)
+            mutable[i] -= 1
+            mutable[j] -= 1
+            mutable[new_i] += 1
+            mutable[new_j] += 1
+            result.add(tuple(mutable))
+    return result
+
+
+def reachable_configurations(protocol: PopulationProtocol,
+                             initial, *,
+                             limit: int = 1_000_000
+                             ) -> set[tuple[int, ...]]:
+    """The full reachable set from ``initial`` (counts mapping or tuple)."""
+    if isinstance(initial, tuple):
+        start = initial
+    else:
+        start = tuple(int(c) for c in protocol.counts_to_vector(initial))
+    if sum(start) < 2:
+        raise InvalidParameterError("need at least 2 agents")
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        next_frontier = []
+        for config in frontier:
+            for target in successors(protocol, config):
+                if target not in seen:
+                    if len(seen) >= limit:
+                        raise InvalidParameterError(
+                            f"reachable set exceeds limit={limit}")
+                    seen.add(target)
+                    next_frontier.append(target)
+        frontier = next_frontier
+    return seen
+
+
+def _unanimous_output(protocol: PopulationProtocol, config) -> object:
+    """The common output of a config, or ``UNDECIDED`` on disagreement."""
+    states = protocol.states
+    seen = UNDECIDED
+    for index, count in enumerate(config):
+        if not count:
+            continue
+        value = protocol.output(states[index])
+        if value is UNDECIDED:
+            return UNDECIDED
+        if seen is UNDECIDED:
+            seen = value
+        elif value != seen:
+            return UNDECIDED
+    return seen
+
+
+def is_absorbing_for_output(protocol: PopulationProtocol, config,
+                            output) -> bool:
+    """Whether every configuration reachable from ``config`` shows
+    exactly ``output`` on every agent (the paper's ``C_i`` sets)."""
+    for reached in reachable_configurations(protocol, config):
+        if _unanimous_output(protocol, reached) != output:
+            return False
+    return True
+
+
+def brute_force_is_settled(protocol: PopulationProtocol, counts) -> bool:
+    """Ground-truth *majority-style* settledness by reachability.
+
+    A configuration is settled iff it has a unanimous defined output
+    and so does every reachable configuration, with the same value.
+    Exponentially more expensive than ``protocol.is_settled`` — used
+    only to validate the fast predicates on small systems.
+    """
+    start = tuple(int(c) for c in protocol.counts_to_vector(counts))
+    target = _unanimous_output(protocol, start)
+    if target is UNDECIDED:
+        return False
+    return is_absorbing_for_output(protocol, start, target)
+
+
+def brute_force_output_stable(protocol: PopulationProtocol,
+                              counts) -> bool:
+    """Ground truth for the general settledness notion: every agent's
+    output is fixed forever.
+
+    Checked as: in every reachable configuration, every applicable
+    interaction preserves both participants' outputs agent-wise.
+    (This is what non-unanimity protocols like leader election mean by
+    settled: the one leader stays the leader, every follower stays a
+    follower.)  Undefined (``UNDECIDED``) outputs never count as
+    stable.
+    """
+    states = protocol.states
+    start = tuple(int(c) for c in protocol.counts_to_vector(counts))
+    for index, count in enumerate(start):
+        if count and protocol.output(states[index]) is UNDECIDED:
+            return False
+    for config in reachable_configurations(protocol, start):
+        occupied = [i for i, c in enumerate(config) if c]
+        for i in occupied:
+            for j in occupied:
+                if i == j and config[i] < 2:
+                    continue
+                new_i, new_j = protocol.transition_index(i, j)
+                if protocol.output(states[new_i]) \
+                        != protocol.output(states[i]):
+                    return False
+                if protocol.output(states[new_j]) \
+                        != protocol.output(states[j]):
+                    return False
+    return True

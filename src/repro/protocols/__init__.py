@@ -1,0 +1,43 @@
+"""Population protocol definitions: the abstract interface and baselines.
+
+The paper's own contribution (AVC) lives in :mod:`repro.core`; this
+package holds the shared :class:`~repro.protocols.base.PopulationProtocol`
+abstraction, the published baselines it is compared against, and
+table-driven protocols for ad-hoc definitions.
+"""
+
+from .base import (
+    MAJORITY_A,
+    MAJORITY_B,
+    UNDECIDED,
+    MajorityProtocol,
+    PopulationProtocol,
+)
+from .compose import ProductProtocol
+from .dsl import parse_protocol
+from .four_state import FourStateProtocol
+from .interval_consensus import IntervalConsensusProtocol
+from .leader_election import LeveledLeaderElection, PairwiseLeaderElection
+from .table import MajorityTableProtocol, TableProtocol
+from .three_state import ThreeStateProtocol
+from .validate import validate_protocol
+from .voter import VoterProtocol
+
+__all__ = [
+    "MAJORITY_A",
+    "MAJORITY_B",
+    "UNDECIDED",
+    "PopulationProtocol",
+    "MajorityProtocol",
+    "ThreeStateProtocol",
+    "FourStateProtocol",
+    "IntervalConsensusProtocol",
+    "PairwiseLeaderElection",
+    "LeveledLeaderElection",
+    "VoterProtocol",
+    "TableProtocol",
+    "MajorityTableProtocol",
+    "validate_protocol",
+    "parse_protocol",
+    "ProductProtocol",
+]

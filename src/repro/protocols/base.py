@@ -1,0 +1,326 @@
+"""Core abstractions for population protocols.
+
+A *population protocol* [AAD+06] is a finite state machine executed by
+``n`` indistinguishable agents.  In each discrete step the scheduler
+draws an ordered pair of distinct agents uniformly at random; both
+agents update their state through the deterministic transition function
+``delta: Q x Q -> Q x Q``.  An output function ``gamma: Q -> Y`` maps
+states to outputs.
+
+This module defines:
+
+* :class:`PopulationProtocol` -- the abstract interface every protocol
+  in the library implements.  States may be arbitrary hashable objects;
+  engines address them through dense integer indices for speed.
+* :class:`MajorityProtocol` -- the specialization for two-input majority
+  (inputs ``"A"`` / ``"B"``, outputs ``1`` / ``0``), with helpers to
+  build initial configurations from ``(n, epsilon)`` or ``(count_a,
+  count_b)``.
+
+Engines never call :meth:`PopulationProtocol.transition` directly in
+their inner loops; they use :meth:`transition_index`, which is memoized
+per ordered index pair, or :meth:`transition_matrix`, which materializes
+the full ``s x s`` table for vectorized engines.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Hashable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import InvalidParameterError, InvalidStateError, ProtocolError
+
+__all__ = [
+    "State",
+    "PopulationProtocol",
+    "MajorityProtocol",
+    "MAJORITY_A",
+    "MAJORITY_B",
+    "UNDECIDED",
+]
+
+State = Hashable
+
+# Output conventions for majority protocols (the paper's Y = {0, 1}).
+MAJORITY_A = 1  #: output value meaning "initial majority was A"
+MAJORITY_B = 0  #: output value meaning "initial majority was B"
+UNDECIDED = None  #: pseudo-output for states that do not yet map to a decision
+
+
+class PopulationProtocol(ABC):
+    """Abstract base class for population protocols.
+
+    Subclasses must provide the state space, the transition function,
+    and the output function.  The base class derives index-based views
+    used by all simulation engines.
+
+    Subclasses should treat their state space as immutable after
+    construction: the index maps and memoized transition tables are
+    built lazily and never invalidated.
+    """
+
+    #: Human-readable protocol name (subclasses override).
+    name: str = "protocol"
+
+    #: True when :meth:`is_settled` is exactly "all agents share one
+    #: defined output".  Lets engines track convergence in O(1) per
+    #: interaction; see :mod:`repro.sim.convergence`.
+    unanimity_settles: bool = False
+
+    #: True (the default contract) when :meth:`is_settled` depends only
+    #: on the *support* of the configuration — which states are
+    #: present, not their exact counts.  Engines then only re-evaluate
+    #: it when the support changes.  Protocols whose settledness is
+    #: count-sensitive (e.g. leader election's "exactly one leader")
+    #: must set this to False.
+    settled_support_only: bool = True
+
+    # ------------------------------------------------------------------
+    # Interface to implement
+    # ------------------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def states(self) -> tuple[State, ...]:
+        """The ordered tuple of all states (defines index order)."""
+
+    @abstractmethod
+    def transition(self, x: State, y: State) -> tuple[State, State]:
+        """Apply the transition function ``delta`` to an ordered pair.
+
+        Returns the updated ordered pair ``(x', y')``.  Must be
+        deterministic and total on ``states x states``.
+        """
+
+    @abstractmethod
+    def output(self, state: State):
+        """The output ``gamma(state)``; ``UNDECIDED`` if not yet mapped."""
+
+    @abstractmethod
+    def is_settled(self, counts: Mapping[State, int]) -> bool:
+        """Whether a configuration has irrevocably converged.
+
+        ``counts`` maps states to agent counts (states with zero count
+        may be omitted).  Must return ``True`` only when every agent has
+        the same, well-defined output *and* no reachable configuration
+        can ever show a different output.  Each implementation justifies
+        its predicate in its docstring and is cross-checked against
+        brute-force reachability in the test suite for small systems.
+        """
+
+    # ------------------------------------------------------------------
+    # Derived index-based views (shared by all engines)
+    # ------------------------------------------------------------------
+
+    @property
+    def num_states(self) -> int:
+        """Number of states ``s = |Q|``."""
+        return len(self.states)
+
+    @property
+    def state_index(self) -> dict[State, int]:
+        """Mapping from state object to its dense index."""
+        cached = getattr(self, "_state_index_cache", None)
+        if cached is None:
+            cached = {state: i for i, state in enumerate(self.states)}
+            if len(cached) != len(self.states):
+                raise ProtocolError(
+                    f"{self.name}: duplicate states in state space")
+            self._state_index_cache = cached
+        return cached
+
+    def index_of(self, state: State) -> int:
+        """Dense index of ``state``; raises if unknown."""
+        try:
+            return self.state_index[state]
+        except KeyError:
+            raise InvalidStateError(
+                f"{state!r} is not a state of protocol {self.name}") from None
+
+    def transition_index(self, i: int, j: int) -> tuple[int, int]:
+        """Index-space transition, memoized per ordered pair.
+
+        Memoization keeps engines fast for protocols whose transition is
+        computed (AVC) rather than tabulated, without ever materializing
+        the full ``s^2`` table for large state spaces.
+        """
+        cache = getattr(self, "_transition_cache", None)
+        if cache is None:
+            cache = {}
+            self._transition_cache = cache
+        key = (i, j)
+        result = cache.get(key)
+        if result is None:
+            states = self.states
+            new_x, new_y = self.transition(states[i], states[j])
+            result = (self.index_of(new_x), self.index_of(new_y))
+            cache[key] = result
+        return result
+
+    def transition_matrix(self) -> tuple[np.ndarray, np.ndarray]:
+        """Materialize the full transition table as two ``s x s`` arrays.
+
+        Returns ``(out_x, out_y)`` where ``out_x[i, j]`` / ``out_y[i,
+        j]`` are the indices of the updated states when an agent in
+        state ``i`` initiates with an agent in state ``j``.  Intended
+        for protocols with small state spaces; guarded to avoid
+        accidentally allocating gigantic tables.
+        """
+        s = self.num_states
+        if s > 4096:
+            raise ProtocolError(
+                f"{self.name}: refusing to materialize a {s}x{s} transition "
+                "table; use transition_index() for large state spaces")
+        out_x = np.empty((s, s), dtype=np.int64)
+        out_y = np.empty((s, s), dtype=np.int64)
+        for i in range(s):
+            for j in range(s):
+                out_x[i, j], out_y[i, j] = self.transition_index(i, j)
+        return out_x, out_y
+
+    def make_batch_kernel(self):
+        """A vectorized pairwise-transition kernel for the batch engine.
+
+        Returns a callable mapping two equal-length arrays of state
+        indices to the arrays of updated indices.  The default
+        implementation fancy-indexes the dense transition table and is
+        only suitable for small state spaces; protocols with large or
+        structured state spaces (AVC) override it with arithmetic
+        kernels.
+        """
+        out_x, out_y = self.transition_matrix()
+
+        def kernel(index_x, index_y):
+            return out_x[index_x, index_y], out_y[index_x, index_y]
+
+        return kernel
+
+    def output_array(self) -> np.ndarray:
+        """Outputs per state index, with ``UNDECIDED`` encoded as ``-1``."""
+        outputs = np.empty(self.num_states, dtype=np.int64)
+        for i, state in enumerate(self.states):
+            value = self.output(state)
+            outputs[i] = -1 if value is UNDECIDED else int(value)
+        return outputs
+
+    # ------------------------------------------------------------------
+    # Count-vector helpers
+    # ------------------------------------------------------------------
+
+    def counts_to_vector(self, counts: Mapping[State, int]) -> np.ndarray:
+        """Convert a state->count mapping into a dense count vector."""
+        vector = np.zeros(self.num_states, dtype=np.int64)
+        for state, count in counts.items():
+            if count < 0:
+                raise InvalidParameterError(
+                    f"negative count {count} for state {state!r}")
+            vector[self.index_of(state)] = count
+        return vector
+
+    def vector_to_counts(self, vector: Sequence[int]) -> dict[State, int]:
+        """Convert a dense count vector back into a sparse mapping."""
+        if len(vector) != self.num_states:
+            raise InvalidParameterError(
+                f"count vector has length {len(vector)}, "
+                f"expected {self.num_states}")
+        states = self.states
+        return {states[i]: int(c) for i, c in enumerate(vector) if c}
+
+    def is_settled_vector(self, vector: Sequence[int]) -> bool:
+        """:meth:`is_settled` on a dense count vector."""
+        return self.is_settled(self.vector_to_counts(vector))
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} s={self.num_states}>"
+
+
+class MajorityProtocol(PopulationProtocol):
+    """A population protocol computing two-input majority.
+
+    Inputs are the symbols ``"A"`` and ``"B"``; the goal output is
+    :data:`MAJORITY_A` (= 1) when strictly more agents start in A, and
+    :data:`MAJORITY_B` (= 0) when strictly more start in B.
+    """
+
+    INPUT_A = "A"
+    INPUT_B = "B"
+
+    @abstractmethod
+    def initial_state(self, symbol: str) -> State:
+        """The starting state for an agent with input ``symbol``."""
+
+    # ------------------------------------------------------------------
+    # Initial-configuration builders
+    # ------------------------------------------------------------------
+
+    def initial_counts(self, count_a: int, count_b: int) -> dict[State, int]:
+        """Initial configuration with ``count_a`` A-agents, ``count_b`` B."""
+        if count_a < 0 or count_b < 0:
+            raise InvalidParameterError(
+                f"counts must be non-negative, got ({count_a}, {count_b})")
+        state_a = self.initial_state(self.INPUT_A)
+        state_b = self.initial_state(self.INPUT_B)
+        if state_a == state_b:
+            raise ProtocolError(
+                f"{self.name}: inputs A and B map to the same state")
+        counts: dict[State, int] = {}
+        if count_a:
+            counts[state_a] = count_a
+        if count_b:
+            counts[state_b] = count_b
+        return counts
+
+    def initial_counts_for_margin(self, n: int, epsilon: float,
+                                  majority: str = "A") -> dict[State, int]:
+        """Initial configuration of ``n`` agents with relative advantage
+        ``epsilon`` in favour of ``majority``.
+
+        The advantage in *agents* is ``round(epsilon * n)`` and must be
+        at least 1 and at most ``n``, with ``n + advantage`` even so the
+        split is integral (choose ``n`` odd for ``epsilon = 1/n``).
+        """
+        if n <= 0:
+            raise InvalidParameterError(f"n must be positive, got {n}")
+        if majority not in (self.INPUT_A, self.INPUT_B):
+            raise InvalidParameterError(
+                f"majority must be 'A' or 'B', got {majority!r}")
+        advantage = round(epsilon * n)
+        if advantage < 1 or advantage > n:
+            raise InvalidParameterError(
+                f"epsilon={epsilon} gives advantage {advantage} "
+                f"outside [1, {n}]")
+        if (n + advantage) % 2:
+            raise InvalidParameterError(
+                f"n={n} with advantage {advantage} does not split into "
+                "integer counts; adjust n or epsilon")
+        larger = (n + advantage) // 2
+        smaller = n - larger
+        if majority == self.INPUT_A:
+            return self.initial_counts(larger, smaller)
+        return self.initial_counts(smaller, larger)
+
+    # ------------------------------------------------------------------
+    # Decision inspection
+    # ------------------------------------------------------------------
+
+    def decision(self, counts: Mapping[State, int]):
+        """The unanimous output of a configuration, if any.
+
+        Returns :data:`MAJORITY_A`, :data:`MAJORITY_B`, or
+        :data:`UNDECIDED` when agents disagree or some agent's state has
+        no output yet.  States with zero count are ignored.
+        """
+        seen = None
+        for state, count in counts.items():
+            if not count:
+                continue
+            value = self.output(state)
+            if value is UNDECIDED:
+                return UNDECIDED
+            if seen is None:
+                seen = value
+            elif value != seen:
+                return UNDECIDED
+        return seen

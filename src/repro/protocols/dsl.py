@@ -1,0 +1,129 @@
+"""A tiny textual DSL for population protocols.
+
+Protocols in the literature are published as short rule lists; this
+module lets you paste them nearly verbatim::
+
+    from repro.protocols.dsl import parse_protocol
+
+    THREE_STATE = '''
+    # [AAE08, PVV09] approximate majority
+    states:  A B _
+    inputs:  A B
+    outputs: A=1 B=0
+
+    A + B -> A + _
+    B + A -> B + _
+    A + _ -> A + A
+    B + _ -> B + B
+    '''
+    protocol = parse_protocol(THREE_STATE, name="three-state-dsl")
+
+Format:
+
+* ``states:`` — whitespace-separated state names (required, first);
+* ``inputs:`` — the starting states for inputs A and B (optional;
+  with it you get a :class:`~repro.protocols.table.MajorityTableProtocol`,
+  without it a plain :class:`~repro.protocols.table.TableProtocol`);
+* ``outputs:`` — ``state=0`` / ``state=1`` assignments (states not
+  listed are undecided);
+* rule lines ``X + Y -> X' + Y''`` — **ordered** (initiator first).
+  Pairs without a rule are no-ops; writing both orientations (as
+  above) expresses a symmetric rule explicitly, or use ``X + Y <->
+  X' + Y''`` as shorthand for the rule plus its mirrored orientation
+  ``Y + X -> Y'' + X'``;
+* ``#`` starts a comment; blank lines are ignored.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import ProtocolError
+from .table import MajorityTableProtocol, TableProtocol
+
+__all__ = ["parse_protocol"]
+
+_RULE = re.compile(
+    r"^(?P<x>\S+)\s*\+\s*(?P<y>\S+)\s*(?P<arrow><->|->)\s*"
+    r"(?P<new_x>\S+)\s*\+\s*(?P<new_y>\S+)$")
+_OUTPUT = re.compile(r"^(?P<state>\S+)\s*=\s*(?P<value>[01])$")
+
+
+def _strip(line: str) -> str:
+    return line.split("#", 1)[0].strip()
+
+
+def parse_protocol(text: str, *, name: str = "dsl"):
+    """Parse a protocol description; see the module docstring.
+
+    Returns a :class:`MajorityTableProtocol` when ``inputs:`` is
+    given, else a :class:`TableProtocol`.  Raises
+    :class:`~repro.errors.ProtocolError` with the offending line on
+    any syntax or consistency problem.
+    """
+    states: tuple[str, ...] | None = None
+    inputs: tuple[str, str] | None = None
+    outputs: dict[str, int] = {}
+    transitions: dict[tuple[str, str], tuple[str, str]] = {}
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = _strip(raw_line)
+        if not line:
+            continue
+
+        def fail(message: str):
+            raise ProtocolError(
+                f"{name}: line {line_number}: {message}: {raw_line!r}")
+
+        if line.startswith("states:"):
+            if states is not None:
+                fail("duplicate states: declaration")
+            states = tuple(line[len("states:"):].split())
+            if not states:
+                fail("states: needs at least one state")
+            continue
+        if states is None:
+            fail("states: must come before everything else")
+        if line.startswith("inputs:"):
+            parts = line[len("inputs:"):].split()
+            if len(parts) != 2:
+                fail("inputs: needs exactly two states (for A and B)")
+            inputs = (parts[0], parts[1])
+            continue
+        if line.startswith("outputs:"):
+            for assignment in line[len("outputs:"):].split():
+                match = _OUTPUT.match(assignment)
+                if not match:
+                    fail(f"bad output assignment {assignment!r}")
+                outputs[match["state"]] = int(match["value"])
+            continue
+        match = _RULE.match(line)
+        if not match:
+            fail("expected 'X + Y -> X' + Y'' (or <->)")
+        rule_states = (match["x"], match["y"],
+                       match["new_x"], match["new_y"])
+        for state in rule_states:
+            if state not in states:
+                fail(f"unknown state {state!r}")
+        key = (match["x"], match["y"])
+        value = (match["new_x"], match["new_y"])
+        if key in transitions and transitions[key] != value:
+            fail(f"conflicting rule for {key}")
+        transitions[key] = value
+        if match["arrow"] == "<->":
+            mirror_key = (match["y"], match["x"])
+            mirror_value = (match["new_y"], match["new_x"])
+            if mirror_key in transitions \
+                    and transitions[mirror_key] != mirror_value:
+                fail(f"conflicting mirrored rule for {mirror_key}")
+            transitions[mirror_key] = mirror_value
+
+    if states is None:
+        raise ProtocolError(f"{name}: missing states: declaration")
+    if inputs is not None:
+        return MajorityTableProtocol(
+            states, transitions, outputs,
+            input_a=inputs[0], input_b=inputs[1],
+            name=name, symmetric=False)
+    return TableProtocol(states, transitions, outputs, name=name,
+                         symmetric=False)

@@ -1,0 +1,104 @@
+"""The four-state *exact* majority protocol [DV12, MNRS14].
+
+Each agent carries a sign (its tentative opinion) and a binary weight:
+*strong* states ``+1`` / ``-1`` and *weak* states ``+0`` / ``-0``.
+Agents start strong.  The dynamics:
+
+====================  =====================
+interaction (x, y)    result (x', y')
+====================  =====================
+(+1, -1) / (-1, +1)   both downgraded to weak, keeping their signs
+(s0, +1)              (+0, +1)  -- a weak agent adopts a strong sign
+(s0, -1)              (-0, -1)
+anything else         unchanged
+====================  =====================
+
+where ``s0`` is any weak state.  The total signed sum of values is
+invariant, so the protocol never converges to the initial minority;
+convergence takes ``O(log n / eps)`` expected parallel time on the
+clique [DV12] — *linear* in ``n`` when the margin is one agent
+(``eps = 1/n``), which is exactly the regime Figure 3 exercises.
+
+This protocol coincides with the AVC protocol at ``m = 1, d = 1`` (see
+``tests/core/test_avc_four_state_equiv.py`` for the machine-checked
+equivalence).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from .base import MAJORITY_A, MAJORITY_B, MajorityProtocol, State
+
+__all__ = [
+    "FourStateProtocol",
+    "STRONG_PLUS",
+    "STRONG_MINUS",
+    "WEAK_PLUS",
+    "WEAK_MINUS",
+]
+
+STRONG_PLUS = "+1"
+STRONG_MINUS = "-1"
+WEAK_PLUS = "+0"
+WEAK_MINUS = "-0"
+
+_STATES = (STRONG_PLUS, STRONG_MINUS, WEAK_PLUS, WEAK_MINUS)
+_SIGN = {STRONG_PLUS: 1, WEAK_PLUS: 1, STRONG_MINUS: -1, WEAK_MINUS: -1}
+_STRONG = {STRONG_PLUS, STRONG_MINUS}
+_WEAK = {WEAK_PLUS, WEAK_MINUS}
+
+
+class FourStateProtocol(MajorityProtocol):
+    """Exact majority with four states [DV12, MNRS14]."""
+
+    name = "four-state"
+    unanimity_settles = True
+
+    @property
+    def states(self) -> tuple[State, ...]:
+        return _STATES
+
+    def initial_state(self, symbol: str) -> State:
+        if symbol == self.INPUT_A:
+            return STRONG_PLUS
+        if symbol == self.INPUT_B:
+            return STRONG_MINUS
+        raise ValueError(f"unknown input symbol {symbol!r}")
+
+    def transition(self, x: State, y: State) -> tuple[State, State]:
+        if {x, y} == _STRONG:
+            # Opposite strong states annihilate into weak states.
+            return (WEAK_PLUS if x == STRONG_PLUS else WEAK_MINUS,
+                    WEAK_PLUS if y == STRONG_PLUS else WEAK_MINUS)
+        if x in _WEAK and y in _STRONG:
+            return (WEAK_PLUS if y == STRONG_PLUS else WEAK_MINUS), y
+        if y in _WEAK and x in _STRONG:
+            return x, (WEAK_PLUS if x == STRONG_PLUS else WEAK_MINUS)
+        return x, y
+
+    def output(self, state: State):
+        return MAJORITY_A if _SIGN[state] > 0 else MAJORITY_B
+
+    def sign(self, state: State) -> int:
+        """The sign (+1 / -1) carried by ``state``."""
+        return _SIGN[state]
+
+    def value(self, state: State) -> int:
+        """The signed value (weight times sign) encoded by ``state``."""
+        weight = 1 if state in _STRONG else 0
+        return _SIGN[state] * weight
+
+    def is_settled(self, counts: Mapping[State, int]) -> bool:
+        """Settled iff all agents carry the same sign.
+
+        An all-positive configuration only contains ``+1`` and ``+0``;
+        the only non-trivial interactions require a strong and a weak
+        state of *opposite* signs or two opposite strong states, so the
+        configuration is absorbing (symmetrically for all-negative).
+        Conversely, while both signs are present the outputs disagree.
+        The predicate is therefore exact.
+        """
+        positive = counts.get(STRONG_PLUS, 0) + counts.get(WEAK_PLUS, 0)
+        negative = counts.get(STRONG_MINUS, 0) + counts.get(WEAK_MINUS, 0)
+        return (positive == 0) != (negative == 0)

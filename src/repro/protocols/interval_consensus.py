@@ -1,0 +1,98 @@
+"""Binary interval consensus: the general-graph exact 4-state protocol.
+
+The paper describes the four-state protocol in its clique form (weak
+agents flip their sign *in place* when meeting a strong agent).  That
+form is exact on the complete graph but **not** on general graphs:
+on a star, two opposite strong *leaves* can never interact, so the
+configuration deadlocks with both signs present
+(``tests/sim/test_agent_engine.py`` demonstrates this).
+
+[DV12] analyze the general-graph protocol — *binary interval
+consensus* — in which strong states travel: when a strong agent meets
+a weak one, the strong token **moves** to the weak agent's node (and
+the vacated node keeps a weak state of the strong sign):
+
+====================  =====================
+interaction (x, y)    result (x', y')
+====================  =====================
+(+1, -1) / (-1, +1)   (+0, -0) / (-0, +0)  — annihilation
+(+1, w)  for weak w   (+0, +1)             — the token random-walks
+(-1, w)  for weak w   (-0, -1)
+(w, +1)               (+1, +0)
+(w, -1)               (-1, -0)
+anything else         unchanged
+====================  =====================
+
+On the clique the chain on *configurations* is exactly the paper's
+four-state protocol (tokens are interchangeable), so all clique
+results carry over; on a general connected graph the strong tokens
+perform random walks, guaranteeing the eventual meetings the proof of
+exactness needs.  [DV12] bound the convergence time by the spectral
+gap of the interaction-rate matrices.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from .base import MAJORITY_A, MAJORITY_B, MajorityProtocol, State
+from .four_state import (
+    STRONG_MINUS,
+    STRONG_PLUS,
+    WEAK_MINUS,
+    WEAK_PLUS,
+)
+
+__all__ = ["IntervalConsensusProtocol"]
+
+_STATES = (STRONG_PLUS, STRONG_MINUS, WEAK_PLUS, WEAK_MINUS)
+_SIGN = {STRONG_PLUS: 1, WEAK_PLUS: 1, STRONG_MINUS: -1, WEAK_MINUS: -1}
+_STRONG = {STRONG_PLUS, STRONG_MINUS}
+_WEAK = {WEAK_PLUS, WEAK_MINUS}
+
+
+class IntervalConsensusProtocol(MajorityProtocol):
+    """Exact majority on arbitrary connected graphs [DV12]."""
+
+    name = "interval-consensus"
+    unanimity_settles = True
+
+    @property
+    def states(self) -> tuple[State, ...]:
+        return _STATES
+
+    def initial_state(self, symbol: str) -> State:
+        if symbol == self.INPUT_A:
+            return STRONG_PLUS
+        if symbol == self.INPUT_B:
+            return STRONG_MINUS
+        raise ValueError(f"unknown input symbol {symbol!r}")
+
+    def transition(self, x: State, y: State) -> tuple[State, State]:
+        if {x, y} == _STRONG:
+            return (WEAK_PLUS if x == STRONG_PLUS else WEAK_MINUS,
+                    WEAK_PLUS if y == STRONG_PLUS else WEAK_MINUS)
+        if x in _STRONG and y in _WEAK:
+            return (WEAK_PLUS if x == STRONG_PLUS else WEAK_MINUS), x
+        if y in _STRONG and x in _WEAK:
+            return y, (WEAK_PLUS if y == STRONG_PLUS else WEAK_MINUS)
+        return x, y
+
+    def output(self, state: State):
+        return MAJORITY_A if _SIGN[state] > 0 else MAJORITY_B
+
+    def sign(self, state: State) -> int:
+        """The sign (+1 / -1) carried by ``state``."""
+        return _SIGN[state]
+
+    def is_settled(self, counts: Mapping[State, int]) -> bool:
+        """Settled iff all agents carry the same sign.
+
+        Same argument as for the clique four-state protocol: an
+        all-positive configuration only permits annihilation-free,
+        sign-preserving interactions (token moves between same-sign
+        agents), so it is absorbing on every graph.
+        """
+        positive = counts.get(STRONG_PLUS, 0) + counts.get(WEAK_PLUS, 0)
+        negative = counts.get(STRONG_MINUS, 0) + counts.get(WEAK_MINUS, 0)
+        return (positive == 0) != (negative == 0)

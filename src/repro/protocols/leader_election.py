@@ -1,0 +1,136 @@
+"""Leader election protocols — the paper's closing open question.
+
+Section 6 asks "whether the average-and-conquer technique would also
+be useful in the context of other problems, such as leader election in
+population protocols".  This module provides the baseline protocols
+that question is asked against:
+
+* :class:`PairwiseLeaderElection` — the folklore two-state protocol:
+  everyone starts as a leader; when two leaders meet, the responder is
+  demoted.  Exactly one leader survives (leaders can only disappear in
+  pairs minus one), after expected ``Theta(n)`` parallel time: the
+  last two leaders need ``~n^2 / 2`` interactions to find each other.
+* :class:`LeveledLeaderElection` — leaders additionally carry a level
+  in ``0 .. levels-1``.  A higher-level leader demotes a lower-level
+  one on contact; two same-level leaders promote the initiator (up to
+  the cap) and demote the responder.  Followers remember nothing.
+  Levels thin the leader population faster early on (a known
+  heuristic from the leader-election literature), but the final
+  leader-meets-leader coupon still costs ``Theta(n)`` — matching the
+  intuition that averaging-style tricks speed the *bulk* phase, not
+  the *endgame*.
+
+Unlike the majority protocols, settledness here is *count-sensitive*
+("exactly one leader"), so these classes set
+``settled_support_only = False`` (see
+:class:`~repro.protocols.base.PopulationProtocol`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from ..errors import InvalidParameterError
+from .base import PopulationProtocol, State
+
+__all__ = ["PairwiseLeaderElection", "LeveledLeaderElection",
+           "FOLLOWER", "LEADER_OUTPUT", "FOLLOWER_OUTPUT"]
+
+FOLLOWER = "F"
+LEADER_OUTPUT = 1
+FOLLOWER_OUTPUT = 0
+
+
+class _LeaderElectionBase(PopulationProtocol):
+    """Shared scaffolding: outputs, settledness, initial configs."""
+
+    unanimity_settles = False
+    settled_support_only = False
+
+    def is_leader(self, state: State) -> bool:
+        return state != FOLLOWER
+
+    def output(self, state: State):
+        return LEADER_OUTPUT if self.is_leader(state) else FOLLOWER_OUTPUT
+
+    def initial_counts(self, n: int) -> dict[State, int]:
+        """Everyone starts as a (level-0) leader."""
+        if n < 1:
+            raise InvalidParameterError(f"n must be >= 1, got {n}")
+        return {self.initial_state(): n}
+
+    def initial_state(self) -> State:
+        raise NotImplementedError
+
+    def num_leaders(self, counts: Mapping[State, int]) -> int:
+        """Number of agents currently in a leader state."""
+        return sum(count for state, count in counts.items()
+                   if self.is_leader(state) and count)
+
+    def is_settled(self, counts: Mapping[State, int]) -> bool:
+        """Settled iff exactly one leader remains.
+
+        Leader-leader interactions are the only transitions, and each
+        removes exactly one leader, so the leader count is
+        non-increasing, never skips below one, and a single leader can
+        never be demoted — one leader is absorbing and exact.
+        """
+        return self.num_leaders(counts) == 1
+
+
+class PairwiseLeaderElection(_LeaderElectionBase):
+    """Two states: leader or follower; leaders demote each other."""
+
+    name = "leader-election"
+
+    _LEADER = "L"
+    _STATES = (_LEADER, FOLLOWER)
+
+    @property
+    def states(self) -> tuple[State, ...]:
+        return self._STATES
+
+    def initial_state(self) -> State:
+        return self._LEADER
+
+    def transition(self, x: State, y: State) -> tuple[State, State]:
+        if x == self._LEADER and y == self._LEADER:
+            return self._LEADER, FOLLOWER
+        return x, y
+
+
+class LeveledLeaderElection(_LeaderElectionBase):
+    """Leaders carry levels; higher level wins, ties promote.
+
+    ``levels`` is the number of distinct leader levels (``1`` recovers
+    :class:`PairwiseLeaderElection` up to state names).
+    """
+
+    def __init__(self, levels: int = 4):
+        if levels < 1:
+            raise InvalidParameterError(
+                f"levels must be >= 1, got {levels}")
+        self.levels = levels
+        self.name = f"leader-election(levels={levels})"
+        self._states = tuple(f"L{k}" for k in range(levels)) + (FOLLOWER,)
+
+    @property
+    def states(self) -> tuple[State, ...]:
+        return self._states
+
+    def initial_state(self) -> State:
+        return "L0"
+
+    def _level(self, state: State) -> int:
+        return int(state[1:])
+
+    def transition(self, x: State, y: State) -> tuple[State, State]:
+        if not (self.is_leader(x) and self.is_leader(y)):
+            return x, y
+        level_x, level_y = self._level(x), self._level(y)
+        if level_x > level_y:
+            return x, FOLLOWER
+        if level_y > level_x:
+            return FOLLOWER, y
+        promoted = min(level_x + 1, self.levels - 1)
+        return f"L{promoted}", FOLLOWER

@@ -1,0 +1,166 @@
+"""Table-driven population protocols.
+
+:class:`TableProtocol` turns an explicit transition table into a
+full :class:`~repro.protocols.base.PopulationProtocol`, which makes it
+easy to
+
+* define small custom protocols without writing a class,
+* wrap the candidate protocols enumerated by the four-state census
+  (:mod:`repro.lowerbounds.four_state_search`) so they can be run on
+  any simulation engine, and
+* express protocols from the literature verbatim from their published
+  rule lists.
+
+Unspecified pairs default to the identity interaction.  Transitions may
+be given for *unordered* pairs (``symmetric=True``, the common case in
+the population-protocols literature): the table entry for ``{x, y}``
+is applied with the initiator receiving the first output state.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from ..errors import InvalidParameterError, InvalidStateError
+from .base import MAJORITY_A, MAJORITY_B, MajorityProtocol, State, UNDECIDED
+
+__all__ = ["TableProtocol", "MajorityTableProtocol"]
+
+
+def _normalize_table(states, table, symmetric):
+    """Expand a (possibly unordered) transition table to ordered form."""
+    state_set = set(states)
+    ordered: dict[tuple[State, State], tuple[State, State]] = {}
+    for (x, y), (new_x, new_y) in table.items():
+        for state in (x, y, new_x, new_y):
+            if state not in state_set:
+                raise InvalidStateError(
+                    f"transition table mentions unknown state {state!r}")
+        ordered[(x, y)] = (new_x, new_y)
+        if symmetric and (y, x) not in table:
+            ordered[(y, x)] = (new_y, new_x)
+    return ordered
+
+
+class TableProtocol(MajorityProtocol):
+    """A population protocol defined by an explicit transition table.
+
+    Parameters
+    ----------
+    states:
+        The ordered state space.
+    transitions:
+        Mapping from ordered (or unordered, with ``symmetric=True``)
+        state pairs to updated state pairs.  Missing pairs are no-ops.
+    outputs:
+        Mapping from state to output (0, 1, or ``None`` for undecided).
+        Missing states are undecided.
+    name:
+        Optional protocol name for diagnostics.
+    symmetric:
+        Whether ``transitions`` keys denote unordered pairs.
+    """
+
+    def __init__(self, states, transitions, outputs, *,
+                 name: str = "table", symmetric: bool = True):
+        self._states = tuple(states)
+        if len(set(self._states)) != len(self._states):
+            raise InvalidParameterError("duplicate states in state space")
+        self._table = _normalize_table(self._states, transitions, symmetric)
+        self._outputs = dict(outputs)
+        self.name = name
+
+    @property
+    def states(self) -> tuple[State, ...]:
+        return self._states
+
+    def initial_state(self, symbol: str) -> State:
+        raise InvalidParameterError(
+            f"{self.name}: plain TableProtocol has no designated inputs; "
+            "use MajorityTableProtocol for majority experiments")
+
+    def transition(self, x: State, y: State) -> tuple[State, State]:
+        return self._table.get((x, y), (x, y))
+
+    def output(self, state: State):
+        return self._outputs.get(state, UNDECIDED)
+
+    # ------------------------------------------------------------------
+    # Settledness via support closure
+    # ------------------------------------------------------------------
+
+    def support_closure(self, support: frozenset) -> frozenset:
+        """All states that can ever appear given the present states.
+
+        The closure of ``support`` under pairwise transitions is a
+        superset of every state occurring in any reachable
+        configuration (it ignores counts, so it may be strict).
+        """
+        closure = set(support)
+        frontier = list(closure)
+        while frontier:
+            next_frontier = []
+            snapshot = list(closure)
+            for x in frontier:
+                for y in snapshot:
+                    for pair in ((x, y), (y, x)):
+                        for new in self._table.get(pair, pair):
+                            if new not in closure:
+                                closure.add(new)
+                                next_frontier.append(new)
+            frontier = next_frontier
+        return frozenset(closure)
+
+    def is_settled(self, counts: Mapping[State, int]) -> bool:
+        """Sound (possibly conservative) settledness test.
+
+        Settled when every state in the *support closure* of the
+        present states carries the same defined output: then no
+        reachable configuration can ever show a different output.  The
+        test ignores counts, so it can report ``False`` for
+        configurations that are settled only for counting reasons; for
+        exact answers on small systems use
+        :mod:`repro.lowerbounds.reachability`.
+        """
+        support = frozenset(s for s, c in counts.items() if c)
+        if not support:
+            return False
+        closure = self.support_closure(support)
+        outputs = {self._outputs.get(state, UNDECIDED) for state in closure}
+        if UNDECIDED in outputs:
+            return False
+        return len(outputs) == 1
+
+
+class MajorityTableProtocol(TableProtocol):
+    """A :class:`TableProtocol` with designated majority inputs.
+
+    ``input_a`` / ``input_b`` are the starting states for inputs A / B;
+    their outputs must be :data:`MAJORITY_A` / :data:`MAJORITY_B` (as
+    required for correctness on a single-agent population).
+    """
+
+    def __init__(self, states, transitions, outputs, *,
+                 input_a: State, input_b: State,
+                 name: str = "table-majority", symmetric: bool = True):
+        super().__init__(states, transitions, outputs,
+                         name=name, symmetric=symmetric)
+        if input_a not in self._states or input_b not in self._states:
+            raise InvalidStateError("designated inputs must be states")
+        if input_a == input_b:
+            raise InvalidParameterError("inputs A and B must differ")
+        if self.output(input_a) != MAJORITY_A:
+            raise InvalidParameterError(
+                f"gamma({input_a!r}) must be {MAJORITY_A} (output for A)")
+        if self.output(input_b) != MAJORITY_B:
+            raise InvalidParameterError(
+                f"gamma({input_b!r}) must be {MAJORITY_B} (output for B)")
+        self._input_a = input_a
+        self._input_b = input_b
+
+    def initial_state(self, symbol: str) -> State:
+        if symbol == self.INPUT_A:
+            return self._input_a
+        if symbol == self.INPUT_B:
+            return self._input_b
+        raise ValueError(f"unknown input symbol {symbol!r}")

@@ -1,0 +1,90 @@
+"""The three-state *approximate* majority protocol [AAE08, PVV09].
+
+States are ``"A"``, ``"B"``, and the undecided blank state ``"_"``.
+When an A meets a B, the initiator converts the responder to blank;
+when a decided agent meets a blank, the blank adopts the decided
+agent's opinion:
+
+====================  =====================
+interaction (x, y)    result (x', y')
+====================  =====================
+(A, B)                (A, _)
+(B, A)                (B, _)
+(A, _) / (_, A)       (A, A)
+(B, _) / (_, B)       (B, B)
+anything else         unchanged
+====================  =====================
+
+The protocol converges in ``O(log n)`` parallel time w.h.p. when the
+initial margin is ``eps*n = omega(sqrt(n log n))`` but *may converge to
+the wrong opinion*: the error probability is
+``exp(-n * D((1+eps)/2 || 1/2))`` [PVV09], which is sizable for small
+margins.  Figure 3 (right) of the paper measures exactly this error
+fraction; :func:`repro.analysis.theory.three_state_error_probability`
+implements the closed form.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from .base import MAJORITY_A, MAJORITY_B, UNDECIDED, MajorityProtocol, State
+
+__all__ = ["ThreeStateProtocol", "STATE_A", "STATE_B", "STATE_BLANK"]
+
+STATE_A = "A"
+STATE_B = "B"
+STATE_BLANK = "_"
+
+_STATES = (STATE_A, STATE_B, STATE_BLANK)
+
+
+class ThreeStateProtocol(MajorityProtocol):
+    """Approximate majority with three states [AAE08, PVV09]."""
+
+    name = "three-state"
+    unanimity_settles = True
+
+    @property
+    def states(self) -> tuple[State, ...]:
+        return _STATES
+
+    def initial_state(self, symbol: str) -> State:
+        if symbol == self.INPUT_A:
+            return STATE_A
+        if symbol == self.INPUT_B:
+            return STATE_B
+        raise ValueError(f"unknown input symbol {symbol!r}")
+
+    def transition(self, x: State, y: State) -> tuple[State, State]:
+        if x == STATE_A and y == STATE_B:
+            return STATE_A, STATE_BLANK
+        if x == STATE_B and y == STATE_A:
+            return STATE_B, STATE_BLANK
+        if y == STATE_BLANK and x in (STATE_A, STATE_B):
+            return x, x
+        if x == STATE_BLANK and y in (STATE_A, STATE_B):
+            return y, y
+        return x, y
+
+    def output(self, state: State):
+        if state == STATE_A:
+            return MAJORITY_A
+        if state == STATE_B:
+            return MAJORITY_B
+        return UNDECIDED
+
+    def is_settled(self, counts: Mapping[State, int]) -> bool:
+        """Settled iff every agent is A, or every agent is B.
+
+        Both all-A and all-B configurations are absorbing (every
+        interaction among equal decided states is a no-op), and any
+        configuration containing two different states among {A, B, _}
+        still has state-changing interactions available, so this
+        predicate is exact.  Note that "settled" does not imply
+        *correct*: the protocol may settle on the initial minority.
+        """
+        a = counts.get(STATE_A, 0)
+        b = counts.get(STATE_B, 0)
+        blank = counts.get(STATE_BLANK, 0)
+        return blank == 0 and (a == 0 or b == 0) and (a + b) > 0

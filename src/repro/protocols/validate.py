@@ -1,0 +1,127 @@
+"""Validation for user-defined population protocols.
+
+The engines assume several properties that a hand-written
+:class:`~repro.protocols.base.PopulationProtocol` can silently
+violate: the transition function must be total and closed over the
+declared state space, outputs must be 0/1/undecided, and the
+``is_settled`` predicate must be *sound* (never claim settledness a
+future interaction could undo) and honor its declared
+support-only/unanimity shortcuts.  :func:`validate_protocol` checks
+all of this exhaustively on small populations and raises
+:class:`~repro.errors.ProtocolError` with a precise description on the
+first violation — run it once in a test before trusting a new
+protocol on million-step simulations.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..errors import ProtocolError
+from ..lowerbounds.reachability import (
+    brute_force_is_settled,
+    brute_force_output_stable,
+)
+from .base import MajorityProtocol, PopulationProtocol, UNDECIDED
+
+__all__ = ["validate_protocol"]
+
+
+def _check_transition_closure(protocol: PopulationProtocol) -> None:
+    states = protocol.states
+    known = set(states)
+    for x, y in itertools.product(states, repeat=2):
+        try:
+            result = protocol.transition(x, y)
+        except Exception as error:
+            raise ProtocolError(
+                f"{protocol.name}: transition({x!r}, {y!r}) raised "
+                f"{error!r}") from error
+        if not isinstance(result, tuple) or len(result) != 2:
+            raise ProtocolError(
+                f"{protocol.name}: transition({x!r}, {y!r}) must return "
+                f"a pair, got {result!r}")
+        for new in result:
+            if new not in known:
+                raise ProtocolError(
+                    f"{protocol.name}: transition({x!r}, {y!r}) left the "
+                    f"state space with {new!r}")
+        repeat = protocol.transition(x, y)
+        if repeat != result:
+            raise ProtocolError(
+                f"{protocol.name}: transition({x!r}, {y!r}) is "
+                f"non-deterministic: {result!r} then {repeat!r}")
+
+
+def _check_outputs(protocol: PopulationProtocol) -> None:
+    for state in protocol.states:
+        value = protocol.output(state)
+        if value is not UNDECIDED and value not in (0, 1):
+            raise ProtocolError(
+                f"{protocol.name}: output({state!r}) must be 0, 1, or "
+                f"UNDECIDED, got {value!r}")
+
+
+def _configurations(num_states: int, max_agents: int):
+    for total in range(2, max_agents + 1):
+        for cuts in itertools.combinations_with_replacement(
+                range(num_states), total):
+            config = [0] * num_states
+            for index in cuts:
+                config[index] += 1
+            yield tuple(config)
+
+
+def _check_is_settled(protocol: PopulationProtocol,
+                      max_agents: int) -> None:
+    states = protocol.states
+    # Majority-style protocols settle on a unanimous output; other
+    # protocols (e.g. leader election) settle when every agent's
+    # output is final.  Both oracles are exact on small systems.
+    majority_style = (isinstance(protocol, MajorityProtocol)
+                      or getattr(protocol, "unanimity_settles", False))
+    oracle = (brute_force_is_settled if majority_style
+              else brute_force_output_stable)
+    support_verdicts: dict[frozenset, bool] = {}
+    for config in _configurations(protocol.num_states, max_agents):
+        sparse = {states[i]: c for i, c in enumerate(config) if c}
+        claimed = protocol.is_settled(sparse)
+        actual = oracle(protocol, sparse)
+        if claimed and not actual:
+            raise ProtocolError(
+                f"{protocol.name}: is_settled claims {sparse} is settled "
+                "but a reachable configuration changes some output")
+        if getattr(protocol, "unanimity_settles", False):
+            outputs = {protocol.output(s) for s in sparse}
+            unanimous = (UNDECIDED not in outputs and len(outputs) == 1)
+            if claimed != unanimous:
+                raise ProtocolError(
+                    f"{protocol.name}: declares unanimity_settles but "
+                    f"is_settled({sparse}) = {claimed} while unanimity "
+                    f"= {unanimous}")
+        if getattr(protocol, "settled_support_only", True):
+            support = frozenset(sparse)
+            previous = support_verdicts.setdefault(support, claimed)
+            if previous != claimed:
+                raise ProtocolError(
+                    f"{protocol.name}: declares settled_support_only but "
+                    f"is_settled differs across counts with support "
+                    f"{set(support)}")
+
+
+def validate_protocol(protocol: PopulationProtocol, *,
+                      max_agents: int = 4) -> None:
+    """Exhaustively validate ``protocol`` on populations up to
+    ``max_agents`` (cost grows like ``s^max_agents`` — keep it small
+    for large state spaces).  Raises :class:`ProtocolError` on the
+    first violation; returns ``None`` when everything checks out.
+    """
+    if max_agents < 2:
+        raise ProtocolError("max_agents must be >= 2 to validate")
+    if protocol.num_states < 1:
+        raise ProtocolError(f"{protocol.name}: empty state space")
+    if len(set(protocol.states)) != protocol.num_states:
+        raise ProtocolError(f"{protocol.name}: duplicate states")
+    _check_transition_closure(protocol)
+    _check_outputs(protocol)
+    _check_is_settled(protocol, max_agents)

@@ -1,0 +1,49 @@
+"""The two-state voter model [HP99, Lig85].
+
+The simplest conceivable majority dynamics: when two agents interact,
+the responder adopts the initiator's opinion.  On the clique this is
+the classical voter model; it converges to consensus with probability 1
+but the consensus value is a *coin flip weighted by the initial
+fractions* — the error probability equals the initial minority
+fraction ``(1 - eps) / 2`` and the expected parallel convergence time
+is ``Theta(n)`` [HP99].  Included as the historical baseline that
+motivates everything else in the paper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from .base import MAJORITY_A, MAJORITY_B, MajorityProtocol, State
+
+__all__ = ["VoterProtocol"]
+
+_STATES = ("A", "B")
+
+
+class VoterProtocol(MajorityProtocol):
+    """Two-state voter model: the responder copies the initiator."""
+
+    name = "voter"
+    unanimity_settles = True
+
+    @property
+    def states(self) -> tuple[State, ...]:
+        return _STATES
+
+    def initial_state(self, symbol: str) -> State:
+        if symbol in _STATES:
+            return symbol
+        raise ValueError(f"unknown input symbol {symbol!r}")
+
+    def transition(self, x: State, y: State) -> tuple[State, State]:
+        return x, x
+
+    def output(self, state: State):
+        return MAJORITY_A if state == "A" else MAJORITY_B
+
+    def is_settled(self, counts: Mapping[State, int]) -> bool:
+        """Settled iff unanimous; both consensus states are absorbing."""
+        a = counts.get("A", 0)
+        b = counts.get("B", 0)
+        return (a == 0) != (b == 0)

@@ -1,0 +1,191 @@
+"""JSON serialization for protocols and results.
+
+Long sweeps produce results worth archiving and protocols worth
+sharing; this module provides stable JSON forms for both:
+
+* :func:`protocol_to_dict` / :func:`protocol_from_dict` — round-trips
+  every built-in protocol (by name and parameters) and arbitrary
+  table-driven protocols (by their full rule table);
+* :func:`run_result_to_dict` / :func:`run_result_from_dict` —
+  round-trips :class:`~repro.sim.results.RunResult`; state keys in
+  ``final_counts`` are stored as their string forms and mapped back
+  through the owning protocol when one is supplied;
+* :func:`trial_stats_to_dict` / :func:`trial_stats_from_dict`.
+
+All dictionaries are plain JSON types, so ``json.dumps`` works
+directly on them.
+"""
+
+from __future__ import annotations
+
+from .core.avc import AVCProtocol
+from .errors import InvalidParameterError
+from .protocols.base import PopulationProtocol, UNDECIDED
+from .protocols.four_state import FourStateProtocol
+from .protocols.interval_consensus import IntervalConsensusProtocol
+from .protocols.leader_election import (
+    LeveledLeaderElection,
+    PairwiseLeaderElection,
+)
+from .protocols.table import MajorityTableProtocol, TableProtocol
+from .protocols.three_state import ThreeStateProtocol
+from .protocols.voter import VoterProtocol
+from .sim.results import RunResult, TrialStats
+
+__all__ = [
+    "protocol_to_dict",
+    "protocol_from_dict",
+    "run_result_to_dict",
+    "run_result_from_dict",
+    "trial_stats_to_dict",
+    "trial_stats_from_dict",
+]
+
+_SIMPLE_KINDS = {
+    "three-state": ThreeStateProtocol,
+    "four-state": FourStateProtocol,
+    "interval-consensus": IntervalConsensusProtocol,
+    "voter": VoterProtocol,
+    "leader-election": PairwiseLeaderElection,
+}
+
+
+def protocol_to_dict(protocol: PopulationProtocol) -> dict:
+    """A JSON-safe description sufficient to rebuild the protocol."""
+    if isinstance(protocol, AVCProtocol):
+        return {"kind": "avc", "m": protocol.m, "d": protocol.d}
+    if isinstance(protocol, LeveledLeaderElection):
+        return {"kind": "leveled-leader-election",
+                "levels": protocol.levels}
+    for kind, cls in _SIMPLE_KINDS.items():
+        if type(protocol) is cls:
+            return {"kind": kind}
+    if isinstance(protocol, TableProtocol):
+        payload = {
+            "kind": "table",
+            "name": protocol.name,
+            "states": [str(s) for s in protocol.states],
+            "transitions": [
+                [list(pair), list(protocol.transition(*pair))]
+                for pair in _changing_pairs(protocol)
+            ],
+            "outputs": {
+                str(s): protocol.output(s) for s in protocol.states
+                if protocol.output(s) is not UNDECIDED
+            },
+        }
+        if isinstance(protocol, MajorityTableProtocol):
+            payload["kind"] = "majority-table"
+            payload["input_a"] = protocol.initial_state("A")
+            payload["input_b"] = protocol.initial_state("B")
+        return payload
+    raise InvalidParameterError(
+        f"cannot serialize protocol of type {type(protocol).__name__}; "
+        "express it as a TableProtocol first")
+
+
+def _changing_pairs(protocol: TableProtocol):
+    for x in protocol.states:
+        for y in protocol.states:
+            if protocol.transition(x, y) != (x, y):
+                yield (x, y)
+
+
+def protocol_from_dict(payload: dict) -> PopulationProtocol:
+    """Rebuild a protocol serialized by :func:`protocol_to_dict`."""
+    kind = payload.get("kind")
+    if kind == "avc":
+        return AVCProtocol(m=payload["m"], d=payload["d"])
+    if kind == "leveled-leader-election":
+        return LeveledLeaderElection(levels=payload["levels"])
+    if kind in _SIMPLE_KINDS:
+        return _SIMPLE_KINDS[kind]()
+    if kind in ("table", "majority-table"):
+        transitions = {tuple(pair): tuple(result)
+                       for pair, result in payload["transitions"]}
+        kwargs = dict(
+            states=tuple(payload["states"]),
+            transitions=transitions,
+            outputs=payload.get("outputs", {}),
+            name=payload.get("name", "table"),
+            symmetric=False,
+        )
+        if kind == "majority-table":
+            return MajorityTableProtocol(
+                input_a=payload["input_a"], input_b=payload["input_b"],
+                **kwargs)
+        return TableProtocol(**kwargs)
+    raise InvalidParameterError(f"unknown protocol kind {kind!r}")
+
+
+def run_result_to_dict(result: RunResult) -> dict:
+    """JSON-safe form of a :class:`RunResult`."""
+    return {
+        "protocol_name": result.protocol_name,
+        "engine_name": result.engine_name,
+        "n": result.n,
+        "steps": result.steps,
+        "settled": result.settled,
+        "decision": result.decision,
+        "expected": result.expected,
+        "final_counts": {str(state): int(count)
+                         for state, count in result.final_counts.items()},
+        "productive_steps": result.productive_steps,
+        "continuous_time": result.continuous_time,
+        "seed": result.seed,
+        "frozen": result.frozen,
+    }
+
+
+def run_result_from_dict(payload: dict,
+                         protocol: PopulationProtocol | None = None
+                         ) -> RunResult:
+    """Rebuild a :class:`RunResult`.
+
+    With ``protocol`` given, ``final_counts`` keys are mapped back to
+    the protocol's state objects (matching on their string forms);
+    otherwise they stay strings.
+    """
+    counts = dict(payload["final_counts"])
+    if protocol is not None:
+        by_string = {str(state): state for state in protocol.states}
+        try:
+            counts = {by_string[key]: value
+                      for key, value in counts.items()}
+        except KeyError as missing:
+            raise InvalidParameterError(
+                f"final_counts key {missing} is not a state of "
+                f"{protocol.name}") from None
+    return RunResult(
+        protocol_name=payload["protocol_name"],
+        engine_name=payload["engine_name"],
+        n=payload["n"],
+        steps=payload["steps"],
+        settled=payload["settled"],
+        decision=payload["decision"],
+        expected=payload["expected"],
+        final_counts=counts,
+        productive_steps=payload.get("productive_steps"),
+        continuous_time=payload.get("continuous_time"),
+        seed=payload.get("seed"),
+        frozen=payload.get("frozen", False),
+    )
+
+
+def trial_stats_to_dict(stats: TrialStats) -> dict:
+    """JSON-safe form of :class:`TrialStats`."""
+    return {
+        "num_trials": stats.num_trials,
+        "num_settled": stats.num_settled,
+        "num_correct": stats.num_correct,
+        "mean_parallel_time": stats.mean_parallel_time,
+        "std_parallel_time": stats.std_parallel_time,
+        "min_parallel_time": stats.min_parallel_time,
+        "max_parallel_time": stats.max_parallel_time,
+        "mean_steps": stats.mean_steps,
+    }
+
+
+def trial_stats_from_dict(payload: dict) -> TrialStats:
+    """Rebuild :class:`TrialStats` from its JSON form."""
+    return TrialStats(**payload)

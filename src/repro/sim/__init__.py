@@ -1,0 +1,45 @@
+"""Simulation engines and the run harness.
+
+See :mod:`repro.sim.engine` for the engine comparison table and
+:mod:`repro.sim.run` for the high-level API.
+"""
+
+from .agent_engine import AgentEngine
+from .batch_engine import BatchEngine
+from .count_engine import CountEngine
+from .engine import DEFAULT_MAX_PARALLEL_TIME, Engine
+from .fenwick import FenwickTree
+from .gillespie import ContinuousTimeEngine, NullSkippingEngine
+from .observers import ObservingTracker, RuleCensus, avc_rule_classifier
+from .parallel import run_trials_parallel
+from .record import EventRecorder, TrajectoryRecorder
+from .results import RunResult, TrialStats
+from .run import ENGINE_NAMES, make_engine, run, run_majority, run_trials
+from .schedule import CompletePairSampler, GraphPairSampler, PairSampler
+
+__all__ = [
+    "Engine",
+    "AgentEngine",
+    "CountEngine",
+    "NullSkippingEngine",
+    "ContinuousTimeEngine",
+    "BatchEngine",
+    "FenwickTree",
+    "RunResult",
+    "TrialStats",
+    "TrajectoryRecorder",
+    "EventRecorder",
+    "PairSampler",
+    "CompletePairSampler",
+    "GraphPairSampler",
+    "make_engine",
+    "run",
+    "run_majority",
+    "run_trials",
+    "run_trials_parallel",
+    "ObservingTracker",
+    "RuleCensus",
+    "avc_rule_classifier",
+    "ENGINE_NAMES",
+    "DEFAULT_MAX_PARALLEL_TIME",
+]

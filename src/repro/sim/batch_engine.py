@@ -1,0 +1,96 @@
+"""Batched numpy engine: approximate, very high throughput.
+
+Per *round* the engine draws a uniformly random set of ``k`` disjoint
+agent pairs (a partial random matching) and applies the transition to
+all of them vectorized.  This deviates from the sequential model in
+one way only: the ``k`` pairs of a round cannot share agents, whereas
+``k`` consecutive sequential interactions could.  The per-round bias
+is ``O(k^2 / n^2)``; with the default ``batch_fraction = 0.05`` (5% of
+agents per round) sweep results are indistinguishable from the exact
+engines (``tests/sim/test_engine_agreement.py`` checks this), while
+throughput improves by two to three orders of magnitude — the engine
+that makes the paper-scale Figure 4 sweep practical.
+
+Convergence is checked once per round, so reported convergence times
+carry an additive error of at most one round (``k`` interactions).
+For exact times use :class:`~repro.sim.count_engine.CountEngine`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .engine import Engine, check_budget_sanity
+
+__all__ = ["BatchEngine"]
+
+
+class BatchEngine(Engine):
+    """Vectorized random-matching simulation (complete graph only).
+
+    Parameters
+    ----------
+    protocol:
+        The protocol; its :meth:`make_batch_kernel` supplies the
+        vectorized transition.
+    batch_fraction:
+        Fraction of the population interacting per round (in ``(0,
+        1]``); ``0.05`` means 2.5% of agents initiate per round.
+    """
+
+    name = "batch"
+
+    def __init__(self, protocol, *, batch_fraction: float = 0.05):
+        super().__init__(protocol)
+        if not 0.0 < batch_fraction <= 1.0:
+            raise InvalidParameterError(
+                f"batch_fraction must be in (0, 1], got {batch_fraction}")
+        self.batch_fraction = batch_fraction
+        self._kernel = None
+
+    def _supports_observers(self) -> bool:
+        return False  # rounds, not per-interaction events
+
+    def _simulate(self, counts, n, rng, max_steps, tracker, recorder):
+        check_budget_sanity(max_steps)
+        if self._kernel is None:
+            self._kernel = self.protocol.make_batch_kernel()
+        kernel = self._kernel
+        s = self.protocol.num_states
+
+        agents = np.repeat(np.arange(s, dtype=np.int64),
+                           np.asarray(counts, dtype=np.int64))
+        rng.shuffle(agents)
+        pairs_per_round = max(1, int(n * self.batch_fraction / 2))
+
+        dense = np.asarray(counts, dtype=np.int64)
+        steps = 0
+        productive = 0
+        while steps < max_steps:
+            k = min(pairs_per_round, max_steps - steps)
+            chosen = rng.choice(n, size=2 * k, replace=False)
+            initiators = chosen[:k]
+            responders = chosen[k:]
+            old_x = agents[initiators]
+            old_y = agents[responders]
+            new_x, new_y = kernel(old_x, old_y)
+            changed = int(np.count_nonzero((new_x != old_x)
+                                           | (new_y != old_y)))
+            steps += k
+            if changed:
+                productive += changed
+                agents[initiators] = new_x
+                agents[responders] = new_y
+                # Incremental count update: O(k) instead of O(n).
+                dense += np.bincount(new_x, minlength=s)
+                dense += np.bincount(new_y, minlength=s)
+                dense -= np.bincount(old_x, minlength=s)
+                dense -= np.bincount(old_y, minlength=s)
+                counts[:] = dense.tolist()
+                tracker.reset(counts)
+                if recorder is not None:
+                    recorder.maybe_record(steps, counts)
+                if tracker.settled():
+                    return steps, productive, False, None
+        return steps, productive, False, None

@@ -1,0 +1,109 @@
+"""Fenwick (binary indexed) tree for weighted sampling over state counts.
+
+The count-vector engine keeps one counter per protocol state and must,
+per interaction, (a) draw a state index with probability proportional
+to its count and (b) update two counters.  A Fenwick tree does both in
+``O(log s)``, which is what makes exact simulation of AVC with
+``s ~ n`` states feasible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["FenwickTree"]
+
+
+class FenwickTree:
+    """Prefix-sum tree over non-negative integer weights.
+
+    Supports point updates, prefix sums, and inverse-prefix queries
+    (find the first index whose cumulative weight exceeds a target),
+    all in ``O(log size)``.
+    """
+
+    __slots__ = ("_size", "_tree", "_total", "_log_size")
+
+    def __init__(self, weights: Sequence[int]):
+        self._size = len(weights)
+        # One-based internal array; index 0 unused.
+        tree = [0] * (self._size + 1)
+        total = 0
+        for i, w in enumerate(weights):
+            if w < 0:
+                raise ValueError(f"negative weight {w} at index {i}")
+            total += w
+            tree[i + 1] += w
+            parent = (i + 1) + ((i + 1) & -(i + 1))
+            if parent <= self._size:
+                tree[parent] += tree[i + 1]
+        self._tree = tree
+        self._total = total
+        # Largest power of two <= size, for the top-down descent.
+        log_size = 1
+        while (log_size << 1) <= self._size:
+            log_size <<= 1
+        self._log_size = log_size
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def total(self) -> int:
+        """Sum of all weights."""
+        return self._total
+
+    def add(self, index: int, delta: int) -> None:
+        """Add ``delta`` to the weight at ``index``.
+
+        The caller is responsible for keeping weights non-negative;
+        this is the hot path and performs no checks.
+        """
+        self._total += delta
+        tree = self._tree
+        i = index + 1
+        size = self._size
+        while i <= size:
+            tree[i] += delta
+            i += i & -i
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of weights at indices ``0 .. index`` inclusive."""
+        tree = self._tree
+        i = index + 1
+        acc = 0
+        while i > 0:
+            acc += tree[i]
+            i -= i & -i
+        return acc
+
+    def get(self, index: int) -> int:
+        """The individual weight at ``index``."""
+        return self.prefix_sum(index) - (self.prefix_sum(index - 1)
+                                         if index > 0 else 0)
+
+    def find(self, target: int) -> int:
+        """Smallest index with cumulative weight strictly above ``target``.
+
+        For ``target`` drawn uniformly from ``[0, total)`` this samples
+        an index with probability proportional to its weight.
+        """
+        if not 0 <= target < self._total:
+            raise ValueError(
+                f"target {target} outside [0, {self._total})")
+        tree = self._tree
+        pos = 0
+        remaining = target
+        step = self._log_size
+        size = self._size
+        while step > 0:
+            candidate = pos + step
+            if candidate <= size and tree[candidate] <= remaining:
+                pos = candidate
+                remaining -= tree[candidate]
+            step >>= 1
+        return pos  # zero-based index of the sampled slot
+
+    def to_list(self) -> list[int]:
+        """Materialize the individual weights (for tests/debugging)."""
+        return [self.get(i) for i in range(self._size)]

@@ -1,0 +1,82 @@
+"""Trajectory recording for simulation runs.
+
+Engines accept an optional recorder and call ``maybe_record(step,
+counts)`` after every state-changing interaction (plus once at start
+and once at the end of the run).  :class:`TrajectoryRecorder` keeps
+periodic snapshots; :class:`EventRecorder` keeps every event up to a
+cap.  Both store *copies* of the count vector, so snapshots stay valid
+after the engine moves on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TrajectoryRecorder", "EventRecorder"]
+
+
+class TrajectoryRecorder:
+    """Record count-vector snapshots every ``interval_steps`` steps.
+
+    Attributes
+    ----------
+    steps:
+        List of interaction indices at which snapshots were taken.
+    snapshots:
+        List of dense count vectors (``numpy`` arrays), parallel to
+        ``steps``.
+    """
+
+    def __init__(self, interval_steps: int):
+        if interval_steps < 1:
+            raise ValueError(
+                f"interval_steps must be >= 1, got {interval_steps}")
+        self.interval_steps = interval_steps
+        self.steps: list[int] = []
+        self.snapshots: list[np.ndarray] = []
+        self._next_due = 0
+
+    def maybe_record(self, step: int, counts) -> None:
+        """Snapshot if ``step`` has reached the next due tick."""
+        if step >= self._next_due:
+            self.steps.append(step)
+            self.snapshots.append(np.array(counts, dtype=np.int64))
+            self._next_due = step + self.interval_steps
+
+    def force_record(self, step: int, counts) -> None:
+        """Snapshot unconditionally (used for the final configuration)."""
+        if self.steps and self.steps[-1] == step:
+            return
+        self.steps.append(step)
+        self.snapshots.append(np.array(counts, dtype=np.int64))
+        self._next_due = step + self.interval_steps
+
+    def as_matrix(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(steps, matrix)`` with one snapshot per matrix row."""
+        return (np.array(self.steps, dtype=np.int64),
+                np.array(self.snapshots, dtype=np.int64))
+
+
+class EventRecorder:
+    """Record every state-changing interaction, up to ``max_events``."""
+
+    def __init__(self, max_events: int = 1_000_000):
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self.max_events = max_events
+        self.steps: list[int] = []
+        self.snapshots: list[np.ndarray] = []
+
+    @property
+    def truncated(self) -> bool:
+        """Whether events were dropped after hitting ``max_events``."""
+        return len(self.steps) >= self.max_events
+
+    def maybe_record(self, step: int, counts) -> None:
+        if len(self.steps) >= self.max_events:
+            return
+        self.steps.append(step)
+        self.snapshots.append(np.array(counts, dtype=np.int64))
+
+    def force_record(self, step: int, counts) -> None:
+        self.maybe_record(step, counts)

@@ -1,0 +1,137 @@
+"""Result types for simulation runs and trial batches."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+__all__ = ["RunResult", "TrialStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class RunResult:
+    """Outcome of one simulated execution.
+
+    Attributes
+    ----------
+    protocol_name / engine_name:
+        What ran and on which engine.
+    n:
+        Population size.
+    steps:
+        Sequential interactions executed (including null interactions
+        skipped analytically by the null-skipping engine).
+    settled:
+        Whether the run reached an irrevocably converged configuration
+        within its budget.
+    decision:
+        The unanimous output at settlement (0, 1, or ``None`` when not
+        settled).
+    expected:
+        The correct output for the initial configuration (``None`` when
+        unknown, e.g. a tie or a non-majority protocol).
+    final_counts:
+        Sparse state->count mapping of the final configuration.
+    productive_steps:
+        Interactions that changed at least one state, when the engine
+        tracks them (``None`` otherwise).
+    continuous_time:
+        Elapsed continuous time for Poisson-clock runs (``None`` for
+        discrete-time engines).
+    """
+
+    protocol_name: str
+    engine_name: str
+    n: int
+    steps: int
+    settled: bool
+    decision: int | None
+    expected: int | None
+    final_counts: dict = field(repr=False)
+    productive_steps: int | None = None
+    continuous_time: float | None = None
+    seed: int | None = None
+    #: True when the engine proved no further state change is possible
+    #: (e.g. a four-state tie that froze without settling).
+    frozen: bool = False
+
+    @property
+    def parallel_time(self) -> float:
+        """Parallel time: interactions divided by the population size.
+
+        For continuous-time runs this is the elapsed Poisson-clock time
+        (the two notions agree in expectation).
+        """
+        if self.continuous_time is not None:
+            return self.continuous_time
+        return self.steps / self.n
+
+    @property
+    def correct(self) -> bool | None:
+        """Whether the settled decision matches the expected output.
+
+        ``None`` when the run did not settle or no expected output is
+        defined.
+        """
+        if not self.settled or self.expected is None:
+            return None
+        return self.decision == self.expected
+
+
+@dataclass(frozen=True, slots=True)
+class TrialStats:
+    """Aggregate statistics over repeated runs of one configuration."""
+
+    num_trials: int
+    num_settled: int
+    num_correct: int
+    mean_parallel_time: float
+    std_parallel_time: float
+    min_parallel_time: float
+    max_parallel_time: float
+    mean_steps: float
+
+    @property
+    def error_fraction(self) -> float:
+        """Fraction of *settled* runs that decided the wrong output."""
+        if self.num_settled == 0:
+            return math.nan
+        return 1.0 - self.num_correct / self.num_settled
+
+    @property
+    def settled_fraction(self) -> float:
+        """Fraction of runs that converged within budget."""
+        if self.num_trials == 0:
+            return math.nan
+        return self.num_settled / self.num_trials
+
+    @classmethod
+    def from_results(cls, results: Sequence[RunResult]) -> "TrialStats":
+        """Summarize a batch of runs.
+
+        Timing statistics are computed over *settled* runs only (an
+        unsettled run has no convergence time); callers should check
+        :attr:`settled_fraction` before trusting the means.
+        """
+        settled = [r for r in results if r.settled]
+        times = [r.parallel_time for r in settled]
+        correct = sum(1 for r in settled if r.correct)
+        if times:
+            mean = sum(times) / len(times)
+            var = sum((t - mean) ** 2 for t in times) / len(times)
+            std = math.sqrt(var)
+            lo, hi = min(times), max(times)
+            mean_steps = sum(r.steps for r in settled) / len(settled)
+        else:
+            mean = std = lo = hi = mean_steps = math.nan
+        return cls(
+            num_trials=len(results),
+            num_settled=len(settled),
+            num_correct=correct,
+            mean_parallel_time=mean,
+            std_parallel_time=std,
+            min_parallel_time=lo,
+            max_parallel_time=hi,
+            mean_steps=mean_steps,
+        )

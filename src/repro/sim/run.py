@@ -1,0 +1,165 @@
+"""High-level run API: one call from protocol to result.
+
+This is the front door most users want::
+
+    from repro import AVCProtocol, run_majority
+
+    protocol = AVCProtocol.with_num_states(64)
+    result = run_majority(protocol, n=10_001, epsilon=1 / 10_001, seed=7)
+
+``engine="auto"`` picks the fastest *exact* engine for the protocol:
+null-skipping for small state spaces, the count engine otherwise, and
+the agent engine whenever an interaction graph is supplied.  The
+approximate batch engine is never chosen implicitly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from ..errors import InvalidParameterError
+from ..protocols.base import MAJORITY_A, MAJORITY_B, MajorityProtocol, State
+from ..rng import ensure_rng, spawn
+from .agent_engine import AgentEngine
+from .batch_engine import BatchEngine
+from .count_engine import CountEngine
+from .engine import Engine
+from .gillespie import ContinuousTimeEngine, NullSkippingEngine
+from .results import RunResult, TrialStats
+
+__all__ = ["make_engine", "run", "run_majority", "run_trials",
+           "ENGINE_NAMES"]
+
+#: Engines selectable by name in the high-level API.
+ENGINE_NAMES = ("auto", "agent", "count", "null-skipping",
+                "continuous-time", "batch")
+
+#: State-count threshold below which null skipping beats the count
+#: engine (each productive event scans all ordered state pairs).
+_NULL_SKIP_MAX_STATES = 16
+
+
+def make_engine(protocol, engine: str | Engine = "auto", *,
+                graph=None, batch_fraction: float = 0.05) -> Engine:
+    """Instantiate the requested engine for ``protocol``.
+
+    ``engine`` may also be an :class:`~repro.sim.engine.Engine`
+    instance, which is passed through (``graph`` must then be absent).
+    """
+    if isinstance(engine, Engine):
+        if graph is not None:
+            raise InvalidParameterError(
+                "pass the graph to the engine constructor, not to run()")
+        return engine
+    if engine == "auto":
+        if graph is not None:
+            engine = "agent"
+        elif protocol.num_states <= _NULL_SKIP_MAX_STATES:
+            engine = "null-skipping"
+        else:
+            engine = "count"
+    if graph is not None and engine != "agent":
+        raise InvalidParameterError(
+            f"engine {engine!r} only supports the complete graph; "
+            "use engine='agent' for custom interaction graphs")
+    if engine == "agent":
+        return AgentEngine(protocol, graph=graph)
+    if engine == "count":
+        return CountEngine(protocol)
+    if engine == "null-skipping":
+        return NullSkippingEngine(protocol)
+    if engine == "continuous-time":
+        return ContinuousTimeEngine(protocol)
+    if engine == "batch":
+        return BatchEngine(protocol, batch_fraction=batch_fraction)
+    raise InvalidParameterError(
+        f"unknown engine {engine!r}; choose from {ENGINE_NAMES}")
+
+
+def run(protocol, initial_counts: Mapping[State, int], *,
+        engine: str | Engine = "auto", graph=None, rng=None, seed=None,
+        max_steps: int | None = None, max_parallel_time: float | None = None,
+        expected: int | None = None, recorder=None, event_observer=None,
+        on_timeout: str = "return",
+        batch_fraction: float = 0.05) -> RunResult:
+    """Simulate one execution from an explicit initial configuration."""
+    if seed is not None and rng is not None:
+        raise InvalidParameterError("give seed or rng, not both")
+    generator = ensure_rng(seed if rng is None else rng)
+    chosen = make_engine(protocol, engine, graph=graph,
+                         batch_fraction=batch_fraction)
+    return chosen.run(initial_counts, rng=generator, max_steps=max_steps,
+                      max_parallel_time=max_parallel_time,
+                      expected=expected, recorder=recorder,
+                      event_observer=event_observer,
+                      on_timeout=on_timeout)
+
+
+def run_majority(protocol: MajorityProtocol, *, n: int | None = None,
+                 epsilon: float | None = None, count_a: int | None = None,
+                 count_b: int | None = None, majority: str = "A",
+                 engine: str | Engine = "auto", graph=None,
+                 rng=None, seed=None,
+                 max_steps: int | None = None,
+                 max_parallel_time: float | None = None,
+                 recorder=None, event_observer=None,
+                 on_timeout: str = "return",
+                 batch_fraction: float = 0.05) -> RunResult:
+    """Simulate one majority computation and record correctness.
+
+    Specify the input either as ``(n, epsilon, majority)`` — a
+    population of ``n`` agents with relative advantage ``epsilon`` for
+    the given side — or as explicit ``(count_a, count_b)``.
+    """
+    if not isinstance(protocol, MajorityProtocol):
+        raise InvalidParameterError(
+            f"{protocol!r} is not a majority protocol")
+    by_margin = n is not None or epsilon is not None
+    by_counts = count_a is not None or count_b is not None
+    if by_margin == by_counts:
+        raise InvalidParameterError(
+            "give (n, epsilon) or (count_a, count_b), exactly one of them")
+    if by_margin:
+        if n is None or epsilon is None:
+            raise InvalidParameterError("both n and epsilon are required")
+        initial = protocol.initial_counts_for_margin(n, epsilon, majority)
+        expected = MAJORITY_A if majority == "A" else MAJORITY_B
+    else:
+        if count_a is None or count_b is None:
+            raise InvalidParameterError(
+                "both count_a and count_b are required")
+        initial = protocol.initial_counts(count_a, count_b)
+        if count_a > count_b:
+            expected = MAJORITY_A
+        elif count_b > count_a:
+            expected = MAJORITY_B
+        else:
+            expected = None  # a tie has no correct output
+    return run(protocol, initial, engine=engine, graph=graph, rng=rng,
+               seed=seed, max_steps=max_steps,
+               max_parallel_time=max_parallel_time, expected=expected,
+               recorder=recorder, event_observer=event_observer,
+               on_timeout=on_timeout, batch_fraction=batch_fraction)
+
+
+def run_trials(protocol: MajorityProtocol, *, num_trials: int,
+               rng=None, seed=None, stats: bool = False,
+               **run_kwargs) -> list[RunResult] | TrialStats:
+    """Repeat :func:`run_majority` with independent random streams.
+
+    Every trial receives a child generator spawned from the root seed,
+    so batches are reproducible and trials statistically independent.
+    With ``stats=True`` the aggregated :class:`TrialStats` is returned
+    instead of the raw result list.
+    """
+    if num_trials < 1:
+        raise InvalidParameterError(
+            f"num_trials must be >= 1, got {num_trials}")
+    if seed is not None and rng is not None:
+        raise InvalidParameterError("give seed or rng, not both")
+    root = ensure_rng(seed if rng is None else rng)
+    results = [run_majority(protocol, rng=child, **run_kwargs)
+               for child in spawn(root, num_trials)]
+    if stats:
+        return TrialStats.from_results(results)
+    return results

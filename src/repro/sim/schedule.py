@@ -1,0 +1,101 @@
+"""Interaction schedulers: who meets whom.
+
+The paper works on the complete interaction graph (uniform random
+ordered pairs); [DV12] analyzes the four-state protocol on arbitrary
+connected graphs.  The :class:`AgentEngine` delegates pair selection to
+a sampler from this module, so any interaction topology plugs in.
+
+Samplers produce *blocks* of pairs at a time: per-step calls into
+numpy's generator dominate the cost of a pure-Python inner loop, so
+engines fetch a few thousand pairs per call and iterate over plain
+lists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+
+__all__ = ["PairSampler", "CompletePairSampler", "GraphPairSampler"]
+
+
+class PairSampler:
+    """Interface: yield blocks of ordered agent pairs."""
+
+    #: Number of agents the sampler addresses.
+    n: int
+
+    def sample_block(self, rng: np.random.Generator,
+                     size: int) -> tuple[list[int], list[int]]:
+        """Return ``size`` ordered pairs as two parallel index lists."""
+        raise NotImplementedError
+
+
+class CompletePairSampler(PairSampler):
+    """Uniform ordered pairs of distinct agents (the clique)."""
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise InvalidParameterError(f"need at least 2 agents, got {n}")
+        self.n = n
+
+    def sample_block(self, rng: np.random.Generator,
+                     size: int) -> tuple[list[int], list[int]]:
+        n = self.n
+        first = rng.integers(0, n, size=size)
+        # Draw the responder from the n-1 agents other than the
+        # initiator by sampling [0, n-1) and skipping the initiator.
+        second = rng.integers(0, n - 1, size=size)
+        second = second + (second >= first)
+        return first.tolist(), second.tolist()
+
+
+class GraphPairSampler(PairSampler):
+    """Uniform random directed edge of an interaction graph.
+
+    Accepts a ``networkx`` graph (or any object with ``number_of_nodes``
+    and ``edges``).  Undirected graphs contribute both orientations of
+    each edge, matching the symmetric-interaction convention of [DV12].
+    Nodes are relabelled to ``0..n-1`` in iteration order; use
+    :func:`repro.graphs.builders` helpers to construct graphs with
+    integer labels directly.
+    """
+
+    def __init__(self, graph):
+        import networkx as nx
+
+        n = graph.number_of_nodes()
+        if n < 2:
+            raise InvalidParameterError(
+                f"interaction graph needs >= 2 nodes, got {n}")
+        if not nx.is_directed(graph):
+            if not nx.is_connected(graph):
+                raise InvalidParameterError(
+                    "interaction graph must be connected")
+        elif not nx.is_strongly_connected(graph):
+            raise InvalidParameterError(
+                "directed interaction graph must be strongly connected")
+        relabel = {node: index for index, node in enumerate(graph.nodes())}
+        edges = []
+        for u, v in graph.edges():
+            if u == v:
+                continue  # the model forbids self-interactions
+            edges.append((relabel[u], relabel[v]))
+            if not nx.is_directed(graph):
+                edges.append((relabel[v], relabel[u]))
+        if not edges:
+            raise InvalidParameterError("interaction graph has no edges")
+        self.n = n
+        self._edges = np.array(edges, dtype=np.int64)
+
+    @property
+    def num_directed_edges(self) -> int:
+        """Number of ordered interacting pairs."""
+        return len(self._edges)
+
+    def sample_block(self, rng: np.random.Generator,
+                     size: int) -> tuple[list[int], list[int]]:
+        picks = rng.integers(0, len(self._edges), size=size)
+        chosen = self._edges[picks]
+        return chosen[:, 0].tolist(), chosen[:, 1].tolist()

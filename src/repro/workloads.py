@@ -1,0 +1,123 @@
+"""Workload generators: initial configurations beyond the exact margin.
+
+The evaluation harness mostly uses exact-margin inputs (``n`` agents,
+advantage fixed to the agent).  Real deployments see other input
+distributions; this module provides the generators used by the
+examples and tests:
+
+* :func:`margin_workload` — the paper's workload: an exact advantage
+  of ``round(eps * n)`` agents (delegates to the protocol's builder);
+* :func:`bernoulli_workload` — every agent samples input A
+  independently with probability ``p``; the *realized* majority (which
+  may disagree with the expectation when ``p ~ 1/2``!) is returned
+  alongside the counts, so correctness is judged against the actual
+  input;
+* :func:`worst_case_workload` — the lower-bound regime: a single-agent
+  advantage (``eps = 1/n``);
+* :func:`clustered_placement` — for graph runs: an agent array with
+  all A-agents contiguous in node order, the adversarial placement for
+  ring-like topologies (random placement is what
+  :class:`~repro.sim.agent_engine.AgentEngine` does by default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import InvalidParameterError
+from .protocols.base import MAJORITY_A, MAJORITY_B, MajorityProtocol
+from .rng import ensure_rng
+
+__all__ = [
+    "MajorityWorkload",
+    "margin_workload",
+    "bernoulli_workload",
+    "worst_case_workload",
+    "clustered_placement",
+]
+
+
+@dataclass(frozen=True)
+class MajorityWorkload:
+    """An initial configuration plus its ground truth."""
+
+    counts: dict
+    count_a: int
+    count_b: int
+
+    @property
+    def n(self) -> int:
+        return self.count_a + self.count_b
+
+    @property
+    def expected(self):
+        """The correct output (``None`` for an exact tie)."""
+        if self.count_a > self.count_b:
+            return MAJORITY_A
+        if self.count_b > self.count_a:
+            return MAJORITY_B
+        return None
+
+    @property
+    def epsilon(self) -> float:
+        """The realized relative advantage."""
+        return abs(self.count_a - self.count_b) / self.n
+
+
+def _build(protocol: MajorityProtocol, count_a: int,
+           count_b: int) -> MajorityWorkload:
+    return MajorityWorkload(
+        counts=protocol.initial_counts(count_a, count_b),
+        count_a=count_a, count_b=count_b)
+
+
+def margin_workload(protocol: MajorityProtocol, n: int, epsilon: float,
+                    majority: str = "A") -> MajorityWorkload:
+    """The paper's exact-margin workload."""
+    counts = protocol.initial_counts_for_margin(n, epsilon, majority)
+    advantage = round(epsilon * n)
+    larger = (n + advantage) // 2
+    if majority == "A":
+        return MajorityWorkload(counts, larger, n - larger)
+    return MajorityWorkload(counts, n - larger, larger)
+
+
+def bernoulli_workload(protocol: MajorityProtocol, n: int, p: float, *,
+                       rng=None) -> MajorityWorkload:
+    """Each agent independently starts in A with probability ``p``.
+
+    Near ``p = 1/2`` the realized majority is essentially a coin flip
+    with margin ``Theta(sqrt(n))`` — the regime where approximate
+    protocols break and AVC's exactness matters.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise InvalidParameterError(f"p must be in [0, 1], got {p}")
+    if n < 2:
+        raise InvalidParameterError(f"n must be >= 2, got {n}")
+    generator = ensure_rng(rng)
+    count_a = int(generator.binomial(n, p))
+    return _build(protocol, count_a, n - count_a)
+
+
+def worst_case_workload(protocol: MajorityProtocol, n: int,
+                        majority: str = "A") -> MajorityWorkload:
+    """The hardest legal input: a one-agent advantage (needs odd n)."""
+    if n % 2 == 0:
+        raise InvalidParameterError(
+            f"single-agent advantage needs odd n, got {n}")
+    return margin_workload(protocol, n, 1.0 / n, majority)
+
+
+def clustered_placement(protocol: MajorityProtocol,
+                        workload: MajorityWorkload) -> list:
+    """Agent-state list with all A-agents first (contiguous).
+
+    For graph engines this is the adversarial placement: on a ring it
+    creates exactly two opinion boundaries, the slowest possible
+    mixing.  Feed it to :class:`~repro.sim.agent_engine.AgentEngine`
+    via a custom initial assignment by building counts per node
+    yourself, or use it to study boundary dynamics directly.
+    """
+    state_a = protocol.initial_state(protocol.INPUT_A)
+    state_b = protocol.initial_state(protocol.INPUT_B)
+    return [state_a] * workload.count_a + [state_b] * workload.count_b

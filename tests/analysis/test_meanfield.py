@@ -1,0 +1,102 @@
+"""Tests for the mean-field ODE limits (abl-meanfield)."""
+
+import numpy as np
+import pytest
+
+from repro import InvalidParameterError, ThreeStateProtocol
+from repro.analysis.meanfield import (
+    four_state_ode,
+    four_state_ode_convergence_time,
+    solve_four_state,
+    solve_three_state,
+    three_state_ode,
+    three_state_ode_convergence_time,
+)
+from repro.sim import CountEngine, TrajectoryRecorder
+
+
+class TestODEStructure:
+    def test_three_state_mass_conserved(self):
+        derivative = three_state_ode(0.0, np.array([0.5, 0.3, 0.2]))
+        assert sum(derivative) == pytest.approx(0.0, abs=1e-12)
+
+    def test_four_state_mass_conserved(self):
+        derivative = four_state_ode(0.0, np.array([0.4, 0.3, 0.2, 0.1]))
+        assert sum(derivative) == pytest.approx(0.0, abs=1e-12)
+
+    def test_four_state_strong_difference_conserved(self):
+        """d(p1 - m1)/dt = 0: the ODE shadow of the sum invariant."""
+        derivative = four_state_ode(0.0, np.array([0.4, 0.3, 0.2, 0.1]))
+        assert derivative[0] - derivative[1] == pytest.approx(0.0)
+
+    def test_consensus_is_fixed_point(self):
+        assert np.allclose(three_state_ode(0.0, np.array([1.0, 0.0, 0.0])),
+                           0.0)
+        assert np.allclose(four_state_ode(0.0, np.array([0.3, 0.0, 0.7,
+                                                         0.0])), 0.0)
+
+
+class TestSolvers:
+    def test_three_state_majority_wins(self):
+        solution = solve_three_state(0.6, 0.4, t_max=40.0)
+        assert solution.fraction("A")[-1] == pytest.approx(1.0, abs=1e-3)
+        assert solution.fraction("B")[-1] == pytest.approx(0.0, abs=1e-3)
+
+    def test_four_state_minority_strong_depleted(self):
+        solution = solve_four_state(0.6, 0.4, t_max=200.0)
+        assert solution.fraction("-1")[-1] == pytest.approx(0.0, abs=1e-3)
+        assert solution.fraction("+1")[-1] == pytest.approx(0.2, abs=1e-3)
+        assert solution.fraction("-0")[-1] == pytest.approx(0.0, abs=1e-3)
+
+    def test_unknown_label_rejected(self):
+        solution = solve_three_state(0.6, 0.4)
+        with pytest.raises(InvalidParameterError):
+            solution.fraction("Z")
+
+    def test_fraction_validation(self):
+        with pytest.raises(InvalidParameterError):
+            solve_three_state(0.8, 0.4)
+
+
+class TestConvergenceTimes:
+    def test_three_state_time_logarithmic_in_margin(self):
+        """[PVV09]: limit time is O(log(1/eps)) — halving eps should
+        add roughly a constant, not double the time."""
+        times = [three_state_ode_convergence_time(eps)
+                 for eps in (0.2, 0.1, 0.05)]
+        assert times[0] < times[1] < times[2]
+        increments = np.diff(times)
+        assert increments[1] == pytest.approx(increments[0], rel=0.3)
+
+    def test_four_state_time_inverse_in_margin(self):
+        """The four-state limit pays Theta(1/eps)."""
+        fast = four_state_ode_convergence_time(0.2)
+        slow = four_state_ode_convergence_time(0.02)
+        assert slow / fast == pytest.approx(10.0, rel=0.35)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            three_state_ode_convergence_time(0.0)
+        with pytest.raises(InvalidParameterError):
+            four_state_ode_convergence_time(2.0)
+
+
+class TestAgainstSimulation:
+    def test_three_state_trajectory_matches_ode(self):
+        """For large n the simulated fractions track the ODE closely
+        (law of large numbers for density-dependent chains)."""
+        n = 4000
+        protocol = ThreeStateProtocol()
+        engine = CountEngine(protocol)
+        recorder = TrajectoryRecorder(interval_steps=n // 4)
+        engine.run(protocol.initial_counts(int(0.6 * n), int(0.4 * n)),
+                   rng=5, recorder=recorder)
+        steps, matrix = recorder.as_matrix()
+        times = steps / n
+        solution = solve_three_state(0.6, 0.4, t_max=float(times[-1]) + 1)
+        simulated_a = matrix[:, 0] / n
+        ode_a = np.interp(times, solution.times, solution.fraction("A"))
+        # Compare while both are in flight (skip the settled tail).
+        in_flight = ode_a < 0.99
+        assert np.max(np.abs(simulated_a[in_flight] - ode_a[in_flight])) \
+            < 0.06

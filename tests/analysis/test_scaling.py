@@ -1,0 +1,73 @@
+"""Tests for scaling-law fits, including fits of real sweep data."""
+
+import numpy as np
+import pytest
+
+from repro import FourStateProtocol, InvalidParameterError, run_trials
+from repro.analysis.scaling import fit_logarithmic, fit_power_law
+from repro.lowerbounds.info_propagation import expected_propagation_steps
+
+
+class TestFitPowerLaw:
+    def test_exact_power_law_recovered(self):
+        xs = np.array([1.0, 2.0, 4.0, 8.0])
+        ys = 3.0 * xs ** -1.5
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(-1.5)
+        assert fit.coefficient == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_power_law([1, 10, 100], [2, 20, 200])
+        assert fit.predict(1000) == pytest.approx(2000, rel=1e-6)
+
+    def test_noise_lowers_r_squared(self):
+        rng = np.random.default_rng(0)
+        xs = np.logspace(0, 2, 20)
+        ys = xs ** 2 * np.exp(rng.normal(0, 0.5, size=20))
+        fit = fit_power_law(xs, ys)
+        assert 1.5 < fit.exponent < 2.5
+        assert fit.r_squared < 1.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            fit_power_law([1.0], [2.0])
+        with pytest.raises(InvalidParameterError):
+            fit_power_law([1.0, -1.0], [2.0, 3.0])
+        with pytest.raises(InvalidParameterError):
+            fit_power_law([1.0, 2.0], [2.0, 0.0])
+        with pytest.raises(InvalidParameterError):
+            fit_power_law([1.0, 2.0], [2.0])
+
+
+class TestFitLogarithmic:
+    def test_exact_log_recovered(self):
+        xs = np.array([10.0, 100.0, 1000.0])
+        ys = 2.5 * np.log(xs) + 1.0
+        fit = fit_logarithmic(xs, ys)
+        assert fit.exponent == pytest.approx(2.5)
+        assert fit.coefficient == pytest.approx(1.0)
+
+    def test_propagation_times_fit_log(self):
+        """Theorem C.1's quantity really is a * ln(n) + b."""
+        ns = [100, 300, 1000, 3000, 10_000]
+        times = [expected_propagation_steps(n) / n for n in ns]
+        fit = fit_logarithmic(ns, times)
+        assert fit.r_squared > 0.999
+        assert 0.8 < fit.exponent < 1.2  # slope ~ 1 per ln(n)
+
+
+class TestOnMeasuredData:
+    def test_four_state_time_scales_inverse_in_margin(self):
+        """Fit the measured 4-state sweep: exponent ~ -1 in eps."""
+        protocol = FourStateProtocol()
+        n = 601
+        margins = [3 / n, 9 / n, 27 / n, 81 / n]
+        times = []
+        for index, epsilon in enumerate(margins):
+            stats = run_trials(protocol, num_trials=20, seed=40 + index,
+                               stats=True, n=n, epsilon=epsilon)
+            times.append(stats.mean_parallel_time)
+        fit = fit_power_law(margins, times)
+        assert -1.35 < fit.exponent < -0.65
+        assert fit.r_squared > 0.9

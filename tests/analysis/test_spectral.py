@@ -1,0 +1,81 @@
+"""Tests for the spectral-gap analysis (general-graph [DV12] view)."""
+
+import networkx as nx
+import pytest
+
+from repro import InvalidParameterError, IntervalConsensusProtocol
+from repro.analysis.spectral import (
+    dv12_style_bound,
+    rate_laplacian,
+    relaxation_time,
+    spectral_gap,
+)
+from repro.graphs import complete_graph, cycle_graph, random_regular_graph
+from repro.rng import spawn_many
+from repro.sim import AgentEngine
+
+
+class TestSpectralGap:
+    def test_clique_gap_is_order_one(self):
+        # Rate Laplacian of K_n: (n/|E|) * L, eigenvalue gap
+        # (n / (n(n-1)/2)) * n = 2n/(n-1) -> 2.
+        gap = spectral_gap(complete_graph(20))
+        assert gap == pytest.approx(2 * 20 / 19)
+
+    def test_ring_gap_vanishes_quadratically(self):
+        small = spectral_gap(cycle_graph(10))
+        large = spectral_gap(cycle_graph(40))
+        # L(cycle) gap ~ (2 pi / n)^2; rate scaling contributes n/|E|=1.
+        assert small / large == pytest.approx(16.0, rel=0.2)
+
+    def test_expander_beats_ring(self):
+        ring = spectral_gap(cycle_graph(30))
+        expander = spectral_gap(random_regular_graph(30, 4, rng=0))
+        assert expander > 5 * ring
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            spectral_gap(nx.Graph([(0, 1), (2, 3)]))
+
+    def test_rate_laplacian_row_sums_zero(self):
+        laplacian = rate_laplacian(cycle_graph(7))
+        assert abs(laplacian.sum()) < 1e-9
+
+    def test_relaxation_time(self):
+        graph = complete_graph(10)
+        assert relaxation_time(graph) == pytest.approx(
+            1.0 / spectral_gap(graph))
+
+
+class TestDV12Bound:
+    def test_margin_scaling(self):
+        graph = complete_graph(16)
+        assert dv12_style_bound(graph, 0.1) == pytest.approx(
+            10 * dv12_style_bound(graph, 1.0))
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            dv12_style_bound(complete_graph(5), 0.0)
+
+    def test_predicts_topology_ordering(self):
+        """Interval consensus converges faster on graphs with larger
+        spectral gap; the bound must predict the measured ordering."""
+        n = 24
+        protocol = IntervalConsensusProtocol()
+        graphs = {
+            "clique": complete_graph(n),
+            "ring": cycle_graph(n),
+        }
+        measured = {}
+        for name, graph in graphs.items():
+            engine = AgentEngine(protocol, graph=graph)
+            times = [
+                engine.run(protocol.initial_counts(16, 8),
+                           rng=child).parallel_time
+                for child in spawn_many(21, 25)
+            ]
+            measured[name] = sum(times) / len(times)
+        predicted = {name: dv12_style_bound(graph, epsilon=8 / 24)
+                     for name, graph in graphs.items()}
+        assert measured["ring"] > measured["clique"]
+        assert predicted["ring"] > predicted["clique"]

@@ -1,0 +1,73 @@
+"""Tests for statistics helpers."""
+
+import math
+
+import pytest
+
+from repro import InvalidParameterError
+from repro.analysis.stats import (
+    bootstrap_mean_ci,
+    geometric_mean,
+    mean_confidence_interval,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == 2.5
+        assert stats.median == 2.5
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.std == pytest.approx(math.sqrt(5 / 3))
+
+    def test_single_value(self):
+        stats = summarize([7.0])
+        assert stats.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            summarize([])
+
+
+class TestConfidenceIntervals:
+    def test_normal_ci_contains_mean(self):
+        mean, low, high = mean_confidence_interval([1, 2, 3, 4, 5])
+        assert low < mean < high
+        assert mean == 3.0
+
+    def test_normal_ci_single_point_degenerate(self):
+        mean, low, high = mean_confidence_interval([4.0])
+        assert mean == low == high == 4.0
+
+    def test_bootstrap_ci_contains_mean(self):
+        data = list(range(50))
+        mean, low, high = bootstrap_mean_ci(data, rng=0)
+        assert low < mean < high
+        assert mean == pytest.approx(24.5)
+
+    def test_bootstrap_reproducible(self):
+        data = [1.0, 5.0, 2.0, 8.0]
+        assert bootstrap_mean_ci(data, rng=3) == bootstrap_mean_ci(data,
+                                                                   rng=3)
+
+    def test_confidence_validation(self):
+        with pytest.raises(InvalidParameterError):
+            mean_confidence_interval([1, 2], confidence=1.5)
+        with pytest.raises(InvalidParameterError):
+            bootstrap_mean_ci([1, 2], confidence=0.0)
+        with pytest.raises(InvalidParameterError):
+            mean_confidence_interval([])
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(InvalidParameterError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(InvalidParameterError):
+            geometric_mean([])

@@ -1,0 +1,104 @@
+"""Tests for the closed-form bounds."""
+
+import math
+
+import pytest
+
+from repro import InvalidParameterError
+from repro.analysis import theory
+
+
+class TestKL:
+    def test_zero_at_equal(self):
+        assert theory.kl_bernoulli(0.5, 0.5) == 0.0
+
+    def test_known_value(self):
+        # D(1 || 1/2) = log 2
+        assert theory.kl_bernoulli(1.0, 0.5) == pytest.approx(math.log(2))
+
+    def test_symmetric_quadratic_approximation(self):
+        # D((1+e)/2 || 1/2) ~= e^2 / 2 for small e.
+        eps = 1e-3
+        divergence = theory.kl_bernoulli((1 + eps) / 2, 0.5)
+        assert divergence == pytest.approx(eps**2 / 2, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            theory.kl_bernoulli(1.5, 0.5)
+        with pytest.raises(InvalidParameterError):
+            theory.kl_bernoulli(0.5, 0.0)
+
+
+class TestThreeStateError:
+    def test_decreases_in_n(self):
+        values = [theory.three_state_error_probability(n, 0.1)
+                  for n in (10, 100, 1000)]
+        assert values[0] > values[1] > values[2]
+
+    def test_decreases_in_margin(self):
+        values = [theory.three_state_error_probability(100, eps)
+                  for eps in (0.01, 0.1, 0.5)]
+        assert values[0] > values[1] > values[2]
+
+    def test_near_half_for_tiny_margin(self):
+        # With eps = 1/n the bound is essentially constant (the
+        # regime where Figure 3 (right) shows sizable error).
+        assert theory.three_state_error_probability(1001, 1 / 1001) > 0.9
+
+    def test_matches_asymptotic_form(self):
+        n, eps = 10_000, 0.01
+        exact = theory.three_state_error_probability(n, eps)
+        asymptotic = math.exp(-(eps**2) * n / 2)
+        assert exact == pytest.approx(asymptotic, rel=0.05)
+
+
+class TestTimeBounds:
+    def test_four_state_linear_in_inverse_margin(self):
+        slow = theory.four_state_time_bound(1000, 0.001)
+        fast = theory.four_state_time_bound(1000, 0.1)
+        assert slow / fast == pytest.approx(100)
+
+    def test_avc_bound_improves_with_states(self):
+        few = theory.avc_time_bound(10**5, 4, 1e-4)
+        many = theory.avc_time_bound(10**5, 10**4, 1e-4)
+        assert many < few / 100
+
+    def test_avc_polylog_regime(self):
+        """With s >= 1/eps the bound is O(log n log s): Corollary 4.2."""
+        n = 10**5
+        eps = 1e-3
+        s = theory.avc_states_for_polylog(eps)
+        assert s >= 1 / eps
+        bound = theory.avc_time_bound(n, s, eps)
+        assert bound <= 2 * math.log(n) * math.log(s) + math.log(n)
+
+    def test_avc_states_for_polylog_is_admissible(self):
+        from repro import AVCParams
+
+        for eps in (0.5, 0.1, 0.013, 1e-4):
+            s = theory.avc_states_for_polylog(eps)
+            params = AVCParams.from_num_states(s, d=1)
+            assert params.num_states == s
+
+    def test_three_state_bound_logarithmic(self):
+        assert theory.three_state_time_bound(10**6, 0.5) \
+            < theory.four_state_time_bound(10**6, 0.5)
+
+    def test_voter(self):
+        assert theory.voter_error_probability(0.2) == pytest.approx(0.4)
+        assert theory.voter_time_bound(500) == 500.0
+
+    def test_lower_bounds(self):
+        assert theory.lower_bound_four_states(0.01) == 100.0
+        assert theory.lower_bound_any_states(math.e ** 3) \
+            == pytest.approx(3.0)
+
+    @pytest.mark.parametrize("call", [
+        lambda: theory.three_state_error_probability(1, 0.5),
+        lambda: theory.three_state_error_probability(10, 0.0),
+        lambda: theory.avc_time_bound(10, 3, 0.5),
+        lambda: theory.four_state_time_bound(10, 2.0),
+    ])
+    def test_validation(self, call):
+        with pytest.raises(InvalidParameterError):
+            call()

@@ -1,0 +1,92 @@
+"""Tests for AVC trajectory analysis (the proof structure, empirically)."""
+
+import numpy as np
+import pytest
+
+from repro import AVCProtocol, InvalidParameterError, run_majority
+from repro.analysis.trajectory import analyze_avc_trajectory
+from repro.sim.record import TrajectoryRecorder
+
+
+def recorded_run(protocol, n, epsilon, seed, interval=None):
+    recorder = TrajectoryRecorder(
+        interval_steps=interval or max(1, n // 5))
+    result = run_majority(protocol, n=n, epsilon=epsilon, seed=seed,
+                          engine="count", recorder=recorder)
+    steps, matrix = recorder.as_matrix()
+    return result, analyze_avc_trajectory(protocol, steps, matrix)
+
+
+class TestTrajectoryExtraction:
+    def test_sum_invariant_across_snapshots(self):
+        protocol = AVCProtocol(m=9, d=1)
+        _, trajectory = recorded_run(protocol, 101, 5 / 101, seed=1)
+        assert trajectory.sum_invariant_holds
+        assert trajectory.total_value[0] == 9 * 5  # eps * m * n
+
+    def test_initial_snapshot_structure(self):
+        protocol = AVCProtocol(m=9, d=1)
+        _, trajectory = recorded_run(protocol, 101, 5 / 101, seed=2)
+        assert trajectory.max_positive_weight[0] == 9
+        assert trajectory.max_negative_weight[0] == 9
+        assert trajectory.weak_count[0] == 0
+        assert trajectory.positive_count[0] == 53
+        assert trajectory.negative_count[0] == 48
+
+    def test_final_snapshot_is_unanimous(self):
+        protocol = AVCProtocol(m=9, d=1)
+        result, trajectory = recorded_run(protocol, 101, 5 / 101, seed=3)
+        assert result.settled
+        assert trajectory.negative_count[-1] == 0
+        assert trajectory.positive_count[-1] >= 1
+
+    def test_minority_extremal_weight_monotone(self):
+        """The minority's maximum weight never increases (averaging
+        only shrinks extremes)."""
+        protocol = AVCProtocol(m=31, d=1)
+        _, trajectory = recorded_run(protocol, 201, 3 / 201, seed=4,
+                                     interval=40)
+        diffs = np.diff(trajectory.max_negative_weight)
+        assert (diffs <= 0).all()
+
+    def test_validation(self):
+        protocol = AVCProtocol(m=3, d=1)
+        with pytest.raises(InvalidParameterError):
+            analyze_avc_trajectory(protocol, [0], [[1, 2]])
+        with pytest.raises(InvalidParameterError):
+            analyze_avc_trajectory(
+                protocol, [0, 1],
+                [[1] * protocol.num_states])
+
+
+class TestClaimA2Empirically:
+    def test_halving_times_roughly_even(self):
+        """Claim A.2: every halving of the minority's max weight costs
+        O(log n) parallel time — so successive halving gaps should be
+        the same order of magnitude, not growing with the weight."""
+        protocol = AVCProtocol(m=63, d=1)
+        n = 501
+        _, trajectory = recorded_run(protocol, n, 5 / n, seed=5,
+                                     interval=n // 10)
+        halvings = trajectory.halving_times(sign=-1)
+        assert halvings[0][0] == 63
+        gaps = [b[1] - a[1] for a, b in zip(halvings, halvings[1:])]
+        gaps = [g for g in gaps if g > 0]
+        assert gaps, "trajectory too coarse"
+        assert max(gaps) < 25 * (min(gaps) + 0.5)
+
+    def test_halving_times_cover_all_thresholds(self):
+        protocol = AVCProtocol(m=15, d=1)
+        _, trajectory = recorded_run(protocol, 101, 5 / 101, seed=6,
+                                     interval=10)
+        thresholds = [t for t, _ in trajectory.halving_times(sign=-1)]
+        assert thresholds == [15, 7, 3, 1]
+
+    def test_positive_side_halves_too(self):
+        """With eps small both extremes decay (the surplus ends up in
+        many small positive values, not a few big ones)."""
+        protocol = AVCProtocol(m=63, d=1)
+        n = 501
+        _, trajectory = recorded_run(protocol, n, 1 / n, seed=7,
+                                     interval=n // 10)
+        assert trajectory.max_positive_weight[-1] <= 3

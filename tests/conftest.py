@@ -1,0 +1,48 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AVCProtocol,
+    FourStateProtocol,
+    ThreeStateProtocol,
+    VoterProtocol,
+)
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def three_state():
+    return ThreeStateProtocol()
+
+
+@pytest.fixture
+def four_state():
+    return FourStateProtocol()
+
+
+@pytest.fixture
+def voter():
+    return VoterProtocol()
+
+
+@pytest.fixture
+def avc_small():
+    """A small AVC instance exercising all rule branches (m=5, d=2)."""
+    return AVCProtocol(m=5, d=2)
+
+
+@pytest.fixture(params=[(1, 1), (1, 3), (3, 1), (5, 2), (9, 4)],
+                ids=lambda md: f"m{md[0]}d{md[1]}")
+def avc_grid(request):
+    """A grid of AVC parameterizations for exhaustive rule checks."""
+    m, d = request.param
+    return AVCProtocol(m=m, d=d)

@@ -1,0 +1,62 @@
+"""abl-m1: AVC with m = 1, d = 1 coincides with the 4-state protocol.
+
+The paper notes that the m = 1 special case 'would be identical to the
+four-state algorithm of [DV12, MNRS14]'.  We machine-check this: the
+two protocols' transition tables are identical under the natural state
+bijection, hence they induce the same Markov chain on configurations.
+"""
+
+import itertools
+
+from repro import AVCProtocol, FourStateProtocol
+from repro.core.states import intermediate_state, weak_state
+from repro.protocols.four_state import (
+    STRONG_MINUS,
+    STRONG_PLUS,
+    WEAK_MINUS,
+    WEAK_PLUS,
+)
+
+#: The natural bijection between four-state names and m=1 AVC states.
+BIJECTION = {
+    STRONG_PLUS: intermediate_state(1, 1),
+    STRONG_MINUS: intermediate_state(-1, 1),
+    WEAK_PLUS: weak_state(1),
+    WEAK_MINUS: weak_state(-1),
+}
+
+
+def test_transition_tables_identical():
+    four = FourStateProtocol()
+    avc = AVCProtocol(m=1, d=1)
+    for x, y in itertools.product(four.states, repeat=2):
+        four_result = four.transition(x, y)
+        avc_result = avc.transition(BIJECTION[x], BIJECTION[y])
+        assert avc_result == tuple(BIJECTION[s] for s in four_result), \
+            f"divergence at ({x}, {y})"
+
+
+def test_initial_states_correspond():
+    four = FourStateProtocol()
+    avc = AVCProtocol(m=1, d=1)
+    assert BIJECTION[four.initial_state("A")] == avc.initial_state("A")
+    assert BIJECTION[four.initial_state("B")] == avc.initial_state("B")
+
+
+def test_outputs_correspond():
+    four = FourStateProtocol()
+    avc = AVCProtocol(m=1, d=1)
+    for state in four.states:
+        assert four.output(state) == avc.output(BIJECTION[state])
+
+
+def test_settled_predicates_correspond():
+    four = FourStateProtocol()
+    avc = AVCProtocol(m=1, d=1)
+    # All configurations of up to 6 agents over the 4 states.
+    for counts in itertools.product(range(4), repeat=4):
+        if sum(counts) == 0:
+            continue
+        four_counts = dict(zip(four.states, counts))
+        avc_counts = {BIJECTION[s]: c for s, c in four_counts.items()}
+        assert four.is_settled(four_counts) == avc.is_settled(avc_counts)

@@ -1,0 +1,74 @@
+"""AVC is a clique protocol: limits on sparse interaction graphs.
+
+The paper analyzes AVC on the complete graph.  These tests document a
+genuine limitation this library surfaced while sweeping topologies:
+on sparse graphs AVC can *freeze* with mixed signs, because a
+non-zero-weight agent can be walled off from distant weak agents by
+weight-0 neighbours (weak-weak interactions are no-ops, so opinions
+cannot travel through a weak region).  Exactness is unaffected — the
+sum invariant holds on every graph, so AVC never settles on the
+minority anywhere; it just may fail to settle at all off the clique.
+"""
+
+import networkx as nx
+import pytest
+
+from repro import AVCProtocol
+from repro.core.states import strong_state, weak_state
+from repro.sim import AgentEngine
+
+
+class TestExplicitFrozenWitness:
+    def test_ring_configuration_with_no_productive_edge(self):
+        """[+0, -0, -3, -0, +0] on a 5-ring: every adjacent ordered
+        pair is a null interaction, yet signs are mixed and the total
+        value is -3 — a frozen, never-settling configuration that
+        would be impossible on the clique (the -3 would eventually
+        meet the +0s)."""
+        protocol = AVCProtocol(m=5, d=1)
+        agents = [weak_state(1), weak_state(-1), strong_state(-3),
+                  weak_state(-1), weak_state(1)]
+        ring = nx.cycle_graph(5)
+        for u, v in ring.edges():
+            for x, y in ((agents[u], agents[v]), (agents[v], agents[u])):
+                assert protocol.transition(x, y) == (x, y), (
+                    f"expected null interaction on edge ({u}, {v})")
+        counts = {}
+        for state in agents:
+            counts[state] = counts.get(state, 0) + 1
+        assert not protocol.is_settled(counts)
+        assert protocol.total_value(counts) == -3
+
+    def test_same_configuration_progresses_on_the_clique(self):
+        """The witness is only frozen because of the topology: with
+        clique interactions the -3 meets a +0 and progress resumes."""
+        protocol = AVCProtocol(m=5, d=1)
+        x, y = protocol.transition(strong_state(-3), weak_state(1))
+        assert (x, y) != (strong_state(-3), weak_state(1))
+
+
+class TestRingBehaviour:
+    def test_avc_rarely_settles_on_a_ring(self):
+        protocol = AVCProtocol(m=15, d=1)
+        engine = AgentEngine(protocol, graph=nx.cycle_graph(60))
+        unsettled = 0
+        for seed in range(5):
+            result = engine.run(protocol.initial_counts(33, 27),
+                                rng=seed, expected=1,
+                                max_parallel_time=5_000)
+            if not result.settled:
+                unsettled += 1
+            else:
+                assert result.decision == 1  # if it settles, correctly
+        assert unsettled >= 3
+
+    def test_avc_never_errs_even_where_it_freezes(self):
+        """Exactness survives the topology: across budget-censored
+        ring runs, no settled run ever decides for the minority."""
+        protocol = AVCProtocol(m=5, d=1)
+        engine = AgentEngine(protocol, graph=nx.cycle_graph(30))
+        for seed in range(10):
+            result = engine.run(protocol.initial_counts(18, 12),
+                                rng=seed, expected=1,
+                                max_parallel_time=2_000)
+            assert result.correct in (True, None)

@@ -1,0 +1,128 @@
+"""Tests for the AVCProtocol class-level behaviour (not the rules)."""
+
+import pytest
+
+from repro import AVCProtocol, InvalidParameterError, MAJORITY_A, MAJORITY_B
+from repro.core.states import intermediate_state, strong_state, weak_state
+from repro.errors import InvalidStateError
+
+
+class TestConstruction:
+    def test_default_is_four_state_equivalent(self):
+        protocol = AVCProtocol()
+        assert protocol.num_states == 4
+
+    def test_with_num_states(self):
+        protocol = AVCProtocol.with_num_states(66)
+        assert protocol.num_states == 66
+        assert protocol.m == 63
+
+    def test_name_mentions_parameters(self):
+        assert AVCProtocol(m=5, d=2).name == "avc(m=5,d=2)"
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            AVCProtocol(m=4)
+
+
+class TestInitialStates:
+    def test_inputs_map_to_extremes(self):
+        protocol = AVCProtocol(m=5, d=2)
+        assert protocol.initial_state("A") == strong_state(5)
+        assert protocol.initial_state("B") == strong_state(-5)
+
+    def test_m1_inputs_are_intermediates(self):
+        protocol = AVCProtocol(m=1, d=1)
+        assert protocol.initial_state("A") == intermediate_state(1, 1)
+        assert protocol.initial_state("B") == intermediate_state(-1, 1)
+
+    def test_unknown_symbol_rejected(self):
+        with pytest.raises(ValueError):
+            AVCProtocol(m=3).initial_state("C")
+
+    def test_initial_counts_for_margin(self):
+        protocol = AVCProtocol(m=3)
+        counts = protocol.initial_counts_for_margin(101, 1 / 101)
+        assert counts[strong_state(3)] == 51
+        assert counts[strong_state(-3)] == 50
+
+    def test_margin_for_b(self):
+        protocol = AVCProtocol(m=3)
+        counts = protocol.initial_counts_for_margin(101, 1 / 101,
+                                                    majority="B")
+        assert counts[strong_state(-3)] == 51
+
+    def test_margin_must_be_integral(self):
+        protocol = AVCProtocol(m=3)
+        with pytest.raises(InvalidParameterError):
+            protocol.initial_counts_for_margin(100, 1 / 100)  # parity
+
+    def test_margin_out_of_range(self):
+        protocol = AVCProtocol(m=3)
+        with pytest.raises(InvalidParameterError):
+            protocol.initial_counts_for_margin(100, 1e-9)
+
+
+class TestOutputsAndSettled:
+    def test_output_follows_sign(self, avc_small):
+        assert avc_small.output(strong_state(5)) == MAJORITY_A
+        assert avc_small.output(strong_state(-3)) == MAJORITY_B
+        assert avc_small.output(weak_state(1)) == MAJORITY_A
+        assert avc_small.output(intermediate_state(-1, 1)) == MAJORITY_B
+
+    def test_settled_all_positive(self, avc_small):
+        counts = {strong_state(3): 2, weak_state(1): 5,
+                  intermediate_state(1, 1): 1}
+        assert avc_small.is_settled(counts)
+
+    def test_not_settled_with_mixed_signs(self, avc_small):
+        counts = {strong_state(3): 2, weak_state(-1): 1}
+        assert not avc_small.is_settled(counts)
+
+    def test_zero_counts_ignored(self, avc_small):
+        counts = {strong_state(3): 2, weak_state(-1): 0}
+        assert avc_small.is_settled(counts)
+
+    def test_empty_configuration_not_settled(self, avc_small):
+        assert not avc_small.is_settled({})
+
+
+class TestInvariantHelpers:
+    def test_total_value(self, avc_small):
+        counts = {strong_state(5): 3, strong_state(-3): 2,
+                  intermediate_state(-1, 2): 4, weak_state(1): 7}
+        assert avc_small.total_value(counts) == 15 - 6 - 4
+
+    def test_state_from_value(self, avc_small):
+        assert avc_small.state_from_value(5) == strong_state(5)
+        assert avc_small.state_from_value(-1) == intermediate_state(-1, 1)
+        assert avc_small.state_from_value(1, level=2) \
+            == intermediate_state(1, 2)
+
+    def test_state_from_value_zero_rejected(self, avc_small):
+        with pytest.raises(InvalidStateError):
+            avc_small.state_from_value(0)
+
+
+class TestIndexViews:
+    def test_round_trip_indexing(self, avc_small):
+        for index, state in enumerate(avc_small.states):
+            assert avc_small.index_of(state) == index
+
+    def test_transition_index_consistency(self, avc_small):
+        s = avc_small.num_states
+        for i in range(s):
+            for j in range(s):
+                new_i, new_j = avc_small.transition_index(i, j)
+                expected = avc_small.transition(avc_small.states[i],
+                                                avc_small.states[j])
+                assert (avc_small.states[new_i],
+                        avc_small.states[new_j]) == expected
+
+    def test_transition_matrix_matches(self, avc_small):
+        out_x, out_y = avc_small.transition_matrix()
+        s = avc_small.num_states
+        for i in range(s):
+            for j in range(s):
+                assert (out_x[i, j], out_y[i, j]) \
+                    == avc_small.transition_index(i, j)

@@ -1,0 +1,143 @@
+"""Robustness of AVC beyond valid inputs (Lemma A.1 + fault injection).
+
+Lemma A.1 is stated for *arbitrary* starting configurations: whatever
+the initial mix of states, the system converges with probability 1 to
+the sign of the conserved total value ``S`` (provided ``S != 0``).
+That makes AVC self-stabilizing against state corruption: if an
+adversary rewrites agents mid-run, the execution simply continues from
+a new "arbitrary configuration" and converges to the sign of the *new*
+total.  These tests exercise exactly that — including corruptions that
+flip the winning side.
+"""
+
+import pytest
+
+from repro import AVCProtocol, run
+from repro.core.states import intermediate_state, strong_state, weak_state
+from repro.rng import ensure_rng
+from repro.sim import CountEngine
+
+
+def random_configuration(protocol, n, rng):
+    """A uniformly random assignment of n agents to protocol states."""
+    picks = rng.integers(0, protocol.num_states, size=n)
+    counts = {}
+    for index in picks:
+        state = protocol.states[int(index)]
+        counts[state] = counts.get(state, 0) + 1
+    return counts
+
+
+class TestArbitraryStartingConfigurations:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_converges_to_sign_of_total_value(self, seed):
+        protocol = AVCProtocol(m=7, d=2)
+        rng = ensure_rng(1000 + seed)
+        counts = random_configuration(protocol, 60, rng)
+        total = protocol.total_value(counts)
+        if total == 0:
+            counts[strong_state(3)] = counts.get(strong_state(3), 0) + 1
+            total = 3
+        result = run(protocol, counts, rng=rng)
+        assert result.settled
+        assert result.decision == (1 if total > 0 else 0)
+
+    def test_mixed_levels_and_weights_input(self):
+        protocol = AVCProtocol(m=5, d=3)
+        counts = {
+            strong_state(5): 2,           # +10
+            strong_state(-3): 5,          # -15
+            intermediate_state(1, 2): 4,  # +4
+            intermediate_state(-1, 3): 1, # -1
+            weak_state(1): 7,             # 0
+        }                                 # total -2: B must win
+        result = run(protocol, counts, seed=4)
+        assert result.settled
+        assert result.decision == 0
+
+    def test_weak_only_plus_one_strong(self):
+        """A single opinionated agent converts an all-weak population."""
+        protocol = AVCProtocol(m=5, d=1)
+        counts = {weak_state(1): 20, weak_state(-1): 20,
+                  strong_state(-5): 1}
+        result = run(protocol, counts, seed=9)
+        assert result.settled
+        assert result.decision == 0
+
+
+class TestMidRunCorruption:
+    def _corrupt(self, protocol, counts, *, remove, inject):
+        """Move agents between states (an adversarial rewrite)."""
+        corrupted = dict(counts)
+        for state, count in remove.items():
+            assert corrupted.get(state, 0) >= count, "test setup bug"
+            corrupted[state] -= count
+        for state, count in inject.items():
+            corrupted[state] = corrupted.get(state, 0) + count
+        return {s: c for s, c in corrupted.items() if c}
+
+    def test_corruption_that_flips_the_majority(self):
+        """Interrupt a run, rewrite enough agents to flip the sign of
+        the conserved total, resume: AVC must now converge to the NEW
+        majority (Lemma A.1 applied to the corrupted configuration)."""
+        protocol = AVCProtocol(m=5, d=1)
+        engine = CountEngine(protocol)
+        initial = protocol.initial_counts(60, 41)  # total +95
+
+        partial = engine.run(initial, rng=1, max_steps=150)
+        assert not partial.settled
+
+        # Adversary: replace eight +5 agents (if still present) or
+        # weight-carrying positives with -5 agents.
+        counts = dict(partial.final_counts)
+        positives = [s for s, c in counts.items()
+                     for _ in range(c) if s.value > 0]
+        victims = positives[:30]
+        corrupted = dict(counts)
+        for state in victims:
+            corrupted[state] -= 1
+        corrupted[strong_state(-5)] = corrupted.get(strong_state(-5),
+                                                    0) + 30
+        corrupted = {s: c for s, c in corrupted.items() if c}
+        new_total = protocol.total_value(corrupted)
+        assert new_total < 0, "corruption should flip the sign"
+
+        resumed = engine.run(corrupted, rng=2)
+        assert resumed.settled
+        assert resumed.decision == 0
+
+    def test_corruption_that_preserves_the_majority(self):
+        """Rewrites that keep the total positive cannot change the
+        outcome, no matter which states they scramble."""
+        protocol = AVCProtocol(m=9, d=2)
+        engine = CountEngine(protocol)
+        partial = engine.run(protocol.initial_counts(70, 31), rng=3,
+                             max_steps=200)
+        counts = self._corrupt(
+            protocol, partial.final_counts,
+            remove={},
+            inject={weak_state(-1): 25,
+                    intermediate_state(-1, 1): 5,
+                    intermediate_state(1, 2): 5})
+        assert protocol.total_value(counts) > 0
+        resumed = engine.run(counts, rng=4)
+        assert resumed.settled
+        assert resumed.decision == 1
+
+    @pytest.mark.parametrize("round_seed", range(5))
+    def test_repeated_corruption_rounds(self, round_seed):
+        """Several corruption/resume cycles; the final decision always
+        tracks the final conserved total."""
+        protocol = AVCProtocol(m=5, d=1)
+        engine = CountEngine(protocol)
+        rng = ensure_rng(500 + round_seed)
+        counts = protocol.initial_counts(30, 21)
+        for _ in range(3):
+            partial = engine.run(counts, rng=rng, max_steps=100)
+            counts = random_configuration(protocol, 51, rng)
+        if protocol.total_value(counts) == 0:
+            counts[strong_state(5)] = counts.get(strong_state(5), 0) + 1
+        final = engine.run(counts, rng=rng)
+        assert final.settled
+        expected = 1 if protocol.total_value(counts) > 0 else 0
+        assert final.decision == expected

@@ -1,0 +1,196 @@
+"""Exhaustive and property-based tests of the AVC update rules.
+
+Checks the transition function against the paper's Figure 1 semantics:
+the worked examples from the text, the sum invariant (Invariant 4.3)
+over every state pair, and structural properties used by the analysis.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import AVCProtocol
+from repro.core.states import (
+    intermediate_state,
+    strong_state,
+    weak_state,
+)
+
+
+def all_pairs(protocol):
+    return itertools.product(protocol.states, repeat=2)
+
+
+class TestPaperExamples:
+    """Worked examples quoted in the paper's prose and Figure 2."""
+
+    def test_m_meets_minus_m(self):
+        protocol = AVCProtocol(m=5, d=2)
+        new_x, new_y = protocol.transition(strong_state(5), strong_state(-5))
+        assert {new_x, new_y} == {intermediate_state(1, 1),
+                                  intermediate_state(-1, 1)}
+
+    def test_five_meets_minus_one(self):
+        """'input states 5 and -1 will yield output states 1 and 3'."""
+        protocol = AVCProtocol(m=5, d=2)
+        new_x, new_y = protocol.transition(strong_state(5),
+                                           intermediate_state(-1, 1))
+        assert {new_x.value, new_y.value} == {1, 3}
+
+    def test_three_meets_minus_zero(self):
+        """'input states 3 and -0 will yield output states 3 and 0'."""
+        protocol = AVCProtocol(m=5, d=2)
+        new_x, new_y = protocol.transition(strong_state(3), weak_state(-1))
+        assert new_x == strong_state(3)
+        assert new_y == weak_state(1)  # the weak agent adopts + sign
+
+    def test_averaging_odd_average(self):
+        protocol = AVCProtocol(m=9, d=1)
+        new_x, new_y = protocol.transition(strong_state(9), strong_state(5))
+        assert new_x.value == 7 and new_y.value == 7
+
+    def test_averaging_even_average(self):
+        protocol = AVCProtocol(m=9, d=1)
+        new_x, new_y = protocol.transition(strong_state(9), strong_state(-5))
+        assert {new_x.value, new_y.value} == {1, 3}
+
+
+class TestRuleBranches:
+    def test_neutralization_requires_level_d(self):
+        protocol = AVCProtocol(m=5, d=3)
+        x = intermediate_state(1, 1)
+        y = intermediate_state(-1, 1)
+        new_x, new_y = protocol.transition(x, y)
+        # Neither at level d: both drop one level, no neutralization.
+        assert new_x == intermediate_state(1, 2)
+        assert new_y == intermediate_state(-1, 2)
+
+    def test_neutralization_at_level_d(self):
+        protocol = AVCProtocol(m=5, d=3)
+        x = intermediate_state(1, 3)
+        y = intermediate_state(-1, 1)
+        new_x, new_y = protocol.transition(x, y)
+        assert {new_x, new_y} == {weak_state(1), weak_state(-1)}
+
+    def test_same_sign_intermediates_also_shift(self):
+        protocol = AVCProtocol(m=5, d=3)
+        new_x, new_y = protocol.transition(intermediate_state(1, 1),
+                                           intermediate_state(1, 2))
+        assert new_x == intermediate_state(1, 2)
+        assert new_y == intermediate_state(1, 3)
+
+    def test_same_sign_intermediates_never_neutralize(self):
+        protocol = AVCProtocol(m=5, d=2)
+        x = intermediate_state(1, 2)
+        new_x, new_y = protocol.transition(x, x)
+        assert new_x == x and new_y == x
+
+    def test_weak_meets_weak_is_noop(self):
+        protocol = AVCProtocol(m=5, d=2)
+        for sx, sy in itertools.product((1, -1), repeat=2):
+            assert protocol.transition(weak_state(sx), weak_state(sy)) \
+                == (weak_state(sx), weak_state(sy))
+
+    def test_weak_adopts_sign_of_intermediate_and_shifts_it(self):
+        protocol = AVCProtocol(m=5, d=2)
+        new_x, new_y = protocol.transition(weak_state(1),
+                                           intermediate_state(-1, 1))
+        assert new_x == weak_state(-1)
+        assert new_y == intermediate_state(-1, 2)
+
+    def test_weak_does_not_shift_level_d_partner(self):
+        protocol = AVCProtocol(m=5, d=2)
+        new_x, new_y = protocol.transition(weak_state(1),
+                                           intermediate_state(-1, 2))
+        assert new_x == weak_state(-1)
+        assert new_y == intermediate_state(-1, 2)
+
+    def test_same_sign_weak_still_shifts_intermediate(self):
+        # Rule 2 applies regardless of signs: interacting with any
+        # weak agent costs an intermediate one level.
+        protocol = AVCProtocol(m=5, d=2)
+        new_x, new_y = protocol.transition(intermediate_state(1, 1),
+                                           weak_state(1))
+        assert new_x == intermediate_state(1, 2)
+        assert new_y == weak_state(1)
+
+    def test_strong_meets_intermediate_resets_level(self):
+        # 3 meets -1_2: average 1 -> both become 1_1 (level resets).
+        protocol = AVCProtocol(m=5, d=3)
+        new_x, new_y = protocol.transition(strong_state(3),
+                                           intermediate_state(-1, 2))
+        assert new_x == intermediate_state(1, 1)
+        assert new_y == intermediate_state(1, 1)
+
+
+class TestGlobalProperties:
+    def test_sum_invariant_all_pairs(self, avc_grid):
+        """Invariant 4.3 over the full interaction table."""
+        for x, y in all_pairs(avc_grid):
+            new_x, new_y = avc_grid.transition(x, y)
+            assert x.value + y.value == new_x.value + new_y.value, \
+                f"{x} + {y} -> {new_x} + {new_y}"
+
+    def test_transition_total_and_closed(self, avc_grid):
+        state_set = set(avc_grid.states)
+        for x, y in all_pairs(avc_grid):
+            new_x, new_y = avc_grid.transition(x, y)
+            assert new_x in state_set and new_y in state_set
+
+    def test_sign_symmetry(self, avc_grid):
+        """Negating both inputs negates both outputs (state mirror)."""
+        def mirror(state):
+            if state.is_intermediate:
+                return intermediate_state(-state.sign, state.level)
+            if state.is_weak:
+                return weak_state(-state.sign)
+            return strong_state(-state.value)
+
+        for x, y in all_pairs(avc_grid):
+            new_x, new_y = avc_grid.transition(x, y)
+            mirrored_x, mirrored_y = avc_grid.transition(mirror(x), mirror(y))
+            assert {mirrored_x, mirrored_y} == {mirror(new_x), mirror(new_y)}
+
+    def test_weights_never_increase_above_max(self, avc_grid):
+        """The maximum weight of the pair never grows."""
+        for x, y in all_pairs(avc_grid):
+            new_x, new_y = avc_grid.transition(x, y)
+            assert max(new_x.weight, new_y.weight) <= max(x.weight, y.weight)
+
+    def test_all_same_sign_absorbing(self, avc_grid):
+        """Two same-sign agents never produce an opposite-sign agent
+        (the basis of the is_settled predicate)."""
+        for x, y in all_pairs(avc_grid):
+            if x.sign != y.sign:
+                continue
+            new_x, new_y = avc_grid.transition(x, y)
+            assert new_x.sign == x.sign and new_y.sign == x.sign
+
+    def test_initiator_gets_rounded_down(self):
+        """R_down applies to x, R_up to y (ordered semantics)."""
+        protocol = AVCProtocol(m=9, d=1)
+        new_x, new_y = protocol.transition(strong_state(9), strong_state(-5))
+        assert new_x.value == 1 and new_y.value == 3
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.data(), m=st.sampled_from([1, 3, 5, 9]),
+       d=st.integers(min_value=1, max_value=4))
+def test_random_interaction_sequences_preserve_sum(data, m, d):
+    """Property: any interaction sequence preserves the total value."""
+    protocol = AVCProtocol(m=m, d=d)
+    states = list(protocol.states)
+    population = data.draw(
+        st.lists(st.sampled_from(states), min_size=2, max_size=8))
+    total = sum(s.value for s in population)
+    num_steps = data.draw(st.integers(min_value=1, max_value=30))
+    for _ in range(num_steps):
+        i = data.draw(st.integers(0, len(population) - 1))
+        j = data.draw(st.integers(0, len(population) - 2))
+        if j >= i:
+            j += 1
+        population[i], population[j] = protocol.transition(
+            population[i], population[j])
+    assert sum(s.value for s in population) == total

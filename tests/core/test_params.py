@@ -1,0 +1,72 @@
+"""Tests for AVC parameter validation."""
+
+import pytest
+
+from repro import InvalidParameterError
+from repro.core.params import AVCParams
+
+
+class TestAVCParams:
+    def test_minimal_parameters(self):
+        params = AVCParams(m=1, d=1)
+        assert params.num_states == 4
+
+    def test_state_count_formula(self):
+        assert AVCParams(m=5, d=2).num_states == 5 + 2 * 2 + 1
+        assert AVCParams(m=63, d=1).num_states == 66
+
+    @pytest.mark.parametrize("m", [0, -1, 2, 4, 100])
+    def test_rejects_even_or_nonpositive_m(self, m):
+        with pytest.raises(InvalidParameterError):
+            AVCParams(m=m, d=1)
+
+    @pytest.mark.parametrize("d", [0, -3])
+    def test_rejects_nonpositive_d(self, d):
+        with pytest.raises(InvalidParameterError):
+            AVCParams(m=3, d=d)
+
+    def test_rejects_non_integer_types(self):
+        with pytest.raises(InvalidParameterError):
+            AVCParams(m=3.0, d=1)
+        with pytest.raises(InvalidParameterError):
+            AVCParams(m=3, d=True)
+
+    def test_frozen(self):
+        params = AVCParams(m=3, d=1)
+        with pytest.raises(Exception):
+            params.m = 5
+
+
+class TestFromNumStates:
+    def test_four_states_is_m1(self):
+        params = AVCParams.from_num_states(4, d=1)
+        assert params.m == 1
+
+    @pytest.mark.parametrize("s", [6, 12, 24, 34, 66, 130, 258, 514,
+                                   1026, 2050, 4098, 16340])
+    def test_paper_sweep_values(self, s):
+        """Every s value used in Figure 4 must be representable."""
+        params = AVCParams.from_num_states(s, d=1)
+        assert params.num_states == s
+        assert params.m % 2 == 1
+
+    def test_rejects_impossible_counts(self):
+        with pytest.raises(InvalidParameterError):
+            AVCParams.from_num_states(5, d=1)  # m = 2 would be even
+        with pytest.raises(InvalidParameterError):
+            AVCParams.from_num_states(3, d=1)  # m = 0
+
+
+class TestTheorySetting:
+    def test_d_matches_theorem(self):
+        params = AVCParams.theory_setting(n=1000)
+        assert params.m >= 1
+        assert params.d >= 1000  # 1000 log m log n is large by design
+
+    def test_m_respects_upper_bound(self):
+        with pytest.raises(InvalidParameterError):
+            AVCParams.theory_setting(n=10, m=101)
+
+    def test_rejects_tiny_population(self):
+        with pytest.raises(InvalidParameterError):
+            AVCParams.theory_setting(n=2)

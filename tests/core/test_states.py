@@ -1,0 +1,141 @@
+"""Tests for the AVC state space and auxiliary procedures."""
+
+import pytest
+
+from repro import InvalidStateError
+from repro.core.params import AVCParams
+from repro.core.states import (
+    AVCState,
+    enumerate_states,
+    intermediate_state,
+    phi,
+    round_down,
+    round_up,
+    shift_to_zero,
+    sign_to_zero,
+    strong_state,
+    weak_state,
+)
+
+
+class TestAVCState:
+    def test_strong_state_value(self):
+        assert strong_state(5).value == 5
+        assert strong_state(-7).value == -7
+
+    def test_intermediate_weight_is_one(self):
+        state = intermediate_state(-1, 3)
+        assert state.weight == 1
+        assert state.value == -1
+        assert state.level == 3
+
+    def test_weak_state_value_is_zero(self):
+        assert weak_state(1).value == 0
+        assert weak_state(-1).value == 0
+        assert weak_state(1) != weak_state(-1)
+
+    def test_kind_predicates_are_exclusive(self):
+        for state in (strong_state(3), intermediate_state(1, 1),
+                      weak_state(-1)):
+            kinds = [state.is_strong, state.is_intermediate, state.is_weak]
+            assert sum(kinds) == 1
+
+    def test_rejects_even_strong_weight(self):
+        with pytest.raises(InvalidStateError):
+            AVCState(sign=1, weight=4)
+
+    def test_rejects_weight_one_without_level(self):
+        with pytest.raises(InvalidStateError):
+            AVCState(sign=1, weight=1, level=0)
+
+    def test_rejects_level_on_strong_state(self):
+        with pytest.raises(InvalidStateError):
+            AVCState(sign=1, weight=3, level=1)
+
+    def test_rejects_bad_sign(self):
+        with pytest.raises(InvalidStateError):
+            AVCState(sign=0, weight=3)
+
+    def test_strong_state_rejects_one(self):
+        with pytest.raises(InvalidStateError):
+            strong_state(1)
+
+    def test_str_formats(self):
+        assert str(strong_state(5)) == "+5"
+        assert str(strong_state(-3)) == "-3"
+        assert str(intermediate_state(1, 2)) == "+1_2"
+        assert str(weak_state(-1)) == "-0"
+
+    def test_hashable_and_equal(self):
+        assert strong_state(3) == strong_state(3)
+        assert hash(strong_state(3)) == hash(strong_state(3))
+        assert intermediate_state(1, 1) != intermediate_state(1, 2)
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("m,d", [(1, 1), (3, 1), (5, 2), (31, 4)])
+    def test_counts_match_formula(self, m, d):
+        params = AVCParams(m=m, d=d)
+        states = enumerate_states(params)
+        assert len(states) == m + 2 * d + 1
+        assert len(set(states)) == len(states)
+
+    def test_value_symmetric(self):
+        states = enumerate_states(AVCParams(m=5, d=2))
+        values = [s.value for s in states]
+        assert values == [-v for v in reversed(values)]
+
+    def test_m1_is_four_states(self):
+        states = enumerate_states(AVCParams(m=1, d=1))
+        assert [str(s) for s in states] == ["-1_1", "-0", "+0", "+1_1"]
+
+    def test_values_monotone(self):
+        states = enumerate_states(AVCParams(m=9, d=3))
+        values = [s.value for s in states]
+        assert values == sorted(values)
+
+
+class TestAuxiliaryProcedures:
+    def test_phi_maps_unit_values(self):
+        assert phi(1) == intermediate_state(1, 1)
+        assert phi(-1) == intermediate_state(-1, 1)
+        assert phi(5) == 5
+        assert phi(-3) == -3
+
+    @pytest.mark.parametrize("value,down,up", [
+        (4, 3, 5),
+        (-4, -5, -3),
+        (5, 5, 5),
+        (-3, -3, -3),
+    ])
+    def test_rounding_to_odd(self, value, down, up):
+        assert round_down(value).value == down
+        assert round_up(value).value == up
+
+    def test_rounding_zero_splits_into_units(self):
+        assert round_down(0) == intermediate_state(-1, 1)
+        assert round_up(0) == intermediate_state(1, 1)
+
+    def test_rounding_two_hits_levels(self):
+        assert round_down(2) == intermediate_state(1, 1)
+        assert round_up(2).value == 3
+
+    def test_shift_to_zero_moves_one_level(self):
+        assert shift_to_zero(intermediate_state(1, 1), d=3) \
+            == intermediate_state(1, 2)
+        assert shift_to_zero(intermediate_state(-1, 2), d=3) \
+            == intermediate_state(-1, 3)
+
+    def test_shift_to_zero_fixes_last_level(self):
+        last = intermediate_state(1, 3)
+        assert shift_to_zero(last, d=3) is last
+
+    def test_shift_to_zero_ignores_strong_and_weak(self):
+        assert shift_to_zero(strong_state(5), d=3) == strong_state(5)
+        assert shift_to_zero(weak_state(-1), d=3) == weak_state(-1)
+
+    def test_sign_to_zero(self):
+        assert sign_to_zero(strong_state(7)) == weak_state(1)
+        assert sign_to_zero(strong_state(-3)) == weak_state(-1)
+        assert sign_to_zero(intermediate_state(-1, 2)) == weak_state(-1)
+        assert sign_to_zero(weak_state(1)) == weak_state(1)

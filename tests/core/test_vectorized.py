@@ -1,0 +1,66 @@
+"""The vectorized AVC kernel must agree with the reference transition."""
+
+import numpy as np
+import pytest
+
+from repro import AVCProtocol
+from repro.core.vectorized import AVCBatchKernel
+
+
+@pytest.mark.parametrize("m,d", [(1, 1), (3, 1), (5, 2), (9, 4), (31, 1)])
+def test_kernel_matches_reference_exhaustively(m, d):
+    protocol = AVCProtocol(m=m, d=d)
+    kernel = AVCBatchKernel(protocol)
+    s = protocol.num_states
+    grid_x, grid_y = np.meshgrid(np.arange(s), np.arange(s), indexing="ij")
+    flat_x = grid_x.ravel()
+    flat_y = grid_y.ravel()
+    new_x, new_y = kernel(flat_x, flat_y)
+    for k in range(s * s):
+        expected = protocol.transition_index(int(flat_x[k]), int(flat_y[k]))
+        assert (int(new_x[k]), int(new_y[k])) == expected, (
+            f"mismatch at {protocol.states[flat_x[k]]} x "
+            f"{protocol.states[flat_y[k]]}")
+
+
+def test_kernel_preserves_dtype_and_shape():
+    protocol = AVCProtocol(m=5, d=2)
+    kernel = AVCBatchKernel(protocol)
+    index_x = np.array([0, 1, 2], dtype=np.int64)
+    index_y = np.array([3, 4, 5], dtype=np.int64)
+    new_x, new_y = kernel(index_x, index_y)
+    assert new_x.shape == index_x.shape
+    assert new_y.shape == index_y.shape
+    assert new_x.dtype == np.int64
+
+
+def test_kernel_does_not_mutate_inputs():
+    protocol = AVCProtocol(m=5, d=1)
+    kernel = AVCBatchKernel(protocol)
+    index_x = np.arange(protocol.num_states, dtype=np.int64)
+    index_y = index_x[::-1].copy()
+    backup_x, backup_y = index_x.copy(), index_y.copy()
+    kernel(index_x, index_y)
+    np.testing.assert_array_equal(index_x, backup_x)
+    np.testing.assert_array_equal(index_y, backup_y)
+
+
+def test_protocol_make_batch_kernel_is_vectorized():
+    protocol = AVCProtocol(m=9, d=2)
+    kernel = protocol.make_batch_kernel()
+    assert isinstance(kernel, AVCBatchKernel)
+
+
+def test_kernel_on_large_m_spot_checks():
+    """For big m the exhaustive check is too slow; spot-check pairs."""
+    protocol = AVCProtocol(m=1023, d=1)
+    kernel = AVCBatchKernel(protocol)
+    rng = np.random.default_rng(0)
+    s = protocol.num_states
+    index_x = rng.integers(0, s, size=2000)
+    index_y = rng.integers(0, s, size=2000)
+    new_x, new_y = kernel(index_x, index_y)
+    for k in range(0, 2000, 37):
+        expected = protocol.transition_index(int(index_x[k]),
+                                             int(index_y[k]))
+        assert (int(new_x[k]), int(new_y[k])) == expected

@@ -1,0 +1,77 @@
+"""CLI smoke tests: every subcommand runs at smoke scale."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+@pytest.fixture(autouse=True)
+def isolated_output(tmp_path, monkeypatch):
+    """Keep CSV output inside the test sandbox."""
+    monkeypatch.chdir(tmp_path)
+
+
+def run_cli(capsys, *argv):
+    status = main(list(argv))
+    captured = capsys.readouterr()
+    return status, captured.out
+
+
+def test_figure3_command(capsys, tmp_path):
+    status, out = run_cli(capsys, "figure3", "--scale", "smoke",
+                          "--output-dir", str(tmp_path / "res"))
+    assert status == 0
+    assert "Figure 3" in out
+    assert (tmp_path / "res" / "figure3_smoke.csv").exists()
+
+
+def test_figure4_command(capsys, tmp_path):
+    status, out = run_cli(capsys, "figure4", "--scale", "smoke",
+                          "--output-dir", str(tmp_path / "res"))
+    assert status == 0
+    assert "Figure 4" in out
+
+
+def test_ablation_command(capsys, tmp_path):
+    status, out = run_cli(capsys, "ablation-d", "--scale", "smoke",
+                          "--output-dir", str(tmp_path / "res"))
+    assert status == 0
+    assert "d-ablation" in out
+
+
+def test_propagation_command(capsys, tmp_path):
+    status, out = run_cli(capsys, "info-propagation", "--scale", "smoke",
+                          "--output-dir", str(tmp_path / "res"))
+    assert status == 0
+    assert "propagation" in out
+
+
+def test_phases_command(capsys, tmp_path):
+    status, out = run_cli(capsys, "phases", "--scale", "smoke",
+                          "--output-dir", str(tmp_path / "res"))
+    assert status == 0
+    assert "phase structure" in out
+    assert "rule mix" in out
+
+
+def test_topology_command(capsys, tmp_path):
+    status, out = run_cli(capsys, "topology", "--scale", "smoke",
+                          "--output-dir", str(tmp_path / "res"))
+    assert status == 0
+    assert "Topology sweep" in out
+
+
+def test_leader_command(capsys, tmp_path):
+    status, out = run_cli(capsys, "leader-election", "--scale", "smoke",
+                          "--output-dir", str(tmp_path / "res"))
+    assert status == 0
+    assert "Leader election" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["teleport"])
+
+
+def test_module_entry_point():
+    import repro.__main__  # noqa: F401  (import must not execute main)

@@ -1,0 +1,44 @@
+"""Tests for experiment scales."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.config import SCALES, resolve_scale
+
+
+def test_known_scales_present():
+    assert set(SCALES) == {"smoke", "default", "paper"}
+
+
+def test_resolve_by_name():
+    assert resolve_scale("smoke").name == "smoke"
+    assert resolve_scale("paper").figure3_populations[-1] == 100_001
+
+
+def test_resolve_from_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "smoke")
+    assert resolve_scale(None).name == "smoke"
+
+
+def test_resolve_default_without_environment(monkeypatch):
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+    assert resolve_scale(None).name == "default"
+
+
+def test_unknown_scale_rejected():
+    with pytest.raises(ExperimentError):
+        resolve_scale("galactic")
+
+
+def test_paper_scale_matches_appendix_d():
+    """The paper grid: Figure 3's n values and Figure 4's s values."""
+    paper = SCALES["paper"]
+    assert paper.figure3_populations == (11, 101, 1001, 10_001, 100_001)
+    assert paper.figure3_trials == 101
+    assert paper.figure4_num_states == (4, 6, 12, 24, 34, 66, 130, 258,
+                                        514, 1026, 2050, 4098, 16340)
+
+
+def test_scales_share_field_names():
+    smoke, default = SCALES["smoke"], SCALES["default"]
+    assert set(vars(smoke)) == set(vars(default))

@@ -1,0 +1,118 @@
+"""End-to-end tests of the experiment modules at a tiny scale.
+
+These are the library's own acceptance tests for the figure harness:
+each experiment must run, produce rows with the expected schema, and
+show the paper's qualitative shape even at minimal scale.
+"""
+
+import pytest
+
+from repro.experiments.ablation_d import ablation_d_rows
+from repro.experiments.config import Scale
+from repro.experiments.figure3 import avc_n_state, figure3_rows
+from repro.experiments.figure4 import figure4_rows, margin_advantages
+from repro.experiments.four_state_census import census_summary, scaling_rows
+from repro.experiments.lowerbound_logn import propagation_rows
+from repro.experiments.runner import measure_majority_point
+from repro import FourStateProtocol
+
+TINY = Scale(
+    name="tiny",
+    figure3_populations=(11, 101),
+    figure3_trials=4,
+    figure4_population=101,
+    figure4_num_states=(4, 34),
+    figure4_margins_per_decade=1,
+    figure4_trials=4,
+    ablation_d_population=101,
+    ablation_d_m=15,
+    ablation_d_levels=(1, 2),
+    ablation_d_trials=4,
+    propagation_populations=(100, 400),
+    propagation_trials=20,
+    census_sizes=(3,),
+    census_limit=300,
+    census_scaling_populations=(15, 45),
+    census_scaling_trials=6,
+)
+
+
+class TestRunner:
+    def test_measure_point_schema(self):
+        row = measure_majority_point(FourStateProtocol(), n=21,
+                                     epsilon=1 / 21, trials=3, seed=0)
+        assert row["protocol"] == "four-state"
+        assert row["trials"] == 3
+        assert row["settled_fraction"] == 1.0
+        assert row["error_fraction"] == 0.0
+        assert row["mean_parallel_time"] > 0
+        assert row["wall_seconds"] > 0
+
+
+class TestFigure3:
+    def test_avc_n_state_choice(self):
+        protocol = avc_n_state(11)
+        assert protocol.num_states >= 11
+        assert protocol.num_states <= 13
+        assert protocol.d == 1
+
+    def test_rows_shape(self):
+        rows = figure3_rows(TINY, seed=1)
+        assert len(rows) == 2 * 3  # two n values x three protocols
+        four_state = [r for r in rows if r["protocol"] == "four-state"]
+        avc = [r for r in rows if r["protocol"].startswith("avc")]
+        assert four_state[-1]["mean_parallel_time"] > \
+            avc[-1]["mean_parallel_time"]
+        assert all(r["error_fraction"] == 0.0 for r in four_state + avc)
+
+
+class TestFigure4:
+    def test_margin_advantages_odd_and_increasing(self):
+        advantages = margin_advantages(1001, per_decade=2)
+        assert all(a % 2 == 1 for a in advantages)
+        assert advantages == sorted(advantages)
+        assert advantages[0] == 1
+        assert advantages[-1] <= 500
+
+    def test_margin_advantages_validation(self):
+        with pytest.raises(ValueError):
+            margin_advantages(100, per_decade=2)
+
+    def test_rows_shape(self):
+        rows = figure4_rows(TINY, seed=1)
+        assert {row["s"] for row in rows} == {4, 34}
+        for row in rows:
+            assert row["s_times_epsilon"] == \
+                pytest.approx(row["s"] * row["epsilon"])
+            assert row["error_fraction"] == 0.0
+        # More states helps at the smallest margin.
+        smallest = min(r["epsilon"] for r in rows)
+        times = {r["s"]: r["mean_parallel_time"]
+                 for r in rows if r["epsilon"] == smallest}
+        assert times[34] < times[4]
+
+
+class TestAblationD:
+    def test_rows_flat_in_d(self):
+        rows = ablation_d_rows(TINY, seed=1)
+        assert [row["d"] for row in rows] == [1, 2]
+        times = [row["mean_parallel_time"] for row in rows]
+        assert max(times) < 3 * min(times)
+
+
+class TestPropagation:
+    def test_rows_match_closed_form(self):
+        rows = propagation_rows(TINY, seed=1)
+        for row in rows:
+            assert row["mean_parallel_time"] == pytest.approx(
+                row["exact_expected_parallel_time"], rel=0.2)
+
+
+class TestCensusExperiment:
+    def test_summary_and_scaling(self):
+        summary, result = census_summary(TINY)
+        assert summary["num_checked"] == 300
+        assert summary["all_survivors_slow"]
+        rows = scaling_rows(TINY, seed=2)
+        assert len(rows) == 2
+        assert rows[1]["mean_parallel_time"] > rows[0]["mean_parallel_time"]

@@ -1,0 +1,60 @@
+"""Tests for experiment CSV / table output."""
+
+import csv
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.io import format_table, write_csv
+
+
+class TestWriteCsv:
+    def test_round_trip(self, tmp_path):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        path = write_csv(tmp_path / "out.csv", rows)
+        with open(path) as handle:
+            loaded = list(csv.DictReader(handle))
+        assert loaded == [{"a": "1", "b": "x"}, {"a": "2", "b": "y"}]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = write_csv(tmp_path / "deep" / "dir" / "out.csv",
+                         [{"a": 1}])
+        assert path.exists()
+
+    def test_column_selection_and_missing_values(self, tmp_path):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        path = write_csv(tmp_path / "out.csv", rows, columns=("b", "a"))
+        with open(path) as handle:
+            loaded = list(csv.DictReader(handle))
+        assert loaded[0] == {"b": "2", "a": "1"}
+        assert loaded[1] == {"b": "", "a": "3"}
+
+    def test_empty_rows_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            write_csv(tmp_path / "out.csv", [])
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table([{"name": "x", "value": 1.5},
+                             {"name": "longer", "value": 22.25}])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "longer" in lines[3]
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) <= 2  # header/body aligned
+
+    def test_title(self):
+        text = format_table([{"a": 1}], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table([{"v": 1234567.0, "w": 0.000012,
+                              "x": float("nan"), "y": 3.14159}])
+        assert "1.235e+06" in text
+        assert "1.200e-05" in text
+        assert "nan" in text
+        assert "3.142" in text
+
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"

@@ -1,0 +1,56 @@
+"""Tests for the leader-election experiment and the report generator."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.config import SCALES
+from repro.experiments.io import write_csv
+from repro.experiments.leader import leader_rows
+from repro.experiments.report import collect_rows, render_report
+
+
+class TestLeaderExperiment:
+    def test_rows_shape(self):
+        rows = leader_rows(SCALES["smoke"], seed=1)
+        assert len(rows) == 4  # two n values x two protocols
+        for row in rows:
+            assert row["mean_parallel_time"] > 0
+            assert row["time_over_n"] == pytest.approx(
+                row["mean_parallel_time"] / row["n"])
+
+    def test_election_time_linear_in_n(self):
+        rows = leader_rows(SCALES["smoke"], seed=2)
+        pairwise = [row for row in rows
+                    if row["protocol"] == "leader-election"]
+        small, large = sorted(pairwise, key=lambda r: r["n"])
+        ratio = large["mean_parallel_time"] / small["mean_parallel_time"]
+        n_ratio = large["n"] / small["n"]
+        assert n_ratio / 5 < ratio < n_ratio * 5
+
+
+class TestReport:
+    def test_collect_rows_types(self, tmp_path):
+        path = write_csv(tmp_path / "x.csv",
+                         [{"a": 1, "b": 2.5, "c": "text"}])
+        rows = collect_rows(path)
+        assert rows == [{"a": 1, "b": 2.5, "c": "text"}]
+
+    def test_render_report(self, tmp_path):
+        write_csv(tmp_path / "alpha.csv", [{"n": 10, "time": 1.5}])
+        write_csv(tmp_path / "beta.csv", [{"k": 3}])
+        report = render_report(tmp_path)
+        assert "# Reproduction report" in report
+        assert "## alpha" in report
+        assert "## beta" in report
+        assert "1.5" in report
+
+    def test_empty_results_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            render_report(tmp_path)
+
+    def test_cli_report_round_trip(self, tmp_path, capsys):
+        from repro.experiments.report import main
+
+        write_csv(tmp_path / "alpha.csv", [{"n": 10}])
+        assert main(["--output-dir", str(tmp_path)]) == 0
+        assert (tmp_path / "REPORT.md").exists()

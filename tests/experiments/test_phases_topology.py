@@ -1,0 +1,55 @@
+"""Tests for the phases and topology experiments."""
+
+import pytest
+
+from repro.experiments.config import SCALES
+from repro.experiments.phases import phase_rows
+from repro.experiments.topology import topology_rows
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    return SCALES["smoke"]
+
+
+class TestPhases:
+    def test_rows_cover_all_halvings(self, smoke):
+        rows = phase_rows(smoke, seed=3)
+        thresholds = [row["minority_max_weight_below"] for row in rows]
+        assert thresholds[0] == smoke.ablation_d_m
+        assert thresholds[-1] == 1
+        # Each threshold halves (integer division).
+        for previous, current in zip(thresholds, thresholds[1:]):
+            assert current == previous // 2
+
+    def test_times_monotone_and_within_run(self, smoke):
+        rows = phase_rows(smoke, seed=4)
+        times = [row["parallel_time"] for row in rows]
+        assert times == sorted(times)
+        assert times[-1] <= rows[-1]["total_convergence_time"]
+
+
+class TestTopology:
+    def test_rows_shape_and_findings(self, smoke):
+        rows = topology_rows(smoke, seed=5)
+        by_key = {(row["topology"], row["protocol"].split("(")[0]): row
+                  for row in rows}
+
+        # Interval consensus settles everywhere, correctly.
+        for topology in ("clique", "random-4-regular", "torus", "ring"):
+            row = by_key[(topology, "interval-consensus")]
+            assert row["settled_fraction"] == 1.0
+            assert row["error_fraction"] == 0.0
+
+        # Measured times and spectral predictions order the same way.
+        measured = [by_key[(t, "interval-consensus")]
+                    ["mean_parallel_time"]
+                    for t in ("clique", "torus", "ring")]
+        predicted = [by_key[(t, "interval-consensus")]["predicted_time"]
+                     for t in ("clique", "torus", "ring")]
+        assert measured == sorted(measured)
+        assert predicted == sorted(predicted)
+
+        # AVC: fast on the clique, frozen on the ring.
+        assert by_key[("clique", "avc")]["settled_fraction"] == 1.0
+        assert by_key[("ring", "avc")]["settled_fraction"] < 0.5

@@ -1,0 +1,63 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.plotting import ascii_chart
+
+
+def simple_series():
+    return {"up": [(1, 10), (10, 100), (100, 1000)],
+            "flat": [(1, 50), (100, 50)]}
+
+
+class TestAsciiChart:
+    def test_contains_axes_and_legend(self):
+        chart = ascii_chart(simple_series(), title="demo")
+        assert chart.splitlines()[0] == "demo"
+        assert "legend: o up  x flat" in chart
+        assert "+----" in chart
+
+    def test_markers_present(self):
+        chart = ascii_chart(simple_series())
+        assert chart.count("o") >= 3
+        assert chart.count("x") >= 2
+
+    def test_monotone_series_renders_monotone(self):
+        chart = ascii_chart({"up": [(1, 1), (10, 10), (100, 100)]})
+        rows = [line for line in chart.splitlines() if "|" in line]
+        columns = [line.index("o") for line in rows if "o" in line]
+        # The top row holds the largest y, which for this series is
+        # also the largest x (rightmost column); scanning downward the
+        # marker must move left.
+        assert columns == sorted(columns, reverse=True)
+
+    def test_log_ticks(self):
+        chart = ascii_chart({"a": [(1, 1), (1000, 1000)]})
+        assert "1e+0" in chart and "1e+3" in chart
+
+    def test_linear_scale(self):
+        chart = ascii_chart({"a": [(0, 0), (5, 5)]}, log_x=False,
+                            log_y=False)
+        assert "1e" not in chart
+
+    def test_deterministic(self):
+        assert ascii_chart(simple_series()) == ascii_chart(simple_series())
+
+    def test_rejects_empty(self):
+        with pytest.raises(ExperimentError):
+            ascii_chart({})
+        with pytest.raises(ExperimentError):
+            ascii_chart({"a": []})
+
+    def test_rejects_nonpositive_on_log_axis(self):
+        with pytest.raises(ExperimentError):
+            ascii_chart({"a": [(0, 1)]})
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ExperimentError):
+            ascii_chart(simple_series(), width=4)
+
+    def test_single_point(self):
+        chart = ascii_chart({"a": [(10, 10)]})
+        assert "o" in chart

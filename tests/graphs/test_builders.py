@@ -1,0 +1,90 @@
+"""Tests for interaction-graph builders."""
+
+import networkx as nx
+import pytest
+
+from repro import InvalidParameterError
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    random_regular_graph,
+    star_graph,
+)
+
+
+class TestDeterministicBuilders:
+    def test_complete(self):
+        graph = complete_graph(5)
+        assert graph.number_of_edges() == 10
+        assert nx.is_connected(graph)
+
+    def test_cycle(self):
+        graph = cycle_graph(6)
+        assert all(d == 2 for _, d in graph.degree())
+
+    def test_path(self):
+        graph = path_graph(4)
+        assert graph.number_of_edges() == 3
+
+    def test_star(self):
+        graph = star_graph(10)
+        assert graph.number_of_nodes() == 10
+        degrees = sorted(d for _, d in graph.degree())
+        assert degrees == [1] * 9 + [9]
+
+    def test_grid(self):
+        graph = grid_graph(3, 4)
+        assert graph.number_of_nodes() == 12
+        assert set(graph.nodes()) == set(range(12))
+
+    def test_torus_is_regular(self):
+        graph = grid_graph(4, 4, periodic=True)
+        assert all(d == 4 for _, d in graph.degree())
+
+    @pytest.mark.parametrize("builder,args", [
+        (complete_graph, (1,)),
+        (cycle_graph, (2,)),
+        (path_graph, (1,)),
+        (grid_graph, (1, 1)),
+    ])
+    def test_size_validation(self, builder, args):
+        with pytest.raises(InvalidParameterError):
+            builder(*args)
+
+
+class TestRandomBuilders:
+    def test_regular_graph_properties(self):
+        graph = random_regular_graph(20, 3, rng=0)
+        assert all(d == 3 for _, d in graph.degree())
+        assert nx.is_connected(graph)
+
+    def test_regular_graph_reproducible(self):
+        first = random_regular_graph(16, 4, rng=7)
+        second = random_regular_graph(16, 4, rng=7)
+        assert sorted(first.edges()) == sorted(second.edges())
+
+    def test_regular_parity_validation(self):
+        with pytest.raises(InvalidParameterError):
+            random_regular_graph(7, 3)  # n * degree odd
+
+    def test_regular_degree_validation(self):
+        with pytest.raises(InvalidParameterError):
+            random_regular_graph(5, 5)
+
+    def test_erdos_renyi_connected(self):
+        graph = erdos_renyi_graph(30, 0.3, rng=1)
+        assert nx.is_connected(graph)
+        assert graph.number_of_nodes() == 30
+
+    def test_erdos_renyi_probability_validation(self):
+        with pytest.raises(InvalidParameterError):
+            erdos_renyi_graph(10, 0.0)
+        with pytest.raises(InvalidParameterError):
+            erdos_renyi_graph(10, 1.5)
+
+    def test_erdos_renyi_gives_up_when_too_sparse(self):
+        with pytest.raises(InvalidParameterError):
+            erdos_renyi_graph(200, 0.001, rng=0)

@@ -1,0 +1,150 @@
+"""Tests for the four-state census (thm-b1)."""
+
+import pytest
+
+from repro import run_trials
+from repro.lowerbounds.four_state_search import (
+    Candidate,
+    DISTINCT_PAIRS,
+    OUTCOMES,
+    check_candidate,
+    enumerate_rule_sets,
+    paper_four_state_candidate,
+    run_census,
+)
+from repro.lowerbounds.invariants import (
+    S0,
+    S1,
+    X,
+    Y,
+    conserved_potential,
+    has_discrepancy_invariant,
+)
+
+
+def candidate_with(rules: dict, gamma_x=0, gamma_y=1) -> Candidate:
+    full = tuple((pair, rules.get(pair, pair)) for pair in DISTINCT_PAIRS)
+    return Candidate(rules=full, gamma_x=gamma_x, gamma_y=gamma_y)
+
+
+class TestKnownProtocols:
+    def test_paper_candidate_is_correct(self):
+        candidate = paper_four_state_candidate()
+        assert check_candidate(candidate, sizes=(3, 5, 7))
+
+    def test_paper_candidate_carries_discrepancy_invariant(self):
+        candidate = paper_four_state_candidate()
+        assert has_discrepancy_invariant(candidate.rule_dict)
+        assert conserved_potential(candidate.rule_dict) is None
+
+    def test_case_1_4_1_variant_is_correct(self):
+        """Case 1.4.1: [X,Y]->[S0,S1] with the Case-1.1 side rules."""
+        candidate = candidate_with({
+            (S0, S1): (X, Y),
+            (X, Y): (S0, S1),
+            (S0, Y): (S0, X),
+            (S1, X): (S1, Y),
+        })
+        assert check_candidate(candidate, sizes=(3, 5, 7))
+        assert has_discrepancy_invariant(candidate.rule_dict)
+
+    def test_voter_like_candidate_rejected(self):
+        """[S0,S1]->[S1,S1] can reach the wrong consensus."""
+        candidate = candidate_with({(S0, S1): (S1, S1)})
+        assert not check_candidate(candidate, sizes=(3,))
+
+    def test_noop_everything_rejected(self):
+        """The identity protocol can never converge (property 3)."""
+        candidate = candidate_with({})
+        assert not check_candidate(candidate, sizes=(3,))
+
+    def test_case_1_4_4_rejected(self):
+        """Case 1.4.4 carries a conserved potential (Claim B.9) and is
+        eliminated by the reachability check too."""
+        candidate = candidate_with({
+            (S0, S1): (X, Y),
+            (X, Y): (S0, S1),
+            (S0, Y): (X, X),
+            (S1, X): (Y, Y),
+        })
+        assert conserved_potential(candidate.rule_dict) is not None
+        assert not check_candidate(candidate, sizes=(3, 5, 7))
+
+    def test_three_state_impossibility_embedded(self):
+        """[MNRS14]: no 3-state protocol is exact.  Embed X = Y (make
+        every rule avoid Y) with gamma(X) = gamma(Y): all such
+        candidates must fail."""
+        # The classic 3-state approximate majority embedded in 4 states.
+        candidate = candidate_with({
+            (S0, S1): (S0, X),
+            (S0, X): (S0, S0),
+            (S1, X): (S1, S1),
+        }, gamma_x=0, gamma_y=0)
+        assert not check_candidate(candidate, sizes=(3, 5))
+
+
+class TestInvariantHelpers:
+    def test_discrepancy_holds_for_noops(self):
+        assert has_discrepancy_invariant({})
+
+    def test_discrepancy_violated_by_production(self):
+        assert not has_discrepancy_invariant({(S0, S1): (S0, S0)})
+
+    def test_discrepancy_holds_for_annihilation(self):
+        assert has_discrepancy_invariant({(S0, S1): (X, Y)})
+
+    def test_conserved_potential_found(self):
+        # Case 2.1.2 of the paper: S0=1, X=3, S1=-3, Y=-1 conserves
+        # these rules.
+        rules = {(S0, S1): (Y, Y), (S0, Y): (S1, X), (X, Y): (S0, S0)}
+        potential = conserved_potential(rules)
+        assert potential is not None
+        for (a, b), (c, d) in rules.items():
+            assert potential[a] + potential[b] == potential[c] + potential[d]
+
+
+class TestCensusSweep:
+    def test_enumeration_size(self):
+        generator = enumerate_rule_sets()
+        first = next(generator)
+        assert len(first) == 6
+        assert all(outcome in OUTCOMES for _, outcome in first)
+
+    def test_limited_census_runs(self):
+        result = run_census(sizes=(3,), limit=2000)
+        assert result.num_checked == 2000
+        assert result.all_survivors_slow  # vacuous or real, must hold
+
+    def test_census_finds_paper_protocol(self):
+        """A census over a pencil of rule sets containing the paper's
+        protocol must keep it and satisfy Theorem B.1's conclusion."""
+        paper = paper_four_state_candidate()
+        # Vary only the [X, Y] rule across all 10 outcomes.
+        rule_sets = []
+        for outcome in OUTCOMES:
+            rules = dict(paper.rules)
+            rules[(X, Y)] = outcome
+            rule_sets.append(tuple(rules.items()))
+        result = run_census(sizes=(3, 5), gammas=((0, 1),),
+                            rule_sets=rule_sets)
+        descriptions = {c.describe() for c in result.survivors}
+        assert paper.describe() in descriptions
+        assert result.num_survivors >= 1
+        assert result.all_survivors_slow
+        assert result.no_survivor_has_conserved_potential
+
+
+class TestEmpiricalSlowness:
+    def test_surviving_protocol_scales_inversely_with_margin(self):
+        """Claim B.8 empirically: halving eps doubles convergence time."""
+        protocol = paper_four_state_candidate().to_protocol()
+        times = []
+        for n, margin in ((25, 5), (125, 5)):
+            epsilon = margin / n
+            stats = run_trials(protocol, num_trials=30, seed=1, stats=True,
+                               n=n, epsilon=epsilon)
+            assert stats.error_fraction == 0.0
+            times.append(stats.mean_parallel_time)
+        # eps drops 5x between the scenarios; expect clearly
+        # superlinear growth in 1/eps (allowing log n slack).
+        assert times[1] > 3.0 * times[0]

@@ -1,0 +1,77 @@
+"""Tests for the information-propagation experiment (thm-c1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import InvalidParameterError
+from repro.lowerbounds.info_propagation import (
+    expected_propagation_steps,
+    propagation_probability,
+    simulate_propagation,
+)
+from repro.rng import spawn_many
+
+
+class TestProbability:
+    def test_formula(self):
+        # n=4, k=2: ordered pairs with exactly one endpoint known:
+        # 2*2*2 = 8 of 12.
+        assert propagation_probability(4, 2) == pytest.approx(8 / 12)
+
+    def test_full_coverage_has_zero_growth(self):
+        assert propagation_probability(10, 10) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            propagation_probability(10, 0)
+        with pytest.raises(InvalidParameterError):
+            propagation_probability(10, 11)
+
+
+class TestExpectation:
+    def test_two_agents(self):
+        # From k=1 of n=2: p = 1, expect exactly 1 step.
+        assert expected_propagation_steps(2, seed_size=1) == 1.0
+
+    def test_theta_n_log_n(self):
+        """E[steps]/(n ln n) approaches a constant (Claim C.2)."""
+        ratios = [expected_propagation_steps(n) / (n * math.log(n))
+                  for n in (100, 1000, 10_000)]
+        assert ratios[0] == pytest.approx(ratios[2], rel=0.2)
+        # The constant is ~1 for the 2k(n-k) growth rate.
+        assert 0.5 < ratios[2] < 1.5
+
+    def test_parallel_time_omega_log_n(self):
+        """Parallel propagation time grows like log n — the lower
+        bound's engine."""
+        small = expected_propagation_steps(100) / 100
+        large = expected_propagation_steps(10_000) / 10_000
+        assert large > small + math.log(10_000 / 100) * 0.5
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            expected_propagation_steps(1)
+        with pytest.raises(InvalidParameterError):
+            expected_propagation_steps(10, seed_size=0)
+
+
+class TestSimulation:
+    def test_trial_fields(self):
+        trial = simulate_propagation(50, rng=0)
+        assert trial.n == 50
+        assert trial.seed_size == 3
+        assert trial.steps >= 47  # at least one step per new agent
+        assert trial.parallel_time == trial.steps / 50
+
+    def test_mean_matches_expectation(self):
+        n = 300
+        exact = expected_propagation_steps(n)
+        samples = [simulate_propagation(n, rng=child).steps
+                   for child in spawn_many(4, 200)]
+        assert np.mean(samples) == pytest.approx(exact, rel=0.1)
+
+    def test_reproducible(self):
+        assert simulate_propagation(100, rng=9).steps \
+            == simulate_propagation(100, rng=9).steps

@@ -1,0 +1,104 @@
+"""Tests for adversarial-schedule reachability, including validation of
+every protocol's is_settled predicate against the brute-force oracle."""
+
+import itertools
+
+import pytest
+
+from repro import (
+    AVCProtocol,
+    FourStateProtocol,
+    InvalidParameterError,
+    ThreeStateProtocol,
+    VoterProtocol,
+)
+from repro.lowerbounds.reachability import (
+    brute_force_is_settled,
+    is_absorbing_for_output,
+    reachable_configurations,
+    successors,
+)
+
+
+class TestSuccessors:
+    def test_three_state_conflict(self):
+        protocol = ThreeStateProtocol()
+        # (A=1, B=1, _=0): only conflict interactions are possible.
+        result = successors(protocol, (1, 1, 0))
+        assert result == {(1, 0, 1), (0, 1, 1)}
+
+    def test_same_state_needs_two_agents(self):
+        protocol = VoterProtocol()
+        assert successors(protocol, (1, 0)) == set()
+
+    def test_null_interactions_excluded(self):
+        protocol = FourStateProtocol()
+        # All same sign: no state-changing interaction.
+        assert successors(protocol, (2, 0, 3, 0)) == set()
+
+
+class TestReachableSet:
+    def test_contains_initial(self):
+        protocol = ThreeStateProtocol()
+        reachable = reachable_configurations(protocol, {"A": 2, "B": 1})
+        assert (2, 1, 0) in reachable
+
+    def test_both_consensus_reachable_for_three_state(self):
+        protocol = ThreeStateProtocol()
+        reachable = reachable_configurations(protocol, {"A": 2, "B": 1})
+        assert (3, 0, 0) in reachable  # correct consensus
+        assert (0, 3, 0) in reachable  # wrong consensus is reachable too!
+
+    def test_four_state_wrong_consensus_unreachable(self):
+        protocol = FourStateProtocol()
+        reachable = reachable_configurations(protocol, {"+1": 3, "-1": 2})
+        for config in reachable:
+            positive = config[0] + config[2]
+            assert positive > 0, "exactness violated: all-negative reached"
+
+    def test_limit_guard(self):
+        protocol = AVCProtocol(m=9, d=2)
+        with pytest.raises(InvalidParameterError):
+            reachable_configurations(
+                protocol, protocol.initial_counts(12, 10), limit=50)
+
+    def test_tuple_input_accepted(self):
+        protocol = VoterProtocol()
+        reachable = reachable_configurations(protocol, (2, 1))
+        assert (3, 0) in reachable and (0, 3) in reachable
+
+
+class TestAbsorbing:
+    def test_consensus_absorbing(self):
+        protocol = ThreeStateProtocol()
+        assert is_absorbing_for_output(protocol, (3, 0, 0), 1)
+        assert is_absorbing_for_output(protocol, (0, 3, 0), 0)
+
+    def test_mixed_not_absorbing(self):
+        protocol = ThreeStateProtocol()
+        assert not is_absorbing_for_output(protocol, (2, 1, 0), 1)
+
+
+class TestIsSettledAgainstBruteForce:
+    """The fast is_settled predicates must equal the reachability
+    oracle on every small configuration (the documented contract)."""
+
+    @pytest.mark.parametrize("protocol", [
+        ThreeStateProtocol(),
+        FourStateProtocol(),
+        VoterProtocol(),
+        AVCProtocol(m=3, d=1),
+    ], ids=lambda p: p.name)
+    def test_predicate_matches_oracle(self, protocol):
+        s = protocol.num_states
+        checked = 0
+        for config in itertools.product(range(3), repeat=s):
+            if not 2 <= sum(config) <= 4:
+                continue
+            sparse = {protocol.states[i]: c
+                      for i, c in enumerate(config) if c}
+            fast = protocol.is_settled(sparse)
+            exact = brute_force_is_settled(protocol, sparse)
+            assert fast == exact, f"{protocol.name}: {sparse}"
+            checked += 1
+        assert checked > 0

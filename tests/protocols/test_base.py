@@ -1,0 +1,95 @@
+"""Tests for the PopulationProtocol / MajorityProtocol base machinery."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    FourStateProtocol,
+    InvalidParameterError,
+    InvalidStateError,
+    MAJORITY_A,
+    MAJORITY_B,
+    ThreeStateProtocol,
+    UNDECIDED,
+)
+from repro.errors import ProtocolError
+
+
+class TestIndexing:
+    def test_state_index_round_trip(self, three_state):
+        for index, state in enumerate(three_state.states):
+            assert three_state.state_index[state] == index
+            assert three_state.index_of(state) == index
+
+    def test_index_of_unknown_state(self, three_state):
+        with pytest.raises(InvalidStateError):
+            three_state.index_of("Z")
+
+    def test_transition_index_memoized(self, three_state):
+        first = three_state.transition_index(0, 1)
+        second = three_state.transition_index(0, 1)
+        assert first == second
+        assert three_state._transition_cache[(0, 1)] == first
+
+    def test_transition_matrix_round_trip(self, four_state):
+        out_x, out_y = four_state.transition_matrix()
+        states = four_state.states
+        for i in range(4):
+            for j in range(4):
+                expected = four_state.transition(states[i], states[j])
+                assert (states[out_x[i, j]], states[out_y[i, j]]) == expected
+
+    def test_transition_matrix_guard_for_large_spaces(self):
+        from repro import AVCProtocol
+
+        protocol = AVCProtocol.with_num_states(8196, d=1)
+        with pytest.raises(ProtocolError):
+            protocol.transition_matrix()
+
+    def test_output_array_encoding(self, three_state):
+        outputs = three_state.output_array()
+        assert outputs.tolist() == [1, 0, -1]  # A, B, blank
+
+
+class TestCountVectors:
+    def test_counts_to_vector(self, three_state):
+        vector = three_state.counts_to_vector({"A": 2, "B": 1})
+        assert vector.tolist() == [2, 1, 0]
+
+    def test_negative_count_rejected(self, three_state):
+        with pytest.raises(InvalidParameterError):
+            three_state.counts_to_vector({"A": -1})
+
+    def test_vector_to_counts_drops_zeros(self, three_state):
+        counts = three_state.vector_to_counts(np.array([2, 0, 1]))
+        assert counts == {"A": 2, "_": 1}
+
+    def test_vector_length_checked(self, three_state):
+        with pytest.raises(InvalidParameterError):
+            three_state.vector_to_counts([1, 2])
+
+    def test_is_settled_vector(self, three_state):
+        assert three_state.is_settled_vector([5, 0, 0])
+        assert not three_state.is_settled_vector([5, 0, 1])
+
+
+class TestMajorityHelpers:
+    def test_initial_counts_validation(self, four_state):
+        with pytest.raises(InvalidParameterError):
+            four_state.initial_counts(-1, 2)
+
+    def test_margin_validation(self, four_state):
+        with pytest.raises(InvalidParameterError):
+            four_state.initial_counts_for_margin(0, 0.5)
+        with pytest.raises(InvalidParameterError):
+            four_state.initial_counts_for_margin(10, 0.5, majority="C")
+
+    def test_decision(self, three_state):
+        assert three_state.decision({"A": 3}) == MAJORITY_A
+        assert three_state.decision({"B": 3}) == MAJORITY_B
+        assert three_state.decision({"A": 1, "B": 1}) is UNDECIDED
+        assert three_state.decision({"_": 1}) is UNDECIDED
+        assert three_state.decision({"A": 3, "B": 0}) == MAJORITY_A
+
+    def test_repr(self, three_state):
+        assert "three-state" in repr(three_state)

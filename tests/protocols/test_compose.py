@@ -1,0 +1,117 @@
+"""Tests for parallel protocol composition."""
+
+import pytest
+
+from repro import (
+    InvalidParameterError,
+    PairwiseLeaderElection,
+    ThreeStateProtocol,
+    VoterProtocol,
+    run,
+)
+from repro.protocols.compose import ProductProtocol
+
+
+@pytest.fixture
+def product():
+    return ProductProtocol(ThreeStateProtocol(), PairwiseLeaderElection())
+
+
+class TestStructure:
+    def test_state_space_is_product(self, product):
+        assert product.num_states == 3 * 2
+        assert ("A", "L") in product.states
+
+    def test_componentwise_transition(self, product):
+        new_x, new_y = product.transition(("A", "L"), ("B", "L"))
+        # Majority component: (A, B) -> (A, _); leader: (L, L) -> (L, F)
+        assert new_x == ("A", "L")
+        assert new_y == ("_", "F")
+
+    def test_output_from_first(self, product):
+        assert product.output(("A", "L")) == 1
+        assert product.output(("B", "F")) == 0
+        assert product.output(("_", "L")) is None
+
+    def test_output_from_second(self):
+        product = ProductProtocol(ThreeStateProtocol(),
+                                  PairwiseLeaderElection(),
+                                  output_from=1)
+        assert product.output(("A", "L")) == 1
+        assert product.output(("A", "F")) == 0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ProductProtocol(VoterProtocol(), VoterProtocol(),
+                            output_from=2)
+
+
+class TestSettled:
+    def test_output_component_only(self, product):
+        counts = {("A", "L"): 2, ("A", "F"): 3}
+        assert product.is_settled(counts)  # majority settled (all A)
+        counts = {("A", "L"): 2, ("B", "F"): 3}
+        assert not product.is_settled(counts)
+
+    def test_require_both(self):
+        product = ProductProtocol(ThreeStateProtocol(),
+                                  PairwiseLeaderElection(),
+                                  require_both=True)
+        # Majority settled, but two leaders remain.
+        assert not product.is_settled({("A", "L"): 2, ("A", "F"): 1})
+        assert product.is_settled({("A", "L"): 1, ("A", "F"): 2})
+
+
+class TestEndToEnd:
+    def test_simultaneous_majority_and_leader_election(self):
+        """One run of the product computes both answers."""
+        majority = ThreeStateProtocol()
+        leader = PairwiseLeaderElection()
+        product = ProductProtocol(majority, leader, require_both=True)
+        n = 30
+        counts = product.pair_counts(
+            majority.initial_counts(20, 10),
+            leader.initial_counts(n), rng=0)
+        assert sum(counts.values()) == n
+
+        result = run(product, counts, seed=5)
+        assert result.settled
+        majority_marginal = product._marginal(result.final_counts, 0)
+        leader_marginal = product._marginal(result.final_counts, 1)
+        assert majority.is_settled(majority_marginal)
+        assert leader.num_leaders(leader_marginal) == 1
+
+    def test_pair_counts_population_mismatch(self, product):
+        with pytest.raises(InvalidParameterError):
+            product.pair_counts({"A": 2}, {"L": 3}, rng=0)
+
+    def test_marginal_dynamics_match_solo_runs(self):
+        """Statistically, the majority component inside a product
+        behaves like the protocol running alone (same chain on the
+        marginal)."""
+        from repro.rng import spawn_many
+        from repro.sim import CountEngine
+
+        majority = ThreeStateProtocol()
+        product = ProductProtocol(majority, VoterProtocol())
+        solo_engine = CountEngine(majority)
+        product_engine = CountEngine(product)
+
+        def mean_time(engine, protocol, build, trials, seed):
+            times = []
+            for child in spawn_many(seed, trials):
+                result = engine.run(build(child), rng=child)
+                assert result.settled
+                times.append(result.parallel_time)
+            return sum(times) / len(times)
+
+        solo = mean_time(solo_engine, majority,
+                         lambda _: majority.initial_counts(20, 8),
+                         40, seed=1)
+        paired = mean_time(
+            product_engine, product,
+            lambda child: product.pair_counts(
+                majority.initial_counts(20, 8),
+                VoterProtocol().initial_counts(14, 14), rng=child),
+            40, seed=2)
+        assert paired == pytest.approx(solo, rel=0.4)

@@ -1,0 +1,107 @@
+"""Tests for the protocol DSL parser."""
+
+import itertools
+
+import pytest
+
+from repro import ThreeStateProtocol, run_majority
+from repro.errors import ProtocolError
+from repro.protocols.dsl import parse_protocol
+from repro.protocols.table import MajorityTableProtocol, TableProtocol
+
+THREE_STATE_SPEC = """
+# [AAE08, PVV09] approximate majority
+states:  A B _
+inputs:  A B
+outputs: A=1 B=0
+
+A + B -> A + _
+B + A -> B + _
+A + _ <-> A + A
+B + _ <-> B + B
+"""
+
+
+class TestParsing:
+    def test_three_state_round_trip(self):
+        parsed = parse_protocol(THREE_STATE_SPEC, name="three-dsl")
+        reference = ThreeStateProtocol()
+        for x, y in itertools.product(reference.states, repeat=2):
+            assert parsed.transition(x, y) == reference.transition(x, y), \
+                (x, y)
+        for state in reference.states:
+            assert parsed.output(state) == reference.output(state)
+        assert parsed.initial_state("A") == "A"
+
+    def test_parsed_protocol_runs(self):
+        parsed = parse_protocol(THREE_STATE_SPEC)
+        result = run_majority(parsed, n=51, epsilon=5 / 51, seed=0)
+        assert result.settled
+
+    def test_plain_table_without_inputs(self):
+        protocol = parse_protocol("""
+        states: L F
+        outputs: L=1 F=0
+        L + L -> L + F
+        """)
+        assert isinstance(protocol, TableProtocol)
+        assert not isinstance(protocol, MajorityTableProtocol)
+        assert protocol.transition("L", "L") == ("L", "F")
+
+    def test_bidirectional_shorthand(self):
+        protocol = parse_protocol("""
+        states: a b c
+        a + b <-> c + c
+        """)
+        assert protocol.transition("a", "b") == ("c", "c")
+        assert protocol.transition("b", "a") == ("c", "c")
+
+    def test_ordered_rules_stay_ordered(self):
+        protocol = parse_protocol("""
+        states: a b
+        a + b -> a + a
+        """)
+        assert protocol.transition("a", "b") == ("a", "a")
+        assert protocol.transition("b", "a") == ("b", "a")  # no-op
+
+    def test_comments_and_blank_lines_ignored(self):
+        protocol = parse_protocol("""
+        # leading comment
+        states: a b   # trailing comment
+
+        a + b -> b + b  # another
+        """)
+        assert protocol.transition("a", "b") == ("b", "b")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("spec,fragment", [
+        ("a + b -> a + a", "states: must come"),
+        ("states: a\nstates: a", "duplicate states"),
+        ("states:", "at least one"),
+        ("states: a b\ninputs: a", "exactly two"),
+        ("states: a b\noutputs: a=2", "bad output"),
+        ("states: a b\na + z -> a + a", "unknown state"),
+        ("states: a b\na + b => a + a", "expected"),
+        ("states: a b\na + b -> a + a\na + b -> b + b", "conflicting"),
+        ("", "missing states"),
+    ])
+    def test_syntax_errors(self, spec, fragment):
+        with pytest.raises(ProtocolError, match=fragment):
+            parse_protocol(spec)
+
+    def test_conflicting_mirror(self):
+        with pytest.raises(ProtocolError, match="conflicting mirrored"):
+            parse_protocol("""
+            states: a b c
+            b + a -> a + a
+            a + b <-> c + c
+            """)
+
+    def test_inputs_must_satisfy_output_convention(self):
+        with pytest.raises(Exception):
+            parse_protocol("""
+            states: a b
+            inputs: a b
+            outputs: a=0 b=1
+            """)

@@ -1,0 +1,91 @@
+"""Tests for the four-state exact majority protocol."""
+
+import itertools
+
+import pytest
+
+from repro import FourStateProtocol, MAJORITY_A, MAJORITY_B
+from repro.protocols.four_state import (
+    STRONG_MINUS,
+    STRONG_PLUS,
+    WEAK_MINUS,
+    WEAK_PLUS,
+)
+
+
+@pytest.fixture
+def protocol():
+    return FourStateProtocol()
+
+
+class TestTransitions:
+    def test_opposite_strong_annihilate(self, protocol):
+        assert protocol.transition(STRONG_PLUS, STRONG_MINUS) \
+            == (WEAK_PLUS, WEAK_MINUS)
+        assert protocol.transition(STRONG_MINUS, STRONG_PLUS) \
+            == (WEAK_MINUS, WEAK_PLUS)
+
+    def test_weak_adopts_strong_sign(self, protocol):
+        assert protocol.transition(WEAK_MINUS, STRONG_PLUS) \
+            == (WEAK_PLUS, STRONG_PLUS)
+        assert protocol.transition(STRONG_MINUS, WEAK_PLUS) \
+            == (STRONG_MINUS, WEAK_MINUS)
+
+    def test_same_sign_pairs_are_noops(self, protocol):
+        for x, y in [(STRONG_PLUS, STRONG_PLUS), (STRONG_PLUS, WEAK_PLUS),
+                     (WEAK_PLUS, WEAK_PLUS), (STRONG_MINUS, WEAK_MINUS),
+                     (WEAK_MINUS, WEAK_MINUS)]:
+            assert protocol.transition(x, y) == (x, y)
+
+    def test_weak_weak_opposite_is_noop(self, protocol):
+        assert protocol.transition(WEAK_PLUS, WEAK_MINUS) \
+            == (WEAK_PLUS, WEAK_MINUS)
+
+    def test_value_sum_invariant(self, protocol):
+        for x, y in itertools.product(protocol.states, repeat=2):
+            new_x, new_y = protocol.transition(x, y)
+            assert protocol.value(x) + protocol.value(y) \
+                == protocol.value(new_x) + protocol.value(new_y)
+
+    def test_sign_difference_invariant(self, protocol):
+        """#plus - #minus among strong agents is conserved.
+
+        This is the discrepancy invariant that forces Omega(1/eps)
+        convergence (Claim B.8 applied to this protocol).
+        """
+        def strong_balance(*states):
+            return (states.count(STRONG_PLUS) - states.count(STRONG_MINUS))
+
+        for x, y in itertools.product(protocol.states, repeat=2):
+            new_x, new_y = protocol.transition(x, y)
+            assert strong_balance(x, y) == strong_balance(new_x, new_y)
+
+
+class TestOutputsAndSettled:
+    def test_outputs_follow_sign(self, protocol):
+        assert protocol.output(STRONG_PLUS) == MAJORITY_A
+        assert protocol.output(WEAK_PLUS) == MAJORITY_A
+        assert protocol.output(STRONG_MINUS) == MAJORITY_B
+        assert protocol.output(WEAK_MINUS) == MAJORITY_B
+
+    def test_settled_unanimous_positive(self, protocol):
+        assert protocol.is_settled({STRONG_PLUS: 1, WEAK_PLUS: 5})
+
+    def test_settled_unanimous_negative(self, protocol):
+        assert protocol.is_settled({WEAK_MINUS: 5})
+
+    def test_not_settled_mixed(self, protocol):
+        assert not protocol.is_settled({WEAK_PLUS: 1, WEAK_MINUS: 1})
+
+    def test_empty_not_settled(self, protocol):
+        assert not protocol.is_settled({})
+
+
+class TestInitial:
+    def test_initial_states(self, protocol):
+        assert protocol.initial_state("A") == STRONG_PLUS
+        assert protocol.initial_state("B") == STRONG_MINUS
+
+    def test_margin_builder(self, protocol):
+        counts = protocol.initial_counts_for_margin(7, 3 / 7)
+        assert counts == {STRONG_PLUS: 5, STRONG_MINUS: 2}

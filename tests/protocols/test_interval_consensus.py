@@ -1,0 +1,102 @@
+"""Tests for binary interval consensus (the general-graph 4-state
+exact protocol)."""
+
+import itertools
+
+import networkx as nx
+import pytest
+
+from repro import FourStateProtocol, IntervalConsensusProtocol, run_majority
+from repro.protocols.four_state import (
+    STRONG_MINUS,
+    STRONG_PLUS,
+    WEAK_MINUS,
+    WEAK_PLUS,
+)
+from repro.protocols.validate import validate_protocol
+
+
+@pytest.fixture
+def protocol():
+    return IntervalConsensusProtocol()
+
+
+class TestTransitions:
+    def test_annihilation_matches_clique_protocol(self, protocol):
+        assert protocol.transition(STRONG_PLUS, STRONG_MINUS) \
+            == (WEAK_PLUS, WEAK_MINUS)
+
+    def test_strong_token_moves_through_weak(self, protocol):
+        # The strong token swaps onto the weak agent's node.
+        assert protocol.transition(STRONG_PLUS, WEAK_MINUS) \
+            == (WEAK_PLUS, STRONG_PLUS)
+        assert protocol.transition(WEAK_PLUS, STRONG_MINUS) \
+            == (STRONG_MINUS, WEAK_MINUS)
+        assert protocol.transition(STRONG_MINUS, WEAK_MINUS) \
+            == (WEAK_MINUS, STRONG_MINUS)
+
+    def test_strong_count_conserved_except_annihilation(self, protocol):
+        def strong_count(*states):
+            return sum(1 for s in states
+                       if s in (STRONG_PLUS, STRONG_MINUS))
+
+        for x, y in itertools.product(protocol.states, repeat=2):
+            new_x, new_y = protocol.transition(x, y)
+            before, after = strong_count(x, y), strong_count(new_x, new_y)
+            if {x, y} == {STRONG_PLUS, STRONG_MINUS}:
+                assert after == before - 2
+            else:
+                assert after == before
+
+    def test_sign_balance_invariant(self, protocol):
+        """#(+1) - #(-1) is conserved — the exactness invariant."""
+        def balance(*states):
+            return (sum(1 for s in states if s == STRONG_PLUS)
+                    - sum(1 for s in states if s == STRONG_MINUS))
+
+        for x, y in itertools.product(protocol.states, repeat=2):
+            new_x, new_y = protocol.transition(x, y)
+            assert balance(x, y) == balance(new_x, new_y)
+
+    def test_validates(self, protocol):
+        validate_protocol(protocol, max_agents=4)
+
+
+class TestCliqueEquivalence:
+    def test_same_configuration_chain_as_clique_protocol(self, protocol):
+        """On unordered configurations both four-state variants induce
+        the same multiset dynamics (token identity is invisible)."""
+        clique = FourStateProtocol()
+        for x, y in itertools.product(protocol.states, repeat=2):
+            ours = sorted(protocol.transition(x, y))
+            theirs = sorted(clique.transition(x, y))
+            assert ours == theirs, (x, y)
+
+    def test_clique_runs_match_statistically(self, protocol):
+        from repro.rng import spawn_many
+        from repro.sim import CountEngine
+
+        def mean_time(proto, seed):
+            engine = CountEngine(proto)
+            times = [engine.run(proto.initial_counts(30, 21),
+                                rng=child).parallel_time
+                     for child in spawn_many(seed, 40)]
+            return sum(times) / len(times)
+
+        ours = mean_time(protocol, 5)
+        clique = mean_time(FourStateProtocol(), 6)
+        assert ours == pytest.approx(clique, rel=0.35)
+
+
+class TestGeneralGraphExactness:
+    @pytest.mark.parametrize("graph", [
+        nx.cycle_graph(15),
+        nx.path_graph(15),
+        nx.star_graph(14),
+    ], ids=("ring", "path", "star"))
+    def test_exact_on_sparse_graphs(self, protocol, graph):
+        for seed in range(4):
+            result = run_majority(protocol, count_a=9, count_b=6,
+                                  graph=graph, seed=seed)
+            assert result.settled
+            assert result.decision == 1

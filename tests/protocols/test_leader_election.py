@@ -1,0 +1,103 @@
+"""Tests for the leader election protocols (extension feature)."""
+
+import pytest
+
+from repro import (
+    InvalidParameterError,
+    LeveledLeaderElection,
+    PairwiseLeaderElection,
+    run,
+)
+from repro.protocols.leader_election import FOLLOWER
+from repro.rng import spawn_many
+from repro.sim import AgentEngine, CountEngine, NullSkippingEngine
+
+
+class TestPairwise:
+    def test_transitions(self):
+        protocol = PairwiseLeaderElection()
+        assert protocol.transition("L", "L") == ("L", "F")
+        assert protocol.transition("L", "F") == ("L", "F")
+        assert protocol.transition("F", "F") == ("F", "F")
+
+    def test_settled_exactly_one_leader(self):
+        protocol = PairwiseLeaderElection()
+        assert protocol.is_settled({"L": 1, "F": 9})
+        assert not protocol.is_settled({"L": 2, "F": 8})
+        assert not protocol.is_settled({"F": 10})
+
+    def test_initial_counts(self):
+        protocol = PairwiseLeaderElection()
+        assert protocol.initial_counts(5) == {"L": 5}
+        with pytest.raises(InvalidParameterError):
+            protocol.initial_counts(0)
+
+    def test_flags_for_trackers(self):
+        protocol = PairwiseLeaderElection()
+        assert not protocol.unanimity_settles
+        assert not protocol.settled_support_only
+
+    @pytest.mark.parametrize("engine_class",
+                             [AgentEngine, CountEngine, NullSkippingEngine])
+    def test_elects_exactly_one_leader(self, engine_class):
+        protocol = PairwiseLeaderElection()
+        engine = engine_class(protocol)
+        result = engine.run(protocol.initial_counts(40), rng=3)
+        assert result.settled
+        assert result.final_counts["L"] == 1
+        assert result.final_counts[FOLLOWER] == 39
+
+    def test_expected_time_theta_n(self):
+        """Mean election time grows ~linearly with n (coupon endgame)."""
+        protocol = PairwiseLeaderElection()
+        engine = NullSkippingEngine(protocol)
+
+        def mean_time(n, seed):
+            times = [engine.run(protocol.initial_counts(n),
+                                rng=child).parallel_time
+                     for child in spawn_many(seed, 30)]
+            return sum(times) / len(times)
+
+        small = mean_time(20, seed=1)
+        large = mean_time(80, seed=2)
+        assert 2.0 < large / small < 8.0  # ~4x for 4x the population
+
+
+class TestLeveled:
+    def test_levels_validation(self):
+        with pytest.raises(InvalidParameterError):
+            LeveledLeaderElection(levels=0)
+
+    def test_single_level_matches_pairwise(self):
+        leveled = LeveledLeaderElection(levels=1)
+        assert leveled.transition("L0", "L0") == ("L0", "F")
+        assert leveled.transition("L0", "F") == ("L0", "F")
+
+    def test_higher_level_wins(self):
+        protocol = LeveledLeaderElection(levels=4)
+        assert protocol.transition("L2", "L1") == ("L2", "F")
+        assert protocol.transition("L0", "L3") == ("F", "L3")
+
+    def test_tie_promotes_initiator(self):
+        protocol = LeveledLeaderElection(levels=4)
+        assert protocol.transition("L1", "L1") == ("L2", "F")
+        assert protocol.transition("L3", "L3") == ("L3", "F")  # capped
+
+    def test_elects_exactly_one_leader(self):
+        protocol = LeveledLeaderElection(levels=4)
+        result = run(protocol, protocol.initial_counts(50), seed=5)
+        assert result.settled
+        assert protocol.num_leaders(result.final_counts) == 1
+
+    def test_leader_count_monotone_under_all_rules(self):
+        """No interaction may ever create a leader."""
+        protocol = LeveledLeaderElection(levels=3)
+        for x in protocol.states:
+            for y in protocol.states:
+                before = protocol.num_leaders({x: 1, y: 1}) \
+                    if x != y else protocol.num_leaders({x: 2})
+                new_x, new_y = protocol.transition(x, y)
+                counts = {}
+                for state in (new_x, new_y):
+                    counts[state] = counts.get(state, 0) + 1
+                assert protocol.num_leaders(counts) <= before

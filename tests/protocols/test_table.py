@@ -1,0 +1,116 @@
+"""Tests for table-driven protocols."""
+
+import pytest
+
+from repro import (
+    FourStateProtocol,
+    InvalidParameterError,
+    MajorityTableProtocol,
+    TableProtocol,
+)
+from repro.errors import InvalidStateError
+
+
+def four_state_as_table():
+    """The four-state protocol expressed as an unordered rule table."""
+    return MajorityTableProtocol(
+        states=("+1", "-1", "+0", "-0"),
+        transitions={
+            ("+1", "-1"): ("+0", "-0"),
+            ("+1", "-0"): ("+1", "+0"),
+            ("-1", "+0"): ("-1", "-0"),
+        },
+        outputs={"+1": 1, "+0": 1, "-1": 0, "-0": 0},
+        input_a="+1",
+        input_b="-1",
+        name="four-state-table",
+    )
+
+
+class TestConstruction:
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            TableProtocol(("a", "a"), {}, {})
+
+    def test_unknown_state_in_table_rejected(self):
+        with pytest.raises(InvalidStateError):
+            TableProtocol(("a", "b"), {("a", "z"): ("a", "a")}, {})
+
+    def test_missing_pairs_are_noops(self):
+        protocol = TableProtocol(("a", "b"), {}, {"a": 0, "b": 1})
+        assert protocol.transition("a", "b") == ("a", "b")
+
+    def test_symmetric_expansion(self):
+        protocol = TableProtocol(
+            ("a", "b"), {("a", "b"): ("a", "a")}, {"a": 0, "b": 1})
+        assert protocol.transition("a", "b") == ("a", "a")
+        assert protocol.transition("b", "a") == ("a", "a")
+
+    def test_asymmetric_tables_supported(self):
+        protocol = TableProtocol(
+            ("a", "b"),
+            {("a", "b"): ("a", "a"), ("b", "a"): ("b", "b")},
+            {"a": 0, "b": 1},
+            symmetric=False)
+        assert protocol.transition("a", "b") == ("a", "a")
+        assert protocol.transition("b", "a") == ("b", "b")
+
+    def test_plain_table_has_no_inputs(self):
+        protocol = TableProtocol(("a", "b"), {}, {"a": 0})
+        with pytest.raises(InvalidParameterError):
+            protocol.initial_state("A")
+
+
+class TestMajorityTable:
+    def test_matches_hand_written_four_state(self):
+        table = four_state_as_table()
+        reference = FourStateProtocol()
+        mapping = dict(zip(table.states, reference.states))
+        for x in table.states:
+            for y in table.states:
+                got = table.transition(x, y)
+                expected = reference.transition(mapping[x], mapping[y])
+                assert tuple(mapping[s] for s in got) == expected
+
+    def test_inputs_must_be_states(self):
+        with pytest.raises(InvalidStateError):
+            MajorityTableProtocol(("a", "b"), {}, {"a": 1, "b": 0},
+                                  input_a="z", input_b="b")
+
+    def test_input_outputs_enforced(self):
+        with pytest.raises(InvalidParameterError):
+            MajorityTableProtocol(("a", "b"), {}, {"a": 0, "b": 1},
+                                  input_a="a", input_b="b")
+
+    def test_distinct_inputs_enforced(self):
+        with pytest.raises(InvalidParameterError):
+            MajorityTableProtocol(("a", "b"), {}, {"a": 1, "b": 0},
+                                  input_a="a", input_b="a")
+
+    def test_initial_state(self):
+        table = four_state_as_table()
+        assert table.initial_state("A") == "+1"
+        assert table.initial_state("B") == "-1"
+
+
+class TestSupportClosure:
+    def test_closure_of_absorbing_support(self):
+        table = four_state_as_table()
+        closure = table.support_closure(frozenset({"+1", "+0"}))
+        assert closure == frozenset({"+1", "+0"})
+
+    def test_closure_expands_through_interactions(self):
+        table = four_state_as_table()
+        closure = table.support_closure(frozenset({"+1", "-1"}))
+        assert closure == frozenset({"+1", "-1", "+0", "-0"})
+
+    def test_is_settled_sound(self):
+        table = four_state_as_table()
+        assert table.is_settled({"+1": 2, "+0": 3})
+        assert not table.is_settled({"+1": 1, "-1": 1})
+        assert not table.is_settled({})
+
+    def test_is_settled_requires_defined_outputs(self):
+        protocol = TableProtocol(("a", "b"), {}, {"a": 0})
+        assert not protocol.is_settled({"b": 3})  # b has no output
+        assert protocol.is_settled({"a": 3})

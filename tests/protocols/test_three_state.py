@@ -1,0 +1,89 @@
+"""Tests for the three-state approximate majority protocol."""
+
+import itertools
+
+import pytest
+
+from repro import MAJORITY_A, MAJORITY_B, ThreeStateProtocol, UNDECIDED
+from repro.protocols.three_state import STATE_A, STATE_B, STATE_BLANK
+
+
+@pytest.fixture
+def protocol():
+    return ThreeStateProtocol()
+
+
+class TestTransitions:
+    def test_conflict_blanks_the_responder(self, protocol):
+        assert protocol.transition(STATE_A, STATE_B) == (STATE_A, STATE_BLANK)
+        assert protocol.transition(STATE_B, STATE_A) == (STATE_B, STATE_BLANK)
+
+    def test_decided_recruits_blank(self, protocol):
+        assert protocol.transition(STATE_A, STATE_BLANK) == (STATE_A, STATE_A)
+        assert protocol.transition(STATE_BLANK, STATE_A) == (STATE_A, STATE_A)
+        assert protocol.transition(STATE_B, STATE_BLANK) == (STATE_B, STATE_B)
+        assert protocol.transition(STATE_BLANK, STATE_B) == (STATE_B, STATE_B)
+
+    def test_equal_states_are_noops(self, protocol):
+        for state in protocol.states:
+            assert protocol.transition(state, state) == (state, state)
+
+    def test_transition_total(self, protocol):
+        valid = set(protocol.states)
+        for x, y in itertools.product(protocol.states, repeat=2):
+            new_x, new_y = protocol.transition(x, y)
+            assert new_x in valid and new_y in valid
+
+    def test_number_of_decided_agents_never_decreases_by_two(self, protocol):
+        """A single interaction blanks at most one decided agent."""
+        def decided(*states):
+            return sum(1 for s in states if s != STATE_BLANK)
+
+        for x, y in itertools.product(protocol.states, repeat=2):
+            new_x, new_y = protocol.transition(x, y)
+            assert decided(new_x, new_y) >= decided(x, y) - 1
+
+
+class TestOutputs:
+    def test_outputs(self, protocol):
+        assert protocol.output(STATE_A) == MAJORITY_A
+        assert protocol.output(STATE_B) == MAJORITY_B
+        assert protocol.output(STATE_BLANK) is UNDECIDED
+
+
+class TestSettled:
+    def test_all_a_settled(self, protocol):
+        assert protocol.is_settled({STATE_A: 10})
+
+    def test_all_b_settled(self, protocol):
+        assert protocol.is_settled({STATE_B: 3})
+
+    def test_blank_blocks_settlement(self, protocol):
+        assert not protocol.is_settled({STATE_A: 9, STATE_BLANK: 1})
+
+    def test_mixed_not_settled(self, protocol):
+        assert not protocol.is_settled({STATE_A: 5, STATE_B: 5})
+
+    def test_all_blank_not_settled(self, protocol):
+        # All-blank is unreachable from valid inputs but must not
+        # count as settled (no defined output).
+        assert not protocol.is_settled({STATE_BLANK: 4})
+
+    def test_empty_not_settled(self, protocol):
+        assert not protocol.is_settled({})
+
+
+class TestInitial:
+    def test_initial_states(self, protocol):
+        assert protocol.initial_state("A") == STATE_A
+        assert protocol.initial_state("B") == STATE_B
+
+    def test_initial_counts(self, protocol):
+        counts = protocol.initial_counts(3, 2)
+        assert counts == {STATE_A: 3, STATE_B: 2}
+
+    def test_decision_helper(self, protocol):
+        assert protocol.decision({STATE_A: 5}) == MAJORITY_A
+        assert protocol.decision({STATE_B: 5}) == MAJORITY_B
+        assert protocol.decision({STATE_A: 1, STATE_B: 1}) is UNDECIDED
+        assert protocol.decision({STATE_A: 1, STATE_BLANK: 1}) is UNDECIDED

@@ -1,0 +1,35 @@
+"""Tests for the two-state voter model."""
+
+import pytest
+
+from repro import MAJORITY_A, MAJORITY_B, VoterProtocol
+
+
+@pytest.fixture
+def protocol():
+    return VoterProtocol()
+
+
+def test_responder_copies_initiator(protocol):
+    assert protocol.transition("A", "B") == ("A", "A")
+    assert protocol.transition("B", "A") == ("B", "B")
+    assert protocol.transition("A", "A") == ("A", "A")
+
+
+def test_outputs(protocol):
+    assert protocol.output("A") == MAJORITY_A
+    assert protocol.output("B") == MAJORITY_B
+
+
+def test_settled_only_when_unanimous(protocol):
+    assert protocol.is_settled({"A": 5})
+    assert protocol.is_settled({"B": 2})
+    assert not protocol.is_settled({"A": 1, "B": 1})
+    assert not protocol.is_settled({})
+
+
+def test_initial_states(protocol):
+    assert protocol.initial_state("A") == "A"
+    assert protocol.initial_state("B") == "B"
+    with pytest.raises(ValueError):
+        protocol.initial_state("X")

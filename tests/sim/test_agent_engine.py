@@ -1,0 +1,129 @@
+"""Tests for the agent-array engine."""
+
+import networkx as nx
+import pytest
+
+from repro import (
+    AVCProtocol,
+    AgentEngine,
+    FourStateProtocol,
+    ThreeStateProtocol,
+)
+from repro.errors import InvalidParameterError
+from repro.sim.record import TrajectoryRecorder
+from repro.sim.schedule import CompletePairSampler
+
+
+class TestBasicRuns:
+    def test_four_state_converges_correctly(self, rng):
+        engine = AgentEngine(FourStateProtocol())
+        counts = FourStateProtocol().initial_counts(30, 20)
+        result = engine.run(counts, rng=rng, expected=1)
+        assert result.settled
+        assert result.decision == 1
+        assert result.correct
+        assert result.steps > 0
+        assert result.n == 50
+
+    def test_avc_converges_correctly(self, rng):
+        protocol = AVCProtocol(m=5, d=1)
+        engine = AgentEngine(protocol)
+        counts = protocol.initial_counts_for_margin(51, 3 / 51)
+        result = engine.run(counts, rng=rng, expected=1)
+        assert result.settled and result.decision == 1
+
+    def test_final_counts_consistent(self, rng):
+        protocol = ThreeStateProtocol()
+        engine = AgentEngine(protocol)
+        result = engine.run(protocol.initial_counts(20, 10), rng=rng)
+        assert sum(result.final_counts.values()) == 30
+        assert result.settled
+
+    def test_already_settled_input(self, rng):
+        protocol = ThreeStateProtocol()
+        engine = AgentEngine(protocol)
+        result = engine.run({"A": 10}, rng=rng, expected=1)
+        assert result.settled
+        assert result.steps == 0
+        assert result.parallel_time == 0
+
+    def test_budget_exhaustion_returns_unsettled(self, rng):
+        protocol = FourStateProtocol()
+        engine = AgentEngine(protocol)
+        result = engine.run(protocol.initial_counts(500, 499),
+                            rng=rng, max_steps=50)
+        assert not result.settled
+        assert result.steps == 50
+        assert result.decision is None
+        assert result.correct is None
+
+    def test_population_of_one_rejected(self, rng):
+        engine = AgentEngine(ThreeStateProtocol())
+        with pytest.raises(InvalidParameterError):
+            engine.run({"A": 1}, rng=rng)
+
+    def test_reproducible_given_seed(self):
+        protocol = ThreeStateProtocol()
+        engine = AgentEngine(protocol)
+        first = engine.run(protocol.initial_counts(30, 20), rng=42)
+        second = engine.run(protocol.initial_counts(30, 20), rng=42)
+        assert first.steps == second.steps
+        assert first.final_counts == second.final_counts
+
+
+class TestGraphSupport:
+    def test_runs_on_cycle_graph(self, rng):
+        protocol = ThreeStateProtocol()
+        engine = AgentEngine(protocol, graph=nx.cycle_graph(20))
+        result = engine.run(protocol.initial_counts(15, 5), rng=rng)
+        assert result.settled
+
+    def test_clique_four_state_deadlocks_on_star(self, rng):
+        """The paper's clique form of the 4-state protocol is *not*
+        exact on general graphs: on a star, opposite strong leaves can
+        never interact, so the run cannot settle (this motivates the
+        swap-based IntervalConsensusProtocol)."""
+        protocol = FourStateProtocol()
+        engine = AgentEngine(protocol, graph=nx.star_graph(14))  # 15 nodes
+        result = engine.run(protocol.initial_counts(9, 6), rng=rng,
+                            expected=1, max_parallel_time=2000)
+        assert not result.settled
+
+    def test_interval_consensus_exact_on_star_graph(self):
+        """[DV12]: interval consensus (token swaps) is exact on any
+        connected graph — it must settle on the true majority."""
+        from repro.protocols.interval_consensus import (
+            IntervalConsensusProtocol,
+        )
+
+        protocol = IntervalConsensusProtocol()
+        engine = AgentEngine(protocol, graph=nx.star_graph(14))  # 15 nodes
+        for trial_seed in range(5):
+            result = engine.run(protocol.initial_counts(9, 6),
+                                rng=trial_seed, expected=1)
+            assert result.settled and result.decision == 1
+
+    def test_sampler_population_mismatch(self, rng):
+        protocol = ThreeStateProtocol()
+        engine = AgentEngine(protocol,
+                             pair_sampler=CompletePairSampler(10))
+        with pytest.raises(ValueError):
+            engine.run(protocol.initial_counts(3, 2), rng=rng)
+
+    def test_graph_and_sampler_exclusive(self):
+        with pytest.raises(ValueError):
+            AgentEngine(ThreeStateProtocol(), graph=nx.path_graph(3),
+                        pair_sampler=CompletePairSampler(3))
+
+
+class TestRecorderIntegration:
+    def test_recorder_sees_initial_and_final(self, rng):
+        protocol = ThreeStateProtocol()
+        engine = AgentEngine(protocol)
+        recorder = TrajectoryRecorder(interval_steps=1)
+        result = engine.run(protocol.initial_counts(10, 5), rng=rng,
+                            recorder=recorder)
+        assert recorder.steps[0] == 0
+        assert recorder.steps[-1] == result.steps
+        # Population conserved in every snapshot.
+        assert all(s.sum() == 15 for s in recorder.snapshots)

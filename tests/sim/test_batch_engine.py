@@ -1,0 +1,62 @@
+"""Tests for the batched numpy engine."""
+
+import pytest
+
+from repro import AVCProtocol, BatchEngine, FourStateProtocol
+from repro.errors import InvalidParameterError
+
+
+class TestBatchEngine:
+    def test_converges_correctly(self, rng):
+        protocol = AVCProtocol(m=9, d=1)
+        engine = BatchEngine(protocol)
+        initial = protocol.initial_counts_for_margin(200, 0.1)
+        result = engine.run(initial, rng=rng, expected=1)
+        assert result.settled and result.decision == 1
+
+    def test_works_with_table_kernel(self, rng):
+        protocol = FourStateProtocol()
+        engine = BatchEngine(protocol)
+        result = engine.run(protocol.initial_counts(70, 30), rng=rng,
+                            expected=1)
+        assert result.settled and result.decision == 1
+
+    def test_population_and_value_conserved(self, rng):
+        protocol = AVCProtocol(m=5, d=2)
+        engine = BatchEngine(protocol)
+        initial = protocol.initial_counts_for_margin(101, 11 / 101)
+        initial_sum = protocol.total_value(initial)
+        result = engine.run(initial, rng=rng)
+        assert sum(result.final_counts.values()) == 101
+        assert protocol.total_value(result.final_counts) == initial_sum
+
+    def test_batch_fraction_validation(self):
+        with pytest.raises(InvalidParameterError):
+            BatchEngine(AVCProtocol(m=3), batch_fraction=0.0)
+        with pytest.raises(InvalidParameterError):
+            BatchEngine(AVCProtocol(m=3), batch_fraction=1.5)
+
+    def test_exactness_preserved_despite_batching(self):
+        """Batching approximates timing, never correctness: AVC must
+        still never decide for the minority."""
+        protocol = AVCProtocol(m=5, d=1)
+        engine = BatchEngine(protocol, batch_fraction=0.3)
+        for seed in range(20):
+            result = engine.run(protocol.initial_counts(30, 21),
+                                rng=seed, expected=1)
+            assert result.settled and result.decision == 1
+
+    def test_budget_censoring(self, rng):
+        protocol = FourStateProtocol()
+        engine = BatchEngine(protocol)
+        result = engine.run(protocol.initial_counts(500, 499), rng=rng,
+                            max_steps=200)
+        assert not result.settled
+        assert result.steps <= 200
+
+    def test_large_population_fast_path(self, rng):
+        protocol = AVCProtocol.with_num_states(66)
+        engine = BatchEngine(protocol, batch_fraction=0.2)
+        initial = protocol.initial_counts_for_margin(5001, 101 / 5001)
+        result = engine.run(initial, rng=rng, expected=1)
+        assert result.settled and result.decision == 1

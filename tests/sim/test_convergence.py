@@ -1,0 +1,118 @@
+"""Tests for the incremental settledness trackers."""
+
+import pytest
+
+from repro import AVCProtocol, FourStateProtocol, ThreeStateProtocol
+from repro.protocols.table import MajorityTableProtocol
+from repro.sim.convergence import (
+    GenericSettleTracker,
+    UnanimitySettleTracker,
+    decision_of_counts,
+    make_settle_tracker,
+)
+
+
+def as_vector(protocol, sparse):
+    return [int(c) for c in protocol.counts_to_vector(sparse)]
+
+
+class TestFactory:
+    def test_unanimity_protocols_get_fast_tracker(self):
+        protocol = ThreeStateProtocol()
+        counts = as_vector(protocol, {"A": 2, "B": 1})
+        assert isinstance(make_settle_tracker(protocol, counts),
+                          UnanimitySettleTracker)
+
+    def test_table_protocols_get_generic_tracker(self):
+        protocol = MajorityTableProtocol(
+            ("a", "b"), {}, {"a": 1, "b": 0}, input_a="a", input_b="b")
+        counts = [1, 1]
+        assert isinstance(make_settle_tracker(protocol, counts),
+                          GenericSettleTracker)
+
+
+class TestUnanimityTracker:
+    def test_initially_unsettled(self):
+        protocol = FourStateProtocol()
+        counts = as_vector(protocol, {"+1": 2, "-1": 1})
+        tracker = UnanimitySettleTracker(protocol, counts)
+        assert not tracker.settled()
+        assert tracker.decision() is None
+
+    def test_detects_settlement_through_updates(self):
+        protocol = FourStateProtocol()
+        # +1, -1, +0, -0 indices: 0, 1, 2, 3
+        counts = [1, 1, 0, 0]
+        tracker = UnanimitySettleTracker(protocol, counts)
+        # (+1, -1) -> (+0, -0): still mixed.
+        counts[:] = [0, 0, 1, 1]
+        tracker.update(0, 1, 2, 3)
+        assert not tracker.settled()
+        # (-0 meets +? impossible now) pretend -0 flips: (+0,-0)->(+0,+0)
+        counts[:] = [0, 0, 2, 0]
+        tracker.update(2, 3, 2, 2)
+        assert tracker.settled()
+        assert tracker.decision() == 1
+
+    def test_undecided_states_block_settlement(self):
+        protocol = ThreeStateProtocol()
+        counts = as_vector(protocol, {"A": 2, "_": 1})
+        tracker = UnanimitySettleTracker(protocol, counts)
+        assert not tracker.settled()
+
+    def test_reset_resynchronizes(self):
+        protocol = ThreeStateProtocol()
+        counts = as_vector(protocol, {"A": 1, "B": 1})
+        tracker = UnanimitySettleTracker(protocol, counts)
+        tracker.reset([3, 0, 0])
+        assert tracker.settled()
+        assert tracker.decision() == 1
+
+
+class TestGenericTracker:
+    def _table_protocol(self):
+        return MajorityTableProtocol(
+            ("a", "b", "u"),
+            {("a", "b"): ("u", "u"), ("a", "u"): ("a", "a"),
+             ("b", "u"): ("b", "b")},
+            {"a": 1, "b": 0},
+            input_a="a", input_b="b")
+
+    def test_settles_when_closure_unanimous(self):
+        protocol = self._table_protocol()
+        counts = [2, 0, 0]
+        tracker = GenericSettleTracker(protocol, counts)
+        assert tracker.settled()
+        assert tracker.decision() == 1
+
+    def test_undecided_closure_blocks(self):
+        protocol = self._table_protocol()
+        counts = [1, 1, 0]
+        tracker = GenericSettleTracker(protocol, counts)
+        assert not tracker.settled()
+
+    def test_update_marks_dirty_on_support_change(self):
+        protocol = self._table_protocol()
+        counts = [1, 1, 0]
+        tracker = GenericSettleTracker(protocol, counts)
+        assert not tracker.settled()
+        # Interaction (a, b) -> (u, u): a and b vanish.
+        counts[:] = [0, 0, 2]
+        tracker.update(0, 1, 2, 2)
+        assert not tracker.settled()  # u has no output
+        # u's recruited: pretend final (a, a): support change again.
+        counts[:] = [2, 0, 0]
+        tracker.update(2, 2, 0, 0)
+        assert tracker.settled()
+
+
+def test_decision_of_counts():
+    protocol = ThreeStateProtocol()
+    assert decision_of_counts(protocol,
+                              protocol.counts_to_vector({"A": 3})) == 1
+    assert decision_of_counts(protocol,
+                              protocol.counts_to_vector({"B": 3})) == 0
+    mixed = protocol.counts_to_vector({"A": 1, "B": 1})
+    assert decision_of_counts(protocol, mixed) is None
+    blank = protocol.counts_to_vector({"A": 1, "_": 1})
+    assert decision_of_counts(protocol, blank) is None

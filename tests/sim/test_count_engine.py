@@ -1,0 +1,71 @@
+"""Tests for the count-vector engine."""
+
+import pytest
+
+from repro import AVCProtocol, CountEngine, FourStateProtocol
+from repro.core.states import strong_state
+
+
+class TestCountEngine:
+    def test_avc_converges_and_conserves_value(self, rng):
+        protocol = AVCProtocol(m=9, d=1)
+        engine = CountEngine(protocol)
+        initial = protocol.initial_counts_for_margin(101, 5 / 101)
+        initial_sum = protocol.total_value(initial)
+        result = engine.run(initial, rng=rng, expected=1)
+        assert result.settled and result.decision == 1
+        assert protocol.total_value(result.final_counts) == initial_sum
+
+    def test_population_conserved(self, rng):
+        protocol = FourStateProtocol()
+        engine = CountEngine(protocol)
+        result = engine.run(protocol.initial_counts(40, 25), rng=rng)
+        assert sum(result.final_counts.values()) == 65
+
+    def test_exactness_never_wrong_for_avc(self):
+        """AVC is exact: no seed may produce a minority decision."""
+        protocol = AVCProtocol(m=5, d=1)
+        engine = CountEngine(protocol)
+        for seed in range(30):
+            result = engine.run(protocol.initial_counts(6, 5),
+                                rng=seed, expected=1)
+            assert result.settled
+            assert result.decision == 1, f"wrong decision at seed {seed}"
+
+    def test_large_state_space(self, rng):
+        protocol = AVCProtocol.with_num_states(258)
+        engine = CountEngine(protocol)
+        initial = protocol.initial_counts_for_margin(501, 1 / 501)
+        result = engine.run(initial, rng=rng, expected=1)
+        assert result.settled and result.decision == 1
+
+    def test_productive_steps_bounded_by_steps(self, rng):
+        protocol = FourStateProtocol()
+        engine = CountEngine(protocol)
+        result = engine.run(protocol.initial_counts(20, 10), rng=rng)
+        assert 0 < result.productive_steps <= result.steps
+
+    def test_budget_censoring(self, rng):
+        protocol = FourStateProtocol()
+        engine = CountEngine(protocol)
+        result = engine.run(protocol.initial_counts(300, 299), rng=rng,
+                            max_steps=100)
+        assert not result.settled
+        assert result.steps == 100
+
+    def test_minority_b_wins_when_b_majority(self, rng):
+        protocol = AVCProtocol(m=5, d=1)
+        engine = CountEngine(protocol)
+        initial = protocol.initial_counts(10, 15)
+        result = engine.run(initial, rng=rng, expected=0)
+        assert result.settled and result.decision == 0
+        assert all(state.sign < 0 for state in result.final_counts)
+
+    def test_reproducible(self):
+        protocol = AVCProtocol(m=5, d=1)
+        engine = CountEngine(protocol)
+        initial = protocol.initial_counts(30, 21)
+        first = engine.run(initial, rng=9)
+        second = engine.run(initial, rng=9)
+        assert first.steps == second.steps
+        assert first.final_counts == second.final_counts

@@ -1,0 +1,74 @@
+"""Cross-engine validation (abl-engines, statistical part).
+
+All exact engines sample the same Markov chain, so their convergence
+time distributions must agree; the batch engine is approximate but
+must agree within tolerance.  We compare mean parallel times over
+modest trial counts with loose thresholds to keep the suite fast and
+deterministic (fixed seeds); the stronger ground-truth comparison
+against exact Markov-chain absorption times lives in
+``tests/analysis/test_markov.py``.
+"""
+
+import pytest
+
+from repro import AVCProtocol, FourStateProtocol, ThreeStateProtocol
+from repro.sim import (
+    AgentEngine,
+    BatchEngine,
+    CountEngine,
+    NullSkippingEngine,
+    TrialStats,
+)
+from repro.rng import spawn_many
+
+
+def mean_time(engine, protocol, count_a, count_b, trials, seed):
+    results = [
+        engine.run(protocol.initial_counts(count_a, count_b), rng=child)
+        for child in spawn_many(seed, trials)
+    ]
+    stats = TrialStats.from_results(results)
+    assert stats.settled_fraction == 1.0
+    return stats.mean_parallel_time
+
+
+@pytest.mark.parametrize("protocol_factory,count_a,count_b", [
+    (FourStateProtocol, 40, 21),
+    (ThreeStateProtocol, 45, 16),
+    (lambda: AVCProtocol(m=9, d=1), 36, 25),
+])
+def test_exact_engines_agree(protocol_factory, count_a, count_b):
+    protocol = protocol_factory()
+    trials = 60
+    agent = mean_time(AgentEngine(protocol), protocol, count_a, count_b,
+                      trials, seed=101)
+    count = mean_time(CountEngine(protocol), protocol, count_a, count_b,
+                      trials, seed=202)
+    skip = mean_time(NullSkippingEngine(protocol), protocol, count_a,
+                     count_b, trials, seed=303)
+    # Same chain, independent samples: means within 35% of each other.
+    reference = agent
+    assert count == pytest.approx(reference, rel=0.35)
+    assert skip == pytest.approx(reference, rel=0.35)
+
+
+def test_batch_engine_agrees_within_tolerance():
+    protocol = AVCProtocol(m=9, d=1)
+    trials = 40
+    exact = mean_time(CountEngine(protocol), protocol, 120, 81, trials,
+                      seed=7)
+    batched = mean_time(BatchEngine(protocol, batch_fraction=0.05),
+                        protocol, 120, 81, trials, seed=8)
+    assert batched == pytest.approx(exact, rel=0.5)
+
+
+def test_null_skipping_steps_match_count_engine_distribution():
+    """The skipped-null accounting must reproduce raw step counts, not
+    just productive ones."""
+    protocol = FourStateProtocol()
+    trials = 80
+    count = mean_time(CountEngine(protocol), protocol, 30, 25, trials,
+                      seed=11)
+    skip = mean_time(NullSkippingEngine(protocol), protocol, 30, 25,
+                     trials, seed=12)
+    assert skip == pytest.approx(count, rel=0.35)

@@ -1,0 +1,62 @@
+"""Tests for engine guard rails and budget resolution."""
+
+import pytest
+
+from repro import FourStateProtocol, InvalidParameterError
+from repro.errors import SimulationError
+from repro.sim.count_engine import CountEngine
+from repro.sim.engine import (
+    DEFAULT_MAX_PARALLEL_TIME,
+    Engine,
+    check_budget_sanity,
+)
+
+
+class TestBudgetResolution:
+    def test_default_budget(self):
+        assert Engine._resolve_budget(100, None, None) \
+            == int(DEFAULT_MAX_PARALLEL_TIME * 100)
+
+    def test_max_steps_passthrough(self):
+        assert Engine._resolve_budget(100, 500, None) == 500
+
+    def test_parallel_time_conversion(self):
+        assert Engine._resolve_budget(100, None, 2.5) == 250
+
+    def test_mutually_exclusive(self):
+        with pytest.raises(InvalidParameterError):
+            Engine._resolve_budget(100, 500, 2.5)
+
+    @pytest.mark.parametrize("steps,parallel", [(0, None), (-5, None),
+                                                (None, 0.0),
+                                                (None, -1.0)])
+    def test_nonpositive_budgets_rejected(self, steps, parallel):
+        with pytest.raises(InvalidParameterError):
+            Engine._resolve_budget(100, steps, parallel)
+
+
+class TestSanityGuard:
+    def test_absurd_budget_rejected(self):
+        with pytest.raises(SimulationError):
+            check_budget_sanity(10**16)
+
+    def test_normal_budget_passes(self):
+        check_budget_sanity(10**12)
+
+    def test_engine_surfaces_the_guard(self):
+        protocol = FourStateProtocol()
+        engine = CountEngine(protocol)
+        with pytest.raises(SimulationError):
+            engine.run(protocol.initial_counts(3, 2), rng=0,
+                       max_steps=10**16)
+
+
+class TestRunValidation:
+    def test_too_few_agents(self):
+        protocol = FourStateProtocol()
+        with pytest.raises(InvalidParameterError):
+            CountEngine(protocol).run({"+1": 1}, rng=0)
+
+    def test_repr(self):
+        engine = CountEngine(FourStateProtocol())
+        assert "four-state" in repr(engine)

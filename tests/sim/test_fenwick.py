@@ -1,0 +1,98 @@
+"""Tests for the Fenwick tree, including a property-based check."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.fenwick import FenwickTree
+
+
+class TestBasics:
+    def test_build_and_total(self):
+        tree = FenwickTree([1, 2, 3, 4])
+        assert tree.total == 10
+        assert len(tree) == 4
+
+    def test_get_individual_weights(self):
+        weights = [5, 0, 3, 7, 1]
+        tree = FenwickTree(weights)
+        assert tree.to_list() == weights
+
+    def test_prefix_sums(self):
+        tree = FenwickTree([1, 2, 3, 4])
+        assert [tree.prefix_sum(i) for i in range(4)] == [1, 3, 6, 10]
+
+    def test_add(self):
+        tree = FenwickTree([1, 2, 3])
+        tree.add(1, 5)
+        assert tree.total == 11
+        assert tree.to_list() == [1, 7, 3]
+        tree.add(1, -7)
+        assert tree.to_list() == [1, 0, 3]
+
+    def test_negative_weight_rejected_at_build(self):
+        with pytest.raises(ValueError):
+            FenwickTree([1, -1])
+
+    def test_find_boundaries(self):
+        tree = FenwickTree([2, 0, 3])
+        assert tree.find(0) == 0
+        assert tree.find(1) == 0
+        assert tree.find(2) == 2
+        assert tree.find(4) == 2
+
+    def test_find_out_of_range(self):
+        tree = FenwickTree([2, 3])
+        with pytest.raises(ValueError):
+            tree.find(5)
+        with pytest.raises(ValueError):
+            tree.find(-1)
+
+    def test_find_skips_zero_slots(self):
+        tree = FenwickTree([0, 0, 1, 0, 2])
+        assert tree.find(0) == 2
+        assert tree.find(1) == 4
+        assert tree.find(2) == 4
+
+    def test_single_slot(self):
+        tree = FenwickTree([7])
+        assert tree.find(3) == 0
+        tree.add(0, -7)
+        assert tree.total == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(weights=st.lists(st.integers(0, 50), min_size=1, max_size=64),
+       updates=st.lists(
+           st.tuples(st.integers(0, 63), st.integers(0, 20)), max_size=20))
+def test_matches_naive_reference(weights, updates):
+    """Property: tree behaviour equals a plain list implementation."""
+    tree = FenwickTree(weights)
+    reference = list(weights)
+    for index, delta in updates:
+        index %= len(reference)
+        tree.add(index, delta)
+        reference[index] += delta
+    assert tree.total == sum(reference)
+    assert tree.to_list() == reference
+    # Every valid target maps to the slot the naive scan would find.
+    for target in range(sum(reference)):
+        acc = 0
+        for i, w in enumerate(reference):
+            acc += w
+            if target < acc:
+                assert tree.find(target) == i
+                break
+
+
+def test_sampling_distribution_is_proportional():
+    """Drawing uniform targets samples slots proportionally to weight."""
+    weights = [1, 0, 3, 6]
+    tree = FenwickTree(weights)
+    rng = np.random.default_rng(7)
+    draws = rng.integers(0, tree.total, size=20_000)
+    picks = np.array([tree.find(int(t)) for t in draws])
+    observed = np.bincount(picks, minlength=4) / len(picks)
+    expected = np.array(weights) / sum(weights)
+    np.testing.assert_allclose(observed, expected, atol=0.02)

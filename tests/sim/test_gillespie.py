@@ -1,0 +1,95 @@
+"""Tests for the null-skipping and continuous-time engines."""
+
+import pytest
+
+from repro import (
+    AVCProtocol,
+    ContinuousTimeEngine,
+    FourStateProtocol,
+    NullSkippingEngine,
+    ThreeStateProtocol,
+    VoterProtocol,
+)
+from repro.errors import ProtocolError
+from repro.protocols.four_state import (
+    STRONG_MINUS,
+    STRONG_PLUS,
+    WEAK_MINUS,
+    WEAK_PLUS,
+)
+
+
+class TestNullSkipping:
+    def test_converges_correctly(self, rng):
+        protocol = FourStateProtocol()
+        engine = NullSkippingEngine(protocol)
+        result = engine.run(protocol.initial_counts(60, 41), rng=rng,
+                            expected=1)
+        assert result.settled and result.decision == 1
+
+    def test_rejects_large_state_spaces(self):
+        protocol = AVCProtocol.with_num_states(514)
+        with pytest.raises(ProtocolError):
+            NullSkippingEngine(protocol)
+
+    def test_productive_pairs_enumeration(self):
+        engine = NullSkippingEngine(FourStateProtocol())
+        pairs = engine._productive_pairs()
+        # (+1,-1), (-1,+1), and the four weak-meets-opposite-strong
+        # orientations are the only state-changing ordered pairs.
+        assert len(pairs) == 6
+
+    def test_frozen_tie_detected(self, rng):
+        """A tie depletes all strong agents and freezes unsettled."""
+        protocol = FourStateProtocol()
+        engine = NullSkippingEngine(protocol)
+        result = engine.run(protocol.initial_counts(5, 5), rng=rng)
+        assert result.frozen
+        assert not result.settled
+        final = result.final_counts
+        assert final.get(STRONG_PLUS, 0) == 0
+        assert final.get(STRONG_MINUS, 0) == 0
+        assert final.get(WEAK_PLUS, 0) == 5
+        assert final.get(WEAK_MINUS, 0) == 5
+
+    def test_steps_include_skipped_nulls(self, rng):
+        protocol = FourStateProtocol()
+        engine = NullSkippingEngine(protocol)
+        result = engine.run(protocol.initial_counts(52, 50), rng=rng)
+        assert result.productive_steps < result.steps
+
+    def test_budget_censoring(self, rng):
+        protocol = FourStateProtocol()
+        engine = NullSkippingEngine(protocol)
+        result = engine.run(protocol.initial_counts(500, 499), rng=rng,
+                            max_steps=1000)
+        assert not result.settled
+        assert result.steps == 1000
+
+    def test_voter_always_reaches_consensus(self, rng):
+        protocol = VoterProtocol()
+        engine = NullSkippingEngine(protocol)
+        result = engine.run(protocol.initial_counts(10, 10), rng=rng)
+        assert result.settled  # ties still reach (random) consensus
+
+
+class TestContinuousTime:
+    def test_tracks_continuous_time(self, rng):
+        protocol = ThreeStateProtocol()
+        engine = ContinuousTimeEngine(protocol)
+        result = engine.run(protocol.initial_counts(40, 20), rng=rng)
+        assert result.settled
+        assert result.continuous_time is not None
+        assert result.continuous_time > 0
+        assert result.parallel_time == result.continuous_time
+
+    def test_clock_close_to_discrete_parallel_time(self, rng):
+        """E[continuous time] = steps / n; check within tolerance."""
+        protocol = ThreeStateProtocol()
+        engine = ContinuousTimeEngine(protocol)
+        ratios = []
+        for seed in range(20):
+            result = engine.run(protocol.initial_counts(60, 30), rng=seed)
+            ratios.append(result.continuous_time / (result.steps / result.n))
+        mean_ratio = sum(ratios) / len(ratios)
+        assert 0.8 < mean_ratio < 1.2

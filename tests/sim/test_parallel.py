@@ -1,0 +1,45 @@
+"""Tests for the parallel trial runner."""
+
+import pytest
+
+from repro import FourStateProtocol, InvalidParameterError, ThreeStateProtocol
+from repro.sim import TrialStats
+from repro.sim.parallel import run_trials_parallel
+from repro.sim.run import run_trials
+
+
+class TestRunTrialsParallel:
+    def test_matches_sequential_results_exactly(self):
+        protocol = ThreeStateProtocol()
+        kwargs = dict(n=51, epsilon=5 / 51)
+        sequential = run_trials(protocol, num_trials=6, seed=13, **kwargs)
+        parallel = run_trials_parallel(protocol, num_trials=6, seed=13,
+                                       processes=2, **kwargs)
+        assert [r.steps for r in parallel] \
+            == [r.steps for r in sequential]
+        assert [r.decision for r in parallel] \
+            == [r.decision for r in sequential]
+
+    def test_stats_mode(self):
+        stats = run_trials_parallel(FourStateProtocol(), num_trials=4,
+                                    seed=1, processes=2, stats=True,
+                                    n=21, epsilon=1 / 21)
+        assert isinstance(stats, TrialStats)
+        assert stats.num_settled == 4
+        assert stats.error_fraction == 0.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            run_trials_parallel(FourStateProtocol(), num_trials=0,
+                                n=11, epsilon=1 / 11)
+        with pytest.raises(InvalidParameterError):
+            run_trials_parallel(FourStateProtocol(), num_trials=2,
+                                processes=0, n=11, epsilon=1 / 11)
+
+    def test_avc_protocol_is_picklable_across_processes(self):
+        from repro import AVCProtocol
+
+        protocol = AVCProtocol(m=5, d=2)
+        results = run_trials_parallel(protocol, num_trials=3, seed=2,
+                                      processes=2, n=41, epsilon=5 / 41)
+        assert all(r.settled and r.correct for r in results)

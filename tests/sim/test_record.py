@@ -1,0 +1,63 @@
+"""Tests for trajectory recorders."""
+
+import numpy as np
+import pytest
+
+from repro.sim.record import EventRecorder, TrajectoryRecorder
+
+
+class TestTrajectoryRecorder:
+    def test_records_at_interval(self):
+        recorder = TrajectoryRecorder(interval_steps=10)
+        recorder.maybe_record(0, [1, 2])
+        recorder.maybe_record(5, [1, 2])   # skipped, before next tick
+        recorder.maybe_record(12, [3, 0])  # due
+        recorder.maybe_record(15, [4, 0])  # skipped
+        assert recorder.steps == [0, 12]
+
+    def test_snapshots_are_copies(self):
+        recorder = TrajectoryRecorder(interval_steps=1)
+        counts = [1, 2]
+        recorder.maybe_record(0, counts)
+        counts[0] = 99
+        assert recorder.snapshots[0].tolist() == [1, 2]
+
+    def test_force_record_deduplicates_step(self):
+        recorder = TrajectoryRecorder(interval_steps=5)
+        recorder.maybe_record(0, [1])
+        recorder.force_record(0, [1])
+        assert recorder.steps == [0]
+        recorder.force_record(3, [2])
+        assert recorder.steps == [0, 3]
+
+    def test_as_matrix(self):
+        recorder = TrajectoryRecorder(interval_steps=1)
+        recorder.maybe_record(0, [1, 2])
+        recorder.maybe_record(1, [2, 1])
+        steps, matrix = recorder.as_matrix()
+        np.testing.assert_array_equal(steps, [0, 1])
+        np.testing.assert_array_equal(matrix, [[1, 2], [2, 1]])
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            TrajectoryRecorder(interval_steps=0)
+
+
+class TestEventRecorder:
+    def test_records_every_event(self):
+        recorder = EventRecorder()
+        for step in range(5):
+            recorder.maybe_record(step, [step])
+        assert recorder.steps == list(range(5))
+        assert not recorder.truncated
+
+    def test_truncates_at_cap(self):
+        recorder = EventRecorder(max_events=3)
+        for step in range(10):
+            recorder.maybe_record(step, [step])
+        assert len(recorder.steps) == 3
+        assert recorder.truncated
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            EventRecorder(max_events=0)

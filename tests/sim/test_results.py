@@ -1,0 +1,70 @@
+"""Tests for RunResult / TrialStats."""
+
+import math
+
+from repro.sim.results import RunResult, TrialStats
+
+
+def make_result(steps=100, n=10, settled=True, decision=1, expected=1,
+                continuous_time=None):
+    return RunResult(
+        protocol_name="p", engine_name="e", n=n, steps=steps,
+        settled=settled, decision=decision, expected=expected,
+        final_counts={}, continuous_time=continuous_time)
+
+
+class TestRunResult:
+    def test_parallel_time_discrete(self):
+        assert make_result(steps=250, n=50).parallel_time == 5.0
+
+    def test_parallel_time_continuous(self):
+        result = make_result(continuous_time=3.5)
+        assert result.parallel_time == 3.5
+
+    def test_correct_true_false_none(self):
+        assert make_result(decision=1, expected=1).correct is True
+        assert make_result(decision=0, expected=1).correct is False
+        assert make_result(settled=False, decision=None).correct is None
+        assert make_result(expected=None).correct is None
+
+
+class TestTrialStats:
+    def test_aggregates(self):
+        results = [make_result(steps=100), make_result(steps=300)]
+        stats = TrialStats.from_results(results)
+        assert stats.num_trials == 2
+        assert stats.num_settled == 2
+        assert stats.mean_parallel_time == 20.0
+        assert stats.min_parallel_time == 10.0
+        assert stats.max_parallel_time == 30.0
+        assert stats.mean_steps == 200.0
+        assert stats.error_fraction == 0.0
+        assert stats.settled_fraction == 1.0
+
+    def test_error_fraction_counts_wrong_decisions(self):
+        results = [make_result(decision=1), make_result(decision=0),
+                   make_result(decision=0), make_result(decision=0)]
+        stats = TrialStats.from_results(results)
+        assert stats.error_fraction == 0.75
+
+    def test_unsettled_runs_excluded_from_timing(self):
+        results = [make_result(steps=100),
+                   make_result(steps=999_999, settled=False, decision=None)]
+        stats = TrialStats.from_results(results)
+        assert stats.num_settled == 1
+        assert stats.mean_parallel_time == 10.0
+        assert stats.settled_fraction == 0.5
+
+    def test_empty_and_all_unsettled(self):
+        stats = TrialStats.from_results([])
+        assert math.isnan(stats.settled_fraction)
+        assert math.isnan(stats.error_fraction)
+        stats = TrialStats.from_results(
+            [make_result(settled=False, decision=None)])
+        assert math.isnan(stats.mean_parallel_time)
+        assert stats.settled_fraction == 0.0
+
+    def test_std_zero_for_identical_runs(self):
+        results = [make_result(steps=100)] * 3
+        stats = TrialStats.from_results(results)
+        assert stats.std_parallel_time == 0.0

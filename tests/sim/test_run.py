@@ -1,0 +1,142 @@
+"""Tests for the high-level run API."""
+
+import networkx as nx
+import pytest
+
+from repro import (
+    AVCProtocol,
+    FourStateProtocol,
+    InvalidParameterError,
+    ThreeStateProtocol,
+    run,
+    run_majority,
+    run_trials,
+)
+from repro.sim import TrialStats
+from repro.sim.agent_engine import AgentEngine
+from repro.sim.count_engine import CountEngine
+from repro.sim.gillespie import NullSkippingEngine
+from repro.sim.run import make_engine
+
+
+class TestMakeEngine:
+    def test_auto_small_state_space(self):
+        engine = make_engine(FourStateProtocol(), "auto")
+        assert isinstance(engine, NullSkippingEngine)
+
+    def test_auto_large_state_space(self):
+        engine = make_engine(AVCProtocol.with_num_states(66), "auto")
+        assert isinstance(engine, CountEngine)
+
+    def test_auto_with_graph(self):
+        engine = make_engine(ThreeStateProtocol(), "auto",
+                             graph=nx.path_graph(5))
+        assert isinstance(engine, AgentEngine)
+
+    def test_graph_incompatible_with_count_engine(self):
+        with pytest.raises(InvalidParameterError):
+            make_engine(ThreeStateProtocol(), "count",
+                        graph=nx.path_graph(5))
+
+    def test_engine_instance_passthrough(self):
+        engine = CountEngine(ThreeStateProtocol())
+        assert make_engine(ThreeStateProtocol(), engine) is engine
+
+    def test_unknown_engine_name(self):
+        with pytest.raises(InvalidParameterError):
+            make_engine(ThreeStateProtocol(), "warp-drive")
+
+    @pytest.mark.parametrize("name", ["agent", "count", "null-skipping",
+                                      "continuous-time", "batch"])
+    def test_every_name_constructs(self, name):
+        assert make_engine(FourStateProtocol(), name) is not None
+
+
+class TestRunMajority:
+    def test_margin_form(self):
+        result = run_majority(FourStateProtocol(), n=51, epsilon=3 / 51,
+                              seed=0)
+        assert result.settled and result.correct
+
+    def test_counts_form(self):
+        result = run_majority(FourStateProtocol(), count_a=10, count_b=20,
+                              seed=0)
+        assert result.expected == 0
+        assert result.settled and result.decision == 0
+
+    def test_tie_has_no_expected_output(self):
+        result = run_majority(ThreeStateProtocol(), count_a=10, count_b=10,
+                              seed=0)
+        assert result.expected is None
+        assert result.correct is None
+
+    def test_mutually_exclusive_input_forms(self):
+        with pytest.raises(InvalidParameterError):
+            run_majority(FourStateProtocol(), n=10, epsilon=0.2,
+                         count_a=5, count_b=5)
+        with pytest.raises(InvalidParameterError):
+            run_majority(FourStateProtocol())
+
+    def test_partial_margin_form_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            run_majority(FourStateProtocol(), n=10)
+
+    def test_majority_b(self):
+        result = run_majority(FourStateProtocol(), n=51, epsilon=3 / 51,
+                              majority="B", seed=0)
+        assert result.expected == 0
+        assert result.decision == 0
+
+    def test_non_majority_protocol_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            run_majority(object(), n=10, epsilon=0.2)
+
+    def test_seed_and_rng_exclusive(self, rng):
+        with pytest.raises(InvalidParameterError):
+            run_majority(FourStateProtocol(), n=11, epsilon=1 / 11,
+                         seed=1, rng=rng)
+
+
+class TestRunGeneric:
+    def test_run_with_explicit_counts(self):
+        protocol = ThreeStateProtocol()
+        result = run(protocol, {"A": 5, "B": 2, "_": 3}, seed=1)
+        assert result.settled
+        assert result.n == 10
+
+    def test_run_on_graph(self):
+        protocol = ThreeStateProtocol()
+        result = run(protocol, {"A": 8, "B": 2}, graph=nx.cycle_graph(10),
+                     seed=1)
+        assert result.settled
+
+
+class TestRunTrials:
+    def test_returns_result_list(self):
+        results = run_trials(FourStateProtocol(), num_trials=5, seed=0,
+                             n=21, epsilon=1 / 21)
+        assert len(results) == 5
+        assert all(r.settled and r.correct for r in results)
+
+    def test_stats_aggregation(self):
+        stats = run_trials(FourStateProtocol(), num_trials=5, seed=0,
+                           stats=True, n=21, epsilon=1 / 21)
+        assert isinstance(stats, TrialStats)
+        assert stats.num_trials == 5
+        assert stats.num_settled == 5
+        assert stats.error_fraction == 0.0
+        assert stats.mean_parallel_time > 0
+
+    def test_trials_are_independent_but_reproducible(self):
+        first = run_trials(ThreeStateProtocol(), num_trials=4, seed=3,
+                           n=31, epsilon=1 / 31)
+        second = run_trials(ThreeStateProtocol(), num_trials=4, seed=3,
+                           n=31, epsilon=1 / 31)
+        assert [r.steps for r in first] == [r.steps for r in second]
+        # Different trials should not all behave identically.
+        assert len({r.steps for r in first}) > 1
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            run_trials(FourStateProtocol(), num_trials=0, n=11,
+                       epsilon=1 / 11)

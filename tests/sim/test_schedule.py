@@ -1,0 +1,81 @@
+"""Tests for pair samplers (complete graph and graph-based)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import InvalidParameterError
+from repro.sim.schedule import CompletePairSampler, GraphPairSampler
+
+
+class TestCompletePairSampler:
+    def test_pairs_are_distinct(self, rng):
+        sampler = CompletePairSampler(5)
+        first, second = sampler.sample_block(rng, 1000)
+        assert all(a != b for a, b in zip(first, second))
+
+    def test_indices_in_range(self, rng):
+        sampler = CompletePairSampler(3)
+        first, second = sampler.sample_block(rng, 500)
+        assert set(first) <= {0, 1, 2}
+        assert set(second) <= {0, 1, 2}
+
+    def test_uniform_over_ordered_pairs(self, rng):
+        n = 4
+        sampler = CompletePairSampler(n)
+        first, second = sampler.sample_block(rng, 60_000)
+        counts = np.zeros((n, n))
+        for a, b in zip(first, second):
+            counts[a, b] += 1
+        frequencies = counts / 60_000
+        expected = 1.0 / (n * (n - 1))
+        for a in range(n):
+            for b in range(n):
+                if a == b:
+                    assert frequencies[a, b] == 0
+                else:
+                    assert frequencies[a, b] == pytest.approx(expected,
+                                                              rel=0.15)
+
+    def test_rejects_tiny_population(self):
+        with pytest.raises(InvalidParameterError):
+            CompletePairSampler(1)
+
+
+class TestGraphPairSampler:
+    def test_cycle_graph_edges_only(self, rng):
+        graph = nx.cycle_graph(6)
+        sampler = GraphPairSampler(graph)
+        assert sampler.num_directed_edges == 12
+        first, second = sampler.sample_block(rng, 2000)
+        for a, b in zip(first, second):
+            assert abs(a - b) == 1 or abs(a - b) == 5
+
+    def test_rejects_disconnected_graph(self):
+        graph = nx.Graph([(0, 1), (2, 3)])
+        with pytest.raises(InvalidParameterError):
+            GraphPairSampler(graph)
+
+    def test_rejects_weakly_connected_digraph(self):
+        graph = nx.DiGraph([(0, 1), (0, 2), (1, 2)])
+        with pytest.raises(InvalidParameterError):
+            GraphPairSampler(graph)
+
+    def test_directed_graph_keeps_orientation(self, rng):
+        graph = nx.DiGraph([(0, 1), (1, 2), (2, 0)])
+        sampler = GraphPairSampler(graph)
+        assert sampler.num_directed_edges == 3
+        first, second = sampler.sample_block(rng, 300)
+        allowed = {(0, 1), (1, 2), (2, 0)}
+        assert set(zip(first, second)) <= allowed
+
+    def test_self_loops_skipped(self, rng):
+        graph = nx.Graph([(0, 1), (1, 1)])
+        sampler = GraphPairSampler(graph)
+        assert sampler.num_directed_edges == 2
+
+    def test_relabels_arbitrary_nodes(self, rng):
+        graph = nx.Graph([("x", "y"), ("y", "z")])
+        sampler = GraphPairSampler(graph)
+        first, second = sampler.sample_block(rng, 100)
+        assert set(first) | set(second) <= {0, 1, 2}

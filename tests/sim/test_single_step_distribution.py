@@ -1,0 +1,121 @@
+"""Single-step distributional validation of the engines.
+
+The strongest kind of engine test: from a fixed configuration, the
+probability of each possible successor configuration after exactly one
+interaction is known in closed form (``c_i (c_j - [i=j]) / (n(n-1))``
+per ordered state pair).  We run one step many times and compare the
+empirical successor distribution — this pins the sampling-without-
+replacement logic of the count engine and the weight computation of
+the null-skipping engine far more sharply than end-to-end timing
+comparisons.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ThreeStateProtocol
+from repro.analysis.markov import ConfigurationChain
+from repro.rng import spawn_many
+from repro.sim import AgentEngine, CountEngine, NullSkippingEngine
+
+
+PROTOCOL = ThreeStateProtocol()
+START = {"A": 3, "B": 2, "_": 1}
+
+
+def exact_one_step_distribution():
+    """Successor distribution from START, via the markov machinery."""
+    chain = ConfigurationChain(PROTOCOL, START)
+    return chain._neighbors(chain.initial)
+
+
+def empirical_one_step_distribution(engine, trials, seed):
+    outcomes = {}
+    for child in spawn_many(seed, trials):
+        result = engine.run(START, rng=child, max_steps=1)
+        key = tuple(PROTOCOL.counts_to_vector(result.final_counts))
+        outcomes[key] = outcomes.get(key, 0) + 1
+    return {key: count / trials for key, count in outcomes.items()}
+
+
+@pytest.mark.parametrize("engine_class", [AgentEngine, CountEngine],
+                         ids=lambda c: c.name)
+def test_one_step_distribution_matches_exact(engine_class):
+    exact = exact_one_step_distribution()
+    empirical = empirical_one_step_distribution(engine_class(PROTOCOL),
+                                                trials=4000, seed=77)
+    for config, probability in exact.items():
+        observed = empirical.get(config, 0.0)
+        assert observed == pytest.approx(probability, abs=0.035), (
+            f"config {config}: exact {probability:.3f}, "
+            f"observed {observed:.3f}")
+    # No successor outside the exact support.
+    assert set(empirical) <= set(exact)
+
+
+def test_null_skipping_one_productive_step_distribution():
+    """Conditioned on being productive, the null-skipping engine's
+    first event must follow the exact conditional distribution."""
+    exact = exact_one_step_distribution()
+    start_key = tuple(PROTOCOL.counts_to_vector(START))
+    productive = {config: probability
+                  for config, probability in exact.items()
+                  if config != start_key}
+    total = sum(productive.values())
+    conditional = {config: probability / total
+                   for config, probability in productive.items()}
+
+    engine = NullSkippingEngine(PROTOCOL)
+    outcomes = {}
+    trials = 4000
+    # Sample the first productive event of each run via an observer.
+    for child in spawn_many(99, trials):
+        first_event = []
+
+        def observer(i, j, new_i, new_j, _sink=first_event):
+            if not _sink:
+                _sink.append((i, j, new_i, new_j))
+
+        engine.run(START, rng=child, max_steps=200_000,
+                   event_observer=observer)
+        i, j, new_i, new_j = first_event[0]
+        vector = list(PROTOCOL.counts_to_vector(START))
+        vector[i] -= 1
+        vector[j] -= 1
+        vector[new_i] += 1
+        vector[new_j] += 1
+        key = tuple(vector)
+        outcomes[key] = outcomes.get(key, 0) + 1
+
+    for config, probability in conditional.items():
+        observed = outcomes.get(config, 0) / trials
+        assert observed == pytest.approx(probability, abs=0.04), (
+            f"config {config}: exact {probability:.3f}, "
+            f"observed {observed:.3f}")
+
+
+def test_null_skip_length_is_geometric():
+    """The number of steps charged for the first productive event must
+    average 1/p with p the productive-pair probability."""
+    exact = exact_one_step_distribution()
+    start_key = tuple(PROTOCOL.counts_to_vector(START))
+    productive_probability = 1.0 - exact.get(start_key, 0.0)
+
+    engine = NullSkippingEngine(PROTOCOL)
+    steps = []
+    for child in spawn_many(101, 3000):
+        first_steps = []
+
+        class Recorder:
+            def maybe_record(self, step, counts):
+                if step and not first_steps:
+                    first_steps.append(step)
+
+            def force_record(self, step, counts):
+                pass
+
+        engine.run(START, rng=child, max_steps=200_000,
+                   recorder=Recorder())
+        steps.append(first_steps[0])
+    assert np.mean(steps) == pytest.approx(1.0 / productive_probability,
+                                           rel=0.1)

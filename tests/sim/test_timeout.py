@@ -1,0 +1,55 @@
+"""Tests for the on_timeout engine option."""
+
+import pytest
+
+from repro import (
+    ConvergenceTimeout,
+    FourStateProtocol,
+    InvalidParameterError,
+)
+from repro.sim import AgentEngine, CountEngine, NullSkippingEngine
+
+
+@pytest.mark.parametrize("engine_class",
+                         [AgentEngine, CountEngine, NullSkippingEngine])
+def test_raise_mode_raises_with_partial_result(engine_class):
+    protocol = FourStateProtocol()
+    engine = engine_class(protocol)
+    with pytest.raises(ConvergenceTimeout) as exc_info:
+        engine.run(protocol.initial_counts(500, 499), rng=0,
+                   max_steps=50, on_timeout="raise")
+    partial = exc_info.value.result
+    assert partial is not None
+    assert not partial.settled
+    assert partial.steps == 50
+    assert sum(partial.final_counts.values()) == 999
+
+
+def test_return_mode_is_default():
+    protocol = FourStateProtocol()
+    result = CountEngine(protocol).run(protocol.initial_counts(500, 499),
+                                       rng=0, max_steps=50)
+    assert not result.settled
+
+
+def test_settled_runs_never_raise():
+    protocol = FourStateProtocol()
+    result = NullSkippingEngine(protocol).run(
+        protocol.initial_counts(30, 10), rng=0, on_timeout="raise")
+    assert result.settled
+
+
+def test_frozen_runs_do_not_raise():
+    """A four-state tie freezes (provably never settles): that is an
+    answer, not a timeout."""
+    protocol = FourStateProtocol()
+    result = NullSkippingEngine(protocol).run(
+        protocol.initial_counts(5, 5), rng=0, on_timeout="raise")
+    assert result.frozen and not result.settled
+
+
+def test_bad_mode_rejected():
+    protocol = FourStateProtocol()
+    with pytest.raises(InvalidParameterError):
+        CountEngine(protocol).run(protocol.initial_counts(3, 2),
+                                  rng=0, on_timeout="explode")

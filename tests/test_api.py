@@ -1,0 +1,51 @@
+"""Public API surface tests: imports, exports, error hierarchy."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    AnalysisError,
+    ConvergenceTimeout,
+    ExperimentError,
+    InvalidParameterError,
+    InvalidStateError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+)
+
+
+def test_version_string():
+    assert repro.__version__
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_quickstart_from_module_docstring():
+    """The package docstring's example must actually run."""
+    from repro import AVCProtocol, run_majority
+
+    protocol = AVCProtocol.with_num_states(s=64)
+    result = run_majority(protocol, n=101, epsilon=1 / 101, seed=0)
+    assert result.settled
+    assert result.correct
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("error", [
+        ProtocolError, InvalidParameterError, InvalidStateError,
+        SimulationError, ConvergenceTimeout, AnalysisError, ExperimentError,
+    ])
+    def test_all_derive_from_repro_error(self, error):
+        assert issubclass(error, ReproError)
+
+    def test_parameter_errors_are_value_errors(self):
+        assert issubclass(InvalidParameterError, ValueError)
+        assert issubclass(InvalidStateError, ValueError)
+
+    def test_convergence_timeout_carries_result(self):
+        timeout = ConvergenceTimeout("too slow", result="partial")
+        assert timeout.result == "partial"

@@ -1,0 +1,167 @@
+"""Tests for the chemical-reaction-network bridge."""
+
+import pytest
+
+from repro import (
+    AVCProtocol,
+    FourStateProtocol,
+    InvalidParameterError,
+    ThreeStateProtocol,
+)
+from repro.crn import (
+    GillespieSimulator,
+    Reaction,
+    ReactionNetwork,
+    approximate_majority_crn,
+    cell_cycle_switch,
+    protocol_to_crn,
+)
+from repro.rng import spawn_many
+from repro.sim import ContinuousTimeEngine
+
+
+class TestReaction:
+    def test_propensity_bimolecular(self):
+        reaction = Reaction(("X", "Y"), ("X", "X"), rate=2.0)
+        assert reaction.propensity({"X": 3, "Y": 4}, volume=2.0) == 12.0
+
+    def test_propensity_homodimer(self):
+        reaction = Reaction(("X", "X"), ("X", "Y"))
+        assert reaction.propensity({"X": 5}, volume=1.0) == 20.0
+
+    def test_propensity_unimolecular(self):
+        reaction = Reaction(("X",), ("Y",), rate=0.5)
+        assert reaction.propensity({"X": 6}, volume=10.0) == 3.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            Reaction((), ("X",))
+        with pytest.raises(InvalidParameterError):
+            Reaction(("X",), ("Y",), rate=0.0)
+
+    def test_str(self):
+        assert "X + Y -> B + Y" in str(Reaction(("X", "Y"), ("B", "Y")))
+
+
+class TestNetwork:
+    def test_unknown_species_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ReactionNetwork(("X",), (Reaction(("X", "Z"), ("X", "X")),))
+
+    def test_stoichiometry(self):
+        network = approximate_majority_crn()
+        reaction = network.reactions[0]  # X + Y -> B + Y
+        assert network.stoichiometry(reaction) == {"X": -1, "B": 1}
+
+    def test_conserves_mass(self):
+        assert approximate_majority_crn().conserves_mass()
+        assert cell_cycle_switch().conserves_mass()
+
+
+class TestCompilation:
+    def test_three_state_compiles_to_am_network(self):
+        network = protocol_to_crn(ThreeStateProtocol())
+        assert set(network.species) == {"A", "B", "_"}
+        assert network.conserves_mass()
+        # Conflict (one orientation each) + two recruitment reactions
+        # (both orientations -> rate 2).
+        rates = sorted(r.rate for r in network.reactions)
+        assert rates == [1.0, 1.0, 2.0, 2.0]
+
+    def test_four_state_compiles(self):
+        network = protocol_to_crn(FourStateProtocol())
+        assert network.conserves_mass()
+        # Annihilation + two weak-flip reactions.
+        assert len(network.reactions) == 3
+
+    def test_avc_compiles(self):
+        protocol = AVCProtocol(m=5, d=1)
+        network = protocol_to_crn(protocol)
+        assert network.conserves_mass()
+        assert len(network.species) == protocol.num_states
+
+
+class TestSSA:
+    def test_requires_a_stopping_rule(self):
+        simulator = GillespieSimulator(approximate_majority_crn())
+        with pytest.raises(InvalidParameterError):
+            simulator.run({"X": 5, "Y": 5})
+
+    def test_volume_validation(self):
+        with pytest.raises(InvalidParameterError):
+            GillespieSimulator(approximate_majority_crn(), volume=0.0)
+
+    def test_unknown_species_rejected(self):
+        simulator = GillespieSimulator(approximate_majority_crn())
+        with pytest.raises(InvalidParameterError):
+            simulator.run({"Q": 1}, t_max=1.0)
+
+    def test_am_network_reaches_consensus(self):
+        simulator = GillespieSimulator(approximate_majority_crn(),
+                                       volume=99.0)
+        result = simulator.run(
+            {"X": 70, "Y": 30}, rng=1,
+            stop=lambda c: c.get("Y", 0) == 0 and c.get("B", 0) == 0
+            or c.get("X", 0) == 0 and c.get("B", 0) == 0)
+        assert result.stopped
+        assert result.total_molecules == 100
+
+    def test_exhaustion_detected(self):
+        # X + X -> X + Y with a single X can never fire.
+        network = ReactionNetwork(
+            ("X", "Y"), (Reaction(("X", "X"), ("X", "Y")),))
+        result = GillespieSimulator(network).run({"X": 1}, t_max=10.0)
+        assert result.exhausted
+
+    def test_t_max_censoring(self):
+        simulator = GillespieSimulator(cell_cycle_switch(), volume=50.0)
+        result = simulator.run({"X": 30, "Y": 21}, rng=2, t_max=0.5)
+        assert result.time == 0.5
+        assert not result.stopped
+
+    def test_cell_cycle_switch_computes_majority(self):
+        """[CCN12]: CC resolves a majority input to the majority."""
+        simulator = GillespieSimulator(cell_cycle_switch(), volume=99.0)
+
+        def consensus(counts):
+            others = (counts.get("Z", 0) + counts.get("W", 0))
+            return others == 0 and (counts.get("X", 0) == 0
+                                    or counts.get("Y", 0) == 0)
+
+        wins = 0
+        trials = 20
+        for child in spawn_many(7, trials):
+            result = simulator.run({"X": 65, "Y": 35}, rng=child,
+                                   max_events=200_000, stop=consensus)
+            assert result.stopped
+            if result.counts.get("X", 0) > 0:
+                wins += 1
+        assert wins >= trials - 2  # X is a clear 65:35 majority
+
+    def test_compiled_protocol_matches_continuous_engine(self):
+        """The SSA over the compiled CRN and the continuous-time
+        engine sample the same process: compare mean consensus times."""
+        protocol = ThreeStateProtocol()
+        n = 60
+        network = protocol_to_crn(protocol)
+        simulator = GillespieSimulator(network, volume=float(n - 1))
+
+        def ssa_time(child):
+            result = simulator.run(
+                {"A": 40, "B": 20}, rng=child, max_events=10**6,
+                stop=lambda c: (c.get("_", 0) == 0
+                                and (c.get("A", 0) == 0
+                                     or c.get("B", 0) == 0)))
+            assert result.stopped
+            return result.time
+
+        trials = 60
+        ssa_mean = sum(ssa_time(c) for c in spawn_many(11, trials)) / trials
+        engine = ContinuousTimeEngine(protocol)
+        engine_times = [
+            engine.run(protocol.initial_counts(40, 20),
+                       rng=child).continuous_time
+            for child in spawn_many(12, trials)
+        ]
+        engine_mean = sum(engine_times) / trials
+        assert ssa_mean == pytest.approx(engine_mean, rel=0.3)

@@ -1,0 +1,122 @@
+"""Edge-case tests consolidating thin spots across modules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import numpy as np
+
+from repro import (
+    AVCProtocol,
+    FourStateProtocol,
+    ThreeStateProtocol,
+    VoterProtocol,
+)
+from repro.analysis.markov import ConfigurationChain
+from repro.core.vectorized import AVCBatchKernel
+from repro.experiments.figure3 import avc_n_state
+from repro.protocols.base import MajorityProtocol
+from repro.errors import ProtocolError
+from repro.sim import ContinuousTimeEngine
+
+
+class TestAvcNState:
+    @pytest.mark.parametrize("n", [11, 101, 1001, 12, 100])
+    def test_smallest_admissible_at_least_n(self, n):
+        protocol = avc_n_state(n)
+        assert n <= protocol.num_states <= n + 3
+        # Smallest: one fewer state must be inadmissible or below n.
+        assert protocol.num_states - n < 2 or n % 2 == 0
+
+    def test_deeper_levels(self):
+        protocol = avc_n_state(20, d=3)
+        assert protocol.d == 3
+        assert protocol.num_states >= 20
+
+
+class TestMajorityBaseGuards:
+    def test_same_initial_state_for_both_inputs_rejected(self):
+        class Degenerate(VoterProtocol):
+            def initial_state(self, symbol):
+                return "A"
+
+        with pytest.raises(ProtocolError):
+            Degenerate().initial_counts(2, 3)
+
+
+class TestContinuousTimeCensoring:
+    def test_budget_exhaustion_reports_partial_clock(self):
+        protocol = FourStateProtocol()
+        engine = ContinuousTimeEngine(protocol)
+        result = engine.run(protocol.initial_counts(500, 499), rng=0,
+                            max_steps=1000)
+        assert not result.settled
+        assert result.continuous_time is not None
+        # ~1000 steps of mean 1/999 each: clock around 1.0.
+        assert 0.2 < result.continuous_time < 5.0
+
+    def test_frozen_run_keeps_clock(self):
+        protocol = FourStateProtocol()
+        engine = ContinuousTimeEngine(protocol)
+        result = engine.run(protocol.initial_counts(4, 4), rng=1)
+        assert result.frozen
+        assert result.continuous_time is not None
+
+
+class TestMarkovProbabilityMass:
+    @pytest.mark.parametrize("protocol,counts", [
+        (ThreeStateProtocol(), {"A": 3, "B": 2}),
+        (ThreeStateProtocol(), {"A": 2, "B": 2}),
+        (VoterProtocol(), {"A": 4, "B": 3}),
+        (FourStateProtocol(), {"+1": 3, "-1": 3}),
+        (AVCProtocol(m=3, d=1), None),
+    ])
+    def test_settlement_probabilities_sum_to_one(self, protocol, counts):
+        if counts is None:
+            counts = protocol.initial_counts(3, 2)
+        chain = ConfigurationChain(protocol, counts)
+        probabilities = chain.settlement_probabilities()
+        assert sum(probabilities.values()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_tie_mass_goes_to_deadlock(self):
+        chain = ConfigurationChain(FourStateProtocol(),
+                                   {"+1": 3, "-1": 3})
+        probabilities = chain.settlement_probabilities()
+        assert probabilities[None] == pytest.approx(1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(m=st.sampled_from([1, 3, 5, 7, 9, 15]),
+       d=st.integers(1, 5), seed=st.integers(0, 2**20))
+def test_kernel_agrees_with_reference_on_random_parameterizations(m, d,
+                                                                  seed):
+    """Property: for random (m, d) and random pairs, the vectorized
+    kernel equals the reference transition."""
+    protocol = AVCProtocol(m=m, d=d)
+    kernel = AVCBatchKernel(protocol)
+    rng = np.random.default_rng(seed)
+    s = protocol.num_states
+    index_x = rng.integers(0, s, size=64)
+    index_y = rng.integers(0, s, size=64)
+    new_x, new_y = kernel(index_x, index_y)
+    for k in range(64):
+        expected = protocol.transition_index(int(index_x[k]),
+                                             int(index_y[k]))
+        assert (int(new_x[k]), int(new_y[k])) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(count_a=st.integers(1, 12), count_b=st.integers(1, 12),
+       seed=st.integers(0, 2**20))
+def test_avc_exactness_property(count_a, count_b, seed):
+    """Property: AVC never decides for the minority, whatever the
+    split and seed."""
+    from repro import run_majority
+
+    if count_a == count_b:
+        return
+    protocol = AVCProtocol(m=3, d=1)
+    result = run_majority(protocol, count_a=count_a, count_b=count_b,
+                          seed=seed)
+    assert result.settled
+    assert result.decision == (1 if count_a > count_b else 0)

@@ -1,0 +1,36 @@
+"""Every example script must run to completion (reduced sizes)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: Script -> extra arguments keeping the run fast in CI.
+EXAMPLES = {
+    "quickstart.py": ["--n", "1001"],
+    "state_time_tradeoff.py": ["--n", "101", "--trials", "4"],
+    "epigenetic_switch.py": ["--nucleosomes", "400"],
+    "chemical_majority.py": ["--molecules", "80"],
+    "sensor_network_majority.py": ["--sensors", "36"],
+    "self_stabilizing_majority.py": [],
+    "lower_bound_tour.py": [],
+    "composed_computation.py": ["--agents", "60"],
+}
+
+
+def test_every_example_is_covered():
+    on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXAMPLES), (
+        "examples/ and the test map diverged — add the new script here")
+
+
+@pytest.mark.parametrize("script,args", sorted(EXAMPLES.items()))
+def test_example_runs(script, args):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True, text=True, timeout=300)
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "examples should narrate their run"

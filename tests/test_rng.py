@@ -1,0 +1,59 @@
+"""Tests for random-number plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.rng import ensure_rng, spawn, spawn_many, stream
+
+
+class TestEnsureRng:
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seeds_deterministically(self):
+        a = ensure_rng(42).integers(0, 1000, size=5)
+        b = ensure_rng(42).integers(0, 1000, size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(5)
+        assert isinstance(ensure_rng(seq), np.random.Generator)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+
+class TestSpawning:
+    def test_spawn_count(self):
+        children = spawn(ensure_rng(0), 3)
+        assert len(children) == 3
+
+    def test_spawn_many_reproducible(self):
+        first = [g.integers(0, 10**9) for g in spawn_many(7, 4)]
+        second = [g.integers(0, 10**9) for g in spawn_many(7, 4)]
+        assert first == second
+
+    def test_spawned_streams_differ(self):
+        draws = [g.integers(0, 10**9) for g in spawn_many(7, 10)]
+        assert len(set(draws)) == 10
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_many(0, -1)
+        with pytest.raises(ValueError):
+            spawn(ensure_rng(0), -1)
+
+    def test_stream_yields_distinct_generators(self):
+        generators = stream(11)
+        draws = [next(generators).integers(0, 10**9) for _ in range(5)]
+        assert len(set(draws)) == 5
+
+    def test_stream_reproducible(self):
+        first = [next(stream(3)).integers(0, 10**9)]
+        second = [next(stream(3)).integers(0, 10**9)]
+        assert first == second

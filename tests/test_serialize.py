@@ -1,0 +1,108 @@
+"""Round-trip tests for JSON serialization."""
+
+import itertools
+import json
+
+import pytest
+
+from repro import (
+    AVCProtocol,
+    FourStateProtocol,
+    InvalidParameterError,
+    IntervalConsensusProtocol,
+    LeveledLeaderElection,
+    PairwiseLeaderElection,
+    ThreeStateProtocol,
+    VoterProtocol,
+    run_majority,
+    run_trials,
+)
+from repro.lowerbounds import paper_four_state_candidate
+from repro.serialize import (
+    protocol_from_dict,
+    protocol_to_dict,
+    run_result_from_dict,
+    run_result_to_dict,
+    trial_stats_from_dict,
+    trial_stats_to_dict,
+)
+
+
+def assert_same_dynamics(original, rebuilt):
+    assert type(rebuilt).__name__ == type(original).__name__ \
+        or rebuilt.num_states == original.num_states
+    for x, y in itertools.product(original.states, repeat=2):
+        assert rebuilt.transition(x, y) == original.transition(x, y)
+
+
+class TestProtocolRoundTrip:
+    @pytest.mark.parametrize("protocol", [
+        ThreeStateProtocol(),
+        FourStateProtocol(),
+        IntervalConsensusProtocol(),
+        VoterProtocol(),
+        PairwiseLeaderElection(),
+        LeveledLeaderElection(levels=3),
+        AVCProtocol(m=7, d=2),
+    ], ids=lambda p: p.name)
+    def test_round_trip(self, protocol):
+        payload = protocol_to_dict(protocol)
+        json.dumps(payload)  # must be JSON-safe
+        rebuilt = protocol_from_dict(payload)
+        assert rebuilt.num_states == protocol.num_states
+        if not isinstance(protocol, AVCProtocol):
+            assert_same_dynamics(protocol, rebuilt)
+
+    def test_avc_round_trip_dynamics(self):
+        protocol = AVCProtocol(m=5, d=2)
+        rebuilt = protocol_from_dict(protocol_to_dict(protocol))
+        assert rebuilt.m == 5 and rebuilt.d == 2
+        assert_same_dynamics(protocol, rebuilt)
+
+    def test_census_candidate_round_trip(self):
+        protocol = paper_four_state_candidate().to_protocol()
+        rebuilt = protocol_from_dict(protocol_to_dict(protocol))
+        assert_same_dynamics(protocol, rebuilt)
+        assert rebuilt.initial_state("A") == protocol.initial_state("A")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            protocol_from_dict({"kind": "quantum"})
+
+    def test_unserializable_protocol_rejected(self):
+        class Custom(ThreeStateProtocol):
+            pass
+
+        with pytest.raises(InvalidParameterError):
+            protocol_to_dict(Custom())
+
+
+class TestResultRoundTrip:
+    def test_run_result_with_protocol(self):
+        protocol = AVCProtocol(m=5, d=1)
+        result = run_majority(protocol, n=41, epsilon=5 / 41, seed=0)
+        payload = run_result_to_dict(result)
+        json.dumps(payload)
+        rebuilt = run_result_from_dict(payload, protocol)
+        assert rebuilt == result
+
+    def test_run_result_without_protocol_keeps_strings(self):
+        protocol = ThreeStateProtocol()
+        result = run_majority(protocol, n=21, epsilon=1 / 21, seed=0)
+        rebuilt = run_result_from_dict(run_result_to_dict(result))
+        assert rebuilt.steps == result.steps
+        assert all(isinstance(k, str) for k in rebuilt.final_counts)
+
+    def test_mismatched_protocol_rejected(self):
+        protocol = ThreeStateProtocol()
+        result = run_majority(protocol, n=21, epsilon=1 / 21, seed=0)
+        payload = run_result_to_dict(result)
+        with pytest.raises(InvalidParameterError):
+            run_result_from_dict(payload, FourStateProtocol())
+
+    def test_trial_stats_round_trip(self):
+        stats = run_trials(FourStateProtocol(), num_trials=4, seed=0,
+                           stats=True, n=21, epsilon=1 / 21)
+        payload = trial_stats_to_dict(stats)
+        json.dumps(payload)
+        assert trial_stats_from_dict(payload) == stats

@@ -1,0 +1,102 @@
+"""Tests for workload generators."""
+
+import pytest
+
+from repro import (
+    FourStateProtocol,
+    InvalidParameterError,
+    ThreeStateProtocol,
+    run,
+)
+from repro.rng import spawn_many
+from repro.workloads import (
+    bernoulli_workload,
+    clustered_placement,
+    margin_workload,
+    worst_case_workload,
+)
+
+
+class TestMarginWorkload:
+    def test_counts_and_truth(self):
+        workload = margin_workload(FourStateProtocol(), 101, 5 / 101)
+        assert workload.n == 101
+        assert workload.count_a - workload.count_b == 5
+        assert workload.expected == 1
+        assert workload.epsilon == pytest.approx(5 / 101)
+
+    def test_majority_b(self):
+        workload = margin_workload(FourStateProtocol(), 101, 5 / 101,
+                                   majority="B")
+        assert workload.expected == 0
+        assert workload.count_b > workload.count_a
+
+
+class TestWorstCase:
+    def test_single_agent_advantage(self):
+        workload = worst_case_workload(FourStateProtocol(), 11)
+        assert workload.count_a - workload.count_b == 1
+
+    def test_needs_odd_n(self):
+        with pytest.raises(InvalidParameterError):
+            worst_case_workload(FourStateProtocol(), 10)
+
+
+class TestBernoulli:
+    def test_counts_sum_and_distribution(self):
+        protocol = ThreeStateProtocol()
+        totals = []
+        for child in spawn_many(0, 50):
+            workload = bernoulli_workload(protocol, 100, 0.7, rng=child)
+            assert workload.n == 100
+            totals.append(workload.count_a)
+        mean = sum(totals) / len(totals)
+        assert 60 < mean < 80  # E[count_a] = 70
+
+    def test_realized_majority_can_disagree_with_p(self):
+        """Near p = 1/2 the ground truth is the *sample*, not p."""
+        protocol = ThreeStateProtocol()
+        saw_b_majority = False
+        for child in spawn_many(1, 60):
+            workload = bernoulli_workload(protocol, 51, 0.5, rng=child)
+            if workload.expected == 0:
+                saw_b_majority = True
+        assert saw_b_majority
+
+    def test_tie_has_no_expected(self):
+        protocol = ThreeStateProtocol()
+        for child in spawn_many(2, 100):
+            workload = bernoulli_workload(protocol, 10, 0.5, rng=child)
+            if workload.count_a == workload.count_b:
+                assert workload.expected is None
+                return
+        pytest.skip("no tie sampled (unlikely)")
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            bernoulli_workload(ThreeStateProtocol(), 10, 1.5)
+        with pytest.raises(InvalidParameterError):
+            bernoulli_workload(ThreeStateProtocol(), 1, 0.5)
+
+    def test_exactness_under_random_inputs(self):
+        """AVC decides the *realized* majority of Bernoulli inputs."""
+        from repro import AVCProtocol
+
+        protocol = AVCProtocol(m=5, d=1)
+        for child in spawn_many(3, 10):
+            workload = bernoulli_workload(protocol, 60, 0.5, rng=child)
+            if workload.expected is None:
+                continue
+            result = run(protocol, workload.counts, seed=11,
+                         expected=workload.expected)
+            assert result.settled and result.correct
+
+
+class TestClusteredPlacement:
+    def test_layout(self):
+        protocol = FourStateProtocol()
+        workload = margin_workload(protocol, 11, 3 / 11)
+        agents = clustered_placement(protocol, workload)
+        assert len(agents) == 11
+        assert agents[:workload.count_a] == ["+1"] * workload.count_a
+        assert agents[workload.count_a:] == ["-1"] * workload.count_b
