@@ -1,0 +1,130 @@
+"""Append engine-throughput measurements to BENCH_engines.json.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/report.py [--label "..."] [--full]
+
+Runs the acceptance workload from the ensemble-engine PR — AVC with
+66 states at n = 10^4, margin epsilon = 101/n, 100 trials — once per
+engine, and appends one record (interactions/s per engine, wall time,
+speedup over the count-engine trial loop) to ``BENCH_engines.json``
+at the repo root.  The file is a perf trajectory: every record keeps
+its git revision, so future PRs can diff throughput against this one.
+
+By default the count engine runs a 10-trial slice of the workload
+(its Python loop needs ~0.8 s/trial here; throughput per interaction
+is what the trajectory tracks, and that does not depend on the trial
+count).  ``--full`` runs all engines on the complete 100-trial
+workload for an apples-to-apples wall-time comparison.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro import AVCProtocol  # noqa: E402
+from repro.sim.run import ENGINE_NAMES, run_trials  # noqa: E402
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_engines.json"
+
+WORKLOAD = {
+    "protocol": "avc",
+    "num_states": 66,
+    "n": 10_001,
+    "epsilon_numerator": 101,
+    "trials": 100,
+    "seed": 0,
+}
+#: Trial counts per engine in the default (quick) mode.
+QUICK_TRIALS = {"ensemble": 100, "batch": 100, "count": 10}
+
+
+def measure(engine: str, trials: int) -> dict:
+    protocol = AVCProtocol.with_num_states(WORKLOAD["num_states"])
+    n = WORKLOAD["n"]
+    started = time.perf_counter()
+    results = run_trials(
+        protocol,
+        num_trials=trials,
+        seed=WORKLOAD["seed"],
+        n=n,
+        epsilon=WORKLOAD["epsilon_numerator"] / n,
+        engine=engine,
+    )
+    seconds = time.perf_counter() - started
+    interactions = sum(r.steps for r in results)
+    return {
+        "trials": trials,
+        "settled": sum(r.settled for r in results),
+        "interactions": interactions,
+        "seconds": round(seconds, 3),
+        "interactions_per_second": round(interactions / seconds, 1),
+    }
+
+
+def git_revision() -> str | None:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", default=None,
+                        help="free-form tag for this record")
+    parser.add_argument("--engines", nargs="+",
+                        default=["count", "batch", "ensemble"],
+                        help="engines to measure (default: count batch "
+                             "ensemble)")
+    parser.add_argument("--full", action="store_true",
+                        help="run every engine on the full 100-trial "
+                             "workload (slow: the count engine takes "
+                             "about 80 s)")
+    args = parser.parse_args(argv)
+    unknown = sorted(set(args.engines) - set(ENGINE_NAMES))
+    if unknown:
+        parser.error(f"unknown engine(s) {unknown}; "
+                     f"choose from {ENGINE_NAMES}")
+
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "git": git_revision(),
+        "label": args.label,
+        "engines": {},
+    }
+    for engine in args.engines:
+        trials = (WORKLOAD["trials"] if args.full
+                  else QUICK_TRIALS.get(engine, WORKLOAD["trials"]))
+        print(f"measuring {engine} ({trials} trials)...", flush=True)
+        record["engines"][engine] = measure(engine, trials)
+        per_sec = record["engines"][engine]["interactions_per_second"]
+        print(f"  {engine}: {per_sec:.3g} interactions/s "
+              f"in {record['engines'][engine]['seconds']} s")
+    if {"count", "ensemble"} <= record["engines"].keys():
+        record["speedup_ensemble_vs_count"] = round(
+            record["engines"]["ensemble"]["interactions_per_second"]
+            / record["engines"]["count"]["interactions_per_second"], 2)
+        print(f"ensemble vs count: "
+              f"{record['speedup_ensemble_vs_count']}x per interaction")
+
+    if OUTPUT.exists():
+        document = json.loads(OUTPUT.read_text())
+    else:
+        document = {"workload": WORKLOAD, "history": []}
+    document["history"].append(record)
+    OUTPUT.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"appended record to {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

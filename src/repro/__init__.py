@@ -74,6 +74,7 @@ from .sim import (
     BatchEngine,
     ContinuousTimeEngine,
     CountEngine,
+    EnsembleEngine,
     NullSkippingEngine,
     RunResult,
     run,
@@ -110,6 +111,7 @@ __all__ = [
     # simulation
     "AgentEngine",
     "CountEngine",
+    "EnsembleEngine",
     "NullSkippingEngine",
     "ContinuousTimeEngine",
     "BatchEngine",

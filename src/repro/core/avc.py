@@ -133,7 +133,7 @@ class AVCProtocol(MajorityProtocol):
         # on them).
         return shift_to_zero(x, d), shift_to_zero(y, d)
 
-    def make_batch_kernel(self):
+    def _build_batch_kernel(self):
         """Arithmetic numpy kernel (no ``s x s`` table needed)."""
         from .vectorized import AVCBatchKernel
 

@@ -17,9 +17,11 @@ Protocol/engine choices:
 * "n-state AVC" uses ``s = n + 1`` states (``m = n - 2``, ``d = 1``):
   the paper's odd ``n`` values make exactly-``n`` states inadmissible
   for ``d = 1`` since ``s = m + 3`` must be even, so we take the
-  nearest admissible count.  It runs on the exact count engine by
-  default; pass ``engine="batch"`` for the approximate vectorized
-  engine at paper scale.
+  nearest admissible count.  It runs on the exact vectorized ensemble
+  engine by default (all trials of a point advanced at once); pass
+  ``engine="count"`` for the sequential exact engine or
+  ``engine="batch"`` for the approximate vectorized engine at paper
+  scale.
 
 Expected shape (see EXPERIMENTS.md for measured values): the 4-state
 protocol's time grows linearly in ``n`` (orders of magnitude above the
@@ -69,7 +71,7 @@ def _protocols_for(n: int, avc_engine: str):
 
 
 def figure3_rows(scale: Scale, *, seed: int = DEFAULT_SEED,
-                 avc_engine: str = "count", progress=None) -> list[dict]:
+                 avc_engine: str = "ensemble", progress=None) -> list[dict]:
     """Compute both Figure 3 panels; one row per (n, protocol)."""
     rows = []
     for point_index, n in enumerate(scale.figure3_populations):
@@ -93,8 +95,8 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", default=None,
                         help="smoke | default | paper")
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
-    parser.add_argument("--avc-engine", default="count",
-                        choices=("count", "batch", "agent"),
+    parser.add_argument("--avc-engine", default="ensemble",
+                        choices=("ensemble", "count", "batch", "agent"),
                         help="engine for the n-state AVC runs")
     parser.add_argument("--output-dir", default=None)
     args = parser.parse_args(argv)

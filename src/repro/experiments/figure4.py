@@ -58,7 +58,7 @@ def margin_advantages(n: int, per_decade: int) -> list[int]:
 
 
 def figure4_rows(scale: Scale, *, seed: int = DEFAULT_SEED,
-                 engine: str = "count", progress=None) -> list[dict]:
+                 engine: str = "ensemble", progress=None) -> list[dict]:
     """One row per (s, eps) point, including the ``s * eps`` column."""
     n = scale.figure4_population
     advantages = margin_advantages(n, scale.figure4_margins_per_decade)
@@ -86,10 +86,11 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", default=None,
                         help="smoke | default | paper")
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
-    parser.add_argument("--engine", default="count",
-                        choices=("count", "batch"),
-                        help="batch trades exactness for speed at "
-                             "paper scale")
+    parser.add_argument("--engine", default="ensemble",
+                        choices=("ensemble", "count", "batch"),
+                        help="ensemble advances all trials of a point "
+                             "at once (exact); batch trades exactness "
+                             "for speed at paper scale")
     parser.add_argument("--output-dir", default=None)
     args = parser.parse_args(argv)
 

@@ -1,4 +1,11 @@
-"""Shared sweep machinery for the experiment modules."""
+"""Shared sweep machinery for the experiment modules.
+
+Every sweep point funnels through :func:`repro.sim.run.run_trials`,
+so trial fan-out inherits its engine routing: ``engine="ensemble"``
+(or an eligible ``"auto"`` resolution) advances all trials of the
+point simultaneously on the vectorized ensemble engine instead of
+looping the single-run engines trial by trial.
+"""
 
 from __future__ import annotations
 

@@ -167,28 +167,51 @@ class PopulationProtocol(ABC):
         state ``i`` initiates with an agent in state ``j``.  Intended
         for protocols with small state spaces; guarded to avoid
         accidentally allocating gigantic tables.
+
+        The tables are memoized on the instance (states are immutable
+        after construction) and returned read-only, so every engine
+        construction and ``run()`` call shares one copy.
         """
-        s = self.num_states
-        if s > 4096:
-            raise ProtocolError(
-                f"{self.name}: refusing to materialize a {s}x{s} transition "
-                "table; use transition_index() for large state spaces")
-        out_x = np.empty((s, s), dtype=np.int64)
-        out_y = np.empty((s, s), dtype=np.int64)
-        for i in range(s):
-            for j in range(s):
-                out_x[i, j], out_y[i, j] = self.transition_index(i, j)
-        return out_x, out_y
+        cached = getattr(self, "_transition_matrix_cache", None)
+        if cached is None:
+            s = self.num_states
+            if s > 4096:
+                raise ProtocolError(
+                    f"{self.name}: refusing to materialize a {s}x{s} "
+                    "transition table; use transition_index() for large "
+                    "state spaces")
+            out_x = np.empty((s, s), dtype=np.int64)
+            out_y = np.empty((s, s), dtype=np.int64)
+            for i in range(s):
+                for j in range(s):
+                    out_x[i, j], out_y[i, j] = self.transition_index(i, j)
+            out_x.setflags(write=False)
+            out_y.setflags(write=False)
+            cached = (out_x, out_y)
+            self._transition_matrix_cache = cached
+        return cached
 
     def make_batch_kernel(self):
-        """A vectorized pairwise-transition kernel for the batch engine.
+        """A vectorized pairwise-transition kernel, memoized per instance.
 
         Returns a callable mapping two equal-length arrays of state
-        indices to the arrays of updated indices.  The default
-        implementation fancy-indexes the dense transition table and is
-        only suitable for small state spaces; protocols with large or
-        structured state spaces (AVC) override it with arithmetic
-        kernels.
+        indices to the arrays of updated indices.  Subclasses customize
+        the kernel by overriding :meth:`_build_batch_kernel`; the
+        memoization here makes repeated engine constructions free.
+        """
+        cached = getattr(self, "_batch_kernel_cache", None)
+        if cached is None:
+            cached = self._build_batch_kernel()
+            self._batch_kernel_cache = cached
+        return cached
+
+    def _build_batch_kernel(self):
+        """Construct the kernel behind :meth:`make_batch_kernel`.
+
+        The default implementation fancy-indexes the dense transition
+        table and is only suitable for small state spaces; protocols
+        with large or structured state spaces (AVC) override it with
+        arithmetic kernels.
         """
         out_x, out_y = self.transition_matrix()
 
@@ -198,12 +221,20 @@ class PopulationProtocol(ABC):
         return kernel
 
     def output_array(self) -> np.ndarray:
-        """Outputs per state index, with ``UNDECIDED`` encoded as ``-1``."""
-        outputs = np.empty(self.num_states, dtype=np.int64)
-        for i, state in enumerate(self.states):
-            value = self.output(state)
-            outputs[i] = -1 if value is UNDECIDED else int(value)
-        return outputs
+        """Outputs per state index, with ``UNDECIDED`` encoded as ``-1``.
+
+        Memoized on the instance and returned read-only; trackers and
+        engines index it but never write.
+        """
+        cached = getattr(self, "_output_array_cache", None)
+        if cached is None:
+            cached = np.empty(self.num_states, dtype=np.int64)
+            for i, state in enumerate(self.states):
+                value = self.output(state)
+                cached[i] = -1 if value is UNDECIDED else int(value)
+            cached.setflags(write=False)
+            self._output_array_cache = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Count-vector helpers
@@ -231,6 +262,20 @@ class PopulationProtocol(ABC):
     def is_settled_vector(self, vector: Sequence[int]) -> bool:
         """:meth:`is_settled` on a dense count vector."""
         return self.is_settled(self.vector_to_counts(vector))
+
+    def __getstate__(self):
+        """Drop the lazily built caches when pickling.
+
+        The batch kernel may be a closure (unpicklable), and the dense
+        tables rebuild cheaply on first use — shipping them to worker
+        processes would only bloat the payload.
+        """
+        state = self.__dict__.copy()
+        for key in ("_state_index_cache", "_transition_cache",
+                    "_transition_matrix_cache", "_output_array_cache",
+                    "_batch_kernel_cache"):
+            state.pop(key, None)
+        return state
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r} s={self.num_states}>"

@@ -8,6 +8,7 @@ from .agent_engine import AgentEngine
 from .batch_engine import BatchEngine
 from .count_engine import CountEngine
 from .engine import DEFAULT_MAX_PARALLEL_TIME, Engine
+from .ensemble_engine import EnsembleEngine
 from .fenwick import FenwickTree
 from .gillespie import ContinuousTimeEngine, NullSkippingEngine
 from .observers import ObservingTracker, RuleCensus, avc_rule_classifier
@@ -21,6 +22,7 @@ __all__ = [
     "Engine",
     "AgentEngine",
     "CountEngine",
+    "EnsembleEngine",
     "NullSkippingEngine",
     "ContinuousTimeEngine",
     "BatchEngine",

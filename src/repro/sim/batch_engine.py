@@ -47,16 +47,13 @@ class BatchEngine(Engine):
             raise InvalidParameterError(
                 f"batch_fraction must be in (0, 1], got {batch_fraction}")
         self.batch_fraction = batch_fraction
-        self._kernel = None
 
     def _supports_observers(self) -> bool:
         return False  # rounds, not per-interaction events
 
     def _simulate(self, counts, n, rng, max_steps, tracker, recorder):
         check_budget_sanity(max_steps)
-        if self._kernel is None:
-            self._kernel = self.protocol.make_batch_kernel()
-        kernel = self._kernel
+        kernel = self.protocol.make_batch_kernel()  # memoized per protocol
         s = self.protocol.num_states
 
         agents = np.repeat(np.arange(s, dtype=np.int64),

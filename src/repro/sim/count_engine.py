@@ -37,10 +37,17 @@ class CountEngine(Engine):
 
         steps = 0
         productive = 0
+        span = n * (n - 1)
         while steps < max_steps:
             block = min(_BLOCK, max_steps - steps)
-            first_targets = rng.integers(0, n, size=block).tolist()
-            second_targets = rng.integers(0, n - 1, size=block).tolist()
+            # One RNG call per block: r < n(n-1) encodes the ordered
+            # (initiator token, responder token) pair; divmod splits it
+            # into independent uniforms over [0, n) and [0, n-1).  The
+            # hoisted tolist() conversions keep the inner loop on plain
+            # Python ints (no per-step numpy scalar boxing).
+            raw = rng.integers(0, span, size=block)
+            first_targets, second_targets = (
+                part.tolist() for part in divmod(raw, n - 1))
             for u, v in zip(first_targets, second_targets):
                 steps += 1
                 i = tree_find(u)

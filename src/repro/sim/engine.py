@@ -23,12 +23,15 @@ CountEngine            O(log s), count vector           exact, large n
 NullSkippingEngine     O(s^2) per *productive* step      small s, huge n
 ContinuousTimeEngine   as NullSkipping + clock           Poisson model
 BatchEngine            amortized O(1) (vectorized)       sweeps, approximate
+EnsembleEngine         O(1) amortized over T trials     exact multi-trial
 =====================  ===============================  ==================
 
-``AgentEngine``, ``CountEngine``, ``NullSkippingEngine`` and
-``ContinuousTimeEngine`` sample *exactly* the same Markov chain; the
-``BatchEngine`` applies disjoint random matchings and is a documented
-approximation (see its module docstring).
+``AgentEngine``, ``CountEngine``, ``NullSkippingEngine``,
+``ContinuousTimeEngine`` and ``EnsembleEngine`` sample *exactly* the
+same Markov chain (the ensemble engine advances T independent trials
+per vectorized tick; see its module docstring); the ``BatchEngine``
+applies disjoint random matchings and is a documented approximation
+(see its module docstring).
 """
 
 from __future__ import annotations

@@ -1,0 +1,348 @@
+"""Ensemble engine: exact simulation of many trials at once.
+
+Paper-scale sweeps need hundreds of independent trials per ``(n, eps,
+s)`` point.  Each trial is an independent copy of the *same* Markov
+chain, so instead of looping trials in Python we advance all of them
+simultaneously: the ensemble state is a ``(T, n)`` token matrix (one
+row of agent states per trial) plus a ``(T, s)`` counts matrix, and
+every *round* performs a window of interactions per live trial with a
+fixed number of vectorized numpy operations.
+
+Sampling, per trial row:
+
+1. one uniform draw from ``[0, n(n-1))`` encodes the initiator token
+   ``u`` and the responder token ``v`` (``u, v = divmod(r, n - 1)``);
+2. the responder is sampled *without replacement* by skipping the
+   initiator's token (``v += v >= u``) — tokens on the complete graph
+   are exchangeable, so no shuffle is needed;
+3. the states are two *gathers* from the token matrix (``i =
+   agents[row, u]``, ``j = agents[row, v]``) — no cumulative sums or
+   binary searches;
+4. the transition goes through the protocol's dense ``s x s`` index
+   tables; token cells are fancy-assigned and counts updated with
+   ``np.add.at`` scatter ops (duplicate indices accumulate).
+
+Each round *speculatively* samples a window of consecutive
+interactions per row from its current configuration.  Null
+interactions leave the configuration unchanged, so a row's
+speculative draws are exactly its sequential draws up to and
+including its first productive interaction; the rest is discarded.
+A row therefore advances by ``min(window, geometric null-run + 1)``
+interactions per round — the vectorized analogue of the null-skipping
+engine's geometric jumps, without per-pair productivity weights —
+and the window adapts to the observed null rate.  Trials keep
+individual step clocks, so reported convergence steps are exact.
+
+This is the :class:`~repro.sim.count_engine.CountEngine` chain,
+trial-for-trial: the per-row distribution of ``(i, j)`` is ``c_i (c_j
+- [i = j]) / (n (n - 1))``, so results are exact in distribution — not
+the :class:`~repro.sim.batch_engine.BatchEngine` matching
+approximation.  Converged rows are recorded and *compacted* out of the
+matrices, so the live ensemble shrinks as trials finish and late
+stragglers run at small-``T`` cost.
+
+Convergence is tracked with O(1)-per-interaction unanimity class
+counts (per changed row: agents with undecided / output-0 / output-1
+states), which is why the vectorized path requires
+``unanimity_settles = True`` — true for AVC, the three- and
+four-state baselines, and the voter model.  For other protocols use
+:meth:`EnsembleEngine.run` (exact, any protocol) or the count engine.
+
+Throughput: gather-based sampling costs a few tens of nanoseconds per
+drawn interaction plus a constant per-round dispatch overhead shared
+by all ``T`` rows — well under a microsecond per interaction for
+ensembles of ~64+ trials, several times past the count engine's
+Python loop (measured ~7x on AVC s=66, n=10^4, 100 trials).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from ..errors import InvalidParameterError, SimulationError
+from ..protocols.base import PopulationProtocol, State
+from ..rng import ensure_rng
+from .engine import Engine, check_budget_sanity
+from .results import RunResult
+
+__all__ = ["EnsembleEngine"]
+
+#: Block size for the scalar (single-run) compatibility path.
+_BLOCK = 8192
+
+#: Bounds for the adaptive speculative-sampling window (interactions
+#: drawn per row per round in the vectorized path).
+_MIN_WINDOW = 4
+_MAX_WINDOW = 256
+
+
+class EnsembleEngine(Engine):
+    """Exact vectorized multi-trial simulation (complete graph only).
+
+    The engine has two entry points:
+
+    * :meth:`run_ensemble` — the vectorized path: ``T`` independent
+      trials advanced together from one initial configuration,
+      returning one :class:`RunResult` per trial.  Requires
+      ``unanimity_settles`` protocols; recorders and event observers
+      are not supported (there is no single trajectory to record).
+    * :meth:`run` (inherited) — the standard single-run API, exact for
+      any protocol and supporting observers/recorders; provided for
+      validation and interface completeness.  For fast single runs
+      prefer the count engine.
+
+    ``run_trials(..., engine="ensemble")`` routes whole trial batches
+    through :meth:`run_ensemble`; see :mod:`repro.sim.run`.
+    """
+
+    name = "ensemble"
+
+    # ------------------------------------------------------------------
+    # Vectorized ensemble path
+    # ------------------------------------------------------------------
+
+    def run_ensemble(self, initial_counts: Mapping[State, int], *,
+                     num_trials: int,
+                     rng=None,
+                     max_steps: int | None = None,
+                     max_parallel_time: float | None = None,
+                     expected: int | None = None) -> list[RunResult]:
+        """Simulate ``num_trials`` independent executions at once.
+
+        Every trial starts from ``initial_counts`` and runs until it
+        settles or the per-trial interaction budget is exhausted.
+        Returns the per-trial results in trial order.  The ensemble
+        draws from a single generator; with a fixed seed the whole
+        batch is reproducible, and each trial's chain is exactly the
+        count-engine chain in distribution.
+        """
+        protocol = self.protocol
+        if num_trials < 1:
+            raise InvalidParameterError(
+                f"num_trials must be >= 1, got {num_trials}")
+        if not getattr(protocol, "unanimity_settles", False):
+            raise SimulationError(
+                f"{protocol.name}: the vectorized ensemble path requires "
+                "unanimity_settles protocols; use EnsembleEngine.run() or "
+                "CountEngine for generic settledness predicates")
+        base = protocol.counts_to_vector(initial_counts)
+        n = int(base.sum())
+        if n < 2:
+            raise InvalidParameterError(
+                f"population must have at least 2 agents, got {n}")
+        budget = self._resolve_budget(n, max_steps, max_parallel_time)
+        check_budget_sanity(budget)
+        generator = ensure_rng(rng)
+
+        s = protocol.num_states
+        out_x, out_y = protocol.transition_matrix()
+        table_x = out_x.ravel()
+        table_y = out_y.ravel()
+        outputs = protocol.output_array()
+        # Output class per state: 0 = undecided, 1 = output 0, 2 = output 1.
+        state_class = np.where(outputs < 0, 0,
+                               np.where(outputs == 0, 1, 2)).astype(np.int64)
+        base_class = np.bincount(state_class, weights=base,
+                                 minlength=3).astype(np.int64)
+
+        def row_result(steps, settled, decision, vector, productive):
+            return RunResult(
+                protocol_name=protocol.name,
+                engine_name=self.name,
+                n=n,
+                steps=int(steps),
+                settled=settled,
+                decision=decision,
+                expected=expected,
+                final_counts=protocol.vector_to_counts(vector),
+                productive_steps=int(productive),
+                continuous_time=None,
+                frozen=False,
+            )
+
+        def class_decision(class_counts):
+            return 1 if class_counts[2] > 0 else 0
+
+        results: list[RunResult | None] = [None] * num_trials
+        if (base_class[0] == 0
+                and (base_class[1] == 0) != (base_class[2] == 0)):
+            # Already settled: every trial converges at step 0.
+            result = row_result(0, True, class_decision(base_class), base, 0)
+            return [result] * num_trials
+
+        # Pair index -> "this ordered state pair is productive", and
+        # state -> one-hot class row, so the hot loop classifies and
+        # counts with single gathers/matmuls instead of comparisons.
+        col_j, col_i = np.meshgrid(np.arange(s), np.arange(s))
+        nonnull = ((table_x != col_i.ravel())
+                   | (table_y != col_j.ravel()))
+        class_matrix = np.zeros((s, 3), dtype=np.int64)
+        class_matrix[np.arange(s), state_class] = 1
+
+        counts = np.tile(base, (num_trials, 1))          # (T, s) live matrix
+        # Token matrix: agents[r, t] is the state of token t in trial
+        # r.  On the complete graph the tokens are exchangeable, so a
+        # uniform token draw hits a uniform agent and no shuffle is
+        # needed; two gathers replace the cumulative-sum search a
+        # count-vector representation would require.  int32 keeps the
+        # matrix compact (states are capped at 4096 by run.py).
+        agents = np.tile(np.repeat(np.arange(s, dtype=np.int32), base),
+                         (num_trials, 1))                # (T, n) tokens
+        trial_ids = np.arange(num_trials)
+        productive = np.zeros(num_trials, dtype=np.int64)
+        steps_r = np.zeros(num_trials, dtype=np.int64)   # per-trial clock
+        live = num_trials
+        span = n * (n - 1)
+        row_idx = np.arange(live)[None, :]   # broadcast row selector
+        counts_flat = counts.reshape(-1)     # view; tracks updates
+        window = _MIN_WINDOW
+
+        # Each round speculatively samples a window of ``window``
+        # consecutive interactions for every live row from its
+        # *current* configuration.  Null interactions leave it
+        # unchanged, so a row's speculative draws are exactly its
+        # sequential draws up to and including its first productive
+        # interaction; everything after it is discarded (the
+        # distribution over the next pair changed).  Each row thus
+        # advances by min(window, its geometric null-run + 1)
+        # interactions per round, amortizing the fixed numpy dispatch
+        # cost of a round across many null steps — the vectorized
+        # analogue of the null-skipping engine's geometric jumps,
+        # without needing per-pair productivity weights.
+        while live:
+            remaining = budget - steps_r     # >= 1 for every live row
+            w = min(window, int(remaining.max()))
+            raw = generator.integers(0, span, size=(w, live))
+            u, v = np.divmod(raw, n - 1)
+            # Responder without replacement: v indexes the n - 1
+            # tokens left after removing the initiator's token u.
+            v += v >= u
+            i = agents[row_idx, u]
+            j = agents[row_idx, v]
+            pair = i * s + j
+            changed = nonnull[pair]          # (w, live)
+
+            hit = changed.any(axis=0)
+            first = np.where(hit, np.argmax(changed, axis=0), w)
+            # A row consumes its null prefix plus (budget permitting)
+            # the productive interaction that ends it.
+            apply_mask = hit & (first < remaining)
+            consumed = np.where(apply_mask, first + 1,
+                                np.minimum(w, remaining))
+            steps_r += consumed
+
+            idx = np.flatnonzero(apply_mask)
+            settled_live = np.zeros(live, dtype=bool)
+            if idx.size:
+                productive[idx] += 1
+                at = first[idx]
+                old_i = i[at, idx].astype(np.int64)
+                old_j = j[at, idx].astype(np.int64)
+                hot = old_i * s + old_j
+                new_i = table_x[hot]
+                new_j = table_y[hot]
+                idx2 = np.concatenate([idx, idx])
+                agents[idx2, np.concatenate([u[at, idx], v[at, idx]])] \
+                    = np.concatenate([new_i, new_j])
+                base_flat = idx * s
+                # Count updates through flat indices; duplicate cells
+                # within a row accumulate correctly.
+                np.subtract.at(
+                    counts_flat,
+                    np.concatenate([base_flat + old_i,
+                                    base_flat + old_j]),
+                    1)
+                np.add.at(
+                    counts_flat,
+                    np.concatenate([base_flat + new_i,
+                                    base_flat + new_j]),
+                    1)
+
+                # Only rows that changed can have settled; their
+                # per-class agent counts come from one small matmul.
+                cls = counts[idx] @ class_matrix
+                done_sub = ((cls[:, 0] == 0)
+                            & ((cls[:, 1] == 0) != (cls[:, 2] == 0)))
+                for where in np.flatnonzero(done_sub):
+                    pos = idx[where]
+                    results[trial_ids[pos]] = row_result(
+                        steps_r[pos], True, class_decision(cls[where]),
+                        counts[pos], productive[pos])
+                settled_live[idx[done_sub]] = True
+
+            exhausted = steps_r >= budget
+            retire = settled_live | exhausted
+            if retire.any():
+                for pos in np.flatnonzero(exhausted & ~settled_live):
+                    # Budget exhausted with the trial still undecided.
+                    results[trial_ids[pos]] = row_result(
+                        budget, False, None, counts[pos], productive[pos])
+                keep = ~retire
+                counts = counts[keep]
+                agents = agents[keep]
+                trial_ids = trial_ids[keep]
+                productive = productive[keep]
+                steps_r = steps_r[keep]
+                live = len(trial_ids)
+                if not live:
+                    break
+                row_idx = np.arange(live)[None, :]
+                counts_flat = counts.reshape(-1)
+            # Track ~2x the mean consumed run length so most rows find
+            # their next productive interaction within the window.
+            window = int(np.clip(2.0 * consumed.mean(),
+                                 _MIN_WINDOW, _MAX_WINDOW))
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Scalar compatibility path (Engine.run)
+    # ------------------------------------------------------------------
+
+    def _simulate(self, counts, n, rng, max_steps, tracker, recorder):
+        """Single-trial loop sampling the same chain as the ensemble.
+
+        Exact for any protocol (settledness goes through the standard
+        tracker); O(s) per interaction, so it exists for validation
+        and API symmetry rather than speed.
+        """
+        check_budget_sanity(max_steps)
+        lookup = self._transition_lookup()
+        span = n * (n - 1)
+        steps = 0
+        productive = 0
+        while steps < max_steps:
+            block = min(_BLOCK, max_steps - steps)
+            raw = rng.integers(0, span, size=block)
+            first_targets, second_targets = (
+                part.tolist() for part in divmod(raw, n - 1))
+            for u, v in zip(first_targets, second_targets):
+                steps += 1
+                acc = 0
+                for i, count in enumerate(counts):
+                    acc += count
+                    if u < acc:
+                        break
+                # Responder without replacement: skip the last i-token.
+                if v >= acc - 1:
+                    v += 1
+                acc2 = 0
+                for j, count in enumerate(counts):
+                    acc2 += count
+                    if v < acc2:
+                        break
+                new_i, new_j = lookup(i, j)
+                if new_i == i and new_j == j:
+                    continue
+                productive += 1
+                counts[i] -= 1
+                counts[j] -= 1
+                counts[new_i] += 1
+                counts[new_j] += 1
+                tracker.update(i, j, new_i, new_j)
+                if recorder is not None:
+                    recorder.maybe_record(steps, counts)
+                if tracker.settled():
+                    return steps, productive, False, None
+        return steps, productive, False, None

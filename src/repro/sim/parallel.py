@@ -4,43 +4,84 @@ Paper-scale sweeps run hundreds of independent trials per point;
 they are embarrassingly parallel.  :func:`run_trials_parallel` is a
 drop-in replacement for :func:`repro.sim.run.run_trials` that fans
 trials out over a process pool while preserving the *exact* sequential
-results: both derive per-trial generators by spawning the same
-``SeedSequence``, so ``run_trials_parallel(seed=7)`` returns the same
-list as ``run_trials(seed=7)`` (modulo order of execution, which is
+results: both derive per-trial (or, for the ensemble engine,
+per-chunk) generators by spawning the same ``SeedSequence``, so
+``run_trials_parallel(seed=7)`` returns the same list as
+``run_trials(seed=7)`` (modulo order of execution, which is
 re-sorted).
+
+The protocol and the per-trial keyword arguments are shipped to each
+worker exactly once, through the pool initializer — jobs carry only a
+trial index and a spawned ``SeedSequence``, so large protocols are not
+re-pickled per job.  With the ensemble engine each worker advances a
+whole sub-ensemble (one chunk of :data:`repro.sim.run._ENSEMBLE_CHUNK_TRIALS`
+trials) per job instead of a single trial.
 """
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
 from ..errors import InvalidParameterError
 from ..protocols.base import MajorityProtocol
+from .ensemble_engine import EnsembleEngine
 from .results import RunResult, TrialStats
-from .run import run_majority
+from .run import (
+    _ensemble_chunks,
+    _ensemble_engine_for_trials,
+    _ensemble_trial_plan,
+    raise_unsettled,
+    run_majority,
+)
 
 __all__ = ["run_trials_parallel"]
 
+#: Per-worker state, populated once by the pool initializer so the
+#: protocol (and run kwargs) are pickled per worker, not per job.
+_WORKER: dict = {}
 
-def _run_one(packed) -> tuple[int, RunResult]:
-    index, protocol, seed_seq, run_kwargs = packed
+
+def _init_worker(protocol, run_kwargs) -> None:
+    _WORKER["protocol"] = protocol
+    _WORKER["run_kwargs"] = run_kwargs
+
+
+def _run_one(job) -> tuple[int, RunResult]:
+    index, seed_seq = job
     rng = np.random.default_rng(seed_seq)
-    return index, run_majority(protocol, rng=rng, **run_kwargs)
+    return index, run_majority(_WORKER["protocol"], rng=rng,
+                               **_WORKER["run_kwargs"])
+
+
+def _run_chunk(job) -> tuple[int, list[RunResult]]:
+    start, size, seed_seq = job
+    spec = _WORKER["run_kwargs"]
+    engine = EnsembleEngine(_WORKER["protocol"])
+    results = engine.run_ensemble(
+        spec["initial"], num_trials=size,
+        rng=np.random.default_rng(seed_seq),
+        expected=spec["expected"], **spec["sim_kwargs"])
+    return start, results
 
 
 def run_trials_parallel(protocol: MajorityProtocol, *, num_trials: int,
                         seed: int | None = None,
                         processes: int | None = None,
                         stats: bool = False,
+                        engine="auto",
                         **run_kwargs) -> list[RunResult] | TrialStats:
     """Run ``num_trials`` independent majority trials in parallel.
 
     Parameters mirror :func:`repro.sim.run.run_trials`; ``processes``
     bounds the pool size (default: CPU count).  The protocol and all
     keyword arguments must be picklable (every protocol in the library
-    is).
+    is).  Engine resolution matches :func:`run_trials`, including the
+    automatic upgrade to the ensemble engine — whose chunked fan-out
+    is deliberately identical to the sequential runner's, so the two
+    agree bit-for-bit for every engine choice.
     """
     if num_trials < 1:
         raise InvalidParameterError(
@@ -48,14 +89,55 @@ def run_trials_parallel(protocol: MajorityProtocol, *, num_trials: int,
     if processes is not None and processes < 1:
         raise InvalidParameterError(
             f"processes must be >= 1, got {processes}")
-    children = np.random.SeedSequence(seed).spawn(num_trials)
-    jobs = [(index, protocol, child, run_kwargs)
-            for index, child in enumerate(children)]
-    with ProcessPoolExecutor(max_workers=processes) as pool:
-        outcomes = list(pool.map(_run_one, jobs,
-                                 chunksize=max(1, num_trials // 64)))
-    outcomes.sort(key=lambda pair: pair[0])
-    results = [result for _, result in outcomes]
+    ensemble = _ensemble_engine_for_trials(protocol, engine, num_trials,
+                                           run_kwargs)
+    if ensemble is not None:
+        results = _map_ensemble_chunks(protocol, num_trials, seed,
+                                       processes, run_kwargs)
+    else:
+        results = _map_single_trials(protocol, num_trials, seed,
+                                     processes, engine, run_kwargs)
     if stats:
         return TrialStats.from_results(results)
+    return results
+
+
+def _map_single_trials(protocol, num_trials, seed, processes, engine,
+                       run_kwargs) -> list[RunResult]:
+    children = np.random.SeedSequence(seed).spawn(num_trials)
+    jobs = list(enumerate(children))
+    workers = processes if processes is not None \
+        else (os.cpu_count() or 1)
+    # Aim for ~4 map chunks per worker: small batches must not collapse
+    # into a handful of oversized chunks that idle the rest of the pool.
+    chunksize = max(1, num_trials // (4 * workers))
+    with ProcessPoolExecutor(
+            max_workers=processes, initializer=_init_worker,
+            initargs=(protocol, dict(run_kwargs, engine=engine))) as pool:
+        outcomes = list(pool.map(_run_one, jobs, chunksize=chunksize))
+    outcomes.sort(key=lambda pair: pair[0])
+    return [result for _, result in outcomes]
+
+
+def _map_ensemble_chunks(protocol, num_trials, seed, processes,
+                         run_kwargs) -> list[RunResult]:
+    initial, expected, sim_kwargs, on_timeout = _ensemble_trial_plan(
+        protocol, run_kwargs)
+    sizes = _ensemble_chunks(num_trials)
+    children = np.random.SeedSequence(seed).spawn(len(sizes))
+    jobs = []
+    start = 0
+    for size, child in zip(sizes, children):
+        jobs.append((start, size, child))
+        start += size
+    spec = {"initial": initial, "expected": expected,
+            "sim_kwargs": sim_kwargs}
+    with ProcessPoolExecutor(
+            max_workers=processes, initializer=_init_worker,
+            initargs=(protocol, spec)) as pool:
+        outcomes = list(pool.map(_run_chunk, jobs))
+    outcomes.sort(key=lambda pair: pair[0])
+    results = [result for _, chunk in outcomes for result in chunk]
+    if on_timeout == "raise":
+        raise_unsettled(results)
     return results

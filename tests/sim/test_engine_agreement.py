@@ -9,13 +9,16 @@ against exact Markov-chain absorption times lives in
 ``tests/analysis/test_markov.py``.
 """
 
+import numpy as np
 import pytest
+from scipy.stats import ks_2samp
 
 from repro import AVCProtocol, FourStateProtocol, ThreeStateProtocol
 from repro.sim import (
     AgentEngine,
     BatchEngine,
     CountEngine,
+    EnsembleEngine,
     NullSkippingEngine,
     TrialStats,
 )
@@ -60,6 +63,30 @@ def test_batch_engine_agrees_within_tolerance():
     batched = mean_time(BatchEngine(protocol, batch_fraction=0.05),
                         protocol, 120, 81, trials, seed=8)
     assert batched == pytest.approx(exact, rel=0.5)
+
+
+@pytest.mark.parametrize("protocol_factory,count_a,count_b", [
+    (FourStateProtocol, 40, 21),
+    (lambda: AVCProtocol(m=9, d=1), 36, 25),
+], ids=["four-state", "avc"])
+def test_ensemble_matches_count_engine_distribution(protocol_factory,
+                                                    count_a, count_b):
+    """The ensemble path samples the count-engine chain exactly, so the
+    two convergence-step samples must come from the same distribution
+    (two-sample Kolmogorov-Smirnov; fixed seeds keep it deterministic)."""
+    protocol = protocol_factory()
+    trials = 150
+    initial = protocol.initial_counts(count_a, count_b)
+    count_engine = CountEngine(protocol)
+    count_steps = [count_engine.run(initial, rng=child).steps
+                   for child in spawn_many(17, trials)]
+    results = EnsembleEngine(protocol).run_ensemble(
+        initial, num_trials=trials, rng=np.random.default_rng(18))
+    assert all(r.settled for r in results)
+    ensemble_steps = [r.steps for r in results]
+    outcome = ks_2samp(count_steps, ensemble_steps)
+    assert outcome.pvalue > 0.01, (
+        f"KS statistic {outcome.statistic:.3f}, p={outcome.pvalue:.4f}")
 
 
 def test_null_skipping_steps_match_count_engine_distribution():

@@ -1,0 +1,142 @@
+"""EnsembleEngine behavior: guards, compaction, routing, censoring.
+
+Distributional correctness lives in
+``test_single_step_distribution.py`` (one-step exactness) and
+``test_engine_agreement.py`` (convergence-time KS agreement with the
+count engine); this module covers the engine's mechanics — the
+unanimity requirement, budget handling, converged-row compaction, the
+``run_trials`` routing guards, and auto-selection.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AVCProtocol,
+    FourStateProtocol,
+    InvalidParameterError,
+    SimulationError,
+    ThreeStateProtocol,
+)
+from repro.protocols.leader_election import PairwiseLeaderElection
+from repro.sim import CountEngine, EnsembleEngine, NullSkippingEngine
+from repro.sim.run import make_engine, run_trials
+
+
+def avc():
+    return AVCProtocol(m=9, d=1)
+
+
+class TestRunEnsemble:
+    def test_returns_one_result_per_trial_in_order(self):
+        protocol = avc()
+        results = EnsembleEngine(protocol).run_ensemble(
+            protocol.initial_counts(36, 25), num_trials=30,
+            rng=np.random.default_rng(3))
+        assert len(results) == 30
+        assert all(r.settled for r in results)
+        assert all(r.engine_name == "ensemble" for r in results)
+        assert all(r.n == 61 for r in results)
+
+    def test_converged_rows_are_compacted_not_corrupted(self):
+        """Trials finish at different ticks, so rows are repeatedly
+        compacted out mid-run; every surviving result must still be a
+        valid unanimous configuration of the full population."""
+        protocol = avc()
+        results = EnsembleEngine(protocol).run_ensemble(
+            protocol.initial_counts(36, 25), num_trials=40,
+            rng=np.random.default_rng(9))
+        steps = [r.steps for r in results]
+        assert len(set(steps)) > 1  # staggered finishes => compaction ran
+        outputs = {state: protocol.output(state)
+                   for state in protocol.states}
+        for result in results:
+            assert sum(result.final_counts.values()) == 61
+            decided = {outputs[state]
+                       for state, count in result.final_counts.items()
+                       if count}
+            assert decided == {result.decision}
+            assert 0 < result.productive_steps <= result.steps
+
+    def test_reproducible_with_fixed_seed(self):
+        protocol = avc()
+        initial = protocol.initial_counts(36, 25)
+        engine = EnsembleEngine(protocol)
+        first = engine.run_ensemble(initial, num_trials=20,
+                                    rng=np.random.default_rng(4))
+        second = engine.run_ensemble(initial, num_trials=20,
+                                     rng=np.random.default_rng(4))
+        assert [(r.steps, r.decision) for r in first] \
+            == [(r.steps, r.decision) for r in second]
+
+    def test_already_settled_initial_configuration(self):
+        protocol = ThreeStateProtocol()
+        results = EnsembleEngine(protocol).run_ensemble(
+            {"A": 9}, num_trials=5, rng=np.random.default_rng(0))
+        assert all(r.settled and r.steps == 0 for r in results)
+        assert len({r.decision for r in results}) == 1
+
+    def test_budget_censoring_reports_budget_steps(self):
+        protocol = avc()
+        results = EnsembleEngine(protocol).run_ensemble(
+            protocol.initial_counts(36, 25), num_trials=6,
+            rng=np.random.default_rng(1), max_steps=3)
+        assert all(not r.settled for r in results)
+        assert all(r.steps == 3 for r in results)
+        assert all(r.decision is None for r in results)
+
+    def test_rejects_non_unanimity_protocols(self):
+        protocol = PairwiseLeaderElection()
+        with pytest.raises(SimulationError, match="unanimity"):
+            EnsembleEngine(protocol).run_ensemble(
+                protocol.initial_counts(10), num_trials=2)
+
+    def test_rejects_absurd_budget(self):
+        protocol = avc()
+        with pytest.raises(SimulationError, match="budget"):
+            EnsembleEngine(protocol).run_ensemble(
+                protocol.initial_counts(36, 25), num_trials=2,
+                max_steps=10 ** 16)
+
+    def test_validates_num_trials_and_population(self):
+        protocol = avc()
+        engine = EnsembleEngine(protocol)
+        with pytest.raises(InvalidParameterError):
+            engine.run_ensemble(protocol.initial_counts(36, 25),
+                                num_trials=0)
+        with pytest.raises(InvalidParameterError):
+            engine.run_ensemble({protocol.states[0]: 1}, num_trials=2)
+
+
+class TestRunTrialsRouting:
+    def test_explicit_ensemble_engine(self):
+        stats = run_trials(avc(), num_trials=25, seed=5, stats=True,
+                           engine="ensemble", n=61, epsilon=11 / 61)
+        assert stats.num_settled == 25
+        assert stats.error_fraction == 0.0
+
+    def test_recorder_and_observer_are_rejected(self):
+        for unsupported in ("recorder", "event_observer", "graph"):
+            with pytest.raises(InvalidParameterError, match="ensemble"):
+                run_trials(avc(), num_trials=2, seed=0,
+                           engine="ensemble", n=61, epsilon=11 / 61,
+                           **{unsupported: object()})
+
+    def test_auto_upgrades_large_unanimity_protocols(self):
+        wide = AVCProtocol.with_num_states(18)
+        assert isinstance(make_engine(wide, "auto", num_trials=2),
+                          EnsembleEngine)
+        # Single runs and small state spaces keep their engines.
+        assert isinstance(make_engine(wide, "auto", num_trials=1),
+                          CountEngine)
+        assert isinstance(make_engine(FourStateProtocol(), "auto",
+                                      num_trials=2),
+                          NullSkippingEngine)
+
+    def test_auto_route_matches_explicit_ensemble(self):
+        wide = AVCProtocol.with_num_states(18)
+        kwargs = dict(num_trials=12, seed=21, n=41, epsilon=5 / 41)
+        auto = run_trials(wide, engine="auto", **kwargs)
+        explicit = run_trials(wide, engine="ensemble", **kwargs)
+        assert [(r.steps, r.decision) for r in auto] \
+            == [(r.steps, r.decision) for r in explicit]

@@ -36,6 +36,34 @@ class TestRunTrialsParallel:
             run_trials_parallel(FourStateProtocol(), num_trials=2,
                                 processes=0, n=11, epsilon=1 / 11)
 
+    def test_seed_7_regression(self):
+        """run_trials_parallel(seed=7) must equal run_trials(seed=7)."""
+        protocol = FourStateProtocol()
+        kwargs = dict(n=31, epsilon=3 / 31)
+        sequential = run_trials(protocol, num_trials=5, seed=7, **kwargs)
+        parallel = run_trials_parallel(protocol, num_trials=5, seed=7,
+                                       processes=2, **kwargs)
+        assert [(r.steps, r.decision) for r in parallel] \
+            == [(r.steps, r.decision) for r in sequential]
+
+    def test_ensemble_chunks_match_sequential_ensemble(self):
+        """The ensemble path partitions trials into fixed-size chunks
+        seeded per chunk, so parallel and sequential ensemble runs are
+        bit-identical — including across a chunk boundary."""
+        from repro import AVCProtocol
+
+        from repro.sim.run import _ENSEMBLE_CHUNK_TRIALS
+
+        protocol = AVCProtocol.with_num_states(18)
+        trials = _ENSEMBLE_CHUNK_TRIALS + 22  # force >1 chunk
+        kwargs = dict(n=41, epsilon=5 / 41, engine="ensemble")
+        sequential = run_trials(protocol, num_trials=trials, seed=7,
+                                **kwargs)
+        parallel = run_trials_parallel(protocol, num_trials=trials, seed=7,
+                                       processes=2, **kwargs)
+        assert [(r.steps, r.decision) for r in parallel] \
+            == [(r.steps, r.decision) for r in sequential]
+
     def test_avc_protocol_is_picklable_across_processes(self):
         from repro import AVCProtocol
 

@@ -16,7 +16,12 @@ import pytest
 from repro import ThreeStateProtocol
 from repro.analysis.markov import ConfigurationChain
 from repro.rng import spawn_many
-from repro.sim import AgentEngine, CountEngine, NullSkippingEngine
+from repro.sim import (
+    AgentEngine,
+    CountEngine,
+    EnsembleEngine,
+    NullSkippingEngine,
+)
 
 
 PROTOCOL = ThreeStateProtocol()
@@ -38,7 +43,8 @@ def empirical_one_step_distribution(engine, trials, seed):
     return {key: count / trials for key, count in outcomes.items()}
 
 
-@pytest.mark.parametrize("engine_class", [AgentEngine, CountEngine],
+@pytest.mark.parametrize("engine_class",
+                         [AgentEngine, CountEngine, EnsembleEngine],
                          ids=lambda c: c.name)
 def test_one_step_distribution_matches_exact(engine_class):
     exact = exact_one_step_distribution()
@@ -50,6 +56,27 @@ def test_one_step_distribution_matches_exact(engine_class):
             f"config {config}: exact {probability:.3f}, "
             f"observed {observed:.3f}")
     # No successor outside the exact support.
+    assert set(empirical) <= set(exact)
+
+
+def test_ensemble_vectorized_one_step_distribution():
+    """The vectorized path (each trial a matrix row) must sample the
+    same one-step successor distribution as the scalar engines."""
+    exact = exact_one_step_distribution()
+    trials = 4000
+    results = EnsembleEngine(PROTOCOL).run_ensemble(
+        START, num_trials=trials, rng=np.random.default_rng(55),
+        max_steps=1)
+    outcomes = {}
+    for result in results:
+        key = tuple(PROTOCOL.counts_to_vector(result.final_counts))
+        outcomes[key] = outcomes.get(key, 0) + 1
+    empirical = {key: count / trials for key, count in outcomes.items()}
+    for config, probability in exact.items():
+        observed = empirical.get(config, 0.0)
+        assert observed == pytest.approx(probability, abs=0.035), (
+            f"config {config}: exact {probability:.3f}, "
+            f"observed {observed:.3f}")
     assert set(empirical) <= set(exact)
 
 
