@@ -14,6 +14,7 @@ __all__ = [
     "InvalidStateError",
     "SimulationError",
     "ConvergenceTimeout",
+    "WorkerError",
     "AnalysisError",
     "ExperimentError",
 ]
@@ -49,6 +50,16 @@ class ConvergenceTimeout(SimulationError):
     def __init__(self, message: str, *, result=None):
         super().__init__(message)
         self.result = result
+
+
+class WorkerError(SimulationError):
+    """A parallel worker process died before delivering its results.
+
+    Raised in place of :class:`concurrent.futures.process.BrokenProcessPool`
+    so callers can treat pool crashes (OOM kills, interpreter aborts)
+    as *transient* and retry — the runstore orchestrator does, with
+    capped backoff — while genuine simulation errors propagate.
+    """
 
 
 class AnalysisError(ReproError):

@@ -16,9 +16,10 @@ from __future__ import annotations
 import argparse
 
 from ..core.avc import AVCProtocol
+from ..runstore import Orchestrator
 from .config import Scale, resolve_scale
-from .io import default_output_dir, format_table, write_csv
-from .runner import measure_majority_point
+from .io import format_table, write_csv
+from .runner import add_sweep_arguments, finish_sweep, sweep_orchestrator
 
 __all__ = ["ablation_d_rows", "main"]
 
@@ -26,8 +27,10 @@ DEFAULT_SEED = 20150717
 
 
 def ablation_d_rows(scale: Scale, *, seed: int = DEFAULT_SEED,
-                    progress=None) -> list[dict]:
+                    progress=None,
+                    orchestrator: Orchestrator | None = None) -> list[dict]:
     """One row per ``d``, at margin one agent (the hardest input)."""
+    orch = Orchestrator() if orchestrator is None else orchestrator
     n = scale.ablation_d_population
     epsilon = 1.0 / n
     rows = []
@@ -35,7 +38,7 @@ def ablation_d_rows(scale: Scale, *, seed: int = DEFAULT_SEED,
         protocol = AVCProtocol(m=scale.ablation_d_m, d=d)
         if progress is not None:
             progress(f"ablation-d: d={d} (s={protocol.num_states})")
-        row = measure_majority_point(
+        row = orch.majority_point(
             protocol, n=n, epsilon=epsilon,
             trials=scale.ablation_d_trials,
             seed=seed + index, engine="count")
@@ -51,22 +54,22 @@ def main(argv=None) -> int:
         prog="repro ablation-d", description=__doc__.split("\n")[0])
     parser.add_argument("--scale", default=None)
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
-    parser.add_argument("--output-dir", default=None)
+    add_sweep_arguments(parser)
     args = parser.parse_args(argv)
 
     scale = resolve_scale(args.scale)
-    rows = ablation_d_rows(scale, seed=args.seed,
-                           progress=lambda msg: print(f"  [{msg}]",
-                                                      flush=True))
+    progress = lambda msg: print(f"  [{msg}]", flush=True)  # noqa: E731
+    orchestrator, output_dir = sweep_orchestrator(
+        f"ablation_d_{scale.name}", args, progress=progress)
+    rows = ablation_d_rows(scale, seed=args.seed, progress=progress,
+                           orchestrator=orchestrator)
     columns = ("d", "m", "s", "n", "epsilon", "mean_parallel_time",
-               "std_parallel_time", "trials", "error_fraction",
-               "wall_seconds")
+               "std_parallel_time", "trials", "error_fraction")
     print(format_table(rows, columns=columns,
                        title=f"d-ablation (scale={scale.name})"))
-    output_dir = (default_output_dir() if args.output_dir is None
-                  else args.output_dir)
     path = write_csv(f"{output_dir}/ablation_d_{scale.name}.csv", rows)
     print(f"\nwrote {path}")
+    print(finish_sweep(orchestrator))
     return 0
 
 

@@ -3,8 +3,15 @@
 Subcommands regenerate the paper's figures and the lower-bound
 experiments; ``all`` runs everything at the chosen scale.  Every
 subcommand accepts ``--scale smoke|default|paper`` (or the
-``REPRO_SCALE`` environment variable) and writes a CSV under
-``results/``.
+``REPRO_SCALE`` environment variable).  CSVs land under the output
+directory — ``results/`` by default, overridable globally with
+``--output-dir`` or the ``REPRO_OUTPUT_DIR`` environment variable.
+
+Sweeps are resumable: completed points are committed to a
+content-addressed run store under ``<output-dir>/.runstore/``
+(inspect with ``python -m repro runs list|status|gc``), re-invocations
+with an unchanged configuration complete from cache, and ``--resume``
+additionally replays mid-point chunk checkpoints after a crash.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ from . import (
     four_state_census,
     lowerbound_logn,
 )
+from ..runstore import cli as runs_cli
 
 __all__ = ["main"]
 
@@ -36,6 +44,7 @@ _SUBCOMMANDS = {
     "topology": topology.main,
     "leader-election": leader.main,
     "report": report.main,
+    "runs": runs_cli.main,
 }
 
 
@@ -49,7 +58,14 @@ def main(argv=None) -> int:
         "experiment",
         choices=sorted(_SUBCOMMANDS) + ["all"],
         help="which experiment to run (see DESIGN.md for the index)")
+    parser.add_argument(
+        "--output-dir", default=None,
+        help="directory for CSVs and the run store (default: results/ "
+             "or $REPRO_OUTPUT_DIR)")
     args, rest = parser.parse_known_args(argv)
+
+    if args.output_dir is not None:
+        rest = ["--output-dir", args.output_dir] + rest
 
     if args.experiment == "all":
         status = 0

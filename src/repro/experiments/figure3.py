@@ -37,10 +37,11 @@ import argparse
 from ..core.avc import AVCProtocol
 from ..protocols.four_state import FourStateProtocol
 from ..protocols.three_state import ThreeStateProtocol
+from ..runstore import Orchestrator, RunStore
 from .config import Scale, resolve_scale
-from .io import default_output_dir, format_table, write_csv
+from .io import format_table, write_csv
 from .plotting import ascii_chart
-from .runner import measure_majority_point
+from .runner import add_sweep_arguments, finish_sweep, sweep_orchestrator
 
 __all__ = ["avc_n_state", "figure3_rows", "main"]
 
@@ -71,8 +72,15 @@ def _protocols_for(n: int, avc_engine: str):
 
 
 def figure3_rows(scale: Scale, *, seed: int = DEFAULT_SEED,
-                 avc_engine: str = "ensemble", progress=None) -> list[dict]:
-    """Compute both Figure 3 panels; one row per (n, protocol)."""
+                 avc_engine: str = "ensemble", progress=None,
+                 orchestrator: Orchestrator | None = None) -> list[dict]:
+    """Compute both Figure 3 panels; one row per (n, protocol).
+
+    With an ``orchestrator``, every point is served from the run store
+    when cached and checkpointed to the sweep journal while computing;
+    without one the rows are computed identically, just not persisted.
+    """
+    orch = Orchestrator() if orchestrator is None else orchestrator
     rows = []
     for point_index, n in enumerate(scale.figure3_populations):
         epsilon = 1.0 / n
@@ -80,7 +88,7 @@ def figure3_rows(scale: Scale, *, seed: int = DEFAULT_SEED,
                 _protocols_for(n, avc_engine)):
             if progress is not None:
                 progress(f"figure3: n={n} protocol={protocol.name}")
-            row = measure_majority_point(
+            row = orch.majority_point(
                 protocol, n=n, epsilon=epsilon,
                 trials=scale.figure3_trials,
                 seed=seed + 1000 * point_index + proto_index,
@@ -98,15 +106,18 @@ def main(argv=None) -> int:
     parser.add_argument("--avc-engine", default="ensemble",
                         choices=("ensemble", "count", "batch", "agent"),
                         help="engine for the n-state AVC runs")
-    parser.add_argument("--output-dir", default=None)
+    add_sweep_arguments(parser)
     args = parser.parse_args(argv)
 
     scale = resolve_scale(args.scale)
+    progress = lambda msg: print(f"  [{msg}]", flush=True)  # noqa: E731
+    orchestrator, output_dir = sweep_orchestrator(
+        f"figure3_{scale.name}", args, progress=progress)
     rows = figure3_rows(scale, seed=args.seed, avc_engine=args.avc_engine,
-                        progress=lambda msg: print(f"  [{msg}]", flush=True))
+                        progress=progress, orchestrator=orchestrator)
     columns = ("n", "protocol", "mean_parallel_time", "error_fraction",
                "std_parallel_time", "trials", "settled_fraction",
-               "engine", "wall_seconds")
+               "engine")
     print(format_table(rows, columns=columns,
                        title=f"Figure 3 (scale={scale.name}, eps=1/n)"))
     series: dict[str, list[tuple[float, float]]] = {}
@@ -118,10 +129,9 @@ def main(argv=None) -> int:
     print(ascii_chart(series, title="Figure 3 (left): parallel "
                                     "convergence time vs n",
                       x_label="n", y_label="time"))
-    output_dir = (default_output_dir() if args.output_dir is None
-                  else args.output_dir)
     path = write_csv(f"{output_dir}/figure3_{scale.name}.csv", rows)
     print(f"\nwrote {path}")
+    print(finish_sweep(orchestrator))
     return 0
 
 

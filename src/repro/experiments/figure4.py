@@ -24,10 +24,11 @@ import argparse
 import math
 
 from ..core.avc import AVCProtocol
+from ..runstore import Orchestrator
 from .config import Scale, resolve_scale
-from .io import default_output_dir, format_table, write_csv
+from .io import format_table, write_csv
 from .plotting import ascii_chart
-from .runner import measure_majority_point
+from .runner import add_sweep_arguments, finish_sweep, sweep_orchestrator
 
 __all__ = ["margin_advantages", "figure4_rows", "main"]
 
@@ -58,8 +59,10 @@ def margin_advantages(n: int, per_decade: int) -> list[int]:
 
 
 def figure4_rows(scale: Scale, *, seed: int = DEFAULT_SEED,
-                 engine: str = "ensemble", progress=None) -> list[dict]:
+                 engine: str = "ensemble", progress=None,
+                 orchestrator: Orchestrator | None = None) -> list[dict]:
     """One row per (s, eps) point, including the ``s * eps`` column."""
+    orch = Orchestrator() if orchestrator is None else orchestrator
     n = scale.figure4_population
     advantages = margin_advantages(n, scale.figure4_margins_per_decade)
     rows = []
@@ -69,7 +72,7 @@ def figure4_rows(scale: Scale, *, seed: int = DEFAULT_SEED,
             epsilon = advantage / n
             if progress is not None:
                 progress(f"figure4: s={s} eps={epsilon:.2e}")
-            row = measure_majority_point(
+            row = orch.majority_point(
                 protocol, n=n, epsilon=epsilon,
                 trials=scale.figure4_trials,
                 seed=seed + 10_000 * s_index + a_index,
@@ -91,15 +94,17 @@ def main(argv=None) -> int:
                         help="ensemble advances all trials of a point "
                              "at once (exact); batch trades exactness "
                              "for speed at paper scale")
-    parser.add_argument("--output-dir", default=None)
+    add_sweep_arguments(parser)
     args = parser.parse_args(argv)
 
     scale = resolve_scale(args.scale)
+    progress = lambda msg: print(f"  [{msg}]", flush=True)  # noqa: E731
+    orchestrator, output_dir = sweep_orchestrator(
+        f"figure4_{scale.name}", args, progress=progress)
     rows = figure4_rows(scale, seed=args.seed, engine=args.engine,
-                        progress=lambda msg: print(f"  [{msg}]", flush=True))
+                        progress=progress, orchestrator=orchestrator)
     columns = ("s", "epsilon", "s_times_epsilon", "mean_parallel_time",
-               "std_parallel_time", "trials", "error_fraction",
-               "wall_seconds")
+               "std_parallel_time", "trials", "error_fraction")
     print(format_table(
         rows, columns=columns,
         title=f"Figure 4 (scale={scale.name}, n={scale.figure4_population})"))
@@ -120,10 +125,9 @@ def main(argv=None) -> int:
                       title="Figure 4 (right): time vs s*eps "
                             "(curves collapse)",
                       x_label="s*eps", y_label="time"))
-    output_dir = (default_output_dir() if args.output_dir is None
-                  else args.output_dir)
     path = write_csv(f"{output_dir}/figure4_{scale.name}.csv", rows)
     print(f"\nwrote {path}")
+    print(finish_sweep(orchestrator))
     return 0
 
 

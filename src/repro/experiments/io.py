@@ -1,8 +1,17 @@
-"""Result output: CSV files and aligned console tables."""
+"""Result output: CSV files and aligned console tables.
+
+CSV writes are crash-safe: rows are serialized to a temp file in the
+target directory and atomically renamed into place, so an interrupted
+sweep leaves either the previous file or the complete new one — never
+a truncated CSV.
+"""
 
 from __future__ import annotations
 
 import csv
+import io
+import os
+import tempfile
 from collections.abc import Mapping, Sequence
 from pathlib import Path
 
@@ -12,24 +21,47 @@ __all__ = ["write_csv", "format_table", "default_output_dir"]
 
 
 def default_output_dir() -> Path:
-    """Where experiment CSVs land unless overridden."""
-    return Path("results")
+    """Where experiment CSVs (and the run store) land unless overridden.
+
+    ``REPRO_OUTPUT_DIR`` redirects the whole suite; the per-command
+    ``--output-dir`` flag wins over both.
+    """
+    return Path(os.environ.get("REPRO_OUTPUT_DIR") or "results")
 
 
 def write_csv(path, rows: Sequence[Mapping], *,
               columns: Sequence[str] | None = None) -> Path:
-    """Write dict rows to ``path`` (parents created), return the path."""
-    if not rows:
-        raise ExperimentError("refusing to write an empty result set")
+    """Atomically write dict rows to ``path``, return the path.
+
+    With explicit ``columns``, an empty ``rows`` produces a header-only
+    CSV (an incremental or resumed sweep may legitimately flush before
+    its first row); without ``columns`` an empty write has no schema to
+    emit and is rejected.
+    """
+    if not rows and columns is None:
+        raise ExperimentError("refusing to write an empty result set "
+                              "without explicit columns")
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     if columns is None:
         columns = list(rows[0].keys())
-    with open(target, "w", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=list(columns))
-        writer.writeheader()
-        for row in rows:
-            writer.writerow({key: row.get(key, "") for key in columns})
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(columns))
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({key: row.get(key, "") for key in columns})
+    handle = tempfile.NamedTemporaryFile(
+        "w", newline="", dir=target.parent,
+        prefix=target.name + ".", suffix=".tmp", delete=False)
+    try:
+        with handle:
+            handle.write(buffer.getvalue())
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(handle.name, target)
+    except BaseException:
+        os.unlink(handle.name)
+        raise
     return target
 
 

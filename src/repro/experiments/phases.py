@@ -19,21 +19,23 @@ import argparse
 
 from ..analysis.trajectory import analyze_avc_trajectory
 from ..core.avc import AVCProtocol
+from ..runstore import Orchestrator
+from ..serialize import protocol_to_dict
 from ..sim.observers import RuleCensus, avc_rule_classifier
 from ..sim.record import TrajectoryRecorder
 from ..sim.run import run_majority
 from .config import Scale, resolve_scale
-from .io import default_output_dir, format_table, write_csv
+from .io import format_table, write_csv
+from .runner import add_sweep_arguments, finish_sweep, sweep_orchestrator
 
 __all__ = ["phase_rows", "main"]
 
 DEFAULT_SEED = 20150720
 
 
-def phase_rows(scale: Scale, *, seed: int = DEFAULT_SEED) -> list[dict]:
-    """One row per weight-halving threshold of the minority side."""
-    n = scale.ablation_d_population
-    protocol = AVCProtocol(m=scale.ablation_d_m, d=1)
+def _compute_phase_rows(protocol: AVCProtocol, n: int,
+                        seed: int) -> list[dict]:
+    """The recorded run + trajectory analysis behind :func:`phase_rows`."""
     recorder = TrajectoryRecorder(interval_steps=max(1, n // 10))
     census = RuleCensus(avc_rule_classifier(protocol))
     result = run_majority(protocol, n=n, epsilon=1.0 / n, seed=seed,
@@ -63,16 +65,38 @@ def phase_rows(scale: Scale, *, seed: int = DEFAULT_SEED) -> list[dict]:
     return rows
 
 
+def phase_rows(scale: Scale, *, seed: int = DEFAULT_SEED,
+               orchestrator: Orchestrator | None = None) -> list[dict]:
+    """One row per weight-halving threshold of the minority side.
+
+    The whole instrumented run is one cacheable point: per-interaction
+    recording cannot be chunk-checkpointed, but an unchanged
+    (protocol, n, seed) re-invocation is served from the run store.
+    """
+    orch = Orchestrator() if orchestrator is None else orchestrator
+    n = scale.ablation_d_population
+    protocol = AVCProtocol(m=scale.ablation_d_m, d=1)
+    params = {"protocol": protocol_to_dict(protocol), "n": n,
+              "seed": seed}
+    return orch.point(
+        "phases", params,
+        lambda: _compute_phase_rows(protocol, n, seed),
+        label=f"phases n={n}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro phases", description=__doc__.split("\n")[0])
     parser.add_argument("--scale", default=None)
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
-    parser.add_argument("--output-dir", default=None)
+    add_sweep_arguments(parser)
     args = parser.parse_args(argv)
 
     scale = resolve_scale(args.scale)
-    rows = phase_rows(scale, seed=args.seed)
+    orchestrator, output_dir = sweep_orchestrator(
+        f"phases_{scale.name}", args,
+        progress=lambda msg: print(f"  [{msg}]", flush=True))
+    rows = phase_rows(scale, seed=args.seed, orchestrator=orchestrator)
     print(format_table(
         rows, title=f"AVC phase structure / Claim A.2 "
                     f"(scale={scale.name})"))
@@ -83,10 +107,9 @@ def main(argv=None) -> int:
            if key.startswith("frac_")}
     print("rule mix over the whole run:",
           ", ".join(f"{label}={value:.2f}" for label, value in mix.items()))
-    output_dir = (default_output_dir() if args.output_dir is None
-                  else args.output_dir)
     path = write_csv(f"{output_dir}/phases_{scale.name}.csv", rows)
     print(f"\nwrote {path}")
+    print(finish_sweep(orchestrator))
     return 0
 
 

@@ -5,6 +5,14 @@ so trial fan-out inherits its engine routing: ``engine="ensemble"``
 (or an eligible ``"auto"`` resolution) advances all trials of the
 point simultaneously on the vectorized ensemble engine instead of
 looping the single-run engines trial by trial.
+
+The experiment ``main``s run their sweeps through a
+:class:`~repro.runstore.Orchestrator` built by
+:func:`sweep_orchestrator`: completed points are committed to the
+content-addressed run store under ``<output-dir>/.runstore/`` and a
+re-invocation with unchanged parameters never re-enters a simulation
+engine; ``--resume`` additionally replays mid-point chunk checkpoints
+left by an interrupted sweep.
 """
 
 from __future__ import annotations
@@ -12,10 +20,13 @@ from __future__ import annotations
 import time
 
 from ..protocols.base import MajorityProtocol
+from ..runstore import Orchestrator, RunStore
 from ..sim.results import TrialStats
 from ..sim.run import run_trials
+from .io import default_output_dir
 
-__all__ = ["measure_majority_point"]
+__all__ = ["measure_majority_point", "add_sweep_arguments",
+           "sweep_orchestrator", "finish_sweep"]
 
 
 def measure_majority_point(protocol: MajorityProtocol, *, n: int,
@@ -51,3 +62,37 @@ def measure_majority_point(protocol: MajorityProtocol, *, n: int,
         "error_fraction": stats.error_fraction,
         "wall_seconds": elapsed,
     }
+
+
+def add_sweep_arguments(parser) -> None:
+    """The run-store flags every sweep ``main`` shares."""
+    parser.add_argument("--output-dir", default=None,
+                        help="directory for CSVs and the run store "
+                             "(default: results/ or $REPRO_OUTPUT_DIR)")
+    parser.add_argument("--resume", action="store_true",
+                        help="replay chunk checkpoints an interrupted "
+                             "sweep left in the journal")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute every point even when the run "
+                             "store already holds it")
+
+
+def sweep_orchestrator(sweep: str, args, *, progress=None):
+    """Build ``(orchestrator, output_dir)`` for one sweep ``main``."""
+    output_dir = (default_output_dir() if args.output_dir is None
+                  else args.output_dir)
+    store = RunStore.for_output_dir(output_dir)
+    orchestrator = Orchestrator(
+        store, sweep=sweep, resume=args.resume,
+        use_cache=not args.no_cache, progress=progress)
+    return orchestrator, output_dir
+
+
+def finish_sweep(orchestrator: Orchestrator) -> str:
+    """Retire the sweep journal; return a one-line cache summary."""
+    counters = orchestrator.counters
+    orchestrator.finish()
+    return (f"runstore: {counters['cached']} cached, "
+            f"{counters['computed']} computed "
+            f"({counters['resumed_chunks']} chunk(s) resumed, "
+            f"{counters['retries']} retries)")

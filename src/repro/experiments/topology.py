@@ -38,10 +38,13 @@ from ..graphs import (
 )
 from ..protocols.interval_consensus import IntervalConsensusProtocol
 from ..rng import spawn_many
+from ..runstore import Orchestrator
+from ..serialize import protocol_to_dict
 from ..sim.agent_engine import AgentEngine
 from ..sim.results import TrialStats
 from .config import Scale, resolve_scale
-from .io import default_output_dir, format_table, write_csv
+from .io import format_table, write_csv
+from .runner import add_sweep_arguments, finish_sweep, sweep_orchestrator
 
 __all__ = ["topology_rows", "main"]
 
@@ -58,9 +61,37 @@ def _topologies(n: int, seed: int):
     )
 
 
+def _measure_topology_cell(name, graph, protocol, *, count_a, epsilon,
+                           budget, trials, trial_seed) -> dict:
+    """One (topology, protocol) cell — pure function of its inputs."""
+    nodes = graph.number_of_nodes()
+    engine = AgentEngine(protocol, graph=graph)
+    results = [
+        engine.run(protocol.initial_counts(count_a, nodes - count_a),
+                   rng=child, expected=1,
+                   max_parallel_time=budget)
+        for child in spawn_many(trial_seed, trials)
+    ]
+    stats = TrialStats.from_results(results)
+    return {
+        "topology": name,
+        "protocol": protocol.name,
+        "n": nodes,
+        "epsilon": epsilon,
+        "spectral_gap": spectral_gap(graph),
+        "predicted_time": dv12_style_bound(graph, epsilon),
+        "mean_parallel_time": stats.mean_parallel_time,
+        "error_fraction": stats.error_fraction,
+        "settled_fraction": stats.settled_fraction,
+        "trials": trials,
+    }
+
+
 def topology_rows(scale: Scale, *, seed: int = DEFAULT_SEED,
-                  progress=None) -> list[dict]:
+                  progress=None,
+                  orchestrator: Orchestrator | None = None) -> list[dict]:
     """One row per (topology, protocol)."""
+    orch = Orchestrator() if orchestrator is None else orchestrator
     n = scale.ablation_d_population
     if n % 2 == 0:
         n += 1
@@ -72,7 +103,6 @@ def topology_rows(scale: Scale, *, seed: int = DEFAULT_SEED,
         nodes = graph.number_of_nodes()
         count_a = (nodes + advantage) // 2
         epsilon = (2 * count_a - nodes) / nodes
-        gap = spectral_gap(graph)
         protocols = [IntervalConsensusProtocol()]
         if name in ("clique", "ring"):
             # AVC on the clique (its model) and on the ring (the
@@ -83,28 +113,23 @@ def topology_rows(scale: Scale, *, seed: int = DEFAULT_SEED,
                 progress(f"topology: {name} / {protocol.name}")
             budget = (20_000.0 if protocol is avc and name != "clique"
                       else 200_000.0)
-            engine = AgentEngine(protocol, graph=graph)
-            results = [
-                engine.run(protocol.initial_counts(count_a,
-                                                   nodes - count_a),
-                           rng=child, expected=1,
-                           max_parallel_time=budget)
-                for child in spawn_many(
-                    seed + 97 * topo_index + proto_index, trials)
-            ]
-            stats = TrialStats.from_results(results)
-            rows.append({
-                "topology": name,
-                "protocol": protocol.name,
-                "n": nodes,
-                "epsilon": epsilon,
-                "spectral_gap": gap,
-                "predicted_time": dv12_style_bound(graph, epsilon),
-                "mean_parallel_time": stats.mean_parallel_time,
-                "error_fraction": stats.error_fraction,
-                "settled_fraction": stats.settled_fraction,
-                "trials": trials,
-            })
+            trial_seed = seed + 97 * topo_index + proto_index
+            # The graph seed pins the random-regular topology, the
+            # trial seed pins the runs — together with the protocol
+            # they define the cell completely.
+            params = {"topology": name, "graph_seed": seed,
+                      "protocol": protocol_to_dict(protocol),
+                      "n": nodes, "count_a": count_a, "budget": budget,
+                      "trials": trials, "trial_seed": trial_seed}
+            rows.append(orch.point(
+                "topology-cell", params,
+                lambda name=name, graph=graph, protocol=protocol,
+                count_a=count_a, epsilon=epsilon, budget=budget,
+                trial_seed=trial_seed: _measure_topology_cell(
+                    name, graph, protocol, count_a=count_a,
+                    epsilon=epsilon, budget=budget, trials=trials,
+                    trial_seed=trial_seed),
+                label=f"topology {name}/{protocol.name}"))
     return rows
 
 
@@ -113,22 +138,23 @@ def main(argv=None) -> int:
         prog="repro topology", description=__doc__.split("\n")[0])
     parser.add_argument("--scale", default=None)
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
-    parser.add_argument("--output-dir", default=None)
+    add_sweep_arguments(parser)
     args = parser.parse_args(argv)
 
     scale = resolve_scale(args.scale)
-    rows = topology_rows(scale, seed=args.seed,
-                         progress=lambda msg: print(f"  [{msg}]",
-                                                    flush=True))
+    progress = lambda msg: print(f"  [{msg}]", flush=True)  # noqa: E731
+    orchestrator, output_dir = sweep_orchestrator(
+        f"topology_{scale.name}", args, progress=progress)
+    rows = topology_rows(scale, seed=args.seed, progress=progress,
+                         orchestrator=orchestrator)
     columns = ("topology", "protocol", "n", "spectral_gap",
                "predicted_time", "mean_parallel_time", "error_fraction",
                "settled_fraction", "trials")
     print(format_table(rows, columns=columns,
                        title=f"Topology sweep (scale={scale.name})"))
-    output_dir = (default_output_dir() if args.output_dir is None
-                  else args.output_dir)
     path = write_csv(f"{output_dir}/topology_{scale.name}.csv", rows)
     print(f"\nwrote {path}")
+    print(finish_sweep(orchestrator))
     return 0
 
 

@@ -1,0 +1,48 @@
+"""Resumable, crash-safe experiment orchestration with a result cache.
+
+Long sweeps (hundreds of ``(protocol, n, eps, s)`` points, each worth
+minutes of simulation) must survive crashes, ``SIGINT``, and parameter
+tweaks without recomputing what is already known.  This package gives
+every sweep point a canonical content-address and makes the experiment
+harness write-once:
+
+* :mod:`repro.runstore.fingerprint` — the stable hash of a point's
+  full defining inputs (protocol + params, n, eps, trials, seed,
+  engine, result-schema version);
+* :mod:`repro.runstore.store` — the on-disk content-addressed store
+  under ``<output-dir>/.runstore/`` with atomic write-then-rename
+  commits;
+* :mod:`repro.runstore.journal` — the append-only per-sweep JSONL
+  journal that checkpoints partially computed points at deterministic
+  trial-chunk boundaries;
+* :mod:`repro.runstore.orchestrator` — the resumable sweep driver the
+  experiment modules run their points through;
+* :mod:`repro.runstore.cli` — ``python -m repro runs list|status|gc``.
+
+The contract that makes resumption safe: a point's simulation output
+is a pure function of its fingerprint key, and chunk boundaries are
+derived only from the trial count — so a resumed sweep is bit-identical
+to an uninterrupted one.
+"""
+
+from .fingerprint import (
+    RESULT_SCHEMA_VERSION,
+    canonical_json,
+    fingerprint,
+    majority_point_key,
+    point_key,
+)
+from .journal import Journal
+from .orchestrator import Orchestrator
+from .store import RunStore
+
+__all__ = [
+    "RESULT_SCHEMA_VERSION",
+    "canonical_json",
+    "fingerprint",
+    "majority_point_key",
+    "point_key",
+    "Journal",
+    "Orchestrator",
+    "RunStore",
+]

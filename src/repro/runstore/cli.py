@@ -1,0 +1,122 @@
+"""``python -m repro runs`` — inspect and maintain the run store.
+
+Subcommands:
+
+* ``list`` — every committed point: fingerprint, kind, protocol, key
+  parameters, wall time, and owning sweep;
+* ``status`` — store totals plus per-journal progress (committed
+  points vs chunk checkpoints still pending), i.e. what ``--resume``
+  would pick up;
+* ``gc`` — reclaim finished journals, schema-orphaned objects, and
+  stray temp files (``--all`` wipes the store).
+
+All subcommands honor ``--output-dir`` / ``REPRO_OUTPUT_DIR`` the same
+way the experiments do: the store lives under
+``<output-dir>/.runstore/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..experiments.io import format_table
+from .fingerprint import RESULT_SCHEMA_VERSION
+from .journal import chunk_map, committed_points
+from .store import RunStore
+
+__all__ = ["main"]
+
+
+def _entry_row(entry: dict) -> dict:
+    key = entry.get("key", {})
+    meta = entry.get("meta", {})
+    protocol = key.get("protocol", {})
+    row = {
+        "fingerprint": entry.get("fingerprint", "")[:12],
+        "kind": key.get("kind", "?"),
+        "protocol": protocol.get("kind", "-") if isinstance(protocol, dict)
+        else str(protocol),
+        "n": key.get("n", "-"),
+        "trials": key.get("trials", "-"),
+        "engine": meta.get("engine_resolved", key.get("engine", "-")),
+        "wall_seconds": meta.get("wall_seconds", float("nan")),
+        "sweep": meta.get("sweep", "-"),
+    }
+    return row
+
+
+def cmd_list(store: RunStore) -> int:
+    rows = [_entry_row(entry) for entry in store.entries()]
+    if not rows:
+        print(f"run store {store.root} is empty")
+        return 0
+    print(format_table(rows, title=f"run store {store.root} "
+                                   f"(schema v{RESULT_SCHEMA_VERSION})"))
+    print(f"\n{len(rows)} committed point(s)")
+    return 0
+
+
+def cmd_status(store: RunStore) -> int:
+    objects = list(store.entries())
+    total_bytes = sum(path.stat().st_size
+                      for path in store.objects_dir.glob("*/*.json")
+                      ) if store.objects_dir.is_dir() else 0
+    print(f"run store {store.root}")
+    print(f"  objects: {len(objects)} committed point(s), "
+          f"{total_bytes} bytes")
+    journals = list(store.journals())
+    if not journals:
+        print("  journals: none (no sweep in flight)")
+        return 0
+    rows = []
+    for name, journal in journals:
+        records = journal.replay()
+        pending = chunk_map(records)
+        rows.append({
+            "sweep": name,
+            "records": len(records),
+            "committed_points": len(committed_points(records)),
+            "points_in_flight": len(pending),
+            "checkpointed_chunks": sum(len(chunks)
+                                       for chunks in pending.values()),
+            "bytes": journal.path.stat().st_size,
+        })
+    print()
+    print(format_table(rows, title="journals (resumable with --resume)"))
+    return 0
+
+
+def cmd_gc(store: RunStore, drop_all: bool) -> int:
+    removed = store.gc(drop_all=drop_all)
+    scope = "everything" if drop_all else "dead state"
+    print(f"gc({scope}) under {store.root}: "
+          f"removed {removed['journals']} journal(s), "
+          f"{removed['objects']} object(s), "
+          f"{removed['temp_files']} temp file(s)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro runs",
+        description="Inspect and maintain the experiment run store.")
+    parser.add_argument("action", choices=("list", "status", "gc"),
+                        help="what to do with the store")
+    parser.add_argument("--output-dir", default=None,
+                        help="results directory owning the store "
+                             "(default: results/ or $REPRO_OUTPUT_DIR)")
+    parser.add_argument("--all", action="store_true",
+                        help="gc only: wipe the entire store, including "
+                             "valid cache entries")
+    args = parser.parse_args(argv)
+
+    store = RunStore.for_output_dir(args.output_dir)
+    if args.action == "list":
+        return cmd_list(store)
+    if args.action == "status":
+        return cmd_status(store)
+    return cmd_gc(store, drop_all=args.all)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

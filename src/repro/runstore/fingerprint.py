@@ -1,0 +1,109 @@
+"""Content addresses for sweep points.
+
+A sweep point is cacheable only if its identity is *stable*: the same
+logical inputs must hash to the same address regardless of dict
+insertion order, tuple-vs-list spelling, numpy scalar types, or how a
+float was written in source (``1e-2`` and ``0.01`` are the same
+number, so they are the same point).  :func:`fingerprint` therefore
+hashes a *canonical JSON* form: keys sorted, sequences normalized to
+lists, numpy scalars unboxed, ``-0.0`` folded into ``0.0``, and floats
+rendered by Python's shortest round-trip ``repr``.
+
+The key always embeds :data:`RESULT_SCHEMA_VERSION`; bumping it after
+a result-schema change orphans every old cache entry at once (they are
+reclaimed by ``repro runs gc``) instead of silently serving rows with
+missing columns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Mapping, Sequence
+
+from ..serialize import protocol_to_dict
+
+__all__ = [
+    "RESULT_SCHEMA_VERSION",
+    "canonical",
+    "canonical_json",
+    "fingerprint",
+    "majority_point_key",
+    "point_key",
+]
+
+#: Version of the result-row schema committed to the store.  Bump when
+#: the orchestrator's row layout changes; old entries stop resolving.
+RESULT_SCHEMA_VERSION = 1
+
+
+def canonical(value):
+    """Normalize ``value`` into plain, deterministic JSON types.
+
+    Numpy scalars are unboxed via their ``item()`` method, tuples
+    become lists, mapping keys are coerced to strings, and ``-0.0`` is
+    folded into ``0.0``.  NaN is rejected: a key containing NaN can
+    never be looked up again (NaN != NaN), so it cannot address a
+    cache entry.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if hasattr(value, "item") and not isinstance(value, (Mapping, Sequence)):
+        value = value.item()
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if value != value:
+            raise ValueError("NaN cannot appear in a fingerprint key")
+        return 0.0 if value == 0.0 else value
+    if isinstance(value, Mapping):
+        return {str(key): canonical(item) for key, item in value.items()}
+    if isinstance(value, Sequence):
+        return [canonical(item) for item in value]
+    raise TypeError(
+        f"cannot canonicalize {type(value).__name__} for fingerprinting")
+
+
+def canonical_json(key) -> str:
+    """The canonical serialized form whose hash is the fingerprint."""
+    return json.dumps(canonical(key), sort_keys=True,
+                      separators=(",", ":"), allow_nan=False)
+
+
+def fingerprint(key) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``key``."""
+    digest = hashlib.sha256(canonical_json(key).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def point_key(kind: str, params: Mapping) -> dict:
+    """Key for a generic experiment point (topology cell, phase run)."""
+    return {
+        "schema": RESULT_SCHEMA_VERSION,
+        "kind": kind,
+        "params": canonical(params),
+    }
+
+
+def majority_point_key(protocol, *, n: int, epsilon: float, trials: int,
+                       seed: int, engine: str = "auto",
+                       max_parallel_time: float | None = None,
+                       batch_fraction: float = 0.05) -> dict:
+    """Key for one ``measure_majority_point``-shaped sweep point.
+
+    The protocol enters through its serialized form (name + full
+    parameters), so two differently constructed but identical protocol
+    instances address the same cache entry.
+    """
+    return {
+        "schema": RESULT_SCHEMA_VERSION,
+        "kind": "majority-point",
+        "protocol": protocol_to_dict(protocol),
+        "n": n,
+        "epsilon": epsilon,
+        "trials": trials,
+        "seed": seed,
+        "engine": engine,
+        "max_parallel_time": max_parallel_time,
+        "batch_fraction": batch_fraction,
+    }

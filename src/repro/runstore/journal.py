@@ -1,0 +1,91 @@
+"""Append-only per-sweep journals.
+
+The store commits whole points; the journal is the layer below it,
+checkpointing *partial* points at trial-chunk boundaries so a killed
+process loses at most one chunk of work.  Records are single JSON
+lines appended with flush+fsync; a crash can only tear the final line,
+and :meth:`Journal.replay` stops at the first torn or unparsable line
+— every replayed prefix is consistent by construction.
+
+Record vocabulary (one JSON object per line):
+
+``{"event": "begin", "sweep": name, "points": N}``
+    Written when an orchestrated sweep starts (repeated on resume).
+``{"event": "chunk", "point": fp, "index": k, "results": [...]}``
+    One completed trial chunk of point ``fp`` (serialized
+    :class:`~repro.sim.results.RunResult` dicts).
+``{"event": "point", "point": fp}``
+    Point ``fp`` was committed to the store; its chunk records are
+    dead weight from here on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["Journal", "chunk_map", "committed_points"]
+
+
+class Journal:
+    """One append-only JSONL file, replayable to a consistent prefix."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def append(self, record: dict) -> None:
+        """Append one record durably (flush + fsync)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def replay(self) -> list[dict]:
+        """All records up to the first torn or corrupt line."""
+        if not self.path.exists():
+            return []
+        records: list[dict] = []
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                if not line.endswith("\n"):
+                    break  # torn tail write from a crash mid-append
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    break
+                if not isinstance(record, dict):
+                    break
+                records.append(record)
+        return records
+
+    def clear(self) -> None:
+        """Remove the journal file (sweep finished or restart fresh)."""
+        self.path.unlink(missing_ok=True)
+
+
+def chunk_map(records) -> dict[str, dict[int, list]]:
+    """``point fingerprint -> {chunk index -> serialized results}``.
+
+    Chunks of points that were later committed (``"point"`` events)
+    are dropped — the store already holds their final row.
+    """
+    chunks: dict[str, dict[int, list]] = {}
+    for record in records:
+        if record.get("event") == "chunk":
+            point = chunks.setdefault(record["point"], {})
+            point[int(record["index"])] = record["results"]
+        elif record.get("event") == "point":
+            chunks.pop(record["point"], None)
+    return chunks
+
+
+def committed_points(records) -> set[str]:
+    """Fingerprints recorded as committed to the store."""
+    return {record["point"] for record in records
+            if record.get("event") == "point"}

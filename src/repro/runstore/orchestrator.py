@@ -1,0 +1,296 @@
+"""The resumable sweep driver.
+
+:class:`Orchestrator` sits between the experiment modules and
+:func:`repro.sim.run.run_trials`-style fan-out.  Each sweep point is
+addressed by its :mod:`~repro.runstore.fingerprint`; the orchestrator
+
+* serves committed points straight from the :class:`RunStore` (a warm
+  cache re-invocation never enters a simulation engine),
+* checkpoints in-flight points to the per-sweep journal at the
+  deterministic :data:`~repro.sim.run.ENSEMBLE_CHUNK_TRIALS` trial
+  boundaries, so ``--resume`` after a crash replays the completed
+  chunks and recomputes only the rest,
+* retries transient worker failures
+  (:class:`~repro.errors.WorkerError` from
+  :mod:`repro.sim.parallel`) with capped exponential backoff, and
+* records wall-time/engine provenance per point in the store's
+  ``meta`` — *outside* the result row, so cached, resumed, and freshly
+  computed sweeps emit byte-identical CSVs.
+
+Determinism contract: chunk boundaries and per-chunk generators are
+derived exactly as the uninterrupted runners derive them (same
+``SeedSequence`` spawning, same chunk plan), and fresh generators are
+rebuilt from the spawned sequences on every attempt — so a resumed or
+retried sweep is bit-identical to one that never failed.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..errors import WorkerError
+from ..serialize import run_result_from_dict, run_result_to_dict
+from ..sim.results import TrialStats
+from ..sim.run import (
+    ensemble_chunks,
+    ensemble_engine_for_trials,
+    ensemble_trial_plan,
+    raise_unsettled,
+    run_majority,
+)
+from .fingerprint import fingerprint, majority_point_key, point_key
+from .journal import chunk_map
+from .store import RunStore
+
+__all__ = ["Orchestrator", "RETRYABLE_ERRORS"]
+
+#: Failures worth retrying: the work is a pure function of its seed,
+#: so a crashed worker pool just means "run that batch again".
+RETRYABLE_ERRORS = (WorkerError,)
+
+
+class Orchestrator:
+    """Run sweep points through the cache/journal/retry machinery.
+
+    Parameters
+    ----------
+    store:
+        The :class:`RunStore` backing the sweep, or ``None`` for a
+        purely in-memory pass (no caching, no journal — the rows are
+        still computed identically, which is what keeps direct calls
+        to the ``*_rows`` functions equivalent to orchestrated ones).
+    sweep:
+        Journal name for this sweep (e.g. ``"figure3_smoke"``).
+        Without it no chunk checkpoints are written.
+    resume:
+        Replay the existing journal's completed chunks instead of
+        starting the journal afresh.
+    use_cache:
+        Serve committed points from the store.  ``False`` forces full
+        recomputation (results are still committed, overwriting).
+    max_attempts / backoff_base / backoff_cap / sleep:
+        Retry policy for :data:`RETRYABLE_ERRORS`: attempt ``k`` waits
+        ``min(backoff_cap, backoff_base * 2**(k-1))`` seconds.
+    progress:
+        Optional callable receiving human-readable status lines.
+    """
+
+    def __init__(self, store: RunStore | None = None, *,
+                 sweep: str | None = None, resume: bool = False,
+                 use_cache: bool = True, max_attempts: int = 3,
+                 backoff_base: float = 0.5, backoff_cap: float = 30.0,
+                 sleep=time.sleep, progress=None):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.store = store
+        self.sweep = sweep
+        self.use_cache = use_cache
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._sleep = sleep
+        self._progress = progress
+        self.counters = {"computed": 0, "cached": 0,
+                         "resumed_chunks": 0, "retries": 0}
+        self._journal = None
+        self._pending: dict[str, dict[int, list]] = {}
+        if store is not None and sweep is not None:
+            self._journal = store.journal(sweep)
+            if resume and use_cache:
+                self._pending = chunk_map(self._journal.replay())
+            else:
+                self._journal.clear()
+            self._journal.append({"event": "begin", "sweep": sweep})
+
+    # -- the two point shapes ----------------------------------------
+
+    def majority_point(self, protocol, *, n: int, epsilon: float,
+                       trials: int, seed: int, engine: str = "auto",
+                       max_parallel_time: float | None = None,
+                       batch_fraction: float = 0.05) -> dict:
+        """One ``measure_majority_point``-shaped sweep point.
+
+        Returns the flat result row (identical schema to
+        :func:`repro.experiments.runner.measure_majority_point` except
+        that nondeterministic ``wall_seconds`` lives in the store's
+        provenance ``meta``, not the row).
+        """
+        key = majority_point_key(
+            protocol, n=n, epsilon=epsilon, trials=trials, seed=seed,
+            engine=engine, max_parallel_time=max_parallel_time,
+            batch_fraction=batch_fraction)
+        fp = fingerprint(key)
+        cached = self._lookup(fp)
+        if cached is not None:
+            return cached
+        started = time.perf_counter()
+        run_kwargs = {"n": n, "epsilon": epsilon,
+                      "max_parallel_time": max_parallel_time,
+                      "batch_fraction": batch_fraction}
+        results, plan_meta = self._run_point_chunks(
+            protocol, trials=trials, seed=seed, engine=engine,
+            run_kwargs=run_kwargs, fp=fp)
+        stats = TrialStats.from_results(results)
+        row = {
+            "protocol": protocol.name,
+            "engine": engine,
+            "n": n,
+            "epsilon": epsilon,
+            "trials": stats.num_trials,
+            "settled_fraction": stats.settled_fraction,
+            "mean_parallel_time": stats.mean_parallel_time,
+            "std_parallel_time": stats.std_parallel_time,
+            "min_parallel_time": stats.min_parallel_time,
+            "max_parallel_time": stats.max_parallel_time,
+            "error_fraction": stats.error_fraction,
+        }
+        meta = dict(plan_meta, wall_seconds=time.perf_counter() - started)
+        self._commit(fp, key, row, meta)
+        return row
+
+    def point(self, kind: str, params: dict, compute, *,
+              label: str | None = None):
+        """A generic cached point: any deterministic computation.
+
+        ``compute()`` must be a pure function of ``params`` returning
+        a JSON-safe payload (a row dict or a list of row dicts); the
+        payload is committed under the fingerprint of
+        ``(schema, kind, params)`` and served from cache on the next
+        invocation.
+        """
+        key = point_key(kind, params)
+        fp = fingerprint(key)
+        cached = self._lookup(fp, label=label)
+        if cached is not None:
+            return cached
+        started = time.perf_counter()
+        payload = self._attempt(compute, label=label or kind)
+        self._commit(fp, key, payload,
+                     {"wall_seconds": time.perf_counter() - started})
+        return payload
+
+    def finish(self) -> None:
+        """Mark the sweep complete: drop its (now redundant) journal."""
+        if self._journal is not None:
+            self._journal.clear()
+
+    # -- cache and journal plumbing ----------------------------------
+
+    def _lookup(self, fp: str, label: str | None = None):
+        if not self.use_cache or self.store is None:
+            return None
+        entry = self.store.get(fp)
+        if entry is None:
+            return None
+        self.counters["cached"] += 1
+        self._note(f"cache hit {label or fp[:12]}")
+        return entry["row"]
+
+    def _commit(self, fp: str, key: dict, payload, meta: dict) -> None:
+        if self.sweep is not None:
+            meta = dict(meta, sweep=self.sweep)
+        if self.store is not None:
+            self.store.put(fp, key=key, row=payload, meta=meta)
+        if self._journal is not None:
+            self._journal.append({"event": "point", "point": fp})
+        self._pending.pop(fp, None)
+        self.counters["computed"] += 1
+
+    def _journal_chunk(self, fp: str, index: int, results) -> None:
+        if self._journal is not None:
+            self._journal.append({
+                "event": "chunk", "point": fp, "index": index,
+                "results": [run_result_to_dict(r) for r in results]})
+
+    def _replayed_chunk(self, fp: str, index: int, size: int):
+        """Deserialize a journaled chunk, or ``None`` if absent/short."""
+        payloads = self._pending.get(fp, {}).get(index)
+        if payloads is None or len(payloads) != size:
+            return None
+        self.counters["resumed_chunks"] += 1
+        return [run_result_from_dict(payload) for payload in payloads]
+
+    # -- trial fan-out, checkpointed ---------------------------------
+
+    def _run_point_chunks(self, protocol, *, trials, seed, engine,
+                          run_kwargs, fp):
+        """Compute a point chunk-by-chunk, exactly as ``run_trials``.
+
+        Chunk plans and per-chunk ``SeedSequence`` children match
+        :func:`repro.sim.run.run_trials` (and its parallel twin), and
+        generators are rebuilt from the spawned sequences per attempt,
+        so replaying journaled chunks and recomputing the rest yields
+        the identical result list an uninterrupted run produces.
+        """
+        # Same root as ensure_rng(seed) + spawn(): SeedSequence children
+        # are pure values, so retries rebuild identical fresh generators.
+        root_seq = np.random.SeedSequence(seed)
+        ensemble = ensemble_engine_for_trials(protocol, engine, trials,
+                                              run_kwargs)
+        results = []
+        if ensemble is not None:
+            initial, expected, sim_kwargs, on_timeout = \
+                ensemble_trial_plan(protocol, run_kwargs)
+            sizes = ensemble_chunks(trials)
+            children = root_seq.spawn(len(sizes))
+            for index, (size, child) in enumerate(zip(sizes, children)):
+                chunk = self._replayed_chunk(fp, index, size)
+                if chunk is None:
+                    chunk = self._attempt(
+                        lambda: ensemble.run_ensemble(
+                            initial, num_trials=size,
+                            rng=np.random.default_rng(child),
+                            expected=expected, **sim_kwargs),
+                        label=f"chunk {index + 1}/{len(sizes)}")
+                    self._journal_chunk(fp, index, chunk)
+                results.extend(chunk)
+            if on_timeout == "raise":
+                raise_unsettled(results)
+            resolved = "ensemble"
+        else:
+            sizes = ensemble_chunks(trials)
+            children = root_seq.spawn(trials)
+            start = 0
+            for index, size in enumerate(sizes):
+                batch = children[start:start + size]
+                start += size
+                chunk = self._replayed_chunk(fp, index, size)
+                if chunk is None:
+                    chunk = self._attempt(
+                        lambda: [run_majority(
+                            protocol, rng=np.random.default_rng(child),
+                            engine=engine, **run_kwargs)
+                            for child in batch],
+                        label=f"chunk {index + 1}/{len(sizes)}")
+                    self._journal_chunk(fp, index, chunk)
+                results.extend(chunk)
+            resolved = results[0].engine_name if results else engine
+        meta = {"engine_requested": engine, "engine_resolved": resolved,
+                "chunks": len(sizes),
+                "resumed_chunks": sum(
+                    1 for index in self._pending.get(fp, ())
+                    if index < len(sizes))}
+        return results, meta
+
+    # -- retries ------------------------------------------------------
+
+    def _attempt(self, compute, *, label: str):
+        """Run ``compute`` with capped-backoff retries on worker loss."""
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return compute()
+            except RETRYABLE_ERRORS as failure:
+                if attempt == self.max_attempts:
+                    raise
+                delay = min(self.backoff_cap,
+                            self.backoff_base * 2 ** (attempt - 1))
+                self.counters["retries"] += 1
+                self._note(f"retrying {label} after worker failure "
+                           f"({failure}); backoff {delay:.1f}s")
+                self._sleep(delay)
+
+    def _note(self, message: str) -> None:
+        if self._progress is not None:
+            self._progress(message)

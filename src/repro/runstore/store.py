@@ -1,0 +1,179 @@
+"""The on-disk content-addressed result store.
+
+Layout, rooted at ``<output-dir>/.runstore/``::
+
+    objects/<fp[:2]>/<fp>.json   one committed point per file
+    journals/<sweep>.jsonl       per-sweep chunk checkpoints
+
+Each object file holds ``{"schema", "fingerprint", "key", "row",
+"meta"}`` — the full canonical key is stored next to the row so
+``repro runs list`` and the gc can describe entries without reverse
+lookups.  ``row`` is the CSV-bound result payload (byte-stable:
+re-serialization round-trips every float); ``meta`` is free-form
+provenance (wall time, resolved engine, chunk counts, sweep name)
+that deliberately stays *out* of the row so cached and freshly
+computed sweeps emit identical CSVs.
+
+Commits are atomic: payloads are written to a temp file in the target
+directory, fsynced, then ``os.replace``d into place — readers never
+observe a half-written object, and a crash leaves only a stray
+``*.tmp*`` file for gc.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+
+from .fingerprint import RESULT_SCHEMA_VERSION
+from .journal import Journal, chunk_map, committed_points
+
+__all__ = ["RunStore", "atomic_write_text"]
+
+
+def atomic_write_text(target: Path, text: str) -> Path:
+    """Durably write ``text`` to ``target`` via temp-file + rename."""
+    target = Path(target)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        "w", encoding="utf-8", dir=target.parent,
+        prefix=target.name + ".", suffix=".tmp", delete=False)
+    try:
+        with handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(handle.name, target)
+    except BaseException:
+        os.unlink(handle.name)
+        raise
+    return target
+
+
+class RunStore:
+    """Content-addressed store for committed sweep points."""
+
+    def __init__(self, root):
+        self.root = Path(root)
+
+    @classmethod
+    def for_output_dir(cls, output_dir=None) -> "RunStore":
+        """The store that serves CSVs written under ``output_dir``."""
+        from ..experiments.io import default_output_dir
+        base = Path(default_output_dir() if output_dir is None
+                    else output_dir)
+        return cls(base / ".runstore")
+
+    # -- objects ------------------------------------------------------
+
+    @property
+    def objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    def object_path(self, fp: str) -> Path:
+        return self.objects_dir / fp[:2] / f"{fp}.json"
+
+    def __contains__(self, fp: str) -> bool:
+        return self.object_path(fp).exists()
+
+    def get(self, fp: str) -> dict | None:
+        """The committed entry for ``fp``, or ``None``.
+
+        A corrupt object file (impossible via the atomic commit path,
+        but disks happen) reads as a miss, not an error — the point is
+        simply recomputed and recommitted.
+        """
+        path = self.object_path(fp)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or "row" not in payload:
+            return None
+        return payload
+
+    def put(self, fp: str, *, key: dict, row, meta: dict | None = None
+            ) -> Path:
+        """Atomically commit one point; returns the object path."""
+        payload = {
+            "schema": key.get("schema", RESULT_SCHEMA_VERSION),
+            "fingerprint": fp,
+            "key": key,
+            "row": row,
+            "meta": meta or {},
+        }
+        return atomic_write_text(self.object_path(fp),
+                                 json.dumps(payload, indent=1))
+
+    def entries(self):
+        """Every committed entry, in stable (path-sorted) order."""
+        if not self.objects_dir.is_dir():
+            return
+        for path in sorted(self.objects_dir.glob("*/*.json")):
+            entry = self.get(path.stem)
+            if entry is not None:
+                yield entry
+
+    # -- journals -----------------------------------------------------
+
+    @property
+    def journals_dir(self) -> Path:
+        return self.root / "journals"
+
+    def journal(self, sweep: str) -> Journal:
+        return Journal(self.journals_dir / f"{sweep}.jsonl")
+
+    def journals(self):
+        """``(sweep name, Journal)`` pairs for every journal on disk."""
+        if not self.journals_dir.is_dir():
+            return
+        for path in sorted(self.journals_dir.glob("*.jsonl")):
+            yield path.stem, Journal(path)
+
+    # -- maintenance --------------------------------------------------
+
+    def gc(self, *, drop_all: bool = False) -> dict:
+        """Reclaim dead state; returns removal counts.
+
+        Policy (see ``docs/runstore.md``):
+
+        * journals whose every journaled point was committed to the
+          store are finished business — removed;
+        * objects with a schema version other than the current
+          :data:`RESULT_SCHEMA_VERSION` can never be served — removed;
+        * stray ``*.tmp`` files from interrupted commits — removed;
+        * ``drop_all=True`` wipes the whole store.
+        """
+        removed = {"journals": 0, "objects": 0, "temp_files": 0}
+        if drop_all:
+            if self.root.is_dir():
+                removed["journals"] = sum(1 for _ in self.journals())
+                removed["objects"] = sum(
+                    1 for _ in self.objects_dir.glob("*/*.json"))
+                shutil.rmtree(self.root)
+            return removed
+        for _, journal in list(self.journals() or ()):
+            records = journal.replay()
+            pending = chunk_map(records)
+            journaled = {record["point"] for record in records
+                         if record.get("event") in ("chunk", "point")}
+            if not pending and (not journaled
+                                or journaled <= committed_points(records)):
+                journal.clear()
+                removed["journals"] += 1
+        if self.objects_dir.is_dir():
+            for path in sorted(self.objects_dir.glob("*/*.json")):
+                entry = self.get(path.stem)
+                if entry is None or entry.get("schema") != \
+                        RESULT_SCHEMA_VERSION:
+                    path.unlink(missing_ok=True)
+                    removed["objects"] += 1
+        if self.root.is_dir():
+            for path in self.root.rglob("*.tmp"):
+                path.unlink(missing_ok=True)
+                removed["temp_files"] += 1
+        return removed

@@ -14,25 +14,32 @@ The protocol and the per-trial keyword arguments are shipped to each
 worker exactly once, through the pool initializer — jobs carry only a
 trial index and a spawned ``SeedSequence``, so large protocols are not
 re-pickled per job.  With the ensemble engine each worker advances a
-whole sub-ensemble (one chunk of :data:`repro.sim.run._ENSEMBLE_CHUNK_TRIALS`
+whole sub-ensemble (one chunk of :data:`repro.sim.run.ENSEMBLE_CHUNK_TRIALS`
 trials) per job instead of a single trial.
+
+A worker process dying mid-map (OOM kill, interpreter abort) surfaces
+as :class:`~repro.errors.WorkerError` rather than the raw
+``BrokenProcessPool``, marking the failure as transient so sweep
+drivers — the runstore orchestrator in particular — can retry the
+batch with backoff instead of aborting the sweep.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
 
-from ..errors import InvalidParameterError
+from ..errors import InvalidParameterError, WorkerError
 from ..protocols.base import MajorityProtocol
 from .ensemble_engine import EnsembleEngine
 from .results import RunResult, TrialStats
 from .run import (
-    _ensemble_chunks,
-    _ensemble_engine_for_trials,
-    _ensemble_trial_plan,
+    ensemble_chunks,
+    ensemble_engine_for_trials,
+    ensemble_trial_plan,
     raise_unsettled,
     run_majority,
 )
@@ -89,8 +96,8 @@ def run_trials_parallel(protocol: MajorityProtocol, *, num_trials: int,
     if processes is not None and processes < 1:
         raise InvalidParameterError(
             f"processes must be >= 1, got {processes}")
-    ensemble = _ensemble_engine_for_trials(protocol, engine, num_trials,
-                                           run_kwargs)
+    ensemble = ensemble_engine_for_trials(protocol, engine, num_trials,
+                                          run_kwargs)
     if ensemble is not None:
         results = _map_ensemble_chunks(protocol, num_trials, seed,
                                        processes, run_kwargs)
@@ -114,16 +121,27 @@ def _map_single_trials(protocol, num_trials, seed, processes, engine,
     with ProcessPoolExecutor(
             max_workers=processes, initializer=_init_worker,
             initargs=(protocol, dict(run_kwargs, engine=engine))) as pool:
-        outcomes = list(pool.map(_run_one, jobs, chunksize=chunksize))
+        outcomes = _map_or_worker_error(pool, _run_one, jobs,
+                                        chunksize=chunksize)
     outcomes.sort(key=lambda pair: pair[0])
     return [result for _, result in outcomes]
 
 
+def _map_or_worker_error(pool, fn, jobs, chunksize=1):
+    """``pool.map`` with pool crashes translated to :class:`WorkerError`."""
+    try:
+        return list(pool.map(fn, jobs, chunksize=chunksize))
+    except BrokenProcessPool as crash:
+        raise WorkerError(
+            "a worker process died before returning its trials; "
+            "the batch is safe to retry") from crash
+
+
 def _map_ensemble_chunks(protocol, num_trials, seed, processes,
                          run_kwargs) -> list[RunResult]:
-    initial, expected, sim_kwargs, on_timeout = _ensemble_trial_plan(
+    initial, expected, sim_kwargs, on_timeout = ensemble_trial_plan(
         protocol, run_kwargs)
-    sizes = _ensemble_chunks(num_trials)
+    sizes = ensemble_chunks(num_trials)
     children = np.random.SeedSequence(seed).spawn(len(sizes))
     jobs = []
     start = 0
@@ -135,7 +153,7 @@ def _map_ensemble_chunks(protocol, num_trials, seed, processes,
     with ProcessPoolExecutor(
             max_workers=processes, initializer=_init_worker,
             initargs=(protocol, spec)) as pool:
-        outcomes = list(pool.map(_run_chunk, jobs))
+        outcomes = _map_or_worker_error(pool, _run_chunk, jobs)
     outcomes.sort(key=lambda pair: pair[0])
     results = [result for _, chunk in outcomes for result in chunk]
     if on_timeout == "raise":

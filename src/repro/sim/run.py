@@ -33,7 +33,8 @@ from .gillespie import ContinuousTimeEngine, NullSkippingEngine
 from .results import RunResult, TrialStats
 
 __all__ = ["make_engine", "run", "run_majority", "run_trials",
-           "ENGINE_NAMES"]
+           "ENGINE_NAMES", "ENSEMBLE_CHUNK_TRIALS", "ensemble_chunks",
+           "ensemble_engine_for_trials", "ensemble_trial_plan"]
 
 #: Engines selectable by name in the high-level API.
 ENGINE_NAMES = ("auto", "agent", "count", "null-skipping",
@@ -54,8 +55,10 @@ _ENSEMBLE_MAX_STATES = 4096
 #: bit-identical results.  Wider chunks amortize the fixed per-tick
 #: numpy dispatch cost over more trials; 128 is past the knee of the
 #: throughput curve while still splitting paper-scale trial counts
-#: into several parallelizable pieces.
-_ENSEMBLE_CHUNK_TRIALS = 128
+#: into several parallelizable pieces.  The runstore orchestrator
+#: checkpoints at exactly these boundaries, so resumed sweeps replay
+#: the same chunk plan and stay bit-identical to uninterrupted ones.
+ENSEMBLE_CHUNK_TRIALS = 128
 
 #: ``run_trials`` keyword arguments the ensemble fan-out understands.
 _ENSEMBLE_TRIAL_KWARGS = frozenset({
@@ -187,20 +190,22 @@ def _majority_initial(protocol, *, n=None, epsilon=None, count_a=None,
     return initial, expected
 
 
-def _ensemble_chunks(num_trials: int) -> list[int]:
+def ensemble_chunks(num_trials: int) -> list[int]:
     """Partition a trial batch into fixed-width sub-ensembles.
 
     The partition depends only on ``num_trials`` — never on process
-    counts — so :func:`run_trials` and
-    :func:`~repro.sim.parallel.run_trials_parallel` derive identical
-    per-chunk generators and return bit-identical results.
+    counts or how often a sweep was interrupted — so
+    :func:`run_trials`, :func:`~repro.sim.parallel.run_trials_parallel`,
+    and the checkpointing :class:`~repro.runstore.orchestrator.Orchestrator`
+    all derive identical per-chunk generators and return bit-identical
+    results.
     """
-    full, rest = divmod(num_trials, _ENSEMBLE_CHUNK_TRIALS)
-    return [_ENSEMBLE_CHUNK_TRIALS] * full + ([rest] if rest else [])
+    full, rest = divmod(num_trials, ENSEMBLE_CHUNK_TRIALS)
+    return [ENSEMBLE_CHUNK_TRIALS] * full + ([rest] if rest else [])
 
 
-def _ensemble_engine_for_trials(protocol, engine, num_trials: int,
-                                run_kwargs) -> EnsembleEngine | None:
+def ensemble_engine_for_trials(protocol, engine, num_trials: int,
+                               run_kwargs) -> EnsembleEngine | None:
     """Decide whether a trial batch should fan out through the
     ensemble engine; return the engine to use, or ``None``.
 
@@ -236,9 +241,9 @@ def _ensemble_engine_for_trials(protocol, engine, num_trials: int,
 def _run_trials_ensemble(engine: EnsembleEngine, protocol, num_trials: int,
                          root, run_kwargs) -> list[RunResult]:
     """Sequential trial fan-out through :meth:`run_ensemble`."""
-    initial, expected, sim_kwargs, on_timeout = _ensemble_trial_plan(
+    initial, expected, sim_kwargs, on_timeout = ensemble_trial_plan(
         protocol, run_kwargs)
-    sizes = _ensemble_chunks(num_trials)
+    sizes = ensemble_chunks(num_trials)
     results: list[RunResult] = []
     for size, child in zip(sizes, spawn(root, len(sizes))):
         results.extend(engine.run_ensemble(
@@ -249,7 +254,7 @@ def _run_trials_ensemble(engine: EnsembleEngine, protocol, num_trials: int,
     return results
 
 
-def _ensemble_trial_plan(protocol, run_kwargs):
+def ensemble_trial_plan(protocol, run_kwargs):
     """Split ``run_trials`` kwargs into ensemble inputs.
 
     Returns ``(initial, expected, sim_kwargs, on_timeout)`` where
@@ -297,7 +302,7 @@ def run_trials(protocol: MajorityProtocol, *, num_trials: int,
     automatically for unanimity-settling protocols with more than
     :data:`_NULL_SKIP_MAX_STATES` states when ``num_trials > 1``) the
     batch is advanced in vectorized sub-ensembles of
-    :data:`_ENSEMBLE_CHUNK_TRIALS` trials, each seeded from its own
+    :data:`ENSEMBLE_CHUNK_TRIALS` trials, each seeded from its own
     spawned child — several times faster and still exact, though the
     per-trial random streams differ from the sequential engines'.
     With ``stats=True`` the aggregated :class:`TrialStats` is returned
@@ -309,8 +314,8 @@ def run_trials(protocol: MajorityProtocol, *, num_trials: int,
     if seed is not None and rng is not None:
         raise InvalidParameterError("give seed or rng, not both")
     root = ensure_rng(seed if rng is None else rng)
-    ensemble = _ensemble_engine_for_trials(protocol, engine, num_trials,
-                                           run_kwargs)
+    ensemble = ensemble_engine_for_trials(protocol, engine, num_trials,
+                                          run_kwargs)
     if ensemble is not None:
         results = _run_trials_ensemble(ensemble, protocol, num_trials,
                                        root, run_kwargs)

@@ -68,6 +68,55 @@ def test_leader_command(capsys, tmp_path):
     assert "Leader election" in out
 
 
+def test_global_output_dir_before_subcommand(capsys, tmp_path):
+    status, out = run_cli(capsys, "--output-dir", str(tmp_path / "glob"),
+                          "figure3", "--scale", "smoke")
+    assert status == 0
+    assert (tmp_path / "glob" / "figure3_smoke.csv").exists()
+
+
+def test_output_dir_env_var(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_OUTPUT_DIR", str(tmp_path / "env"))
+    status, _ = run_cli(capsys, "figure3", "--scale", "smoke")
+    assert status == 0
+    assert (tmp_path / "env" / "figure3_smoke.csv").exists()
+
+
+def test_resume_flag_reuses_cache(capsys, tmp_path):
+    out_dir = str(tmp_path / "res")
+    status, _ = run_cli(capsys, "figure3", "--scale", "smoke",
+                        "--output-dir", out_dir)
+    assert status == 0
+    first = (tmp_path / "res" / "figure3_smoke.csv").read_bytes()
+    status, out = run_cli(capsys, "figure3", "--scale", "smoke",
+                          "--output-dir", out_dir, "--resume")
+    assert status == 0
+    assert "0 computed" in out
+    assert (tmp_path / "res" / "figure3_smoke.csv").read_bytes() == first
+
+
+def test_runs_subcommands(capsys, tmp_path):
+    out_dir = str(tmp_path / "res")
+    run_cli(capsys, "figure3", "--scale", "smoke",
+            "--output-dir", out_dir)
+
+    status, out = run_cli(capsys, "runs", "list", "--output-dir", out_dir)
+    assert status == 0
+    assert "majority" in out
+
+    status, out = run_cli(capsys, "runs", "status", "--output-dir",
+                          out_dir)
+    assert status == 0
+    assert "objects" in out
+
+    status, out = run_cli(capsys, "runs", "gc", "--output-dir", out_dir,
+                          "--all")
+    assert status == 0
+    status, out = run_cli(capsys, "runs", "list", "--output-dir", out_dir)
+    assert status == 0
+    assert "majority" not in out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["teleport"])

@@ -29,9 +29,31 @@ class TestWriteCsv:
         assert loaded[0] == {"b": "2", "a": "1"}
         assert loaded[1] == {"b": "", "a": "3"}
 
-    def test_empty_rows_rejected(self, tmp_path):
+    def test_empty_rows_without_columns_rejected(self, tmp_path):
         with pytest.raises(ExperimentError):
             write_csv(tmp_path / "out.csv", [])
+
+    def test_empty_rows_with_columns_writes_header_only(self, tmp_path):
+        path = write_csv(tmp_path / "out.csv", [], columns=("a", "b"))
+        with open(path) as handle:
+            reader = csv.DictReader(handle)
+            assert reader.fieldnames == ["a", "b"]
+            assert list(reader) == []
+
+    def test_write_is_atomic(self, tmp_path):
+        target = tmp_path / "out.csv"
+        write_csv(target, [{"a": 1}])
+        # A failed rewrite must leave the previous file intact and no
+        # temporary files behind.
+        before = target.read_bytes()
+        with pytest.raises(ExperimentError):
+            write_csv(target, [])
+        assert target.read_bytes() == before
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_no_temp_files_after_success(self, tmp_path):
+        write_csv(tmp_path / "out.csv", [{"a": 1}])
+        assert list(tmp_path.glob("*.tmp")) == []
 
 
 class TestFormatTable:

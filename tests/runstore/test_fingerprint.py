@@ -1,0 +1,96 @@
+"""Fingerprint stability: the cache contract."""
+
+import numpy as np
+import pytest
+
+from repro import AVCProtocol
+from repro.runstore.fingerprint import (
+    RESULT_SCHEMA_VERSION,
+    canonical,
+    canonical_json,
+    fingerprint,
+    majority_point_key,
+    point_key,
+)
+
+
+class TestCanonical:
+    def test_dict_insertion_order_irrelevant(self):
+        first = {"a": 1, "b": 2.5, "c": "x"}
+        second = {"c": "x", "b": 2.5, "a": 1}
+        assert canonical_json(first) == canonical_json(second)
+        assert fingerprint(first) == fingerprint(second)
+
+    def test_float_spelling_irrelevant(self):
+        # 1e-2 and 0.01 are the same float, hence the same point.
+        assert fingerprint({"eps": 1e-2}) == fingerprint({"eps": 0.01})
+        assert fingerprint({"eps": 1 / 3}) == \
+            fingerprint({"eps": 0.3333333333333333})
+
+    def test_distinct_floats_distinct(self):
+        assert fingerprint({"eps": 0.3}) != \
+            fingerprint({"eps": 0.30000000000000004})
+
+    def test_negative_zero_folded(self):
+        assert fingerprint({"x": -0.0}) == fingerprint({"x": 0.0})
+
+    def test_tuple_and_list_agree(self):
+        assert fingerprint({"xs": (1, 2, 3)}) == fingerprint({"xs": [1, 2, 3]})
+
+    def test_numpy_scalars_unboxed(self):
+        assert fingerprint({"n": np.int64(5)}) == fingerprint({"n": 5})
+        assert fingerprint({"x": np.float64(0.5)}) == \
+            fingerprint({"x": 0.5})
+
+    def test_nested_normalization(self):
+        assert canonical({"outer": {"b": (np.int64(1),), "a": -0.0}}) == \
+            {"outer": {"b": [1], "a": 0.0}}
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            fingerprint({"x": float("nan")})
+
+    def test_unhashable_type_rejected(self):
+        with pytest.raises(TypeError):
+            canonical({"x": object()})
+
+
+class TestPointKeys:
+    def test_identical_protocol_instances_share_address(self):
+        a = majority_point_key(AVCProtocol(m=15, d=1), n=101,
+                               epsilon=1 / 101, trials=5, seed=7)
+        b = majority_point_key(AVCProtocol(m=15, d=1), n=101,
+                               epsilon=1 / 101, trials=5, seed=7)
+        assert fingerprint(a) == fingerprint(b)
+
+    @pytest.mark.parametrize("change", [
+        {"seed": 8}, {"trials": 6}, {"engine": "count"}, {"n": 103},
+        {"epsilon": 2 / 101}, {"max_parallel_time": 10.0},
+    ])
+    def test_any_input_change_changes_address(self, change):
+        base = dict(n=101, epsilon=1 / 101, trials=5, seed=7,
+                    engine="auto")
+        protocol = AVCProtocol(m=15, d=1)
+        baseline = fingerprint(majority_point_key(protocol, **base))
+        changed = fingerprint(majority_point_key(protocol,
+                                                 **{**base, **change}))
+        assert changed != baseline
+
+    def test_protocol_parameters_enter_the_key(self):
+        base = dict(n=101, epsilon=1 / 101, trials=5, seed=7)
+        assert fingerprint(majority_point_key(AVCProtocol(m=15, d=1),
+                                              **base)) != \
+            fingerprint(majority_point_key(AVCProtocol(m=15, d=2),
+                                           **base))
+
+    def test_schema_version_embedded(self):
+        key = majority_point_key(AVCProtocol(m=15, d=1), n=101,
+                                 epsilon=1 / 101, trials=5, seed=7)
+        assert key["schema"] == RESULT_SCHEMA_VERSION
+        assert point_key("phases", {"n": 101})["schema"] == \
+            RESULT_SCHEMA_VERSION
+
+    def test_fingerprint_is_hex_sha256(self):
+        fp = fingerprint({"anything": 1})
+        assert len(fp) == 64
+        int(fp, 16)  # raises if not hex

@@ -1,0 +1,70 @@
+"""Journal crash-safety: every replayed prefix is consistent."""
+
+import json
+
+from repro.runstore.journal import Journal, chunk_map, committed_points
+
+
+def test_append_replay_roundtrip(tmp_path):
+    journal = Journal(tmp_path / "sweep.jsonl")
+    records = [{"event": "begin", "sweep": "s"},
+               {"event": "chunk", "point": "ab", "index": 0,
+                "results": [{"steps": 1}]},
+               {"event": "point", "point": "ab"}]
+    for record in records:
+        journal.append(record)
+    assert journal.replay() == records
+
+
+def test_replay_missing_file_is_empty(tmp_path):
+    assert Journal(tmp_path / "absent.jsonl").replay() == []
+
+
+def test_torn_tail_line_ignored(tmp_path):
+    journal = Journal(tmp_path / "sweep.jsonl")
+    journal.append({"event": "chunk", "point": "ab", "index": 0,
+                    "results": []})
+    # Simulate a crash mid-append: a partial record with no newline.
+    with open(journal.path, "a") as handle:
+        handle.write('{"event": "chunk", "point": "ab", "ind')
+    assert journal.replay() == [{"event": "chunk", "point": "ab",
+                                 "index": 0, "results": []}]
+
+
+def test_corrupt_line_truncates_replay(tmp_path):
+    journal = Journal(tmp_path / "sweep.jsonl")
+    good = {"event": "point", "point": "ab"}
+    journal.append(good)
+    with open(journal.path, "a") as handle:
+        handle.write("not json at all\n")
+    journal.append({"event": "point", "point": "cd"})
+    # The record after the corruption is unreachable: consistent prefix.
+    assert journal.replay() == [good]
+
+
+def test_clear_removes_file(tmp_path):
+    journal = Journal(tmp_path / "sweep.jsonl")
+    journal.append({"event": "begin"})
+    assert journal.exists()
+    journal.clear()
+    assert not journal.exists()
+    journal.clear()  # idempotent
+
+
+def test_chunk_map_drops_committed_points(tmp_path):
+    records = [
+        {"event": "chunk", "point": "aa", "index": 0, "results": [1]},
+        {"event": "chunk", "point": "aa", "index": 1, "results": [2]},
+        {"event": "chunk", "point": "bb", "index": 0, "results": [3]},
+        {"event": "point", "point": "aa"},
+    ]
+    assert chunk_map(records) == {"bb": {0: [3]}}
+    assert committed_points(records) == {"aa"}
+
+
+def test_records_are_single_lines(tmp_path):
+    journal = Journal(tmp_path / "sweep.jsonl")
+    journal.append({"event": "chunk", "results": [{"a": 1}, {"b": 2}]})
+    lines = journal.path.read_text().splitlines()
+    assert len(lines) == 1
+    assert json.loads(lines[0])["event"] == "chunk"

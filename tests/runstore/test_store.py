@@ -1,0 +1,128 @@
+"""Content-addressed store: atomic commits, lookup, gc policy."""
+
+import json
+
+from repro.runstore.fingerprint import RESULT_SCHEMA_VERSION, fingerprint
+from repro.runstore.store import RunStore, atomic_write_text
+
+
+def _key(**overrides):
+    key = {"schema": RESULT_SCHEMA_VERSION, "kind": "test", "n": 11}
+    key.update(overrides)
+    return key
+
+
+def _commit(store, **overrides):
+    key = _key(**overrides)
+    fp = fingerprint(key)
+    store.put(fp, key=key, row={"n": key["n"], "value": 1.5},
+              meta={"wall_seconds": 0.1})
+    return fp
+
+
+class TestObjects:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = RunStore(tmp_path / ".runstore")
+        fp = _commit(store)
+        entry = store.get(fp)
+        assert entry["fingerprint"] == fp
+        assert entry["row"] == {"n": 11, "value": 1.5}
+        assert entry["meta"]["wall_seconds"] == 0.1
+        assert entry["schema"] == RESULT_SCHEMA_VERSION
+        assert fp in store
+
+    def test_miss_returns_none(self, tmp_path):
+        store = RunStore(tmp_path / ".runstore")
+        assert store.get("ab" * 32) is None
+        assert "ab" * 32 not in store
+
+    def test_commit_leaves_no_temp_files(self, tmp_path):
+        store = RunStore(tmp_path / ".runstore")
+        _commit(store)
+        assert list((tmp_path / ".runstore").rglob("*.tmp")) == []
+
+    def test_corrupt_object_reads_as_miss(self, tmp_path):
+        store = RunStore(tmp_path / ".runstore")
+        fp = _commit(store)
+        store.object_path(fp).write_text("{ truncated")
+        assert store.get(fp) is None
+
+    def test_entries_enumerates_all(self, tmp_path):
+        store = RunStore(tmp_path / ".runstore")
+        fps = {_commit(store, n=n) for n in (11, 21, 31)}
+        assert {entry["fingerprint"] for entry in store.entries()} == fps
+
+    def test_atomic_write_cleans_up_on_failure(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        try:
+            atomic_write_text(target, 12345)  # not a str: write() raises
+        except TypeError:
+            pass
+        assert target.read_text() == "old"
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestGc:
+    def test_gc_drops_stale_schema_objects(self, tmp_path):
+        store = RunStore(tmp_path / ".runstore")
+        current = _commit(store)
+        old_key = _key(schema=RESULT_SCHEMA_VERSION - 1, n=99)
+        old_fp = fingerprint(old_key)
+        store.put(old_fp, key=old_key, row={})
+        removed = store.gc()
+        assert removed["objects"] == 1
+        assert store.get(current) is not None
+        assert store.get(old_fp) is None
+
+    def test_gc_keeps_in_flight_journals(self, tmp_path):
+        store = RunStore(tmp_path / ".runstore")
+        pending = store.journal("interrupted")
+        pending.append({"event": "chunk", "point": "aa", "index": 0,
+                        "results": []})
+        finished = store.journal("finished")
+        finished.append({"event": "chunk", "point": "bb", "index": 0,
+                         "results": []})
+        finished.append({"event": "point", "point": "bb"})
+        removed = store.gc()
+        assert removed["journals"] == 1
+        assert pending.exists()
+        assert not finished.exists()
+
+    def test_gc_removes_stray_temp_files(self, tmp_path):
+        store = RunStore(tmp_path / ".runstore")
+        fp = _commit(store)
+        stray = store.object_path(fp).with_name("half-commit.tmp")
+        stray.write_text("partial")
+        assert store.gc()["temp_files"] == 1
+        assert not stray.exists()
+
+    def test_gc_drop_all_wipes_store(self, tmp_path):
+        store = RunStore(tmp_path / ".runstore")
+        _commit(store)
+        store.journal("sweep").append({"event": "begin"})
+        removed = store.gc(drop_all=True)
+        assert removed["objects"] == 1
+        assert removed["journals"] == 1
+        assert not (tmp_path / ".runstore").exists()
+
+    def test_gc_on_empty_store_is_safe(self, tmp_path):
+        store = RunStore(tmp_path / ".runstore")
+        assert store.gc() == {"journals": 0, "objects": 0,
+                              "temp_files": 0}
+        assert store.gc(drop_all=True)["objects"] == 0
+
+
+def test_for_output_dir_respects_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_OUTPUT_DIR", str(tmp_path / "alt"))
+    store = RunStore.for_output_dir()
+    assert store.root == tmp_path / "alt" / ".runstore"
+    explicit = RunStore.for_output_dir(tmp_path / "given")
+    assert explicit.root == tmp_path / "given" / ".runstore"
+
+
+def test_store_entry_is_valid_json_on_disk(tmp_path):
+    store = RunStore(tmp_path / ".runstore")
+    fp = _commit(store)
+    payload = json.loads(store.object_path(fp).read_text())
+    assert payload["key"]["kind"] == "test"

@@ -52,10 +52,10 @@ class TestRunTrialsParallel:
         bit-identical — including across a chunk boundary."""
         from repro import AVCProtocol
 
-        from repro.sim.run import _ENSEMBLE_CHUNK_TRIALS
+        from repro.sim.run import ENSEMBLE_CHUNK_TRIALS
 
         protocol = AVCProtocol.with_num_states(18)
-        trials = _ENSEMBLE_CHUNK_TRIALS + 22  # force >1 chunk
+        trials = ENSEMBLE_CHUNK_TRIALS + 22  # force >1 chunk
         kwargs = dict(n=41, epsilon=5 / 41, engine="ensemble")
         sequential = run_trials(protocol, num_trials=trials, seed=7,
                                 **kwargs)
