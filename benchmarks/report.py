@@ -16,6 +16,13 @@ By default the count engine runs a 10-trial slice of the workload
 is what the trajectory tracks, and that does not depend on the trial
 count).  ``--full`` runs all engines on the complete 100-trial
 workload for an apples-to-apples wall-time comparison.
+
+Each engine record carries telemetry-sourced fields alongside wall
+seconds: ``interactions`` (cross-checked against the in-memory sink's
+``engine.interactions`` counter), ``productive_interactions``, and
+``cache_hit_ratio`` (``runstore.cache.hit`` over all lookups — null
+here, where the workload drives engines directly, but populated for
+any future measurement routed through the runstore orchestrator).
 """
 
 import argparse
@@ -28,7 +35,8 @@ import time
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from repro import AVCProtocol  # noqa: E402
-from repro.sim.run import ENGINE_NAMES, run_trials  # noqa: E402
+from repro.sim.run import ENGINE_NAMES, RunSpec, simulate  # noqa: E402
+from repro.telemetry import InMemorySink, Telemetry  # noqa: E402
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_engines.json"
@@ -48,21 +56,33 @@ QUICK_TRIALS = {"ensemble": 100, "batch": 100, "count": 10}
 def measure(engine: str, trials: int) -> dict:
     protocol = AVCProtocol.with_num_states(WORKLOAD["num_states"])
     n = WORKLOAD["n"]
-    started = time.perf_counter()
-    results = run_trials(
+    sink = InMemorySink()
+    spec = RunSpec(
         protocol,
         num_trials=trials,
         seed=WORKLOAD["seed"],
         n=n,
         epsilon=WORKLOAD["epsilon_numerator"] / n,
         engine=engine,
+        telemetry=Telemetry([sink]),
     )
+    started = time.perf_counter()
+    results = simulate(spec)
     seconds = time.perf_counter() - started
     interactions = sum(r.steps for r in results)
+    counted = int(sink.total("engine.interactions"))
+    if counted != interactions:
+        raise AssertionError(
+            f"telemetry counted {counted} interactions but results "
+            f"sum to {interactions}")
+    hits = sink.total("runstore.cache.hit")
+    lookups = hits + sink.total("runstore.cache.miss")
     return {
         "trials": trials,
         "settled": sum(r.settled for r in results),
         "interactions": interactions,
+        "productive_interactions": int(sink.total("engine.productive")),
+        "cache_hit_ratio": round(hits / lookups, 3) if lookups else None,
         "seconds": round(seconds, 3),
         "interactions_per_second": round(interactions / seconds, 1),
     }

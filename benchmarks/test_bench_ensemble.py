@@ -17,7 +17,7 @@ import time
 import pytest
 
 from repro import AVCProtocol
-from repro.sim.run import run_trials
+from repro.sim.run import RunSpec, run_trials
 
 #: The sweep-point workload: AVC with the Figure 4 mid-size state
 #: count, margin ~1% (the acceptance workload of the ensemble-engine
@@ -27,9 +27,10 @@ TRIALS = {1_001: 40, 10_001: 25}
 
 
 def sweep_point(n, engine, trials):
-    results = run_trials(
+    results = run_trials(RunSpec(
         AVCProtocol.with_num_states(NUM_STATES),
-        num_trials=trials, seed=12, n=n, epsilon=101 / n, engine=engine)
+        num_trials=trials, seed=12, n=n, epsilon=101 / n,
+        engine=engine))
     interactions = sum(r.steps for r in results)
     assert all(r.settled for r in results)
     return interactions

@@ -18,7 +18,7 @@ Run:  python examples/composed_computation.py [--agents N]
 
 import argparse
 
-from repro import PairwiseLeaderElection, ProductProtocol, \
+from repro import PairwiseLeaderElection, ProductProtocol, RunSpec, \
     ThreeStateProtocol, run
 from repro.sim import CountEngine
 
@@ -41,7 +41,7 @@ def main() -> int:
     counts = product.pair_counts(
         majority.initial_counts(count_a, n - count_a),
         leader.initial_counts(n), rng=args.seed)
-    result = run(product, counts, seed=args.seed + 1)
+    result = run(RunSpec(product, initial=counts, seed=args.seed + 1))
     assert result.settled
 
     majority_marginal = product._marginal(result.final_counts, 0)

@@ -20,7 +20,7 @@ import argparse
 
 import numpy as np
 
-from repro import ThreeStateProtocol, run, run_trials
+from repro import RunSpec, ThreeStateProtocol, run, run_trials
 from repro.analysis import solve_three_state, three_state_error_probability
 from repro.sim import TrajectoryRecorder
 
@@ -29,8 +29,9 @@ def show_trajectory(n: int, fraction_a: float, seed: int) -> None:
     protocol = ThreeStateProtocol()
     recorder = TrajectoryRecorder(interval_steps=max(1, n // 2))
     count_a = int(round(fraction_a * n))
-    result = run(protocol, {"A": count_a, "B": n - count_a}, seed=seed,
-                 recorder=recorder)
+    result = run(RunSpec(protocol,
+                         initial={"A": count_a, "B": n - count_a},
+                         seed=seed, recorder=recorder))
     steps, matrix = recorder.as_matrix()
     ode = solve_three_state(count_a / n, (n - count_a) / n,
                             t_max=float(steps[-1]) / n + 1.0)
@@ -64,8 +65,10 @@ def main() -> int:
     print("\n=== Flip probability vs the [PVV09] bound ===")
     for count_a in (int(0.51 * n), int(0.55 * n), int(0.6 * n)):
         epsilon = (2 * count_a - n) / n
-        stats = run_trials(protocol, num_trials=40, seed=args.seed + count_a,
-                           stats=True, count_a=count_a, count_b=n - count_a)
+        stats = run_trials(RunSpec(protocol, num_trials=40,
+                                   seed=args.seed + count_a,
+                                   count_a=count_a,
+                                   count_b=n - count_a), stats=True)
         bound = three_state_error_probability(n, epsilon)
         print(f"  eps={epsilon:.3f}: observed flip fraction "
               f"{stats.error_fraction:.3f}, KL bound {bound:.3f}")

@@ -17,7 +17,7 @@ Run:  python examples/lower_bound_tour.py
 import argparse
 import math
 
-from repro import run_trials
+from repro import RunSpec, run_trials
 from repro.lowerbounds import (
     check_candidate,
     conserved_potential,
@@ -62,8 +62,9 @@ def part_one(seed: int) -> None:
     protocol = paper.to_protocol()
     for n in (25, 75, 225):
         epsilon = 5 / n
-        stats = run_trials(protocol, num_trials=20, seed=seed, stats=True,
-                           n=n, epsilon=epsilon)
+        stats = run_trials(RunSpec(protocol, num_trials=20, seed=seed,
+                                   n=n, epsilon=epsilon),
+                           stats=True)
         print(f"  1/eps={1 / epsilon:>5.0f}: mean parallel time "
               f"{stats.mean_parallel_time:>8.1f} (error "
               f"{stats.error_fraction:.2f})")

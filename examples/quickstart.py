@@ -11,7 +11,7 @@ Run:  python examples/quickstart.py [--seed SEED]
 
 import argparse
 
-from repro import AVCProtocol, FourStateProtocol, run_majority
+from repro import AVCProtocol, FourStateProtocol, RunSpec, run_majority
 from repro.analysis import avc_time_bound, four_state_time_bound
 
 
@@ -29,15 +29,16 @@ def main() -> int:
           f"({round(epsilon * n)} agents)")
     print(f"protocol: {protocol.name} with s={protocol.num_states} states")
 
-    result = run_majority(protocol, n=n, epsilon=epsilon, seed=args.seed)
+    result = run_majority(RunSpec(protocol, n=n, epsilon=epsilon,
+                                  seed=args.seed))
     print(f"\nAVC     : decided {'A' if result.decision else 'B'} "
           f"(correct={result.correct}) in {result.parallel_time:.1f} "
           f"parallel time ({result.steps} interactions)")
     print(f"          Theorem 4.1 bound (constant=1): "
           f"{avc_time_bound(n, protocol.num_states, epsilon):.1f}")
 
-    baseline = run_majority(FourStateProtocol(), n=n, epsilon=epsilon,
-                            seed=args.seed)
+    baseline = run_majority(RunSpec(FourStateProtocol(), n=n,
+                                    epsilon=epsilon, seed=args.seed))
     print(f"4-state : decided {'A' if baseline.decision else 'B'} "
           f"(correct={baseline.correct}) in "
           f"{baseline.parallel_time:.1f} parallel time")

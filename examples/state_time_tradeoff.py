@@ -16,8 +16,8 @@ Run:  python examples/state_time_tradeoff.py [--seed SEED] [--trials T]
 
 import argparse
 
-from repro import AVCProtocol, FourStateProtocol, ThreeStateProtocol, \
-    run_trials
+from repro import AVCProtocol, FourStateProtocol, RunSpec, \
+    ThreeStateProtocol, run_trials
 from repro.analysis import three_state_error_probability
 
 
@@ -37,23 +37,26 @@ def main() -> int:
     print(header)
     print("-" * len(header))
 
-    stats = run_trials(ThreeStateProtocol(), num_trials=args.trials,
-                       seed=args.seed, stats=True, n=n, epsilon=epsilon)
+    stats = run_trials(RunSpec(ThreeStateProtocol(),
+                               num_trials=args.trials, seed=args.seed,
+                               n=n, epsilon=epsilon), stats=True)
     predicted = three_state_error_probability(n, epsilon)
     print(f"{'three-state':>16} {3:>6} {stats.mean_parallel_time:>10.1f} "
           f"{stats.error_fraction:>7.2f}  approximate "
           f"(PVV09 bound {predicted:.2f})")
 
-    stats = run_trials(FourStateProtocol(), num_trials=args.trials,
-                       seed=args.seed + 1, stats=True, n=n, epsilon=epsilon)
+    stats = run_trials(RunSpec(FourStateProtocol(),
+                               num_trials=args.trials,
+                               seed=args.seed + 1, n=n,
+                               epsilon=epsilon), stats=True)
     print(f"{'four-state':>16} {4:>6} {stats.mean_parallel_time:>10.1f} "
           f"{stats.error_fraction:>7.2f}  exact, Theta(n) at eps=1/n")
 
     for s in (8, 16, 32, 64, 128, 256, 512, 1024):
         protocol = AVCProtocol.with_num_states(s)
-        stats = run_trials(protocol, num_trials=args.trials,
-                           seed=args.seed + s, stats=True,
-                           n=n, epsilon=epsilon)
+        stats = run_trials(RunSpec(protocol, num_trials=args.trials,
+                                   seed=args.seed + s, n=n,
+                                   epsilon=epsilon), stats=True)
         print(f"{'AVC':>16} {s:>6} {stats.mean_parallel_time:>10.1f} "
               f"{stats.error_fraction:>7.2f}  exact")
     print("\nEvery AVC row has error 0.00: memory buys speed, "

@@ -21,10 +21,11 @@ The package provides:
 
 Quickstart::
 
-    from repro import AVCProtocol, run_majority
+    from repro import AVCProtocol, RunSpec, run_majority
 
     protocol = AVCProtocol.with_num_states(s=64)
-    result = run_majority(protocol, n=10_001, epsilon=1 / 10_001, seed=0)
+    spec = RunSpec(protocol, n=10_001, epsilon=1 / 10_001, seed=0)
+    result = run_majority(spec)
     print(result.parallel_time, result.correct)
 """
 
@@ -77,10 +78,12 @@ from .sim import (
     EnsembleEngine,
     NullSkippingEngine,
     RunResult,
+    RunSpec,
     run,
     run_majority,
     run_trials,
     run_trials_parallel,
+    simulate,
 )
 
 __version__ = "1.0.0"
@@ -116,6 +119,8 @@ __all__ = [
     "ContinuousTimeEngine",
     "BatchEngine",
     "RunResult",
+    "RunSpec",
+    "simulate",
     "run",
     "run_majority",
     "run_trials",

@@ -19,7 +19,13 @@ from ..core.avc import AVCProtocol
 from ..runstore import Orchestrator
 from .config import Scale, resolve_scale
 from .io import format_table, write_csv
-from .runner import add_sweep_arguments, finish_sweep, sweep_orchestrator
+from .runner import (
+    add_sweep_arguments,
+    add_telemetry_arguments,
+    finish_sweep,
+    sweep_orchestrator,
+    telemetry_session,
+)
 
 __all__ = ["ablation_d_rows", "main"]
 
@@ -55,9 +61,15 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", default=None)
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     add_sweep_arguments(parser)
+    add_telemetry_arguments(parser)
     args = parser.parse_args(argv)
 
     scale = resolve_scale(args.scale)
+    with telemetry_session(args, session=f"ablation_d_{scale.name}"):
+        return _run_sweep(args, scale)
+
+
+def _run_sweep(args, scale: Scale) -> int:
     progress = lambda msg: print(f"  [{msg}]", flush=True)  # noqa: E731
     orchestrator, output_dir = sweep_orchestrator(
         f"ablation_d_{scale.name}", args, progress=progress)

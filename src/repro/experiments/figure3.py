@@ -41,7 +41,13 @@ from ..runstore import Orchestrator, RunStore
 from .config import Scale, resolve_scale
 from .io import format_table, write_csv
 from .plotting import ascii_chart
-from .runner import add_sweep_arguments, finish_sweep, sweep_orchestrator
+from .runner import (
+    add_sweep_arguments,
+    add_telemetry_arguments,
+    finish_sweep,
+    sweep_orchestrator,
+    telemetry_session,
+)
 
 __all__ = ["avc_n_state", "figure3_rows", "main"]
 
@@ -107,31 +113,35 @@ def main(argv=None) -> int:
                         choices=("ensemble", "count", "batch", "agent"),
                         help="engine for the n-state AVC runs")
     add_sweep_arguments(parser)
+    add_telemetry_arguments(parser)
     args = parser.parse_args(argv)
 
     scale = resolve_scale(args.scale)
     progress = lambda msg: print(f"  [{msg}]", flush=True)  # noqa: E731
-    orchestrator, output_dir = sweep_orchestrator(
-        f"figure3_{scale.name}", args, progress=progress)
-    rows = figure3_rows(scale, seed=args.seed, avc_engine=args.avc_engine,
-                        progress=progress, orchestrator=orchestrator)
-    columns = ("n", "protocol", "mean_parallel_time", "error_fraction",
-               "std_parallel_time", "trials", "settled_fraction",
-               "engine")
-    print(format_table(rows, columns=columns,
-                       title=f"Figure 3 (scale={scale.name}, eps=1/n)"))
-    series: dict[str, list[tuple[float, float]]] = {}
-    for row in rows:
-        kind = row["protocol"].split("(")[0]
-        series.setdefault(kind, []).append(
-            (row["n"], row["mean_parallel_time"]))
-    print()
-    print(ascii_chart(series, title="Figure 3 (left): parallel "
-                                    "convergence time vs n",
-                      x_label="n", y_label="time"))
-    path = write_csv(f"{output_dir}/figure3_{scale.name}.csv", rows)
-    print(f"\nwrote {path}")
-    print(finish_sweep(orchestrator))
+    with telemetry_session(args, session=f"figure3_{scale.name}"):
+        orchestrator, output_dir = sweep_orchestrator(
+            f"figure3_{scale.name}", args, progress=progress)
+        rows = figure3_rows(scale, seed=args.seed,
+                            avc_engine=args.avc_engine,
+                            progress=progress, orchestrator=orchestrator)
+        columns = ("n", "protocol", "mean_parallel_time",
+                   "error_fraction", "std_parallel_time", "trials",
+                   "settled_fraction", "engine")
+        print(format_table(rows, columns=columns,
+                           title=f"Figure 3 (scale={scale.name}, "
+                                 f"eps=1/n)"))
+        series: dict[str, list[tuple[float, float]]] = {}
+        for row in rows:
+            kind = row["protocol"].split("(")[0]
+            series.setdefault(kind, []).append(
+                (row["n"], row["mean_parallel_time"]))
+        print()
+        print(ascii_chart(series, title="Figure 3 (left): parallel "
+                                        "convergence time vs n",
+                          x_label="n", y_label="time"))
+        path = write_csv(f"{output_dir}/figure3_{scale.name}.csv", rows)
+        print(f"\nwrote {path}")
+        print(finish_sweep(orchestrator))
     return 0
 
 

@@ -28,7 +28,13 @@ from ..runstore import Orchestrator
 from .config import Scale, resolve_scale
 from .io import format_table, write_csv
 from .plotting import ascii_chart
-from .runner import add_sweep_arguments, finish_sweep, sweep_orchestrator
+from .runner import (
+    add_sweep_arguments,
+    add_telemetry_arguments,
+    finish_sweep,
+    sweep_orchestrator,
+    telemetry_session,
+)
 
 __all__ = ["margin_advantages", "figure4_rows", "main"]
 
@@ -95,9 +101,15 @@ def main(argv=None) -> int:
                              "at once (exact); batch trades exactness "
                              "for speed at paper scale")
     add_sweep_arguments(parser)
+    add_telemetry_arguments(parser)
     args = parser.parse_args(argv)
 
     scale = resolve_scale(args.scale)
+    with telemetry_session(args, session=f"figure4_{scale.name}"):
+        return _run_sweep(args, scale)
+
+
+def _run_sweep(args, scale: Scale) -> int:
     progress = lambda msg: print(f"  [{msg}]", flush=True)  # noqa: E731
     orchestrator, output_dir = sweep_orchestrator(
         f"figure4_{scale.name}", args, progress=progress)

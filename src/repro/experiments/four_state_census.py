@@ -27,9 +27,10 @@ from ..lowerbounds.four_state_search import (
     paper_four_state_candidate,
     run_census,
 )
-from ..sim.run import run_trials
+from ..sim.run import RunSpec, simulate
 from .config import Scale, resolve_scale
 from .io import default_output_dir, format_table, write_csv
+from .runner import add_telemetry_arguments, telemetry_session
 
 __all__ = ["census_summary", "scaling_rows", "main"]
 
@@ -61,9 +62,11 @@ def scaling_rows(scale: Scale, *, seed: int = DEFAULT_SEED) -> list[dict]:
     rows = []
     for index, n in enumerate(scale.census_scaling_populations):
         epsilon = 5 / n if n >= 10 else 1 / n
-        stats = run_trials(protocol, num_trials=scale.census_scaling_trials,
-                           seed=seed + index, stats=True, n=n,
-                           epsilon=epsilon)
+        stats = simulate(
+            RunSpec(protocol, n=n, epsilon=epsilon,
+                    num_trials=scale.census_scaling_trials,
+                    seed=seed + index),
+            stats=True)
         rows.append({
             "n": n,
             "epsilon": epsilon,
@@ -83,10 +86,16 @@ def main(argv=None) -> int:
     parser.add_argument("--output-dir", default=None)
     parser.add_argument("--show-survivors", action="store_true",
                         help="print every surviving rule set")
+    add_telemetry_arguments(parser)
     args = parser.parse_args(argv)
 
     scale = resolve_scale(args.scale)
+    with telemetry_session(args, session=f"four_state_census_"
+                                         f"{scale.name}"):
+        return _run_sweep(args, scale)
 
+
+def _run_sweep(args, scale: Scale) -> int:
     def progress(count):
         print(f"  [census: {count} candidates checked]", flush=True)
 

@@ -27,6 +27,7 @@ from ..sim.results import TrialStats
 from ..sim.run import make_engine
 from .config import Scale, resolve_scale
 from .io import default_output_dir, format_table, write_csv
+from .runner import add_telemetry_arguments, telemetry_session
 
 __all__ = ["leader_rows", "main"]
 
@@ -69,9 +70,15 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", default=None)
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     parser.add_argument("--output-dir", default=None)
+    add_telemetry_arguments(parser)
     args = parser.parse_args(argv)
 
     scale = resolve_scale(args.scale)
+    with telemetry_session(args, session=f"leader_{scale.name}"):
+        return _run_sweep(args, scale)
+
+
+def _run_sweep(args, scale: Scale) -> int:
     rows = leader_rows(scale, seed=args.seed,
                        progress=lambda msg: print(f"  [{msg}]",
                                                   flush=True))

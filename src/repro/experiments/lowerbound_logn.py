@@ -19,6 +19,7 @@ from ..lowerbounds.info_propagation import (
 from ..rng import spawn_many
 from .config import Scale, resolve_scale
 from .io import default_output_dir, format_table, write_csv
+from .runner import add_telemetry_arguments, telemetry_session
 
 __all__ = ["propagation_rows", "main"]
 
@@ -54,9 +55,16 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", default=None)
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     parser.add_argument("--output-dir", default=None)
+    add_telemetry_arguments(parser)
     args = parser.parse_args(argv)
 
     scale = resolve_scale(args.scale)
+    with telemetry_session(args, session=f"info_propagation_"
+                                         f"{scale.name}"):
+        return _run_sweep(args, scale)
+
+
+def _run_sweep(args, scale: Scale) -> int:
     rows = propagation_rows(scale, seed=args.seed)
     print(format_table(
         rows, title=f"Information propagation / Omega(log n) "

@@ -23,10 +23,16 @@ from ..runstore import Orchestrator
 from ..serialize import protocol_to_dict
 from ..sim.observers import RuleCensus, avc_rule_classifier
 from ..sim.record import TrajectoryRecorder
-from ..sim.run import run_majority
+from ..sim.run import RunSpec, run_majority
 from .config import Scale, resolve_scale
 from .io import format_table, write_csv
-from .runner import add_sweep_arguments, finish_sweep, sweep_orchestrator
+from .runner import (
+    add_sweep_arguments,
+    add_telemetry_arguments,
+    finish_sweep,
+    sweep_orchestrator,
+    telemetry_session,
+)
 
 __all__ = ["phase_rows", "main"]
 
@@ -38,9 +44,10 @@ def _compute_phase_rows(protocol: AVCProtocol, n: int,
     """The recorded run + trajectory analysis behind :func:`phase_rows`."""
     recorder = TrajectoryRecorder(interval_steps=max(1, n // 10))
     census = RuleCensus(avc_rule_classifier(protocol))
-    result = run_majority(protocol, n=n, epsilon=1.0 / n, seed=seed,
-                          engine="count", recorder=recorder,
-                          event_observer=census)
+    result = run_majority(RunSpec(protocol, n=n, epsilon=1.0 / n,
+                                  seed=seed, engine="count",
+                                  recorder=recorder,
+                                  event_observer=census))
     steps, matrix = recorder.as_matrix()
     trajectory = analyze_avc_trajectory(protocol, steps, matrix)
     assert trajectory.sum_invariant_holds
@@ -90,9 +97,15 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", default=None)
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     add_sweep_arguments(parser)
+    add_telemetry_arguments(parser)
     args = parser.parse_args(argv)
 
     scale = resolve_scale(args.scale)
+    with telemetry_session(args, session=f"phases_{scale.name}"):
+        return _run_sweep(args, scale)
+
+
+def _run_sweep(args, scale: Scale) -> int:
     orchestrator, output_dir = sweep_orchestrator(
         f"phases_{scale.name}", args,
         progress=lambda msg: print(f"  [{msg}]", flush=True))

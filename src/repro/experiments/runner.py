@@ -1,10 +1,11 @@
 """Shared sweep machinery for the experiment modules.
 
-Every sweep point funnels through :func:`repro.sim.run.run_trials`,
-so trial fan-out inherits its engine routing: ``engine="ensemble"``
-(or an eligible ``"auto"`` resolution) advances all trials of the
-point simultaneously on the vectorized ensemble engine instead of
-looping the single-run engines trial by trial.
+Every sweep point funnels through a :class:`~repro.sim.run.RunSpec`
+and :func:`repro.sim.run.simulate`, so trial fan-out inherits its
+engine routing: ``engine="ensemble"`` (or an eligible ``"auto"``
+resolution) advances all trials of the point simultaneously on the
+vectorized ensemble engine instead of looping the single-run engines
+trial by trial.
 
 The experiment ``main``s run their sweeps through a
 :class:`~repro.runstore.Orchestrator` built by
@@ -13,19 +14,30 @@ content-addressed run store under ``<output-dir>/.runstore/`` and a
 re-invocation with unchanged parameters never re-enters a simulation
 engine; ``--resume`` additionally replays mid-point chunk checkpoints
 left by an interrupted sweep.
+
+Telemetry: every sweep ``main`` also accepts ``--telemetry`` (print
+an end-of-run metrics summary) and ``--trace-file PATH`` (write the
+raw JSONL trace).  :func:`telemetry_session` activates the ambient
+:class:`~repro.telemetry.Telemetry` for the sweep body, so engines,
+the trial fan-out, and the orchestrator's cache/journal machinery all
+report without any explicit threading.
 """
 
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 
 from ..protocols.base import MajorityProtocol
 from ..runstore import Orchestrator, RunStore
 from ..sim.results import TrialStats
-from ..sim.run import run_trials
+from ..sim.run import RunSpec, simulate
+from ..telemetry import JsonlTraceSink, SummarySink, Telemetry
+from ..telemetry.context import activate, deactivate
 from .io import default_output_dir
 
 __all__ = ["measure_majority_point", "add_sweep_arguments",
+           "add_telemetry_arguments", "telemetry_session",
            "sweep_orchestrator", "finish_sweep"]
 
 
@@ -42,11 +54,11 @@ def measure_majority_point(protocol: MajorityProtocol, *, n: int,
     columns (protocol, engine, trial count, wall time).
     """
     started = time.perf_counter()
-    stats: TrialStats = run_trials(
-        protocol, num_trials=trials, seed=seed, stats=True,
-        n=n, epsilon=epsilon, engine=engine,
-        max_parallel_time=max_parallel_time,
-        batch_fraction=batch_fraction)
+    spec = RunSpec(protocol, n=n, epsilon=epsilon, num_trials=trials,
+                   seed=seed, engine=engine,
+                   max_parallel_time=max_parallel_time,
+                   batch_fraction=batch_fraction)
+    stats: TrialStats = simulate(spec, stats=True)
     elapsed = time.perf_counter() - started
     return {
         "protocol": protocol.name,
@@ -75,6 +87,50 @@ def add_sweep_arguments(parser) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="recompute every point even when the run "
                              "store already holds it")
+
+
+def add_telemetry_arguments(parser) -> None:
+    """The telemetry flags every sweep ``main`` shares."""
+    parser.add_argument("--telemetry", action="store_true",
+                        help="collect engine/runstore metrics and print "
+                             "a summary when the sweep finishes")
+    parser.add_argument("--trace-file", default=None, metavar="PATH",
+                        help="write the raw telemetry records as a JSONL "
+                             "trace to PATH (implies --telemetry; "
+                             "validate with 'python -m repro.telemetry')")
+
+
+@contextmanager
+def telemetry_session(args, *, session: str = "sweep"):
+    """Activate ambient telemetry for a sweep body per the CLI flags.
+
+    Yields the active :class:`~repro.telemetry.Telemetry` (or ``None``
+    when neither ``--telemetry`` nor ``--trace-file`` was given).  On
+    exit the summary is printed, the trace file is flushed and closed,
+    and the ambient activation is popped even on error — a crashed
+    sweep still leaves a readable trace prefix.
+    """
+    trace_file = getattr(args, "trace_file", None)
+    if not (getattr(args, "telemetry", False) or trace_file):
+        yield None
+        return
+    summary = SummarySink()
+    sinks = [summary]
+    if trace_file:
+        sinks.append(JsonlTraceSink(trace_file))
+    telemetry = Telemetry(sinks)
+    activate(telemetry)
+    telemetry.event("session.start", session=session)
+    try:
+        yield telemetry
+    finally:
+        telemetry.event("session.end", session=session)
+        deactivate(telemetry)
+        telemetry.close()
+        print()
+        print(summary.render())
+        if trace_file:
+            print(f"wrote trace {trace_file}")
 
 
 def sweep_orchestrator(sweep: str, args, *, progress=None):

@@ -44,7 +44,13 @@ from ..sim.agent_engine import AgentEngine
 from ..sim.results import TrialStats
 from .config import Scale, resolve_scale
 from .io import format_table, write_csv
-from .runner import add_sweep_arguments, finish_sweep, sweep_orchestrator
+from .runner import (
+    add_sweep_arguments,
+    add_telemetry_arguments,
+    finish_sweep,
+    sweep_orchestrator,
+    telemetry_session,
+)
 
 __all__ = ["topology_rows", "main"]
 
@@ -139,9 +145,15 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", default=None)
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     add_sweep_arguments(parser)
+    add_telemetry_arguments(parser)
     args = parser.parse_args(argv)
 
     scale = resolve_scale(args.scale)
+    with telemetry_session(args, session=f"topology_{scale.name}"):
+        return _run_sweep(args, scale)
+
+
+def _run_sweep(args, scale: Scale) -> int:
     progress = lambda msg: print(f"  [{msg}]", flush=True)  # noqa: E731
     orchestrator, output_dir = sweep_orchestrator(
         f"topology_{scale.name}", args, progress=progress)

@@ -6,7 +6,9 @@ Subcommands:
   parameters, wall time, and owning sweep;
 * ``status`` — store totals plus per-journal progress (committed
   points vs chunk checkpoints still pending), i.e. what ``--resume``
-  would pick up;
+  would pick up; ``--metrics`` adds a per-point compute table
+  (trials, interaction counts, throughput) from the telemetry meta
+  each point carries;
 * ``gc`` — reclaim finished journals, schema-orphaned objects, and
   stray temp files (``--all`` wipes the store).
 
@@ -56,7 +58,50 @@ def cmd_list(store: RunStore) -> int:
     return 0
 
 
-def cmd_status(store: RunStore) -> int:
+def _metrics_row(entry: dict) -> dict:
+    key = entry.get("key", {})
+    meta = entry.get("meta", {})
+    protocol = key.get("protocol", {})
+    trials = meta.get("trials", key.get("trials", "-"))
+    interactions = meta.get("interactions")
+    wall = meta.get("wall_seconds")
+    if interactions is not None and wall:
+        throughput = f"{interactions / wall:.3g}"
+    else:
+        throughput = "-"
+    return {
+        "fingerprint": entry.get("fingerprint", "")[:12],
+        "protocol": protocol.get("kind", "-") if isinstance(protocol, dict)
+        else str(protocol),
+        "n": key.get("n", "-"),
+        "engine": meta.get("engine_resolved", key.get("engine", "-")),
+        "trials": trials,
+        "interactions": "-" if interactions is None else interactions,
+        "interactions_per_s": throughput,
+        "wall_seconds": meta.get("wall_seconds", float("nan")),
+    }
+
+
+def _print_metrics(entries: list[dict]) -> None:
+    rows = [_metrics_row(entry) for entry in entries]
+    if not rows:
+        print("  metrics: no committed points")
+        return
+    print()
+    print(format_table(rows, title="per-point compute metrics"))
+    counted = [row for row in rows if row["interactions"] != "-"]
+    total_interactions = sum(row["interactions"] for row in counted)
+    total_wall = sum(row["wall_seconds"] for row in counted
+                     if row["wall_seconds"] == row["wall_seconds"])
+    print(f"\n  totals: {total_interactions} interaction(s) over "
+          f"{len(counted)}/{len(rows)} point(s) with metrics, "
+          f"{total_wall:.3f}s compute wall time")
+    if len(counted) < len(rows):
+        print("  (points without metrics predate the telemetry meta "
+              "or were computed by opaque thunks)")
+
+
+def cmd_status(store: RunStore, *, metrics: bool = False) -> int:
     objects = list(store.entries())
     total_bytes = sum(path.stat().st_size
                       for path in store.objects_dir.glob("*/*.json")
@@ -64,6 +109,8 @@ def cmd_status(store: RunStore) -> int:
     print(f"run store {store.root}")
     print(f"  objects: {len(objects)} committed point(s), "
           f"{total_bytes} bytes")
+    if metrics:
+        _print_metrics(objects)
     journals = list(store.journals())
     if not journals:
         print("  journals: none (no sweep in flight)")
@@ -108,13 +155,16 @@ def main(argv=None) -> int:
     parser.add_argument("--all", action="store_true",
                         help="gc only: wipe the entire store, including "
                              "valid cache entries")
+    parser.add_argument("--metrics", action="store_true",
+                        help="status only: add per-point compute metrics "
+                             "(trials, interactions, throughput)")
     args = parser.parse_args(argv)
 
     store = RunStore.for_output_dir(args.output_dir)
     if args.action == "list":
         return cmd_list(store)
     if args.action == "status":
-        return cmd_status(store)
+        return cmd_status(store, metrics=args.metrics)
     return cmd_gc(store, drop_all=args.all)
 
 

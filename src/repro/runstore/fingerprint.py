@@ -30,6 +30,7 @@ __all__ = [
     "fingerprint",
     "majority_point_key",
     "point_key",
+    "spec_key",
 ]
 
 #: Version of the result-row schema committed to the store.  Bump when
@@ -107,3 +108,47 @@ def majority_point_key(protocol, *, n: int, epsilon: float, trials: int,
         "max_parallel_time": max_parallel_time,
         "batch_fraction": batch_fraction,
     }
+
+
+def spec_key(spec) -> dict:
+    """Key for a :class:`~repro.sim.run.RunSpec` sweep point.
+
+    For margin-form majority specs this emits the *exact* dict
+    :func:`majority_point_key` produces, so the fingerprints — and
+    with them every committed cache entry — are unchanged by the
+    RunSpec migration.  Runtime-only fields (telemetry, recorders,
+    observers) never enter the key: they do not affect the results.
+    """
+    if spec.initial is not None or spec.graph is not None:
+        raise ValueError(
+            "only majority-input specs on the complete graph are "
+            "addressable sweep points")
+    engine = spec.engine
+    if not isinstance(engine, str):
+        raise ValueError(
+            "engine instances cannot be fingerprinted; use a registered "
+            "engine name")
+    key = {
+        "schema": RESULT_SCHEMA_VERSION,
+        "kind": "majority-point",
+        "protocol": protocol_to_dict(spec.protocol),
+        "n": spec.n,
+        "epsilon": spec.epsilon,
+        "trials": spec.num_trials,
+        "seed": spec.seed,
+        "engine": engine,
+        "max_parallel_time": spec.max_parallel_time,
+        "batch_fraction": spec.batch_fraction,
+    }
+    if spec.count_a is not None:
+        # Count-form inputs extend the key; margin-form keys stay
+        # byte-identical to the pre-RunSpec layout.
+        key["count_a"] = spec.count_a
+        key["count_b"] = spec.count_b
+    if spec.majority != "A":
+        key["majority"] = spec.majority
+    if spec.max_steps is not None:
+        key["max_steps"] = spec.max_steps
+    if spec.on_timeout != "return":
+        key["on_timeout"] = spec.on_timeout
+    return key

@@ -31,16 +31,18 @@ import time
 import numpy as np
 
 from ..errors import WorkerError
+from ..rng import ensure_rng
 from ..serialize import run_result_from_dict, run_result_to_dict
 from ..sim.results import TrialStats
 from ..sim.run import (
+    RunSpec,
     ensemble_chunks,
-    ensemble_engine_for_trials,
-    ensemble_trial_plan,
+    make_engine,
     raise_unsettled,
-    run_majority,
+    resolve_trial_engine,
 )
-from .fingerprint import fingerprint, majority_point_key, point_key
+from ..telemetry.context import current as current_telemetry
+from .fingerprint import fingerprint, point_key, spec_key
 from .journal import chunk_map
 from .store import RunStore
 
@@ -117,21 +119,21 @@ class Orchestrator:
         that nondeterministic ``wall_seconds`` lives in the store's
         provenance ``meta``, not the row).
         """
-        key = majority_point_key(
-            protocol, n=n, epsilon=epsilon, trials=trials, seed=seed,
-            engine=engine, max_parallel_time=max_parallel_time,
-            batch_fraction=batch_fraction)
+        spec = RunSpec(protocol, n=n, epsilon=epsilon, num_trials=trials,
+                       seed=seed, engine=engine,
+                       max_parallel_time=max_parallel_time,
+                       batch_fraction=batch_fraction)
+        key = spec_key(spec)
         fp = fingerprint(key)
-        cached = self._lookup(fp)
+        label = f"{protocol.name} n={n}"
+        cached = self._lookup(fp, label=label, kind="majority-point")
         if cached is not None:
             return cached
+        telemetry = current_telemetry()
+        if telemetry.enabled:
+            telemetry.count("runstore.cache.miss", kind="majority-point")
         started = time.perf_counter()
-        run_kwargs = {"n": n, "epsilon": epsilon,
-                      "max_parallel_time": max_parallel_time,
-                      "batch_fraction": batch_fraction}
-        results, plan_meta = self._run_point_chunks(
-            protocol, trials=trials, seed=seed, engine=engine,
-            run_kwargs=run_kwargs, fp=fp)
+        results, plan_meta = self._run_point_chunks(spec, fp=fp)
         stats = TrialStats.from_results(results)
         row = {
             "protocol": protocol.name,
@@ -146,7 +148,15 @@ class Orchestrator:
             "max_parallel_time": stats.max_parallel_time,
             "error_fraction": stats.error_fraction,
         }
-        meta = dict(plan_meta, wall_seconds=time.perf_counter() - started)
+        wall = time.perf_counter() - started
+        meta = dict(plan_meta, wall_seconds=wall)
+        if telemetry.enabled:
+            telemetry.record_span(
+                "runstore.point", wall, kind="majority-point",
+                protocol=protocol.name, n=n,
+                engine=plan_meta["engine_resolved"],
+                trials=stats.num_trials,
+                interactions=plan_meta["interactions"])
         self._commit(fp, key, row, meta)
         return row
 
@@ -162,13 +172,19 @@ class Orchestrator:
         """
         key = point_key(kind, params)
         fp = fingerprint(key)
-        cached = self._lookup(fp, label=label)
+        cached = self._lookup(fp, label=label, kind=kind)
         if cached is not None:
             return cached
+        telemetry = current_telemetry()
+        if telemetry.enabled:
+            telemetry.count("runstore.cache.miss", kind=kind)
         started = time.perf_counter()
         payload = self._attempt(compute, label=label or kind)
-        self._commit(fp, key, payload,
-                     {"wall_seconds": time.perf_counter() - started})
+        wall = time.perf_counter() - started
+        if telemetry.enabled:
+            telemetry.record_span("runstore.point", wall, kind=kind,
+                                  label=label or kind)
+        self._commit(fp, key, payload, {"wall_seconds": wall})
         return payload
 
     def finish(self) -> None:
@@ -178,13 +194,17 @@ class Orchestrator:
 
     # -- cache and journal plumbing ----------------------------------
 
-    def _lookup(self, fp: str, label: str | None = None):
+    def _lookup(self, fp: str, label: str | None = None,
+                kind: str = "point"):
         if not self.use_cache or self.store is None:
             return None
         entry = self.store.get(fp)
         if entry is None:
             return None
         self.counters["cached"] += 1
+        telemetry = current_telemetry()
+        if telemetry.enabled:
+            telemetry.count("runstore.cache.hit", kind=kind)
         self._note(f"cache hit {label or fp[:12]}")
         return entry["row"]
 
@@ -210,30 +230,35 @@ class Orchestrator:
         if payloads is None or len(payloads) != size:
             return None
         self.counters["resumed_chunks"] += 1
+        telemetry = current_telemetry()
+        if telemetry.enabled:
+            telemetry.count("runstore.chunk.resumed")
         return [run_result_from_dict(payload) for payload in payloads]
 
     # -- trial fan-out, checkpointed ---------------------------------
 
-    def _run_point_chunks(self, protocol, *, trials, seed, engine,
-                          run_kwargs, fp):
-        """Compute a point chunk-by-chunk, exactly as ``run_trials``.
+    def _run_point_chunks(self, spec: RunSpec, *, fp):
+        """Compute a point chunk-by-chunk, exactly as :func:`simulate`.
 
         Chunk plans and per-chunk ``SeedSequence`` children match
-        :func:`repro.sim.run.run_trials` (and its parallel twin), and
-        generators are rebuilt from the spawned sequences per attempt,
-        so replaying journaled chunks and recomputing the rest yields
-        the identical result list an uninterrupted run produces.
+        :func:`repro.sim.run.simulate` (and its parallel twin), and
+        generators are rebuilt from the spawned sequences on every
+        attempt, so replaying journaled chunks and recomputing the rest
+        yields the identical result list an uninterrupted run produces.
         """
-        # Same root as ensure_rng(seed) + spawn(): SeedSequence children
-        # are pure values, so retries rebuild identical fresh generators.
-        root_seq = np.random.SeedSequence(seed)
-        ensemble = ensemble_engine_for_trials(protocol, engine, trials,
-                                              run_kwargs)
+        # Same children as ensure_rng(seed) + spawn(): SeedSequence
+        # values are pure, so retries rebuild identical fresh generators.
+        root_seq = ensure_rng(spec.seed).bit_generator.seed_seq
+        telemetry = current_telemetry()
+        ensemble, fallback = resolve_trial_engine(spec)
+        if fallback is not None and telemetry.enabled:
+            telemetry.event("engine.fallback", requested="auto",
+                            reason=fallback, protocol=spec.protocol.name,
+                            num_trials=spec.num_trials)
+        initial, expected = spec.resolve_input()
+        sizes = ensemble_chunks(spec.num_trials)
         results = []
         if ensemble is not None:
-            initial, expected, sim_kwargs, on_timeout = \
-                ensemble_trial_plan(protocol, run_kwargs)
-            sizes = ensemble_chunks(trials)
             children = root_seq.spawn(len(sizes))
             for index, (size, child) in enumerate(zip(sizes, children)):
                 chunk = self._replayed_chunk(fp, index, size)
@@ -242,16 +267,21 @@ class Orchestrator:
                         lambda: ensemble.run_ensemble(
                             initial, num_trials=size,
                             rng=np.random.default_rng(child),
-                            expected=expected, **sim_kwargs),
+                            expected=expected,
+                            max_steps=spec.max_steps,
+                            max_parallel_time=spec.max_parallel_time),
                         label=f"chunk {index + 1}/{len(sizes)}")
                     self._journal_chunk(fp, index, chunk)
                 results.extend(chunk)
-            if on_timeout == "raise":
+            if spec.on_timeout == "raise":
                 raise_unsettled(results)
             resolved = "ensemble"
         else:
-            sizes = ensemble_chunks(trials)
-            children = root_seq.spawn(trials)
+            engine = make_engine(spec.protocol, spec.engine,
+                                 graph=spec.graph,
+                                 batch_fraction=spec.batch_fraction,
+                                 num_trials=1)
+            children = root_seq.spawn(spec.num_trials)
             start = 0
             for index, size in enumerate(sizes):
                 batch = children[start:start + size]
@@ -259,19 +289,27 @@ class Orchestrator:
                 chunk = self._replayed_chunk(fp, index, size)
                 if chunk is None:
                     chunk = self._attempt(
-                        lambda: [run_majority(
-                            protocol, rng=np.random.default_rng(child),
-                            engine=engine, **run_kwargs)
+                        lambda: [engine.run(
+                            initial, rng=np.random.default_rng(child),
+                            max_steps=spec.max_steps,
+                            max_parallel_time=spec.max_parallel_time,
+                            expected=expected,
+                            on_timeout=spec.on_timeout)
                             for child in batch],
                         label=f"chunk {index + 1}/{len(sizes)}")
                     self._journal_chunk(fp, index, chunk)
                 results.extend(chunk)
-            resolved = results[0].engine_name if results else engine
-        meta = {"engine_requested": engine, "engine_resolved": resolved,
+            resolved = results[0].engine_name if results \
+                else getattr(spec.engine, "name", spec.engine)
+        requested = getattr(spec.engine, "name", spec.engine)
+        meta = {"engine_requested": requested,
+                "engine_resolved": resolved,
                 "chunks": len(sizes),
                 "resumed_chunks": sum(
                     1 for index in self._pending.get(fp, ())
-                    if index < len(sizes))}
+                    if index < len(sizes)),
+                "trials": len(results),
+                "interactions": int(sum(r.steps for r in results))}
         return results, meta
 
     # -- retries ------------------------------------------------------
@@ -287,6 +325,9 @@ class Orchestrator:
                 delay = min(self.backoff_cap,
                             self.backoff_base * 2 ** (attempt - 1))
                 self.counters["retries"] += 1
+                telemetry = current_telemetry()
+                if telemetry.enabled:
+                    telemetry.count("runstore.retry", label=label)
                 self._note(f"retrying {label} after worker failure "
                            f"({failure}); backoff {delay:.1f}s")
                 self._sleep(delay)

@@ -15,7 +15,15 @@ from .observers import ObservingTracker, RuleCensus, avc_rule_classifier
 from .parallel import run_trials_parallel
 from .record import EventRecorder, TrajectoryRecorder
 from .results import RunResult, TrialStats
-from .run import ENGINE_NAMES, make_engine, run, run_majority, run_trials
+from .run import (
+    ENGINE_NAMES,
+    RunSpec,
+    make_engine,
+    run,
+    run_majority,
+    run_trials,
+    simulate,
+)
 from .schedule import CompletePairSampler, GraphPairSampler, PairSampler
 
 __all__ = [
@@ -34,6 +42,8 @@ __all__ = [
     "PairSampler",
     "CompletePairSampler",
     "GraphPairSampler",
+    "RunSpec",
+    "simulate",
     "make_engine",
     "run",
     "run_majority",

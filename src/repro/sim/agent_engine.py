@@ -43,6 +43,10 @@ class AgentEngine(Engine):
         else:
             self._sampler = None  # complete graph, built per run for n
 
+    def _telemetry_labels(self) -> dict:
+        return {"graph": "complete" if self._sampler is None
+                else type(self._sampler).__name__}
+
     def _make_sampler(self, n: int) -> PairSampler:
         if self._sampler is None:
             return CompletePairSampler(n)

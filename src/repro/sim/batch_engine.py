@@ -48,6 +48,9 @@ class BatchEngine(Engine):
                 f"batch_fraction must be in (0, 1], got {batch_fraction}")
         self.batch_fraction = batch_fraction
 
+    def _telemetry_labels(self) -> dict:
+        return {"batch_fraction": self.batch_fraction}
+
     def _supports_observers(self) -> bool:
         return False  # rounds, not per-interaction events
 

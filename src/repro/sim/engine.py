@@ -36,6 +36,7 @@ applies disjoint random matchings and is a documented approximation
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from collections.abc import Mapping
 
@@ -46,6 +47,7 @@ from ..errors import (
 )
 from ..protocols.base import PopulationProtocol, State
 from ..rng import ensure_rng
+from ..telemetry.context import current as current_telemetry
 from .convergence import make_settle_tracker
 from .results import RunResult
 
@@ -134,12 +136,22 @@ class Engine(ABC):
         if recorder is not None:
             recorder.maybe_record(0, count_list)
 
+        # Telemetry is aggregate-only: nothing is recorded inside
+        # _simulate; one enabled check here is the entire disabled cost.
+        telemetry = current_telemetry()
+        started = time.perf_counter() if telemetry.enabled else 0.0
+
         if tracker.settled():
             steps, productive, frozen, extra_time = 0, 0, False, None
         else:
             steps, productive, frozen, extra_time = self._simulate(
                 count_list, n, generator, budget, tracker, recorder)
 
+        if telemetry.enabled:
+            self._emit_run_telemetry(telemetry,
+                                     time.perf_counter() - started,
+                                     n, steps, productive,
+                                     tracker.settled())
         if recorder is not None:
             recorder.force_record(steps, count_list)
         result = RunResult(
@@ -161,6 +173,29 @@ class Engine(ABC):
                 f"{self.protocol.name} did not settle within "
                 f"{budget} interactions (n={n})", result=result)
         return result
+
+    def _emit_run_telemetry(self, telemetry, wall: float, n: int,
+                            steps: int, productive, settled: bool) -> None:
+        """Report one run's aggregates to the active telemetry."""
+        labels = {"engine": self.name, "protocol": self.protocol.name,
+                  **self._telemetry_labels()}
+        telemetry.count("engine.runs", **labels)
+        telemetry.count("engine.interactions", steps, **labels)
+        if productive is not None:
+            telemetry.count("engine.productive", productive, **labels)
+        if not settled:
+            telemetry.count("engine.unsettled", **labels)
+        telemetry.record_span("engine.run", wall, n=n, steps=steps,
+                              settled=settled, **labels)
+
+    def _telemetry_labels(self) -> dict:
+        """Extra labels identifying this engine's configuration.
+
+        Subclasses with tunables that change the simulated process
+        (batch fraction, interaction graph) override this so traces
+        distinguish their runs.
+        """
+        return {}
 
     def _supports_observers(self) -> bool:
         """Whether the engine reports individual interactions.

@@ -1,0 +1,207 @@
+"""The engine registry: name -> engine factory, policies included.
+
+Historically :func:`repro.sim.run.make_engine` was a hard-coded
+``if engine == ...`` chain, so adding an engine meant editing
+``run.py``.  The registry inverts that: engines register themselves
+under a name, third-party code plugs in with :func:`register`, and
+``"auto"`` is just a registered *policy* — a callable that inspects
+the protocol and returns the name of a concrete engine.
+
+Factories receive ``(protocol, *, graph=None, batch_fraction=0.05)``
+and must return an :class:`~repro.sim.engine.Engine`; declare
+``supports_graph=True`` if the engine accepts a non-complete
+interaction graph (only the agent engine does today).  Policies
+receive ``(protocol, *, graph=None, num_trials=1)`` and return a
+registered engine name (possibly another policy; chains are resolved
+with a cycle guard).
+
+Example — plugging in a custom engine::
+
+    from repro.sim import engines
+
+    class MyEngine(Engine):
+        name = "mine"
+        def _simulate(self, ...): ...
+
+    engines.register("mine", lambda protocol, **_: MyEngine(protocol))
+    run_trials(RunSpec(protocol, ..., engine="mine"))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import InvalidParameterError
+from .agent_engine import AgentEngine
+from .batch_engine import BatchEngine
+from .count_engine import CountEngine
+from .engine import Engine
+from .ensemble_engine import EnsembleEngine
+from .gillespie import ContinuousTimeEngine, NullSkippingEngine
+
+__all__ = [
+    "register",
+    "register_policy",
+    "unregister",
+    "get",
+    "available",
+    "is_policy",
+    "create",
+    "resolve_name",
+    "NULL_SKIP_MAX_STATES",
+    "ENSEMBLE_MAX_STATES",
+]
+
+#: State-count threshold below which null skipping beats the count
+#: engine (each productive event scans all ordered state pairs).
+NULL_SKIP_MAX_STATES = 16
+
+#: Largest state space for which the ensemble engine's dense
+#: transition table may be materialized (mirrors the guard in
+#: :meth:`~repro.protocols.base.PopulationProtocol.transition_matrix`).
+ENSEMBLE_MAX_STATES = 4096
+
+
+@dataclass(frozen=True)
+class EngineEntry:
+    """One registry row: either a factory or a policy, never both."""
+
+    name: str
+    factory: Callable | None = None
+    policy: Callable | None = None
+    supports_graph: bool = False
+
+
+_REGISTRY: dict[str, EngineEntry] = {}
+
+
+def register(name: str, factory: Callable, *,
+             supports_graph: bool = False,
+             replace: bool = False) -> None:
+    """Register ``factory`` as the engine called ``name``.
+
+    ``factory(protocol, *, graph=None, batch_fraction=0.05)`` must
+    return an :class:`Engine`.  Re-registering an existing name
+    requires ``replace=True`` (guards against accidental shadowing of
+    the built-ins).
+    """
+    _add(EngineEntry(name=name, factory=factory,
+                     supports_graph=supports_graph), replace)
+
+
+def register_policy(name: str, policy: Callable, *,
+                    replace: bool = False) -> None:
+    """Register ``policy`` — a name-returning engine selector.
+
+    ``policy(protocol, *, graph=None, num_trials=1)`` returns the name
+    of a registered engine (or of another policy).
+    """
+    _add(EngineEntry(name=name, policy=policy), replace)
+
+
+def _add(entry: EngineEntry, replace: bool) -> None:
+    if not entry.name or not isinstance(entry.name, str):
+        raise InvalidParameterError(
+            f"engine name must be a non-empty string, got {entry.name!r}")
+    if not replace and entry.name in _REGISTRY:
+        raise InvalidParameterError(
+            f"engine {entry.name!r} is already registered; pass "
+            "replace=True to override it")
+    _REGISTRY[entry.name] = entry
+
+
+def unregister(name: str) -> None:
+    """Remove ``name`` from the registry (primarily for tests)."""
+    if name not in _REGISTRY:
+        raise InvalidParameterError(f"engine {name!r} is not registered")
+    del _REGISTRY[name]
+
+
+def get(name: str) -> EngineEntry:
+    """The registry entry for ``name``; raises with the valid names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown engine {name!r}; choose from {available()}"
+        ) from None
+
+
+def available() -> tuple[str, ...]:
+    """All registered names (policies first, then engines, sorted)."""
+    policies = sorted(n for n, e in _REGISTRY.items() if e.policy)
+    engines = sorted(n for n, e in _REGISTRY.items() if e.factory)
+    return tuple(policies + engines)
+
+
+def is_policy(name: str) -> bool:
+    return get(name).policy is not None
+
+
+def resolve_name(name: str, protocol, *, graph=None,
+                 num_trials: int = 1) -> str:
+    """Follow policies until a concrete engine name is reached."""
+    seen = []
+    while True:
+        entry = get(name)
+        if entry.policy is None:
+            return name
+        seen.append(name)
+        if len(seen) > len(_REGISTRY):
+            raise InvalidParameterError(
+                f"engine policy cycle: {' -> '.join(seen)}")
+        name = entry.policy(protocol, graph=graph, num_trials=num_trials)
+
+
+def create(protocol, name: str, *, graph=None,
+           batch_fraction: float = 0.05, num_trials: int = 1) -> Engine:
+    """Instantiate the engine ``name`` resolves to for ``protocol``."""
+    resolved = resolve_name(name, protocol, graph=graph,
+                            num_trials=num_trials)
+    entry = get(resolved)
+    if graph is not None and not entry.supports_graph:
+        raise InvalidParameterError(
+            f"engine {resolved!r} only supports the complete graph; "
+            "use engine='agent' for custom interaction graphs")
+    return entry.factory(protocol, graph=graph,
+                         batch_fraction=batch_fraction)
+
+
+# ----------------------------------------------------------------------
+# Built-in engines and the "auto" policy
+# ----------------------------------------------------------------------
+
+def _auto_policy(protocol, *, graph=None, num_trials: int = 1) -> str:
+    """The default selection: fastest *exact* engine for the job.
+
+    Null-skipping for small state spaces, the agent engine whenever a
+    graph is supplied, the vectorized ensemble engine for multi-trial
+    batches of unanimity-settling protocols with mid-sized state
+    spaces, and the count engine otherwise.  The approximate batch
+    engine is never chosen implicitly.
+    """
+    if graph is not None:
+        return "agent"
+    if protocol.num_states <= NULL_SKIP_MAX_STATES:
+        return "null-skipping"
+    if (num_trials > 1
+            and getattr(protocol, "unanimity_settles", False)
+            and protocol.num_states <= ENSEMBLE_MAX_STATES):
+        return "ensemble"
+    return "count"
+
+
+register("agent",
+         lambda protocol, *, graph=None, **_:
+         AgentEngine(protocol, graph=graph),
+         supports_graph=True)
+register("count", lambda protocol, **_: CountEngine(protocol))
+register("null-skipping", lambda protocol, **_: NullSkippingEngine(protocol))
+register("continuous-time",
+         lambda protocol, **_: ContinuousTimeEngine(protocol))
+register("batch",
+         lambda protocol, *, batch_fraction=0.05, **_:
+         BatchEngine(protocol, batch_fraction=batch_fraction))
+register("ensemble", lambda protocol, **_: EnsembleEngine(protocol))
+register_policy("auto", _auto_policy)

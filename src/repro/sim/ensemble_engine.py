@@ -57,6 +57,7 @@ Python loop (measured ~7x on AVC s=66, n=10^4, 100 trials).
 
 from __future__ import annotations
 
+import time
 from collections.abc import Mapping
 
 import numpy as np
@@ -64,6 +65,7 @@ import numpy as np
 from ..errors import InvalidParameterError, SimulationError
 from ..protocols.base import PopulationProtocol, State
 from ..rng import ensure_rng
+from ..telemetry.context import current as current_telemetry
 from .engine import Engine, check_budget_sanity
 from .results import RunResult
 
@@ -135,6 +137,12 @@ class EnsembleEngine(Engine):
         budget = self._resolve_budget(n, max_steps, max_parallel_time)
         check_budget_sanity(budget)
         generator = ensure_rng(rng)
+        # Telemetry records per-chunk aggregates only — the hot loop
+        # just bumps two local ints per vectorized round.
+        telemetry = current_telemetry()
+        started = time.perf_counter() if telemetry.enabled else 0.0
+        rounds = 0
+        drawn = 0
 
         s = protocol.num_states
         out_x, out_y = protocol.transition_matrix()
@@ -170,7 +178,12 @@ class EnsembleEngine(Engine):
                 and (base_class[1] == 0) != (base_class[2] == 0)):
             # Already settled: every trial converges at step 0.
             result = row_result(0, True, class_decision(base_class), base, 0)
-            return [result] * num_trials
+            results = [result] * num_trials
+            if telemetry.enabled:
+                self._emit_chunk_telemetry(
+                    telemetry, time.perf_counter() - started, n,
+                    results, rounds, drawn)
+            return results
 
         # Pair index -> "this ordered state pair is productive", and
         # state -> one-hot class row, so the hot loop classifies and
@@ -214,6 +227,8 @@ class EnsembleEngine(Engine):
         while live:
             remaining = budget - steps_r     # >= 1 for every live row
             w = min(window, int(remaining.max()))
+            rounds += 1
+            drawn += w * live
             raw = generator.integers(0, span, size=(w, live))
             u, v = np.divmod(raw, n - 1)
             # Responder without replacement: v indexes the n - 1
@@ -294,7 +309,34 @@ class EnsembleEngine(Engine):
             # their next productive interaction within the window.
             window = int(np.clip(2.0 * consumed.mean(),
                                  _MIN_WINDOW, _MAX_WINDOW))
+        if telemetry.enabled:
+            self._emit_chunk_telemetry(
+                telemetry, time.perf_counter() - started, n,
+                results, rounds, drawn)
         return results  # type: ignore[return-value]
+
+    def _emit_chunk_telemetry(self, telemetry, wall: float, n: int,
+                              results, rounds: int, drawn: int) -> None:
+        """Report one sub-ensemble's aggregates to the telemetry.
+
+        ``drawn`` counts speculative draws including the discarded
+        suffixes; ``engine.interactions`` counts only the consumed
+        (exact-chain) interactions, matching the sequential engines.
+        """
+        labels = {"engine": self.name, "protocol": self.protocol.name}
+        steps = sum(r.steps for r in results)
+        telemetry.count("engine.runs", len(results), **labels)
+        telemetry.count("engine.interactions", steps, **labels)
+        telemetry.count("engine.productive",
+                        sum(r.productive_steps for r in results), **labels)
+        telemetry.count("engine.ensemble.rounds", rounds, **labels)
+        telemetry.count("engine.ensemble.drawn", drawn, **labels)
+        unsettled = sum(1 for r in results if not r.settled)
+        if unsettled:
+            telemetry.count("engine.unsettled", unsettled, **labels)
+        telemetry.record_span("engine.ensemble_chunk", wall, n=n,
+                              trials=len(results), steps=steps,
+                              rounds=rounds, **labels)
 
     # ------------------------------------------------------------------
     # Scalar compatibility path (Engine.run)

@@ -1,71 +1,194 @@
-"""High-level run API: one call from protocol to result.
+"""High-level run API: one door from protocol to results.
 
-This is the front door most users want::
+The front door is a :class:`RunSpec` — a frozen, fingerprintable
+description of a simulation batch — handed to :func:`simulate`::
 
-    from repro import AVCProtocol, run_majority
+    from repro import AVCProtocol, RunSpec, simulate
 
     protocol = AVCProtocol.with_num_states(64)
-    result = run_majority(protocol, n=10_001, epsilon=1 / 10_001, seed=7)
+    spec = RunSpec(protocol, n=10_001, epsilon=1 / 10_001,
+                   num_trials=100, seed=7)
+    results = simulate(spec)
 
-``engine="auto"`` picks the fastest *exact* engine for the protocol:
-null-skipping for small state spaces, the count engine otherwise, and
-the agent engine whenever an interaction graph is supplied.  When
-:func:`run_trials` fans out several trials of a unanimity-settling
-protocol with a mid-sized state space, auto upgrades to the vectorized
-:class:`~repro.sim.ensemble_engine.EnsembleEngine`, which advances the
-whole batch at once (exact per-trial chain, one shared generator).
-The approximate batch engine is never chosen implicitly.
+``engine="auto"`` picks the fastest *exact* engine for the protocol
+via the :mod:`repro.sim.engines` registry: null-skipping for small
+state spaces, the count engine otherwise, and the agent engine
+whenever an interaction graph is supplied.  When a spec fans out
+several trials of a unanimity-settling protocol with a mid-sized
+state space, auto upgrades to the vectorized
+:class:`~repro.sim.ensemble_engine.EnsembleEngine`, which advances
+the whole batch at once (exact per-trial chain, one shared
+generator).  The approximate batch engine is never chosen
+implicitly.  When auto *would* have taken the ensemble fast path but
+declines (per-run instrumentation requested, protocol cannot use the
+vectorized convergence counters, state space too large), the fallback
+is no longer silent: an ``engine.fallback`` telemetry event records
+the reason.
+
+:func:`run`, :func:`run_majority`, and :func:`run_trials` remain as
+thin wrappers.  Each accepts a :class:`RunSpec` as its only
+positional argument; the historical keyword forms still work but emit
+:class:`DeprecationWarning` (CI runs the suite with
+``-W error::DeprecationWarning``, so in-repo code must use specs).
 """
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Mapping
+from dataclasses import dataclass, field, fields, replace
+from functools import cached_property
+from typing import Any
 
 from ..errors import ConvergenceTimeout, InvalidParameterError
 from ..protocols.base import MAJORITY_A, MAJORITY_B, MajorityProtocol, State
 from ..rng import ensure_rng, spawn
-from .agent_engine import AgentEngine
-from .batch_engine import BatchEngine
-from .count_engine import CountEngine
+from ..telemetry.context import current as current_telemetry
+from ..telemetry.context import use as use_telemetry
+from . import engines as engine_registry
 from .engine import Engine
+from .engines import ENSEMBLE_MAX_STATES, NULL_SKIP_MAX_STATES
 from .ensemble_engine import EnsembleEngine
-from .gillespie import ContinuousTimeEngine, NullSkippingEngine
 from .results import RunResult, TrialStats
 
-__all__ = ["make_engine", "run", "run_majority", "run_trials",
-           "ENGINE_NAMES", "ENSEMBLE_CHUNK_TRIALS", "ensemble_chunks",
-           "ensemble_engine_for_trials", "ensemble_trial_plan"]
+__all__ = ["RunSpec", "simulate", "make_engine", "run", "run_majority",
+           "run_trials", "resolve_trial_engine", "ENGINE_NAMES",
+           "ENSEMBLE_CHUNK_TRIALS", "ensemble_chunks", "raise_unsettled"]
 
-#: Engines selectable by name in the high-level API.
-ENGINE_NAMES = ("auto", "agent", "count", "null-skipping",
-                "continuous-time", "batch", "ensemble")
+#: Engines selectable by name in the high-level API (a snapshot of the
+#: registry at import time; see :func:`repro.sim.engines.available`).
+ENGINE_NAMES = engine_registry.available()
 
-#: State-count threshold below which null skipping beats the count
-#: engine (each productive event scans all ordered state pairs).
-_NULL_SKIP_MAX_STATES = 16
-
-#: Largest state space for which the ensemble engine's dense
-#: transition table may be materialized (mirrors the guard in
-#: :meth:`~repro.protocols.base.PopulationProtocol.transition_matrix`).
-_ENSEMBLE_MAX_STATES = 4096
-
-#: Sub-ensemble width for :func:`run_trials` trial fan-out.  The
-#: partition depends only on the trial count, so the sequential and
-#: parallel runners spawn identical per-chunk generators and return
-#: bit-identical results.  Wider chunks amortize the fixed per-tick
-#: numpy dispatch cost over more trials; 128 is past the knee of the
-#: throughput curve while still splitting paper-scale trial counts
-#: into several parallelizable pieces.  The runstore orchestrator
-#: checkpoints at exactly these boundaries, so resumed sweeps replay
-#: the same chunk plan and stay bit-identical to uninterrupted ones.
+#: Sub-ensemble width for multi-trial fan-out.  The partition depends
+#: only on the trial count, so the sequential and parallel runners
+#: spawn identical per-chunk generators and return bit-identical
+#: results.  Wider chunks amortize the fixed per-tick numpy dispatch
+#: cost over more trials; 128 is past the knee of the throughput curve
+#: while still splitting paper-scale trial counts into several
+#: parallelizable pieces.  The runstore orchestrator checkpoints at
+#: exactly these boundaries, so resumed sweeps replay the same chunk
+#: plan and stay bit-identical to uninterrupted ones.
 ENSEMBLE_CHUNK_TRIALS = 128
 
-#: ``run_trials`` keyword arguments the ensemble fan-out understands.
-_ENSEMBLE_TRIAL_KWARGS = frozenset({
-    "n", "epsilon", "count_a", "count_b", "majority",
-    "max_steps", "max_parallel_time", "on_timeout",
-    "batch_fraction", "graph", "recorder", "event_observer",
-})
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything that defines a simulation batch, in one frozen value.
+
+    Exactly one input form must be given:
+
+    * ``initial`` — an explicit state-count mapping (any protocol);
+      ``expected`` may name the output the run should be scored
+      against;
+    * ``n`` + ``epsilon`` (+ ``majority``) — a majority input by
+      population size and relative advantage;
+    * ``count_a`` + ``count_b`` — a majority input by explicit counts.
+
+    For the majority forms ``expected`` is derived (``None`` for a
+    tie) and the protocol must be a :class:`MajorityProtocol`.
+
+    ``seed`` may be an int, a ``numpy`` ``SeedSequence``/``Generator``,
+    or ``None`` for OS entropy.  ``telemetry`` optionally scopes a
+    :class:`repro.telemetry.Telemetry` instance to the batch; when
+    ``None`` the ambient instance (see :mod:`repro.telemetry.context`)
+    applies.
+
+    The spec is what the runstore fingerprints: see
+    :func:`repro.runstore.fingerprint.spec_key`.
+    """
+
+    protocol: Any
+    initial: Mapping[State, int] | None = None
+    n: int | None = None
+    epsilon: float | None = None
+    count_a: int | None = None
+    count_b: int | None = None
+    majority: str = "A"
+    expected: int | None = None
+    num_trials: int = 1
+    seed: Any = None
+    engine: str | Engine = "auto"
+    graph: Any = None
+    batch_fraction: float = 0.05
+    max_steps: int | None = None
+    max_parallel_time: float | None = None
+    on_timeout: str = "return"
+    recorder: Any = None
+    event_observer: Any = None
+    telemetry: Any = field(default=None, compare=False)
+
+    def __post_init__(self):
+        if self.num_trials < 1:
+            raise InvalidParameterError(
+                f"num_trials must be >= 1, got {self.num_trials}")
+        if self.on_timeout not in ("return", "raise"):
+            raise InvalidParameterError(
+                f"on_timeout must be 'return' or 'raise', "
+                f"got {self.on_timeout!r}")
+        by_initial = self.initial is not None
+        by_margin = self.n is not None or self.epsilon is not None
+        by_counts = self.count_a is not None or self.count_b is not None
+        if by_initial + by_margin + by_counts != 1:
+            raise InvalidParameterError(
+                "give exactly one input form: initial, (n, epsilon), "
+                "or (count_a, count_b)")
+        if by_margin and (self.n is None or self.epsilon is None):
+            raise InvalidParameterError("both n and epsilon are required")
+        if by_counts and (self.count_a is None or self.count_b is None):
+            raise InvalidParameterError(
+                "both count_a and count_b are required")
+        if not by_initial and not isinstance(self.protocol,
+                                             MajorityProtocol):
+            raise InvalidParameterError(
+                f"{self.protocol!r} is not a majority protocol")
+        if not by_initial and self.expected is not None:
+            raise InvalidParameterError(
+                "expected is derived for majority inputs; give it only "
+                "with an explicit initial configuration")
+
+    @cached_property
+    def _resolved_input(self) -> tuple[dict, int | None]:
+        if self.initial is not None:
+            return dict(self.initial), self.expected
+        if self.n is not None:
+            initial = self.protocol.initial_counts_for_margin(
+                self.n, self.epsilon, self.majority)
+            expected = MAJORITY_A if self.majority == "A" else MAJORITY_B
+        else:
+            initial = self.protocol.initial_counts(self.count_a,
+                                                   self.count_b)
+            if self.count_a > self.count_b:
+                expected = MAJORITY_A
+            elif self.count_b > self.count_a:
+                expected = MAJORITY_B
+            else:
+                expected = None  # a tie has no correct output
+        return initial, expected
+
+    def resolve_input(self) -> tuple[dict, int | None]:
+        """Validate once; return ``(initial_counts, expected)``.
+
+        The result is cached on the spec, so a multi-trial batch pays
+        for input validation once, not once per trial.
+        """
+        return self._resolved_input
+
+    def replace(self, **changes) -> "RunSpec":
+        """A copy of the spec with ``changes`` applied."""
+        return replace(self, **changes)
+
+    def key(self) -> dict:
+        """The canonical content-address dict for this spec.
+
+        Delegates to :func:`repro.runstore.fingerprint.spec_key`
+        (imported lazily — the sim layer never depends on the
+        runstore at import time).
+        """
+        from ..runstore.fingerprint import spec_key
+        return spec_key(self)
+
+
+_SPEC_FIELDS = frozenset(f.name for f in fields(RunSpec))
 
 
 def make_engine(protocol, engine: str | Engine = "auto", *,
@@ -73,130 +196,29 @@ def make_engine(protocol, engine: str | Engine = "auto", *,
                 num_trials: int = 1) -> Engine:
     """Instantiate the requested engine for ``protocol``.
 
-    ``engine`` may also be an :class:`~repro.sim.engine.Engine`
-    instance, which is passed through (``graph`` must then be absent).
-    ``num_trials`` is a hint for ``engine="auto"``: when more than one
-    trial will be run, unanimity-settling protocols with mid-sized
-    state spaces get the vectorized ensemble engine.
+    ``engine`` may be a registered name (see
+    :func:`repro.sim.engines.available`) or an
+    :class:`~repro.sim.engine.Engine` instance, which is passed
+    through (``graph`` must then be absent).  ``num_trials`` is a hint
+    for policy engines such as ``"auto"``.
     """
     if isinstance(engine, Engine):
         if graph is not None:
             raise InvalidParameterError(
                 "pass the graph to the engine constructor, not to run()")
         return engine
-    if engine == "auto":
-        if graph is not None:
-            engine = "agent"
-        elif protocol.num_states <= _NULL_SKIP_MAX_STATES:
-            engine = "null-skipping"
-        elif (num_trials > 1
-              and getattr(protocol, "unanimity_settles", False)
-              and protocol.num_states <= _ENSEMBLE_MAX_STATES):
-            engine = "ensemble"
-        else:
-            engine = "count"
-    if graph is not None and engine != "agent":
-        raise InvalidParameterError(
-            f"engine {engine!r} only supports the complete graph; "
-            "use engine='agent' for custom interaction graphs")
-    if engine == "agent":
-        return AgentEngine(protocol, graph=graph)
-    if engine == "count":
-        return CountEngine(protocol)
-    if engine == "null-skipping":
-        return NullSkippingEngine(protocol)
-    if engine == "continuous-time":
-        return ContinuousTimeEngine(protocol)
-    if engine == "batch":
-        return BatchEngine(protocol, batch_fraction=batch_fraction)
-    if engine == "ensemble":
-        return EnsembleEngine(protocol)
-    raise InvalidParameterError(
-        f"unknown engine {engine!r}; choose from {ENGINE_NAMES}")
-
-
-def run(protocol, initial_counts: Mapping[State, int], *,
-        engine: str | Engine = "auto", graph=None, rng=None, seed=None,
-        max_steps: int | None = None, max_parallel_time: float | None = None,
-        expected: int | None = None, recorder=None, event_observer=None,
-        on_timeout: str = "return",
-        batch_fraction: float = 0.05) -> RunResult:
-    """Simulate one execution from an explicit initial configuration."""
-    if seed is not None and rng is not None:
-        raise InvalidParameterError("give seed or rng, not both")
-    generator = ensure_rng(seed if rng is None else rng)
-    chosen = make_engine(protocol, engine, graph=graph,
-                         batch_fraction=batch_fraction)
-    return chosen.run(initial_counts, rng=generator, max_steps=max_steps,
-                      max_parallel_time=max_parallel_time,
-                      expected=expected, recorder=recorder,
-                      event_observer=event_observer,
-                      on_timeout=on_timeout)
-
-
-def run_majority(protocol: MajorityProtocol, *, n: int | None = None,
-                 epsilon: float | None = None, count_a: int | None = None,
-                 count_b: int | None = None, majority: str = "A",
-                 engine: str | Engine = "auto", graph=None,
-                 rng=None, seed=None,
-                 max_steps: int | None = None,
-                 max_parallel_time: float | None = None,
-                 recorder=None, event_observer=None,
-                 on_timeout: str = "return",
-                 batch_fraction: float = 0.05) -> RunResult:
-    """Simulate one majority computation and record correctness.
-
-    Specify the input either as ``(n, epsilon, majority)`` — a
-    population of ``n`` agents with relative advantage ``epsilon`` for
-    the given side — or as explicit ``(count_a, count_b)``.
-    """
-    initial, expected = _majority_initial(
-        protocol, n=n, epsilon=epsilon, count_a=count_a, count_b=count_b,
-        majority=majority)
-    return run(protocol, initial, engine=engine, graph=graph, rng=rng,
-               seed=seed, max_steps=max_steps,
-               max_parallel_time=max_parallel_time, expected=expected,
-               recorder=recorder, event_observer=event_observer,
-               on_timeout=on_timeout, batch_fraction=batch_fraction)
-
-
-def _majority_initial(protocol, *, n=None, epsilon=None, count_a=None,
-                      count_b=None, majority="A"):
-    """Validate a majority-input spec; return ``(initial, expected)``."""
-    if not isinstance(protocol, MajorityProtocol):
-        raise InvalidParameterError(
-            f"{protocol!r} is not a majority protocol")
-    by_margin = n is not None or epsilon is not None
-    by_counts = count_a is not None or count_b is not None
-    if by_margin == by_counts:
-        raise InvalidParameterError(
-            "give (n, epsilon) or (count_a, count_b), exactly one of them")
-    if by_margin:
-        if n is None or epsilon is None:
-            raise InvalidParameterError("both n and epsilon are required")
-        initial = protocol.initial_counts_for_margin(n, epsilon, majority)
-        expected = MAJORITY_A if majority == "A" else MAJORITY_B
-    else:
-        if count_a is None or count_b is None:
-            raise InvalidParameterError(
-                "both count_a and count_b are required")
-        initial = protocol.initial_counts(count_a, count_b)
-        if count_a > count_b:
-            expected = MAJORITY_A
-        elif count_b > count_a:
-            expected = MAJORITY_B
-        else:
-            expected = None  # a tie has no correct output
-    return initial, expected
+    return engine_registry.create(protocol, engine, graph=graph,
+                                  batch_fraction=batch_fraction,
+                                  num_trials=num_trials)
 
 
 def ensemble_chunks(num_trials: int) -> list[int]:
     """Partition a trial batch into fixed-width sub-ensembles.
 
     The partition depends only on ``num_trials`` — never on process
-    counts or how often a sweep was interrupted — so
-    :func:`run_trials`, :func:`~repro.sim.parallel.run_trials_parallel`,
-    and the checkpointing :class:`~repro.runstore.orchestrator.Orchestrator`
+    counts or how often a sweep was interrupted — so :func:`simulate`,
+    :func:`~repro.sim.parallel.run_trials_parallel`, and the
+    checkpointing :class:`~repro.runstore.orchestrator.Orchestrator`
     all derive identical per-chunk generators and return bit-identical
     results.
     """
@@ -204,20 +226,29 @@ def ensemble_chunks(num_trials: int) -> list[int]:
     return [ENSEMBLE_CHUNK_TRIALS] * full + ([rest] if rest else [])
 
 
-def ensemble_engine_for_trials(protocol, engine, num_trials: int,
-                               run_kwargs) -> EnsembleEngine | None:
-    """Decide whether a trial batch should fan out through the
-    ensemble engine; return the engine to use, or ``None``.
+#: Spec fields that force the per-trial path (the ensemble engine
+#: advances all trials in bulk and cannot thread per-run observers).
+_ENSEMBLE_BLOCKERS = ("graph", "recorder", "event_observer")
 
-    Explicitly requested ensembles reject unsupported arguments;
-    ``engine="auto"`` silently falls back to the per-trial path when
-    the batch is too small, the protocol cannot use the vectorized
-    convergence counters, the state space is outside the dense-table
-    range, or per-interaction instrumentation was requested.
+
+def resolve_trial_engine(spec: RunSpec) -> tuple[EnsembleEngine | None,
+                                                 str | None]:
+    """Decide whether a batch fans out through the ensemble engine.
+
+    Returns ``(engine, fallback_reason)``.  ``engine`` is the
+    :class:`EnsembleEngine` to use, or ``None`` for the per-trial
+    path.  ``fallback_reason`` is non-``None`` only when
+    ``engine="auto"`` was *eligible* for the vectorized path but
+    declined — the caller reports it as an ``engine.fallback``
+    telemetry event so the downgrade is observable.
+
+    An explicitly requested ensemble rejects unsupported arguments
+    instead of falling back.
     """
+    engine = spec.engine
     explicit = engine == "ensemble" or isinstance(engine, EnsembleEngine)
-    blockers = [key for key in ("graph", "recorder", "event_observer")
-                if run_kwargs.get(key) is not None]
+    blockers = [name for name in _ENSEMBLE_BLOCKERS
+                if getattr(spec, name) is not None]
     if explicit:
         if blockers:
             raise InvalidParameterError(
@@ -225,59 +256,92 @@ def ensemble_engine_for_trials(protocol, engine, num_trials: int,
                 f"not support {', '.join(blockers)}; use a sequential "
                 "engine for per-run instrumentation")
         return (engine if isinstance(engine, EnsembleEngine)
-                else EnsembleEngine(protocol))
-    if engine != "auto" or num_trials < 2 or blockers:
-        return None
-    if not getattr(protocol, "unanimity_settles", False):
-        return None
-    if set(run_kwargs) - _ENSEMBLE_TRIAL_KWARGS:
-        return None
-    s = protocol.num_states
-    if s <= _NULL_SKIP_MAX_STATES or s > _ENSEMBLE_MAX_STATES:
-        return None
-    return EnsembleEngine(protocol)
+                else EnsembleEngine(spec.protocol)), None
+    if engine != "auto" or spec.num_trials < 2:
+        return None, None
+    s = spec.protocol.num_states
+    if s <= NULL_SKIP_MAX_STATES:
+        # Null skipping wins outright here — a choice, not a fallback.
+        return None, None
+    if blockers:
+        return None, "per-run instrumentation: " + ", ".join(blockers)
+    if not getattr(spec.protocol, "unanimity_settles", False):
+        return None, "protocol does not settle by unanimity"
+    if s > ENSEMBLE_MAX_STATES:
+        return None, (f"state space too large for the dense table "
+                      f"({s} > {ENSEMBLE_MAX_STATES})")
+    return EnsembleEngine(spec.protocol), None
 
 
-def _run_trials_ensemble(engine: EnsembleEngine, protocol, num_trials: int,
-                         root, run_kwargs) -> list[RunResult]:
-    """Sequential trial fan-out through :meth:`run_ensemble`."""
-    initial, expected, sim_kwargs, on_timeout = ensemble_trial_plan(
-        protocol, run_kwargs)
-    sizes = ensemble_chunks(num_trials)
+def simulate(spec: RunSpec, *, stats: bool = False
+             ) -> list[RunResult] | TrialStats:
+    """Run ``spec.num_trials`` independent trials; the one-door core.
+
+    With a sequential engine every trial receives a child generator
+    spawned from the root seed, so batches are reproducible and trials
+    statistically independent.  With the ensemble engine (explicit, or
+    chosen by ``"auto"`` — see :func:`resolve_trial_engine`) the batch
+    is advanced in vectorized sub-ensembles of
+    :data:`ENSEMBLE_CHUNK_TRIALS` trials, each seeded from its own
+    spawned child — several times faster and still exact, though the
+    per-trial random streams differ from the sequential engines'.
+    With ``stats=True`` the aggregated :class:`TrialStats` is returned
+    instead of the raw result list.
+    """
+    root = ensure_rng(spec.seed)
+    with use_telemetry(spec.telemetry) as telemetry:
+        ensemble, fallback = resolve_trial_engine(spec)
+        if telemetry.enabled:
+            if fallback is not None:
+                telemetry.event("engine.fallback", requested="auto",
+                                reason=fallback,
+                                protocol=spec.protocol.name,
+                                num_trials=spec.num_trials)
+            telemetry.count("sim.trials", spec.num_trials,
+                            protocol=spec.protocol.name)
+        if ensemble is not None:
+            results = _run_trials_ensemble(ensemble, spec, root)
+        else:
+            results = _run_trials_sequential(spec, root)
+    if stats:
+        return TrialStats.from_results(results)
+    return results
+
+
+def _run_trials_sequential(spec: RunSpec, root) -> list[RunResult]:
+    """Per-trial fan-out: one spawned child generator per trial.
+
+    Input validation and engine construction are hoisted out of the
+    trial loop — both are deterministic and rng-free, so hoisting
+    preserves bit-identical results while removing per-trial overhead.
+    ``num_trials=1`` keeps "auto" from re-picking the ensemble engine
+    after :func:`resolve_trial_engine` already declined it.
+    """
+    initial, expected = spec.resolve_input()
+    engine = make_engine(spec.protocol, spec.engine, graph=spec.graph,
+                         batch_fraction=spec.batch_fraction, num_trials=1)
+    return [engine.run(initial, rng=child, max_steps=spec.max_steps,
+                       max_parallel_time=spec.max_parallel_time,
+                       expected=expected, recorder=spec.recorder,
+                       event_observer=spec.event_observer,
+                       on_timeout=spec.on_timeout)
+            for child in spawn(root, spec.num_trials)]
+
+
+def _run_trials_ensemble(engine: EnsembleEngine, spec: RunSpec,
+                         root) -> list[RunResult]:
+    """Trial fan-out through :meth:`run_ensemble`, chunk by chunk."""
+    initial, expected = spec.resolve_input()
+    sizes = ensemble_chunks(spec.num_trials)
     results: list[RunResult] = []
     for size, child in zip(sizes, spawn(root, len(sizes))):
         results.extend(engine.run_ensemble(
             initial, num_trials=size, rng=child, expected=expected,
-            **sim_kwargs))
-    if on_timeout == "raise":
+            max_steps=spec.max_steps,
+            max_parallel_time=spec.max_parallel_time))
+    if spec.on_timeout == "raise":
         raise_unsettled(results)
     return results
-
-
-def ensemble_trial_plan(protocol, run_kwargs):
-    """Split ``run_trials`` kwargs into ensemble inputs.
-
-    Returns ``(initial, expected, sim_kwargs, on_timeout)`` where
-    ``sim_kwargs`` are the budget arguments for ``run_ensemble``.
-    """
-    unknown = set(run_kwargs) - _ENSEMBLE_TRIAL_KWARGS
-    if unknown:
-        raise InvalidParameterError(
-            f"unsupported arguments for the ensemble trial path: "
-            f"{sorted(unknown)}")
-    on_timeout = run_kwargs.get("on_timeout", "return")
-    if on_timeout not in ("return", "raise"):
-        raise InvalidParameterError(
-            f"on_timeout must be 'return' or 'raise', got {on_timeout!r}")
-    initial, expected = _majority_initial(
-        protocol,
-        n=run_kwargs.get("n"), epsilon=run_kwargs.get("epsilon"),
-        count_a=run_kwargs.get("count_a"),
-        count_b=run_kwargs.get("count_b"),
-        majority=run_kwargs.get("majority", "A"))
-    sim_kwargs = {"max_steps": run_kwargs.get("max_steps"),
-                  "max_parallel_time": run_kwargs.get("max_parallel_time")}
-    return initial, expected, sim_kwargs, on_timeout
 
 
 def raise_unsettled(results) -> None:
@@ -290,39 +354,107 @@ def raise_unsettled(results) -> None:
                 result=result)
 
 
-def run_trials(protocol: MajorityProtocol, *, num_trials: int,
-               rng=None, seed=None, stats: bool = False,
-               engine: str | Engine = "auto",
-               **run_kwargs) -> list[RunResult] | TrialStats:
-    """Repeat :func:`run_majority` with independent random streams.
+def _simulate_single(spec: RunSpec) -> RunResult:
+    """``run``/``run_majority`` semantics: one execution on the *root*
+    generator (no child spawning), preserving legacy single-run
+    streams exactly."""
+    initial, expected = spec.resolve_input()
+    engine = make_engine(spec.protocol, spec.engine, graph=spec.graph,
+                         batch_fraction=spec.batch_fraction)
+    with use_telemetry(spec.telemetry):
+        return engine.run(initial, rng=ensure_rng(spec.seed),
+                          max_steps=spec.max_steps,
+                          max_parallel_time=spec.max_parallel_time,
+                          expected=expected, recorder=spec.recorder,
+                          event_observer=spec.event_observer,
+                          on_timeout=spec.on_timeout)
 
-    With a sequential engine every trial receives a child generator
-    spawned from the root seed, so batches are reproducible and trials
-    statistically independent.  With ``engine="ensemble"`` (chosen
-    automatically for unanimity-settling protocols with more than
-    :data:`_NULL_SKIP_MAX_STATES` states when ``num_trials > 1``) the
-    batch is advanced in vectorized sub-ensembles of
-    :data:`ENSEMBLE_CHUNK_TRIALS` trials, each seeded from its own
-    spawned child — several times faster and still exact, though the
-    per-trial random streams differ from the sequential engines'.
-    With ``stats=True`` the aggregated :class:`TrialStats` is returned
-    instead of the raw result list.
-    """
-    if num_trials < 1:
-        raise InvalidParameterError(
-            f"num_trials must be >= 1, got {num_trials}")
+
+def _legacy_spec(caller: str, protocol, *, rng=None, seed=None,
+                 **kwargs) -> RunSpec:
+    """Build a :class:`RunSpec` from a deprecated keyword call."""
+    warnings.warn(
+        f"{caller}(protocol, ...) with individual keyword arguments is "
+        f"deprecated; build a repro.RunSpec and pass it as the only "
+        f"positional argument (see docs/api_tour.md)",
+        DeprecationWarning, stacklevel=3)
     if seed is not None and rng is not None:
         raise InvalidParameterError("give seed or rng, not both")
-    root = ensure_rng(seed if rng is None else rng)
-    ensemble = ensemble_engine_for_trials(protocol, engine, num_trials,
-                                          run_kwargs)
-    if ensemble is not None:
-        results = _run_trials_ensemble(ensemble, protocol, num_trials,
-                                       root, run_kwargs)
-    else:
-        results = [run_majority(protocol, rng=child, engine=engine,
-                                **run_kwargs)
-                   for child in spawn(root, num_trials)]
-    if stats:
-        return TrialStats.from_results(results)
-    return results
+    unknown = set(kwargs) - _SPEC_FIELDS
+    if unknown:
+        raise TypeError(
+            f"{caller}() got unexpected keyword arguments "
+            f"{sorted(unknown)}")
+    return RunSpec(protocol, seed=seed if rng is None else rng, **kwargs)
+
+
+def _reject_extras(caller: str, kwargs) -> None:
+    if kwargs:
+        raise InvalidParameterError(
+            f"{caller}(spec) takes no extra keyword arguments; use "
+            f"spec.replace(...) to vary a RunSpec")
+
+
+def _require_single(caller: str, spec: RunSpec) -> None:
+    if spec.num_trials != 1:
+        raise InvalidParameterError(
+            f"{caller}() runs a single execution; use simulate() or "
+            f"run_trials() for num_trials={spec.num_trials}")
+
+
+def run(spec_or_protocol, initial_counts: Mapping[State, int] | None = None,
+        **kwargs) -> RunResult:
+    """Simulate one execution from an explicit initial configuration.
+
+    Preferred form: ``run(spec)`` with a single-trial :class:`RunSpec`.
+    The historical ``run(protocol, initial_counts, ...)`` keyword form
+    still works but emits a :class:`DeprecationWarning`.
+    """
+    if isinstance(spec_or_protocol, RunSpec):
+        if initial_counts is not None:
+            raise InvalidParameterError(
+                "run(spec) already carries the initial configuration")
+        _reject_extras("run", kwargs)
+        _require_single("run", spec_or_protocol)
+        return _simulate_single(spec_or_protocol)
+    spec = _legacy_spec("run", spec_or_protocol, initial=initial_counts,
+                        **kwargs)
+    return _simulate_single(spec)
+
+
+def run_majority(spec_or_protocol, **kwargs) -> RunResult:
+    """Simulate one majority computation and record correctness.
+
+    Preferred form: ``run_majority(spec)`` with a single-trial
+    :class:`RunSpec` using a majority input form (``n``/``epsilon`` or
+    ``count_a``/``count_b``).  The historical keyword form still works
+    but emits a :class:`DeprecationWarning`.
+    """
+    if isinstance(spec_or_protocol, RunSpec):
+        _reject_extras("run_majority", kwargs)
+        _require_single("run_majority", spec_or_protocol)
+        return _simulate_single(spec_or_protocol)
+    spec = _legacy_spec("run_majority", spec_or_protocol, **kwargs)
+    return _simulate_single(spec)
+
+
+def run_trials(spec_or_protocol, *, stats: bool = False, telemetry=None,
+               **kwargs) -> list[RunResult] | TrialStats:
+    """Repeat a majority run with independent random streams.
+
+    Preferred form: ``run_trials(spec)`` — equivalent to
+    :func:`simulate`, kept as the familiar name.  ``telemetry=...``
+    overrides the spec's telemetry for this call.  The historical
+    ``run_trials(protocol, num_trials=..., ...)`` keyword form still
+    works but emits a :class:`DeprecationWarning`.
+    """
+    if isinstance(spec_or_protocol, RunSpec):
+        _reject_extras("run_trials", kwargs)
+        spec = spec_or_protocol
+        if telemetry is not None:
+            spec = spec.replace(telemetry=telemetry)
+        return simulate(spec, stats=stats)
+    if telemetry is not None:
+        kwargs["telemetry"] = telemetry
+    spec = _legacy_spec("run_trials", spec_or_protocol, **kwargs)
+    return simulate(spec, stats=stats)

@@ -1,0 +1,47 @@
+"""repro.telemetry — metrics, tracing, and sinks for engines and sweeps.
+
+Quickstart::
+
+    from repro import RunSpec, simulate
+    from repro.telemetry import Telemetry, InMemorySink
+
+    sink = InMemorySink()
+    spec = RunSpec(protocol, n=10_001, epsilon=1e-2, num_trials=100,
+                   seed=7, telemetry=Telemetry([sink]))
+    simulate(spec)
+    sink.total("engine.interactions")   # total interactions simulated
+
+See :mod:`repro.telemetry.metrics` for the record shape and the
+overhead contract, :mod:`repro.telemetry.sinks` for the built-in
+sinks and the JSONL trace validator, and ``docs/telemetry.md`` for
+the full tour.  ``python -m repro.telemetry <trace.jsonl>`` validates
+a trace file against the schema (the CI smoke job does exactly this).
+"""
+
+from .context import activate, current, deactivate, enabled, use
+from .metrics import Histogram, NULL_TELEMETRY, Telemetry
+from .sinks import (
+    InMemorySink,
+    JsonlTraceSink,
+    SummarySink,
+    TRACE_SCHEMA_VERSION,
+    validate_trace_file,
+    validate_trace_record,
+)
+
+__all__ = [
+    "Telemetry",
+    "Histogram",
+    "NULL_TELEMETRY",
+    "InMemorySink",
+    "JsonlTraceSink",
+    "SummarySink",
+    "TRACE_SCHEMA_VERSION",
+    "validate_trace_file",
+    "validate_trace_record",
+    "current",
+    "enabled",
+    "use",
+    "activate",
+    "deactivate",
+]

@@ -1,0 +1,38 @@
+"""``python -m repro.telemetry <trace.jsonl> [...]`` — validate traces.
+
+Exit status 0 when every file matches the trace schema (prints the
+per-kind record counts); 1 with the offending line on stderr
+otherwise.  The CI smoke job runs this against the trace emitted by
+``figure3 --scale smoke --trace-file``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .sinks import TRACE_SCHEMA_VERSION, validate_trace_file
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Validate JSONL telemetry traces against schema "
+                    f"v{TRACE_SCHEMA_VERSION}.")
+    parser.add_argument("traces", nargs="+", help="trace files to check")
+    args = parser.parse_args(argv)
+    for path in args.traces:
+        try:
+            counts = validate_trace_file(path)
+        except (OSError, ValueError) as error:
+            print(f"INVALID {error}", file=sys.stderr)
+            return 1
+        total = sum(counts.values())
+        detail = ", ".join(f"{kind}={count}"
+                           for kind, count in sorted(counts.items()))
+        print(f"ok {path}: {total} record(s) ({detail or 'empty'})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

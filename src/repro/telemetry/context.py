@@ -1,0 +1,97 @@
+"""Ambient telemetry: one activation instruments the whole pipeline.
+
+Engines, the trial fan-out, and the runstore orchestrator all read the
+*current* telemetry through :func:`current` instead of threading an
+argument through every call.  By default nothing is active and
+:func:`current` returns the shared disabled
+:data:`~repro.telemetry.metrics.NULL_TELEMETRY` — one attribute check
+on the hot path, nothing else.
+
+Two activation styles:
+
+* :func:`use` — a context manager scoping telemetry to a block
+  (``simulate`` wraps each call in it when the :class:`RunSpec`
+  carries a telemetry instance);
+* :func:`activate` / :func:`deactivate` — explicit push/pop for CLI
+  ``main`` lifetimes, where the scope is the whole process.
+
+The stack is thread-local: worker threads see their own activation
+state, and pool worker *processes* start with an empty stack (parallel
+runners collect per-worker records and merge them explicitly; see
+:mod:`repro.sim.parallel`).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+from .metrics import NULL_TELEMETRY, Telemetry
+
+__all__ = ["current", "enabled", "use", "activate", "deactivate", "reset"]
+
+_local = threading.local()
+
+
+def _stack() -> list:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = []
+        _local.stack = stack
+    return stack
+
+
+def current() -> Telemetry:
+    """The active telemetry, or the disabled singleton."""
+    stack = _stack()
+    return stack[-1] if stack else NULL_TELEMETRY
+
+
+def enabled() -> bool:
+    """Whether the active telemetry actually records anything."""
+    return current().enabled
+
+
+def activate(telemetry: Telemetry) -> Telemetry:
+    """Push ``telemetry`` as the ambient instance; returns it."""
+    _stack().append(telemetry)
+    return telemetry
+
+
+def deactivate(telemetry: Telemetry | None = None) -> None:
+    """Pop the ambient telemetry (optionally verifying identity).
+
+    A ``telemetry`` argument guards against unbalanced push/pop in CLI
+    teardown paths: popping when the given instance is not on top is a
+    programming error worth surfacing.
+    """
+    stack = _stack()
+    if not stack:
+        raise RuntimeError("no telemetry is active")
+    if telemetry is not None and stack[-1] is not telemetry:
+        raise RuntimeError("deactivate() does not match the active "
+                           "telemetry instance")
+    stack.pop()
+
+
+def reset() -> None:
+    """Clear this thread's activation stack unconditionally.
+
+    For pool-worker initializers: fork-started workers inherit the
+    parent's stack (including sinks holding open file handles), which
+    must not receive the worker's records.
+    """
+    _stack().clear()
+
+
+@contextmanager
+def use(telemetry: Telemetry | None):
+    """Scope ``telemetry`` to a block; ``None`` leaves the ambient as-is."""
+    if telemetry is None:
+        yield current()
+        return
+    activate(telemetry)
+    try:
+        yield telemetry
+    finally:
+        deactivate(telemetry)

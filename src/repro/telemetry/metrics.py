@@ -1,0 +1,199 @@
+"""Zero-dependency metrics primitives: counters, observations, spans.
+
+The telemetry layer answers the question the engines' ``RunResult``
+alone cannot: *where* did a sweep spend its interactions, rounds, and
+wall seconds?  A :class:`Telemetry` instance fans uniformly shaped
+records out to pluggable sinks (:mod:`repro.telemetry.sinks`); every
+record is a plain dict, so sinks can serialize, aggregate, or ship
+them across process boundaries without any schema machinery.
+
+Record shape (the *trace schema*, version
+:data:`~repro.telemetry.sinks.TRACE_SCHEMA_VERSION`)::
+
+    {"ts": <float, seconds since epoch>,
+     "kind": "counter" | "observation" | "span" | "event",
+     "name": <dotted metric name, e.g. "engine.run">,
+     "value": <number or None (events carry no value)>,
+     "labels": {<str>: <str | int | float | bool | None>, ...}}
+
+* **counter** — a monotonically accumulated quantity (interactions
+  executed, cache hits).  ``value`` is the increment.
+* **observation** — one sample of a distribution (per-trial parallel
+  time); sinks build histograms out of them.
+* **span** — a timed region; ``value`` is the duration in seconds.
+* **event** — a structured fact with no numeric value (an engine
+  fallback, a journal replay); the payload lives in ``labels``.
+
+Overhead contract
+-----------------
+Telemetry is **off by default** and free when off: every emitting
+method checks :attr:`Telemetry.enabled` first, and the ambient
+:func:`repro.telemetry.context.current` instance is a shared disabled
+singleton unless a caller activated one.  Instrumented hot paths only
+ever record *aggregates* — one record per engine run or per ensemble
+chunk, never one per interaction — so enabling telemetry perturbs
+throughput by well under the 2% budget the acceptance bench allows.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+
+__all__ = ["Telemetry", "Histogram", "NULL_TELEMETRY"]
+
+_KINDS = ("counter", "observation", "span", "event")
+
+
+class Telemetry:
+    """Fan records out to sinks; a disabled instance is a no-op.
+
+    Parameters
+    ----------
+    sinks:
+        Iterable of sink objects implementing ``emit(record: dict)``
+        (and optionally ``close()``); see :mod:`repro.telemetry.sinks`.
+    enabled:
+        ``False`` builds a permanently disabled instance whose
+        emitting methods return before touching any sink — the
+        zero-overhead test in ``tests/telemetry`` asserts exactly
+        this.
+    """
+
+    __slots__ = ("sinks", "enabled")
+
+    def __init__(self, sinks=(), *, enabled: bool = True):
+        self.sinks = tuple(sinks)
+        self.enabled = bool(enabled)
+
+    # -- emitters -----------------------------------------------------
+
+    def count(self, name: str, value: float = 1, **labels) -> None:
+        """Accumulate ``value`` onto the counter ``name``."""
+        if not self.enabled:
+            return
+        self._emit("counter", name, value, labels)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Record one sample of the distribution ``name``."""
+        if not self.enabled:
+            return
+        self._emit("observation", name, value, labels)
+
+    def event(self, name: str, **labels) -> None:
+        """Record a structured event; the payload is the labels."""
+        if not self.enabled:
+            return
+        self._emit("event", name, None, labels)
+
+    def record_span(self, name: str, seconds: float, **labels) -> None:
+        """Record an already-measured timed region."""
+        if not self.enabled:
+            return
+        self._emit("span", name, seconds, labels)
+
+    @contextmanager
+    def span(self, name: str, **labels):
+        """Time a ``with`` block and record it as a span."""
+        if not self.enabled:
+            yield self
+            return
+        started = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.record_span(name, time.perf_counter() - started,
+                             **labels)
+
+    def ingest(self, records) -> None:
+        """Replay records emitted elsewhere (e.g. by a pool worker).
+
+        Records pass through verbatim — timestamps and labels are the
+        worker's — so a parent process can merge per-worker in-memory
+        sinks into its own trace.
+        """
+        if not self.enabled:
+            return
+        for record in records:
+            for sink in self.sinks:
+                sink.emit(record)
+
+    def close(self) -> None:
+        """Close every sink that supports closing (flush trace files)."""
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+    # -- plumbing -----------------------------------------------------
+
+    def _emit(self, kind: str, name: str, value, labels: dict) -> None:
+        record = {"ts": time.time(), "kind": kind, "name": name,
+                  "value": value, "labels": labels}
+        for sink in self.sinks:
+            sink.emit(record)
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"<Telemetry {state} sinks={len(self.sinks)}>"
+
+
+#: The shared permanently disabled instance
+#: :func:`repro.telemetry.context.current` hands out when no telemetry
+#: is active.  Emitting through it is a single attribute check.
+NULL_TELEMETRY = Telemetry((), enabled=False)
+
+
+class Histogram:
+    """A streaming value distribution (exact, retains samples).
+
+    Used by the summary sink to aggregate observations and span
+    durations.  Designed for experiment-scale cardinalities (one
+    sample per run or chunk, not per interaction), so retaining the
+    raw samples for exact quantiles is fine.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values=()):
+        self._values = list(values)
+
+    def add(self, value: float) -> None:
+        self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        return math.fsum(self._values)
+
+    @property
+    def min(self) -> float:
+        return min(self._values) if self._values else math.nan
+
+    @property
+    def max(self) -> float:
+        return max(self._values) if self._values else math.nan
+
+    @property
+    def mean(self) -> float:
+        if not self._values:
+            return math.nan
+        return self.total / len(self._values)
+
+    def quantile(self, q: float) -> float:
+        """Exact ``q``-quantile (nearest-rank) of the samples."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._values:
+            return math.nan
+        ordered = sorted(self._values)
+        rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+        return ordered[rank]
+
+    def __repr__(self) -> str:
+        return (f"<Histogram count={self.count} mean={self.mean:.4g} "
+                f"min={self.min:.4g} max={self.max:.4g}>")

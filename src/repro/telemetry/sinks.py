@@ -1,0 +1,220 @@
+"""Telemetry sinks: in-memory (tests), JSONL trace file, human summary.
+
+Every sink implements ``emit(record: dict)`` for the record shape
+documented in :mod:`repro.telemetry.metrics`, plus an optional
+``close()``.  Sinks never raise on well-formed records; the trace
+validator below is the single place that enforces the schema, so the
+CI smoke job (``figure3 --scale smoke --trace-file ...`` followed by
+``python -m repro.telemetry <file>``) catches schema drift.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import defaultdict
+from pathlib import Path
+
+from .metrics import Histogram
+
+__all__ = [
+    "InMemorySink",
+    "JsonlTraceSink",
+    "SummarySink",
+    "TRACE_SCHEMA_VERSION",
+    "validate_trace_record",
+    "validate_trace_file",
+]
+
+#: Version stamp written as the first line of every JSONL trace.
+TRACE_SCHEMA_VERSION = 1
+
+_KINDS = frozenset({"counter", "observation", "span", "event"})
+_LABEL_TYPES = (str, int, float, bool, type(None))
+
+
+class InMemorySink:
+    """Record everything; query helpers for test assertions."""
+
+    def __init__(self):
+        self.records: list[dict] = []
+
+    def emit(self, record: dict) -> None:
+        self.records.append(record)
+
+    # -- queries ------------------------------------------------------
+
+    def named(self, name: str, kind: str | None = None) -> list[dict]:
+        """All records called ``name`` (optionally of one kind)."""
+        return [r for r in self.records
+                if r["name"] == name and (kind is None or r["kind"] == kind)]
+
+    def total(self, name: str, **labels) -> float:
+        """Sum of counter increments for ``name`` matching ``labels``."""
+        return sum(r["value"] for r in self.named(name, "counter")
+                   if all(r["labels"].get(k) == v
+                          for k, v in labels.items()))
+
+    def values(self, name: str) -> list[float]:
+        """Observation samples recorded under ``name``."""
+        return [r["value"] for r in self.named(name, "observation")]
+
+    def spans(self, name: str) -> list[dict]:
+        return self.named(name, "span")
+
+    def events(self, name: str) -> list[dict]:
+        return self.named(name, "event")
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class JsonlTraceSink:
+    """Append records to a JSONL trace file, one JSON object per line.
+
+    The first line is a header record ``{"kind": "trace-header",
+    "schema": TRACE_SCHEMA_VERSION}`` so readers can reject traces
+    from a different schema generation.  The file handle is opened
+    lazily on the first record and flushed per line — a crashed run
+    leaves a readable prefix, mirroring the runstore journal contract.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._handle = None
+
+    def emit(self, record: dict) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "w", encoding="utf-8")
+            header = {"kind": "trace-header",
+                      "schema": TRACE_SCHEMA_VERSION}
+            self._handle.write(json.dumps(header) + "\n")
+        self._handle.write(
+            json.dumps(record, separators=(",", ":"), default=str) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class SummarySink:
+    """Aggregate records into a human-readable end-of-run summary."""
+
+    def __init__(self):
+        self.counters: dict[str, float] = defaultdict(float)
+        self.observations: dict[str, Histogram] = defaultdict(Histogram)
+        self.span_times: dict[str, Histogram] = defaultdict(Histogram)
+        self.event_counts: dict[str, int] = defaultdict(int)
+
+    def emit(self, record: dict) -> None:
+        kind, name = record["kind"], record["name"]
+        if kind == "counter":
+            self.counters[name] += record["value"]
+        elif kind == "observation":
+            self.observations[name].add(record["value"])
+        elif kind == "span":
+            self.span_times[name].add(record["value"])
+        elif kind == "event":
+            self.event_counts[name] += 1
+
+    def render(self) -> str:
+        """The summary block printed by ``--telemetry`` runs."""
+        lines = ["telemetry summary:"]
+        for name in sorted(self.counters):
+            lines.append(f"  counter  {name} = {self.counters[name]:g}")
+        for name in sorted(self.span_times):
+            h = self.span_times[name]
+            lines.append(
+                f"  span     {name}: n={h.count} total={h.total:.3f}s "
+                f"mean={h.mean:.4f}s max={h.max:.4f}s")
+        for name in sorted(self.observations):
+            h = self.observations[name]
+            lines.append(
+                f"  observe  {name}: n={h.count} mean={h.mean:.4g} "
+                f"p50={h.quantile(0.5):.4g} max={h.max:.4g}")
+        for name in sorted(self.event_counts):
+            lines.append(f"  event    {name} x{self.event_counts[name]}")
+        if len(lines) == 1:
+            lines.append("  (no records)")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Trace validation (the CI smoke contract)
+# ----------------------------------------------------------------------
+
+def validate_trace_record(record) -> None:
+    """Raise ``ValueError`` unless ``record`` matches the trace schema."""
+    if not isinstance(record, dict):
+        raise ValueError(f"trace record must be an object, got "
+                         f"{type(record).__name__}")
+    if record.get("kind") == "trace-header":
+        if record.get("schema") != TRACE_SCHEMA_VERSION:
+            raise ValueError(
+                f"trace schema {record.get('schema')!r} does not match "
+                f"current version {TRACE_SCHEMA_VERSION}")
+        return
+    missing = {"ts", "kind", "name", "value", "labels"} - set(record)
+    if missing:
+        raise ValueError(f"trace record missing fields {sorted(missing)}")
+    if record["kind"] not in _KINDS:
+        raise ValueError(f"unknown record kind {record['kind']!r}")
+    if not isinstance(record["ts"], (int, float)):
+        raise ValueError(f"ts must be numeric, got {record['ts']!r}")
+    if not isinstance(record["name"], str) or not record["name"]:
+        raise ValueError(f"name must be a non-empty string, "
+                         f"got {record['name']!r}")
+    value = record["value"]
+    if record["kind"] == "event":
+        if value is not None:
+            raise ValueError("event records carry no value")
+    else:
+        if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                or (isinstance(value, float) and math.isnan(value)):
+            raise ValueError(
+                f"{record['kind']} value must be a number, got {value!r}")
+    labels = record["labels"]
+    if not isinstance(labels, dict):
+        raise ValueError(f"labels must be an object, got {labels!r}")
+    for key, item in labels.items():
+        if not isinstance(key, str):
+            raise ValueError(f"label keys must be strings, got {key!r}")
+        if not isinstance(item, _LABEL_TYPES):
+            raise ValueError(
+                f"label {key!r} has non-scalar value {item!r}")
+
+
+def validate_trace_file(path) -> dict:
+    """Validate a JSONL trace; return per-kind record counts.
+
+    Raises ``ValueError`` on the first malformed line, with the line
+    number in the message.  An empty file is invalid (a real trace
+    always starts with its header).
+    """
+    counts: dict[str, int] = defaultdict(int)
+    seen_header = False
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as error:
+                raise ValueError(
+                    f"{path}:{lineno}: not valid JSON: {error}") from None
+            try:
+                validate_trace_record(record)
+            except ValueError as error:
+                raise ValueError(f"{path}:{lineno}: {error}") from None
+            if record.get("kind") == "trace-header":
+                if seen_header:
+                    raise ValueError(f"{path}:{lineno}: duplicate header")
+                seen_header = True
+            else:
+                counts[record["kind"]] += 1
+    if not seen_header:
+        raise ValueError(f"{path}: missing trace-header line")
+    return dict(counts)

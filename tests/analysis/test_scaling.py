@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro import FourStateProtocol, InvalidParameterError, run_trials
+from repro import (
+    FourStateProtocol,
+    InvalidParameterError,
+    RunSpec,
+    run_trials,
+)
 from repro.analysis.scaling import fit_logarithmic, fit_power_law
 from repro.lowerbounds.info_propagation import expected_propagation_steps
 
@@ -65,8 +70,10 @@ class TestOnMeasuredData:
         margins = [3 / n, 9 / n, 27 / n, 81 / n]
         times = []
         for index, epsilon in enumerate(margins):
-            stats = run_trials(protocol, num_trials=20, seed=40 + index,
-                               stats=True, n=n, epsilon=epsilon)
+            stats = run_trials(RunSpec(protocol, num_trials=20,
+                                       seed=40 + index, n=n,
+                                       epsilon=epsilon),
+                               stats=True)
             times.append(stats.mean_parallel_time)
         fit = fit_power_law(margins, times)
         assert -1.35 < fit.exponent < -0.65

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import AVCProtocol, InvalidParameterError, run_majority
+from repro import AVCProtocol, InvalidParameterError, RunSpec, run_majority
 from repro.analysis.trajectory import analyze_avc_trajectory
 from repro.sim.record import TrajectoryRecorder
 
@@ -11,8 +11,9 @@ from repro.sim.record import TrajectoryRecorder
 def recorded_run(protocol, n, epsilon, seed, interval=None):
     recorder = TrajectoryRecorder(
         interval_steps=interval or max(1, n // 5))
-    result = run_majority(protocol, n=n, epsilon=epsilon, seed=seed,
-                          engine="count", recorder=recorder)
+    result = run_majority(RunSpec(protocol, n=n, epsilon=epsilon,
+                                  seed=seed, engine="count",
+                                  recorder=recorder))
     steps, matrix = recorder.as_matrix()
     return result, analyze_avc_trajectory(protocol, steps, matrix)
 

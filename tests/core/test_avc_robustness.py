@@ -12,7 +12,7 @@ flip the winning side.
 
 import pytest
 
-from repro import AVCProtocol, run
+from repro import AVCProtocol, RunSpec, run
 from repro.core.states import intermediate_state, strong_state, weak_state
 from repro.rng import ensure_rng
 from repro.sim import CountEngine
@@ -38,7 +38,7 @@ class TestArbitraryStartingConfigurations:
         if total == 0:
             counts[strong_state(3)] = counts.get(strong_state(3), 0) + 1
             total = 3
-        result = run(protocol, counts, rng=rng)
+        result = run(RunSpec(protocol, initial=counts, seed=rng))
         assert result.settled
         assert result.decision == (1 if total > 0 else 0)
 
@@ -51,7 +51,7 @@ class TestArbitraryStartingConfigurations:
             intermediate_state(-1, 3): 1, # -1
             weak_state(1): 7,             # 0
         }                                 # total -2: B must win
-        result = run(protocol, counts, seed=4)
+        result = run(RunSpec(protocol, initial=counts, seed=4))
         assert result.settled
         assert result.decision == 0
 
@@ -60,7 +60,7 @@ class TestArbitraryStartingConfigurations:
         protocol = AVCProtocol(m=5, d=1)
         counts = {weak_state(1): 20, weak_state(-1): 20,
                   strong_state(-5): 1}
-        result = run(protocol, counts, seed=9)
+        result = run(RunSpec(protocol, initial=counts, seed=9))
         assert result.settled
         assert result.decision == 0
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import run_trials
+from repro import RunSpec, run_trials
 from repro.lowerbounds.four_state_search import (
     Candidate,
     DISTINCT_PAIRS,
@@ -141,8 +141,9 @@ class TestEmpiricalSlowness:
         times = []
         for n, margin in ((25, 5), (125, 5)):
             epsilon = margin / n
-            stats = run_trials(protocol, num_trials=30, seed=1, stats=True,
-                               n=n, epsilon=epsilon)
+            stats = run_trials(RunSpec(protocol, num_trials=30, seed=1,
+                                       n=n, epsilon=epsilon),
+                               stats=True)
             assert stats.error_fraction == 0.0
             times.append(stats.mean_parallel_time)
         # eps drops 5x between the scenarios; expect clearly

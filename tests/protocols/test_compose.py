@@ -5,6 +5,7 @@ import pytest
 from repro import (
     InvalidParameterError,
     PairwiseLeaderElection,
+    RunSpec,
     ThreeStateProtocol,
     VoterProtocol,
     run,
@@ -74,7 +75,7 @@ class TestEndToEnd:
             leader.initial_counts(n), rng=0)
         assert sum(counts.values()) == n
 
-        result = run(product, counts, seed=5)
+        result = run(RunSpec(product, initial=counts, seed=5))
         assert result.settled
         majority_marginal = product._marginal(result.final_counts, 0)
         leader_marginal = product._marginal(result.final_counts, 1)

@@ -4,7 +4,7 @@ import itertools
 
 import pytest
 
-from repro import ThreeStateProtocol, run_majority
+from repro import RunSpec, ThreeStateProtocol, run_majority
 from repro.errors import ProtocolError
 from repro.protocols.dsl import parse_protocol
 from repro.protocols.table import MajorityTableProtocol, TableProtocol
@@ -35,7 +35,8 @@ class TestParsing:
 
     def test_parsed_protocol_runs(self):
         parsed = parse_protocol(THREE_STATE_SPEC)
-        result = run_majority(parsed, n=51, epsilon=5 / 51, seed=0)
+        result = run_majority(RunSpec(parsed, n=51, epsilon=5 / 51,
+                                      seed=0))
         assert result.settled
 
     def test_plain_table_without_inputs(self):

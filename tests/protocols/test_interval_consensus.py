@@ -6,7 +6,12 @@ import itertools
 import networkx as nx
 import pytest
 
-from repro import FourStateProtocol, IntervalConsensusProtocol, run_majority
+from repro import (
+    FourStateProtocol,
+    IntervalConsensusProtocol,
+    RunSpec,
+    run_majority,
+)
 from repro.protocols.four_state import (
     STRONG_MINUS,
     STRONG_PLUS,
@@ -96,7 +101,8 @@ class TestGeneralGraphExactness:
     ], ids=("ring", "path", "star"))
     def test_exact_on_sparse_graphs(self, protocol, graph):
         for seed in range(4):
-            result = run_majority(protocol, count_a=9, count_b=6,
-                                  graph=graph, seed=seed)
+            result = run_majority(RunSpec(protocol, count_a=9,
+                                          count_b=6, graph=graph,
+                                          seed=seed))
             assert result.settled
             assert result.decision == 1

@@ -6,6 +6,7 @@ from repro import (
     InvalidParameterError,
     LeveledLeaderElection,
     PairwiseLeaderElection,
+    RunSpec,
     run,
 )
 from repro.protocols.leader_election import FOLLOWER
@@ -85,7 +86,9 @@ class TestLeveled:
 
     def test_elects_exactly_one_leader(self):
         protocol = LeveledLeaderElection(levels=4)
-        result = run(protocol, protocol.initial_counts(50), seed=5)
+        result = run(RunSpec(protocol,
+                             initial=protocol.initial_counts(50),
+                             seed=5))
         assert result.settled
         assert protocol.num_leaders(result.final_counts) == 1
 

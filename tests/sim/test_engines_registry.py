@@ -1,0 +1,93 @@
+"""The engine registry: registration, policies, resolution."""
+
+import pytest
+
+from repro import FourStateProtocol, InvalidParameterError
+from repro.sim import CountEngine, engines
+from repro.sim.count_engine import CountEngine as CountEngineClass
+
+
+@pytest.fixture
+def cleanup():
+    """Remove any names a test registered."""
+    added = []
+    yield added.append
+    for name in added:
+        try:
+            engines.unregister(name)
+        except InvalidParameterError:
+            pass
+
+
+class TestBuiltins:
+    def test_available_lists_policies_then_engines(self):
+        assert engines.available() == (
+            "auto", "agent", "batch", "continuous-time", "count",
+            "ensemble", "null-skipping")
+
+    def test_is_policy(self):
+        assert engines.is_policy("auto")
+        assert not engines.is_policy("count")
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(InvalidParameterError, match="auto"):
+            engines.get("warp-drive")
+
+
+class TestRegistration:
+    def test_register_and_create(self, cleanup):
+        engines.register("mine", lambda protocol, **_:
+                         CountEngineClass(protocol))
+        cleanup("mine")
+        engine = engines.create(FourStateProtocol(), "mine")
+        assert isinstance(engine, CountEngine)
+
+    def test_duplicate_requires_replace(self, cleanup):
+        engines.register("dup", lambda protocol, **_: None)
+        cleanup("dup")
+        with pytest.raises(InvalidParameterError, match="replace=True"):
+            engines.register("dup", lambda protocol, **_: None)
+        engines.register("dup", lambda protocol, **_:
+                         CountEngineClass(protocol), replace=True)
+        assert isinstance(engines.create(FourStateProtocol(), "dup"),
+                          CountEngine)
+
+    def test_unregister(self):
+        engines.register("ephemeral", lambda protocol, **_: None)
+        engines.unregister("ephemeral")
+        with pytest.raises(InvalidParameterError):
+            engines.get("ephemeral")
+        with pytest.raises(InvalidParameterError):
+            engines.unregister("ephemeral")
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            engines.register("", lambda protocol, **_: None)
+
+    def test_graph_requires_supports_graph(self, cleanup):
+        engines.register("no-graph", lambda protocol, **_:
+                         CountEngineClass(protocol))
+        cleanup("no-graph")
+        with pytest.raises(InvalidParameterError, match="complete graph"):
+            engines.create(FourStateProtocol(), "no-graph",
+                           graph=object())
+
+
+class TestPolicies:
+    def test_policy_chain_resolves(self, cleanup):
+        engines.register_policy("indirect", lambda protocol, **_: "auto")
+        cleanup("indirect")
+        resolved = engines.resolve_name("indirect", FourStateProtocol())
+        assert resolved == "null-skipping"
+
+    def test_policy_cycle_detected(self, cleanup):
+        engines.register_policy("ping", lambda protocol, **_: "pong")
+        cleanup("ping")
+        engines.register_policy("pong", lambda protocol, **_: "ping")
+        cleanup("pong")
+        with pytest.raises(InvalidParameterError, match="cycle"):
+            engines.resolve_name("ping", FourStateProtocol())
+
+    def test_auto_is_a_registered_policy(self):
+        entry = engines.get("auto")
+        assert entry.policy is not None and entry.factory is None

@@ -20,7 +20,7 @@ from repro import (
 )
 from repro.protocols.leader_election import PairwiseLeaderElection
 from repro.sim import CountEngine, EnsembleEngine, NullSkippingEngine
-from repro.sim.run import make_engine, run_trials
+from repro.sim.run import RunSpec, make_engine, run_trials
 
 
 def avc():
@@ -110,17 +110,20 @@ class TestRunEnsemble:
 
 class TestRunTrialsRouting:
     def test_explicit_ensemble_engine(self):
-        stats = run_trials(avc(), num_trials=25, seed=5, stats=True,
-                           engine="ensemble", n=61, epsilon=11 / 61)
+        stats = run_trials(RunSpec(avc(), num_trials=25, seed=5,
+                                   engine="ensemble", n=61,
+                                   epsilon=11 / 61),
+                           stats=True)
         assert stats.num_settled == 25
         assert stats.error_fraction == 0.0
 
     def test_recorder_and_observer_are_rejected(self):
         for unsupported in ("recorder", "event_observer", "graph"):
             with pytest.raises(InvalidParameterError, match="ensemble"):
-                run_trials(avc(), num_trials=2, seed=0,
-                           engine="ensemble", n=61, epsilon=11 / 61,
-                           **{unsupported: object()})
+                run_trials(RunSpec(avc(), num_trials=2, seed=0,
+                                   engine="ensemble", n=61,
+                                   epsilon=11 / 61,
+                                   **{unsupported: object()}))
 
     def test_auto_upgrades_large_unanimity_protocols(self):
         wide = AVCProtocol.with_num_states(18)
@@ -135,8 +138,9 @@ class TestRunTrialsRouting:
 
     def test_auto_route_matches_explicit_ensemble(self):
         wide = AVCProtocol.with_num_states(18)
-        kwargs = dict(num_trials=12, seed=21, n=41, epsilon=5 / 41)
-        auto = run_trials(wide, engine="auto", **kwargs)
-        explicit = run_trials(wide, engine="ensemble", **kwargs)
+        spec = RunSpec(wide, num_trials=12, seed=21, n=41,
+                       epsilon=5 / 41)
+        auto = run_trials(spec.replace(engine="auto"))
+        explicit = run_trials(spec.replace(engine="ensemble"))
         assert [(r.steps, r.decision) for r in auto] \
             == [(r.steps, r.decision) for r in explicit]

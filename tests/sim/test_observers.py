@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import AVCProtocol, FourStateProtocol, run_majority
+from repro import AVCProtocol, FourStateProtocol, RunSpec, run_majority
 from repro.sim import AgentEngine, BatchEngine, CountEngine, \
     NullSkippingEngine
 from repro.sim.observers import RuleCensus, avc_rule_classifier
@@ -58,8 +58,9 @@ class TestRuleCensus:
     def test_avc_rule_mix(self):
         protocol = AVCProtocol(m=9, d=2)
         census = RuleCensus(avc_rule_classifier(protocol))
-        result = run_majority(protocol, n=101, epsilon=5 / 101, seed=5,
-                              engine="count", event_observer=census)
+        result = run_majority(RunSpec(protocol, n=101, epsilon=5 / 101,
+                                      seed=5, engine="count",
+                                      event_observer=census))
         assert result.settled
         assert census.total == result.productive_steps
         # A normal run exercises averaging, neutralization and follow.
@@ -73,8 +74,8 @@ class TestRuleCensus:
         """AVC(m=1) never fires rule 1 — everything is weight <= 1."""
         protocol = AVCProtocol(m=1, d=1)
         census = RuleCensus(avc_rule_classifier(protocol))
-        run_majority(protocol, n=51, epsilon=5 / 51, seed=6,
-                     engine="count", event_observer=census)
+        run_majority(RunSpec(protocol, n=51, epsilon=5 / 51, seed=6,
+                             engine="count", event_observer=census))
         assert census.counts["averaging"] == 0
         assert census.counts["neutralization"] > 0
 
@@ -86,6 +87,6 @@ class TestRuleCensus:
     def test_shift_events_with_deep_levels(self):
         protocol = AVCProtocol(m=3, d=6)
         census = RuleCensus(avc_rule_classifier(protocol))
-        run_majority(protocol, n=101, epsilon=1 / 101, seed=7,
-                     engine="count", event_observer=census)
+        run_majority(RunSpec(protocol, n=101, epsilon=1 / 101, seed=7,
+                             engine="count", event_observer=census))
         assert census.counts["shift"] > 0

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro import FourStateProtocol, InvalidParameterError, ThreeStateProtocol
+from repro import (
+    FourStateProtocol,
+    InvalidParameterError,
+    RunSpec,
+    ThreeStateProtocol,
+)
 from repro.sim import TrialStats
 from repro.sim.parallel import run_trials_parallel
 from repro.sim.run import run_trials
@@ -10,39 +15,36 @@ from repro.sim.run import run_trials
 
 class TestRunTrialsParallel:
     def test_matches_sequential_results_exactly(self):
-        protocol = ThreeStateProtocol()
-        kwargs = dict(n=51, epsilon=5 / 51)
-        sequential = run_trials(protocol, num_trials=6, seed=13, **kwargs)
-        parallel = run_trials_parallel(protocol, num_trials=6, seed=13,
-                                       processes=2, **kwargs)
+        spec = RunSpec(ThreeStateProtocol(), num_trials=6, seed=13,
+                       n=51, epsilon=5 / 51)
+        sequential = run_trials(spec)
+        parallel = run_trials_parallel(spec, processes=2)
         assert [r.steps for r in parallel] \
             == [r.steps for r in sequential]
         assert [r.decision for r in parallel] \
             == [r.decision for r in sequential]
 
     def test_stats_mode(self):
-        stats = run_trials_parallel(FourStateProtocol(), num_trials=4,
-                                    seed=1, processes=2, stats=True,
-                                    n=21, epsilon=1 / 21)
+        stats = run_trials_parallel(
+            RunSpec(FourStateProtocol(), num_trials=4, seed=1,
+                    n=21, epsilon=1 / 21),
+            processes=2, stats=True)
         assert isinstance(stats, TrialStats)
         assert stats.num_settled == 4
         assert stats.error_fraction == 0.0
 
     def test_validation(self):
         with pytest.raises(InvalidParameterError):
-            run_trials_parallel(FourStateProtocol(), num_trials=0,
-                                n=11, epsilon=1 / 11)
-        with pytest.raises(InvalidParameterError):
-            run_trials_parallel(FourStateProtocol(), num_trials=2,
-                                processes=0, n=11, epsilon=1 / 11)
+            run_trials_parallel(RunSpec(FourStateProtocol(), num_trials=2,
+                                        n=11, epsilon=1 / 11),
+                                processes=0)
 
     def test_seed_7_regression(self):
         """run_trials_parallel(seed=7) must equal run_trials(seed=7)."""
-        protocol = FourStateProtocol()
-        kwargs = dict(n=31, epsilon=3 / 31)
-        sequential = run_trials(protocol, num_trials=5, seed=7, **kwargs)
-        parallel = run_trials_parallel(protocol, num_trials=5, seed=7,
-                                       processes=2, **kwargs)
+        spec = RunSpec(FourStateProtocol(), num_trials=5, seed=7,
+                       n=31, epsilon=3 / 31)
+        sequential = run_trials(spec)
+        parallel = run_trials_parallel(spec, processes=2)
         assert [(r.steps, r.decision) for r in parallel] \
             == [(r.steps, r.decision) for r in sequential]
 
@@ -56,11 +58,10 @@ class TestRunTrialsParallel:
 
         protocol = AVCProtocol.with_num_states(18)
         trials = ENSEMBLE_CHUNK_TRIALS + 22  # force >1 chunk
-        kwargs = dict(n=41, epsilon=5 / 41, engine="ensemble")
-        sequential = run_trials(protocol, num_trials=trials, seed=7,
-                                **kwargs)
-        parallel = run_trials_parallel(protocol, num_trials=trials, seed=7,
-                                       processes=2, **kwargs)
+        spec = RunSpec(protocol, num_trials=trials, seed=7,
+                       n=41, epsilon=5 / 41, engine="ensemble")
+        sequential = run_trials(spec)
+        parallel = run_trials_parallel(spec, processes=2)
         assert [(r.steps, r.decision) for r in parallel] \
             == [(r.steps, r.decision) for r in sequential]
 
@@ -68,6 +69,8 @@ class TestRunTrialsParallel:
         from repro import AVCProtocol
 
         protocol = AVCProtocol(m=5, d=2)
-        results = run_trials_parallel(protocol, num_trials=3, seed=2,
-                                      processes=2, n=41, epsilon=5 / 41)
+        results = run_trials_parallel(
+            RunSpec(protocol, num_trials=3, seed=2, n=41,
+                    epsilon=5 / 41),
+            processes=2)
         assert all(r.settled and r.correct for r in results)

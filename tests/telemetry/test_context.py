@@ -1,0 +1,74 @@
+"""The ambient-telemetry stack: current/use/activate/deactivate."""
+
+import pytest
+
+from repro.telemetry import (
+    InMemorySink,
+    NULL_TELEMETRY,
+    Telemetry,
+    current,
+    enabled,
+)
+from repro.telemetry.context import activate, deactivate, reset, use
+
+
+@pytest.fixture(autouse=True)
+def clean_stack():
+    reset()
+    yield
+    reset()
+
+
+class TestAmbientStack:
+    def test_default_is_the_null_singleton(self):
+        assert current() is NULL_TELEMETRY
+        assert enabled() is False
+
+    def test_activate_and_deactivate(self):
+        telemetry = Telemetry([InMemorySink()])
+        assert activate(telemetry) is telemetry
+        assert current() is telemetry
+        assert enabled() is True
+        deactivate(telemetry)
+        assert current() is NULL_TELEMETRY
+
+    def test_deactivate_checks_identity(self):
+        activate(Telemetry([]))
+        with pytest.raises(RuntimeError):
+            deactivate(Telemetry([]))
+        deactivate()
+
+    def test_deactivate_on_empty_stack(self):
+        with pytest.raises(RuntimeError):
+            deactivate()
+
+    def test_nesting_restores_outer(self):
+        outer, inner = Telemetry([]), Telemetry([])
+        activate(outer)
+        with use(inner):
+            assert current() is inner
+        assert current() is outer
+
+    def test_use_none_passes_through_ambient(self):
+        outer = Telemetry([])
+        activate(outer)
+        with use(None) as active:
+            assert active is outer
+            assert current() is outer
+
+    def test_use_none_with_empty_stack_yields_null(self):
+        with use(None) as active:
+            assert active is NULL_TELEMETRY
+
+    def test_use_pops_even_on_error(self):
+        telemetry = Telemetry([])
+        with pytest.raises(RuntimeError, match="boom"):
+            with use(telemetry):
+                raise RuntimeError("boom")
+        assert current() is NULL_TELEMETRY
+
+    def test_reset_clears_everything(self):
+        activate(Telemetry([]))
+        activate(Telemetry([]))
+        reset()
+        assert current() is NULL_TELEMETRY

@@ -1,0 +1,123 @@
+"""Unit tests for the telemetry primitives (Telemetry, Histogram)."""
+
+import math
+
+import pytest
+
+from repro.telemetry import (
+    Histogram,
+    InMemorySink,
+    NULL_TELEMETRY,
+    Telemetry,
+)
+
+
+class RaisingSink:
+    """A sink that must never be touched (the zero-overhead probe)."""
+
+    def emit(self, record):
+        raise AssertionError("disabled telemetry reached a sink")
+
+
+class TestTelemetryEmission:
+    def test_counter_record_shape(self):
+        sink = InMemorySink()
+        Telemetry([sink]).count("x.y", 3, engine="count")
+        (record,) = sink.records
+        assert record["kind"] == "counter"
+        assert record["name"] == "x.y"
+        assert record["value"] == 3
+        assert record["labels"] == {"engine": "count"}
+        assert isinstance(record["ts"], float)
+
+    def test_counter_defaults_to_one(self):
+        sink = InMemorySink()
+        telemetry = Telemetry([sink])
+        telemetry.count("hits")
+        telemetry.count("hits")
+        assert sink.total("hits") == 2
+
+    def test_observation_and_event(self):
+        sink = InMemorySink()
+        telemetry = Telemetry([sink])
+        telemetry.observe("t", 1.5)
+        telemetry.event("fallback", reason="too large")
+        assert sink.values("t") == [1.5]
+        (event,) = sink.events("fallback")
+        assert event["value"] is None
+        assert event["labels"]["reason"] == "too large"
+
+    def test_span_context_manager_times_the_block(self):
+        sink = InMemorySink()
+        with Telemetry([sink]).span("region", n=5):
+            pass
+        (span,) = sink.spans("region")
+        assert span["value"] >= 0.0
+        assert span["labels"] == {"n": 5}
+
+    def test_record_span_direct(self):
+        sink = InMemorySink()
+        Telemetry([sink]).record_span("region", 0.25)
+        assert sink.spans("region")[0]["value"] == 0.25
+
+    def test_fan_out_to_multiple_sinks(self):
+        first, second = InMemorySink(), InMemorySink()
+        Telemetry([first, second]).count("x")
+        assert len(first.records) == len(second.records) == 1
+
+    def test_ingest_replays_verbatim(self):
+        source, target = InMemorySink(), InMemorySink()
+        Telemetry([source]).count("x", 2, worker=1)
+        Telemetry([target]).ingest(source.records)
+        assert target.records == source.records
+
+
+class TestDisabledTelemetry:
+    """The overhead contract: disabled instances never touch a sink."""
+
+    @pytest.mark.parametrize("call", [
+        lambda t: t.count("x"),
+        lambda t: t.observe("x", 1.0),
+        lambda t: t.event("x"),
+        lambda t: t.record_span("x", 0.1),
+        lambda t: t.ingest([{"kind": "counter"}]),
+    ])
+    def test_no_sink_calls_when_disabled(self, call):
+        call(Telemetry([RaisingSink()], enabled=False))
+
+    def test_disabled_span_still_yields(self):
+        telemetry = Telemetry([RaisingSink()], enabled=False)
+        with telemetry.span("region") as inner:
+            assert inner is telemetry
+
+    def test_null_singleton_is_disabled(self):
+        assert NULL_TELEMETRY.enabled is False
+        assert NULL_TELEMETRY.sinks == ()
+
+
+class TestHistogram:
+    def test_streaming_stats(self):
+        h = Histogram()
+        for v in (3.0, 1.0, 2.0):
+            h.add(v)
+        assert h.count == 3
+        assert h.total == 6.0
+        assert h.min == 1.0
+        assert h.max == 3.0
+        assert h.mean == 2.0
+
+    def test_quantiles_nearest_rank(self):
+        h = Histogram(range(1, 11))
+        assert h.quantile(0.5) == 5
+        assert h.quantile(0.0) == 1
+        assert h.quantile(1.0) == 10
+
+    def test_quantile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Histogram([1.0]).quantile(1.5)
+
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert h.count == 0
+        assert math.isnan(h.mean)
+        assert math.isnan(h.quantile(0.5))

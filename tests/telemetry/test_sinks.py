@@ -1,0 +1,111 @@
+"""Sink behavior and the JSONL trace schema contract."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    JsonlTraceSink,
+    SummarySink,
+    TRACE_SCHEMA_VERSION,
+    Telemetry,
+    validate_trace_file,
+    validate_trace_record,
+)
+
+
+def record(**overrides):
+    base = {"ts": 1.0, "kind": "counter", "name": "x", "value": 1,
+            "labels": {}}
+    base.update(overrides)
+    return base
+
+
+class TestJsonlTraceSink:
+    def test_writes_header_then_records(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        telemetry = Telemetry([JsonlTraceSink(path)])
+        telemetry.count("a", 1)
+        telemetry.event("b", why="because")
+        telemetry.close()
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0] == {"kind": "trace-header",
+                            "schema": TRACE_SCHEMA_VERSION}
+        assert [r["name"] for r in lines[1:]] == ["a", "b"]
+
+    def test_no_file_until_first_record(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlTraceSink(path)
+        sink.close()
+        assert not path.exists()
+
+    def test_emitted_trace_validates(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        telemetry = Telemetry([JsonlTraceSink(path)])
+        telemetry.count("a", 2, engine="count")
+        telemetry.record_span("s", 0.5, n=11)
+        telemetry.observe("o", 3.0)
+        telemetry.event("e")
+        telemetry.close()
+        counts = validate_trace_file(path)
+        assert counts == {"counter": 1, "span": 1, "observation": 1,
+                          "event": 1}
+
+
+class TestSummarySink:
+    def test_render_aggregates_every_kind(self):
+        sink = SummarySink()
+        telemetry = Telemetry([sink])
+        telemetry.count("engine.interactions", 10)
+        telemetry.count("engine.interactions", 5)
+        telemetry.record_span("engine.run", 0.5)
+        telemetry.observe("time", 2.0)
+        telemetry.event("fallback")
+        text = sink.render()
+        assert "engine.interactions = 15" in text
+        assert "engine.run" in text
+        assert "fallback x1" in text
+
+    def test_render_empty(self):
+        assert "(no records)" in SummarySink().render()
+
+
+class TestTraceValidation:
+    def test_accepts_well_formed_records(self):
+        validate_trace_record(record())
+        validate_trace_record(record(kind="event", value=None))
+        validate_trace_record(record(kind="span", value=0.5,
+                                     labels={"engine": "count",
+                                             "ok": True, "x": None}))
+
+    @pytest.mark.parametrize("bad", [
+        record(kind="mystery"),
+        record(value="three"),
+        record(value=float("nan")),
+        record(kind="event", value=1),
+        record(name=""),
+        record(labels={"k": object()}),
+        record(labels="not-a-dict"),
+        {"kind": "counter"},
+        "not a dict",
+    ])
+    def test_rejects_malformed_records(self, bad):
+        with pytest.raises(ValueError):
+            validate_trace_record(bad)
+
+    def test_rejects_wrong_schema_version(self):
+        with pytest.raises(ValueError, match="schema"):
+            validate_trace_record({"kind": "trace-header", "schema": -1})
+
+    def test_file_without_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps(record()) + "\n")
+        with pytest.raises(ValueError, match="header"):
+            validate_trace_file(path)
+
+    def test_file_with_bad_line_reports_lineno(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        header = {"kind": "trace-header", "schema": TRACE_SCHEMA_VERSION}
+        path.write_text(json.dumps(header) + "\nnot json\n")
+        with pytest.raises(ValueError, match=":2"):
+            validate_trace_file(path)

@@ -26,10 +26,11 @@ def test_all_exports_resolve():
 
 def test_quickstart_from_module_docstring():
     """The package docstring's example must actually run."""
-    from repro import AVCProtocol, run_majority
+    from repro import AVCProtocol, RunSpec, run_majority
 
     protocol = AVCProtocol.with_num_states(s=64)
-    result = run_majority(protocol, n=101, epsilon=1 / 101, seed=0)
+    result = run_majority(RunSpec(protocol, n=101, epsilon=1 / 101,
+                                  seed=0))
     assert result.settled
     assert result.correct
 

@@ -111,12 +111,12 @@ def test_kernel_agrees_with_reference_on_random_parameterizations(m, d,
 def test_avc_exactness_property(count_a, count_b, seed):
     """Property: AVC never decides for the minority, whatever the
     split and seed."""
-    from repro import run_majority
+    from repro import RunSpec, run_majority
 
     if count_a == count_b:
         return
     protocol = AVCProtocol(m=3, d=1)
-    result = run_majority(protocol, count_a=count_a, count_b=count_b,
-                          seed=seed)
+    result = run_majority(RunSpec(protocol, count_a=count_a,
+                                  count_b=count_b, seed=seed))
     assert result.settled
     assert result.decision == (1 if count_a > count_b else 0)

@@ -11,7 +11,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import TableProtocol, run
+from repro import RunSpec, TableProtocol, run
 from repro.protocols.table import MajorityTableProtocol
 from repro.sim import AgentEngine, BatchEngine, CountEngine, \
     NullSkippingEngine
@@ -71,8 +71,8 @@ def test_final_states_lie_in_support_closure(data, seed):
     protocol = random_table_protocol(data.draw)
     counts = random_counts(data.draw, protocol)
     closure = protocol.support_closure(frozenset(counts))
-    result = run(protocol, counts, engine="count", seed=seed,
-                 max_steps=400)
+    result = run(RunSpec(protocol, initial=counts, engine="count",
+                         seed=seed, max_steps=400))
     assert set(result.final_counts) <= set(closure)
 
 
@@ -84,12 +84,13 @@ def test_settled_runs_really_are_settled(data, seed):
     by resuming with a different seed)."""
     protocol = random_table_protocol(data.draw)
     counts = random_counts(data.draw, protocol)
-    result = run(protocol, counts, engine="agent", seed=seed,
-                 max_steps=400)
+    result = run(RunSpec(protocol, initial=counts, engine="agent",
+                         seed=seed, max_steps=400))
     if not result.settled:
         return
-    resumed = run(protocol, result.final_counts, engine="agent",
-                  seed=seed + 1, max_steps=200)
+    resumed = run(RunSpec(protocol, initial=result.final_counts,
+                          engine="agent", seed=seed + 1,
+                          max_steps=200))
     assert resumed.settled
     assert resumed.decision == result.decision
 
@@ -99,10 +100,10 @@ def test_settled_runs_really_are_settled(data, seed):
 def test_engines_deterministic_per_seed(data, seed):
     protocol = random_table_protocol(data.draw)
     counts = random_counts(data.draw, protocol)
-    first = run(protocol, counts, engine="count", seed=seed,
-                max_steps=300)
-    second = run(protocol, counts, engine="count", seed=seed,
-                 max_steps=300)
+    spec = RunSpec(protocol, initial=counts, engine="count",
+                   seed=seed, max_steps=300)
+    first = run(spec)
+    second = run(spec)
     assert first.steps == second.steps
     assert first.final_counts == second.final_counts
 

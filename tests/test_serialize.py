@@ -12,6 +12,7 @@ from repro import (
     IntervalConsensusProtocol,
     LeveledLeaderElection,
     PairwiseLeaderElection,
+    RunSpec,
     ThreeStateProtocol,
     VoterProtocol,
     run_majority,
@@ -80,7 +81,8 @@ class TestProtocolRoundTrip:
 class TestResultRoundTrip:
     def test_run_result_with_protocol(self):
         protocol = AVCProtocol(m=5, d=1)
-        result = run_majority(protocol, n=41, epsilon=5 / 41, seed=0)
+        result = run_majority(RunSpec(protocol, n=41, epsilon=5 / 41,
+                                      seed=0))
         payload = run_result_to_dict(result)
         json.dumps(payload)
         rebuilt = run_result_from_dict(payload, protocol)
@@ -88,21 +90,24 @@ class TestResultRoundTrip:
 
     def test_run_result_without_protocol_keeps_strings(self):
         protocol = ThreeStateProtocol()
-        result = run_majority(protocol, n=21, epsilon=1 / 21, seed=0)
+        result = run_majority(RunSpec(protocol, n=21, epsilon=1 / 21,
+                                      seed=0))
         rebuilt = run_result_from_dict(run_result_to_dict(result))
         assert rebuilt.steps == result.steps
         assert all(isinstance(k, str) for k in rebuilt.final_counts)
 
     def test_mismatched_protocol_rejected(self):
         protocol = ThreeStateProtocol()
-        result = run_majority(protocol, n=21, epsilon=1 / 21, seed=0)
+        result = run_majority(RunSpec(protocol, n=21, epsilon=1 / 21,
+                                      seed=0))
         payload = run_result_to_dict(result)
         with pytest.raises(InvalidParameterError):
             run_result_from_dict(payload, FourStateProtocol())
 
     def test_trial_stats_round_trip(self):
-        stats = run_trials(FourStateProtocol(), num_trials=4, seed=0,
-                           stats=True, n=21, epsilon=1 / 21)
+        stats = run_trials(RunSpec(FourStateProtocol(), num_trials=4,
+                                   seed=0, n=21, epsilon=1 / 21),
+                           stats=True)
         payload = trial_stats_to_dict(stats)
         json.dumps(payload)
         assert trial_stats_from_dict(payload) == stats

@@ -5,6 +5,7 @@ import pytest
 from repro import (
     FourStateProtocol,
     InvalidParameterError,
+    RunSpec,
     ThreeStateProtocol,
     run,
 )
@@ -87,8 +88,8 @@ class TestBernoulli:
             workload = bernoulli_workload(protocol, 60, 0.5, rng=child)
             if workload.expected is None:
                 continue
-            result = run(protocol, workload.counts, seed=11,
-                         expected=workload.expected)
+            result = run(RunSpec(protocol, initial=workload.counts,
+                                 seed=11, expected=workload.expected))
             assert result.settled and result.correct
 
 
