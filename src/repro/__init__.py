@@ -12,6 +12,9 @@ The package provides:
   random-pairwise-interaction model (agent-array, count-vector,
   null-skipping/Gillespie, continuous-time, batched-numpy) and the
   run harness;
+* :mod:`repro.faults` — declarative fault injection (state
+  corruption, population churn, interaction faults, adversarial
+  schedulers) composing with every engine above;
 * :mod:`repro.graphs` — interaction-graph builders;
 * :mod:`repro.analysis` — closed-form bounds, mean-field ODE limits,
   and exact Markov-chain analysis;
@@ -58,6 +61,7 @@ from .protocols import (
     parse_protocol,
     validate_protocol,
 )
+from .faults import FaultSpec, corrupt_counts
 from .serialize import (
     protocol_from_dict,
     protocol_to_dict,
@@ -125,6 +129,9 @@ __all__ = [
     "run_majority",
     "run_trials",
     "run_trials_parallel",
+    # fault injection
+    "FaultSpec",
+    "corrupt_counts",
     "protocol_to_dict",
     "protocol_from_dict",
     "run_result_to_dict",

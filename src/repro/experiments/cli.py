@@ -24,6 +24,7 @@ from . import (
     leader,
     report,
     phases,
+    robustness,
     topology,
     figure3,
     figure4,
@@ -41,6 +42,7 @@ _SUBCOMMANDS = {
     "info-propagation": lowerbound_logn.main,
     "four-state-census": four_state_census.main,
     "phases": phases.main,
+    "robustness": robustness.main,
     "topology": topology.main,
     "leader-election": leader.main,
     "report": report.main,
@@ -70,7 +72,7 @@ def main(argv=None) -> int:
     if args.experiment == "all":
         status = 0
         for name in ("figure3", "figure4", "ablation-d", "phases",
-                     "topology", "leader-election",
+                     "topology", "robustness", "leader-election",
                      "info-propagation", "four-state-census", "report"):
             print(f"\n=== {name} ===", flush=True)
             status = _SUBCOMMANDS[name](list(rest)) or status

@@ -57,6 +57,19 @@ class Scale:
     census_scaling_populations: tuple[int, ...] = (25, 125)
     census_scaling_trials: int = 25
 
+    #: robustness: fault-injection recovery sweep.  Rates are
+    #: per-interaction fault probabilities (0.0 = fault-free
+    #: baseline); the horizon is in parallel-time units (multiplied by
+    #: ``n`` to get the armed interaction window) and the budget caps
+    #: interactions per run so saturated fault rates cannot hang a
+    #: sweep.
+    robustness_population: int = 201
+    robustness_trials: int = 25
+    robustness_rates: tuple[float, ...] = (0.0, 0.002, 0.005, 0.01,
+                                           0.02, 0.05)
+    robustness_horizon: float = 8.0
+    robustness_budget: int = 200_000
+
 
 SCALES: dict[str, Scale] = {
     "smoke": Scale(
@@ -77,6 +90,11 @@ SCALES: dict[str, Scale] = {
         census_limit=5_000,
         census_scaling_populations=(15, 45),
         census_scaling_trials=10,
+        robustness_population=61,
+        robustness_trials=6,
+        robustness_rates=(0.0, 0.01, 0.05),
+        robustness_horizon=4.0,
+        robustness_budget=20_000,
     ),
     "default": Scale(name="default"),
     "paper": Scale(
@@ -98,6 +116,11 @@ SCALES: dict[str, Scale] = {
         census_limit=None,
         census_scaling_populations=(25, 125, 625),
         census_scaling_trials=101,
+        robustness_population=1001,
+        robustness_trials=101,
+        robustness_rates=(0.0, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05),
+        robustness_horizon=10.0,
+        robustness_budget=2_000_000,
     ),
 }
 

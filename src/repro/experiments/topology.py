@@ -68,10 +68,11 @@ def _topologies(n: int, seed: int):
 
 
 def _measure_topology_cell(name, graph, protocol, *, count_a, epsilon,
-                           budget, trials, trial_seed) -> dict:
+                           budget, trials, trial_seed,
+                           placement="random") -> dict:
     """One (topology, protocol) cell — pure function of its inputs."""
     nodes = graph.number_of_nodes()
-    engine = AgentEngine(protocol, graph=graph)
+    engine = AgentEngine(protocol, graph=graph, placement=placement)
     results = [
         engine.run(protocol.initial_counts(count_a, nodes - count_a),
                    rng=child, expected=1,
@@ -94,9 +95,21 @@ def _measure_topology_cell(name, graph, protocol, *, count_a, epsilon,
 
 
 def topology_rows(scale: Scale, *, seed: int = DEFAULT_SEED,
-                  progress=None,
+                  placement: str = "random", progress=None,
                   orchestrator: Orchestrator | None = None) -> list[dict]:
-    """One row per (topology, protocol)."""
+    """One row per (topology, protocol).
+
+    ``placement`` selects how opinions are laid out over the graph's
+    nodes: ``"random"`` (a uniform shuffle) or ``"clustered"`` (the
+    adversarial contiguous-block layout of
+    :func:`repro.workloads.clustered_placement` — on the ring and the
+    torus, opinions must cross a community boundary to mix, which is
+    where the spectral bound bites hardest).
+    """
+    if placement not in ("random", "clustered"):
+        raise ValueError(
+            f"placement must be 'random' or 'clustered', "
+            f"got {placement!r}")
     orch = Orchestrator() if orchestrator is None else orchestrator
     n = scale.ablation_d_population
     if n % 2 == 0:
@@ -127,15 +140,20 @@ def topology_rows(scale: Scale, *, seed: int = DEFAULT_SEED,
                       "protocol": protocol_to_dict(protocol),
                       "n": nodes, "count_a": count_a, "budget": budget,
                       "trials": trials, "trial_seed": trial_seed}
-            rows.append(orch.point(
+            if placement != "random":
+                # Only non-default placements extend the key, so every
+                # cell cached before the flag existed stays addressable.
+                params["placement"] = placement
+            row = orch.point(
                 "topology-cell", params,
                 lambda name=name, graph=graph, protocol=protocol,
                 count_a=count_a, epsilon=epsilon, budget=budget,
                 trial_seed=trial_seed: _measure_topology_cell(
                     name, graph, protocol, count_a=count_a,
                     epsilon=epsilon, budget=budget, trials=trials,
-                    trial_seed=trial_seed),
-                label=f"topology {name}/{protocol.name}"))
+                    trial_seed=trial_seed, placement=placement),
+                label=f"topology {name}/{protocol.name}")
+            rows.append(dict(row, placement=placement))
     return rows
 
 
@@ -144,6 +162,11 @@ def main(argv=None) -> int:
         prog="repro topology", description=__doc__.split("\n")[0])
     parser.add_argument("--scale", default=None)
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--placement", default="random",
+                        choices=("random", "clustered"),
+                        help="initial opinion layout over graph nodes "
+                             "(clustered = contiguous adversarial "
+                             "blocks)")
     add_sweep_arguments(parser)
     add_telemetry_arguments(parser)
     args = parser.parse_args(argv)
@@ -155,16 +178,21 @@ def main(argv=None) -> int:
 
 def _run_sweep(args, scale: Scale) -> int:
     progress = lambda msg: print(f"  [{msg}]", flush=True)  # noqa: E731
+    suffix = ("" if args.placement == "random"
+              else f"_{args.placement}")
     orchestrator, output_dir = sweep_orchestrator(
-        f"topology_{scale.name}", args, progress=progress)
-    rows = topology_rows(scale, seed=args.seed, progress=progress,
+        f"topology_{scale.name}{suffix}", args, progress=progress)
+    rows = topology_rows(scale, seed=args.seed,
+                         placement=args.placement, progress=progress,
                          orchestrator=orchestrator)
     columns = ("topology", "protocol", "n", "spectral_gap",
                "predicted_time", "mean_parallel_time", "error_fraction",
-               "settled_fraction", "trials")
+               "settled_fraction", "trials", "placement")
     print(format_table(rows, columns=columns,
-                       title=f"Topology sweep (scale={scale.name})"))
-    path = write_csv(f"{output_dir}/topology_{scale.name}.csv", rows)
+                       title=f"Topology sweep (scale={scale.name}, "
+                             f"placement={args.placement})"))
+    path = write_csv(
+        f"{output_dir}/topology_{scale.name}{suffix}.csv", rows)
     print(f"\nwrote {path}")
     print(finish_sweep(orchestrator))
     return 0

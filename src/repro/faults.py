@@ -1,0 +1,367 @@
+"""Declarative fault models for every simulation engine.
+
+The paper's guarantees hold in the clean model: a uniform random
+scheduler, a fixed population, and agents that never misbehave.
+Follow-up work (space-optimal majority, stable exact majority) judges
+protocols by how they degrade under perturbation, and AVC's Lemma A.1
+— convergence to the sign of the conserved total from *arbitrary*
+configurations — is exactly a self-stabilization claim.  This module
+makes such perturbations first-class:
+
+* :class:`FaultSpec` — a frozen, fingerprintable description of the
+  fault model, attached to a :class:`~repro.sim.run.RunSpec` via its
+  ``faults`` field.  A spec with every probability zero and no
+  adversarial scheduler is *null* and behaves exactly like ``None``
+  (clean runs stay bit-identical and keep their cache fingerprints).
+* :class:`FaultRuntime` — the per-run injector the engines drive;
+  it resolves the protocol-dependent pieces (targeted-corruption and
+  join states) once and carries the injection counters.
+* :func:`corrupt_counts` — the one-shot adversarial rewrite used by
+  the Lemma A.1 tests: move agents between states by hand.
+
+Fault taxonomy (see ``docs/faults.md`` for the full semantics):
+
+=============  =====================================================
+class          per-interaction behaviour while the fault is *armed*
+=============  =====================================================
+``flip``       one uniformly random agent's state is rewritten —
+               uniformly random (``flip_mode="uniform"``) or to the
+               minority input state (``"targeted"``, the
+               majority-flipping adversary)
+``crash``      one uniformly random agent leaves the population
+``join``       a fresh agent joins in an input state
+``drop``       the scheduled meeting silently does not happen
+``oneway``     only the initiator applies the transition (the
+               responder keeps its state — a one-way message)
+=============  =====================================================
+
+Each class fires independently with its own Bernoulli probability per
+scheduled interaction, and only while the interaction clock is below
+``horizon`` (``None`` arms the faults for the whole run).  The
+canonical per-tick order — identical in every engine — is interaction
+(subject to drop/one-way), then flip, then crash, then join.
+
+Convergence semantics: faults that can *unsettle* a configuration
+(flips, joins) hold the run in the arena until the horizon passes —
+a momentary unanimity inside the fault window does not end the run,
+so reported settling times measure genuine recovery.  With an
+unbounded horizon the first unanimity instant is reported instead
+(the run would otherwise never terminate).  Faults that cannot
+unsettle (crash, drop, one-way) leave settling absorbing, exactly as
+in the clean model.
+
+Adversarial schedulers (``scheduler="stubborn"`` / ``"clustered"``)
+replace the uniform pair sampler with the corresponding
+:class:`~repro.sim.schedule.PairSampler`; they require the agent
+engine and a fixed population (no churn).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+import numpy as np
+
+from .errors import InvalidParameterError
+from .protocols.base import MAJORITY_A, MajorityProtocol, PopulationProtocol
+
+__all__ = ["FaultSpec", "FaultRuntime", "corrupt_counts"]
+
+_FLIP_MODES = ("uniform", "targeted")
+_SCHEDULERS = ("stubborn", "clustered")
+
+#: Fault-event classes, in canonical order; counter keys everywhere.
+FAULT_CLASSES = ("flips", "crashes", "joins", "drops", "oneway")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A declarative fault model for one simulation batch.
+
+    All probabilities are per scheduled interaction; every class fires
+    independently.  The default instance is *null* — attaching it to a
+    spec is exactly equivalent to ``faults=None``.
+
+    Parameters
+    ----------
+    flip_prob / flip_mode:
+        Transient state corruption: with probability ``flip_prob`` a
+        uniformly random agent is rewritten after the interaction.
+        ``"uniform"`` picks the new state uniformly over the whole
+        state space; ``"targeted"`` writes the *minority* input state
+        (the majority-flipping adversary — requires a majority input
+        with a defined expected output).
+    crash_prob / join_prob:
+        Population churn: an agent leaves (uniformly random victim) /
+        a fresh agent joins in a uniformly chosen input state.
+        Crashes never shrink the population below ``min_population``.
+    drop_prob / oneway_prob:
+        Interaction faults: the meeting is dropped entirely, or only
+        the initiator applies the transition (checked in that order;
+        a dropped meeting cannot also be one-way).
+    horizon:
+        Number of interactions during which faults are armed, counted
+        on the run's interaction clock; ``None`` arms them forever.
+    min_population:
+        Floor for crash-induced shrinkage (at least 2 — the model
+        needs a pair to schedule).
+    scheduler / scheduler_strength / scheduler_clusters:
+        Adversarial pair selection: ``"stubborn"`` feeds the same
+        ordered pair with probability ``scheduler_strength``;
+        ``"clustered"`` keeps interactions inside contiguous clusters
+        with probability ``scheduler_strength`` (``scheduler_clusters``
+        blocks).  Requires the agent engine and no churn.
+    """
+
+    flip_prob: float = 0.0
+    flip_mode: str = "uniform"
+    crash_prob: float = 0.0
+    join_prob: float = 0.0
+    drop_prob: float = 0.0
+    oneway_prob: float = 0.0
+    horizon: int | None = None
+    min_population: int = 2
+    scheduler: str | None = None
+    scheduler_strength: float = 0.9
+    scheduler_clusters: int = 2
+
+    def __post_init__(self):
+        for name in ("flip_prob", "crash_prob", "join_prob",
+                     "drop_prob", "oneway_prob", "scheduler_strength"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise InvalidParameterError(
+                    f"{name} must be in [0, 1], got {value}")
+        if self.flip_mode not in _FLIP_MODES:
+            raise InvalidParameterError(
+                f"flip_mode must be one of {_FLIP_MODES}, "
+                f"got {self.flip_mode!r}")
+        if self.horizon is not None and self.horizon < 1:
+            raise InvalidParameterError(
+                f"horizon must be a positive interaction count, "
+                f"got {self.horizon}")
+        if self.min_population < 2:
+            raise InvalidParameterError(
+                f"min_population must be >= 2, got {self.min_population}")
+        if self.scheduler is not None:
+            if self.scheduler not in _SCHEDULERS:
+                raise InvalidParameterError(
+                    f"scheduler must be one of {_SCHEDULERS}, "
+                    f"got {self.scheduler!r}")
+            if self.churn:
+                raise InvalidParameterError(
+                    "adversarial schedulers address a fixed population; "
+                    "combining them with crash/join churn is not supported")
+        if self.scheduler_clusters < 2:
+            raise InvalidParameterError(
+                f"scheduler_clusters must be >= 2, "
+                f"got {self.scheduler_clusters}")
+
+    # -- classification ------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """Whether this spec perturbs the clean model at all."""
+        return (self.flip_prob > 0 or self.crash_prob > 0
+                or self.join_prob > 0 or self.drop_prob > 0
+                or self.oneway_prob > 0 or self.scheduler is not None)
+
+    @property
+    def churn(self) -> bool:
+        """Whether the population can change size mid-run."""
+        return self.crash_prob > 0 or self.join_prob > 0
+
+    @property
+    def can_unsettle(self) -> bool:
+        """Whether an armed fault can break an already-settled run.
+
+        Flips rewrite states arbitrarily and joins add input-state
+        agents; crashes, drops, and one-way interactions can only
+        remove or suppress activity, which preserves unanimity.
+        """
+        return self.flip_prob > 0 or self.join_prob > 0
+
+    def key(self) -> dict:
+        """Canonical fingerprint fragment: non-default fields only.
+
+        Emitting only what differs from the defaults keeps existing
+        cache entries addressable when future fields are added, and
+        guarantees two spellings of the same fault model hash alike.
+        """
+        out = {}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if value != field.default:
+                out[field.name] = value
+        return out
+
+
+def active_faults(faults) -> FaultSpec | None:
+    """Normalize a ``faults`` argument: ``None`` for a null spec."""
+    if faults is None:
+        return None
+    if not isinstance(faults, FaultSpec):
+        raise InvalidParameterError(
+            f"faults must be a repro.FaultSpec or None, "
+            f"got {type(faults).__name__}")
+    return faults if faults.active else None
+
+
+class FaultRuntime:
+    """Per-run injector state: resolved targets plus event counters.
+
+    Built once per ``Engine.run`` (or per ensemble chunk) by
+    :meth:`build`; engines read the probability fields directly in
+    their inner loops and bump the counter attributes on every
+    injected event.
+    """
+
+    __slots__ = ("spec", "flip_prob", "crash_prob", "join_prob",
+                 "drop_prob", "oneway_prob", "horizon", "hold_until",
+                 "floor", "churn", "flip_states", "join_states",
+                 "flips", "crashes", "joins", "drops", "oneway")
+
+    def __init__(self, spec, flip_states, join_states):
+        self.spec = spec
+        self.flip_prob = spec.flip_prob
+        self.crash_prob = spec.crash_prob
+        self.join_prob = spec.join_prob
+        self.drop_prob = spec.drop_prob
+        self.oneway_prob = spec.oneway_prob
+        self.horizon = spec.horizon
+        # Runs under unsettling faults are held in the arena until the
+        # horizon passes; see the module docstring for the rationale.
+        self.hold_until = (spec.horizon
+                           if spec.can_unsettle and spec.horizon is not None
+                           else 0)
+        self.floor = max(2, spec.min_population)
+        self.churn = spec.churn
+        self.flip_states = flip_states
+        self.join_states = join_states
+        self.flips = 0
+        self.crashes = 0
+        self.joins = 0
+        self.drops = 0
+        self.oneway = 0
+
+    @classmethod
+    def build(cls, spec: FaultSpec, protocol: PopulationProtocol, *,
+              expected: int | None,
+              scheduler_ok: bool = False) -> "FaultRuntime":
+        """Resolve the protocol-dependent pieces of ``spec``.
+
+        Raises when the fault model needs information the run cannot
+        provide (targeted corruption without an expected output) or a
+        capability the engine lacks (``scheduler_ok=False``).
+        """
+        if spec.scheduler is not None and not scheduler_ok:
+            raise InvalidParameterError(
+                f"adversarial scheduler {spec.scheduler!r} requires the "
+                "agent engine on the complete graph (engine='agent')")
+        s = protocol.num_states
+        flip_states = np.arange(s, dtype=np.int64)
+        if spec.flip_prob > 0 and spec.flip_mode == "targeted":
+            if not isinstance(protocol, MajorityProtocol):
+                raise InvalidParameterError(
+                    "targeted corruption flips the majority and needs a "
+                    f"majority protocol; {protocol.name} is not one")
+            if expected is None:
+                raise InvalidParameterError(
+                    "targeted corruption needs a defined expected output "
+                    "(a majority input form, or initial= with expected=)")
+            minority = (protocol.INPUT_B if expected == MAJORITY_A
+                        else protocol.INPUT_A)
+            target = protocol.state_index[protocol.initial_state(minority)]
+            flip_states = np.array([target], dtype=np.int64)
+        if isinstance(protocol, MajorityProtocol):
+            index = protocol.state_index
+            join_states = np.array(
+                [index[protocol.initial_state(protocol.INPUT_A)],
+                 index[protocol.initial_state(protocol.INPUT_B)]],
+                dtype=np.int64)
+        else:
+            join_states = np.arange(s, dtype=np.int64)
+        return cls(spec, flip_states, join_states)
+
+    # -- scalar draws (sequential engines) -----------------------------
+
+    def armed(self, step: int) -> bool:
+        """Whether faults fire at interaction index ``step`` (0-based)."""
+        return self.horizon is None or step < self.horizon
+
+    def pick_flip_state(self, rng) -> int:
+        states = self.flip_states
+        if len(states) == 1:
+            return int(states[0])
+        return int(states[int(rng.random() * len(states))])
+
+    def pick_join_state(self, rng) -> int:
+        states = self.join_states
+        if len(states) == 1:
+            return int(states[0])
+        return int(states[int(rng.random() * len(states))])
+
+    # -- vectorized draws (ensemble engine) ----------------------------
+
+    def sample_flip_states(self, rng, size: int) -> np.ndarray:
+        states = self.flip_states
+        if len(states) == 1:
+            return np.full(size, states[0], dtype=np.int64)
+        return states[rng.integers(0, len(states), size=size)]
+
+    def sample_join_states(self, rng, size: int) -> np.ndarray:
+        states = self.join_states
+        if len(states) == 1:
+            return np.full(size, states[0], dtype=np.int64)
+        return states[rng.integers(0, len(states), size=size)]
+
+    # -- reporting -----------------------------------------------------
+
+    def events(self) -> dict:
+        """Injection counts by fault class (the ``fault.*`` totals)."""
+        return {"flips": self.flips, "crashes": self.crashes,
+                "joins": self.joins, "drops": self.drops,
+                "oneway": self.oneway}
+
+    def make_scheduler(self, n: int):
+        """The adversarial :class:`PairSampler`, or ``None``."""
+        if self.spec.scheduler is None:
+            return None
+        from .sim.schedule import ClusteredPairSampler, StubbornPairSampler
+
+        if self.spec.scheduler == "stubborn":
+            return StubbornPairSampler(
+                n, strength=self.spec.scheduler_strength)
+        return ClusteredPairSampler(
+            n, clusters=self.spec.scheduler_clusters,
+            intra_prob=self.spec.scheduler_strength)
+
+
+def corrupt_counts(counts: Mapping, *, remove: Mapping | None = None,
+                   inject: Mapping | None = None) -> dict:
+    """One adversarial rewrite: move agents between states.
+
+    The one-shot counterpart of the online fault model — ``remove``
+    takes agents out of states (which must hold that many), ``inject``
+    adds agents to states — used to build the "arbitrary configuration"
+    of Lemma A.1 mid-run.  Returns a fresh sparse mapping with zero
+    counts dropped; the input is not mutated.
+    """
+    corrupted = dict(counts)
+    for state, count in (remove or {}).items():
+        if count < 0:
+            raise InvalidParameterError(
+                f"remove counts must be >= 0, got {count} for {state}")
+        if corrupted.get(state, 0) < count:
+            raise InvalidParameterError(
+                f"cannot remove {count} agent(s) from state {state}: "
+                f"only {corrupted.get(state, 0)} present")
+        corrupted[state] -= count
+    for state, count in (inject or {}).items():
+        if count < 0:
+            raise InvalidParameterError(
+                f"inject counts must be >= 0, got {count} for {state}")
+        corrupted[state] = corrupted.get(state, 0) + count
+    return {state: count for state, count in corrupted.items() if count}

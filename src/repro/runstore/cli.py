@@ -29,10 +29,23 @@ from .store import RunStore
 __all__ = ["main"]
 
 
+def _number(value):
+    """``value`` if it is a plain number, else ``None``.
+
+    Pre-telemetry store entries (and opaque-thunk points) can carry
+    ``meta: null`` or ``wall_seconds: null``; those render as ``-``
+    instead of crashing the table.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return value
+
+
 def _entry_row(entry: dict) -> dict:
-    key = entry.get("key", {})
-    meta = entry.get("meta", {})
-    protocol = key.get("protocol", {})
+    key = entry.get("key") or {}
+    meta = entry.get("meta") or {}
+    protocol = key.get("protocol") or {}
+    wall = _number(meta.get("wall_seconds"))
     row = {
         "fingerprint": entry.get("fingerprint", "")[:12],
         "kind": key.get("kind", "?"),
@@ -41,7 +54,7 @@ def _entry_row(entry: dict) -> dict:
         "n": key.get("n", "-"),
         "trials": key.get("trials", "-"),
         "engine": meta.get("engine_resolved", key.get("engine", "-")),
-        "wall_seconds": meta.get("wall_seconds", float("nan")),
+        "wall_seconds": "-" if wall is None else wall,
         "sweep": meta.get("sweep", "-"),
     }
     return row
@@ -59,12 +72,12 @@ def cmd_list(store: RunStore) -> int:
 
 
 def _metrics_row(entry: dict) -> dict:
-    key = entry.get("key", {})
-    meta = entry.get("meta", {})
-    protocol = key.get("protocol", {})
+    key = entry.get("key") or {}
+    meta = entry.get("meta") or {}
+    protocol = key.get("protocol") or {}
     trials = meta.get("trials", key.get("trials", "-"))
-    interactions = meta.get("interactions")
-    wall = meta.get("wall_seconds")
+    interactions = _number(meta.get("interactions"))
+    wall = _number(meta.get("wall_seconds"))
     if interactions is not None and wall:
         throughput = f"{interactions / wall:.3g}"
     else:
@@ -78,7 +91,7 @@ def _metrics_row(entry: dict) -> dict:
         "trials": trials,
         "interactions": "-" if interactions is None else interactions,
         "interactions_per_s": throughput,
-        "wall_seconds": meta.get("wall_seconds", float("nan")),
+        "wall_seconds": "-" if wall is None else wall,
     }
 
 
@@ -92,7 +105,7 @@ def _print_metrics(entries: list[dict]) -> None:
     counted = [row for row in rows if row["interactions"] != "-"]
     total_interactions = sum(row["interactions"] for row in counted)
     total_wall = sum(row["wall_seconds"] for row in counted
-                     if row["wall_seconds"] == row["wall_seconds"])
+                     if row["wall_seconds"] != "-")
     print(f"\n  totals: {total_interactions} interaction(s) over "
           f"{len(counted)}/{len(rows)} point(s) with metrics, "
           f"{total_wall:.3f}s compute wall time")

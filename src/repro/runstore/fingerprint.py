@@ -21,6 +21,7 @@ import hashlib
 import json
 from collections.abc import Mapping, Sequence
 
+from ..faults import active_faults
 from ..serialize import protocol_to_dict
 
 __all__ = [
@@ -151,4 +152,10 @@ def spec_key(spec) -> dict:
         key["max_steps"] = spec.max_steps
     if spec.on_timeout != "return":
         key["on_timeout"] = spec.on_timeout
+    faults = active_faults(spec.faults)
+    if faults is not None:
+        # Only active fault models enter the key (and only their
+        # non-default fields), so every clean fingerprint — and every
+        # committed cache entry — is unchanged by the fault subsystem.
+        key["faults"] = faults.key()
     return key

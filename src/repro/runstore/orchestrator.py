@@ -31,13 +31,14 @@ import time
 import numpy as np
 
 from ..errors import WorkerError
+from ..faults import active_faults
 from ..rng import ensure_rng
 from ..serialize import run_result_from_dict, run_result_to_dict
 from ..sim.results import TrialStats
 from ..sim.run import (
     RunSpec,
     ensemble_chunks,
-    make_engine,
+    make_run_engine,
     raise_unsettled,
     resolve_trial_engine,
 )
@@ -160,6 +161,80 @@ class Orchestrator:
         self._commit(fp, key, row, meta)
         return row
 
+    def robustness_point(self, protocol, *, n: int, epsilon: float,
+                         trials: int, seed: int, faults,
+                         engine: str = "auto",
+                         max_steps: int | None = None,
+                         max_parallel_time: float | None = None,
+                         describe: str | None = None) -> dict:
+        """One fault-injection sweep point (``kind="robustness-point"``).
+
+        Runs through the same chunk/journal/retry machinery as
+        :meth:`majority_point`, with the :class:`~repro.faults.FaultSpec`
+        folded into the fingerprint, and reports recovery statistics:
+
+        * ``mean_recovery_time`` — parallel time spent *after* the
+          fault window closes, ``max(0, steps - horizon) / n`` averaged
+          over settled runs.  With no faults (or no horizon) it is the
+          ordinary convergence time, so fault-free points slot into the
+          same curve as a baseline.
+        * ``residual_error`` — fraction of trials that retired on a
+          wrong (or no) decision despite the self-stabilizing dynamics.
+        * ``mean_fault_events`` — average number of injected events per
+          trial, straight from the engines' fault counters.
+        """
+        spec = RunSpec(protocol, n=n, epsilon=epsilon, num_trials=trials,
+                       seed=seed, engine=engine, max_steps=max_steps,
+                       max_parallel_time=max_parallel_time,
+                       faults=faults)
+        key = dict(spec_key(spec), kind="robustness-point")
+        fp = fingerprint(key)
+        label = f"{protocol.name} n={n} [{describe or 'fault-free'}]"
+        cached = self._lookup(fp, label=label, kind="robustness-point")
+        if cached is not None:
+            return cached
+        telemetry = current_telemetry()
+        if telemetry.enabled:
+            telemetry.count("runstore.cache.miss", kind="robustness-point")
+        started = time.perf_counter()
+        results, plan_meta = self._run_point_chunks(spec, fp=fp)
+        stats = TrialStats.from_results(results)
+        active = active_faults(faults)
+        horizon = 0
+        if active is not None and active.horizon is not None:
+            horizon = active.horizon
+        recoveries = [max(0, r.steps - horizon) / r.n
+                      for r in results if r.settled]
+        events = [sum(r.fault_events.values()) if r.fault_events else 0
+                  for r in results]
+        row = {
+            "protocol": protocol.name,
+            "engine": engine,
+            "n": n,
+            "epsilon": epsilon,
+            "fault_model": describe or "fault-free",
+            "trials": stats.num_trials,
+            "settled_fraction": stats.settled_fraction,
+            "mean_recovery_time": (float(np.mean(recoveries))
+                                   if recoveries else None),
+            "std_recovery_time": (float(np.std(recoveries))
+                                  if recoveries else None),
+            "residual_error": stats.error_fraction,
+            "mean_parallel_time": stats.mean_parallel_time,
+            "mean_fault_events": float(np.mean(events)),
+        }
+        wall = time.perf_counter() - started
+        meta = dict(plan_meta, wall_seconds=wall)
+        if telemetry.enabled:
+            telemetry.record_span(
+                "runstore.point", wall, kind="robustness-point",
+                protocol=protocol.name, n=n,
+                engine=plan_meta["engine_resolved"],
+                trials=stats.num_trials,
+                interactions=plan_meta["interactions"])
+        self._commit(fp, key, row, meta)
+        return row
+
     def point(self, kind: str, params: dict, compute, *,
               label: str | None = None):
         """A generic cached point: any deterministic computation.
@@ -269,7 +344,8 @@ class Orchestrator:
                             rng=np.random.default_rng(child),
                             expected=expected,
                             max_steps=spec.max_steps,
-                            max_parallel_time=spec.max_parallel_time),
+                            max_parallel_time=spec.max_parallel_time,
+                            faults=spec.faults),
                         label=f"chunk {index + 1}/{len(sizes)}")
                     self._journal_chunk(fp, index, chunk)
                 results.extend(chunk)
@@ -277,10 +353,7 @@ class Orchestrator:
                 raise_unsettled(results)
             resolved = "ensemble"
         else:
-            engine = make_engine(spec.protocol, spec.engine,
-                                 graph=spec.graph,
-                                 batch_fraction=spec.batch_fraction,
-                                 num_trials=1)
+            engine = make_run_engine(spec)
             children = root_seq.spawn(spec.num_trials)
             start = 0
             for index, size in enumerate(sizes):
@@ -294,6 +367,7 @@ class Orchestrator:
                             max_steps=spec.max_steps,
                             max_parallel_time=spec.max_parallel_time,
                             expected=expected,
+                            faults=spec.faults,
                             on_timeout=spec.on_timeout)
                             for child in batch],
                         label=f"chunk {index + 1}/{len(sizes)}")

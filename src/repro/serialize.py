@@ -134,6 +134,7 @@ def run_result_to_dict(result: RunResult) -> dict:
         "continuous_time": result.continuous_time,
         "seed": result.seed,
         "frozen": result.frozen,
+        "fault_events": result.fault_events,
     }
 
 
@@ -169,6 +170,7 @@ def run_result_from_dict(payload: dict,
         continuous_time=payload.get("continuous_time"),
         seed=payload.get("seed"),
         frozen=payload.get("frozen", False),
+        fault_events=payload.get("fault_events"),
     )
 
 

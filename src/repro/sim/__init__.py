@@ -24,7 +24,13 @@ from .run import (
     run_trials,
     simulate,
 )
-from .schedule import CompletePairSampler, GraphPairSampler, PairSampler
+from .schedule import (
+    ClusteredPairSampler,
+    CompletePairSampler,
+    GraphPairSampler,
+    PairSampler,
+    StubbornPairSampler,
+)
 
 __all__ = [
     "Engine",
@@ -42,6 +48,8 @@ __all__ = [
     "PairSampler",
     "CompletePairSampler",
     "GraphPairSampler",
+    "StubbornPairSampler",
+    "ClusteredPairSampler",
     "RunSpec",
     "simulate",
     "make_engine",

@@ -8,6 +8,7 @@ reference implementation the faster engines are validated against.
 
 from __future__ import annotations
 
+from ..errors import InvalidParameterError
 from .engine import Engine, check_budget_sanity
 from .schedule import CompletePairSampler, GraphPairSampler, PairSampler
 
@@ -28,24 +29,36 @@ class AgentEngine(Engine):
         complete graph.  Mutually exclusive with ``pair_sampler``.
     pair_sampler:
         Optional custom :class:`~repro.sim.schedule.PairSampler`.
+    placement:
+        How agents are laid out over node indices: ``"random"``
+        (default, a uniform shuffle) or ``"clustered"`` (agents of the
+        same state occupy contiguous index blocks — the adversarial
+        placement of :func:`repro.workloads.clustered_placement`, where
+        opinions must cross a community boundary to mix).  Placement
+        only matters on non-complete topologies, but is honoured
+        everywhere for uniformity.
     """
 
     name = "agent"
+    supports_faults = True
+    supports_fault_scheduler = True
 
-    def __init__(self, protocol, *, graph=None, pair_sampler=None):
+    def __init__(self, protocol, *, graph=None, pair_sampler=None,
+                 placement: str = "random"):
         super().__init__(protocol)
         if graph is not None and pair_sampler is not None:
             raise ValueError("give graph or pair_sampler, not both")
+        if placement not in ("random", "clustered"):
+            raise ValueError(
+                f"placement must be 'random' or 'clustered', "
+                f"got {placement!r}")
+        self.placement = placement
         if pair_sampler is not None:
             self._sampler: PairSampler | None = pair_sampler
         elif graph is not None:
             self._sampler = GraphPairSampler(graph)
         else:
             self._sampler = None  # complete graph, built per run for n
-
-    def _telemetry_labels(self) -> dict:
-        return {"graph": "complete" if self._sampler is None
-                else type(self._sampler).__name__}
 
     def _make_sampler(self, n: int) -> PairSampler:
         if self._sampler is None:
@@ -56,17 +69,33 @@ class AgentEngine(Engine):
                 f"addresses {self._sampler.n}")
         return self._sampler
 
+    def _layout_agents(self, counts, rng) -> list[int]:
+        """Assign agents to node indices per the placement policy."""
+        agents: list[int] = []
+        for state_index, count in enumerate(counts):
+            agents.extend([state_index] * count)
+        if self.placement == "random":
+            # Shuffle so that placement on a non-complete graph is
+            # unbiased.
+            rng.shuffle(agents)
+        # "clustered": keep the contiguous per-state blocks — exactly
+        # clustered_placement's layout for two-state inputs, and its
+        # natural generalization beyond them.
+        return agents
+
+    def _telemetry_labels(self) -> dict:
+        labels = {"graph": "complete" if self._sampler is None
+                  else type(self._sampler).__name__}
+        if self.placement != "random":
+            labels["placement"] = self.placement
+        return labels
+
     def _simulate(self, counts, n, rng, max_steps, tracker, recorder):
         check_budget_sanity(max_steps)
         sampler = self._make_sampler(n)
         lookup = self._transition_lookup()
 
-        # Lay agents out per the count vector, then shuffle so that
-        # placement on a non-complete graph is unbiased.
-        agents: list[int] = []
-        for state_index, count in enumerate(counts):
-            agents.extend([state_index] * count)
-        rng.shuffle(agents)
+        agents = self._layout_agents(counts, rng)
 
         steps = 0
         productive = 0
@@ -91,5 +120,186 @@ class AgentEngine(Engine):
                 if recorder is not None:
                     recorder.maybe_record(steps, counts)
                 if tracker.settled():
+                    return steps, productive, False, None
+        return steps, productive, False, None
+
+    # ------------------------------------------------------------------
+    # Fault injection (see repro.faults)
+    # ------------------------------------------------------------------
+
+    def _simulate_faulted(self, counts, n, rng, max_steps, tracker,
+                          recorder, runtime):
+        check_budget_sanity(max_steps)
+        scheduler = runtime.make_scheduler(n)
+        if scheduler is not None and self._sampler is not None:
+            raise InvalidParameterError(
+                "adversarial fault schedulers replace the pair sampler "
+                "and require the complete graph; drop the graph/"
+                "pair_sampler or the FaultSpec scheduler")
+        if runtime.churn and self._sampler is not None:
+            raise InvalidParameterError(
+                "population churn resizes the agent set and is only "
+                "supported on the complete interaction graph")
+        agents = self._layout_agents(counts, rng)
+        if runtime.churn:
+            return self._faulted_churn_loop(
+                agents, counts, n, rng, max_steps, tracker, recorder,
+                runtime)
+        sampler = scheduler if scheduler is not None \
+            else self._make_sampler(n)
+        return self._faulted_sampler_loop(
+            sampler, agents, counts, n, rng, max_steps, tracker,
+            recorder, runtime)
+
+    def _faulted_sampler_loop(self, sampler, agents, counts, n, rng,
+                              max_steps, tracker, recorder, runtime):
+        """Fixed-population fault loop: pairs come from the sampler."""
+        lookup = self._transition_lookup()
+        flip_p = runtime.flip_prob
+        drop_p = runtime.drop_prob
+        ow_p = runtime.oneway_prob
+        horizon = runtime.horizon
+        hold_until = runtime.hold_until
+
+        steps = 0
+        productive = 0
+        while steps < max_steps:
+            block = min(_BLOCK, max_steps - steps)
+            first, second = sampler.sample_block(rng, block)
+            # Columns: drop, one-way, flip.
+            fault_rows = rng.random((block, 3)).tolist()
+            for a, b, (du, ou, fu) in zip(first, second, fault_rows):
+                armed = horizon is None or steps < horizon
+                steps += 1
+                changed = False
+                if armed and drop_p > 0.0 and du < drop_p:
+                    runtime.drops += 1
+                else:
+                    i = agents[a]
+                    j = agents[b]
+                    new_i, new_j = lookup(i, j)
+                    if armed and ow_p > 0.0 and ou < ow_p:
+                        runtime.oneway += 1
+                        new_j = j
+                    if new_i != i or new_j != j:
+                        productive += 1
+                        changed = True
+                        agents[a] = new_i
+                        agents[b] = new_j
+                        counts[i] -= 1
+                        counts[j] -= 1
+                        counts[new_i] += 1
+                        counts[new_j] += 1
+                        tracker.update(i, j, new_i, new_j)
+                if armed and flip_p > 0.0 and fu < flip_p:
+                    runtime.flips += 1
+                    position = int(rng.random() * n)
+                    old = agents[position]
+                    new = runtime.pick_flip_state(rng)
+                    if new != old:
+                        changed = True
+                        agents[position] = new
+                        counts[old] -= 1
+                        counts[new] += 1
+                        tracker.shift(old, new)
+                if changed:
+                    if recorder is not None:
+                        recorder.maybe_record(steps, counts)
+                    if tracker.settled() and steps >= hold_until:
+                        return steps, productive, False, None
+                elif steps == hold_until and tracker.settled():
+                    # A run that settled inside the fault window
+                    # retires exactly at the hold boundary.
+                    return steps, productive, False, None
+        return steps, productive, False, None
+
+    def _faulted_churn_loop(self, agents, counts, n, rng, max_steps,
+                            tracker, recorder, runtime):
+        """Churn fault loop: the agent list grows and shrinks.
+
+        Crashes swap-remove a uniformly random slot; joins append.
+        Pairs are drawn as floats scaled by the live population, which
+        changes mid-block.
+        """
+        lookup = self._transition_lookup()
+        flip_p = runtime.flip_prob
+        crash_p = runtime.crash_prob
+        join_p = runtime.join_prob
+        drop_p = runtime.drop_prob
+        ow_p = runtime.oneway_prob
+        horizon = runtime.horizon
+        hold_until = runtime.hold_until
+        floor = runtime.floor
+
+        steps = 0
+        productive = 0
+        while steps < max_steps:
+            block = min(_BLOCK, max_steps - steps)
+            pair_rows = rng.random((block, 2)).tolist()
+            # Columns: drop, one-way, flip, crash, join.
+            fault_rows = rng.random((block, 5)).tolist()
+            for (pu, pv), (du, ou, fu, cu, ju) in zip(pair_rows,
+                                                      fault_rows):
+                armed = horizon is None or steps < horizon
+                steps += 1
+                changed = False
+                if armed and drop_p > 0.0 and du < drop_p:
+                    runtime.drops += 1
+                else:
+                    a = int(pu * n)
+                    b = int(pv * (n - 1))
+                    b += b >= a
+                    i = agents[a]
+                    j = agents[b]
+                    new_i, new_j = lookup(i, j)
+                    if armed and ow_p > 0.0 and ou < ow_p:
+                        runtime.oneway += 1
+                        new_j = j
+                    if new_i != i or new_j != j:
+                        productive += 1
+                        changed = True
+                        agents[a] = new_i
+                        agents[b] = new_j
+                        counts[i] -= 1
+                        counts[j] -= 1
+                        counts[new_i] += 1
+                        counts[new_j] += 1
+                        tracker.update(i, j, new_i, new_j)
+                if armed:
+                    if flip_p > 0.0 and fu < flip_p:
+                        runtime.flips += 1
+                        position = int(rng.random() * n)
+                        old = agents[position]
+                        new = runtime.pick_flip_state(rng)
+                        if new != old:
+                            changed = True
+                            agents[position] = new
+                            counts[old] -= 1
+                            counts[new] += 1
+                            tracker.shift(old, new)
+                    if crash_p > 0.0 and cu < crash_p and n > floor:
+                        runtime.crashes += 1
+                        changed = True
+                        position = int(rng.random() * n)
+                        old = agents[position]
+                        agents[position] = agents[n - 1]
+                        agents.pop()
+                        counts[old] -= 1
+                        tracker.adjust(old, -1)
+                        n -= 1
+                    if join_p > 0.0 and ju < join_p:
+                        runtime.joins += 1
+                        changed = True
+                        new = runtime.pick_join_state(rng)
+                        agents.append(new)
+                        counts[new] += 1
+                        tracker.adjust(new, 1)
+                        n += 1
+                if changed:
+                    if recorder is not None:
+                        recorder.maybe_record(steps, counts)
+                    if tracker.settled() and steps >= hold_until:
+                        return steps, productive, False, None
+                elif steps == hold_until and tracker.settled():
                     return steps, productive, False, None
         return steps, productive, False, None

@@ -40,6 +40,7 @@ class BatchEngine(Engine):
     """
 
     name = "batch"
+    supports_faults = True
 
     def __init__(self, protocol, *, batch_fraction: float = 0.05):
         super().__init__(protocol)
@@ -93,4 +94,112 @@ class BatchEngine(Engine):
                     recorder.maybe_record(steps, counts)
                 if tracker.settled():
                     return steps, productive, False, None
+        return steps, productive, False, None
+
+    def _simulate_faulted(self, counts, n, rng, max_steps, tracker,
+                          recorder, runtime):
+        """Round-granular fault injection.
+
+        Interaction faults (drop / one-way) apply vectorized to the
+        armed prefix of each round's matching; state faults arrive as
+        binomial event counts per round (the round *is* the engine's
+        time step, so sub-round ordering is meaningless here — like
+        convergence, fault timing carries an additive error of at most
+        one round).
+        """
+        check_budget_sanity(max_steps)
+        kernel = self.protocol.make_batch_kernel()
+        s = self.protocol.num_states
+
+        agents = np.repeat(np.arange(s, dtype=np.int64),
+                           np.asarray(counts, dtype=np.int64))
+        rng.shuffle(agents)
+
+        flip_p = runtime.flip_prob
+        crash_p = runtime.crash_prob
+        join_p = runtime.join_prob
+        drop_p = runtime.drop_prob
+        ow_p = runtime.oneway_prob
+        horizon = runtime.horizon
+        hold_until = runtime.hold_until
+        floor = runtime.floor
+
+        dense = np.asarray(counts, dtype=np.int64)
+        steps = 0
+        productive = 0
+        while steps < max_steps:
+            n_live = len(agents)
+            pairs_per_round = max(1, int(n_live * self.batch_fraction / 2))
+            k = min(pairs_per_round, max_steps - steps, n_live // 2)
+            armed_ticks = (k if horizon is None
+                           else max(0, min(k, horizon - steps)))
+            chosen = rng.choice(n_live, size=2 * k, replace=False)
+            initiators = chosen[:k]
+            responders = chosen[k:]
+            old_x = agents[initiators]
+            old_y = agents[responders]
+            new_x, new_y = kernel(old_x, old_y)
+            if armed_ticks and (drop_p > 0.0 or ow_p > 0.0):
+                armed_mask = np.arange(k) < armed_ticks
+                dropped = np.zeros(k, dtype=bool)
+                if drop_p > 0.0:
+                    dropped = armed_mask & (rng.random(k) < drop_p)
+                    runtime.drops += int(dropped.sum())
+                    new_x = np.where(dropped, old_x, new_x)
+                    new_y = np.where(dropped, old_y, new_y)
+                if ow_p > 0.0:
+                    oneway = (armed_mask & ~dropped
+                              & (rng.random(k) < ow_p))
+                    runtime.oneway += int(oneway.sum())
+                    new_y = np.where(oneway, old_y, new_y)
+            changed = int(np.count_nonzero((new_x != old_x)
+                                           | (new_y != old_y)))
+            steps += k
+            touched = False
+            if changed:
+                productive += changed
+                agents[initiators] = new_x
+                agents[responders] = new_y
+                dense += np.bincount(new_x, minlength=s)
+                dense += np.bincount(new_y, minlength=s)
+                dense -= np.bincount(old_x, minlength=s)
+                dense -= np.bincount(old_y, minlength=s)
+                touched = True
+            if armed_ticks:
+                if flip_p > 0.0:
+                    for _ in range(rng.binomial(armed_ticks, flip_p)):
+                        runtime.flips += 1
+                        position = int(rng.random() * len(agents))
+                        old = int(agents[position])
+                        new = runtime.pick_flip_state(rng)
+                        if new != old:
+                            agents[position] = new
+                            dense[old] -= 1
+                            dense[new] += 1
+                            touched = True
+                if crash_p > 0.0:
+                    for _ in range(rng.binomial(armed_ticks, crash_p)):
+                        if len(agents) <= floor:
+                            break
+                        runtime.crashes += 1
+                        position = int(rng.random() * len(agents))
+                        old = int(agents[position])
+                        agents[position] = agents[-1]
+                        agents = agents[:-1]
+                        dense[old] -= 1
+                        touched = True
+                if join_p > 0.0:
+                    for _ in range(rng.binomial(armed_ticks, join_p)):
+                        runtime.joins += 1
+                        new = runtime.pick_join_state(rng)
+                        agents = np.append(agents, np.int64(new))
+                        dense[new] += 1
+                        touched = True
+            if touched:
+                counts[:] = dense.tolist()
+                tracker.reset(counts)
+                if recorder is not None:
+                    recorder.maybe_record(steps, counts)
+            if tracker.settled() and steps >= hold_until:
+                return steps, productive, False, None
         return steps, productive, False, None

@@ -46,6 +46,14 @@ class SettleTracker:
         """
         raise NotImplementedError
 
+    def shift(self, old: int, new: int) -> None:
+        """Notify that one agent was rewritten ``old -> new`` (a fault)."""
+        raise NotImplementedError
+
+    def adjust(self, index: int, delta: int) -> None:
+        """Notify that ``delta`` agents joined (+) or left (-) ``index``."""
+        raise NotImplementedError
+
     def settled(self) -> bool:
         """Whether the current configuration is settled."""
         raise NotImplementedError
@@ -89,6 +97,14 @@ class UnanimitySettleTracker(SettleTracker):
         self._bump(outputs[j], -1)
         self._bump(outputs[new_i], 1)
         self._bump(outputs[new_j], 1)
+
+    def shift(self, old: int, new: int) -> None:
+        outputs = self._outputs
+        self._bump(outputs[old], -1)
+        self._bump(outputs[new], 1)
+
+    def adjust(self, index: int, delta: int) -> None:
+        self._bump(self._outputs[index], delta)
 
     def settled(self) -> bool:
         if self._undecided:
@@ -134,6 +150,13 @@ class GenericSettleTracker(SettleTracker):
         if (counts[i] == 0 or counts[j] == 0
                 or counts[new_i] <= 2 or counts[new_j] <= 2):
             self._dirty = True
+
+    def shift(self, old: int, new: int) -> None:
+        # A fault rewrite can change the support arbitrarily.
+        self._dirty = True
+
+    def adjust(self, index: int, delta: int) -> None:
+        self._dirty = True
 
     def reset(self, counts) -> None:
         # The live reference may have been replaced in place; any bulk

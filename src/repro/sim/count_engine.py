@@ -27,6 +27,7 @@ class CountEngine(Engine):
     """Exact count-based simulation (complete interaction graph only)."""
 
     name = "count"
+    supports_faults = True
 
     def _simulate(self, counts, n, rng, max_steps, tracker, recorder):
         check_budget_sanity(max_steps)
@@ -73,3 +74,113 @@ class CountEngine(Engine):
                 if tracker.settled():
                     return steps, productive, False, None
         return steps, productive, False, None
+
+    def _simulate_faulted(self, counts, n, rng, max_steps, tracker,
+                          recorder, runtime):
+        return simulate_faulted_counts(self, counts, n, rng, max_steps,
+                                       tracker, recorder, runtime)
+
+
+def simulate_faulted_counts(engine, counts, n, rng, max_steps, tracker,
+                            recorder, runtime):
+    """Sequential count-vector loop with online fault injection.
+
+    The canonical per-tick order (identical across engines): the
+    scheduled interaction — suppressed by a drop, halved by a one-way
+    fault — then flip, crash, join.  Pair and Bernoulli uniforms are
+    pre-drawn per block; the rare per-event draws (victims, replacement
+    states) come from scalar calls at injection time.  Pairs are drawn
+    as floats scaled by the *live* population, since churn resizes it
+    mid-block.
+
+    Shared by :class:`CountEngine` and the ensemble engine's
+    single-run path.
+    """
+    check_budget_sanity(max_steps)
+    lookup = engine._transition_lookup()
+    tree = FenwickTree(counts)
+    tree_add = tree.add
+    tree_find = tree.find
+
+    flip_p = runtime.flip_prob
+    crash_p = runtime.crash_prob
+    join_p = runtime.join_prob
+    drop_p = runtime.drop_prob
+    ow_p = runtime.oneway_prob
+    horizon = runtime.horizon
+    hold_until = runtime.hold_until
+    floor = runtime.floor
+
+    steps = 0
+    productive = 0
+    while steps < max_steps:
+        block = min(_BLOCK, max_steps - steps)
+        pair_rows = rng.random((block, 2)).tolist()
+        # Columns: drop, one-way, flip, crash, join.
+        fault_rows = rng.random((block, 5)).tolist()
+        for (pu, pv), (du, ou, fu, cu, ju) in zip(pair_rows, fault_rows):
+            armed = horizon is None or steps < horizon
+            steps += 1
+            changed = False
+            if armed and drop_p > 0.0 and du < drop_p:
+                runtime.drops += 1
+            else:
+                i = tree_find(int(pu * n))
+                # Sample the responder without replacement.
+                tree_add(i, -1)
+                j = tree_find(int(pv * (n - 1)))
+                tree_add(i, 1)
+                new_i, new_j = lookup(i, j)
+                if armed and ow_p > 0.0 and ou < ow_p:
+                    runtime.oneway += 1
+                    new_j = j
+                if new_i != i or new_j != j:
+                    productive += 1
+                    changed = True
+                    counts[i] -= 1
+                    counts[j] -= 1
+                    counts[new_i] += 1
+                    counts[new_j] += 1
+                    tree_add(i, -1)
+                    tree_add(j, -1)
+                    tree_add(new_i, 1)
+                    tree_add(new_j, 1)
+                    tracker.update(i, j, new_i, new_j)
+            if armed:
+                if flip_p > 0.0 and fu < flip_p:
+                    runtime.flips += 1
+                    victim = tree_find(int(rng.random() * n))
+                    new = runtime.pick_flip_state(rng)
+                    if new != victim:
+                        changed = True
+                        counts[victim] -= 1
+                        counts[new] += 1
+                        tree_add(victim, -1)
+                        tree_add(new, 1)
+                        tracker.shift(victim, new)
+                if crash_p > 0.0 and cu < crash_p and n > floor:
+                    runtime.crashes += 1
+                    changed = True
+                    victim = tree_find(int(rng.random() * n))
+                    counts[victim] -= 1
+                    tree_add(victim, -1)
+                    tracker.adjust(victim, -1)
+                    n -= 1
+                if join_p > 0.0 and ju < join_p:
+                    runtime.joins += 1
+                    changed = True
+                    new = runtime.pick_join_state(rng)
+                    counts[new] += 1
+                    tree_add(new, 1)
+                    tracker.adjust(new, 1)
+                    n += 1
+            if changed:
+                if recorder is not None:
+                    recorder.maybe_record(steps, counts)
+                if tracker.settled() and steps >= hold_until:
+                    return steps, productive, False, None
+            elif steps == hold_until and tracker.settled():
+                # The hold boundary can pass on a null tick; a run that
+                # settled inside the fault window retires here.
+                return steps, productive, False, None
+    return steps, productive, False, None

@@ -45,6 +45,7 @@ from ..errors import (
     InvalidParameterError,
     SimulationError,
 )
+from ..faults import active_faults
 from ..protocols.base import PopulationProtocol, State
 from ..rng import ensure_rng
 from ..telemetry.context import current as current_telemetry
@@ -69,6 +70,12 @@ class Engine(ABC):
 
     name = "engine"
 
+    #: Whether the engine implements :meth:`_simulate_faulted`.
+    supports_faults = False
+    #: Whether the engine honours adversarial pair schedulers
+    #: (``FaultSpec.scheduler``); only the agent engine does.
+    supports_fault_scheduler = False
+
     def __init__(self, protocol: PopulationProtocol):
         self.protocol = protocol
 
@@ -83,6 +90,7 @@ class Engine(ABC):
             expected: int | None = None,
             recorder=None,
             event_observer=None,
+            faults=None,
             on_timeout: str = "return") -> RunResult:
         """Simulate one execution from ``initial_counts``.
 
@@ -105,6 +113,13 @@ class Engine(ABC):
             ``(i, j, new_i, new_j)`` invoked on every state-changing
             interaction (see :mod:`repro.sim.observers`); ignored by
             the batch engine, which has no per-interaction events.
+        faults:
+            Optional :class:`repro.FaultSpec` injecting state
+            corruption, churn, interaction faults, or an adversarial
+            scheduler (see :mod:`repro.faults`).  A ``None`` or null
+            spec runs the clean, bit-identical fast path.  Raises
+            :class:`~repro.errors.InvalidParameterError` on engines
+            without fault support (the analytic null-skipping family).
         on_timeout:
             ``"return"`` (default) hands back an unsettled
             :class:`RunResult` when the budget runs out; ``"raise"``
@@ -124,6 +139,20 @@ class Engine(ABC):
         budget = self._resolve_budget(n, max_steps, max_parallel_time)
         generator = ensure_rng(rng)
 
+        runtime = None
+        active = active_faults(faults)
+        if active is not None:
+            if not self.supports_faults:
+                raise InvalidParameterError(
+                    f"engine {self.name!r} does not support fault "
+                    "injection; use the agent, count, batch, or "
+                    "ensemble engine")
+            from ..faults import FaultRuntime
+
+            runtime = FaultRuntime.build(
+                active, self.protocol, expected=expected,
+                scheduler_ok=self.supports_fault_scheduler)
+
         count_list = [int(c) for c in counts]
         tracker = make_settle_tracker(self.protocol, count_list)
         if event_observer is not None and self._supports_observers():
@@ -141,8 +170,13 @@ class Engine(ABC):
         telemetry = current_telemetry()
         started = time.perf_counter() if telemetry.enabled else 0.0
 
-        if tracker.settled():
+        if tracker.settled() and (runtime is None
+                                  or runtime.hold_until == 0):
             steps, productive, frozen, extra_time = 0, 0, False, None
+        elif runtime is not None:
+            steps, productive, frozen, extra_time = self._simulate_faulted(
+                count_list, n, generator, budget, tracker, recorder,
+                runtime)
         else:
             steps, productive, frozen, extra_time = self._simulate(
                 count_list, n, generator, budget, tracker, recorder)
@@ -152,6 +186,8 @@ class Engine(ABC):
                                      time.perf_counter() - started,
                                      n, steps, productive,
                                      tracker.settled())
+            if runtime is not None:
+                self._emit_fault_telemetry(telemetry, runtime)
         if recorder is not None:
             recorder.force_record(steps, count_list)
         result = RunResult(
@@ -166,6 +202,7 @@ class Engine(ABC):
             productive_steps=productive,
             continuous_time=extra_time,
             frozen=frozen,
+            fault_events=runtime.events() if runtime is not None else None,
         )
         if on_timeout == "raise" and not result.settled \
                 and not result.frozen:
@@ -187,6 +224,14 @@ class Engine(ABC):
             telemetry.count("engine.unsettled", **labels)
         telemetry.record_span("engine.run", wall, n=n, steps=steps,
                               settled=settled, **labels)
+
+    def _emit_fault_telemetry(self, telemetry, runtime) -> None:
+        """Report one faulted run's injection counts."""
+        labels = {"engine": self.name, "protocol": self.protocol.name}
+        telemetry.count("fault.runs", **labels)
+        for kind, count in runtime.events().items():
+            if count:
+                telemetry.count(f"fault.{kind}", count, **labels)
 
     def _telemetry_labels(self) -> dict:
         """Extra labels identifying this engine's configuration.
@@ -220,6 +265,22 @@ class Engine(ABC):
         count would exceed ``max_steps``.  Returns ``(steps,
         productive_steps, frozen, continuous_time)``.
         """
+
+    def _simulate_faulted(self, counts: list[int], n: int, rng,
+                          max_steps: int, tracker, recorder,
+                          runtime) -> tuple[int, int | None, bool,
+                                            float | None]:
+        """Fault-injecting inner loop (see :mod:`repro.faults`).
+
+        Only called with an *active* :class:`~repro.faults.FaultRuntime`
+        and only on engines declaring ``supports_faults = True``.  The
+        canonical per-tick order is interaction (subject to drop /
+        one-way), then flip, then crash, then join; settling is only
+        terminal once ``steps >= runtime.hold_until``.
+        """
+        raise NotImplementedError(
+            f"engine {self.name!r} declares fault support but does not "
+            "implement _simulate_faulted")
 
     # ------------------------------------------------------------------
     # Helpers

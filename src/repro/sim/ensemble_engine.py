@@ -63,6 +63,7 @@ from collections.abc import Mapping
 import numpy as np
 
 from ..errors import InvalidParameterError, SimulationError
+from ..faults import FaultRuntime, active_faults
 from ..protocols.base import PopulationProtocol, State
 from ..rng import ensure_rng
 from ..telemetry.context import current as current_telemetry
@@ -100,6 +101,7 @@ class EnsembleEngine(Engine):
     """
 
     name = "ensemble"
+    supports_faults = True
 
     # ------------------------------------------------------------------
     # Vectorized ensemble path
@@ -110,7 +112,8 @@ class EnsembleEngine(Engine):
                      rng=None,
                      max_steps: int | None = None,
                      max_parallel_time: float | None = None,
-                     expected: int | None = None) -> list[RunResult]:
+                     expected: int | None = None,
+                     faults=None) -> list[RunResult]:
         """Simulate ``num_trials`` independent executions at once.
 
         Every trial starts from ``initial_counts`` and runs until it
@@ -137,6 +140,14 @@ class EnsembleEngine(Engine):
         budget = self._resolve_budget(n, max_steps, max_parallel_time)
         check_budget_sanity(budget)
         generator = ensure_rng(rng)
+        runtime = None
+        active = active_faults(faults)
+        if active is not None:
+            # Adversarial schedulers need the explicit-agents engine;
+            # everything else is injected vectorized below.
+            runtime = FaultRuntime.build(active, protocol,
+                                         expected=expected,
+                                         scheduler_ok=False)
         # Telemetry records per-chunk aggregates only — the hot loop
         # just bumps two local ints per vectorized round.
         telemetry = current_telemetry()
@@ -155,7 +166,8 @@ class EnsembleEngine(Engine):
         base_class = np.bincount(state_class, weights=base,
                                  minlength=3).astype(np.int64)
 
-        def row_result(steps, settled, decision, vector, productive):
+        def row_result(steps, settled, decision, vector, productive,
+                       events=None):
             return RunResult(
                 protocol_name=protocol.name,
                 engine_name=self.name,
@@ -168,22 +180,32 @@ class EnsembleEngine(Engine):
                 productive_steps=int(productive),
                 continuous_time=None,
                 frozen=False,
+                fault_events=events,
             )
 
         def class_decision(class_counts):
             return 1 if class_counts[2] > 0 else 0
 
         results: list[RunResult | None] = [None] * num_trials
-        if (base_class[0] == 0
-                and (base_class[1] == 0) != (base_class[2] == 0)):
-            # Already settled: every trial converges at step 0.
-            result = row_result(0, True, class_decision(base_class), base, 0)
+        if ((base_class[0] == 0
+                and (base_class[1] == 0) != (base_class[2] == 0))
+                and (runtime is None or runtime.hold_until == 0)):
+            # Already settled: every trial converges at step 0.  (A
+            # fault window that can unsettle the configuration holds
+            # the trials in the arena instead — see repro.faults.)
+            result = row_result(0, True, class_decision(base_class), base,
+                                0, runtime.events() if runtime else None)
             results = [result] * num_trials
             if telemetry.enabled:
                 self._emit_chunk_telemetry(
                     telemetry, time.perf_counter() - started, n,
                     results, rounds, drawn)
             return results
+
+        if runtime is not None:
+            return self._run_ensemble_faulted(
+                runtime, base, n, num_trials, budget, generator,
+                telemetry, started, row_result)
 
         # Pair index -> "this ordered state pair is productive", and
         # state -> one-hot class row, so the hot loop classifies and
@@ -315,6 +337,298 @@ class EnsembleEngine(Engine):
                 results, rounds, drawn)
         return results  # type: ignore[return-value]
 
+    def _run_ensemble_faulted(self, runtime, base, n, num_trials, budget,
+                              generator, telemetry, started, row_result):
+        """Vectorized ensemble loop with mask-based fault injection.
+
+        The clean path's speculation stays exact here because every
+        fault event is a *configuration change*: a window's draws are
+        valid exactly up to the first tick whose configuration differs
+        from the one they were drawn from, and faults — like productive
+        interactions — end that prefix.  Dropped meetings, one-way
+        faults on null pairs, and floor-suppressed crashes leave the
+        configuration intact, so speculation runs straight through
+        them.
+
+        Two extra pieces of bookkeeping versus the clean loop:
+
+        * ``n_live`` — per-row live population under churn; pairs are
+          then drawn as floats scaled by each row's own ``n(n-1)``.
+        * the *hold boundary* — rows below ``runtime.hold_until`` cap
+          their consumption at it, so a trial that settles inside the
+          fault window retires at exactly ``hold_until`` (matching the
+          sequential engines tick for tick).
+        """
+        protocol = self.protocol
+        s = protocol.num_states
+        out_x, out_y = protocol.transition_matrix()
+        table_x = out_x.ravel()
+        table_y = out_y.ravel()
+        outputs = protocol.output_array()
+        state_class = np.where(outputs < 0, 0,
+                               np.where(outputs == 0, 1, 2)).astype(np.int64)
+        col_j, col_i = np.meshgrid(np.arange(s), np.arange(s))
+        nonnull_full = ((table_x != col_i.ravel())
+                        | (table_y != col_j.ravel()))
+        # Under a one-way fault only the initiator transitions, so the
+        # pair is productive iff the initiator's state changes.
+        nonnull_ow = table_x != col_i.ravel()
+        class_matrix = np.zeros((s, 3), dtype=np.int64)
+        class_matrix[np.arange(s), state_class] = 1
+
+        flip_p = runtime.flip_prob
+        crash_p = runtime.crash_prob
+        join_p = runtime.join_prob
+        drop_p = runtime.drop_prob
+        ow_p = runtime.oneway_prob
+        horizon = runtime.horizon
+        hold_until = runtime.hold_until
+        floor = runtime.floor
+        churn = runtime.churn
+
+        rounds = 0
+        drawn = 0
+        results: list[RunResult | None] = [None] * num_trials
+        counts = np.tile(base, (num_trials, 1))
+        agents = np.tile(np.repeat(np.arange(s, dtype=np.int32), base),
+                         (num_trials, 1))
+        trial_ids = np.arange(num_trials)
+        productive = np.zeros(num_trials, dtype=np.int64)
+        steps_r = np.zeros(num_trials, dtype=np.int64)
+        n_live = np.full(num_trials, n, dtype=np.int64)
+        ev = {kind: np.zeros(num_trials, dtype=np.int64)
+              for kind in ("flips", "crashes", "joins", "drops", "oneway")}
+        live = num_trials
+        row_sel = np.arange(live)[None, :]
+        counts_flat = counts.reshape(-1)
+        window = _MIN_WINDOW
+
+        def finish(pos, steps, settled, decision):
+            events = {kind: int(ev[kind][pos]) for kind in ev}
+            for kind, value in events.items():
+                setattr(runtime, kind, getattr(runtime, kind) + value)
+            results[trial_ids[pos]] = row_result(
+                steps, settled, decision, counts[pos], productive[pos],
+                events)
+
+        while live:
+            remaining = budget - steps_r
+            if hold_until:
+                cap_r = np.where(steps_r < hold_until,
+                                 np.minimum(hold_until - steps_r,
+                                            remaining),
+                                 remaining)
+            else:
+                cap_r = remaining
+            w = min(window, int(cap_r.max()))
+            rounds += 1
+            drawn += w * live
+
+            if churn:
+                span_r = n_live * (n_live - 1)
+                raw = (generator.random((w, live))
+                       * span_r[None, :]).astype(np.int64)
+                np.minimum(raw, span_r[None, :] - 1, out=raw)
+                u, v = np.divmod(raw, (n_live - 1)[None, :])
+            else:
+                raw = generator.integers(0, n * (n - 1), size=(w, live))
+                u, v = np.divmod(raw, n - 1)
+            v += v >= u
+            i = agents[row_sel, u]
+            j = agents[row_sel, v]
+            pair = i * s + j
+
+            if horizon is None:
+                armed = None  # armed forever
+            else:
+                armed = ((steps_r[None, :] + np.arange(w)[:, None])
+                         < horizon)
+
+            def bernoulli(p):
+                if p <= 0.0:
+                    return None
+                mask = generator.random((w, live)) < p
+                if armed is not None:
+                    mask &= armed
+                return mask
+
+            drop_ev = bernoulli(drop_p)
+            ow_ev = bernoulli(ow_p)
+            if ow_ev is not None and drop_ev is not None:
+                ow_ev &= ~drop_ev  # a dropped meeting cannot be one-way
+            flip_ev = bernoulli(flip_p)
+            crash_ev = bernoulli(crash_p)
+            join_ev = bernoulli(join_p)
+
+            inter_change = nonnull_full[pair]
+            if ow_ev is not None:
+                inter_change = np.where(ow_ev, nonnull_ow[pair],
+                                        inter_change)
+            if drop_ev is not None:
+                inter_change &= ~drop_ev
+            config_change = inter_change
+            for mask in (flip_ev, crash_ev, join_ev):
+                if mask is not None:
+                    config_change = config_change | mask
+
+            hit = config_change.any(axis=0)
+            first = np.where(hit, np.argmax(config_change, axis=0), w)
+            apply_mask = hit & (first < cap_r)
+            consumed = np.where(apply_mask, first + 1,
+                                np.minimum(w, cap_r))
+            steps_pre = steps_r
+            steps_r = steps_r + consumed
+
+            if drop_ev is not None or ow_ev is not None:
+                prefix = np.arange(w)[:, None] < consumed[None, :]
+                if drop_ev is not None:
+                    ev["drops"] += (drop_ev & prefix).sum(axis=0)
+                if ow_ev is not None:
+                    ev["oneway"] += (ow_ev & prefix).sum(axis=0)
+
+            idx = np.flatnonzero(apply_mask)
+            if idx.size:
+                at = first[idx]
+                # 1) the interaction (unless dropped; one-way rows keep
+                #    the responder's state)
+                old_i = i[at, idx].astype(np.int64)
+                old_j = j[at, idx].astype(np.int64)
+                hot = old_i * s + old_j
+                new_i = table_x[hot]
+                new_j = table_y[hot]
+                if ow_ev is not None:
+                    new_j = np.where(ow_ev[at, idx], old_j, new_j)
+                dropped_at = (drop_ev[at, idx] if drop_ev is not None
+                              else np.zeros(idx.size, dtype=bool))
+                prod = (~dropped_at) & ((new_i != old_i)
+                                        | (new_j != old_j))
+                rows_p = idx[prod]
+                if rows_p.size:
+                    productive[rows_p] += 1
+                    atp = first[rows_p]
+                    rows2 = np.concatenate([rows_p, rows_p])
+                    agents[rows2,
+                           np.concatenate([u[atp, rows_p],
+                                           v[atp, rows_p]])] \
+                        = np.concatenate([new_i[prod],
+                                          new_j[prod]]).astype(np.int32)
+                    base_flat = rows_p * s
+                    np.subtract.at(
+                        counts_flat,
+                        np.concatenate([base_flat + old_i[prod],
+                                        base_flat + old_j[prod]]),
+                        1)
+                    np.add.at(
+                        counts_flat,
+                        np.concatenate([base_flat + new_i[prod],
+                                        base_flat + new_j[prod]]),
+                        1)
+                # 2) flips
+                if flip_ev is not None:
+                    rows_f = idx[flip_ev[at, idx]]
+                    if rows_f.size:
+                        ev["flips"][rows_f] += 1
+                        position = (generator.random(rows_f.size)
+                                    * n_live[rows_f]).astype(np.int64)
+                        old = agents[rows_f, position].astype(np.int64)
+                        new = runtime.sample_flip_states(generator,
+                                                         rows_f.size)
+                        moved = new != old
+                        rows_m = rows_f[moved]
+                        if rows_m.size:
+                            agents[rows_m, position[moved]] \
+                                = new[moved].astype(np.int32)
+                            np.subtract.at(counts_flat,
+                                           rows_m * s + old[moved], 1)
+                            np.add.at(counts_flat,
+                                      rows_m * s + new[moved], 1)
+                # 3) crashes (floor-guarded, swap-remove the last token)
+                if crash_ev is not None:
+                    rows_k = idx[crash_ev[at, idx]]
+                    rows_k = rows_k[n_live[rows_k] > floor]
+                    if rows_k.size:
+                        ev["crashes"][rows_k] += 1
+                        position = (generator.random(rows_k.size)
+                                    * n_live[rows_k]).astype(np.int64)
+                        old = agents[rows_k, position].astype(np.int64)
+                        agents[rows_k, position] \
+                            = agents[rows_k, n_live[rows_k] - 1]
+                        n_live[rows_k] -= 1
+                        np.subtract.at(counts_flat, rows_k * s + old, 1)
+                # 4) joins (grow the token matrix when at capacity)
+                if join_ev is not None:
+                    rows_j = idx[join_ev[at, idx]]
+                    if rows_j.size:
+                        capacity = agents.shape[1]
+                        need = int(n_live[rows_j].max()) + 1
+                        if need > capacity:
+                            grow = max(need - capacity,
+                                       max(8, capacity // 4))
+                            agents = np.concatenate(
+                                [agents,
+                                 np.zeros((agents.shape[0], grow),
+                                          dtype=np.int32)], axis=1)
+                        new = runtime.sample_join_states(generator,
+                                                         rows_j.size)
+                        agents[rows_j, n_live[rows_j]] \
+                            = new.astype(np.int32)
+                        n_live[rows_j] += 1
+                        ev["joins"][rows_j] += 1
+                        np.add.at(counts_flat, rows_j * s + new, 1)
+
+            # Settledness: rows that changed, plus rows crossing the
+            # hold boundary this round (their settled verdict becomes
+            # terminal exactly at hold_until).
+            settled_live = np.zeros(live, dtype=bool)
+            check = idx
+            if hold_until:
+                boundary = np.flatnonzero((steps_pre < hold_until)
+                                          & (steps_r >= hold_until))
+                check = np.union1d(idx, boundary)
+            if check.size:
+                cls = counts[check] @ class_matrix
+                done_sub = ((cls[:, 0] == 0)
+                            & ((cls[:, 1] == 0) != (cls[:, 2] == 0))
+                            & (steps_r[check] >= hold_until))
+                for where in np.flatnonzero(done_sub):
+                    pos = check[where]
+                    finish(pos, steps_r[pos], True,
+                           1 if cls[where, 2] > 0 else 0)
+                    settled_live[pos] = True
+            exhausted = steps_r >= budget
+            retire = settled_live | exhausted
+            if retire.any():
+                for pos in np.flatnonzero(exhausted & ~settled_live):
+                    finish(pos, budget, False, None)
+                keep = ~retire
+                counts = counts[keep]
+                agents = agents[keep]
+                trial_ids = trial_ids[keep]
+                productive = productive[keep]
+                steps_r = steps_r[keep]
+                n_live = n_live[keep]
+                for kind in ev:
+                    ev[kind] = ev[kind][keep]
+                live = len(trial_ids)
+                if not live:
+                    break
+                row_sel = np.arange(live)[None, :]
+                counts_flat = counts.reshape(-1)
+            window = int(np.clip(2.0 * consumed.mean(),
+                                 _MIN_WINDOW, _MAX_WINDOW))
+
+        if telemetry.enabled:
+            self._emit_chunk_telemetry(
+                telemetry, time.perf_counter() - started, n,
+                results, rounds, drawn)
+            labels = {"engine": self.name,
+                      "protocol": self.protocol.name}
+            telemetry.count("fault.runs", len(results), **labels)
+            for kind, count in runtime.events().items():
+                if count:
+                    telemetry.count(f"fault.{kind}", count, **labels)
+        return results  # type: ignore[return-value]
+
     def _emit_chunk_telemetry(self, telemetry, wall: float, n: int,
                               results, rounds: int, drawn: int) -> None:
         """Report one sub-ensemble's aggregates to the telemetry.
@@ -388,3 +702,13 @@ class EnsembleEngine(Engine):
                 if tracker.settled():
                     return steps, productive, False, None
         return steps, productive, False, None
+
+    def _simulate_faulted(self, counts, n, rng, max_steps, tracker,
+                          recorder, runtime):
+        # The scalar path shares the count engine's faulted loop (same
+        # chain, Fenwick-backed); the vectorized injection lives in
+        # _run_ensemble_faulted.
+        from .count_engine import simulate_faulted_counts
+
+        return simulate_faulted_counts(self, counts, n, rng, max_steps,
+                                       tracker, recorder, runtime)

@@ -41,6 +41,14 @@ class ObservingTracker(SettleTracker):
         for observer in self._observers:
             observer(i, j, new_i, new_j)
 
+    def shift(self, old, new) -> None:
+        # Fault rewrites are not interactions; observers see only the
+        # protocol's own transitions.
+        self._inner.shift(old, new)
+
+    def adjust(self, index, delta) -> None:
+        self._inner.adjust(index, delta)
+
     def reset(self, counts) -> None:
         self._inner.reset(counts)
 

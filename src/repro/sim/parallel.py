@@ -53,7 +53,7 @@ from .run import (
     _legacy_spec,
     _reject_extras,
     ensemble_chunks,
-    make_engine,
+    make_run_engine,
     raise_unsettled,
     resolve_trial_engine,
 )
@@ -94,9 +94,7 @@ def _run_one(job) -> tuple[int, RunResult, list[dict] | None]:
     spec = _WORKER["spec"]
     engine = _WORKER.get("engine")
     if engine is None:
-        engine = make_engine(spec.protocol, spec.engine, graph=spec.graph,
-                             batch_fraction=spec.batch_fraction,
-                             num_trials=1)
+        engine = make_run_engine(spec)
         _WORKER["engine"] = engine
     result = engine.run(_WORKER["initial"],
                         rng=np.random.default_rng(seed_seq),
@@ -105,6 +103,7 @@ def _run_one(job) -> tuple[int, RunResult, list[dict] | None]:
                         expected=_WORKER["expected"],
                         recorder=spec.recorder,
                         event_observer=spec.event_observer,
+                        faults=spec.faults,
                         on_timeout=spec.on_timeout)
     return index, result, _drain_records()
 
@@ -121,7 +120,8 @@ def _run_chunk(job) -> tuple[int, list[RunResult], list[dict] | None]:
         rng=np.random.default_rng(seed_seq),
         expected=_WORKER["expected"],
         max_steps=spec.max_steps,
-        max_parallel_time=spec.max_parallel_time)
+        max_parallel_time=spec.max_parallel_time,
+        faults=spec.faults)
     return start, results, _drain_records()
 
 

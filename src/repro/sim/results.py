@@ -39,6 +39,12 @@ class RunResult:
     continuous_time:
         Elapsed continuous time for Poisson-clock runs (``None`` for
         discrete-time engines).
+    fault_events:
+        Injection counts by fault class (flips/crashes/joins/drops/
+        oneway) when the run executed under a :class:`repro.FaultSpec`;
+        ``None`` for clean runs.  Under churn, ``n`` remains the
+        *initial* population — the final one is the sum of
+        ``final_counts``.
     """
 
     protocol_name: str
@@ -55,6 +61,7 @@ class RunResult:
     #: True when the engine proved no further state change is possible
     #: (e.g. a four-state tie that froze without settling).
     frozen: bool = False
+    fault_events: dict | None = None
 
     @property
     def parallel_time(self) -> float:

@@ -41,6 +41,7 @@ from functools import cached_property
 from typing import Any
 
 from ..errors import ConvergenceTimeout, InvalidParameterError
+from ..faults import active_faults
 from ..protocols.base import MAJORITY_A, MAJORITY_B, MajorityProtocol, State
 from ..rng import ensure_rng, spawn
 from ..telemetry.context import current as current_telemetry
@@ -51,9 +52,10 @@ from .engines import ENSEMBLE_MAX_STATES, NULL_SKIP_MAX_STATES
 from .ensemble_engine import EnsembleEngine
 from .results import RunResult, TrialStats
 
-__all__ = ["RunSpec", "simulate", "make_engine", "run", "run_majority",
-           "run_trials", "resolve_trial_engine", "ENGINE_NAMES",
-           "ENSEMBLE_CHUNK_TRIALS", "ensemble_chunks", "raise_unsettled"]
+__all__ = ["RunSpec", "simulate", "make_engine", "make_run_engine",
+           "run", "run_majority", "run_trials", "resolve_trial_engine",
+           "ENGINE_NAMES", "ENSEMBLE_CHUNK_TRIALS", "ensemble_chunks",
+           "raise_unsettled"]
 
 #: Engines selectable by name in the high-level API (a snapshot of the
 #: registry at import time; see :func:`repro.sim.engines.available`).
@@ -93,6 +95,12 @@ class RunSpec:
     ``None`` the ambient instance (see :mod:`repro.telemetry.context`)
     applies.
 
+    ``faults`` optionally attaches a :class:`repro.FaultSpec` — state
+    corruption, churn, interaction faults, or an adversarial scheduler
+    (see :mod:`repro.faults`).  A ``None`` or null spec is the clean
+    model, bit-identical to pre-fault behaviour and fingerprinted
+    identically; an active spec is folded into :meth:`key`.
+
     The spec is what the runstore fingerprints: see
     :func:`repro.runstore.fingerprint.spec_key`.
     """
@@ -115,9 +123,16 @@ class RunSpec:
     on_timeout: str = "return"
     recorder: Any = None
     event_observer: Any = None
+    faults: Any = None
     telemetry: Any = field(default=None, compare=False)
 
     def __post_init__(self):
+        active = active_faults(self.faults)  # validates the type too
+        if (active is not None and active.scheduler is not None
+                and self.graph is not None):
+            raise InvalidParameterError(
+                "adversarial fault schedulers replace the pair sampler "
+                "and cannot be combined with an interaction graph")
         if self.num_trials < 1:
             raise InvalidParameterError(
                 f"num_trials must be >= 1, got {self.num_trials}")
@@ -231,6 +246,41 @@ def ensemble_chunks(num_trials: int) -> list[int]:
 _ENSEMBLE_BLOCKERS = ("graph", "recorder", "event_observer")
 
 
+def make_run_engine(spec: RunSpec) -> Engine:
+    """Instantiate the engine for ``spec``'s per-trial path.
+
+    Like :func:`make_engine`, but fault-aware: with an active
+    ``spec.faults``, ``"auto"`` reroutes to a fault-capable engine (the
+    agent engine under an adversarial scheduler or a graph, the count
+    engine otherwise — never the analytic null-skipping family, which
+    cannot inject), and explicitly requested engines without fault
+    support are rejected up front.
+    """
+    faults = active_faults(spec.faults)
+    if faults is None:
+        return make_engine(spec.protocol, spec.engine, graph=spec.graph,
+                           batch_fraction=spec.batch_fraction,
+                           num_trials=1)
+    if not isinstance(spec.engine, Engine) and spec.engine == "auto":
+        name = ("agent" if faults.scheduler is not None
+                or spec.graph is not None else "count")
+        return make_engine(spec.protocol, name, graph=spec.graph,
+                           batch_fraction=spec.batch_fraction,
+                           num_trials=1)
+    engine = make_engine(spec.protocol, spec.engine, graph=spec.graph,
+                         batch_fraction=spec.batch_fraction, num_trials=1)
+    if not engine.supports_faults:
+        raise InvalidParameterError(
+            f"engine {engine.name!r} does not support fault injection; "
+            "use the agent, count, batch, or ensemble engine")
+    if (faults.scheduler is not None
+            and not engine.supports_fault_scheduler):
+        raise InvalidParameterError(
+            f"engine {engine.name!r} does not support adversarial fault "
+            "schedulers; use engine='agent'")
+    return engine
+
+
 def resolve_trial_engine(spec: RunSpec) -> tuple[EnsembleEngine | None,
                                                  str | None]:
     """Decide whether a batch fans out through the ensemble engine.
@@ -249,19 +299,28 @@ def resolve_trial_engine(spec: RunSpec) -> tuple[EnsembleEngine | None,
     explicit = engine == "ensemble" or isinstance(engine, EnsembleEngine)
     blockers = [name for name in _ENSEMBLE_BLOCKERS
                 if getattr(spec, name) is not None]
+    faults = active_faults(spec.faults)
     if explicit:
         if blockers:
             raise InvalidParameterError(
                 "engine='ensemble' advances all trials in bulk and does "
                 f"not support {', '.join(blockers)}; use a sequential "
                 "engine for per-run instrumentation")
+        if faults is not None and faults.scheduler is not None:
+            raise InvalidParameterError(
+                "engine='ensemble' does not support adversarial fault "
+                "schedulers; use engine='agent'")
         return (engine if isinstance(engine, EnsembleEngine)
                 else EnsembleEngine(spec.protocol)), None
     if engine != "auto" or spec.num_trials < 2:
         return None, None
+    if faults is not None and faults.scheduler is not None:
+        # Adversarial schedulers need the agent engine (per-trial path).
+        return None, None
     s = spec.protocol.num_states
-    if s <= NULL_SKIP_MAX_STATES:
+    if faults is None and s <= NULL_SKIP_MAX_STATES:
         # Null skipping wins outright here — a choice, not a fallback.
+        # (It cannot inject faults, so faulted batches skip it.)
         return None, None
     if blockers:
         return None, "per-run instrumentation: " + ", ".join(blockers)
@@ -318,12 +377,12 @@ def _run_trials_sequential(spec: RunSpec, root) -> list[RunResult]:
     after :func:`resolve_trial_engine` already declined it.
     """
     initial, expected = spec.resolve_input()
-    engine = make_engine(spec.protocol, spec.engine, graph=spec.graph,
-                         batch_fraction=spec.batch_fraction, num_trials=1)
+    engine = make_run_engine(spec)
     return [engine.run(initial, rng=child, max_steps=spec.max_steps,
                        max_parallel_time=spec.max_parallel_time,
                        expected=expected, recorder=spec.recorder,
                        event_observer=spec.event_observer,
+                       faults=spec.faults,
                        on_timeout=spec.on_timeout)
             for child in spawn(root, spec.num_trials)]
 
@@ -338,7 +397,8 @@ def _run_trials_ensemble(engine: EnsembleEngine, spec: RunSpec,
         results.extend(engine.run_ensemble(
             initial, num_trials=size, rng=child, expected=expected,
             max_steps=spec.max_steps,
-            max_parallel_time=spec.max_parallel_time))
+            max_parallel_time=spec.max_parallel_time,
+            faults=spec.faults))
     if spec.on_timeout == "raise":
         raise_unsettled(results)
     return results
@@ -359,14 +419,14 @@ def _simulate_single(spec: RunSpec) -> RunResult:
     generator (no child spawning), preserving legacy single-run
     streams exactly."""
     initial, expected = spec.resolve_input()
-    engine = make_engine(spec.protocol, spec.engine, graph=spec.graph,
-                         batch_fraction=spec.batch_fraction)
+    engine = make_run_engine(spec)
     with use_telemetry(spec.telemetry):
         return engine.run(initial, rng=ensure_rng(spec.seed),
                           max_steps=spec.max_steps,
                           max_parallel_time=spec.max_parallel_time,
                           expected=expected, recorder=spec.recorder,
                           event_observer=spec.event_observer,
+                          faults=spec.faults,
                           on_timeout=spec.on_timeout)
 
 

@@ -17,7 +17,8 @@ import numpy as np
 
 from ..errors import InvalidParameterError
 
-__all__ = ["PairSampler", "CompletePairSampler", "GraphPairSampler"]
+__all__ = ["PairSampler", "CompletePairSampler", "GraphPairSampler",
+           "StubbornPairSampler", "ClusteredPairSampler"]
 
 
 class PairSampler:
@@ -99,3 +100,97 @@ class GraphPairSampler(PairSampler):
         picks = rng.integers(0, len(self._edges), size=size)
         chosen = self._edges[picks]
         return chosen[:, 0].tolist(), chosen[:, 1].tolist()
+
+
+class StubbornPairSampler(PairSampler):
+    """Adversarial scheduler that keeps re-scheduling one fixed pair.
+
+    With probability ``strength`` the sampler ignores the uniform draw
+    and schedules the same ordered pair again; the remaining mass is a
+    clean uniform draw over the clique, which keeps the scheduler
+    *fair* (every pair still meets infinitely often, so convergence
+    guarantees apply — only the time bounds degrade).  This is the
+    classic worst case for epidemic spreading: most interactions are
+    wasted on a pair that already agrees.
+    """
+
+    def __init__(self, n: int, *, strength: float = 0.9,
+                 pair: tuple[int, int] = (0, 1)):
+        if n < 2:
+            raise InvalidParameterError(f"need at least 2 agents, got {n}")
+        if not 0.0 <= strength < 1.0:
+            raise InvalidParameterError(
+                f"strength must be in [0, 1), got {strength}")
+        u, v = pair
+        if not (0 <= u < n and 0 <= v < n) or u == v:
+            raise InvalidParameterError(
+                f"pair must be two distinct agents in [0, {n}), got {pair}")
+        self.n = n
+        self.strength = strength
+        self.pair = (u, v)
+        self._uniform = CompletePairSampler(n)
+
+    def sample_block(self, rng: np.random.Generator,
+                     size: int) -> tuple[list[int], list[int]]:
+        first, second = self._uniform.sample_block(rng, size)
+        stubborn = rng.random(size) < self.strength
+        u, v = self.pair
+        first = np.where(stubborn, u, first)
+        second = np.where(stubborn, v, second)
+        return first.tolist(), second.tolist()
+
+
+class ClusteredPairSampler(PairSampler):
+    """Adversarial scheduler biased toward intra-cluster interactions.
+
+    Agents are split into ``clusters`` contiguous index blocks.  With
+    probability ``intra_prob`` the initiator's partner is drawn from
+    its own block (the slow-edge regime: cross-cluster information
+    flows only through the thin ``1 - intra_prob`` channel, the
+    sampler analogue of a barbell graph); otherwise the pair is a
+    clean uniform draw.  Blocks of size 1 always fall back to the
+    uniform draw — there is no intra partner to pick.
+    """
+
+    def __init__(self, n: int, *, clusters: int = 2,
+                 intra_prob: float = 0.9):
+        if n < 2:
+            raise InvalidParameterError(f"need at least 2 agents, got {n}")
+        if clusters < 2:
+            raise InvalidParameterError(
+                f"need at least 2 clusters, got {clusters}")
+        if clusters > n:
+            raise InvalidParameterError(
+                f"cannot split {n} agents into {clusters} clusters")
+        if not 0.0 <= intra_prob < 1.0:
+            raise InvalidParameterError(
+                f"intra_prob must be in [0, 1), got {intra_prob}")
+        self.n = n
+        self.clusters = clusters
+        self.intra_prob = intra_prob
+        sizes = np.full(clusters, n // clusters, dtype=np.int64)
+        sizes[: n % clusters] += 1
+        #: offsets[c] = first agent index of cluster c (+ sentinel n).
+        self._offsets = np.concatenate(
+            ([0], np.cumsum(sizes))).astype(np.int64)
+        self._sizes = sizes
+        self._uniform = CompletePairSampler(n)
+
+    def sample_block(self, rng: np.random.Generator,
+                     size: int) -> tuple[list[int], list[int]]:
+        first, second = self._uniform.sample_block(rng, size)
+        first = np.asarray(first, dtype=np.int64)
+        second = np.asarray(second, dtype=np.int64)
+        intra = rng.random(size) < self.intra_prob
+        # Cluster of each initiator: the offsets are sorted, so the
+        # insertion point minus one is the block index.
+        cluster = np.searchsorted(self._offsets, first, side="right") - 1
+        csize = self._sizes[cluster]
+        intra &= csize > 1
+        # Partner within the cluster, excluding the initiator, via the
+        # same skip trick as the uniform sampler.
+        local = (rng.random(size) * (csize - 1)).astype(np.int64)
+        partner = self._offsets[cluster] + local
+        partner += partner >= first
+        second = np.where(intra, partner, second)
+        return first.tolist(), second.tolist()

@@ -12,7 +12,7 @@ flip the winning side.
 
 import pytest
 
-from repro import AVCProtocol, RunSpec, run
+from repro import AVCProtocol, RunSpec, corrupt_counts, run
 from repro.core.states import intermediate_state, strong_state, weak_state
 from repro.rng import ensure_rng
 from repro.sim import CountEngine
@@ -66,15 +66,8 @@ class TestArbitraryStartingConfigurations:
 
 
 class TestMidRunCorruption:
-    def _corrupt(self, protocol, counts, *, remove, inject):
-        """Move agents between states (an adversarial rewrite)."""
-        corrupted = dict(counts)
-        for state, count in remove.items():
-            assert corrupted.get(state, 0) >= count, "test setup bug"
-            corrupted[state] -= count
-        for state, count in inject.items():
-            corrupted[state] = corrupted.get(state, 0) + count
-        return {s: c for s, c in corrupted.items() if c}
+    """Adversarial rewrites built with :func:`repro.corrupt_counts` —
+    the fault subsystem's explicit corruption primitive."""
 
     def test_corruption_that_flips_the_majority(self):
         """Interrupt a run, rewrite enough agents to flip the sign of
@@ -87,18 +80,19 @@ class TestMidRunCorruption:
         partial = engine.run(initial, rng=1, max_steps=150)
         assert not partial.settled
 
-        # Adversary: replace eight +5 agents (if still present) or
-        # weight-carrying positives with -5 agents.
-        counts = dict(partial.final_counts)
-        positives = [s for s, c in counts.items()
-                     for _ in range(c) if s.value > 0]
-        victims = positives[:30]
-        corrupted = dict(counts)
-        for state in victims:
-            corrupted[state] -= 1
-        corrupted[strong_state(-5)] = corrupted.get(strong_state(-5),
-                                                    0) + 30
-        corrupted = {s: c for s, c in corrupted.items() if c}
+        # Adversary: rewrite thirty positive-value agents (whatever
+        # states they occupy by now) into -5 agents.
+        counts = partial.final_counts
+        remove: dict = {}
+        budget = 30
+        for state, count in counts.items():
+            if state.value > 0 and budget:
+                take = min(count, budget)
+                remove[state] = take
+                budget -= take
+        assert budget == 0, "test setup bug: not enough positives"
+        corrupted = corrupt_counts(counts, remove=remove,
+                                   inject={strong_state(-5): 30})
         new_total = protocol.total_value(corrupted)
         assert new_total < 0, "corruption should flip the sign"
 
@@ -113,9 +107,8 @@ class TestMidRunCorruption:
         engine = CountEngine(protocol)
         partial = engine.run(protocol.initial_counts(70, 31), rng=3,
                              max_steps=200)
-        counts = self._corrupt(
-            protocol, partial.final_counts,
-            remove={},
+        counts = corrupt_counts(
+            partial.final_counts,
             inject={weak_state(-1): 25,
                     intermediate_state(-1, 1): 5,
                     intermediate_state(1, 2): 5})

@@ -1,0 +1,107 @@
+"""Vectorized fault injection: the ensemble engine vs the sequential
+engines.
+
+The ensemble engine injects faults with vectorized masks over whole
+trial blocks; the sequential engines inject tick by tick.  Both
+sample the same faulted Markov chain, so their settling-step samples
+must agree in distribution (two-sample Kolmogorov-Smirnov), and the
+ensemble's scalar single-run path must agree with the count engine
+bit for bit (they share one loop).
+"""
+
+import numpy as np
+import pytest
+from scipy.stats import ks_2samp
+
+from repro import AVCProtocol, FaultSpec
+from repro.rng import spawn_many
+from repro.sim import AgentEngine, CountEngine, EnsembleEngine
+
+PROTOCOL = AVCProtocol(m=9, d=1)
+
+
+def agent_steps(faults, *, trials, seed, count_a=36, count_b=25):
+    engine = AgentEngine(PROTOCOL)
+    initial = PROTOCOL.initial_counts(count_a, count_b)
+    results = [engine.run(initial, rng=child, expected=1, faults=faults)
+               for child in spawn_many(seed, trials)]
+    assert all(r.settled for r in results)
+    return [r.steps for r in results]
+
+
+def ensemble_results(faults, *, trials, seed, count_a=36, count_b=25):
+    initial = PROTOCOL.initial_counts(count_a, count_b)
+    return EnsembleEngine(PROTOCOL).run_ensemble(
+        initial, num_trials=trials, rng=np.random.default_rng(seed),
+        expected=1, faults=faults)
+
+
+@pytest.mark.parametrize("faults", [
+    pytest.param(FaultSpec(flip_prob=0.02, horizon=400), id="flip"),
+    pytest.param(FaultSpec(crash_prob=0.01, join_prob=0.01,
+                           horizon=400), id="churn"),
+    pytest.param(FaultSpec(drop_prob=0.05, oneway_prob=0.05,
+                           horizon=400), id="interaction"),
+], )
+def test_ensemble_matches_agent_engine_distribution(faults):
+    """The acceptance bar for the vectorized fault path: fault runs
+    on the ensemble engine agree in distribution with the agent
+    engine's (fixed seeds keep the check deterministic)."""
+    trials = 150
+    sequential = agent_steps(faults, trials=trials, seed=17)
+    results = ensemble_results(faults, trials=trials, seed=18)
+    assert all(r.settled for r in results)
+    vectorized = [r.steps for r in results]
+    outcome = ks_2samp(sequential, vectorized)
+    assert outcome.pvalue > 0.01, (
+        f"KS statistic {outcome.statistic:.3f}, "
+        f"p={outcome.pvalue:.4f}")
+
+
+def test_scalar_run_matches_count_engine_exactly():
+    """EnsembleEngine.run delegates its faulted scalar path to the
+    count engine's loop — same rng, same result, bit for bit."""
+    faults = FaultSpec(flip_prob=0.03, crash_prob=0.005,
+                       join_prob=0.005, horizon=300)
+    initial = PROTOCOL.initial_counts(36, 25)
+    a = CountEngine(PROTOCOL).run(initial, rng=5, expected=1,
+                                  faults=faults)
+    b = EnsembleEngine(PROTOCOL).run(initial, rng=5, expected=1,
+                                     faults=faults)
+    assert (a.steps, a.decision, a.settled, a.productive_steps) \
+        == (b.steps, b.decision, b.settled, b.productive_steps)
+    assert a.fault_events == b.fault_events
+    assert a.final_counts == b.final_counts
+
+
+def test_ensemble_churn_tracks_population_per_row():
+    faults = FaultSpec(crash_prob=0.02, join_prob=0.02, horizon=500,
+                       min_population=10)
+    results = ensemble_results(faults, trials=64, seed=9)
+    for r in results:
+        assert r.n == 61  # initial population, by contract
+        events = r.fault_events
+        population = sum(r.final_counts.values())
+        assert population == 61 + events["joins"] - events["crashes"]
+        assert population >= 10
+
+
+def test_ensemble_hold_boundary_is_exact():
+    """Trials that settle inside the fault window retire at exactly
+    the horizon — the vectorized cap must not overshoot it."""
+    faults = FaultSpec(flip_prob=0.001, horizon=3_000)
+    results = ensemble_results(faults, trials=64, seed=12,
+                               count_a=55, count_b=6)
+    steps = np.array([r.steps for r in results])
+    assert np.all(steps >= 3_000)
+    # With a huge margin and a tiny rate, most trials converge long
+    # before the horizon and must land exactly on it.
+    assert np.mean(steps == 3_000) > 0.5
+
+
+def test_ensemble_fault_determinism_across_chunks():
+    faults = FaultSpec(flip_prob=0.02, drop_prob=0.01, horizon=400)
+    first = ensemble_results(faults, trials=40, seed=21)
+    second = ensemble_results(faults, trials=40, seed=21)
+    assert [(r.steps, r.decision, r.fault_events) for r in first] \
+        == [(r.steps, r.decision, r.fault_events) for r in second]

@@ -1,0 +1,171 @@
+"""FaultSpec: validation, classification, and the fingerprint key."""
+
+import pytest
+
+from repro import (
+    AVCProtocol,
+    FaultSpec,
+    InvalidParameterError,
+    PairwiseLeaderElection,
+    ThreeStateProtocol,
+    corrupt_counts,
+)
+from repro.faults import FaultRuntime, active_faults
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field", [
+        "flip_prob", "crash_prob", "join_prob", "drop_prob",
+        "oneway_prob", "scheduler_strength"])
+    @pytest.mark.parametrize("value", [-0.1, 1.5])
+    def test_probabilities_bounded(self, field, value):
+        with pytest.raises(InvalidParameterError):
+            FaultSpec(**{field: value})
+
+    def test_flip_mode_checked(self):
+        with pytest.raises(InvalidParameterError, match="flip_mode"):
+            FaultSpec(flip_mode="sometimes")
+
+    @pytest.mark.parametrize("horizon", [0, -5])
+    def test_horizon_positive(self, horizon):
+        with pytest.raises(InvalidParameterError, match="horizon"):
+            FaultSpec(horizon=horizon)
+
+    def test_min_population_floor(self):
+        with pytest.raises(InvalidParameterError, match="min_population"):
+            FaultSpec(min_population=1)
+
+    def test_scheduler_name_checked(self):
+        with pytest.raises(InvalidParameterError, match="scheduler"):
+            FaultSpec(scheduler="round-robin")
+
+    def test_scheduler_excludes_churn(self):
+        with pytest.raises(InvalidParameterError, match="churn"):
+            FaultSpec(scheduler="stubborn", crash_prob=0.1)
+
+    def test_scheduler_clusters_minimum(self):
+        with pytest.raises(InvalidParameterError, match="clusters"):
+            FaultSpec(scheduler_clusters=1)
+
+
+class TestClassification:
+    def test_default_spec_is_null(self):
+        spec = FaultSpec()
+        assert not spec.active
+        assert not spec.churn
+        assert not spec.can_unsettle
+
+    @pytest.mark.parametrize("kwargs", [
+        {"flip_prob": 0.1}, {"crash_prob": 0.1}, {"join_prob": 0.1},
+        {"drop_prob": 0.1}, {"oneway_prob": 0.1},
+        {"scheduler": "stubborn"}])
+    def test_any_channel_activates(self, kwargs):
+        assert FaultSpec(**kwargs).active
+
+    def test_churn_is_crash_or_join(self):
+        assert FaultSpec(crash_prob=0.1).churn
+        assert FaultSpec(join_prob=0.1).churn
+        assert not FaultSpec(flip_prob=0.1).churn
+
+    def test_unsettling_is_flip_or_join(self):
+        assert FaultSpec(flip_prob=0.1).can_unsettle
+        assert FaultSpec(join_prob=0.1).can_unsettle
+        assert not FaultSpec(crash_prob=0.1).can_unsettle
+        assert not FaultSpec(drop_prob=0.1).can_unsettle
+
+
+class TestActiveFaults:
+    def test_none_passes_through(self):
+        assert active_faults(None) is None
+
+    def test_null_spec_normalizes_to_none(self):
+        assert active_faults(FaultSpec()) is None
+
+    def test_active_spec_passes_through(self):
+        spec = FaultSpec(flip_prob=0.1)
+        assert active_faults(spec) is spec
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(InvalidParameterError, match="FaultSpec"):
+            active_faults({"flip_prob": 0.1})
+
+
+class TestKey:
+    def test_null_spec_empty_key(self):
+        assert FaultSpec().key() == {}
+
+    def test_only_non_default_fields(self):
+        spec = FaultSpec(flip_prob=0.02, horizon=500)
+        assert spec.key() == {"flip_prob": 0.02, "horizon": 500}
+
+    def test_same_model_same_key(self):
+        assert (FaultSpec(flip_prob=1e-2).key()
+                == FaultSpec(flip_prob=0.01).key())
+
+
+class TestRuntimeBuild:
+    def test_targeted_needs_majority_protocol(self):
+        spec = FaultSpec(flip_prob=0.1, flip_mode="targeted")
+        with pytest.raises(InvalidParameterError, match="majority"):
+            FaultRuntime.build(spec, PairwiseLeaderElection(),
+                               expected=1)
+
+    def test_targeted_needs_expected(self):
+        spec = FaultSpec(flip_prob=0.1, flip_mode="targeted")
+        with pytest.raises(InvalidParameterError, match="expected"):
+            FaultRuntime.build(spec, AVCProtocol(m=5, d=1), expected=None)
+
+    def test_targeted_flips_to_minority_input(self):
+        protocol = ThreeStateProtocol()
+        spec = FaultSpec(flip_prob=0.1, flip_mode="targeted")
+        runtime = FaultRuntime.build(spec, protocol, expected=1)
+        minority = protocol.state_index[
+            protocol.initial_state(protocol.INPUT_B)]
+        assert list(runtime.flip_states) == [minority]
+
+    def test_joins_land_in_input_states(self):
+        protocol = AVCProtocol(m=5, d=1)
+        runtime = FaultRuntime.build(FaultSpec(join_prob=0.1), protocol,
+                                     expected=1)
+        expected_states = {
+            protocol.state_index[protocol.initial_state(protocol.INPUT_A)],
+            protocol.state_index[protocol.initial_state(protocol.INPUT_B)]}
+        assert set(runtime.join_states.tolist()) == expected_states
+
+    def test_scheduler_requires_capable_engine(self):
+        spec = FaultSpec(scheduler="stubborn")
+        with pytest.raises(InvalidParameterError, match="agent"):
+            FaultRuntime.build(spec, ThreeStateProtocol(), expected=1,
+                               scheduler_ok=False)
+
+    def test_hold_until_semantics(self):
+        build = lambda spec: FaultRuntime.build(  # noqa: E731
+            spec, ThreeStateProtocol(), expected=1)
+        # Unsettling faults with a horizon hold the run until it passes.
+        assert build(FaultSpec(flip_prob=0.1, horizon=400)).hold_until == 400
+        # Non-unsettling faults never hold.
+        assert build(FaultSpec(drop_prob=0.1, horizon=400)).hold_until == 0
+        # An unbounded horizon cannot hold (the run must end sometime).
+        assert build(FaultSpec(flip_prob=0.1)).hold_until == 0
+
+
+class TestCorruptCounts:
+    def test_moves_agents_between_states(self):
+        counts = {"a": 5, "b": 3}
+        out = corrupt_counts(counts, remove={"a": 2}, inject={"c": 2})
+        assert out == {"a": 3, "b": 3, "c": 2}
+        assert counts == {"a": 5, "b": 3}  # input untouched
+
+    def test_drops_zeroed_states(self):
+        assert corrupt_counts({"a": 2}, remove={"a": 2},
+                              inject={"b": 2}) == {"b": 2}
+
+    def test_cannot_overdraw(self):
+        with pytest.raises(InvalidParameterError, match="only 1 present"):
+            corrupt_counts({"a": 1}, remove={"a": 2})
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(InvalidParameterError):
+            corrupt_counts({"a": 1}, remove={"a": -1})
+        with pytest.raises(InvalidParameterError):
+            corrupt_counts({"a": 1}, inject={"b": -1})

@@ -1,0 +1,107 @@
+"""Adversarial pair samplers: stubborn and clustered scheduling."""
+
+import numpy as np
+import pytest
+
+from repro import AVCProtocol, FaultSpec, RunSpec
+from repro.errors import InvalidParameterError
+from repro.sim import ClusteredPairSampler, StubbornPairSampler
+from repro.sim.run import run_trials
+
+
+class TestStubbornSampler:
+    def test_favours_the_stubborn_pair(self):
+        sampler = StubbornPairSampler(50, strength=0.9)
+        rng = np.random.default_rng(0)
+        first, second = map(np.asarray,
+                            sampler.sample_block(rng, 20_000))
+        stubborn = np.mean((first == 0) & (second == 1))
+        assert 0.88 < stubborn < 0.92
+
+    def test_pairs_always_valid(self):
+        sampler = StubbornPairSampler(10, strength=0.5, pair=(3, 7))
+        rng = np.random.default_rng(1)
+        first, second = map(np.asarray,
+                            sampler.sample_block(rng, 5_000))
+        assert np.all(first != second)
+        assert np.all((0 <= first) & (first < 10))
+        assert np.all((0 <= second) & (second < 10))
+
+    def test_zero_strength_is_uniform(self):
+        sampler = StubbornPairSampler(40, strength=0.0)
+        rng = np.random.default_rng(2)
+        first, second = map(np.asarray,
+                            sampler.sample_block(rng, 20_000))
+        # Each ordered pair has probability 1/(40*39); the favoured
+        # pair must not stick out.
+        stubborn = np.mean((first == 0) & (second == 1))
+        assert stubborn < 0.01
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            StubbornPairSampler(1)
+        with pytest.raises(InvalidParameterError):
+            StubbornPairSampler(10, strength=1.0)
+        with pytest.raises(InvalidParameterError):
+            StubbornPairSampler(10, pair=(3, 3))
+        with pytest.raises(InvalidParameterError):
+            StubbornPairSampler(10, pair=(0, 10))
+
+
+class TestClusteredSampler:
+    def test_intra_cluster_fraction(self):
+        sampler = ClusteredPairSampler(60, clusters=3, intra_prob=0.9)
+        rng = np.random.default_rng(3)
+        first, second = map(np.asarray,
+                            sampler.sample_block(rng, 20_000))
+        cluster_of = np.minimum(first // 20, 2)
+        same = np.mean(cluster_of == np.minimum(second // 20, 2))
+        # 90% forced intra plus the uniform draws that land intra by
+        # chance (~1/3 of the remaining 10%).
+        assert same > 0.9
+
+    def test_pairs_always_valid(self):
+        sampler = ClusteredPairSampler(23, clusters=4, intra_prob=0.95)
+        rng = np.random.default_rng(4)
+        first, second = map(np.asarray,
+                            sampler.sample_block(rng, 5_000))
+        assert np.all(first != second)
+        assert np.all((0 <= first) & (first < 23))
+        assert np.all((0 <= second) & (second < 23))
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ClusteredPairSampler(10, clusters=1)
+        with pytest.raises(InvalidParameterError):
+            ClusteredPairSampler(1)
+        with pytest.raises(InvalidParameterError):
+            ClusteredPairSampler(10, intra_prob=1.5)
+
+
+class TestSchedulerIntegration:
+    """FaultSpec schedulers through the run harness."""
+
+    def test_stubborn_scheduler_slows_convergence(self):
+        protocol = AVCProtocol(m=15, d=1)
+        clean = RunSpec(protocol, n=101, epsilon=5 / 101, num_trials=3,
+                        seed=7, engine="agent")
+        stubborn = clean.replace(
+            faults=FaultSpec(scheduler="stubborn",
+                             scheduler_strength=0.95))
+        clean_mean = np.mean([r.steps for r in run_trials(clean)])
+        stubborn_results = run_trials(stubborn)
+        assert all(r.settled for r in stubborn_results)
+        stubborn_mean = np.mean([r.steps for r in stubborn_results])
+        # 95% of interactions hit one fixed pair; progress crawls.
+        assert stubborn_mean > 2 * clean_mean
+
+    def test_clustered_scheduler_settles_correctly(self):
+        protocol = AVCProtocol(m=15, d=1)
+        spec = RunSpec(protocol, n=100, epsilon=6 / 100, num_trials=3,
+                       seed=7,
+                       faults=FaultSpec(scheduler="clustered",
+                                        scheduler_clusters=4,
+                                        scheduler_strength=0.9))
+        results = run_trials(spec)
+        assert all(r.settled for r in results)
+        assert all(r.decision == 1 for r in results)

@@ -91,7 +91,7 @@ class TestSweepResumeParity:
                                  "warm cache")
 
         # Every simulation path the orchestrator can take.
-        monkeypatch.setattr(orchestrator_module, "make_engine",
+        monkeypatch.setattr(orchestrator_module, "make_run_engine",
                             forbidden)
         monkeypatch.setattr(EnsembleEngine, "run_ensemble", forbidden)
         warm = Orchestrator(store, sweep="figure3_tiny")
