@@ -3,6 +3,8 @@
 Usage::
 
     PYTHONPATH=src python benchmarks/report.py [--label "..."] [--full]
+    PYTHONPATH=src python benchmarks/report.py --scaling
+    PYTHONPATH=src python benchmarks/report.py --dry-run
 
 Runs the acceptance workload from the ensemble-engine PR — AVC with
 66 states at n = 10^4, margin epsilon = 101/n, 100 trials — once per
@@ -16,6 +18,18 @@ By default the count engine runs a 10-trial slice of the workload
 is what the trajectory tracks, and that does not depend on the trial
 count).  ``--full`` runs all engines on the complete 100-trial
 workload for an apples-to-apples wall-time comparison.
+
+``--scaling`` adds the count-ensemble acceptance rows: both ensemble
+engines at n = 10^5 under a fixed per-trial interaction cap (the
+speedup ratio is the PR's acceptance metric), plus a count-ensemble
+row at n = 10^6 — a population where the token ensemble's ``(T, n)``
+matrix alone (~400 MB at T = 100) dwarfs the count-ensemble's whole
+footprint, so only the count ensemble reports a row there.
+
+``--dry-run`` runs a single small count-ensemble measurement and
+discards it — a CI smoke check that the engine imports, runs, and
+passes the telemetry/results cross-check (shape regressions), with no
+timing assertions and no JSON write.
 
 Each engine record carries telemetry-sourced fields alongside wall
 seconds: ``interactions`` (cross-checked against the in-memory sink's
@@ -50,12 +64,27 @@ WORKLOAD = {
     "seed": 0,
 }
 #: Trial counts per engine in the default (quick) mode.
-QUICK_TRIALS = {"ensemble": 100, "batch": 100, "count": 10}
+QUICK_TRIALS = {"ensemble": 100, "count-ensemble": 100, "batch": 100,
+                "count": 10}
+
+#: The count-ensemble scaling rows (``--scaling``): populations, the
+#: per-trial interaction cap (full convergence needs ~n log n
+#: interactions — billions at these sizes — so throughput is measured
+#: over a fixed exact prefix of every trial), and which engines can
+#: field a row at each size.  The token ensemble is absent at 10^6:
+#: its (T, n) int32 token matrix alone is ~400 MB at T = 100.
+SCALING_CAP = 200_000
+SCALING_ROWS = [
+    {"n": 100_001, "engines": ("ensemble", "count-ensemble")},
+    {"n": 1_000_001, "engines": ("count-ensemble",)},
+]
 
 
-def measure(engine: str, trials: int) -> dict:
+def measure(engine: str, trials: int, *, n: int | None = None,
+            max_steps: int | None = None) -> dict:
     protocol = AVCProtocol.with_num_states(WORKLOAD["num_states"])
-    n = WORKLOAD["n"]
+    if n is None:
+        n = WORKLOAD["n"]
     sink = InMemorySink()
     spec = RunSpec(
         protocol,
@@ -64,6 +93,7 @@ def measure(engine: str, trials: int) -> dict:
         n=n,
         epsilon=WORKLOAD["epsilon_numerator"] / n,
         engine=engine,
+        max_steps=max_steps,
         telemetry=Telemetry([sink]),
     )
     started = time.perf_counter()
@@ -88,6 +118,39 @@ def measure(engine: str, trials: int) -> dict:
     }
 
 
+def measure_scaling() -> list:
+    """The large-``n`` rows: every trial advances exactly
+    ``SCALING_CAP`` interactions (the cap binds long before
+    convergence at these populations), so interactions/s is an
+    apples-to-apples exact-chain throughput comparison."""
+    trials = WORKLOAD["trials"]
+    rows = []
+    for spec in SCALING_ROWS:
+        n = spec["n"]
+        row = {"n": n, "trials": trials, "max_steps": SCALING_CAP,
+               "engines": {}}
+        if "ensemble" not in spec["engines"]:
+            # The token matrix the absent engine would need, for scale.
+            row["token_ensemble_matrix_bytes"] = trials * n * 4
+        for engine in spec["engines"]:
+            print(f"measuring {engine} at n={n} "
+                  f"(cap {SCALING_CAP}/trial)...", flush=True)
+            row["engines"][engine] = measure(engine, trials, n=n,
+                                             max_steps=SCALING_CAP)
+            per_sec = row["engines"][engine]["interactions_per_second"]
+            print(f"  {engine}: {per_sec:.3g} interactions/s")
+        if {"ensemble", "count-ensemble"} <= row["engines"].keys():
+            row["speedup_count_ensemble_vs_ensemble"] = round(
+                row["engines"]["count-ensemble"]
+                   ["interactions_per_second"]
+                / row["engines"]["ensemble"]["interactions_per_second"],
+                2)
+            print(f"  count-ensemble vs ensemble at n={n}: "
+                  f"{row['speedup_count_ensemble_vs_ensemble']}x")
+        rows.append(row)
+    return rows
+
+
 def git_revision() -> str | None:
     try:
         return subprocess.run(
@@ -102,18 +165,38 @@ def main(argv=None) -> int:
     parser.add_argument("--label", default=None,
                         help="free-form tag for this record")
     parser.add_argument("--engines", nargs="+",
-                        default=["count", "batch", "ensemble"],
+                        default=["count", "batch", "ensemble",
+                                 "count-ensemble"],
                         help="engines to measure (default: count batch "
-                             "ensemble)")
+                             "ensemble count-ensemble)")
     parser.add_argument("--full", action="store_true",
                         help="run every engine on the full 100-trial "
                              "workload (slow: the count engine takes "
                              "about 80 s)")
+    parser.add_argument("--scaling", action="store_true",
+                        help="also measure the large-n rows (n = 10^5 "
+                             "for both ensembles, n = 10^6 for the "
+                             "count ensemble) under a fixed per-trial "
+                             "interaction cap")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="CI smoke mode: one small count-ensemble "
+                             "measurement, cross-checked but not "
+                             "recorded")
     args = parser.parse_args(argv)
     unknown = sorted(set(args.engines) - set(ENGINE_NAMES))
     if unknown:
         parser.error(f"unknown engine(s) {unknown}; "
                      f"choose from {ENGINE_NAMES}")
+
+    if args.dry_run:
+        # Import/shape smoke check on the n = 10^4 workload: measure()
+        # raises if the engine's telemetry disagrees with its results.
+        outcome = measure("count-ensemble", 10)
+        print(f"dry run ok: count-ensemble settled "
+              f"{outcome['settled']}/10 trials at n={WORKLOAD['n']}, "
+              f"{outcome['interactions_per_second']:.3g} "
+              "interactions/s (not recorded)")
+        return 0
 
     record = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -135,6 +218,9 @@ def main(argv=None) -> int:
             / record["engines"]["count"]["interactions_per_second"], 2)
         print(f"ensemble vs count: "
               f"{record['speedup_ensemble_vs_count']}x per interaction")
+
+    if args.scaling:
+        record["scaling"] = measure_scaling()
 
     if OUTPUT.exists():
         document = json.loads(OUTPUT.read_text())

@@ -79,6 +79,7 @@ from .sim import (
     BatchEngine,
     ContinuousTimeEngine,
     CountEngine,
+    CountEnsembleEngine,
     EnsembleEngine,
     NullSkippingEngine,
     RunResult,
@@ -118,6 +119,7 @@ __all__ = [
     # simulation
     "AgentEngine",
     "CountEngine",
+    "CountEnsembleEngine",
     "EnsembleEngine",
     "NullSkippingEngine",
     "ContinuousTimeEngine",

@@ -119,6 +119,19 @@ def spec_key(spec) -> dict:
     with them every committed cache entry — are unchanged by the
     RunSpec migration.  Runtime-only fields (telemetry, recorders,
     observers) never enter the key: they do not affect the results.
+
+    Engine-key policy: the key records the *requested* engine name,
+    not the engine resolution resolves it to.  Every exact engine —
+    and every engine ``"auto"`` may pick, including the population-
+    size routing between the token and count ensembles — samples the
+    same chain, so resolved names are distribution-irrelevant and
+    keying on them would needlessly invalidate caches whenever a
+    routing threshold moves.  The resolved name is recorded in the
+    entry's *metadata* (``engine_resolved``) for provenance, e.g. in
+    ``runs status --metrics``.  Requesting a different engine *name*
+    (say ``"count-ensemble"`` instead of ``"auto"``) is a different
+    key: per-trial random streams are engine-specific, so the swap
+    changes byte-level results even though distributions agree.
     """
     if spec.initial is not None or spec.graph is not None:
         raise ValueError(

@@ -351,7 +351,7 @@ class Orchestrator:
                 results.extend(chunk)
             if spec.on_timeout == "raise":
                 raise_unsettled(results)
-            resolved = "ensemble"
+            resolved = ensemble.name
         else:
             engine = make_run_engine(spec)
             children = root_seq.spawn(spec.num_trials)

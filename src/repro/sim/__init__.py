@@ -7,6 +7,7 @@ See :mod:`repro.sim.engine` for the engine comparison table and
 from .agent_engine import AgentEngine
 from .batch_engine import BatchEngine
 from .count_engine import CountEngine
+from .count_ensemble_engine import CountEnsembleEngine
 from .engine import DEFAULT_MAX_PARALLEL_TIME, Engine
 from .ensemble_engine import EnsembleEngine
 from .fenwick import FenwickTree
@@ -36,6 +37,7 @@ __all__ = [
     "Engine",
     "AgentEngine",
     "CountEngine",
+    "CountEnsembleEngine",
     "EnsembleEngine",
     "NullSkippingEngine",
     "ContinuousTimeEngine",

@@ -15,6 +15,8 @@ interaction via a Fenwick tree.  Memory is ``O(s)`` regardless of
 
 from __future__ import annotations
 
+import numpy as np
+
 from .engine import Engine, check_budget_sanity
 from .fenwick import FenwickTree
 
@@ -39,6 +41,13 @@ class CountEngine(Engine):
         steps = 0
         productive = 0
         span = n * (n - 1)
+        # Preallocated divmod outputs: a full-budget run reuses the same
+        # two blocks instead of allocating four fresh arrays per 8192
+        # draws.  int64 is the generator's default dtype, so forcing it
+        # keeps the stream identical while guarding the n(n-1) span
+        # against 32-bit-default platforms.
+        div_buf = np.empty(_BLOCK, dtype=np.int64)
+        mod_buf = np.empty(_BLOCK, dtype=np.int64)
         while steps < max_steps:
             block = min(_BLOCK, max_steps - steps)
             # One RNG call per block: r < n(n-1) encodes the ordered
@@ -46,9 +55,13 @@ class CountEngine(Engine):
             # into independent uniforms over [0, n) and [0, n-1).  The
             # hoisted tolist() conversions keep the inner loop on plain
             # Python ints (no per-step numpy scalar boxing).
-            raw = rng.integers(0, span, size=block)
-            first_targets, second_targets = (
-                part.tolist() for part in divmod(raw, n - 1))
+            raw = rng.integers(0, span, size=block, dtype=np.int64)
+            q = div_buf if block == _BLOCK else div_buf[:block]
+            r = mod_buf if block == _BLOCK else mod_buf[:block]
+            np.floor_divide(raw, n - 1, out=q)
+            np.remainder(raw, n - 1, out=r)
+            first_targets = q.tolist()
+            second_targets = r.tolist()
             for u, v in zip(first_targets, second_targets):
                 steps += 1
                 i = tree_find(u)

@@ -11,9 +11,10 @@ Factories receive ``(protocol, *, graph=None, batch_fraction=0.05)``
 and must return an :class:`~repro.sim.engine.Engine`; declare
 ``supports_graph=True`` if the engine accepts a non-complete
 interaction graph (only the agent engine does today).  Policies
-receive ``(protocol, *, graph=None, num_trials=1)`` and return a
-registered engine name (possibly another policy; chains are resolved
-with a cycle guard).
+receive ``(protocol, *, graph=None, num_trials=1, n=None)`` — ``n``
+is the population size when known — and return a registered engine
+name (possibly another policy; chains are resolved with a cycle
+guard).
 
 Example — plugging in a custom engine::
 
@@ -36,6 +37,7 @@ from ..errors import InvalidParameterError
 from .agent_engine import AgentEngine
 from .batch_engine import BatchEngine
 from .count_engine import CountEngine
+from .count_ensemble_engine import CountEnsembleEngine
 from .engine import Engine
 from .ensemble_engine import EnsembleEngine
 from .gillespie import ContinuousTimeEngine, NullSkippingEngine
@@ -51,6 +53,7 @@ __all__ = [
     "resolve_name",
     "NULL_SKIP_MAX_STATES",
     "ENSEMBLE_MAX_STATES",
+    "COUNT_ENSEMBLE_MIN_N",
 ]
 
 #: State-count threshold below which null skipping beats the count
@@ -61,6 +64,15 @@ NULL_SKIP_MAX_STATES = 16
 #: transition table may be materialized (mirrors the guard in
 #: :meth:`~repro.protocols.base.PopulationProtocol.transition_matrix`).
 ENSEMBLE_MAX_STATES = 4096
+
+#: Population threshold at which ``"auto"`` multi-trial batches switch
+#: from the token-matrix ensemble (``O(T*n)`` memory, gather-based
+#: sampling — fastest when the token matrix fits in cache) to the
+#: count ensemble (``O(T*s)`` memory, collision-bounded batching —
+#: faster and asymptotically leaner at paper-scale ``n``).  2**15 keeps
+#: every small-``n`` baseline on the token engine, whose random streams
+#: are pinned by regression fixtures.
+COUNT_ENSEMBLE_MIN_N = 32_768
 
 
 @dataclass(frozen=True)
@@ -140,8 +152,12 @@ def is_policy(name: str) -> bool:
 
 
 def resolve_name(name: str, protocol, *, graph=None,
-                 num_trials: int = 1) -> str:
-    """Follow policies until a concrete engine name is reached."""
+                 num_trials: int = 1, n: int | None = None) -> str:
+    """Follow policies until a concrete engine name is reached.
+
+    ``n`` is the population size when the caller knows it (policies may
+    use it to pick a scale-appropriate engine); ``None`` when unknown.
+    """
     seen = []
     while True:
         entry = get(name)
@@ -151,14 +167,16 @@ def resolve_name(name: str, protocol, *, graph=None,
         if len(seen) > len(_REGISTRY):
             raise InvalidParameterError(
                 f"engine policy cycle: {' -> '.join(seen)}")
-        name = entry.policy(protocol, graph=graph, num_trials=num_trials)
+        name = entry.policy(protocol, graph=graph, num_trials=num_trials,
+                            n=n)
 
 
 def create(protocol, name: str, *, graph=None,
-           batch_fraction: float = 0.05, num_trials: int = 1) -> Engine:
+           batch_fraction: float = 0.05, num_trials: int = 1,
+           n: int | None = None) -> Engine:
     """Instantiate the engine ``name`` resolves to for ``protocol``."""
     resolved = resolve_name(name, protocol, graph=graph,
-                            num_trials=num_trials)
+                            num_trials=num_trials, n=n)
     entry = get(resolved)
     if graph is not None and not entry.supports_graph:
         raise InvalidParameterError(
@@ -172,14 +190,17 @@ def create(protocol, name: str, *, graph=None,
 # Built-in engines and the "auto" policy
 # ----------------------------------------------------------------------
 
-def _auto_policy(protocol, *, graph=None, num_trials: int = 1) -> str:
+def _auto_policy(protocol, *, graph=None, num_trials: int = 1,
+                 n: int | None = None) -> str:
     """The default selection: fastest *exact* engine for the job.
 
     Null-skipping for small state spaces, the agent engine whenever a
-    graph is supplied, the vectorized ensemble engine for multi-trial
+    graph is supplied, a vectorized ensemble engine for multi-trial
     batches of unanimity-settling protocols with mid-sized state
-    spaces, and the count engine otherwise.  The approximate batch
-    engine is never chosen implicitly.
+    spaces (the ``O(T*s)``-memory count ensemble once the population
+    reaches :data:`COUNT_ENSEMBLE_MIN_N`, the token ensemble below
+    it), and the count engine otherwise.  The approximate batch engine
+    is never chosen implicitly.
     """
     if graph is not None:
         return "agent"
@@ -188,6 +209,8 @@ def _auto_policy(protocol, *, graph=None, num_trials: int = 1) -> str:
     if (num_trials > 1
             and getattr(protocol, "unanimity_settles", False)
             and protocol.num_states <= ENSEMBLE_MAX_STATES):
+        if n is not None and n >= COUNT_ENSEMBLE_MIN_N:
+            return "count-ensemble"
         return "ensemble"
     return "count"
 
@@ -204,4 +227,6 @@ register("batch",
          lambda protocol, *, batch_fraction=0.05, **_:
          BatchEngine(protocol, batch_fraction=batch_fraction))
 register("ensemble", lambda protocol, **_: EnsembleEngine(protocol))
+register("count-ensemble",
+         lambda protocol, **_: CountEnsembleEngine(protocol))
 register_policy("auto", _auto_policy)

@@ -1,0 +1,91 @@
+"""Shared tables and telemetry for the vectorized ensemble engines.
+
+Both the token-matrix :class:`~repro.sim.ensemble_engine.EnsembleEngine`
+and the count-matrix
+:class:`~repro.sim.count_ensemble_engine.CountEnsembleEngine` advance
+``T`` independent trials of the same chain per vectorized round.  They
+share the protocol-derived lookup tables (flat transition tables,
+productive-pair masks, unanimity class tables) and the per-chunk
+telemetry schema; this module holds those pieces so the two engines
+cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "class_tables",
+    "flat_transition_tables",
+    "emit_chunk_telemetry",
+    "emit_fault_telemetry",
+]
+
+
+def class_tables(protocol):
+    """``(state_class, class_matrix)`` for unanimity tracking.
+
+    ``state_class[state]`` is 0 for undecided, 1 for output 0, 2 for
+    output 1; ``class_matrix`` is its one-hot ``(s, 3)`` form, so a
+    ``counts @ class_matrix`` matmul yields per-class agent counts.
+    """
+    outputs = protocol.output_array()
+    state_class = np.where(outputs < 0, 0,
+                           np.where(outputs == 0, 1, 2)).astype(np.int64)
+    s = protocol.num_states
+    class_matrix = np.zeros((s, 3), dtype=np.int64)
+    class_matrix[np.arange(s), state_class] = 1
+    return state_class, class_matrix
+
+
+def flat_transition_tables(protocol):
+    """``(table_x, table_y, nonnull_full, nonnull_ow)`` flat tables.
+
+    ``table_x[i * s + j]`` / ``table_y[i * s + j]`` are the post-states
+    of the ordered pair ``(i, j)``; ``nonnull_full`` marks pairs whose
+    transition changes either state, ``nonnull_ow`` pairs whose
+    transition changes the initiator (the productive predicate under a
+    one-way fault, where the responder keeps its state).
+    """
+    s = protocol.num_states
+    out_x, out_y = protocol.transition_matrix()
+    table_x = out_x.ravel()
+    table_y = out_y.ravel()
+    col_j, col_i = np.meshgrid(np.arange(s), np.arange(s))
+    nonnull_full = ((table_x != col_i.ravel())
+                    | (table_y != col_j.ravel()))
+    nonnull_ow = table_x != col_i.ravel()
+    return table_x, table_y, nonnull_full, nonnull_ow
+
+
+def emit_chunk_telemetry(engine, telemetry, wall: float, n: int,
+                         results, rounds: int, drawn: int) -> None:
+    """Report one sub-ensemble's aggregates to the telemetry.
+
+    ``drawn`` counts speculative draws including the discarded
+    suffixes; ``engine.interactions`` counts only the consumed
+    (exact-chain) interactions, matching the sequential engines.
+    """
+    labels = {"engine": engine.name, "protocol": engine.protocol.name}
+    steps = sum(r.steps for r in results)
+    telemetry.count("engine.runs", len(results), **labels)
+    telemetry.count("engine.interactions", steps, **labels)
+    telemetry.count("engine.productive",
+                    sum(r.productive_steps for r in results), **labels)
+    telemetry.count("engine.ensemble.rounds", rounds, **labels)
+    telemetry.count("engine.ensemble.drawn", drawn, **labels)
+    unsettled = sum(1 for r in results if not r.settled)
+    if unsettled:
+        telemetry.count("engine.unsettled", unsettled, **labels)
+    telemetry.record_span("engine.ensemble_chunk", wall, n=n,
+                          trials=len(results), steps=steps,
+                          rounds=rounds, **labels)
+
+
+def emit_fault_telemetry(engine, telemetry, results, runtime) -> None:
+    """Report a faulted sub-ensemble's ``fault.*`` counters."""
+    labels = {"engine": engine.name, "protocol": engine.protocol.name}
+    telemetry.count("fault.runs", len(results), **labels)
+    for kind, count in runtime.events().items():
+        if count:
+            telemetry.count(f"fault.{kind}", count, **labels)

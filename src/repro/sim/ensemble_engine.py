@@ -68,6 +68,12 @@ from ..protocols.base import PopulationProtocol, State
 from ..rng import ensure_rng
 from ..telemetry.context import current as current_telemetry
 from .engine import Engine, check_budget_sanity
+from .ensemble_common import (
+    class_tables,
+    emit_chunk_telemetry,
+    emit_fault_telemetry,
+    flat_transition_tables,
+)
 from .results import RunResult
 
 __all__ = ["EnsembleEngine"]
@@ -156,13 +162,9 @@ class EnsembleEngine(Engine):
         drawn = 0
 
         s = protocol.num_states
-        out_x, out_y = protocol.transition_matrix()
-        table_x = out_x.ravel()
-        table_y = out_y.ravel()
-        outputs = protocol.output_array()
+        table_x, table_y, nonnull, _ = flat_transition_tables(protocol)
         # Output class per state: 0 = undecided, 1 = output 0, 2 = output 1.
-        state_class = np.where(outputs < 0, 0,
-                               np.where(outputs == 0, 1, 2)).astype(np.int64)
+        state_class, class_matrix = class_tables(protocol)
         base_class = np.bincount(state_class, weights=base,
                                  minlength=3).astype(np.int64)
 
@@ -207,15 +209,6 @@ class EnsembleEngine(Engine):
                 runtime, base, n, num_trials, budget, generator,
                 telemetry, started, row_result)
 
-        # Pair index -> "this ordered state pair is productive", and
-        # state -> one-hot class row, so the hot loop classifies and
-        # counts with single gathers/matmuls instead of comparisons.
-        col_j, col_i = np.meshgrid(np.arange(s), np.arange(s))
-        nonnull = ((table_x != col_i.ravel())
-                   | (table_y != col_j.ravel()))
-        class_matrix = np.zeros((s, 3), dtype=np.int64)
-        class_matrix[np.arange(s), state_class] = 1
-
         counts = np.tile(base, (num_trials, 1))          # (T, s) live matrix
         # Token matrix: agents[r, t] is the state of token t in trial
         # r.  On the complete graph the tokens are exchangeable, so a
@@ -251,7 +244,8 @@ class EnsembleEngine(Engine):
             w = min(window, int(remaining.max()))
             rounds += 1
             drawn += w * live
-            raw = generator.integers(0, span, size=(w, live))
+            raw = generator.integers(0, span, size=(w, live),
+                                     dtype=np.int64)
             u, v = np.divmod(raw, n - 1)
             # Responder without replacement: v indexes the n - 1
             # tokens left after removing the initiator's token u.
@@ -361,20 +355,11 @@ class EnsembleEngine(Engine):
         """
         protocol = self.protocol
         s = protocol.num_states
-        out_x, out_y = protocol.transition_matrix()
-        table_x = out_x.ravel()
-        table_y = out_y.ravel()
-        outputs = protocol.output_array()
-        state_class = np.where(outputs < 0, 0,
-                               np.where(outputs == 0, 1, 2)).astype(np.int64)
-        col_j, col_i = np.meshgrid(np.arange(s), np.arange(s))
-        nonnull_full = ((table_x != col_i.ravel())
-                        | (table_y != col_j.ravel()))
-        # Under a one-way fault only the initiator transitions, so the
-        # pair is productive iff the initiator's state changes.
-        nonnull_ow = table_x != col_i.ravel()
-        class_matrix = np.zeros((s, 3), dtype=np.int64)
-        class_matrix[np.arange(s), state_class] = 1
+        # nonnull_ow: under a one-way fault only the initiator
+        # transitions, so the pair is productive iff its state changes.
+        table_x, table_y, nonnull_full, nonnull_ow = \
+            flat_transition_tables(protocol)
+        _, class_matrix = class_tables(protocol)
 
         flip_p = runtime.flip_prob
         crash_p = runtime.crash_prob
@@ -431,7 +416,8 @@ class EnsembleEngine(Engine):
                 np.minimum(raw, span_r[None, :] - 1, out=raw)
                 u, v = np.divmod(raw, (n_live - 1)[None, :])
             else:
-                raw = generator.integers(0, n * (n - 1), size=(w, live))
+                raw = generator.integers(0, n * (n - 1), size=(w, live),
+                                         dtype=np.int64)
                 u, v = np.divmod(raw, n - 1)
             v += v >= u
             i = agents[row_sel, u]
@@ -621,36 +607,13 @@ class EnsembleEngine(Engine):
             self._emit_chunk_telemetry(
                 telemetry, time.perf_counter() - started, n,
                 results, rounds, drawn)
-            labels = {"engine": self.name,
-                      "protocol": self.protocol.name}
-            telemetry.count("fault.runs", len(results), **labels)
-            for kind, count in runtime.events().items():
-                if count:
-                    telemetry.count(f"fault.{kind}", count, **labels)
+            emit_fault_telemetry(self, telemetry, results, runtime)
         return results  # type: ignore[return-value]
 
     def _emit_chunk_telemetry(self, telemetry, wall: float, n: int,
                               results, rounds: int, drawn: int) -> None:
-        """Report one sub-ensemble's aggregates to the telemetry.
-
-        ``drawn`` counts speculative draws including the discarded
-        suffixes; ``engine.interactions`` counts only the consumed
-        (exact-chain) interactions, matching the sequential engines.
-        """
-        labels = {"engine": self.name, "protocol": self.protocol.name}
-        steps = sum(r.steps for r in results)
-        telemetry.count("engine.runs", len(results), **labels)
-        telemetry.count("engine.interactions", steps, **labels)
-        telemetry.count("engine.productive",
-                        sum(r.productive_steps for r in results), **labels)
-        telemetry.count("engine.ensemble.rounds", rounds, **labels)
-        telemetry.count("engine.ensemble.drawn", drawn, **labels)
-        unsettled = sum(1 for r in results if not r.settled)
-        if unsettled:
-            telemetry.count("engine.unsettled", unsettled, **labels)
-        telemetry.record_span("engine.ensemble_chunk", wall, n=n,
-                              trials=len(results), steps=steps,
-                              rounds=rounds, **labels)
+        emit_chunk_telemetry(self, telemetry, wall, n, results, rounds,
+                             drawn)
 
     # ------------------------------------------------------------------
     # Scalar compatibility path (Engine.run)
@@ -670,7 +633,7 @@ class EnsembleEngine(Engine):
         productive = 0
         while steps < max_steps:
             block = min(_BLOCK, max_steps - steps)
-            raw = rng.integers(0, span, size=block)
+            raw = rng.integers(0, span, size=block, dtype=np.int64)
             first_targets, second_targets = (
                 part.tolist() for part in divmod(raw, n - 1))
             for u, v in zip(first_targets, second_targets):

@@ -24,6 +24,8 @@ expectation; the continuous engine samples the actual clock.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..errors import ProtocolError
 from .engine import Engine, check_budget_sanity
 
@@ -98,7 +100,9 @@ class NullSkippingEngine(Engine):
                 elapsed += float(rng.gamma(skip, inv_n))
             productive += 1
 
-            target = int(rng.integers(0, total_weight))
+            # total_weight ~ n(n-1): force int64 so the draw cannot
+            # overflow on platforms where the default integer is 32-bit.
+            target = int(rng.integers(0, total_weight, dtype=np.int64))
             accumulator = 0
             for k, weight in enumerate(weights):
                 accumulator += weight

@@ -46,7 +46,6 @@ from ..rng import ensure_rng
 from ..telemetry import InMemorySink, Telemetry
 from ..telemetry.context import activate, reset
 from ..telemetry.context import use as use_telemetry
-from .ensemble_engine import EnsembleEngine
 from .results import RunResult, TrialStats
 from .run import (
     RunSpec,
@@ -113,7 +112,11 @@ def _run_chunk(job) -> tuple[int, list[RunResult], list[dict] | None]:
     spec = _WORKER["spec"]
     engine = _WORKER.get("engine")
     if engine is None:
-        engine = EnsembleEngine(spec.protocol)
+        # Re-resolve from the spec so the worker advances its chunk on
+        # the same ensemble engine (token or count) the sequential
+        # runner would pick — resolution is deterministic, so parallel
+        # stays bit-identical to sequential for every engine choice.
+        engine, _ = resolve_trial_engine(spec)
         _WORKER["engine"] = engine
     results = engine.run_ensemble(
         _WORKER["initial"], num_trials=size,

@@ -15,10 +15,13 @@ via the :mod:`repro.sim.engines` registry: null-skipping for small
 state spaces, the count engine otherwise, and the agent engine
 whenever an interaction graph is supplied.  When a spec fans out
 several trials of a unanimity-settling protocol with a mid-sized
-state space, auto upgrades to the vectorized
-:class:`~repro.sim.ensemble_engine.EnsembleEngine`, which advances
-the whole batch at once (exact per-trial chain, one shared
-generator).  The approximate batch engine is never chosen
+state space, auto upgrades to a vectorized ensemble engine that
+advances the whole batch at once (exact per-trial chain, one shared
+generator): the token-matrix
+:class:`~repro.sim.ensemble_engine.EnsembleEngine` for small
+populations, the ``O(T*s)``-memory
+:class:`~repro.sim.count_ensemble_engine.CountEnsembleEngine` from
+``n >= COUNT_ENSEMBLE_MIN_N`` up.  The approximate batch engine is never chosen
 implicitly.  When auto *would* have taken the ensemble fast path but
 declines (per-run instrumentation requested, protocol cannot use the
 vectorized convergence counters, state space too large), the fallback
@@ -47,8 +50,13 @@ from ..rng import ensure_rng, spawn
 from ..telemetry.context import current as current_telemetry
 from ..telemetry.context import use as use_telemetry
 from . import engines as engine_registry
+from .count_ensemble_engine import CountEnsembleEngine
 from .engine import Engine
-from .engines import ENSEMBLE_MAX_STATES, NULL_SKIP_MAX_STATES
+from .engines import (
+    COUNT_ENSEMBLE_MIN_N,
+    ENSEMBLE_MAX_STATES,
+    NULL_SKIP_MAX_STATES,
+)
 from .ensemble_engine import EnsembleEngine
 from .results import RunResult, TrialStats
 
@@ -281,37 +289,52 @@ def make_run_engine(spec: RunSpec) -> Engine:
     return engine
 
 
-def resolve_trial_engine(spec: RunSpec) -> tuple[EnsembleEngine | None,
+def resolve_trial_engine(spec: RunSpec) -> tuple[Engine | None,
                                                  str | None]:
-    """Decide whether a batch fans out through the ensemble engine.
+    """Decide whether a batch fans out through an ensemble engine.
 
-    Returns ``(engine, fallback_reason)``.  ``engine`` is the
-    :class:`EnsembleEngine` to use, or ``None`` for the per-trial
-    path.  ``fallback_reason`` is non-``None`` only when
-    ``engine="auto"`` was *eligible* for the vectorized path but
-    declined — the caller reports it as an ``engine.fallback``
-    telemetry event so the downgrade is observable.
+    Returns ``(engine, fallback_reason)``.  ``engine`` is the engine
+    whose :meth:`run_ensemble` advances the batch — the token-matrix
+    :class:`EnsembleEngine` or the ``O(T*s)``-memory
+    :class:`CountEnsembleEngine` — or ``None`` for the per-trial path.
+    ``fallback_reason`` is non-``None`` only when ``engine="auto"``
+    was *eligible* for the vectorized path but declined — the caller
+    reports it as an ``engine.fallback`` telemetry event so the
+    downgrade is observable.
 
-    An explicitly requested ensemble rejects unsupported arguments
+    ``"auto"`` routes by population size: batches at
+    ``n >= COUNT_ENSEMBLE_MIN_N`` take the count ensemble (memory
+    independent of ``n``), smaller ones the token ensemble.  Both
+    sample the count-engine chain exactly, so the routing threshold
+    never changes result *distributions* (only streams).  An
+    explicitly requested ensemble rejects unsupported arguments
     instead of falling back.
     """
     engine = spec.engine
-    explicit = engine == "ensemble" or isinstance(engine, EnsembleEngine)
+    if isinstance(engine, Engine):
+        explicit = isinstance(engine,
+                              (EnsembleEngine, CountEnsembleEngine))
+    else:
+        explicit = engine in ("ensemble", "count-ensemble")
     blockers = [name for name in _ENSEMBLE_BLOCKERS
                 if getattr(spec, name) is not None]
     faults = active_faults(spec.faults)
     if explicit:
+        name = engine.name if isinstance(engine, Engine) else engine
         if blockers:
             raise InvalidParameterError(
-                "engine='ensemble' advances all trials in bulk and does "
+                f"engine={name!r} advances all trials in bulk and does "
                 f"not support {', '.join(blockers)}; use a sequential "
                 "engine for per-run instrumentation")
         if faults is not None and faults.scheduler is not None:
             raise InvalidParameterError(
-                "engine='ensemble' does not support adversarial fault "
+                f"engine={name!r} does not support adversarial fault "
                 "schedulers; use engine='agent'")
-        return (engine if isinstance(engine, EnsembleEngine)
-                else EnsembleEngine(spec.protocol)), None
+        if isinstance(engine, Engine):
+            return engine, None
+        if engine == "count-ensemble":
+            return CountEnsembleEngine(spec.protocol), None
+        return EnsembleEngine(spec.protocol), None
     if engine != "auto" or spec.num_trials < 2:
         return None, None
     if faults is not None and faults.scheduler is not None:
@@ -329,6 +352,9 @@ def resolve_trial_engine(spec: RunSpec) -> tuple[EnsembleEngine | None,
     if s > ENSEMBLE_MAX_STATES:
         return None, (f"state space too large for the dense table "
                       f"({s} > {ENSEMBLE_MAX_STATES})")
+    initial, _ = spec.resolve_input()
+    if sum(initial.values()) >= COUNT_ENSEMBLE_MIN_N:
+        return CountEnsembleEngine(spec.protocol), None
     return EnsembleEngine(spec.protocol), None
 
 
@@ -387,7 +413,7 @@ def _run_trials_sequential(spec: RunSpec, root) -> list[RunResult]:
             for child in spawn(root, spec.num_trials)]
 
 
-def _run_trials_ensemble(engine: EnsembleEngine, spec: RunSpec,
+def _run_trials_ensemble(engine: Engine, spec: RunSpec,
                          root) -> list[RunResult]:
     """Trial fan-out through :meth:`run_ensemble`, chunk by chunk."""
     initial, expected = spec.resolve_input()

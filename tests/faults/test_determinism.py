@@ -45,7 +45,8 @@ FAULTED = FaultSpec(flip_prob=0.02, crash_prob=0.002, join_prob=0.002,
 
 class TestFaultedDeterminism:
     @pytest.mark.parametrize("engine", ["count", "agent", "batch",
-                                        "ensemble", "auto"])
+                                        "ensemble", "count-ensemble",
+                                        "auto"])
     def test_identical_spec_identical_results(self, engine):
         spec = RunSpec(AVC, n=101, epsilon=5 / 101, num_trials=3,
                        seed=7, engine=engine, faults=FAULTED)

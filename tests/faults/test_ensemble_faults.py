@@ -1,12 +1,13 @@
-"""Vectorized fault injection: the ensemble engine vs the sequential
+"""Vectorized fault injection: the ensemble engines vs the sequential
 engines.
 
-The ensemble engine injects faults with vectorized masks over whole
-trial blocks; the sequential engines inject tick by tick.  Both
+The ensemble engines inject faults with vectorized masks over whole
+trial blocks (the token engine on its agent matrix, the count ensemble
+on count vectors); the sequential engines inject tick by tick.  All
 sample the same faulted Markov chain, so their settling-step samples
 must agree in distribution (two-sample Kolmogorov-Smirnov), and the
-ensemble's scalar single-run path must agree with the count engine
-bit for bit (they share one loop).
+token ensemble's scalar single-run path must agree with the count
+engine bit for bit (they share one loop).
 """
 
 import numpy as np
@@ -15,9 +16,20 @@ from scipy.stats import ks_2samp
 
 from repro import AVCProtocol, FaultSpec
 from repro.rng import spawn_many
-from repro.sim import AgentEngine, CountEngine, EnsembleEngine
+from repro.sim import (
+    AgentEngine,
+    CountEngine,
+    CountEnsembleEngine,
+    EnsembleEngine,
+)
 
 PROTOCOL = AVCProtocol(m=9, d=1)
+
+
+@pytest.fixture(params=[EnsembleEngine, CountEnsembleEngine],
+                ids=["token-ensemble", "count-ensemble"])
+def ensemble_cls(request):
+    return request.param
 
 
 def agent_steps(faults, *, trials, seed, count_a=36, count_b=25):
@@ -29,9 +41,10 @@ def agent_steps(faults, *, trials, seed, count_a=36, count_b=25):
     return [r.steps for r in results]
 
 
-def ensemble_results(faults, *, trials, seed, count_a=36, count_b=25):
+def ensemble_results(ensemble_cls, faults, *, trials, seed,
+                     count_a=36, count_b=25):
     initial = PROTOCOL.initial_counts(count_a, count_b)
-    return EnsembleEngine(PROTOCOL).run_ensemble(
+    return ensemble_cls(PROTOCOL).run_ensemble(
         initial, num_trials=trials, rng=np.random.default_rng(seed),
         expected=1, faults=faults)
 
@@ -43,13 +56,14 @@ def ensemble_results(faults, *, trials, seed, count_a=36, count_b=25):
     pytest.param(FaultSpec(drop_prob=0.05, oneway_prob=0.05,
                            horizon=400), id="interaction"),
 ], )
-def test_ensemble_matches_agent_engine_distribution(faults):
-    """The acceptance bar for the vectorized fault path: fault runs
-    on the ensemble engine agree in distribution with the agent
+def test_ensemble_matches_agent_engine_distribution(faults, ensemble_cls):
+    """The acceptance bar for the vectorized fault paths: fault runs
+    on either ensemble engine agree in distribution with the agent
     engine's (fixed seeds keep the check deterministic)."""
     trials = 150
     sequential = agent_steps(faults, trials=trials, seed=17)
-    results = ensemble_results(faults, trials=trials, seed=18)
+    results = ensemble_results(ensemble_cls, faults, trials=trials,
+                               seed=18)
     assert all(r.settled for r in results)
     vectorized = [r.steps for r in results]
     outcome = ks_2samp(sequential, vectorized)
@@ -74,10 +88,10 @@ def test_scalar_run_matches_count_engine_exactly():
     assert a.final_counts == b.final_counts
 
 
-def test_ensemble_churn_tracks_population_per_row():
+def test_ensemble_churn_tracks_population_per_row(ensemble_cls):
     faults = FaultSpec(crash_prob=0.02, join_prob=0.02, horizon=500,
                        min_population=10)
-    results = ensemble_results(faults, trials=64, seed=9)
+    results = ensemble_results(ensemble_cls, faults, trials=64, seed=9)
     for r in results:
         assert r.n == 61  # initial population, by contract
         events = r.fault_events
@@ -86,11 +100,11 @@ def test_ensemble_churn_tracks_population_per_row():
         assert population >= 10
 
 
-def test_ensemble_hold_boundary_is_exact():
+def test_ensemble_hold_boundary_is_exact(ensemble_cls):
     """Trials that settle inside the fault window retire at exactly
     the horizon — the vectorized cap must not overshoot it."""
     faults = FaultSpec(flip_prob=0.001, horizon=3_000)
-    results = ensemble_results(faults, trials=64, seed=12,
+    results = ensemble_results(ensemble_cls, faults, trials=64, seed=12,
                                count_a=55, count_b=6)
     steps = np.array([r.steps for r in results])
     assert np.all(steps >= 3_000)
@@ -99,9 +113,9 @@ def test_ensemble_hold_boundary_is_exact():
     assert np.mean(steps == 3_000) > 0.5
 
 
-def test_ensemble_fault_determinism_across_chunks():
+def test_ensemble_fault_determinism_across_chunks(ensemble_cls):
     faults = FaultSpec(flip_prob=0.02, drop_prob=0.01, horizon=400)
-    first = ensemble_results(faults, trials=40, seed=21)
-    second = ensemble_results(faults, trials=40, seed=21)
+    first = ensemble_results(ensemble_cls, faults, trials=40, seed=21)
+    second = ensemble_results(ensemble_cls, faults, trials=40, seed=21)
     assert [(r.steps, r.decision, r.fault_events) for r in first] \
         == [(r.steps, r.decision, r.fault_events) for r in second]

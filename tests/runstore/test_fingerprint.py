@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import AVCProtocol
+from repro import AVCProtocol, RunSpec
 from repro.runstore.fingerprint import (
     RESULT_SCHEMA_VERSION,
     canonical,
@@ -11,6 +11,7 @@ from repro.runstore.fingerprint import (
     fingerprint,
     majority_point_key,
     point_key,
+    spec_key,
 )
 
 
@@ -94,3 +95,36 @@ class TestPointKeys:
         fp = fingerprint({"anything": 1})
         assert len(fp) == 64
         int(fp, 16)  # raises if not hex
+
+
+class TestEngineKeyPolicy:
+    """The key records the *requested* engine name, never the resolved
+    one: every engine ``"auto"`` may pick samples the same chain, so
+    the population-size routing between the token and count ensembles
+    must not move any cached address."""
+
+    def test_auto_key_is_stable_across_the_routing_threshold(self):
+        protocol = AVCProtocol(m=63, d=1)
+        small = RunSpec(protocol, n=101, epsilon=5 / 101, num_trials=8,
+                        seed=7)
+        large = RunSpec(protocol, n=100_001, epsilon=5 / 100_001,
+                        num_trials=8, seed=7)
+        for key in (spec_key(small), spec_key(large)):
+            assert key["engine"] == "auto"
+
+    def test_requested_engine_names_are_distinct_addresses(self):
+        base = dict(n=101, epsilon=5 / 101, num_trials=8, seed=7)
+        protocol = AVCProtocol(m=15, d=1)
+        prints = {
+            fingerprint(spec_key(RunSpec(protocol, engine=name, **base)))
+            for name in ("auto", "ensemble", "count-ensemble")}
+        assert len(prints) == 3  # streams are engine-specific
+
+    def test_engine_instances_are_rejected(self):
+        from repro.sim import CountEnsembleEngine
+
+        protocol = AVCProtocol(m=15, d=1)
+        spec = RunSpec(protocol, n=101, epsilon=5 / 101, num_trials=8,
+                       seed=7, engine=CountEnsembleEngine(protocol))
+        with pytest.raises(ValueError, match="registered"):
+            spec_key(spec)

@@ -18,6 +18,7 @@ from repro.sim import (
     AgentEngine,
     BatchEngine,
     CountEngine,
+    CountEnsembleEngine,
     EnsembleEngine,
     NullSkippingEngine,
     TrialStats,
@@ -65,14 +66,19 @@ def test_batch_engine_agrees_within_tolerance():
     assert batched == pytest.approx(exact, rel=0.5)
 
 
+@pytest.mark.parametrize("ensemble_cls", [
+    EnsembleEngine, CountEnsembleEngine,
+], ids=["token-ensemble", "count-ensemble"])
 @pytest.mark.parametrize("protocol_factory,count_a,count_b", [
     (FourStateProtocol, 40, 21),
+    (ThreeStateProtocol, 45, 16),
     (lambda: AVCProtocol(m=9, d=1), 36, 25),
-], ids=["four-state", "avc"])
+], ids=["four-state", "three-state", "avc"])
 def test_ensemble_matches_count_engine_distribution(protocol_factory,
-                                                    count_a, count_b):
-    """The ensemble path samples the count-engine chain exactly, so the
-    two convergence-step samples must come from the same distribution
+                                                    count_a, count_b,
+                                                    ensemble_cls):
+    """Both ensemble paths sample the count-engine chain exactly, so
+    their convergence-step samples must come from the same distribution
     (two-sample Kolmogorov-Smirnov; fixed seeds keep it deterministic)."""
     protocol = protocol_factory()
     trials = 150
@@ -80,7 +86,7 @@ def test_ensemble_matches_count_engine_distribution(protocol_factory,
     count_engine = CountEngine(protocol)
     count_steps = [count_engine.run(initial, rng=child).steps
                    for child in spawn_many(17, trials)]
-    results = EnsembleEngine(protocol).run_ensemble(
+    results = ensemble_cls(protocol).run_ensemble(
         initial, num_trials=trials, rng=np.random.default_rng(18))
     assert all(r.settled for r in results)
     ensemble_steps = [r.steps for r in results]

@@ -23,7 +23,7 @@ class TestBuiltins:
     def test_available_lists_policies_then_engines(self):
         assert engines.available() == (
             "auto", "agent", "batch", "continuous-time", "count",
-            "ensemble", "null-skipping")
+            "count-ensemble", "ensemble", "null-skipping")
 
     def test_is_policy(self):
         assert engines.is_policy("auto")

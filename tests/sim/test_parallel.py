@@ -65,6 +65,22 @@ class TestRunTrialsParallel:
         assert [(r.steps, r.decision) for r in parallel] \
             == [(r.steps, r.decision) for r in sequential]
 
+    def test_count_ensemble_chunks_match_sequential(self):
+        """The count-ensemble path ships sub-ensembles through the same
+        chunked fan-out, so parallel equals sequential bit for bit."""
+        from repro import AVCProtocol
+
+        from repro.sim.run import ENSEMBLE_CHUNK_TRIALS
+
+        protocol = AVCProtocol.with_num_states(18)
+        trials = ENSEMBLE_CHUNK_TRIALS + 22  # force >1 chunk
+        spec = RunSpec(protocol, num_trials=trials, seed=7,
+                       n=41, epsilon=5 / 41, engine="count-ensemble")
+        sequential = run_trials(spec)
+        parallel = run_trials_parallel(spec, processes=2)
+        assert [(r.steps, r.decision, r.final_counts) for r in parallel] \
+            == [(r.steps, r.decision, r.final_counts) for r in sequential]
+
     def test_avc_protocol_is_picklable_across_processes(self):
         from repro import AVCProtocol
 
