@@ -37,6 +37,13 @@ seconds: ``interactions`` (cross-checked against the in-memory sink's
 ``cache_hit_ratio`` (``runstore.cache.hit`` over all lookups — null
 here, where the workload drives engines directly, but populated for
 any future measurement routed through the runstore orchestrator).
+
+Every record also carries ``kernels`` metadata — the installed numba
+version (or null) and the kernel backend the JIT engine names
+resolved to (``numba``/``cext``/null) — so a throughput diff across
+records never has to guess which stack produced the JIT rows.
+``--engines`` filters both the main matrix and the ``--scaling``
+rows; kernel compilation happens outside every timed window.
 """
 
 import argparse
@@ -64,20 +71,40 @@ WORKLOAD = {
     "seed": 0,
 }
 #: Trial counts per engine in the default (quick) mode.
-QUICK_TRIALS = {"ensemble": 100, "count-ensemble": 100, "batch": 100,
-                "count": 10}
+QUICK_TRIALS = {"ensemble": 100, "count-ensemble": 100,
+                "count-ensemble-jit": 100, "batch": 100, "count": 10}
 
 #: The count-ensemble scaling rows (``--scaling``): populations, the
 #: per-trial interaction cap (full convergence needs ~n log n
 #: interactions — billions at these sizes — so throughput is measured
 #: over a fixed exact prefix of every trial), and which engines can
 #: field a row at each size.  The token ensemble is absent at 10^6:
-#: its (T, n) int32 token matrix alone is ~400 MB at T = 100.
+#: its (T, n) int32 token matrix alone is ~400 MB at T = 100.  The
+#: JIT twin draws the identical stream and returns identical results,
+#: so its rows are a pure same-work throughput comparison (it falls
+#: back to the numpy engine, and matching numbers, on hosts with no
+#: kernel backend — see the record's ``kernels`` metadata).
 SCALING_CAP = 200_000
 SCALING_ROWS = [
-    {"n": 100_001, "engines": ("ensemble", "count-ensemble")},
-    {"n": 1_000_001, "engines": ("count-ensemble",)},
+    {"n": 100_001,
+     "engines": ("ensemble", "count-ensemble", "count-ensemble-jit")},
+    {"n": 1_000_001,
+     "engines": ("count-ensemble", "count-ensemble-jit")},
 ]
+
+
+def kernels_metadata() -> dict:
+    """Which compiled-kernel stack produced this record's JIT rows."""
+    from repro.sim import kernels
+    try:
+        import numba
+        numba_version = numba.__version__
+    except ImportError:
+        numba_version = None
+    return {
+        "numba_version": numba_version,
+        "resolved_backend": kernels.default_backend(),
+    }
 
 
 def measure(engine: str, trials: int, *, n: int | None = None,
@@ -96,6 +123,10 @@ def measure(engine: str, trials: int, *, n: int | None = None,
         max_steps=max_steps,
         telemetry=Telemetry([sink]),
     )
+    # Kernel compilation/load happens outside the timed window (no-op
+    # for numpy engines and on hosts with no backend).
+    from repro.sim.kernels import warm_up_for_spec
+    warm_up_for_spec(spec)
     started = time.perf_counter()
     results = simulate(spec)
     seconds = time.perf_counter() - started
@@ -118,21 +149,30 @@ def measure(engine: str, trials: int, *, n: int | None = None,
     }
 
 
-def measure_scaling() -> list:
+def measure_scaling(engines: list[str] | None = None) -> list:
     """The large-``n`` rows: every trial advances exactly
     ``SCALING_CAP`` interactions (the cap binds long before
     convergence at these populations), so interactions/s is an
-    apples-to-apples exact-chain throughput comparison."""
+    apples-to-apples exact-chain throughput comparison.
+
+    ``engines`` filters each row to the requested engine names (a row
+    with no surviving engine is skipped entirely); ``None`` measures
+    every engine a row lists.
+    """
     trials = WORKLOAD["trials"]
     rows = []
     for spec in SCALING_ROWS:
         n = spec["n"]
+        selected = [name for name in spec["engines"]
+                    if engines is None or name in engines]
+        if not selected:
+            continue
         row = {"n": n, "trials": trials, "max_steps": SCALING_CAP,
                "engines": {}}
         if "ensemble" not in spec["engines"]:
             # The token matrix the absent engine would need, for scale.
             row["token_ensemble_matrix_bytes"] = trials * n * 4
-        for engine in spec["engines"]:
+        for engine in selected:
             print(f"measuring {engine} at n={n} "
                   f"(cap {SCALING_CAP}/trial)...", flush=True)
             row["engines"][engine] = measure(engine, trials, n=n,
@@ -147,6 +187,15 @@ def measure_scaling() -> list:
                 2)
             print(f"  count-ensemble vs ensemble at n={n}: "
                   f"{row['speedup_count_ensemble_vs_ensemble']}x")
+        if {"count-ensemble", "count-ensemble-jit"} <= \
+                row["engines"].keys():
+            row["speedup_jit_vs_numpy"] = round(
+                row["engines"]["count-ensemble-jit"]
+                   ["interactions_per_second"]
+                / row["engines"]["count-ensemble"]
+                     ["interactions_per_second"], 2)
+            print(f"  count-ensemble-jit vs count-ensemble at n={n}: "
+                  f"{row['speedup_jit_vs_numpy']}x")
         rows.append(row)
     return rows
 
@@ -166,9 +215,12 @@ def main(argv=None) -> int:
                         help="free-form tag for this record")
     parser.add_argument("--engines", nargs="+",
                         default=["count", "batch", "ensemble",
-                                 "count-ensemble"],
-                        help="engines to measure (default: count batch "
-                             "ensemble count-ensemble)")
+                                 "count-ensemble",
+                                 "count-ensemble-jit"],
+                        help="engines to measure, applied to the "
+                             "matrix AND the --scaling rows (default: "
+                             "count batch ensemble count-ensemble "
+                             "count-ensemble-jit)")
     parser.add_argument("--full", action="store_true",
                         help="run every engine on the full 100-trial "
                              "workload (slow: the count engine takes "
@@ -202,6 +254,7 @@ def main(argv=None) -> int:
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "git": git_revision(),
         "label": args.label,
+        "kernels": kernels_metadata(),
         "engines": {},
     }
     for engine in args.engines:
@@ -220,7 +273,7 @@ def main(argv=None) -> int:
               f"{record['speedup_ensemble_vs_count']}x per interaction")
 
     if args.scaling:
-        record["scaling"] = measure_scaling()
+        record["scaling"] = measure_scaling(args.engines)
 
     if OUTPUT.exists():
         document = json.loads(OUTPUT.read_text())

@@ -12,6 +12,11 @@ from .engine import DEFAULT_MAX_PARALLEL_TIME, Engine
 from .ensemble_engine import EnsembleEngine
 from .fenwick import FenwickTree
 from .gillespie import ContinuousTimeEngine, NullSkippingEngine
+from .kernels.jit_engines import (
+    JitBatchEngine,
+    JitCountEngine,
+    JitCountEnsembleEngine,
+)
 from .observers import ObservingTracker, RuleCensus, avc_rule_classifier
 from .parallel import run_trials_parallel
 from .record import EventRecorder, TrajectoryRecorder
@@ -42,6 +47,9 @@ __all__ = [
     "NullSkippingEngine",
     "ContinuousTimeEngine",
     "BatchEngine",
+    "JitCountEngine",
+    "JitCountEnsembleEngine",
+    "JitBatchEngine",
     "FenwickTree",
     "RunResult",
     "TrialStats",

@@ -100,6 +100,40 @@ def _max_window(n: int) -> int:
     return max(64, min(_MAX_WINDOW_CAP, int(3.0 * math.sqrt(n))))
 
 
+class _RoundScratch:
+    """Reused ``(live, W)`` work arrays for the clean window loop.
+
+    One round allocates ~10 arrays of up to ``T * 2w`` elements; over
+    the hundreds of rounds of a paper-scale run the allocator traffic
+    is measurable.  Rows only shrink (trials retire) and the window is
+    bounded by ``_max_window``, so a single growable allocation serves
+    every round.  ``view`` returns exact-shape views that keep
+    within-row contiguity — all the sort/searchsorted steps need.
+    Values written each round fully overwrite the region read, so
+    reuse cannot leak state between rounds (bit-identity is pinned by
+    the seed-7 baseline tests).
+    """
+
+    _ARRAYS = ("pos", "key", "ps", "order", "prev_sorted", "prev_time",
+               "states_time")
+
+    def __init__(self):
+        self.rows = 0
+        self.cap = 0
+
+    def view(self, live: int, W: int):
+        if live > self.rows or W > self.cap:
+            self.rows = max(live, self.rows)
+            self.cap = max(W, self.cap)
+            shape = (self.rows, self.cap)
+            for name in self._ARRAYS:
+                setattr(self, name, np.empty(shape, dtype=np.int64))
+            self.dup = np.empty(shape, dtype=bool)
+            self.later = np.empty(shape, dtype=np.int64)
+            self.slots = np.arange(self.cap, dtype=np.int64)
+        return self
+
+
 class CountEnsembleEngine(CountEngine):
     """Exact vectorized multi-trial simulation on count vectors.
 
@@ -241,6 +275,7 @@ class CountEnsembleEngine(CountEngine):
         # Start near the birthday bound E[batch] ~ sqrt(pi*n/8).
         window = int(np.clip(int(0.9 * math.sqrt(n)), _MIN_WINDOW, w_cap))
         tiled_states = np.tile(np.arange(s, dtype=np.int64), num_trials)
+        scratch = _RoundScratch()
 
         while live:
             remaining = budget - steps_r         # >= 1 for every live row
@@ -248,6 +283,7 @@ class CountEnsembleEngine(CountEngine):
             W = 2 * w
             rounds += 1
             drawn += w * live
+            sc = scratch.view(live, W)
 
             # --- draw: w ordered (initiator, responder) positions/row.
             # dtype pinned to int64: span = n(n-1) overflows 32-bit
@@ -257,7 +293,7 @@ class CountEnsembleEngine(CountEngine):
                                      dtype=np.int64)
             a, b = np.divmod(raw, n - 1)
             b += b >= a                          # without replacement
-            pos = np.empty((live, W), dtype=np.int64)
+            pos = sc.pos[:live, :W]
             pos[:, 0::2] = a
             pos[:, 1::2] = b
 
@@ -266,16 +302,23 @@ class CountEnsembleEngine(CountEngine):
             # (keys are unique, so no stable argsort is needed).
             W2 = 1 << (W - 1).bit_length()
             lg = W2.bit_length() - 1
-            key = (pos << lg) | np.arange(W, dtype=np.int64)[None, :]
+            key = sc.key[:live, :W]
+            np.left_shift(pos, lg, out=key)
+            np.bitwise_or(key, sc.slots[:W], out=key)
             key.sort(axis=1)
-            ps = key >> lg                       # sorted positions
-            order = key & (W2 - 1)               # slot of each entry
+            ps = sc.ps[:live, :W]                # sorted positions
+            np.right_shift(key, lg, out=ps)
+            order = sc.order[:live, :W]          # slot of each entry
+            np.bitwise_and(key, W2 - 1, out=order)
 
             # --- first collision per row: adjacent equal positions;
             # the sort orders equal positions by slot, so the later
             # occurrence of each duplicate pair is order[:, 1:].
-            dup = ps[:, 1:] == ps[:, :-1]
-            later = np.where(dup, order[:, 1:], W)
+            dup = sc.dup[:live, :W - 1]
+            np.equal(ps[:, 1:], ps[:, :-1], out=dup)
+            later = sc.later[:live, :W - 1]
+            later[...] = W
+            np.copyto(later, order[:, 1:], where=dup)
             t_star = later.min(axis=1)           # first re-touching slot
             mc = t_star >> 1                     # clean interactions
             nclean = np.minimum(mc, remaining)
@@ -284,9 +327,12 @@ class CountEnsembleEngine(CountEngine):
 
             # --- previous occurrence of each slot's position, in time
             # order (needed to resolve the colliding interaction).
-            prev_sorted = np.full((live, W), -1, dtype=np.int64)
-            prev_sorted[:, 1:] = np.where(dup, order[:, :-1], -1)
-            prev_time = np.empty((live, W), dtype=np.int64)
+            prev_sorted = sc.prev_sorted[:live, :W]
+            prev_sorted[:, 0] = -1
+            tail = prev_sorted[:, 1:]
+            tail[...] = -1
+            np.copyto(tail, order[:, :-1], where=dup)
+            prev_time = sc.prev_time[:live, :W]
             np.put_along_axis(prev_time, order, prev_sorted, axis=1)
 
             # --- merge decode: all 2w slot states from the round-start
@@ -299,7 +345,7 @@ class CountEnsembleEngine(CountEngine):
             cnt = np.diff(bnd.reshape(live, s), axis=1, prepend=rs)
             states_sorted = np.repeat(tiled_states[:live * s],
                                       cnt.ravel()).reshape(live, W)
-            states_time = np.empty((live, W), dtype=np.int64)
+            states_time = sc.states_time[:live, :W]
             np.put_along_axis(states_time, order, states_sorted, axis=1)
 
             i = states_time[:, 0::2]

@@ -34,6 +34,8 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..errors import InvalidParameterError
+from ..telemetry.context import current as current_telemetry
+from . import kernels
 from .agent_engine import AgentEngine
 from .batch_engine import BatchEngine
 from .count_engine import CountEngine
@@ -210,9 +212,9 @@ def _auto_policy(protocol, *, graph=None, num_trials: int = 1,
             and getattr(protocol, "unanimity_settles", False)
             and protocol.num_states <= ENSEMBLE_MAX_STATES):
         if n is not None and n >= COUNT_ENSEMBLE_MIN_N:
-            return "count-ensemble"
+            return kernels.jit_engine_name("count-ensemble")
         return "ensemble"
-    return "count"
+    return kernels.jit_engine_name("count")
 
 
 register("agent",
@@ -229,4 +231,51 @@ register("batch",
 register("ensemble", lambda protocol, **_: EnsembleEngine(protocol))
 register("count-ensemble",
          lambda protocol, **_: CountEnsembleEngine(protocol))
+
+
+def _jit_factory(jit_name: str, numpy_factory: Callable) -> Callable:
+    """A factory for a JIT engine name that degrades observably.
+
+    When no kernel backend is usable the factory returns the numpy
+    twin instead of raising — the JIT engines are bit-identical to
+    their twins, so the request is still honored exactly — and emits
+    an ``engine.fallback`` telemetry event recording why, so the
+    downgrade is never silent.  The ``jit_engines`` import stays
+    inside the factory: it pulls in numpy-heavy engine modules and a
+    compiled backend, which callers that never request a JIT name
+    should not pay for.
+    """
+
+    def factory(protocol, *, graph=None, batch_fraction=0.05):
+        if kernels.default_backend() is None:
+            telemetry = current_telemetry()
+            if telemetry.enabled:
+                telemetry.event("engine.fallback", requested=jit_name,
+                                reason=kernels.fallback_reason(),
+                                protocol=protocol.name)
+            return numpy_factory(protocol,
+                                 batch_fraction=batch_fraction)
+        from .kernels import jit_engines
+        if jit_name == "count-jit":
+            return jit_engines.JitCountEngine(protocol)
+        if jit_name == "count-ensemble-jit":
+            return jit_engines.JitCountEnsembleEngine(protocol)
+        return jit_engines.JitBatchEngine(
+            protocol, batch_fraction=batch_fraction)
+
+    return factory
+
+
+register("count-jit",
+         _jit_factory("count-jit",
+                      lambda protocol, **_: CountEngine(protocol)))
+register("count-ensemble-jit",
+         _jit_factory("count-ensemble-jit",
+                      lambda protocol, **_:
+                      CountEnsembleEngine(protocol)))
+register("batch-jit",
+         _jit_factory("batch-jit",
+                      lambda protocol, *, batch_fraction=0.05, **_:
+                      BatchEngine(protocol,
+                                  batch_fraction=batch_fraction)))
 register_policy("auto", _auto_policy)

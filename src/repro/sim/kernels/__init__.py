@@ -1,0 +1,254 @@
+"""Compiled kernel backends for the hot simulation loops.
+
+The three hottest paths in the repo — the count-ensemble engine's
+collision-bounded window step, the count engine's Fenwick-tree
+sample+update loop, and the batch engine's matching step — have
+compiled twins registered as ``count-ensemble-jit`` / ``count-jit`` /
+``batch-jit`` (see :mod:`repro.sim.engines`).  Two interchangeable
+backends provide the same three kernels:
+
+``numba``
+    ``@njit`` kernels (:mod:`.numba_backend`); requires the ``[jit]``
+    optional extra.  Preferred when importable.
+``cext``
+    A dependency-free C translation unit compiled on demand with the
+    system C compiler and bound through ctypes
+    (:mod:`.cext_backend`).  Used when numba is absent but a compiler
+    exists.
+
+Both are bit-exact against the numpy engines: all RNG draws stay in
+numpy (identical streams), and the kernels only consume pre-drawn
+values.  When neither backend is usable the JIT engine names resolve
+to the numpy implementations and an ``engine.fallback`` telemetry
+event records why — behaviour (including every pinned baseline) is
+unchanged, only slower.
+
+``REPRO_JIT`` overrides detection: ``off``/``0``/``none`` disables
+both backends, ``numba`` or ``cext`` forces one (unusable forced
+backends fall back like absence).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+
+__all__ = [
+    "BACKENDS",
+    "MAX_KERNEL_N",
+    "MAX_KERNEL_TRIALS",
+    "JIT_UPGRADES",
+    "available",
+    "default_backend",
+    "fallback_reason",
+    "jit_engine_name",
+    "load",
+    "pack_transition_table",
+    "reset_backend_cache",
+    "warm_up",
+    "warm_up_for_spec",
+]
+
+#: Probe order: numba wins when importable, the C extension otherwise.
+BACKENDS = ("numba", "cext")
+
+#: Population bound for the compiled ensemble round: positions must
+#: fit the packed hash entries' 34-bit field and ``n(n-1)`` must stay
+#: below 2^52 for the exact double divmod.  Beyond it (far past paper
+#: scale) the engine inherits the numpy path.
+MAX_KERNEL_N = 1 << 26
+
+#: Row bound for the compiled ensemble round (epoch tag width).  Chunk
+#: sizes are ENSEMBLE_CHUNK_TRIALS = 128, so this never binds in
+#: practice.
+MAX_KERNEL_TRIALS = 1 << 15
+
+#: ``"auto"`` upgrades: numpy engine name -> JIT twin.  The token
+#: ensemble and the approximate batch engine are deliberately absent —
+#: the former has no compiled kernel, the latter is never chosen
+#: implicitly.
+JIT_UPGRADES = {
+    "count": "count-jit",
+    "count-ensemble": "count-ensemble-jit",
+}
+
+_state: dict = {"probed": False, "backend": None, "reason": None,
+                "mods": {}}
+
+
+def reset_backend_cache() -> None:
+    """Forget probe results (tests flip ``REPRO_JIT`` / fake imports)."""
+    _state.update(probed=False, backend=None, reason=None, mods={})
+
+
+def _env_choice() -> str | None:
+    return os.environ.get("REPRO_JIT", "").strip().lower() or None
+
+
+def _try_load(backend: str):
+    """``(kernels, error_message)`` for one backend, memoized."""
+    cached = _state["mods"].get(backend)
+    if cached is not None:
+        return cached
+    try:
+        if backend == "numba":
+            if importlib.util.find_spec("numba") is None:
+                raise ImportError("numba is not installed")
+            from . import numba_backend
+            result = (numba_backend.load(), None)
+        elif backend == "cext":
+            from . import cext_backend
+            result = (cext_backend.load(), None)
+        else:
+            result = (None, f"unknown kernel backend {backend!r}")
+    except Exception as exc:  # ImportError, KernelBuildError, OSError
+        result = (None, f"{backend}: {exc}")
+    _state["mods"][backend] = result
+    return result
+
+
+def _probe() -> None:
+    if _state["probed"]:
+        return
+    choice = _env_choice()
+    if choice in ("off", "0", "none", "false"):
+        _state.update(probed=True, backend=None,
+                      reason="kernel backends disabled by REPRO_JIT")
+        return
+    order = (choice,) if choice in BACKENDS else BACKENDS
+    errors = []
+    for backend in order:
+        kernels, error = _try_load(backend)
+        if kernels is not None:
+            _state.update(probed=True, backend=backend, reason=None)
+            return
+        errors.append(error)
+    _state.update(probed=True, backend=None,
+                  reason="no usable kernel backend (install the [jit] "
+                         "extra or a C compiler): " + "; ".join(errors))
+
+
+def default_backend() -> str | None:
+    """The preferred usable backend name, or ``None``.
+
+    The first call pays the probe (numba import, or a cached C
+    build); later calls are a dict lookup.
+    """
+    _probe()
+    return _state["backend"]
+
+
+def fallback_reason() -> str:
+    """Why no backend is usable (only meaningful when none is)."""
+    _probe()
+    return _state["reason"] or "kernel backend available"
+
+
+def available() -> dict[str, bool]:
+    """Usability per backend name, actually attempting each load."""
+    return {backend: _try_load(backend)[0] is not None
+            for backend in BACKENDS}
+
+
+def load(backend: str | None = None):
+    """The kernel namespace for ``backend`` (default: the probed one).
+
+    Raises :class:`ImportError` when the requested backend — or, with
+    ``backend=None``, every backend — is unusable.
+    """
+    if backend is None:
+        backend = default_backend()
+        if backend is None:
+            raise ImportError(fallback_reason())
+    kernels, error = _try_load(backend)
+    if kernels is None:
+        raise ImportError(error)
+    return kernels
+
+
+def pack_transition_table(table_x, table_y, state_class):
+    """Pack the flat transition tables into one int64 per state pair.
+
+    Entry layout (mirrored by the ``PT_*`` macros in ``_kernels.c``
+    and the numba kernels): bits 0..15 successor initiator state,
+    16..31 successor responder state, 32 the productive flag, and
+    33..35 / 36..38 / 39..41 the biased ``delta + 2`` unanimity-class
+    count deltas for classes 0 / 1 / 2.  One load per interaction
+    replaces two successor lookups plus four class lookups in the
+    kernels' apply loops.  Requires ``s <= 4096`` (the registry-wide
+    dense-table bound), so successor states fit their 16-bit fields.
+    """
+    import numpy as np
+
+    xi = np.ascontiguousarray(table_x, dtype=np.int64)
+    yj = np.ascontiguousarray(table_y, dtype=np.int64)
+    cls = np.ascontiguousarray(state_class, dtype=np.int64)
+    s = cls.shape[0]
+    i = np.repeat(np.arange(s, dtype=np.int64), s)
+    j = np.tile(np.arange(s, dtype=np.int64), s)
+    packed = xi | (yj << 16)
+    packed |= ((xi != i) | (yj != j)).astype(np.int64) << 32
+    for bit, c in ((33, 0), (36, 1), (39, 2)):
+        delta = ((cls[xi] == c).astype(np.int64) + (cls[yj] == c)
+                 - (cls[i] == c) - (cls[j] == c))
+        packed |= (delta + 2) << bit
+    return np.ascontiguousarray(packed)
+
+
+def jit_engine_name(name: str) -> str:
+    """``name``'s JIT twin when a backend is usable, else ``name``."""
+    upgraded = JIT_UPGRADES.get(name)
+    if upgraded is None:
+        return name
+    return upgraded if default_backend() is not None else name
+
+
+def warm_up(backend: str | None = None) -> str | None:
+    """Compile/load the kernels now; return the backend name or None.
+
+    For numba this triggers (cached) JIT compilation of all three
+    kernels on tiny inputs, so pool workers never pay compile time
+    inside a job.  Never raises: an unusable backend returns ``None``.
+    """
+    import numpy as np
+
+    try:
+        kernels = load(backend)
+    except ImportError:
+        return None
+    if getattr(kernels, "_warm", False):
+        return kernels.backend
+    tx = np.array([0, 0, 1, 1], dtype=np.int64)  # 2-state null protocol
+    ty = np.array([0, 1, 0, 1], dtype=np.int64)
+    cls = np.array([1, 2], dtype=np.int64)
+    ptab = pack_transition_table(tx, ty, cls)
+    counts = np.array([[1, 1]], dtype=np.int64)
+    outs = [np.zeros(1, dtype=np.int64) for _ in range(6)]
+    kernels.ensemble_round(np.zeros((1, 1), dtype=np.int64), counts,
+                           np.full(1, 8, dtype=np.int64), 2,
+                           ptab, cls, *outs)
+    counts1 = np.array([1, 1], dtype=np.int64)
+    kernels.count_block(np.zeros(1, dtype=np.int64),
+                        np.zeros(1, dtype=np.int64), counts1,
+                        ptab, cls, np.zeros(3, dtype=np.int64))
+    kernels.batch_match(np.array([0, 1], dtype=np.int64),
+                        np.array([0, 1], dtype=np.int64),
+                        counts1, ptab)
+    kernels._warm = True
+    return kernels.backend
+
+
+def warm_up_for_spec(spec) -> None:
+    """Pool-initializer hook: warm the kernels a spec will use.
+
+    Called once per worker process (never per chunk).  Only engines
+    that can resolve to a JIT implementation trigger a warm-up; plain
+    numpy specs cost one string check.
+    """
+    engine = getattr(spec, "engine", None)
+    name = engine if isinstance(engine, str) else \
+        getattr(engine, "name", "")
+    if name.endswith("-jit"):
+        warm_up()
+    elif name == "auto" and default_backend() is not None:
+        warm_up()

@@ -1,0 +1,465 @@
+/* Compiled hot loops for the repro simulation engines.
+ *
+ * One translation unit, three kernels, no Python.h: the library is
+ * built with the system C compiler and bound through ctypes (see
+ * cext_backend.py), so the only ABI surface is plain int64 buffers.
+ * Every kernel is a bit-exact transliteration of the corresponding
+ * numpy inner loop -- the RNG draws stay on the Python side (the
+ * stream must be identical to the numpy engines'), and the kernels
+ * only consume pre-drawn raw values.
+ *
+ *   repro_ensemble_round  -- the count-ensemble collision-bounded
+ *                            window step (count_ensemble_engine.py's
+ *                            per-round sort/cut/apply, re-expressed as
+ *                            a hash-based first-retouch scan plus a
+ *                            sequential prefix apply with exact settle
+ *                            detection);
+ *   repro_count_block     -- the count engine's fused Fenwick-tree
+ *                            sample+update loop over one block of
+ *                            pre-drawn targets;
+ *   repro_batch_match     -- the batch engine's matching step
+ *                            (gather, table lookup, scatter,
+ *                            incremental count update).
+ *
+ * All three take the packed transition table built by
+ * repro.sim.kernels.pack_transition_table: one int64 per ordered
+ * state pair holding the successor states, the productive flag, and
+ * the unanimity-class count deltas (see PT_* below), so the apply
+ * loops do a single table load per interaction.
+ *
+ * Numeric contracts (guarded on the Python side):
+ *   n  <= 2^26   so n(n-1) < 2^52 (exact double divmod) and positions
+ *                fit the int32 scratch arrays;
+ *   live < 2^16  so the row epoch fits a hash entry's top half;
+ *   W  <  2^16   so the slot index fits a hash entry's bottom half
+ *                (follows from the 4096 window cap);
+ *   s  <= 2^12   successor states fit the packed table's 16-bit
+ *                fields.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+
+#define EXPORT __attribute__((visibility("default")))
+
+/* Packed transition-table fields (must match pack_transition_table):
+ * bits 0..15 successor initiator state, 16..31 successor responder
+ * state, 32 productive flag, 33..35 / 36..38 / 39..41 the biased
+ * (delta + 2) unanimity-class count deltas for classes 0 / 1 / 2. */
+#define PT_XI(e) ((e) & 0xFFFF)
+#define PT_YJ(e) (((e) >> 16) & 0xFFFF)
+#define PT_PRODUCTIVE(e) (((e) >> 32) & 1)
+#define PT_DC0(e) ((((e) >> 33) & 7) - 2)
+#define PT_DC1(e) ((((e) >> 36) & 7) - 2)
+#define PT_DC2(e) ((((e) >> 39) & 7) - 2)
+
+/* Exact floor divmod of v by d for 0 <= v < 2^52, d >= 1: one double
+ * multiply plus a one-step correction replaces the ~25-cycle hardware
+ * divide.  The double quotient is within 1 of the true quotient for
+ * operands below 2^52, so a single fix-up suffices. */
+static inline int64_t divmod_fast(int64_t v, int64_t d, double inv,
+                                  int64_t *rem)
+{
+    int64_t q = (int64_t)((double)v * inv);
+    int64_t r = v - q * d;
+    if (r < 0) {
+        q -= 1;
+        r += d;
+    } else if (r >= d) {
+        q += 1;
+        r -= d;
+    }
+    *rem = r;
+    return q;
+}
+
+/* Position -> state decode against the inclusive prefix sums cum
+ * (cum[s-1] = n, 0 <= p < n): smallest k with cum[k] > p.  A bucket
+ * LUT over the position space gives the scan's start point, so the
+ * expected advance is far below one step (at most s boundaries are
+ * spread over the buckets); the result is identical to a binary
+ * search for every bshift. */
+#define DECODE_BUCKETS 2048
+
+static inline int64_t decode_pos(const int32_t *cum,
+                                 const int16_t *bucket, int bshift,
+                                 int32_t p)
+{
+    int64_t k = bucket[p >> bshift];
+    while (cum[k] <= p)
+        k++;
+    return k;
+}
+
+/* Hash entries are 32 bits -- (row + 1) << 16 | slot -- and the
+ * position a slot refers to lives in pos[slot], so a probe match is
+ * verified with one extra pos[] load instead of widening the entry.
+ * The row epoch in the top half makes clearing free (stale entries
+ * from earlier rows are claimed lazily); H = 32w keeps chains short
+ * enough that the probe loop's branch is almost always right. */
+#define HASH_MULT 0x9E3779B97F4A7C15ULL
+
+/* The collision-bounded window step for one round, all rows.
+ *
+ * Inputs:
+ *   raw        (live, w) int64, fresh uniform draws from [0, n(n-1))
+ *   counts     (live, s) int64, mutated in place
+ *   remaining  (live,)   per-row interaction budget left (>= 1)
+ *   ptab       flat (s*s,) packed transition table (PT_* fields)
+ *   cls        (s,) unanimity class per state (0 undecided / 1 / 2)
+ * Outputs (live,) each:
+ *   consumed     interactions consumed this round (incl. collision)
+ *   round_prod   productive interactions this round (full prefix --
+ *                counting continues past a settle, matching the numpy
+ *                path's round_prod, so the caller's productive
+ *                bookkeeping cancels exactly)
+ *   settled / settle_step / settle_prod / decision
+ *                exact in-round settle point when the row reached
+ *                unanimity (settle_step is 1-based within the round)
+ *
+ * Settled rows stop *applying* at the settle step, so their count row
+ * is the exact settle configuration (the caller retires them); their
+ * consumed/round_prod keep full-round values because the numpy path's
+ * window adaptation and step accounting use them for every row.
+ */
+EXPORT void repro_ensemble_round(
+    const int64_t *raw, int64_t live, int64_t w, int64_t n, int64_t s,
+    int64_t *counts, const int64_t *remaining,
+    const int64_t *ptab, const int64_t *cls,
+    int64_t *consumed, int64_t *round_prod, int64_t *settled,
+    int64_t *settle_step, int64_t *settle_prod, int64_t *decision)
+{
+    const int64_t W = 2 * w;
+    int64_t H = 1;
+    while (H < 32 * w)
+        H <<= 1;
+    int hbits = 0;
+    for (int64_t t = H; t > 1; t >>= 1)
+        hbits++;
+    const int hshift = 64 - hbits;
+    const uint64_t hmask = (uint64_t)H - 1;
+
+    int bshift = 0;
+    while (((n - 1) >> bshift) >= DECODE_BUCKETS)
+        bshift++;
+    const int64_t nb = ((n - 1) >> bshift) + 1;
+
+    uint32_t *ht = calloc((size_t)H, sizeof(uint32_t));
+    int32_t *pos = malloc((size_t)W * sizeof(int32_t));
+    int32_t *st = malloc((size_t)W * sizeof(int32_t));
+    int32_t *ni = malloc((size_t)w * sizeof(int32_t));
+    int32_t *nj = malloc((size_t)w * sizeof(int32_t));
+    int32_t *cum = malloc((size_t)s * sizeof(int32_t));
+    int16_t *bucket = malloc((size_t)nb * sizeof(int16_t));
+    const double inv = 1.0 / (double)(n - 1);
+
+    for (int64_t row = 0; row < live; row++) {
+        const int64_t *rr = raw + row * w;
+        int64_t *crow = counts + row * s;
+        const uint32_t tag = (uint32_t)(row + 1) << 16;
+
+        /* positions: even slots initiators, odd slots responders */
+        for (int64_t t = 0; t < W; t += 2) {
+            int64_t b;
+            int64_t a = divmod_fast(rr[t >> 1], n - 1, inv, &b);
+            b += (b >= a);
+            pos[t] = (int32_t)a;
+            pos[t + 1] = (int32_t)b;
+        }
+
+        /* first re-touch: insert slots in time order; the first slot
+         * whose position is already present is t_star, and the stored
+         * entry is its (unique) previous occurrence.  Stale entries
+         * from earlier rows are claimed lazily via the epoch tag. */
+        int64_t t_star = W, prev = -1;
+        for (int64_t t = 0; t < W; t++) {
+            const uint64_t p = (uint64_t)(uint32_t)pos[t];
+            uint64_t h = (p * HASH_MULT) >> hshift;
+            for (;;) {
+                const uint32_t e = ht[h];
+                if ((e >> 16) != (uint32_t)(row + 1)) {
+                    ht[h] = tag | (uint32_t)t;
+                    break;
+                }
+                const int64_t other = e & 0xFFFF;
+                if (pos[other] == (int32_t)p) {
+                    t_star = t;
+                    prev = other;
+                    break;
+                }
+                h = (h + 1) & hmask;
+            }
+            if (t_star < W)
+                break;
+        }
+
+        const int64_t rem = remaining[row];
+        const int64_t mc = t_star >> 1;
+        const int64_t nclean = mc < rem ? mc : rem;
+        const int coll = (t_star < W) && (mc < rem);
+        consumed[row] = nclean + (coll ? 1 : 0);
+        settled[row] = 0;
+        settle_step[row] = 0;
+        settle_prod[row] = 0;
+        decision[row] = -1;
+
+        /* decode every needed slot against the round-start cumulative
+         * counts (decoding must finish before any apply). */
+        const int64_t ndec = coll ? 2 * mc + 2 : 2 * nclean;
+        int32_t acc = 0;
+        for (int64_t k = 0; k < s; k++) {
+            acc += (int32_t)crow[k];
+            cum[k] = acc;
+        }
+        {
+            int64_t k = 0;
+            for (int64_t b = 0; b < nb; b++) {
+                const int32_t p0 = (int32_t)(b << bshift);
+                while (cum[k] <= p0)
+                    k++;
+                bucket[b] = (int16_t)k;
+            }
+        }
+        for (int64_t t = 0; t < ndec; t++)
+            st[t] = (int32_t)decode_pos(cum, bucket, bshift, pos[t]);
+
+        /* unanimity class counters at round start */
+        int64_t c0 = 0, c1 = 0, c2 = 0;
+        for (int64_t k = 0; k < s; k++) {
+            const int64_t c = crow[k];
+            if (!c)
+                continue;
+            const int64_t cl = cls[k];
+            if (cl == 0)
+                c0 += c;
+            else if (cl == 1)
+                c1 += c;
+            else
+                c2 += c;
+        }
+
+        /* sequential apply of the collision-free prefix.  Transitions
+         * on disjoint agents commute, so applying in slot order with
+         * round-start decodes IS the sequential chain; checking
+         * unanimity after each productive step therefore finds the
+         * exact settling interaction (unanimity is absorbing). */
+        int64_t rp = 0, prod = 0, step = 0;
+        int done_row = 0;
+        for (int64_t k = 0; k < nclean; k++) {
+            const int64_t i = st[2 * k], j = st[2 * k + 1];
+            const int64_t e = ptab[i * s + j];
+            step++;
+            if (!PT_PRODUCTIVE(e)) {
+                ni[k] = (int32_t)i;
+                nj[k] = (int32_t)j;
+                continue;
+            }
+            const int64_t xi = PT_XI(e), yj = PT_YJ(e);
+            ni[k] = (int32_t)xi;
+            nj[k] = (int32_t)yj;
+            rp++;
+            if (done_row)
+                continue;
+            crow[i]--;
+            crow[j]--;
+            crow[xi]++;
+            crow[yj]++;
+            c0 += PT_DC0(e);
+            c1 += PT_DC1(e);
+            c2 += PT_DC2(e);
+            prod++;
+            if (c0 == 0 && ((c1 == 0) != (c2 == 0))) {
+                done_row = 1;
+                settled[row] = 1;
+                settle_step[row] = step;
+                settle_prod[row] = prod;
+                decision[row] = c2 > 0 ? 1 : 0;
+            }
+        }
+
+        /* the colliding interaction: each of its two slots resolves to
+         * the post-state of its previous occurrence's interaction when
+         * one exists (looked up in the hash table, which holds exactly
+         * slots 0..t_star-1), else to its round-start decode. */
+        if (coll) {
+            step++;
+            const int64_t e0 = t_star & ~(int64_t)1;
+            int64_t cs[2];
+            for (int k = 0; k < 2; k++) {
+                const int64_t slot = e0 + k;
+                int64_t pslot = -1;
+                if (slot == t_star) {
+                    pslot = prev;
+                } else {
+                    const uint64_t p = (uint64_t)(uint32_t)pos[slot];
+                    uint64_t h = (p * HASH_MULT) >> hshift;
+                    for (;;) {
+                        const uint32_t e = ht[h];
+                        if ((e >> 16) != (uint32_t)(row + 1))
+                            break;
+                        const int64_t found = e & 0xFFFF;
+                        if (pos[found] == (int32_t)p) {
+                            if (found != slot)
+                                pslot = found;
+                            break;
+                        }
+                        h = (h + 1) & hmask;
+                    }
+                }
+                cs[k] = pslot >= 0
+                    ? ((pslot & 1) ? nj[pslot >> 1] : ni[pslot >> 1])
+                    : st[slot];
+            }
+            const int64_t ci = cs[0], cj = cs[1];
+            const int64_t e = ptab[ci * s + cj];
+            if (PT_PRODUCTIVE(e)) {
+                rp++;
+                if (!done_row) {
+                    const int64_t xi = PT_XI(e), yj = PT_YJ(e);
+                    crow[ci]--;
+                    crow[cj]--;
+                    crow[xi]++;
+                    crow[yj]++;
+                    c0 += PT_DC0(e);
+                    c1 += PT_DC1(e);
+                    c2 += PT_DC2(e);
+                    prod++;
+                    if (c0 == 0 && ((c1 == 0) != (c2 == 0))) {
+                        settled[row] = 1;
+                        settle_step[row] = step;
+                        settle_prod[row] = prod;
+                        decision[row] = c2 > 0 ? 1 : 0;
+                    }
+                }
+            }
+        }
+        round_prod[row] = rp;
+    }
+
+    free(ht);
+    free(pos);
+    free(st);
+    free(ni);
+    free(nj);
+    free(cum);
+    free(bucket);
+}
+
+/* Fenwick helpers over a one-based tree array (index 0 unused),
+ * transliterated from repro.sim.fenwick.FenwickTree. */
+static inline void fen_add(int64_t *tree, int64_t size, int64_t index,
+                           int64_t delta)
+{
+    for (int64_t i = index + 1; i <= size; i += i & -i)
+        tree[i] += delta;
+}
+
+static inline int64_t fen_find(const int64_t *tree, int64_t size,
+                               int64_t log_size, int64_t target)
+{
+    int64_t pos = 0, rem = target;
+    for (int64_t step = log_size; step > 0; step >>= 1) {
+        const int64_t cand = pos + step;
+        if (cand <= size && tree[cand] <= rem) {
+            pos = cand;
+            rem -= tree[cand];
+        }
+    }
+    return pos;
+}
+
+/* One block of the count engine's sample+update loop.  q/r are the
+ * block's pre-split divmod targets (drawn by numpy on the Python
+ * side); counts is mutated in place.  Stops at the exact settling
+ * interaction.  out = {steps_done, productive, settled}. */
+EXPORT void repro_count_block(
+    const int64_t *q, const int64_t *r, int64_t block,
+    int64_t *counts, int64_t s,
+    const int64_t *ptab, const int64_t *cls,
+    int64_t *out)
+{
+    int64_t *tree = calloc((size_t)(s + 1), sizeof(int64_t));
+    for (int64_t k = 0; k < s; k++) {
+        tree[k + 1] += counts[k];
+        const int64_t parent = (k + 1) + ((k + 1) & -(k + 1));
+        if (parent <= s)
+            tree[parent] += tree[k + 1];
+    }
+    int64_t log_size = 1;
+    while ((log_size << 1) <= s)
+        log_size <<= 1;
+
+    int64_t c0 = 0, c1 = 0, c2 = 0;
+    for (int64_t k = 0; k < s; k++) {
+        const int64_t c = counts[k];
+        if (!c)
+            continue;
+        const int64_t cl = cls[k];
+        if (cl == 0)
+            c0 += c;
+        else if (cl == 1)
+            c1 += c;
+        else
+            c2 += c;
+    }
+
+    int64_t steps = 0, productive = 0, settled = 0;
+    for (int64_t t = 0; t < block; t++) {
+        steps++;
+        const int64_t i = fen_find(tree, s, log_size, q[t]);
+        fen_add(tree, s, i, -1);          /* without replacement */
+        const int64_t j = fen_find(tree, s, log_size, r[t]);
+        fen_add(tree, s, i, 1);
+        const int64_t e = ptab[i * s + j];
+        if (!PT_PRODUCTIVE(e))
+            continue;
+        productive++;
+        const int64_t xi = PT_XI(e), yj = PT_YJ(e);
+        counts[i]--;
+        counts[j]--;
+        counts[xi]++;
+        counts[yj]++;
+        fen_add(tree, s, i, -1);
+        fen_add(tree, s, j, -1);
+        fen_add(tree, s, xi, 1);
+        fen_add(tree, s, yj, 1);
+        c0 += PT_DC0(e);
+        c1 += PT_DC1(e);
+        c2 += PT_DC2(e);
+        if (c0 == 0 && ((c1 == 0) != (c2 == 0))) {
+            settled = 1;
+            break;
+        }
+    }
+    out[0] = steps;
+    out[1] = productive;
+    out[2] = settled;
+    free(tree);
+}
+
+/* The batch engine's matching step: chosen holds 2k distinct agent
+ * indices (initiators first), agents/dense are mutated in place.
+ * Returns the number of pairs whose transition changed a state. */
+EXPORT int64_t repro_batch_match(
+    const int64_t *chosen, int64_t k,
+    int64_t *agents, int64_t *dense, int64_t s,
+    const int64_t *ptab)
+{
+    int64_t changed = 0;
+    for (int64_t t = 0; t < k; t++) {
+        const int64_t u = chosen[t], v = chosen[k + t];
+        const int64_t i = agents[u], j = agents[v];
+        const int64_t e = ptab[i * s + j];
+        if (PT_PRODUCTIVE(e)) {
+            changed++;
+            const int64_t xi = PT_XI(e), yj = PT_YJ(e);
+            agents[u] = xi;
+            agents[v] = yj;
+            dense[i]--;
+            dense[j]--;
+            dense[xi]++;
+            dense[yj]++;
+        }
+    }
+    return changed;
+}

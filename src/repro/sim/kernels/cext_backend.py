@@ -1,0 +1,151 @@
+"""C-extension kernel backend: compile on demand, bind via ctypes.
+
+ROADMAP item 2 allows either numba ``@njit`` kernels *or* "a small C
+extension"; this module is the latter.  ``_kernels.c`` is compiled
+once with the system C compiler into a content-addressed shared
+object under the user cache directory (keyed by a hash of the source,
+so editing the source triggers a rebuild and concurrent builders race
+benignly through an atomic rename), then loaded with ctypes.  No
+Python.h, no build-time dependency beyond a working ``cc``.
+
+The wrappers below expose the same three callables as
+:mod:`repro.sim.kernels.numba_backend` — ``ensemble_round``,
+``count_block``, ``batch_match`` — taking C-contiguous int64 numpy
+arrays.  Contracts (shapes, value ranges) are documented in
+``_kernels.c``; the wrappers assert only what ctypes cannot survive
+without (dtype and contiguity).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["KernelBuildError", "build", "load"]
+
+_SOURCE = Path(__file__).with_name("_kernels.c")
+
+
+class KernelBuildError(RuntimeError):
+    """The kernel shared object could not be compiled or loaded."""
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_KERNEL_CACHE")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "kernels"
+
+
+def build(force: bool = False) -> Path:
+    """Compile ``_kernels.c`` (if needed) and return the ``.so`` path."""
+    source = _SOURCE.read_bytes()
+    tag = hashlib.sha256(source).hexdigest()[:16]
+    target = _cache_dir() / f"repro_kernels_{tag}.so"
+    if target.exists() and not force:
+        return target
+    try:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(suffix=".so", dir=target.parent)
+        os.close(fd)
+    except OSError as exc:
+        raise KernelBuildError(
+            f"cannot create kernel cache dir {target.parent}: {exc}"
+        ) from exc
+    cc = os.environ.get("CC", "cc")
+    base_cmd = [cc, "-O3", "-fPIC", "-shared", str(_SOURCE), "-o", tmp]
+    try:
+        # -march=native first for the wide multiplies and cmovs; retry
+        # plain -O3 for compilers/targets that reject the flag.
+        attempts = [base_cmd[:1] + ["-march=native"] + base_cmd[1:],
+                    base_cmd]
+        last = None
+        for cmd in attempts:
+            last = subprocess.run(cmd, capture_output=True, text=True)
+            if last.returncode == 0:
+                break
+        if last is None or last.returncode != 0:
+            stderr = last.stderr.strip() if last is not None else ""
+            raise KernelBuildError(
+                f"kernel compilation failed with {cc!r}: {stderr}")
+        os.replace(tmp, target)
+    except FileNotFoundError as exc:
+        raise KernelBuildError(
+            f"C compiler {cc!r} not found; install one or use the "
+            "numba backend (pip install -e .[jit])") from exc
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    return target
+
+
+_I64 = ctypes.c_int64
+_P = ctypes.c_void_p
+
+
+def _ptr(array: np.ndarray) -> int:
+    assert array.dtype == np.int64 and array.flags["C_CONTIGUOUS"], \
+        f"kernel arrays must be C-contiguous int64, got {array.dtype}"
+    return array.ctypes.data
+
+
+def load():
+    """Build/load the shared object; return the kernel namespace.
+
+    Raises :class:`KernelBuildError` when no compiler is available or
+    the build fails — callers treat that as "backend unusable" and
+    fall back.
+    """
+    path = build()
+    try:
+        lib = ctypes.CDLL(str(path))
+    except OSError as exc:
+        raise KernelBuildError(
+            f"cannot load kernel library {path}: {exc}") from exc
+
+    lib.repro_ensemble_round.restype = None
+    lib.repro_ensemble_round.argtypes = [
+        _P, _I64, _I64, _I64, _I64, _P, _P, _P, _P,
+        _P, _P, _P, _P, _P, _P]
+    lib.repro_count_block.restype = None
+    lib.repro_count_block.argtypes = [_P, _P, _I64, _P, _I64,
+                                      _P, _P, _P]
+    lib.repro_batch_match.restype = _I64
+    lib.repro_batch_match.argtypes = [_P, _I64, _P, _P, _I64, _P]
+
+    def ensemble_round(raw, counts, remaining, n, ptab, cls,
+                       consumed, round_prod, settled, settle_step,
+                       settle_prod, decision):
+        live, w = raw.shape
+        lib.repro_ensemble_round(
+            _ptr(raw), live, w, n, counts.shape[1], _ptr(counts),
+            _ptr(remaining), _ptr(ptab), _ptr(cls),
+            _ptr(consumed), _ptr(round_prod), _ptr(settled),
+            _ptr(settle_step), _ptr(settle_prod), _ptr(decision))
+
+    def count_block(q, r, counts, ptab, cls, out):
+        lib.repro_count_block(_ptr(q), _ptr(r), len(q), _ptr(counts),
+                              len(counts), _ptr(ptab), _ptr(cls),
+                              _ptr(out))
+
+    def batch_match(chosen, agents, dense, ptab):
+        return int(lib.repro_batch_match(
+            _ptr(chosen), len(chosen) // 2, _ptr(agents), _ptr(dense),
+            len(dense), _ptr(ptab)))
+
+    class _Kernels:
+        backend = "cext"
+        library_path = str(path)
+
+    _Kernels.ensemble_round = staticmethod(ensemble_round)
+    _Kernels.count_block = staticmethod(count_block)
+    _Kernels.batch_match = staticmethod(batch_match)
+    return _Kernels

@@ -1,0 +1,273 @@
+"""Engines that route their hot loops through compiled kernels.
+
+Each class subclasses its numpy twin and overrides exactly one inner
+loop; validation, budget resolution, fault handling, guards, and
+result assembly are inherited, so capability errors (adversarial
+schedulers, bulk-path blockers) and the faulted paths are *the same
+code* as the numpy engines.  The compiled loops are bit-exact: RNG
+draws stay in numpy with identical call shapes and order, so a JIT
+engine returns byte-identical results to its twin for every seed —
+pinned baselines, KS suites, and runstore fingerprints all extend
+unchanged (the requested engine name keys the cache; see
+``docs/engines.md``).
+
+Construction requires a usable kernel backend (raises
+:class:`ImportError` otherwise); the registry factories in
+:mod:`repro.sim.engines` check availability first and fall back to
+the numpy twin with an ``engine.fallback`` telemetry event, so
+``engine="count-ensemble-jit"`` is safe to request anywhere.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from ..batch_engine import BatchEngine
+from ..convergence import UnanimitySettleTracker
+from ..count_engine import _BLOCK, CountEngine
+from ..count_ensemble_engine import (
+    CountEnsembleEngine,
+    _MIN_WINDOW,
+    _max_window,
+)
+from ..engine import check_budget_sanity
+from ..engines import ENSEMBLE_MAX_STATES
+from ..ensemble_common import (
+    class_tables,
+    emit_chunk_telemetry,
+    flat_transition_tables,
+)
+from . import (
+    MAX_KERNEL_N,
+    MAX_KERNEL_TRIALS,
+    load,
+    pack_transition_table,
+)
+
+__all__ = ["JitCountEngine", "JitCountEnsembleEngine", "JitBatchEngine"]
+
+
+class _KernelTablesMixin:
+    """Shared per-engine cache of the packed kernel tables."""
+
+    def _kernel_tables(self):
+        cached = getattr(self, "_kernel_tables_cache", None)
+        if cached is None:
+            table_x, table_y, _, _ = flat_transition_tables(self.protocol)
+            state_class, _ = class_tables(self.protocol)
+            cls = np.ascontiguousarray(state_class, dtype=np.int64)
+            cached = (pack_transition_table(table_x, table_y, cls), cls)
+            self._kernel_tables_cache = cached
+        return cached
+
+
+class _JitCountLoopMixin(_KernelTablesMixin):
+    """The fused Fenwick sample+update block, compiled.
+
+    The fast path applies when nothing needs per-interaction Python
+    callbacks: no recorder, the plain O(1) unanimity tracker (not the
+    generic or observing ones), and a state space small enough for the
+    dense transition table.  Anything else inherits the numpy loop —
+    which draws the identical RNG stream, so either path returns the
+    same result.
+    """
+
+    def _simulate(self, counts, n, rng, max_steps, tracker, recorder):
+        if (recorder is not None
+                or type(tracker) is not UnanimitySettleTracker
+                or self.protocol.num_states > ENSEMBLE_MAX_STATES):
+            return super()._simulate(counts, n, rng, max_steps,
+                                     tracker, recorder)
+        check_budget_sanity(max_steps)
+        ptab, state_class = self._kernel_tables()
+        count_block = self._kernels.count_block
+        vec = np.array(counts, dtype=np.int64)
+        out = np.zeros(3, dtype=np.int64)
+        steps = 0
+        productive = 0
+        span = n * (n - 1)
+        div_buf = np.empty(_BLOCK, dtype=np.int64)
+        mod_buf = np.empty(_BLOCK, dtype=np.int64)
+        while steps < max_steps:
+            block = min(_BLOCK, max_steps - steps)
+            # Identical RNG call shapes/order to CountEngine._simulate.
+            raw = rng.integers(0, span, size=block, dtype=np.int64)
+            q = div_buf if block == _BLOCK else div_buf[:block]
+            r = mod_buf if block == _BLOCK else mod_buf[:block]
+            np.floor_divide(raw, n - 1, out=q)
+            np.remainder(raw, n - 1, out=r)
+            count_block(q, r, vec, ptab, state_class, out)
+            steps += int(out[0])
+            productive += int(out[1])
+            if out[2]:
+                break
+        counts[:] = vec.tolist()
+        tracker.reset(counts)
+        return steps, productive, False, None
+
+
+class JitCountEngine(_JitCountLoopMixin, CountEngine):
+    """:class:`CountEngine` with the sample+update loop compiled."""
+
+    name = "count-jit"
+
+    def __init__(self, protocol, *, backend: str | None = None):
+        super().__init__(protocol)
+        self._kernels = load(backend)
+
+
+class JitCountEnsembleEngine(_JitCountLoopMixin, CountEnsembleEngine):
+    """:class:`CountEnsembleEngine` with the window step compiled.
+
+    Only the clean collision-bounded round is compiled; the faulted
+    windowed loop, the single-run path's guards, and every capability
+    error are inherited numpy code.
+    """
+
+    name = "count-ensemble-jit"
+
+    def __init__(self, protocol, *, backend: str | None = None):
+        super().__init__(protocol)
+        self._kernels = load(backend)
+
+    def _run_ensemble_clean(self, base, n, num_trials, budget, generator,
+                            telemetry, started, row_result, state_class,
+                            class_matrix):
+        if (n > MAX_KERNEL_N or num_trials > MAX_KERNEL_TRIALS):
+            # Beyond the packed-hash-entry contracts (far past paper
+            # scale): the numpy round is bit-identical, just slower.
+            return super()._run_ensemble_clean(
+                base, n, num_trials, budget, generator, telemetry,
+                started, row_result, state_class, class_matrix)
+        ptab, cls_arr = self._kernel_tables()
+        ensemble_round = self._kernels.ensemble_round
+
+        rounds = 0
+        drawn = 0
+        results = [None] * num_trials
+        counts = np.tile(base, (num_trials, 1))
+        if counts.dtype != np.int64:
+            counts = counts.astype(np.int64)
+        trial_ids = np.arange(num_trials)
+        productive = np.zeros(num_trials, dtype=np.int64)
+        steps_r = np.zeros(num_trials, dtype=np.int64)
+        live = num_trials
+        span = n * (n - 1)
+        w_cap = _max_window(n)
+        window = int(np.clip(int(0.9 * math.sqrt(n)), _MIN_WINDOW,
+                             w_cap))
+        consumed_buf = np.empty(num_trials, dtype=np.int64)
+        prod_buf = np.empty(num_trials, dtype=np.int64)
+        settled_buf = np.empty(num_trials, dtype=np.int64)
+        sstep_buf = np.empty(num_trials, dtype=np.int64)
+        sprod_buf = np.empty(num_trials, dtype=np.int64)
+        dec_buf = np.empty(num_trials, dtype=np.int64)
+        rem_buf = np.empty(num_trials, dtype=np.int64)
+
+        while live:
+            remaining = rem_buf[:live]    # >= 1 for every live row
+            np.subtract(budget, steps_r, out=remaining)
+            w = min(window, int(remaining.max()))
+            rounds += 1
+            drawn += w * live
+            # The one RNG call per round, identical to the numpy path.
+            raw = generator.integers(0, span, size=(live, w),
+                                     dtype=np.int64)
+            consumed = consumed_buf[:live]
+            round_prod = prod_buf[:live]
+            settled = settled_buf[:live]
+            sstep = sstep_buf[:live]
+            sprod = sprod_buf[:live]
+            dec = dec_buf[:live]
+            ensemble_round(raw, counts, remaining, n, ptab, cls_arr,
+                           consumed, round_prod, settled,
+                           sstep, sprod, dec)
+            productive += round_prod
+            steps_r += consumed
+            # Rows usually survive a round untouched; only pay the
+            # retire bookkeeping when the kernel reported a settle or
+            # some row ran out of budget.
+            if settled.any() or int(steps_r.max()) >= budget:
+                settled_live = settled.astype(bool)
+                for posn in np.flatnonzero(settled_live):
+                    # The kernel's full-round consumed/round_prod back
+                    # out so the result carries the exact in-round
+                    # settle point.
+                    steps0 = int(steps_r[posn] - consumed[posn])
+                    prod0 = int(productive[posn] - round_prod[posn])
+                    results[trial_ids[posn]] = row_result(
+                        steps0 + int(sstep[posn]), True,
+                        int(dec[posn]), counts[posn],
+                        prod0 + int(sprod[posn]))
+                exhausted = steps_r >= budget
+                retire = settled_live | exhausted
+                if retire.any():
+                    for posn in np.flatnonzero(
+                            exhausted & ~settled_live):
+                        results[trial_ids[posn]] = row_result(
+                            budget, False, None, counts[posn],
+                            productive[posn])
+                    keep = ~retire
+                    counts = counts[keep]
+                    trial_ids = trial_ids[keep]
+                    productive = productive[keep]
+                    steps_r = steps_r[keep]
+                    live = len(trial_ids)
+                    if not live:
+                        break
+            window = int(np.clip(int(1.3 * consumed.mean()) + 2,
+                                 _MIN_WINDOW, w_cap))
+
+        if telemetry.enabled:
+            emit_chunk_telemetry(self, telemetry,
+                                 time.perf_counter() - started, n,
+                                 results, rounds, drawn)
+        return results
+
+
+class JitBatchEngine(_KernelTablesMixin, BatchEngine):
+    """:class:`BatchEngine` with the matching step compiled."""
+
+    name = "batch-jit"
+
+    def __init__(self, protocol, *, batch_fraction: float = 0.05,
+                 backend: str | None = None):
+        super().__init__(protocol, batch_fraction=batch_fraction)
+        self._kernels = load(backend)
+
+    def _simulate(self, counts, n, rng, max_steps, tracker, recorder):
+        if self.protocol.num_states > ENSEMBLE_MAX_STATES:
+            return super()._simulate(counts, n, rng, max_steps,
+                                     tracker, recorder)
+        check_budget_sanity(max_steps)
+        ptab, _ = self._kernel_tables()
+        batch_match = self._kernels.batch_match
+        s = self.protocol.num_states
+
+        agents = np.repeat(np.arange(s, dtype=np.int64),
+                           np.asarray(counts, dtype=np.int64))
+        rng.shuffle(agents)
+        pairs_per_round = max(1, int(n * self.batch_fraction / 2))
+
+        dense = np.asarray(counts, dtype=np.int64)
+        steps = 0
+        productive = 0
+        while steps < max_steps:
+            k = min(pairs_per_round, max_steps - steps)
+            chosen = np.ascontiguousarray(
+                rng.choice(n, size=2 * k, replace=False),
+                dtype=np.int64)
+            changed = batch_match(chosen, agents, dense, ptab)
+            steps += k
+            if changed:
+                productive += changed
+                counts[:] = dense.tolist()
+                tracker.reset(counts)
+                if recorder is not None:
+                    recorder.maybe_record(steps, counts)
+                if tracker.settled():
+                    return steps, productive, False, None
+        return steps, productive, False, None

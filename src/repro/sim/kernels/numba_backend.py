@@ -1,0 +1,371 @@
+"""Numba ``@njit`` kernel backend.
+
+Importing this module requires numba (``pip install -e .[jit]``);
+without it the import raises :class:`ImportError` and the kernel
+loader falls back to the C-extension backend or pure numpy (see
+:mod:`repro.sim.kernels`).  The three kernels are line-for-line
+transliterations of ``_kernels.c`` — same algorithms, same packed
+hash entries, same packed transition table
+(:func:`repro.sim.kernels.pack_transition_table`), same exactness
+contracts — so both compiled backends and the numpy engines produce
+bit-identical results (enforced by ``tests/sim/test_kernels.py``).
+
+``cache=True`` persists the compiled machine code next to the package
+so pool workers and repeat processes skip recompilation after the
+first warm-up.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit  # hard dependency of this module only
+
+__all__ = ["ensemble_round", "count_block", "batch_match"]
+
+_HASH_MULT = np.uint64(0x9E3779B97F4A7C15)
+_DECODE_BUCKETS = 2048
+
+
+@njit(cache=True, inline="always")
+def _pt_xi(e):
+    return e & 0xFFFF
+
+
+@njit(cache=True, inline="always")
+def _pt_yj(e):
+    return (e >> 16) & 0xFFFF
+
+
+@njit(cache=True, inline="always")
+def _pt_productive(e):
+    return (e >> 32) & 1
+
+
+@njit(cache=True)
+def ensemble_round(raw, counts, remaining, n, ptab, cls,
+                   consumed, round_prod, settled, settle_step,
+                   settle_prod, decision):
+    """The collision-bounded window step; see ``_kernels.c``."""
+    live, w = raw.shape
+    s = counts.shape[1]
+    W = 2 * w
+    H = 1
+    while H < 32 * w:
+        H <<= 1
+    hbits = 0
+    t = H
+    while t > 1:
+        t >>= 1
+        hbits += 1
+    hshift = np.uint64(64 - hbits)
+    hmask = np.int64(H - 1)
+
+    bshift = 0
+    while ((n - 1) >> bshift) >= _DECODE_BUCKETS:
+        bshift += 1
+    nb = ((n - 1) >> bshift) + 1
+
+    # Hash entries are (row + 1) << 16 | slot; a probe match is
+    # verified through pos[slot] (see _kernels.c for the layout
+    # rationale).  The int32/int16 scratch mirrors the C kernel's
+    # cache-footprint choices; values all fit (n <= 2^26, s <= 2^12).
+    ht = np.zeros(H, dtype=np.uint32)
+    pos = np.empty(W, dtype=np.int32)
+    st = np.empty(W, dtype=np.int32)
+    ni = np.empty(w, dtype=np.int32)
+    nj = np.empty(w, dtype=np.int32)
+    cum = np.empty(s, dtype=np.int32)
+    bucket = np.empty(nb, dtype=np.int16)
+
+    for row in range(live):
+        crow = counts[row]
+        tag = np.uint32(row + 1) << np.uint32(16)
+
+        for k in range(w):
+            rv = raw[row, k]
+            a = rv // (n - 1)
+            b = rv % (n - 1)
+            if b >= a:
+                b += 1
+            pos[2 * k] = a
+            pos[2 * k + 1] = b
+
+        t_star = W
+        prev = np.int64(-1)
+        for slot in range(W):
+            p = pos[slot]
+            h = np.int64((np.uint64(p) * _HASH_MULT) >> hshift)
+            while True:
+                e = ht[h]
+                if np.int64(e >> np.uint32(16)) != row + 1:
+                    ht[h] = tag | np.uint32(slot)
+                    break
+                other = np.int64(e & np.uint32(0xFFFF))
+                if pos[other] == p:
+                    t_star = slot
+                    prev = other
+                    break
+                h = (h + 1) & hmask
+            if t_star < W:
+                break
+
+        rem = remaining[row]
+        mc = t_star >> 1
+        nclean = mc if mc < rem else rem
+        coll = (t_star < W) and (mc < rem)
+        consumed[row] = nclean + (1 if coll else 0)
+        settled[row] = 0
+        settle_step[row] = 0
+        settle_prod[row] = 0
+        decision[row] = -1
+
+        ndec = 2 * mc + 2 if coll else 2 * nclean
+        acc = np.int32(0)
+        for k in range(s):
+            acc += np.int32(crow[k])
+            cum[k] = acc
+        kk = 0
+        for b in range(nb):
+            p0 = np.int32(b << bshift)
+            while cum[kk] <= p0:
+                kk += 1
+            bucket[b] = kk
+        for slot in range(ndec):
+            p = pos[slot]
+            k = np.int64(bucket[p >> bshift])
+            while cum[k] <= p:
+                k += 1
+            st[slot] = k
+
+        c0 = np.int64(0)
+        c1 = np.int64(0)
+        c2 = np.int64(0)
+        for k in range(s):
+            c = crow[k]
+            if c == 0:
+                continue
+            cl = cls[k]
+            if cl == 0:
+                c0 += c
+            elif cl == 1:
+                c1 += c
+            else:
+                c2 += c
+
+        rp = np.int64(0)
+        prod = np.int64(0)
+        step = np.int64(0)
+        done_row = False
+        for k in range(nclean):
+            i = st[2 * k]
+            j = st[2 * k + 1]
+            e = ptab[i * s + j]
+            step += 1
+            if not _pt_productive(e):
+                ni[k] = i
+                nj[k] = j
+                continue
+            xi = _pt_xi(e)
+            yj = _pt_yj(e)
+            ni[k] = xi
+            nj[k] = yj
+            rp += 1
+            if done_row:
+                continue
+            crow[i] -= 1
+            crow[j] -= 1
+            crow[xi] += 1
+            crow[yj] += 1
+            c0 += ((e >> 33) & 7) - 2
+            c1 += ((e >> 36) & 7) - 2
+            c2 += ((e >> 39) & 7) - 2
+            prod += 1
+            if c0 == 0 and ((c1 == 0) != (c2 == 0)):
+                done_row = True
+                settled[row] = 1
+                settle_step[row] = step
+                settle_prod[row] = prod
+                decision[row] = 1 if c2 > 0 else 0
+
+        if coll:
+            step += 1
+            e0 = t_star & ~np.int64(1)
+            ci = np.int64(0)
+            cj = np.int64(0)
+            for half in range(2):
+                slot = e0 + half
+                pslot = np.int64(-1)
+                if slot == t_star:
+                    pslot = prev
+                else:
+                    p = pos[slot]
+                    h = np.int64((np.uint64(p) * _HASH_MULT)
+                                 >> hshift)
+                    while True:
+                        e = ht[h]
+                        if np.int64(e >> np.uint32(16)) != row + 1:
+                            break
+                        found = np.int64(e & np.uint32(0xFFFF))
+                        if pos[found] == p:
+                            if found != slot:
+                                pslot = found
+                            break
+                        h = (h + 1) & hmask
+                if pslot >= 0:
+                    state = (nj[pslot >> 1] if (pslot & 1)
+                             else ni[pslot >> 1])
+                else:
+                    state = st[slot]
+                if half == 0:
+                    ci = state
+                else:
+                    cj = state
+            e = ptab[ci * s + cj]
+            if _pt_productive(e):
+                rp += 1
+                if not done_row:
+                    xi = _pt_xi(e)
+                    yj = _pt_yj(e)
+                    crow[ci] -= 1
+                    crow[cj] -= 1
+                    crow[xi] += 1
+                    crow[yj] += 1
+                    c0 += ((e >> 33) & 7) - 2
+                    c1 += ((e >> 36) & 7) - 2
+                    c2 += ((e >> 39) & 7) - 2
+                    prod += 1
+                    if c0 == 0 and ((c1 == 0) != (c2 == 0)):
+                        settled[row] = 1
+                        settle_step[row] = step
+                        settle_prod[row] = prod
+                        decision[row] = 1 if c2 > 0 else 0
+        round_prod[row] = rp
+
+
+@njit(cache=True)
+def count_block(q, r, counts, ptab, cls, out):
+    """One fused Fenwick sample+update block; see ``_kernels.c``."""
+    s = counts.shape[0]
+    block = q.shape[0]
+    tree = np.zeros(s + 1, dtype=np.int64)
+    for k in range(s):
+        tree[k + 1] += counts[k]
+        parent = (k + 1) + ((k + 1) & -(k + 1))
+        if parent <= s:
+            tree[parent] += tree[k + 1]
+    log_size = 1
+    while (log_size << 1) <= s:
+        log_size <<= 1
+
+    c0 = np.int64(0)
+    c1 = np.int64(0)
+    c2 = np.int64(0)
+    for k in range(s):
+        c = counts[k]
+        if c == 0:
+            continue
+        cl = cls[k]
+        if cl == 0:
+            c0 += c
+        elif cl == 1:
+            c1 += c
+        else:
+            c2 += c
+
+    steps = np.int64(0)
+    productive = np.int64(0)
+    is_settled = np.int64(0)
+    for t in range(block):
+        steps += 1
+        # find(q[t])
+        posn = 0
+        rem = q[t]
+        step = log_size
+        while step > 0:
+            cand = posn + step
+            if cand <= s and tree[cand] <= rem:
+                posn = cand
+                rem -= tree[cand]
+            step >>= 1
+        i = posn
+        idx = i + 1
+        while idx <= s:
+            tree[idx] -= 1
+            idx += idx & -idx
+        posn = 0
+        rem = r[t]
+        step = log_size
+        while step > 0:
+            cand = posn + step
+            if cand <= s and tree[cand] <= rem:
+                posn = cand
+                rem -= tree[cand]
+            step >>= 1
+        j = posn
+        idx = i + 1
+        while idx <= s:
+            tree[idx] += 1
+            idx += idx & -idx
+        e = ptab[i * s + j]
+        if not _pt_productive(e):
+            continue
+        productive += 1
+        xi = _pt_xi(e)
+        yj = _pt_yj(e)
+        counts[i] -= 1
+        counts[j] -= 1
+        counts[xi] += 1
+        counts[yj] += 1
+        for index, delta in ((i, -1), (j, -1), (xi, 1), (yj, 1)):
+            idx = index + 1
+            while idx <= s:
+                tree[idx] += delta
+                idx += idx & -idx
+        c0 += ((e >> 33) & 7) - 2
+        c1 += ((e >> 36) & 7) - 2
+        c2 += ((e >> 39) & 7) - 2
+        if c0 == 0 and ((c1 == 0) != (c2 == 0)):
+            is_settled = 1
+            break
+    out[0] = steps
+    out[1] = productive
+    out[2] = is_settled
+
+
+@njit(cache=True)
+def batch_match(chosen, agents, dense, ptab):
+    """The batch engine's matching step; see ``_kernels.c``."""
+    k = chosen.shape[0] // 2
+    s = dense.shape[0]
+    changed = np.int64(0)
+    for t in range(k):
+        u = chosen[t]
+        v = chosen[k + t]
+        i = agents[u]
+        j = agents[v]
+        e = ptab[i * s + j]
+        if _pt_productive(e):
+            changed += 1
+            xi = _pt_xi(e)
+            yj = _pt_yj(e)
+            agents[u] = xi
+            agents[v] = yj
+            dense[i] -= 1
+            dense[j] -= 1
+            dense[xi] += 1
+            dense[yj] += 1
+    return changed
+
+
+class _Kernels:
+    backend = "numba"
+    library_path = None
+
+    ensemble_round = staticmethod(ensemble_round)
+    count_block = staticmethod(count_block)
+    batch_match = staticmethod(batch_match)
+
+
+def load():
+    """The numba kernel namespace (module import already proved numba)."""
+    return _Kernels

@@ -46,6 +46,7 @@ from ..rng import ensure_rng
 from ..telemetry import InMemorySink, Telemetry
 from ..telemetry.context import activate, reset
 from ..telemetry.context import use as use_telemetry
+from .kernels import warm_up_for_spec
 from .results import RunResult, TrialStats
 from .run import (
     RunSpec,
@@ -73,6 +74,14 @@ def _init_worker(spec: RunSpec, collect: bool) -> None:
     initial, expected = spec.resolve_input()
     _WORKER["initial"] = initial
     _WORKER["expected"] = expected
+    # Kernel warm-up happens once per worker, never inside a job: the
+    # first numba call pays JIT compilation and the first cext call a
+    # compiler run, and neither belongs in a timed trial.  Never
+    # fatal -- an unusable backend just means the engines run numpy.
+    try:
+        warm_up_for_spec(spec)
+    except Exception:
+        pass
     if collect:
         sink = InMemorySink()
         _WORKER["sink"] = sink

@@ -21,7 +21,11 @@ generator): the token-matrix
 :class:`~repro.sim.ensemble_engine.EnsembleEngine` for small
 populations, the ``O(T*s)``-memory
 :class:`~repro.sim.count_ensemble_engine.CountEnsembleEngine` from
-``n >= COUNT_ENSEMBLE_MIN_N`` up.  The approximate batch engine is never chosen
+``n >= COUNT_ENSEMBLE_MIN_N`` up.  Wherever auto lands on a count
+engine it upgrades to the compiled twin (``count-jit`` /
+``count-ensemble-jit``, see :mod:`repro.sim.kernels`) when a kernel
+backend is usable — the twins draw identical RNG streams, so the
+upgrade never moves a result.  The approximate batch engine is never chosen
 implicitly.  When auto *would* have taken the ensemble fast path but
 declines (per-run instrumentation requested, protocol cannot use the
 vectorized convergence counters, state space too large), the fallback
@@ -315,7 +319,8 @@ def resolve_trial_engine(spec: RunSpec) -> tuple[Engine | None,
         explicit = isinstance(engine,
                               (EnsembleEngine, CountEnsembleEngine))
     else:
-        explicit = engine in ("ensemble", "count-ensemble")
+        explicit = engine in ("ensemble", "count-ensemble",
+                              "count-ensemble-jit")
     blockers = [name for name in _ENSEMBLE_BLOCKERS
                 if getattr(spec, name) is not None]
     faults = active_faults(spec.faults)
@@ -334,6 +339,10 @@ def resolve_trial_engine(spec: RunSpec) -> tuple[Engine | None,
             return engine, None
         if engine == "count-ensemble":
             return CountEnsembleEngine(spec.protocol), None
+        if engine == "count-ensemble-jit":
+            # Registry construction so an unusable kernel backend
+            # falls back to the numpy twin with its telemetry event.
+            return engine_registry.create(spec.protocol, engine), None
         return EnsembleEngine(spec.protocol), None
     if engine != "auto" or spec.num_trials < 2:
         return None, None
@@ -354,7 +363,12 @@ def resolve_trial_engine(spec: RunSpec) -> tuple[Engine | None,
                       f"({s} > {ENSEMBLE_MAX_STATES})")
     initial, _ = spec.resolve_input()
     if sum(initial.values()) >= COUNT_ENSEMBLE_MIN_N:
-        return CountEnsembleEngine(spec.protocol), None
+        # Same upgrade the "auto" registry policy applies: the JIT
+        # twin when a kernel backend is usable, numpy otherwise
+        # (silently -- auto never promised a compiled engine).
+        from .kernels import jit_engine_name
+        return engine_registry.create(
+            spec.protocol, jit_engine_name("count-ensemble")), None
     return EnsembleEngine(spec.protocol), None
 
 

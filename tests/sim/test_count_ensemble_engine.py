@@ -25,9 +25,11 @@ from repro.protocols import PairwiseLeaderElection
 from repro.sim import (
     CountEnsembleEngine,
     EnsembleEngine,
+    JitCountEnsembleEngine,
     TrajectoryRecorder,
     engines,
 )
+from repro.sim import kernels
 from repro.sim.engines import COUNT_ENSEMBLE_MIN_N
 from repro.sim.run import resolve_trial_engine
 
@@ -136,13 +138,17 @@ class TestRouting:
         spec = RunSpec(protocol, count_a=half + 51, count_b=half - 50,
                        seed=7, num_trials=8)
         engine, fallback = resolve_trial_engine(spec)
-        assert type(engine) is CountEnsembleEngine and fallback is None
+        # The auto policy upgrades to the JIT twin when a kernel
+        # backend is usable; the twin draws the identical stream.
+        expected = (JitCountEnsembleEngine if kernels.default_backend()
+                    else CountEnsembleEngine)
+        assert type(engine) is expected and fallback is None
 
     def test_registry_policy_uses_population_size(self):
         protocol = AVCProtocol(m=63, d=1)
         assert engines.resolve_name("auto", protocol, num_trials=8,
                                     n=COUNT_ENSEMBLE_MIN_N) \
-            == "count-ensemble"
+            == kernels.jit_engine_name("count-ensemble")
         assert engines.resolve_name("auto", protocol, num_trials=8,
                                     n=COUNT_ENSEMBLE_MIN_N - 1) \
             == "ensemble"

@@ -20,10 +20,16 @@ from repro.sim import (
     CountEngine,
     CountEnsembleEngine,
     EnsembleEngine,
+    JitCountEnsembleEngine,
     NullSkippingEngine,
     TrialStats,
 )
+from repro.sim import kernels
 from repro.rng import spawn_many
+
+needs_backend = pytest.mark.skipif(
+    kernels.default_backend() is None,
+    reason="no usable kernel backend on this host")
 
 
 def mean_time(engine, protocol, count_a, count_b, trials, seed):
@@ -68,7 +74,8 @@ def test_batch_engine_agrees_within_tolerance():
 
 @pytest.mark.parametrize("ensemble_cls", [
     EnsembleEngine, CountEnsembleEngine,
-], ids=["token-ensemble", "count-ensemble"])
+    pytest.param(JitCountEnsembleEngine, marks=needs_backend),
+], ids=["token-ensemble", "count-ensemble", "count-ensemble-jit"])
 @pytest.mark.parametrize("protocol_factory,count_a,count_b", [
     (FourStateProtocol, 40, 21),
     (ThreeStateProtocol, 45, 16),

@@ -22,8 +22,9 @@ def cleanup():
 class TestBuiltins:
     def test_available_lists_policies_then_engines(self):
         assert engines.available() == (
-            "auto", "agent", "batch", "continuous-time", "count",
-            "count-ensemble", "ensemble", "null-skipping")
+            "auto", "agent", "batch", "batch-jit", "continuous-time",
+            "count", "count-ensemble", "count-ensemble-jit",
+            "count-jit", "ensemble", "null-skipping")
 
     def test_is_policy(self):
         assert engines.is_policy("auto")

@@ -1,0 +1,252 @@
+"""The compiled-kernel backends: probing, fallback, bit-identity.
+
+Statistical agreement of the JIT engines lives in
+``test_engine_agreement.py``; this module covers the backend registry
+itself — probe/reporting, the ``REPRO_JIT=off`` fallback contract
+(numpy resolution, ``engine.fallback`` telemetry, pinned baselines
+unmoved), the packed transition table, the kernel-contract guards,
+and byte-identity between every JIT engine and its numpy twin.
+"""
+
+import numpy as np
+import pytest
+
+from repro import AVCProtocol, FaultSpec, RunSpec, run_trials
+from repro.sim import (
+    BatchEngine,
+    CountEngine,
+    CountEnsembleEngine,
+    engines,
+    kernels,
+)
+from repro.sim.engines import COUNT_ENSEMBLE_MIN_N
+from repro.sim.ensemble_common import class_tables, flat_transition_tables
+from repro.telemetry import InMemorySink, Telemetry
+
+needs_backend = pytest.mark.skipif(
+    kernels.default_backend() is None,
+    reason="no usable kernel backend on this host")
+
+#: The count-ensemble seed-7 fixture pinned in
+#: ``test_count_ensemble_engine.py`` — the JIT twin must reproduce it
+#: byte for byte, with and without a backend.
+SEED7_SPEC = dict(n=101, epsilon=5 / 101, num_trials=4, seed=7)
+SEED7_BASELINE = [
+    (1024, 1, True, 433), (1080, 1, True, 440),
+    (1356, 1, True, 468), (1303, 1, True, 435)]
+
+
+def seed7_tuples(engine, **extra):
+    spec = RunSpec(AVCProtocol(m=15, d=1), engine=engine,
+                   **SEED7_SPEC, **extra)
+    return [(r.steps, r.decision, r.settled, r.productive_steps)
+            for r in run_trials(spec)]
+
+
+def result_tuples(engine, *, faults=None, num_trials=6, seed=3):
+    spec = RunSpec(AVCProtocol(m=9, d=1), count_a=36, count_b=25,
+                   num_trials=num_trials, seed=seed, engine=engine,
+                   faults=faults)
+    return [(r.steps, r.decision, r.settled, r.productive_steps)
+            for r in run_trials(spec)]
+
+
+@pytest.fixture
+def jit_off(monkeypatch):
+    """Disable every backend via ``REPRO_JIT=off`` for one test."""
+    monkeypatch.setenv("REPRO_JIT", "off")
+    kernels.reset_backend_cache()
+    yield
+    monkeypatch.undo()
+    kernels.reset_backend_cache()
+
+
+class TestBackendReporting:
+    def test_available_reports_every_backend(self):
+        report = kernels.available()
+        assert set(report) == set(kernels.BACKENDS)
+        assert all(isinstance(v, bool) for v in report.values())
+
+    def test_default_backend_consistent_with_report(self):
+        backend = kernels.default_backend()
+        assert backend in (None,) + kernels.BACKENDS
+        if backend is not None:
+            assert kernels.available()[backend]
+            assert kernels.load(backend).backend == backend
+
+    def test_fallback_reason_is_a_string(self):
+        assert isinstance(kernels.fallback_reason(), str)
+
+    def test_jit_engine_name_maps_only_upgradable_names(self):
+        # Names without a compiled twin never upgrade.
+        assert kernels.jit_engine_name("ensemble") == "ensemble"
+        assert kernels.jit_engine_name("agent") == "agent"
+        upgraded = kernels.jit_engine_name("count-ensemble")
+        if kernels.default_backend() is None:
+            assert upgraded == "count-ensemble"
+        else:
+            assert upgraded == "count-ensemble-jit"
+
+
+class TestDisabledFallback:
+    def test_env_off_disables_probing(self, jit_off):
+        assert kernels.default_backend() is None
+        assert "REPRO_JIT" in kernels.fallback_reason()
+        assert kernels.jit_engine_name("count") == "count"
+        assert kernels.warm_up() is None
+        with pytest.raises(ImportError, match="REPRO_JIT"):
+            kernels.load()
+
+    def test_auto_policy_resolves_to_numpy_names(self, jit_off):
+        protocol = AVCProtocol(m=63, d=1)
+        assert engines.resolve_name("auto", protocol, num_trials=8,
+                                    n=COUNT_ENSEMBLE_MIN_N) \
+            == "count-ensemble"
+        assert engines.resolve_name("auto", protocol, num_trials=1) \
+            == "count"
+
+    def test_registry_returns_numpy_twin(self, jit_off):
+        protocol = AVCProtocol(m=9, d=1)
+        assert type(engines.create(protocol, "count-jit")) \
+            is CountEngine
+        assert type(engines.create(protocol, "count-ensemble-jit")) \
+            is CountEnsembleEngine
+        assert type(engines.create(protocol, "batch-jit")) \
+            is BatchEngine
+
+    def test_explicit_jit_request_emits_fallback_event(self, jit_off):
+        sink = InMemorySink()
+        tuples = seed7_tuples("count-ensemble-jit",
+                              telemetry=Telemetry([sink]))
+        # The request is honored exactly (numpy twin, same stream)...
+        assert tuples == SEED7_BASELINE
+        # ...and the downgrade is recorded, never silent.
+        events = sink.events("engine.fallback")
+        assert len(events) == 1
+        labels = events[0]["labels"]
+        assert labels["requested"] == "count-ensemble-jit"
+        assert "REPRO_JIT" in labels["reason"]
+
+    def test_unusable_backends_report_why(self, monkeypatch):
+        # Both backends failing to load (import failure, no compiler)
+        # is the same contract as REPRO_JIT=off, with the per-backend
+        # errors surfaced in the reason.
+        monkeypatch.setattr(
+            kernels, "_try_load",
+            lambda backend: (None, f"{backend}: boom"))
+        kernels.reset_backend_cache()
+        try:
+            assert kernels.default_backend() is None
+            assert "numba: boom" in kernels.fallback_reason()
+            assert kernels.available() == {"numba": False,
+                                           "cext": False}
+            assert kernels.jit_engine_name("count-ensemble") \
+                == "count-ensemble"
+        finally:
+            monkeypatch.undo()
+            kernels.reset_backend_cache()
+
+    def test_auto_downgrade_is_silent(self, jit_off):
+        # "auto" never promised a JIT engine, so resolving to the
+        # numpy implementation emits no fallback event.
+        sink = InMemorySink()
+        half = COUNT_ENSEMBLE_MIN_N // 2
+        spec = RunSpec(AVCProtocol(m=9, d=1), count_a=half + 51,
+                       count_b=half - 50, num_trials=2, seed=0,
+                       max_steps=5_000, engine="auto",
+                       telemetry=Telemetry([sink]))
+        run_trials(spec)
+        assert sink.events("engine.fallback") == []
+
+
+class TestPackTransitionTable:
+    def test_null_protocol_packs_identity(self):
+        tx = np.array([0, 0, 1, 1], dtype=np.int64)
+        ty = np.array([0, 1, 0, 1], dtype=np.int64)
+        cls = np.array([1, 2], dtype=np.int64)
+        packed = kernels.pack_transition_table(tx, ty, cls)
+        assert packed.dtype == np.int64 and packed.shape == (4,)
+        assert list(packed & 0xFFFF) == [0, 0, 1, 1]
+        assert list((packed >> 16) & 0xFFFF) == [0, 1, 0, 1]
+        # Identity transitions: never productive, all deltas biased 2.
+        assert not np.any((packed >> 32) & 1)
+        for bit in (33, 36, 39):
+            assert list((packed >> bit) & 0x7) == [2, 2, 2, 2]
+
+    def test_productive_entry_and_class_deltas(self):
+        # Pair (0, 0) -> (1, 0): productive, moves one agent from
+        # class 1 to class 2.
+        tx = np.array([1, 0, 1, 1], dtype=np.int64)
+        ty = np.array([0, 1, 0, 1], dtype=np.int64)
+        cls = np.array([1, 2], dtype=np.int64)
+        entry = int(kernels.pack_transition_table(tx, ty, cls)[0])
+        assert (entry >> 32) & 1
+        assert (entry >> 33) & 0x7 == 2      # class 0: unchanged
+        assert (entry >> 36) & 0x7 == 2 - 1  # class 1: -1
+        assert (entry >> 39) & 0x7 == 2 + 1  # class 2: +1
+
+    def test_matches_protocol_tables(self):
+        protocol = AVCProtocol(m=9, d=1)
+        tx, ty, _, _ = flat_transition_tables(protocol)
+        cls, _ = class_tables(protocol)
+        packed = kernels.pack_transition_table(tx, ty, cls)
+        s = protocol.num_states
+        assert np.array_equal(packed & 0xFFFF, tx)
+        assert np.array_equal((packed >> 16) & 0xFFFF, ty)
+        i = np.repeat(np.arange(s), s)
+        j = np.tile(np.arange(s), s)
+        assert np.array_equal(((packed >> 32) & 1).astype(bool),
+                              (tx != i) | (ty != j))
+
+
+@needs_backend
+class TestBitIdentity:
+    """Every JIT engine must return byte-identical results to its
+    numpy twin — the kernels consume pre-drawn numpy streams only."""
+
+    def test_count_ensemble_seed7_baseline(self):
+        assert seed7_tuples("count-ensemble-jit") == SEED7_BASELINE
+        assert seed7_tuples("count-ensemble-jit") \
+            == seed7_tuples("count-ensemble")
+
+    def test_count_engine_identity(self):
+        assert result_tuples("count-jit") == result_tuples("count")
+
+    def test_batch_engine_identity(self):
+        assert result_tuples("batch-jit") == result_tuples("batch")
+
+    def test_contract_guard_inherits_numpy_round(self, monkeypatch):
+        # Past the kernel contracts the ensemble engine must hand the
+        # round back to the inherited numpy loop — same stream, same
+        # results, no error.
+        from repro.sim.kernels import jit_engines
+        with_kernel = seed7_tuples("count-ensemble-jit")
+        monkeypatch.setattr(jit_engines, "MAX_KERNEL_TRIALS", 2)
+        assert seed7_tuples("count-ensemble-jit") == with_kernel
+
+    def test_faulted_path_identity(self):
+        # Faults route through the inherited numpy fault loop; the
+        # JIT name must change nothing.
+        faults = FaultSpec(flip_prob=0.02, horizon=400)
+        assert result_tuples("count-ensemble-jit", faults=faults,
+                             num_trials=8) \
+            == result_tuples("count-ensemble", faults=faults,
+                             num_trials=8)
+        assert result_tuples("count-jit", faults=faults) \
+            == result_tuples("count", faults=faults)
+
+    def test_scheduler_faults_rejected_like_the_twin(self):
+        # Capability errors are inherited code: an adversarial
+        # scheduler is rejected with the same error as the twin.
+        faults = FaultSpec(scheduler="stubborn")
+        for name in ("count-jit", "count-ensemble-jit"):
+            with pytest.raises(Exception) as jit_err:
+                result_tuples(name, faults=faults, num_trials=2)
+            with pytest.raises(Exception) as numpy_err:
+                result_tuples(name.removesuffix("-jit"), faults=faults,
+                              num_trials=2)
+            assert type(jit_err.value) is type(numpy_err.value)
+            # Identical wording, each naming the engine it rejects.
+            assert str(jit_err.value).replace(name,
+                                              name.removesuffix("-jit")) \
+                == str(numpy_err.value)
