@@ -61,6 +61,7 @@ from repro.telemetry import InMemorySink, Telemetry  # noqa: E402
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_engines.json"
+SERVICE_OUTPUT = REPO_ROOT / "BENCH_service.json"
 
 WORKLOAD = {
     "protocol": "avc",
@@ -209,6 +210,47 @@ def git_revision() -> str | None:
         return None
 
 
+def service_report(label: str | None = None) -> int:
+    """Append a simulation-service measurement to BENCH_service.json.
+
+    The workload lives in :mod:`service_bench` (shared with the
+    pytest-benchmark leg): cold requests (distinct specs, one real
+    simulation each), warm requests (one committed spec, pure
+    content-addressed cache hits), and a 64-way concurrent burst of
+    one uncached spec that must coalesce into exactly one simulation.
+    """
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    from service_bench import run_benchmark
+
+    print("measuring simulation service (cold / warm / coalescing)...",
+          flush=True)
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "git": git_revision(),
+        "label": label,
+        **run_benchmark(),
+    }
+    print(f"  cold: {record['cold']['requests_per_second']} req/s "
+          f"(p50 {record['cold']['p50_ms']} ms, "
+          f"p95 {record['cold']['p95_ms']} ms)")
+    print(f"  warm: {record['warm']['requests_per_second']} req/s "
+          f"(p50 {record['warm']['p50_ms']} ms, "
+          f"p95 {record['warm']['p95_ms']} ms), "
+          f"{record['warm_over_cold_speedup']}x cold")
+    coalescing = record["coalescing"]
+    print(f"  coalescing: {coalescing['concurrent_requests']} "
+          f"concurrent requests -> {coalescing['simulations_run']} "
+          f"simulation(s), ratio {coalescing['coalescing_ratio']}")
+    if SERVICE_OUTPUT.exists():
+        document = json.loads(SERVICE_OUTPUT.read_text())
+    else:
+        document = {"history": []}
+    document["history"].append(record)
+    SERVICE_OUTPUT.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"appended record to {SERVICE_OUTPUT}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--label", default=None,
@@ -234,7 +276,16 @@ def main(argv=None) -> int:
                         help="CI smoke mode: one small count-ensemble "
                              "measurement, cross-checked but not "
                              "recorded")
+    parser.add_argument("--service", action="store_true",
+                        help="measure the HTTP simulation service "
+                             "(cold vs warm req/s, p50/p95 latency, "
+                             "coalescing at 64 concurrent identical "
+                             "requests) and append to "
+                             "BENCH_service.json instead")
     args = parser.parse_args(argv)
+
+    if args.service:
+        return service_report(label=args.label)
     unknown = sorted(set(args.engines) - set(ENGINE_NAMES))
     if unknown:
         parser.error(f"unknown engine(s) {unknown}; "

@@ -1,0 +1,192 @@
+"""Shared measurement core for the simulation-service benchmarks.
+
+Used by both ``test_bench_service.py`` (pytest-benchmark leg) and
+``report.py --service`` (the ``BENCH_service.json`` trajectory).  All
+measurements drive the real stack — stdlib HTTP bridge, ASGI app,
+job queue, worker pool, run store — over a loopback socket, so the
+req/s and latency numbers include HTTP parsing and JSON round trips,
+not just in-process function calls.
+
+Three workloads:
+
+* **cold** — distinct specs (varying seeds), each an uncached point:
+  every request runs one real (tiny) simulation.  Bounded by engine
+  time, not HTTP overhead.
+* **warm** — one spec, submitted repeatedly after the first commit:
+  every request is a content-addressed cache hit with zero engine
+  work.  This is the service's fast path; p50/p95 here are the
+  HTTP + store-read cost.
+* **coalesce** — N concurrent submissions of ONE uncached spec:
+  exactly one simulation must run, every response carries the same
+  fingerprint, and the coalescing ratio (requests per simulation)
+  is N.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import pathlib
+import tempfile
+import time
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.service import (  # noqa: E402
+    ServiceConfig,
+    SimulationService,
+    make_app,
+)
+from repro.service.http import start_in_thread  # noqa: E402
+from repro.telemetry.metrics import Histogram  # noqa: E402
+
+#: The benchmark point: small and fast (a four-state point settles in
+#: milliseconds at n = 120) so the HTTP/queue/store overhead — the
+#: thing this file measures — dominates the cold path's engine time
+#: as little as possible while staying a *real* simulation.
+BASE_SPEC = {
+    "schema": 1,
+    "protocol": {"kind": "four-state"},
+    "n": 120,
+    "epsilon": 0.2,
+    "num_trials": 2,
+    "seed": 0,
+}
+
+
+class ServiceUnderTest:
+    """A served SimulationService on a loopback socket."""
+
+    def __init__(self, output_dir: str | None = None, *,
+                 num_workers: int = 2, queue_size: int = 256):
+        self._tmp = None
+        if output_dir is None:
+            self._tmp = tempfile.TemporaryDirectory(
+                prefix="repro-service-bench-")
+            output_dir = self._tmp.name
+        self.service = SimulationService(config=ServiceConfig(
+            output_dir=output_dir, num_workers=num_workers,
+            queue_size=queue_size))
+        self.service.start()
+        self.server, self.base_url = start_in_thread(
+            make_app(self.service))
+
+    def close(self) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        self.service.stop(graceful=False)
+        if self._tmp is not None:
+            self._tmp.cleanup()
+
+    # -- client ------------------------------------------------------
+
+    def post_run(self, spec: dict, *, wait: float = 0.0) -> dict:
+        query = f"?wait={wait:g}" if wait else ""
+        request = urllib.request.Request(
+            self.base_url + "/runs" + query,
+            data=json.dumps(spec).encode(),
+            headers={"content-type": "application/json"},
+            method="POST")
+        with urllib.request.urlopen(request, timeout=300) as response:
+            return json.loads(response.read())
+
+    def engine_runs(self) -> float:
+        return self.service.sink.total("engine.runs")
+
+
+def spec_with_seed(seed: int) -> dict:
+    return {**BASE_SPEC, "seed": seed}
+
+
+def _timed(callable_) -> tuple:
+    started = time.perf_counter()
+    result = callable_()
+    return time.perf_counter() - started, result
+
+
+def _latency_stats(samples: Histogram) -> dict:
+    return {
+        "requests": samples.count,
+        "p50_ms": round(samples.quantile(0.50) * 1e3, 3),
+        "p95_ms": round(samples.quantile(0.95) * 1e3, 3),
+        "max_ms": round(samples.max * 1e3, 3),
+        "mean_ms": round(samples.mean * 1e3, 3),
+    }
+
+
+def measure_cold(sut: ServiceUnderTest, requests: int = 40, *,
+                 seed_base: int = 10_000) -> dict:
+    """Distinct uncached specs, serial: full simulate-per-request."""
+    samples = Histogram()
+    total, _ = _timed(lambda: [
+        samples.add(_timed(lambda s=seed: sut.post_run(
+            spec_with_seed(s), wait=300))[0])
+        for seed in range(seed_base, seed_base + requests)])
+    return {**_latency_stats(samples),
+            "requests_per_second": round(requests / total, 1)}
+
+
+def measure_warm(sut: ServiceUnderTest, requests: int = 200, *,
+                 seed: int = 77) -> dict:
+    """One committed spec, submitted repeatedly: pure cache hits."""
+    spec = spec_with_seed(seed)
+    first = sut.post_run(spec, wait=300)
+    assert first["status"] == "done"
+    engine_before = sut.engine_runs()
+    samples = Histogram()
+    total, _ = _timed(lambda: [
+        samples.add(_timed(lambda: sut.post_run(spec))[0])
+        for _ in range(requests)])
+    assert sut.engine_runs() == engine_before, \
+        "warm requests must never enter an engine"
+    return {**_latency_stats(samples),
+            "requests_per_second": round(requests / total, 1)}
+
+
+def measure_coalescing(sut: ServiceUnderTest, concurrent: int = 64, *,
+                       seed: int = 424_242) -> dict:
+    """``concurrent`` simultaneous POSTs of one uncached spec."""
+    spec = spec_with_seed(seed)
+    engine_before = sut.engine_runs()
+    enqueued_before = sut.service.sink.total("service.enqueued")
+
+    with ThreadPoolExecutor(max_workers=concurrent) as pool:
+        total, views = _timed(lambda: list(pool.map(
+            lambda _: sut.post_run(spec, wait=300),
+            range(concurrent))))
+
+    ids = {view["id"] for view in views}
+    assert len(ids) == 1, f"expected one fingerprint, got {len(ids)}"
+    simulations = sut.service.sink.total("service.enqueued") \
+        - enqueued_before
+    assert simulations == 1, \
+        f"{simulations} simulations ran for one coalesced spec"
+    trial_runs = sut.engine_runs() - engine_before
+    return {
+        "concurrent_requests": concurrent,
+        "simulations_run": int(simulations),
+        "engine_trial_runs": int(trial_runs),
+        "coalescing_ratio": round(concurrent / simulations, 1),
+        "wall_seconds": round(total, 3),
+    }
+
+
+def run_benchmark(*, cold_requests: int = 40, warm_requests: int = 200,
+                  concurrent: int = 64) -> dict:
+    """The full record ``report.py --service`` appends."""
+    sut = ServiceUnderTest()
+    try:
+        record = {
+            "cold": measure_cold(sut, cold_requests),
+            "warm": measure_warm(sut, warm_requests),
+            "coalescing": measure_coalescing(sut, concurrent),
+        }
+        record["warm_over_cold_speedup"] = round(
+            record["warm"]["requests_per_second"]
+            / record["cold"]["requests_per_second"], 1)
+        return record
+    finally:
+        sut.close()

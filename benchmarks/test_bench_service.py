@@ -1,0 +1,61 @@
+"""Service-layer benchmarks: cold vs warm requests, coalescing.
+
+Run with ``pytest benchmarks/test_bench_service.py --benchmark-only``.
+The same measurement core backs ``python benchmarks/report.py
+--service``, which appends the numbers to ``BENCH_service.json``.
+"""
+
+import pytest
+
+from service_bench import (
+    ServiceUnderTest,
+    measure_coalescing,
+    spec_with_seed,
+)
+
+
+@pytest.fixture(scope="module")
+def sut():
+    served = ServiceUnderTest()
+    yield served
+    served.close()
+
+
+def test_warm_request_throughput(benchmark, sut):
+    """One cached spec, POSTed repeatedly: the content-addressed fast
+    path (zero engine work per request)."""
+    spec = spec_with_seed(31)
+    first = sut.post_run(spec, wait=300)
+    assert first["status"] == "done"
+    engine_before = sut.engine_runs()
+
+    view = benchmark(lambda: sut.post_run(spec))
+
+    assert view["cached"] is True
+    assert sut.engine_runs() == engine_before
+    benchmark.extra_info["row"] = {
+        "path": "warm", "engine_runs_per_request": 0}
+
+
+def test_cold_request_latency(benchmark, sut):
+    """Distinct specs every round: submit + simulate + commit."""
+    seeds = iter(range(1_000_000, 2_000_000))
+
+    def submit_fresh():
+        return sut.post_run(spec_with_seed(next(seeds)), wait=300)
+
+    view = benchmark.pedantic(submit_fresh, rounds=10, iterations=1)
+    assert view["status"] == "done" and view["cached"] is False
+
+
+def test_coalescing_64_concurrent(benchmark, sut):
+    """64 simultaneous identical submissions -> exactly 1 simulation."""
+    seeds = iter(range(5_000_000, 6_000_000))
+
+    def burst():
+        return measure_coalescing(sut, 64, seed=next(seeds))
+
+    outcome = benchmark.pedantic(burst, rounds=3, iterations=1)
+    assert outcome["simulations_run"] == 1
+    assert outcome["coalescing_ratio"] == 64.0
+    benchmark.extra_info["row"] = outcome

@@ -15,6 +15,7 @@ __all__ = [
     "SimulationError",
     "ConvergenceTimeout",
     "WorkerError",
+    "JobInterrupted",
     "AnalysisError",
     "ExperimentError",
 ]
@@ -59,6 +60,17 @@ class WorkerError(SimulationError):
     so callers can treat pool crashes (OOM kills, interpreter aborts)
     as *transient* and retry — the runstore orchestrator does, with
     capped backoff — while genuine simulation errors propagate.
+    """
+
+
+class JobInterrupted(SimulationError):
+    """A cooperative stop request interrupted a sweep point mid-flight.
+
+    Raised by the runstore orchestrator between trial chunks when its
+    ``should_stop`` hook fires (the simulation service's graceful
+    shutdown path).  Every completed chunk is already journaled, so the
+    point resumes from the checkpoint on the next attempt — nothing is
+    lost, which is what distinguishes this from a failure.
     """
 
 

@@ -32,6 +32,7 @@ from . import (
     lowerbound_logn,
 )
 from ..runstore import cli as runs_cli
+from ..service import cli as serve_cli
 
 __all__ = ["main"]
 
@@ -47,6 +48,7 @@ _SUBCOMMANDS = {
     "leader-election": leader.main,
     "report": report.main,
     "runs": runs_cli.main,
+    "serve": serve_cli.main,
 }
 
 

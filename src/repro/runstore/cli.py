@@ -6,11 +6,14 @@ Subcommands:
   parameters, wall time, and owning sweep;
 * ``status`` — store totals plus per-journal progress (committed
   points vs chunk checkpoints still pending), i.e. what ``--resume``
-  would pick up; ``--metrics`` adds a per-point compute table
-  (trials, interaction counts, throughput) from the telemetry meta
-  each point carries;
+  would pick up, and the simulation service's queued submissions and
+  in-flight (chunk-checkpointed) points from the store introspection
+  API; ``--metrics`` adds a per-point compute table (trials,
+  interaction counts, throughput) from the telemetry meta each point
+  carries;
 * ``gc`` — reclaim finished journals, schema-orphaned objects, and
-  stray temp files (``--all`` wipes the store).
+  stray temp files (``--all`` wipes the store; ``--dry-run`` prints
+  what would be deleted and deletes nothing).
 
 All subcommands honor ``--output-dir`` / ``REPRO_OUTPUT_DIR`` the same
 way the experiments do: the store lives under
@@ -114,6 +117,25 @@ def _print_metrics(entries: list[dict]) -> None:
               "or were computed by opaque thunks)")
 
 
+def _print_service_state(store: RunStore) -> None:
+    """Queued submissions and in-flight points (store introspection)."""
+    queued = store.pending_submissions()
+    in_flight = store.in_flight()
+    committed = {record["point"] for record in queued
+                 if record.get("point") in store}
+    print(f"  service queue: {len(queued)} pending submission(s)"
+          + (f" ({len(committed)} already committed — served on "
+             f"restart without recomputation)" if committed else ""))
+    if in_flight:
+        print()
+        print(format_table(
+            [{"sweep": row["sweep"], "point": row["point"][:12],
+              "checkpointed_chunks": row["chunks"],
+              "checkpointed_trials": row["trials"]}
+             for row in in_flight],
+            title="in-flight points (chunk checkpoints, resumable)"))
+
+
 def cmd_status(store: RunStore, *, metrics: bool = False) -> int:
     objects = list(store.entries())
     total_bytes = sum(path.stat().st_size
@@ -124,6 +146,7 @@ def cmd_status(store: RunStore, *, metrics: bool = False) -> int:
           f"{total_bytes} bytes")
     if metrics:
         _print_metrics(objects)
+    _print_service_state(store)
     journals = list(store.journals())
     if not journals:
         print("  journals: none (no sweep in flight)")
@@ -146,13 +169,18 @@ def cmd_status(store: RunStore, *, metrics: bool = False) -> int:
     return 0
 
 
-def cmd_gc(store: RunStore, drop_all: bool) -> int:
-    removed = store.gc(drop_all=drop_all)
+def cmd_gc(store: RunStore, drop_all: bool, dry_run: bool = False) -> int:
+    removed = store.gc(drop_all=drop_all, dry_run=dry_run)
     scope = "everything" if drop_all else "dead state"
+    verb = "would remove" if dry_run else "removed"
     print(f"gc({scope}) under {store.root}: "
-          f"removed {removed['journals']} journal(s), "
+          f"{verb} {removed['journals']} journal(s), "
           f"{removed['objects']} object(s), "
           f"{removed['temp_files']} temp file(s)")
+    if dry_run:
+        for path in removed["would_remove"]:
+            print(f"  would remove {path}")
+        print("  (dry run: nothing was deleted)")
     return 0
 
 
@@ -168,6 +196,9 @@ def main(argv=None) -> int:
     parser.add_argument("--all", action="store_true",
                         help="gc only: wipe the entire store, including "
                              "valid cache entries")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="gc only: print what would be deleted and "
+                             "delete nothing")
     parser.add_argument("--metrics", action="store_true",
                         help="status only: add per-point compute metrics "
                              "(trials, interactions, throughput)")
@@ -178,7 +209,7 @@ def main(argv=None) -> int:
         return cmd_list(store)
     if args.action == "status":
         return cmd_status(store, metrics=args.metrics)
-    return cmd_gc(store, drop_all=args.all)
+    return cmd_gc(store, drop_all=args.all, dry_run=args.dry_run)
 
 
 if __name__ == "__main__":

@@ -30,7 +30,7 @@ import time
 
 import numpy as np
 
-from ..errors import WorkerError
+from ..errors import JobInterrupted, WorkerError
 from ..faults import active_faults
 from ..rng import ensure_rng
 from ..serialize import run_result_from_dict, run_result_to_dict
@@ -78,13 +78,19 @@ class Orchestrator:
         ``min(backoff_cap, backoff_base * 2**(k-1))`` seconds.
     progress:
         Optional callable receiving human-readable status lines.
+    should_stop:
+        Optional zero-argument callable polled between trial chunks;
+        returning ``True`` raises :class:`~repro.errors.JobInterrupted`
+        *after* every completed chunk has been journaled, so the point
+        resumes from the checkpoint on the next attempt.  This is the
+        simulation service's graceful-shutdown hook.
     """
 
     def __init__(self, store: RunStore | None = None, *,
                  sweep: str | None = None, resume: bool = False,
                  use_cache: bool = True, max_attempts: int = 3,
                  backoff_base: float = 0.5, backoff_cap: float = 30.0,
-                 sleep=time.sleep, progress=None):
+                 sleep=time.sleep, progress=None, should_stop=None):
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         self.store = store
@@ -95,6 +101,7 @@ class Orchestrator:
         self.backoff_cap = backoff_cap
         self._sleep = sleep
         self._progress = progress
+        self._should_stop = should_stop
         self.counters = {"computed": 0, "cached": 0,
                          "resumed_chunks": 0, "retries": 0}
         self._journal = None
@@ -124,9 +131,26 @@ class Orchestrator:
                        seed=seed, engine=engine,
                        max_parallel_time=max_parallel_time,
                        batch_fraction=batch_fraction)
+        return self.spec_point(spec)
+
+    def spec_point(self, spec: RunSpec, *, label: str | None = None
+                   ) -> dict:
+        """One sweep point addressed directly by a :class:`RunSpec`.
+
+        The general entry the simulation service drives: any
+        cache-addressable majority-form spec (margin or explicit
+        counts, clean or faulted) runs through the same cache/journal/
+        retry machinery as :meth:`majority_point`, and for margin-form
+        specs the returned row — and the committed cache entry — is
+        byte-identical to :meth:`majority_point`'s.  Count-form specs
+        extend the row with ``count_a``/``count_b``.
+        """
         key = spec_key(spec)
         fp = fingerprint(key)
-        label = f"{protocol.name} n={n}"
+        protocol = spec.protocol
+        label = label or (f"{protocol.name} n={spec.n}" if spec.n
+                          else f"{protocol.name} "
+                               f"{spec.count_a}v{spec.count_b}")
         cached = self._lookup(fp, label=label, kind="majority-point")
         if cached is not None:
             return cached
@@ -138,9 +162,9 @@ class Orchestrator:
         stats = TrialStats.from_results(results)
         row = {
             "protocol": protocol.name,
-            "engine": engine,
-            "n": n,
-            "epsilon": epsilon,
+            "engine": spec.engine,
+            "n": spec.n,
+            "epsilon": spec.epsilon,
             "trials": stats.num_trials,
             "settled_fraction": stats.settled_fraction,
             "mean_parallel_time": stats.mean_parallel_time,
@@ -149,12 +173,15 @@ class Orchestrator:
             "max_parallel_time": stats.max_parallel_time,
             "error_fraction": stats.error_fraction,
         }
+        if spec.count_a is not None:
+            row["count_a"] = spec.count_a
+            row["count_b"] = spec.count_b
         wall = time.perf_counter() - started
         meta = dict(plan_meta, wall_seconds=wall)
         if telemetry.enabled:
             telemetry.record_span(
                 "runstore.point", wall, kind="majority-point",
-                protocol=protocol.name, n=n,
+                protocol=protocol.name, n=spec.n,
                 engine=plan_meta["engine_resolved"],
                 trials=stats.num_trials,
                 interactions=plan_meta["interactions"])
@@ -338,6 +365,7 @@ class Orchestrator:
             for index, (size, child) in enumerate(zip(sizes, children)):
                 chunk = self._replayed_chunk(fp, index, size)
                 if chunk is None:
+                    self._check_stop(fp)
                     chunk = self._attempt(
                         lambda: ensemble.run_ensemble(
                             initial, num_trials=size,
@@ -361,6 +389,7 @@ class Orchestrator:
                 start += size
                 chunk = self._replayed_chunk(fp, index, size)
                 if chunk is None:
+                    self._check_stop(fp)
                     chunk = self._attempt(
                         lambda: [engine.run(
                             initial, rng=np.random.default_rng(child),
@@ -385,6 +414,21 @@ class Orchestrator:
                 "trials": len(results),
                 "interactions": int(sum(r.steps for r in results))}
         return results, meta
+
+    def _check_stop(self, fp: str) -> None:
+        """Honor a pending stop request at a chunk boundary.
+
+        Every completed chunk is already journaled by the time this
+        runs, so the raised :class:`~repro.errors.JobInterrupted`
+        leaves the point resumable with zero lost work.
+        """
+        if self._should_stop is not None and self._should_stop():
+            telemetry = current_telemetry()
+            if telemetry.enabled:
+                telemetry.event("runstore.point.interrupted", point=fp)
+            raise JobInterrupted(
+                f"stop requested; point {fp[:12]} checkpointed at a "
+                "chunk boundary and is resumable")
 
     # -- retries ------------------------------------------------------
 

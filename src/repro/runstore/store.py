@@ -134,9 +134,67 @@ class RunStore:
         for path in sorted(self.journals_dir.glob("*.jsonl")):
             yield path.stem, Journal(path)
 
+    # -- service state ------------------------------------------------
+    #
+    # The simulation service keeps its durable queue next to the sweep
+    # journals: one append-only JSONL file recording job submissions
+    # ("submit" with the spec's wire form) and completions ("done" /
+    # "failed").  A restarted server replays it to re-enqueue whatever
+    # was queued or in flight — in-flight points additionally resume
+    # their chunk checkpoints from the ordinary per-sweep journals.
+
+    @property
+    def service_dir(self) -> Path:
+        return self.root / "service"
+
+    def service_queue(self) -> Journal:
+        """The service's durable submission journal."""
+        return Journal(self.service_dir / "queue.jsonl")
+
+    def service_trace_path(self, fp: str) -> Path:
+        """Where the service writes point ``fp``'s telemetry trace."""
+        return self.service_dir / "traces" / f"{fp}.jsonl"
+
+    def pending_submissions(self) -> list[dict]:
+        """Replayed service-queue records still awaiting completion.
+
+        Returns the ``submit`` records (fingerprint + spec wire form,
+        submission order preserved) with no later ``done``/``failed``
+        record — exactly the jobs a restarted server re-enqueues.
+        """
+        pending: dict[str, dict] = {}
+        for record in self.service_queue().replay():
+            event = record.get("event")
+            if event == "submit" and record.get("point"):
+                pending.setdefault(record["point"], record)
+            elif event in ("done", "failed"):
+                pending.pop(record.get("point"), None)
+        return list(pending.values())
+
+    def in_flight(self) -> list[dict]:
+        """Points with journaled-but-uncommitted chunk checkpoints.
+
+        One row per in-flight point across every sweep journal:
+        ``{"sweep", "point", "chunks", "trials"}`` — what ``--resume``
+        (or the service's restart path) would pick up mid-point.
+        """
+        rows = []
+        for name, journal in self.journals():
+            for fp, chunks in sorted(
+                    chunk_map(journal.replay()).items()):
+                rows.append({
+                    "sweep": name,
+                    "point": fp,
+                    "chunks": len(chunks),
+                    "trials": sum(len(results)
+                                  for results in chunks.values()),
+                })
+        return rows
+
     # -- maintenance --------------------------------------------------
 
-    def gc(self, *, drop_all: bool = False) -> dict:
+    def gc(self, *, drop_all: bool = False, dry_run: bool = False
+           ) -> dict:
         """Reclaim dead state; returns removal counts.
 
         Policy (see ``docs/runstore.md``):
@@ -147,14 +205,23 @@ class RunStore:
           :data:`RESULT_SCHEMA_VERSION` can never be served — removed;
         * stray ``*.tmp`` files from interrupted commits — removed;
         * ``drop_all=True`` wipes the whole store.
+
+        ``dry_run=True`` reports the same counts (plus the doomed
+        paths under ``"would_remove"``) while deleting nothing.
         """
         removed = {"journals": 0, "objects": 0, "temp_files": 0}
+        doomed: list[str] = []
+        if dry_run:
+            removed["would_remove"] = doomed
         if drop_all:
             if self.root.is_dir():
                 removed["journals"] = sum(1 for _ in self.journals())
                 removed["objects"] = sum(
                     1 for _ in self.objects_dir.glob("*/*.json"))
-                shutil.rmtree(self.root)
+                if dry_run:
+                    doomed.append(str(self.root))
+                else:
+                    shutil.rmtree(self.root)
             return removed
         for _, journal in list(self.journals() or ()):
             records = journal.replay()
@@ -163,17 +230,26 @@ class RunStore:
                          if record.get("event") in ("chunk", "point")}
             if not pending and (not journaled
                                 or journaled <= committed_points(records)):
-                journal.clear()
+                if dry_run:
+                    doomed.append(str(journal.path))
+                else:
+                    journal.clear()
                 removed["journals"] += 1
         if self.objects_dir.is_dir():
             for path in sorted(self.objects_dir.glob("*/*.json")):
                 entry = self.get(path.stem)
                 if entry is None or entry.get("schema") != \
                         RESULT_SCHEMA_VERSION:
-                    path.unlink(missing_ok=True)
+                    if dry_run:
+                        doomed.append(str(path))
+                    else:
+                        path.unlink(missing_ok=True)
                     removed["objects"] += 1
         if self.root.is_dir():
             for path in self.root.rglob("*.tmp"):
-                path.unlink(missing_ok=True)
+                if dry_run:
+                    doomed.append(str(path))
+                else:
+                    path.unlink(missing_ok=True)
                 removed["temp_files"] += 1
         return removed

@@ -1,0 +1,79 @@
+"""``python -m repro serve`` — run the simulation service.
+
+Hosts the ASGI app on the bundled threaded HTTP bridge (no external
+server needed).  SIGINT/SIGTERM trigger a graceful stop: running jobs
+checkpoint at their next chunk boundary and are resumed — along with
+any still-queued submissions — by the next ``serve`` over the same
+output directory.
+
+Examples::
+
+    python -m repro serve                      # 127.0.0.1:8321, results/
+    python -m repro serve --port 9000 --workers 4
+    python -m repro serve --output-dir /tmp/exp --rate-limit 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+
+from .http import serve
+from .service import ServiceConfig, SimulationService
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve simulations over HTTP: POST RunSpecs, get "
+                    "content-addressed cached results.")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8321,
+                        help="bind port (default: 8321)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="simulation worker threads (default: 2)")
+    parser.add_argument("--queue-size", type=int, default=64,
+                        help="max queued jobs before 429 backpressure "
+                             "(default: 64)")
+    parser.add_argument("--rate-limit", type=float, default=None,
+                        help="per-client sustained requests/second "
+                             "(default: unlimited)")
+    parser.add_argument("--rate-burst", type=float, default=None,
+                        help="per-client burst size (default: the rate, "
+                             "at least 1)")
+    parser.add_argument("--output-dir", default=None,
+                        help="results directory whose run store backs "
+                             "the service (default: results/ or "
+                             "$REPRO_OUTPUT_DIR)")
+    parser.add_argument("--no-resume", action="store_true",
+                        help="do not re-enqueue pending jobs from the "
+                             "durable service queue on startup")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    config = ServiceConfig(
+        output_dir=args.output_dir,
+        num_workers=args.workers,
+        queue_size=args.queue_size,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+        resume=not args.no_resume,
+    )
+    service = SimulationService(config=config)
+    # serve() already handles KeyboardInterrupt (Ctrl-C / SIGINT);
+    # translate SIGTERM into the same clean exit path for containers.
+    def _sigterm(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _sigterm)
+    serve(service, host=args.host, port=args.port)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

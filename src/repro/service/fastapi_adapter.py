@@ -1,0 +1,117 @@
+"""Optional FastAPI front-end over the same :class:`SimulationService`.
+
+The core service is stdlib-only by design — tier-1 tests and the
+bundled server never import anything outside the standard library.
+Deployments that already run FastAPI/uvicorn and want OpenAPI docs,
+dependency-injected auth, or framework middleware can mount this
+adapter instead; it delegates every operation to the exact same
+:class:`~repro.service.service.SimulationService`, so behaviour
+(coalescing, caching, backpressure, durable resume) is identical.
+
+FastAPI is **not** a dependency of this package: importing this
+module without it raises a clear :class:`~repro.errors.ReproError`
+naming the missing piece, and the test suite skips the adapter tests
+when it is absent.
+"""
+
+from __future__ import annotations
+
+from ..errors import InvalidParameterError, ReproError
+from .errors import ServiceError, UnknownJobError
+from .service import SimulationService
+
+__all__ = ["fastapi_available", "make_fastapi_app"]
+
+try:
+    import fastapi
+    from fastapi.responses import FileResponse, JSONResponse
+except ImportError:  # pragma: no cover - exercised via the flag below
+    fastapi = None
+
+
+def fastapi_available() -> bool:
+    """Whether the optional FastAPI adapter can be built here."""
+    return fastapi is not None
+
+
+def make_fastapi_app(service: SimulationService):
+    """Build a FastAPI application wrapping ``service``.
+
+    Raises :class:`ReproError` when FastAPI is not installed — the
+    stdlib app (:func:`repro.service.app.make_app`) covers every
+    capability without it.
+    """
+    if fastapi is None:
+        raise ReproError(
+            "the FastAPI adapter needs the optional 'fastapi' package; "
+            "it is not installed in this environment. Use "
+            "repro.service.app.make_app (stdlib ASGI) or "
+            "'python -m repro serve' instead.")
+
+    app = fastapi.FastAPI(
+        title="repro simulation service",
+        description="Content-addressed majority-protocol simulations: "
+                    "identical specs coalesce in flight and hit the "
+                    "run-store cache forever after.",
+        on_startup=[service.start],
+        on_shutdown=[service.stop],
+    )
+
+    def _client(request: "fastapi.Request") -> str:
+        header = request.headers.get("x-client")
+        if header:
+            return header
+        return request.client.host if request.client else "anonymous"
+
+    @app.exception_handler(InvalidParameterError)
+    async def _invalid(request, error):
+        return JSONResponse(status_code=422,
+                            content={"error": str(error), "status": 422})
+
+    @app.exception_handler(ServiceError)
+    async def _service_error(request, error):
+        headers = {}
+        retry_after = getattr(error, "retry_after", None)
+        if retry_after is not None:
+            headers["Retry-After"] = str(max(1, round(retry_after)))
+        return JSONResponse(status_code=error.status,
+                            content={"error": str(error),
+                                     "status": error.status},
+                            headers=headers)
+
+    @app.post("/runs")
+    async def submit(request: "fastapi.Request", wait: float = 0.0):
+        payload = await request.json()
+        view = service.submit(payload, client=_client(request))
+        if wait > 0 and view["status"] in ("queued", "running"):
+            view = service.get(view["id"], wait=wait)
+        status = 200 if view["status"] in ("done", "failed") else 202
+        return JSONResponse(status_code=status, content=view)
+
+    @app.get("/runs")
+    async def list_runs(status: str | None = None, store: bool = False):
+        return service.list_runs(status=status, include_store=store)
+
+    @app.get("/runs/{job_id}")
+    async def get_run(job_id: str, wait: float = 0.0):
+        return service.get(job_id, wait=wait)
+
+    @app.get("/runs/{job_id}/trace")
+    async def get_trace(job_id: str):
+        path, live = service.trace_ref(job_id)
+        if live or not path.exists():
+            raise UnknownJobError(
+                f"trace for {job_id!r} is still being written; "
+                "retry once the job finishes (the stdlib server "
+                "streams live traces)")
+        return FileResponse(path, media_type="application/x-ndjson")
+
+    @app.get("/stats")
+    async def stats():
+        return service.stats()
+
+    @app.get("/healthz")
+    async def healthz():
+        return {"status": "ok"}
+
+    return app

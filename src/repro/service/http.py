@@ -1,0 +1,190 @@
+"""Threaded stdlib HTTP server hosting the ASGI app.
+
+The container has no ASGI server (uvicorn, hypercorn), so this module
+bridges :class:`http.server.ThreadingHTTPServer` to the ASGI app: each
+request thread spins a private event loop, feeds the app one
+``http`` scope, and relays ``http.response.*`` messages back to the
+socket — chunked transfer-encoding when the app streams (the trace
+endpoint), plain content-length otherwise.
+
+This is deliberately boring infrastructure: one request per thread,
+no keep-alive pipelining tricks, no TLS.  A production deployment
+would point a real ASGI server at :func:`repro.service.app.make_app`;
+this bridge exists so ``python -m repro serve`` works out of the box
+and the CI smoke leg can exercise a real socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import urlsplit
+
+__all__ = ["serve", "start_in_thread", "make_server"]
+
+#: Hop-by-hop headers the bridge owns; the app must not set them.
+_MANAGED_HEADERS = {b"content-length", b"transfer-encoding",
+                    b"connection"}
+
+
+class _AsgiRequestHandler(BaseHTTPRequestHandler):
+    """One HTTP/1.1 request pumped through the ASGI app."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-service/1"
+
+    # Populated by make_server() on the handler subclass.
+    asgi_app = None
+
+    def _handle(self) -> None:
+        loop = asyncio.new_event_loop()
+        try:
+            loop.run_until_complete(self._run_asgi())
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-stream; nothing to answer
+        finally:
+            loop.close()
+
+    do_GET = do_POST = do_PUT = do_DELETE = do_PATCH = _handle
+
+    async def _run_asgi(self) -> None:
+        split = urlsplit(self.path)
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0", "spec_version": "2.3"},
+            "http_version": "1.1",
+            "method": self.command,
+            "path": split.path,
+            "raw_path": self.path.encode("latin-1"),
+            "query_string": split.query.encode("latin-1"),
+            "headers": [(name.lower().encode("latin-1"),
+                         value.encode("latin-1"))
+                        for name, value in self.headers.items()],
+            "client": self.client_address,
+            "server": self.server.server_address,
+            "scheme": "http",
+        }
+        body = self._read_body()
+        received = {"done": False}
+
+        async def receive():
+            if received["done"]:
+                await asyncio.Event().wait()  # ASGI: block forever
+            received["done"] = True
+            return {"type": "http.request", "body": body,
+                    "more_body": False}
+
+        state = {"started": False, "chunked": False}
+
+        async def send(message):
+            if message["type"] == "http.response.start":
+                self._start_response(message, state)
+            elif message["type"] == "http.response.body":
+                self._send_body(message, state)
+
+        await type(self).asgi_app(scope, receive, send)
+        if state["chunked"] and not state.get("finished"):
+            self._finish_chunked(state)
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("content-length") or 0)
+        return self.rfile.read(length) if length > 0 else b""
+
+    def _start_response(self, message, state) -> None:
+        self.send_response(message["status"])
+        has_length = False
+        for name, value in message.get("headers", ()):
+            if name.lower() in _MANAGED_HEADERS:
+                if name.lower() == b"content-length":
+                    has_length = True
+                else:
+                    continue
+            self.send_header(name.decode("latin-1"),
+                             value.decode("latin-1"))
+        if not has_length:
+            # Streaming response: length unknown up front.
+            state["chunked"] = True
+            self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        state["started"] = True
+
+    def _send_body(self, message, state) -> None:
+        body = message.get("body", b"")
+        if state["chunked"]:
+            if body:
+                self.wfile.write(b"%x\r\n%s\r\n" % (len(body), body))
+                self.wfile.flush()
+            if not message.get("more_body"):
+                self._finish_chunked(state)
+        else:
+            if body:
+                self.wfile.write(body)
+                self.wfile.flush()
+
+    def _finish_chunked(self, state) -> None:
+        self.wfile.write(b"0\r\n\r\n")
+        self.wfile.flush()
+        state["finished"] = True
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib name
+        pass  # the service has telemetry; access logs stay quiet
+
+
+class _AsgiHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    # The socketserver default backlog (5) resets connections under a
+    # coalescing burst of concurrent submissions; give the kernel room
+    # to hold a full burst while handler threads spin up.
+    request_queue_size = 128
+
+
+def make_server(app, host: str = "127.0.0.1", port: int = 8321
+                ) -> ThreadingHTTPServer:
+    """A ready-to-serve :class:`ThreadingHTTPServer` for ``app``."""
+    handler = type("BoundAsgiHandler", (_AsgiRequestHandler,),
+                   {"asgi_app": staticmethod(app)})
+    return _AsgiHTTPServer((host, port), handler)
+
+
+def start_in_thread(app, host: str = "127.0.0.1", port: int = 0
+                    ) -> tuple:
+    """Serve ``app`` on a background thread; ``(server, base_url)``.
+
+    ``port=0`` picks a free port — the tests and the CI smoke leg use
+    this to avoid collisions.  Call ``server.shutdown()`` to stop.
+    """
+    server = make_server(app, host, port)
+    thread = threading.Thread(target=server.serve_forever,
+                              name="repro-service-http", daemon=True)
+    thread.start()
+    bound_host, bound_port = server.server_address[:2]
+    return server, f"http://{bound_host}:{bound_port}"
+
+
+def serve(service, host: str = "127.0.0.1", port: int = 8321) -> None:
+    """Blocking serve loop used by ``python -m repro serve``.
+
+    Starts the service's workers, serves until interrupted, then stops
+    gracefully (running jobs checkpoint and persist for next start).
+    """
+    from .app import make_app
+
+    server = make_server(make_app(service), host, port)
+    resumed = service.start()
+    if resumed:
+        print(f"resumed {resumed} pending job(s) from the service queue")
+    print(f"repro service listening on http://{host}:"
+          f"{server.server_address[1]} "
+          f"(workers={service.config.num_workers}, "
+          f"queue={service.config.queue_size})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        print("shutting down: checkpointing running jobs ...")
+        server.shutdown()
+        server.server_close()
+        service.stop(graceful=True)
+        print("service stopped; interrupted jobs resume on next start")

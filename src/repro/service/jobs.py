@@ -1,0 +1,208 @@
+"""In-process job queue: bounded, coalescing, thread-safe.
+
+A *job* is one cache-addressable sweep point in flight: its id is the
+content fingerprint of the spec (``fingerprint(spec.key())``), which
+is exactly the run store's cache address — so a job that completes
+becomes a cache entry, and a duplicate submission of a queued or
+running job coalesces onto the existing one instead of simulating
+twice.  The queue holds only *uncached* work; the service answers
+cached fingerprints straight from the store without touching it.
+
+States::
+
+    queued --> running --> done
+       ^          |    \\-> failed
+       \\---------/   (graceful shutdown requeues at a chunk boundary)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from .errors import QueueFullError
+
+__all__ = ["Job", "JobQueue",
+           "QUEUED", "RUNNING", "DONE", "FAILED", "ACTIVE_STATES"]
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: States in which a duplicate submission coalesces onto the job.
+ACTIVE_STATES = (QUEUED, RUNNING)
+
+
+@dataclass
+class Job:
+    """One in-flight sweep point; mutated only under the queue lock."""
+
+    id: str                      #: fingerprint of ``spec.key()``
+    spec: object                 #: the parsed :class:`~repro.RunSpec`
+    payload: dict                #: canonical wire form (``to_json``)
+    status: str = QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    row: dict | None = None
+    meta: dict | None = None
+    error: str | None = None
+    submissions: int = 1         #: coalesced POSTs riding this job
+    interruptions: int = 0       #: graceful-shutdown requeues survived
+    done_event: threading.Event = field(default_factory=threading.Event)
+
+    def describe(self) -> dict:
+        """JSON-safe status view (without the result row)."""
+        return {
+            "id": self.id,
+            "status": self.status,
+            "protocol": self.payload.get("protocol", {}).get("kind"),
+            "n": self.payload.get("n"),
+            "trials": self.payload.get("num_trials", 1),
+            "submissions": self.submissions,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+        }
+
+
+class JobQueue:
+    """Bounded FIFO of jobs with fingerprint coalescing.
+
+    ``capacity`` bounds *queued* jobs (running ones have already left
+    the line); a full queue raises :class:`QueueFullError`, which the
+    HTTP layer turns into 429 + ``Retry-After`` backpressure.
+    Completed jobs stay in the table for status lookups until
+    :meth:`forget` — their results are also in the run store, so the
+    table is a convenience, not the source of truth.
+    """
+
+    def __init__(self, capacity: int = 64, *,
+                 retry_after: float = 1.0):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.retry_after = retry_after
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._jobs: dict[str, Job] = {}
+        self._pending: deque[str] = deque()
+
+    # -- submission side ----------------------------------------------
+
+    def submit(self, make_job) -> tuple[Job, bool]:
+        """Enqueue the job ``make_job()`` builds, coalescing duplicates.
+
+        ``make_job`` must return a :class:`Job`; it is only called
+        when no active job with the same id exists (checked under the
+        lock, so concurrent duplicate submissions cannot race past
+        each other).  Returns ``(job, created)`` — ``created`` is
+        ``False`` when the submission coalesced onto an existing
+        active job.  Raises :class:`QueueFullError` at capacity.
+        """
+        with self._lock:
+            probe = make_job()
+            existing = self._jobs.get(probe.id)
+            if existing is not None and existing.status in ACTIVE_STATES:
+                existing.submissions += 1
+                return existing, False
+            if len(self._pending) >= self.capacity:
+                raise QueueFullError(
+                    f"job queue is full ({self.capacity} queued); "
+                    "retry shortly", retry_after=self.retry_after)
+            self._jobs[probe.id] = probe
+            self._pending.append(probe.id)
+            self._wakeup.notify()
+            return probe, True
+
+    # -- worker side --------------------------------------------------
+
+    def next_job(self, timeout: float | None = None) -> Job | None:
+        """Claim the oldest queued job (marked running), or ``None``."""
+        with self._lock:
+            if not self._pending:
+                self._wakeup.wait(timeout)
+            if not self._pending:
+                return None
+            job = self._jobs[self._pending.popleft()]
+            job.status = RUNNING
+            job.started_at = time.time()
+            return job
+
+    def mark_done(self, job: Job, row: dict, meta: dict | None = None
+                  ) -> None:
+        with self._lock:
+            job.row = row
+            job.meta = meta
+            job.status = DONE
+            job.finished_at = time.time()
+        job.done_event.set()
+
+    def mark_failed(self, job: Job, error: str) -> None:
+        with self._lock:
+            job.error = error
+            job.status = FAILED
+            job.finished_at = time.time()
+        job.done_event.set()
+
+    def requeue(self, job: Job) -> None:
+        """Put an interrupted job back at the *front* of the line.
+
+        Used by graceful shutdown: the job's completed chunks are
+        journaled, so on restart (or when workers resume) it continues
+        from the checkpoint.  Front-of-line keeps interrupted work
+        ahead of newer submissions.  The capacity bound is waived —
+        the job already held a slot.
+        """
+        with self._lock:
+            job.status = QUEUED
+            job.started_at = None
+            job.interruptions += 1
+            self._pending.appendleft(job.id)
+            self._wakeup.notify()
+
+    def wake_all(self) -> None:
+        """Unblock every :meth:`next_job` waiter (shutdown path)."""
+        with self._lock:
+            self._wakeup.notify_all()
+
+    # -- introspection ------------------------------------------------
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self, status: str | None = None) -> list[Job]:
+        """Jobs in submission order, optionally filtered by status."""
+        with self._lock:
+            ordered = sorted(self._jobs.values(),
+                             key=lambda job: job.submitted_at)
+        if status is not None:
+            ordered = [job for job in ordered if job.status == status]
+        return ordered
+
+    def depth(self) -> int:
+        """Queued (not yet running) jobs — the backpressure signal."""
+        with self._lock:
+            return len(self._pending)
+
+    def counts(self) -> dict:
+        """Jobs per status, plus the queue bound."""
+        with self._lock:
+            out = {QUEUED: 0, RUNNING: 0, DONE: 0, FAILED: 0}
+            for job in self._jobs.values():
+                out[job.status] = out.get(job.status, 0) + 1
+            out["capacity"] = self.capacity
+            return out
+
+    def forget(self, job_id: str) -> None:
+        """Drop a finished job from the table (results live in the
+        store); active jobs are kept."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is not None and job.status not in ACTIVE_STATES:
+                del self._jobs[job_id]

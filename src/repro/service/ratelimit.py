@@ -1,0 +1,82 @@
+"""Per-client token-bucket rate limiting.
+
+One bucket per client key (the ``x-client`` header when present,
+otherwise the peer address): capacity ``burst`` tokens, refilled at
+``rate`` tokens/second.  A request spends one token; an empty bucket
+answers 429 with the exact ``Retry-After`` until the next token
+matures.  Buckets are created lazily and pruned once they are full
+again and idle, so the table stays bounded by the set of *active*
+clients.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from .errors import RateLimitedError
+
+__all__ = ["RateLimiter"]
+
+
+class RateLimiter:
+    """Thread-safe token buckets keyed by client id.
+
+    Parameters
+    ----------
+    rate:
+        Sustained budget in requests/second per client; ``None``
+        disables limiting entirely (every check passes).
+    burst:
+        Bucket capacity — how many requests a client may send
+        back-to-back before the sustained rate binds.  Defaults to
+        ``max(1, rate)`` so a one-per-second budget still admits one
+        immediate request.
+    clock:
+        Injectable time source (seconds, monotonic) for tests.
+    """
+
+    #: Idle full buckets are dropped once the table exceeds this size.
+    MAX_IDLE_BUCKETS = 1024
+
+    def __init__(self, rate: float | None, burst: float | None = None,
+                 *, clock=time.monotonic):
+        if rate is not None and rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = rate
+        self.burst = float(burst if burst is not None
+                           else max(1.0, rate or 1.0))
+        if self.burst <= 0:
+            raise ValueError(f"burst must be positive, got {burst}")
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: dict[str, tuple[float, float]] = {}
+
+    def check(self, client: str) -> None:
+        """Spend one token for ``client`` or raise 429.
+
+        Raises :class:`RateLimitedError` with ``retry_after`` set to
+        the seconds until the bucket next holds a whole token.
+        """
+        if self.rate is None:
+            return
+        now = self._clock()
+        with self._lock:
+            tokens, last = self._buckets.get(client, (self.burst, now))
+            tokens = min(self.burst, tokens + (now - last) * self.rate)
+            if tokens < 1.0:
+                self._buckets[client] = (tokens, now)
+                retry_after = (1.0 - tokens) / self.rate
+                raise RateLimitedError(
+                    f"client {client!r} exceeded {self.rate:g} "
+                    f"request(s)/s (burst {self.burst:g})",
+                    retry_after=retry_after)
+            self._buckets[client] = (tokens - 1.0, now)
+            if len(self._buckets) > self.MAX_IDLE_BUCKETS:
+                self._prune(now)
+
+    def _prune(self, now: float) -> None:
+        """Drop buckets that have refilled to capacity (idle clients)."""
+        for key in [key for key, (tokens, last) in self._buckets.items()
+                    if tokens + (now - last) * self.rate >= self.burst]:
+            del self._buckets[key]

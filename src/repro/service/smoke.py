@@ -1,0 +1,118 @@
+"""End-to-end service smoke: ``python -m repro.service.smoke``.
+
+The CI leg for the simulation service.  Starts the real stack (worker
+pool + stdlib HTTP bridge) on a loopback socket, then over the socket:
+
+1. ``POST /runs`` a smoke-scale figure-3 point (n-state AVC at
+   ``n = 101``, margin one agent, 5 trials) and wait for the result;
+2. ``POST`` the identical spec again and assert the response is a
+   cache hit that performed **zero** engine work (the ``engine.*``
+   telemetry counters do not move);
+3. ``GET /runs/{id}/trace``, write the streamed JSONL to
+   ``--trace-out``, and exit non-zero unless both requests behaved.
+
+CI then validates the streamed trace with ``python -m repro.telemetry
+<trace-out>`` — the same schema gate every other telemetry producer
+passes through.
+
+Exit status 0 means the service held its two core promises on a real
+socket: compute once, serve from content-addressed cache forever.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import urllib.request
+
+from .app import make_app
+from .http import start_in_thread
+from .service import ServiceConfig, SimulationService
+
+#: The smoke-scale figure-3 point (n-state AVC: m = n - 2, d = 1).
+FIGURE3_SMOKE_SPEC = {
+    "schema": 1,
+    "protocol": {"kind": "avc", "m": 99, "d": 1},
+    "n": 101,
+    "epsilon": 1.0 / 101,
+    "num_trials": 5,
+    "seed": 0,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.service.smoke",
+        description="CI smoke: run one figure-3 point through the "
+                    "HTTP service twice; the second must be a "
+                    "zero-engine-work cache hit.")
+    parser.add_argument("--output-dir", default="service-smoke-results",
+                        help="results directory for the run store")
+    parser.add_argument("--trace-out", default="service-smoke-trace.jsonl",
+                        help="where to write the streamed trace")
+    args = parser.parse_args(argv)
+
+    service = SimulationService(config=ServiceConfig(
+        output_dir=args.output_dir, num_workers=1))
+    service.start()
+    server, base_url = start_in_thread(make_app(service))
+
+    def post_run(payload, query=""):
+        request = urllib.request.Request(
+            f"{base_url}/runs{query}",
+            data=json.dumps(payload).encode(),
+            headers={"content-type": "application/json"},
+            method="POST")
+        with urllib.request.urlopen(request, timeout=300) as response:
+            return json.loads(response.read())
+
+    def engine_mass():
+        return sum(record["value"] for record in service.sink.records
+                   if record["kind"] == "counter"
+                   and record["name"].startswith("engine."))
+
+    try:
+        first = post_run(FIGURE3_SMOKE_SPEC, "?wait=300")
+        if first["status"] != "done" or first["cached"]:
+            print(f"FAIL: first submission returned {first['status']} "
+                  f"cached={first['cached']}")
+            return 1
+        print(f"computed point {first['id'][:12]} (error fraction "
+              f"{first['row'].get('error_fraction')}, mean parallel "
+              f"time {first['row'].get('mean_parallel_time'):.3g})")
+
+        before = engine_mass()
+        second = post_run(FIGURE3_SMOKE_SPEC)
+        after = engine_mass()
+        if not second["cached"] or second["status"] != "done":
+            print("FAIL: second submission was not a cache hit")
+            return 1
+        if after != before:
+            print(f"FAIL: cache hit moved engine counters "
+                  f"({before} -> {after})")
+            return 1
+        if second["row"] != first["row"]:
+            print("FAIL: cached row differs from computed row")
+            return 1
+        print("cache hit with zero engine telemetry events")
+
+        with urllib.request.urlopen(
+                f"{base_url}/runs/{first['id']}/trace",
+                timeout=300) as response:
+            trace = response.read().decode()
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            handle.write(trace)
+        lines = [line for line in trace.splitlines() if line.strip()]
+        print(f"streamed {len(lines)} trace record(s) "
+              f"to {args.trace_out}")
+        print("service smoke ok")
+        return 0
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop(graceful=False)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

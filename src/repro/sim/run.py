@@ -214,6 +214,40 @@ class RunSpec:
         from ..runstore.fingerprint import spec_key
         return spec_key(self)
 
+    def to_json(self) -> dict:
+        """The JSON wire form of this spec (plain dict, JSON-safe).
+
+        Delegates to :func:`repro.serialize.spec_to_dict`; the round
+        trip through :meth:`from_json` preserves :meth:`key`, so a
+        spec shipped over HTTP addresses the same cache entry as one
+        built locally.  Specs carrying runtime-only objects (engine
+        instances, graphs, recorders, observers, generator seeds)
+        cannot be serialized and raise
+        :class:`~repro.errors.InvalidParameterError`.
+        """
+        from ..serialize import spec_to_dict
+        return spec_to_dict(self)
+
+    @classmethod
+    def from_json(cls, payload) -> "RunSpec":
+        """Rebuild a spec from :meth:`to_json` output (dict or string).
+
+        Malformed payloads raise
+        :class:`~repro.errors.InvalidParameterError` with a message
+        naming the offending field — the simulation service maps these
+        1:1 onto HTTP 422 responses.
+        """
+        import json as _json
+
+        from ..serialize import spec_from_dict
+        if isinstance(payload, (str, bytes, bytearray)):
+            try:
+                payload = _json.loads(payload)
+            except ValueError as error:
+                raise InvalidParameterError(
+                    f"spec is not valid JSON: {error}") from None
+        return spec_from_dict(payload)
+
 
 _SPEC_FIELDS = frozenset(f.name for f in fields(RunSpec))
 

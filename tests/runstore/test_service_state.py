@@ -1,0 +1,212 @@
+"""Store service-state introspection, gc --dry-run, and the
+orchestrator's cooperative-stop hook."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import FourStateProtocol
+from repro.errors import JobInterrupted
+from repro.runstore.fingerprint import fingerprint, spec_key
+from repro.runstore.orchestrator import Orchestrator
+from repro.runstore.store import RunStore
+from repro.sim.run import RunSpec
+
+
+def small_spec(num_trials=2, seed=5):
+    return RunSpec(FourStateProtocol(), n=120, epsilon=0.2,
+                   num_trials=num_trials, seed=seed)
+
+
+class TestServiceQueueIntrospection:
+    def test_pending_submissions_replay(self, tmp_path):
+        store = RunStore(tmp_path / ".runstore")
+        queue = store.service_queue()
+        queue.append({"event": "submit", "point": "aa", "spec": {}})
+        queue.append({"event": "submit", "point": "bb", "spec": {}})
+        queue.append({"event": "submit", "point": "cc", "spec": {}})
+        queue.append({"event": "done", "point": "aa"})
+        queue.append({"event": "failed", "point": "cc", "error": "x"})
+        pending = store.pending_submissions()
+        assert [record["point"] for record in pending] == ["bb"]
+
+    def test_duplicate_submits_collapse(self, tmp_path):
+        store = RunStore(tmp_path / ".runstore")
+        queue = store.service_queue()
+        queue.append({"event": "submit", "point": "aa", "spec": {}})
+        queue.append({"event": "submit", "point": "aa", "spec": {}})
+        assert len(store.pending_submissions()) == 1
+
+    def test_empty_store_has_no_pending(self, tmp_path):
+        store = RunStore(tmp_path / ".runstore")
+        assert store.pending_submissions() == []
+        assert store.in_flight() == []
+
+    def test_in_flight_reports_journaled_chunks(self, tmp_path):
+        store = RunStore(tmp_path / ".runstore")
+        spec = small_spec(num_trials=256)  # 2 chunks of 128
+        fp = fingerprint(spec_key(spec))
+
+        # Interrupt after the first chunk: stop flag flips once one
+        # chunk is journaled.
+        seen = []
+
+        def stop_after_first_chunk():
+            journal = store.journal("sweep-x")
+            chunks = [record for record in journal.replay()
+                      if record.get("event") == "chunk"]
+            seen.append(len(chunks))
+            return len(chunks) >= 1
+
+        orchestrator = Orchestrator(store, sweep="sweep-x",
+                                    should_stop=stop_after_first_chunk)
+        with pytest.raises(JobInterrupted):
+            orchestrator.spec_point(spec)
+
+        rows = store.in_flight()
+        assert len(rows) == 1
+        assert rows[0]["sweep"] == "sweep-x"
+        assert rows[0]["point"] == fp
+        assert rows[0]["chunks"] == 1
+        assert rows[0]["trials"] == 128
+
+        # Committing the point clears the in-flight row via finish().
+        resumed = Orchestrator(store, sweep="sweep-x", resume=True)
+        resumed.spec_point(spec)
+        resumed.finish()
+        assert store.in_flight() == []
+        assert fp in store
+
+
+class TestCooperativeStop:
+    def test_stop_before_first_chunk(self, tmp_path):
+        store = RunStore(tmp_path / ".runstore")
+        orchestrator = Orchestrator(store, sweep="s",
+                                    should_stop=lambda: True)
+        with pytest.raises(JobInterrupted):
+            orchestrator.spec_point(small_spec())
+
+    def test_interrupted_resume_is_bit_identical(self, tmp_path):
+        spec = small_spec(num_trials=384, seed=9)  # 3 chunks
+
+        interrupted_store = RunStore(tmp_path / "a" / ".runstore")
+
+        def stop_after_two_chunks():
+            journal = interrupted_store.journal("s")
+            return sum(1 for record in journal.replay()
+                       if record.get("event") == "chunk") >= 2
+
+        orchestrator = Orchestrator(interrupted_store, sweep="s",
+                                    should_stop=stop_after_two_chunks)
+        with pytest.raises(JobInterrupted):
+            orchestrator.spec_point(spec)
+        resumed = Orchestrator(interrupted_store, sweep="s",
+                               resume=True)
+        row_resumed = resumed.spec_point(spec)
+
+        clean_store = RunStore(tmp_path / "b" / ".runstore")
+        row_clean = Orchestrator(clean_store,
+                                 sweep="s").spec_point(spec)
+        assert row_resumed == row_clean
+
+    def test_no_stop_hook_never_interrupts(self, tmp_path):
+        store = RunStore(tmp_path / ".runstore")
+        row = Orchestrator(store, sweep="s").spec_point(small_spec())
+        assert row["n"] == 120
+
+
+class TestRunsCli:
+    """`python -m repro runs status|gc --dry-run` surface the state."""
+
+    def _store_with_state(self, tmp_path):
+        store = RunStore(tmp_path / ".runstore")
+        spec = small_spec(num_trials=256)
+
+        def stop_after_first_chunk():
+            return sum(1 for record in store.journal("s").replay()
+                       if record.get("event") == "chunk") >= 1
+
+        orchestrator = Orchestrator(store, sweep="s",
+                                    should_stop=stop_after_first_chunk)
+        with pytest.raises(JobInterrupted):
+            orchestrator.spec_point(spec)
+        store.service_queue().append(
+            {"event": "submit", "point": fingerprint(spec_key(spec)),
+             "spec": {}})
+        return store
+
+    def test_status_reports_queue_and_in_flight(self, tmp_path,
+                                                capsys):
+        from repro.runstore.cli import main
+
+        self._store_with_state(tmp_path)
+        assert main(["status", "--output-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "service queue: 1 pending submission(s)" in out
+        assert "in-flight points" in out
+        assert "checkpointed_chunks" in out
+
+    def test_status_on_empty_store(self, tmp_path, capsys):
+        from repro.runstore.cli import main
+
+        assert main(["status", "--output-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "service queue: 0 pending submission(s)" in out
+
+    def test_gc_dry_run_deletes_nothing(self, tmp_path, capsys):
+        from repro.runstore.cli import main
+
+        store = self._store_with_state(tmp_path)
+        journals_before = [name for name, _ in store.journals()]
+        assert main(["gc", "--dry-run",
+                     "--output-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "would remove" in out
+        assert "nothing was deleted" in out
+        assert [name for name, _ in store.journals()] \
+            == journals_before
+
+
+class TestGcDryRun:
+    def _populated_store(self, tmp_path):
+        store = RunStore(tmp_path / ".runstore")
+        Orchestrator(store, sweep="done-sweep").spec_point(small_spec())
+        # A finished journal (every point committed) is gc-able.
+        assert any(store.journals())
+        # Plus a stray temp file from a hypothetical crashed commit.
+        store.objects_dir.mkdir(parents=True, exist_ok=True)
+        (store.objects_dir / "x.tmp").write_text("junk")
+        return store
+
+    def test_dry_run_deletes_nothing(self, tmp_path):
+        store = self._populated_store(tmp_path)
+        before_objects = sorted(store.objects_dir.glob("*/*.json"))
+        before_journals = [name for name, _ in store.journals()]
+
+        report = store.gc(dry_run=True)
+        assert sorted(store.objects_dir.glob("*/*.json")) \
+            == before_objects
+        assert [name for name, _ in store.journals()] \
+            == before_journals
+        assert (store.objects_dir / "x.tmp").exists()
+        assert report["journals"] == 1
+        assert report["temp_files"] == 1
+        assert len(report["would_remove"]) >= 2
+
+    def test_dry_run_counts_match_real_gc(self, tmp_path):
+        dry_store = self._populated_store(tmp_path / "dry")
+        wet_store = self._populated_store(tmp_path / "wet")
+        dry = dry_store.gc(dry_run=True)
+        wet = wet_store.gc()
+        assert {key: dry[key] for key in wet} == wet
+        assert not any(wet_store.journals())
+        assert not (wet_store.objects_dir / "x.tmp").exists()
+
+    def test_dry_run_drop_all_keeps_store(self, tmp_path):
+        store = self._populated_store(tmp_path)
+        report = store.gc(drop_all=True, dry_run=True)
+        assert store.root.is_dir()
+        assert report["objects"] == 1
+        assert report["would_remove"] == [str(store.root)]
+        store.gc(drop_all=True)
+        assert not store.root.exists()

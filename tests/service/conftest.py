@@ -1,0 +1,119 @@
+"""Fixtures for the simulation-service tests.
+
+The suite drives the stdlib ASGI app in-process through a minimal
+test client (no sockets, no threads beyond the service's own workers),
+plus one socket-level smoke module for the HTTP bridge.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service import ServiceConfig, SimulationService, make_app
+
+
+class Response:
+    """What one in-process request produced."""
+
+    def __init__(self, status: int, headers: list, body: bytes):
+        self.status = status
+        self.headers = {name.decode("latin-1").lower():
+                        value.decode("latin-1")
+                        for name, value in headers}
+        self.body = body
+
+    def json(self):
+        return json.loads(self.body)
+
+    def lines(self):
+        """Decoded non-empty lines (for NDJSON trace bodies)."""
+        return [line for line in self.body.decode().splitlines()
+                if line.strip()]
+
+
+class AsgiClient:
+    """Drive an ASGI app synchronously, one request per call."""
+
+    def __init__(self, app):
+        self.app = app
+
+    def request(self, method: str, path: str, *, body: bytes = b"",
+                headers=()) -> Response:
+        query = b""
+        if "?" in path:
+            path, _, raw_query = path.partition("?")
+            query = raw_query.encode("latin-1")
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0"},
+            "http_version": "1.1",
+            "method": method,
+            "path": path,
+            "query_string": query,
+            "headers": [(name.encode("latin-1"), value.encode("latin-1"))
+                        for name, value in headers],
+            "client": ("testclient", 1),
+            "server": ("testserver", 80),
+            "scheme": "http",
+        }
+        sent = {"body": False}
+        messages = []
+
+        async def receive():
+            if sent["body"]:
+                await asyncio.Event().wait()
+            sent["body"] = True
+            return {"type": "http.request", "body": body,
+                    "more_body": False}
+
+        async def send(message):
+            messages.append(message)
+
+        asyncio.run(self.app(scope, receive, send))
+        start = next(m for m in messages
+                     if m["type"] == "http.response.start")
+        payload = b"".join(m.get("body", b"") for m in messages
+                           if m["type"] == "http.response.body")
+        return Response(start["status"], start.get("headers", []),
+                        payload)
+
+    def get(self, path: str, **kwargs) -> Response:
+        return self.request("GET", path, **kwargs)
+
+    def post_json(self, path: str, payload, **kwargs) -> Response:
+        return self.request("POST", path,
+                            body=json.dumps(payload).encode(), **kwargs)
+
+
+SMALL_SPEC = {
+    "schema": 1,
+    "protocol": {"kind": "four-state"},
+    "n": 120,
+    "epsilon": 0.2,
+    "num_trials": 2,
+    "seed": 7,
+}
+
+
+def small_spec(**overrides) -> dict:
+    """A fast four-state point; override fields to vary the key."""
+    return {**SMALL_SPEC, **overrides}
+
+
+@pytest.fixture
+def service(tmp_path):
+    """A started service over a fresh store; stopped at teardown."""
+    config = ServiceConfig(output_dir=str(tmp_path), num_workers=2,
+                           queue_size=8)
+    svc = SimulationService(config=config)
+    svc.start()
+    yield svc
+    svc.stop(graceful=False)
+
+
+@pytest.fixture
+def client(service):
+    return AsgiClient(make_app(service))

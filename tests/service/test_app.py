@@ -1,0 +1,191 @@
+"""End-to-end ASGI routes: submit, status, list, trace, errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runstore.fingerprint import fingerprint
+from repro.sim.run import RunSpec
+from repro.telemetry import validate_trace_file
+
+from .conftest import small_spec
+
+
+def engine_total(service) -> float:
+    """Total engine.* counter mass the service has observed."""
+    return sum(r["value"] for r in service.sink.records
+               if r["kind"] == "counter"
+               and r["name"].startswith("engine."))
+
+
+class TestSubmit:
+    def test_submit_and_wait_returns_result(self, client):
+        response = client.post_json("/runs?wait=60", small_spec())
+        assert response.status == 200
+        view = response.json()
+        assert view["status"] == "done" and view["cached"] is False
+        assert view["row"]["n"] == 120
+        expected = fingerprint(RunSpec.from_json(small_spec()).key())
+        assert view["id"] == expected
+
+    def test_submit_without_wait_is_accepted(self, client):
+        response = client.post_json("/runs", small_spec(seed=123))
+        assert response.status == 202
+        view = response.json()
+        assert view["status"] in ("queued", "running")
+        assert view["links"]["self"] == f"/runs/{view['id']}"
+        done = client.get(f"/runs/{view['id']}?wait=60").json()
+        assert done["status"] == "done"
+
+    def test_cached_resubmit_runs_no_engine(self, service, client):
+        client.post_json("/runs?wait=60", small_spec())
+        before = engine_total(service)
+        response = client.post_json("/runs", small_spec())
+        view = response.json()
+        assert response.status == 200
+        assert view["status"] == "done" and view["cached"] is True
+        # The acceptance criterion: a cached POST /runs does zero
+        # engine work — not a single engine.* telemetry record.
+        assert engine_total(service) == before
+        assert service.sink.total("service.cache.hit") == 1
+
+    def test_cached_result_matches_fresh(self, client):
+        fresh = client.post_json("/runs?wait=60", small_spec()).json()
+        cached = client.post_json("/runs", small_spec()).json()
+        assert cached["row"] == fresh["row"]
+
+    def test_invalid_spec_is_422(self, client):
+        response = client.post_json("/runs", {"schema": 1, "n": 3})
+        assert response.status == 422
+        assert "protocol" in response.json()["error"]
+
+    def test_non_addressable_spec_is_422(self, client):
+        payload = {"schema": 1, "protocol": {"kind": "three-state"},
+                   "initial": {"A": 5, "B": 3}}
+        response = client.post_json("/runs", payload)
+        assert response.status == 422
+        assert "addressable" in response.json()["error"]
+
+    def test_bad_json_body_is_400(self, client):
+        response = client.request("POST", "/runs", body=b"{nope")
+        assert response.status == 400
+
+    def test_empty_body_is_400(self, client):
+        response = client.request("POST", "/runs")
+        assert response.status == 400
+
+    def test_rate_limit_answers_429(self, tmp_path):
+        from repro.service import (ServiceConfig, SimulationService,
+                                   make_app)
+        from .conftest import AsgiClient
+
+        service = SimulationService(config=ServiceConfig(
+            output_dir=str(tmp_path), rate_limit=0.001, rate_burst=1))
+        client = AsgiClient(make_app(service))
+        try:
+            first = client.post_json("/runs", small_spec())
+            assert first.status in (200, 202)
+            second = client.post_json("/runs", small_spec())
+            assert second.status == 429
+            assert int(second.headers["retry-after"]) >= 1
+        finally:
+            service.stop(graceful=False)
+
+    def test_queue_full_answers_429(self, tmp_path):
+        from repro.service import (ServiceConfig, SimulationService,
+                                   make_app)
+        from .conftest import AsgiClient
+
+        # No workers started: jobs stay queued, so capacity 1 fills
+        # after the first distinct spec.
+        service = SimulationService(config=ServiceConfig(
+            output_dir=str(tmp_path), queue_size=1))
+        client = AsgiClient(make_app(service))
+        first = client.post_json("/runs", small_spec(seed=1))
+        assert first.status == 202
+        second = client.post_json("/runs", small_spec(seed=2))
+        assert second.status == 429
+        assert "retry-after" in second.headers
+
+
+class TestStatusAndList:
+    def test_unknown_id_is_404(self, client):
+        assert client.get("/runs/" + "0" * 64).status == 404
+
+    def test_unknown_route_is_404(self, client):
+        assert client.get("/nope").status == 404
+
+    def test_wrong_method_is_405(self, client):
+        response = client.request("POST", "/stats")
+        assert response.status == 405
+        assert "GET" in response.headers["allow"]
+
+    def test_list_reports_jobs_and_store(self, client):
+        client.post_json("/runs?wait=60", small_spec())
+        listing = client.get("/runs?store=1").json()
+        assert listing["counts"]["done"] == 1
+        assert len(listing["committed"]) == 1
+        assert listing["committed"][0]["cached"] is True
+
+    def test_list_filters_by_status(self, client):
+        client.post_json("/runs?wait=60", small_spec())
+        assert client.get("/runs?status=failed").json()["jobs"] == []
+        done = client.get("/runs?status=done").json()["jobs"]
+        assert len(done) == 1
+
+    def test_get_from_store_after_restart(self, tmp_path, client,
+                                          service):
+        """A fresh service over the same store serves old results."""
+        from repro.service import (ServiceConfig, SimulationService,
+                                   make_app)
+        from .conftest import AsgiClient
+
+        view = client.post_json("/runs?wait=60", small_spec()).json()
+        reborn = SimulationService(config=ServiceConfig(
+            output_dir=str(tmp_path)))
+        fresh_client = AsgiClient(make_app(reborn))
+        cached = fresh_client.get(f"/runs/{view['id']}")
+        assert cached.status == 200
+        assert cached.json()["row"] == view["row"]
+        assert cached.json()["cached"] is True
+
+    def test_stats_and_healthz(self, client):
+        assert client.get("/healthz").json() == {"status": "ok"}
+        client.post_json("/runs?wait=60", small_spec())
+        stats = client.get("/stats").json()
+        assert stats["queue"]["done"] == 1
+        assert stats["counters"]["service.enqueued"] == 1
+        assert stats["store"]["committed_points"] == 1
+
+
+class TestTrace:
+    def test_trace_streams_valid_jsonl(self, service, client,
+                                       tmp_path):
+        view = client.post_json("/runs?wait=60", small_spec()).json()
+        response = client.get(f"/runs/{view['id']}/trace")
+        assert response.status == 200
+        assert response.headers["content-type"] == \
+            "application/x-ndjson"
+        lines = response.lines()
+        assert lines, "trace stream was empty"
+        # The streamed bytes are a valid trace file.
+        streamed = tmp_path / "streamed.jsonl"
+        streamed.write_text("\n".join(lines) + "\n")
+        counts = validate_trace_file(streamed)
+        assert counts["counter"] >= 1
+
+    def test_trace_contains_engine_records(self, client):
+        view = client.post_json("/runs?wait=60", small_spec()).json()
+        lines = client.get(f"/runs/{view['id']}/trace").lines()
+        assert any('"engine.' in line for line in lines)
+
+    def test_trace_for_unknown_id_is_404(self, client):
+        assert client.get("/runs/" + "0" * 64 + "/trace").status == 404
+
+    def test_no_trace_for_cache_only_result(self, service, client):
+        """A result whose trace is gone answers 404, not a hang."""
+        view = client.post_json("/runs?wait=60", small_spec()).json()
+        service.store.service_trace_path(view["id"]).unlink()
+        cached = client.post_json("/runs", small_spec())
+        assert cached.json()["cached"] is True
+        assert client.get(f"/runs/{view['id']}/trace").status == 404

@@ -1,0 +1,70 @@
+"""The coalescing acceptance test: N duplicate POSTs, one simulation."""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+from .conftest import small_spec
+
+
+def test_concurrent_identical_posts_run_one_simulation(service, client):
+    """64 simultaneous POST /runs of one uncached spec:
+
+    * every request gets the same job id and (after waiting) the same
+      result row;
+    * exactly one simulation executes — asserted via the ``engine.runs``
+      telemetry counter, which counts engine invocations, and via the
+      job's coalesced-submission count.
+    """
+    spec = small_spec(seed=999)
+    requests = 64
+
+    def submit(_):
+        return client.post_json("/runs?wait=120", spec).json()
+
+    with ThreadPoolExecutor(max_workers=requests) as pool:
+        views = list(pool.map(submit, range(requests)))
+
+    ids = {view["id"] for view in views}
+    assert len(ids) == 1, f"expected one job id, got {ids}"
+    job_id = ids.pop()
+
+    done = client.get(f"/runs/{job_id}?wait=120").json()
+    assert done["status"] == "done"
+    rows = {str(view.get("row", done["row"])) for view in views
+            if view["status"] == "done"}
+    assert rows == {str(done["row"])}
+
+    # One engine invocation per trial chunk of ONE point — the spec
+    # has 2 trials in a single chunk, so exactly one engine.runs
+    # increment batch happened, not 64.
+    engine_runs = service.sink.total("engine.runs")
+    assert engine_runs == spec["num_trials"], (
+        f"expected {spec['num_trials']} engine trial runs for one "
+        f"simulated point, got {engine_runs}")
+
+    # The queue saw all 64 submissions ride one job.
+    job = service.queue.get(job_id)
+    coalesced = service.sink.total("service.coalesced")
+    enqueued = service.sink.total("service.enqueued")
+    cache_hits = service.sink.total("service.cache.hit")
+    assert enqueued == 1
+    assert job.submissions + cache_hits == requests
+    assert coalesced == job.submissions - 1
+    assert service.store.get(job_id) is not None
+
+
+def test_concurrent_distinct_specs_all_run(service, client):
+    """Different seeds are different fingerprints: no false sharing."""
+    seeds = list(range(5))
+
+    def submit(seed):
+        return client.post_json("/runs?wait=120",
+                                small_spec(seed=seed)).json()
+
+    with ThreadPoolExecutor(max_workers=len(seeds)) as pool:
+        views = list(pool.map(submit, seeds))
+
+    assert len({view["id"] for view in views}) == len(seeds)
+    assert all(view["status"] == "done" for view in views)
+    assert service.sink.total("service.enqueued") == len(seeds)

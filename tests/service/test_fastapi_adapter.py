@@ -1,0 +1,55 @@
+"""Optional FastAPI adapter: gated import, identical semantics.
+
+The whole module is skipped when FastAPI is not installed (the core
+service is stdlib-only; the adapter is a deployment convenience).
+The gating behaviour itself is tested unconditionally.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import ServiceConfig, SimulationService
+from repro.service.fastapi_adapter import (
+    fastapi_available,
+    make_fastapi_app,
+)
+
+from .conftest import small_spec
+
+
+def test_missing_fastapi_raises_clear_error(tmp_path, monkeypatch):
+    from repro.errors import ReproError
+    from repro.service import fastapi_adapter
+
+    monkeypatch.setattr(fastapi_adapter, "fastapi", None)
+    service = SimulationService(config=ServiceConfig(
+        output_dir=str(tmp_path)))
+    with pytest.raises(ReproError, match="fastapi"):
+        fastapi_adapter.make_fastapi_app(service)
+
+
+pytestmark_needs_fastapi = pytest.mark.skipif(
+    not fastapi_available(), reason="fastapi is not installed")
+
+
+@pytestmark_needs_fastapi
+def test_fastapi_app_serves_runs(tmp_path):
+    from fastapi.testclient import TestClient
+
+    service = SimulationService(config=ServiceConfig(
+        output_dir=str(tmp_path), num_workers=1))
+    app = make_fastapi_app(service)
+    with TestClient(app) as client:
+        response = client.post("/runs?wait=120", json=small_spec())
+        assert response.status_code == 200
+        view = response.json()
+        assert view["status"] == "done"
+
+        cached = client.post("/runs", json=small_spec())
+        assert cached.status_code == 200
+        assert cached.json()["cached"] is True
+
+        assert client.get("/healthz").json() == {"status": "ok"}
+        assert client.post("/runs", json={"schema": 1}).status_code \
+            == 422

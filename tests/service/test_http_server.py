@@ -1,0 +1,83 @@
+"""Socket-level smoke for the stdlib HTTP bridge (`python -m repro
+serve` runs this exact stack)."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import make_app
+from repro.service.http import start_in_thread
+
+from .conftest import small_spec
+
+
+@pytest.fixture
+def base_url(service):
+    server, base = start_in_thread(make_app(service))
+    yield base
+    server.shutdown()
+    server.server_close()
+
+
+def post_json(url, payload):
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode(),
+        headers={"content-type": "application/json"}, method="POST")
+    with urllib.request.urlopen(request, timeout=120) as response:
+        return response.status, json.loads(response.read())
+
+
+def test_full_cycle_over_a_real_socket(service, base_url):
+    spec = small_spec(seed=77)
+    status, view = post_json(base_url + "/runs?wait=120", spec)
+    assert status == 200 and view["status"] == "done"
+
+    # Warm-cache resubmit: 200, cached, zero additional engine work.
+    engine_before = service.sink.total("engine.runs")
+    status, cached = post_json(base_url + "/runs", spec)
+    assert status == 200 and cached["cached"] is True
+    assert cached["row"] == view["row"]
+    assert service.sink.total("engine.runs") == engine_before
+
+    # The trace endpoint streams chunked NDJSON over the same socket.
+    with urllib.request.urlopen(
+            base_url + f"/runs/{view['id']}/trace",
+            timeout=30) as response:
+        assert response.headers["content-type"] == \
+            "application/x-ndjson"
+        lines = [line for line in
+                 response.read().decode().splitlines() if line]
+    assert json.loads(lines[0])["kind"] == "trace-header"
+    assert any('"engine.' in line for line in lines)
+
+    with urllib.request.urlopen(base_url + "/healthz",
+                                timeout=30) as response:
+        assert json.loads(response.read()) == {"status": "ok"}
+
+
+def test_http_error_statuses(base_url):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        post_json(base_url + "/runs", {"schema": 1})
+    assert excinfo.value.code == 422
+    body = json.loads(excinfo.value.read())
+    assert body["status"] == 422
+
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(base_url + "/runs/" + "0" * 64,
+                               timeout=30)
+    assert excinfo.value.code == 404
+
+
+def test_serve_subcommand_is_wired():
+    from repro.experiments.cli import _SUBCOMMANDS
+    from repro.service import cli as serve_cli
+
+    assert _SUBCOMMANDS["serve"] is serve_cli.main
+    parser = serve_cli.build_parser()
+    args = parser.parse_args(["--port", "9999", "--workers", "3",
+                              "--rate-limit", "5"])
+    assert (args.port, args.workers, args.rate_limit) == (9999, 3, 5.0)

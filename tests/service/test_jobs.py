@@ -1,0 +1,135 @@
+"""JobQueue and RateLimiter unit behaviour (no workers, no HTTP)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import Job, JobQueue, QueueFullError, RateLimiter
+from repro.service.errors import RateLimitedError
+
+
+def make_job(job_id="f" * 64, **payload):
+    return Job(id=job_id, spec=None,
+               payload={"protocol": {"kind": "four-state"}, "n": 10,
+                        **payload})
+
+
+class TestJobQueue:
+    def test_submit_then_claim(self):
+        queue = JobQueue(capacity=4)
+        job, created = queue.submit(make_job)
+        assert created and job.status == "queued"
+        claimed = queue.next_job(timeout=0)
+        assert claimed is job and claimed.status == "running"
+
+    def test_duplicate_coalesces(self):
+        queue = JobQueue(capacity=4)
+        first, created_first = queue.submit(make_job)
+        second, created_second = queue.submit(make_job)
+        assert created_first and not created_second
+        assert second is first and first.submissions == 2
+        # Only one queued entry exists for the pair.
+        assert queue.depth() == 1
+
+    def test_running_job_still_coalesces(self):
+        queue = JobQueue(capacity=4)
+        queue.submit(make_job)
+        job = queue.next_job(timeout=0)
+        again, created = queue.submit(make_job)
+        assert again is job and not created
+        assert job.status == "running"
+
+    def test_done_job_does_not_coalesce(self):
+        queue = JobQueue(capacity=4)
+        queue.submit(make_job)
+        job = queue.next_job(timeout=0)
+        queue.mark_done(job, {"n": 10}, None)
+        fresh, created = queue.submit(make_job)
+        assert created and fresh is not job
+
+    def test_capacity_bound(self):
+        queue = JobQueue(capacity=2, retry_after=3.5)
+        queue.submit(lambda: make_job("a" * 64))
+        queue.submit(lambda: make_job("b" * 64))
+        with pytest.raises(QueueFullError) as excinfo:
+            queue.submit(lambda: make_job("c" * 64))
+        assert excinfo.value.retry_after == 3.5
+        assert excinfo.value.status == 429
+
+    def test_requeue_goes_to_front_and_skips_capacity(self):
+        queue = JobQueue(capacity=1)
+        queue.submit(lambda: make_job("a" * 64))
+        interrupted = queue.next_job(timeout=0)
+        queue.submit(lambda: make_job("b" * 64))  # fills capacity
+        queue.requeue(interrupted)  # waived: it already held a slot
+        assert queue.next_job(timeout=0) is interrupted
+        assert interrupted.interruptions == 1
+
+    def test_done_event_set_on_completion(self):
+        queue = JobQueue(capacity=2)
+        queue.submit(make_job)
+        job = queue.next_job(timeout=0)
+        assert not job.done_event.is_set()
+        queue.mark_failed(job, "boom")
+        assert job.done_event.is_set()
+        assert job.status == "failed" and job.error == "boom"
+
+    def test_counts_and_forget(self):
+        queue = JobQueue(capacity=4)
+        queue.submit(lambda: make_job("a" * 64))
+        queue.submit(lambda: make_job("b" * 64))
+        job = queue.next_job(timeout=0)
+        queue.mark_done(job, {}, None)
+        counts = queue.counts()
+        assert counts["queued"] == 1 and counts["done"] == 1
+        queue.forget(job.id)
+        assert queue.get(job.id) is None
+        # Active jobs cannot be forgotten.
+        other = queue.jobs("queued")[0]
+        queue.forget(other.id)
+        assert queue.get(other.id) is other
+
+    def test_empty_claim_times_out(self):
+        queue = JobQueue(capacity=1)
+        assert queue.next_job(timeout=0.01) is None
+
+
+class TestRateLimiter:
+    def test_disabled_always_passes(self):
+        limiter = RateLimiter(None)
+        for _ in range(1000):
+            limiter.check("anyone")
+
+    def test_burst_then_reject(self):
+        clock = FakeClock()
+        limiter = RateLimiter(1.0, burst=2, clock=clock)
+        limiter.check("alice")
+        limiter.check("alice")
+        with pytest.raises(RateLimitedError) as excinfo:
+            limiter.check("alice")
+        assert excinfo.value.retry_after == pytest.approx(1.0)
+        # A different client has its own bucket.
+        limiter.check("bob")
+
+    def test_refill_over_time(self):
+        clock = FakeClock()
+        limiter = RateLimiter(2.0, burst=1, clock=clock)
+        limiter.check("alice")
+        with pytest.raises(RateLimitedError):
+            limiter.check("alice")
+        clock.now += 0.5  # one token at 2/s
+        limiter.check("alice")
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            RateLimiter(0.0)
+        with pytest.raises(ValueError):
+            RateLimiter(1.0, burst=-1)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
