@@ -47,14 +47,18 @@ from .protocols import (
     MAJORITY_A,
     MAJORITY_B,
     UNDECIDED,
+    FieldSpec,
     FourStateProtocol,
     IntervalConsensusProtocol,
     LeveledLeaderElection,
+    LogStateMajorityProtocol,
     MajorityProtocol,
     PairwiseLeaderElection,
     MajorityTableProtocol,
+    PhaseDoublingProtocol,
     PopulationProtocol,
     ProductProtocol,
+    StructuredProtocol,
     TableProtocol,
     ThreeStateProtocol,
     VoterProtocol,
@@ -102,6 +106,10 @@ __all__ = [
     # protocols
     "PopulationProtocol",
     "MajorityProtocol",
+    "StructuredProtocol",
+    "FieldSpec",
+    "PhaseDoublingProtocol",
+    "LogStateMajorityProtocol",
     "ThreeStateProtocol",
     "FourStateProtocol",
     "IntervalConsensusProtocol",

@@ -63,7 +63,6 @@ class AVCProtocol(MajorityProtocol):
                  params: AVCParams | None = None):
         self.params = params if params is not None else AVCParams(m=m, d=d)
         self.name = f"avc(m={self.params.m},d={self.params.d})"
-        self._states = enumerate_states(self.params)
 
     @classmethod
     def with_num_states(cls, s: int, d: int = 1) -> "AVCProtocol":
@@ -80,9 +79,8 @@ class AVCProtocol(MajorityProtocol):
         """Number of graded intermediate levels."""
         return self.params.d
 
-    @property
-    def states(self) -> tuple[AVCState, ...]:
-        return self._states
+    def enumerate_states(self) -> tuple[AVCState, ...]:
+        return enumerate_states(self.params)
 
     def initial_state(self, symbol: str) -> AVCState:
         if symbol == self.INPUT_A:

@@ -25,6 +25,7 @@ from . import (
     report,
     phases,
     robustness,
+    successors,
     topology,
     figure3,
     figure4,
@@ -44,6 +45,7 @@ _SUBCOMMANDS = {
     "four-state-census": four_state_census.main,
     "phases": phases.main,
     "robustness": robustness.main,
+    "successors": successors.main,
     "topology": topology.main,
     "leader-election": leader.main,
     "report": report.main,
@@ -74,8 +76,9 @@ def main(argv=None) -> int:
     if args.experiment == "all":
         status = 0
         for name in ("figure3", "figure4", "ablation-d", "phases",
-                     "topology", "robustness", "leader-election",
-                     "info-propagation", "four-state-census", "report"):
+                     "topology", "robustness", "successors",
+                     "leader-election", "info-propagation",
+                     "four-state-census", "report"):
             print(f"\n=== {name} ===", flush=True)
             status = _SUBCOMMANDS[name](list(rest)) or status
         return status

@@ -70,6 +70,13 @@ class Scale:
     robustness_horizon: float = 8.0
     robustness_budget: int = 200_000
 
+    #: successors: AVC vs. phase-clocked successor protocols.
+    #: Populations are even multiples of 20 so ``epsilon * n`` splits
+    #: into integer counts at every scale's margin.
+    successors_populations: tuple[int, ...] = (200, 2000, 20_000)
+    successors_trials: int = 25
+    successors_epsilon: float = 0.1
+
 
 SCALES: dict[str, Scale] = {
     "smoke": Scale(
@@ -95,6 +102,9 @@ SCALES: dict[str, Scale] = {
         robustness_rates=(0.0, 0.01, 0.05),
         robustness_horizon=4.0,
         robustness_budget=20_000,
+        successors_populations=(100, 400),
+        successors_trials=5,
+        successors_epsilon=0.2,
     ),
     "default": Scale(name="default"),
     "paper": Scale(
@@ -121,6 +131,9 @@ SCALES: dict[str, Scale] = {
         robustness_rates=(0.0, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05),
         robustness_horizon=10.0,
         robustness_budget=2_000_000,
+        successors_populations=(200, 2000, 20_000, 200_000),
+        successors_trials=101,
+        successors_epsilon=0.1,
     ),
 }
 

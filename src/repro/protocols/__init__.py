@@ -6,18 +6,22 @@ abstraction, the published baselines it is compared against, and
 table-driven protocols for ad-hoc definitions.
 """
 
+from . import registry
 from .base import (
     MAJORITY_A,
     MAJORITY_B,
     UNDECIDED,
+    FieldSpec,
     MajorityProtocol,
     PopulationProtocol,
+    StructuredProtocol,
 )
 from .compose import ProductProtocol
 from .dsl import parse_protocol
 from .four_state import FourStateProtocol
 from .interval_consensus import IntervalConsensusProtocol
 from .leader_election import LeveledLeaderElection, PairwiseLeaderElection
+from .successors import LogStateMajorityProtocol, PhaseDoublingProtocol
 from .table import MajorityTableProtocol, TableProtocol
 from .three_state import ThreeStateProtocol
 from .validate import validate_protocol
@@ -27,7 +31,9 @@ __all__ = [
     "MAJORITY_A",
     "MAJORITY_B",
     "UNDECIDED",
+    "FieldSpec",
     "PopulationProtocol",
+    "StructuredProtocol",
     "MajorityProtocol",
     "ThreeStateProtocol",
     "FourStateProtocol",
@@ -37,7 +43,10 @@ __all__ = [
     "VoterProtocol",
     "TableProtocol",
     "MajorityTableProtocol",
+    "PhaseDoublingProtocol",
+    "LogStateMajorityProtocol",
     "validate_protocol",
     "parse_protocol",
     "ProductProtocol",
+    "registry",
 ]

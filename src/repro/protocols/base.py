@@ -12,36 +12,67 @@ This module defines:
 * :class:`PopulationProtocol` -- the abstract interface every protocol
   in the library implements.  States may be arbitrary hashable objects;
   engines address them through dense integer indices for speed.
+* :class:`StructuredProtocol` -- protocols whose states are tuples of
+  typed fields (``phase x level x opinion``-style products), with the
+  state space declared as :class:`FieldSpec` domains plus a validity
+  predicate and enumerated lazily on first use.
 * :class:`MajorityProtocol` -- the specialization for two-input majority
   (inputs ``"A"`` / ``"B"``, outputs ``1`` / ``0``), with helpers to
   build initial configurations from ``(n, epsilon)`` or ``(count_a,
   count_b)``.
 
+State enumeration is *lazy*: subclasses implement
+:meth:`PopulationProtocol.enumerate_states` and the ``states`` tuple,
+index maps, dense transition tables, and output arrays are
+materialized on demand and cached.  Materializing the states tuple
+emits a ``protocol.states_materialized`` telemetry counter, so sweeps
+can audit which protocols ever paid for eager enumeration.
+Overriding the ``states`` property directly (the historical eager
+pattern) still works through a compatibility shim but raises
+:class:`DeprecationWarning` at class-definition time.
+
 Engines never call :meth:`PopulationProtocol.transition` directly in
 their inner loops; they use :meth:`transition_index`, which is memoized
-per ordered index pair, or :meth:`transition_matrix`, which materializes
-the full ``s x s`` table for vectorized engines.
+per ordered index pair (the sparse path — only reachable pairs are
+ever computed), or :meth:`transition_matrix`, which materializes the
+full ``s x s`` table for vectorized engines and is guarded by
+:data:`MAX_DENSE_STATES` so structured products too large to densify
+fail fast with a capability error instead of allocating gigabytes.
 """
 
 from __future__ import annotations
 
+import itertools
+import warnings
 from abc import ABC, abstractmethod
-from collections.abc import Hashable, Mapping, Sequence
+from collections.abc import Hashable, Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..errors import InvalidParameterError, InvalidStateError, ProtocolError
+from ..telemetry.context import current as current_telemetry
 
 __all__ = [
     "State",
+    "FieldSpec",
     "PopulationProtocol",
+    "StructuredProtocol",
     "MajorityProtocol",
     "MAJORITY_A",
     "MAJORITY_B",
     "UNDECIDED",
+    "MAX_DENSE_STATES",
 ]
 
 State = Hashable
+
+#: Largest state space for which the dense ``s x s`` transition tables
+#: may be materialized.  Structured products beyond this stay on the
+#: sparse per-pair path (:meth:`PopulationProtocol.transition_index`);
+#: engines that require dense tables reject such protocols with a
+#: capability error (see :meth:`PopulationProtocol.supports_dense_tables`).
+MAX_DENSE_STATES = 4096
 
 # Output conventions for majority protocols (the paper's Y = {0, 1}).
 MAJORITY_A = 1  #: output value meaning "initial majority was A"
@@ -52,9 +83,11 @@ UNDECIDED = None  #: pseudo-output for states that do not yet map to a decision
 class PopulationProtocol(ABC):
     """Abstract base class for population protocols.
 
-    Subclasses must provide the state space, the transition function,
-    and the output function.  The base class derives index-based views
-    used by all simulation engines.
+    Subclasses provide the state space through
+    :meth:`enumerate_states` (lazy — nothing is materialized until an
+    engine asks), the transition function, and the output function.
+    The base class derives index-based views used by all simulation
+    engines.
 
     Subclasses should treat their state space as immutable after
     construction: the index maps and memoized transition tables are
@@ -63,6 +96,21 @@ class PopulationProtocol(ABC):
 
     #: Human-readable protocol name (subclasses override).
     name: str = "protocol"
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        # Compatibility shim for the historical eager pattern: a
+        # subclass that overrides the ``states`` property directly
+        # (instead of implementing enumerate_states) keeps working
+        # bit-identically — its property simply shadows the lazy base
+        # accessor — but the pattern is deprecated.
+        if "states" in cls.__dict__ and "enumerate_states" not in cls.__dict__:
+            warnings.warn(
+                f"{cls.__name__} overrides PopulationProtocol.states "
+                f"directly; implement enumerate_states() instead — "
+                f"direct states-tuple construction is deprecated "
+                f"(see docs/protocols.md)",
+                DeprecationWarning, stacklevel=2)
 
     #: True when :meth:`is_settled` is exactly "all agents share one
     #: defined output".  Lets engines track convergence in O(1) per
@@ -81,10 +129,16 @@ class PopulationProtocol(ABC):
     # Interface to implement
     # ------------------------------------------------------------------
 
-    @property
-    @abstractmethod
-    def states(self) -> tuple[State, ...]:
-        """The ordered tuple of all states (defines index order)."""
+    def enumerate_states(self) -> Iterable[State]:
+        """Yield every state in index order (lazy, computed on demand).
+
+        The enumeration order is the contract: it defines the dense
+        index of every state, which in turn pins the RNG streams of
+        every engine.  Implementations must be deterministic.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement enumerate_states() "
+            "(or, deprecated, override the states property)")
 
     @abstractmethod
     def transition(self, x: State, y: State) -> tuple[State, State]:
@@ -115,9 +169,51 @@ class PopulationProtocol(ABC):
     # ------------------------------------------------------------------
 
     @property
+    def states(self) -> tuple[State, ...]:
+        """The ordered tuple of all states (defines index order).
+
+        Materialized lazily from :meth:`enumerate_states` on first
+        access and cached; the materialization is reported through the
+        ``protocol.states_materialized`` telemetry counter so sweeps
+        can audit eager enumeration.  Code that only needs membership
+        or reachability should prefer :meth:`is_state` and the sparse
+        accessors, which never force the full tuple.
+        """
+        cached = getattr(self, "_states_cache", None)
+        if cached is None:
+            cached = tuple(self.enumerate_states())
+            self._states_cache = cached
+            telemetry = current_telemetry()
+            if telemetry.enabled:
+                telemetry.count("protocol.states_materialized",
+                                len(cached), protocol=self.name)
+        return cached
+
+    @property
     def num_states(self) -> int:
         """Number of states ``s = |Q|``."""
         return len(self.states)
+
+    def is_state(self, state: State) -> bool:
+        """Whether ``state`` belongs to the state space.
+
+        The default materializes the index map; structured protocols
+        override this with a field-domain check so reachability walks
+        (see :func:`repro.protocols.validate.reachable_closure`) never
+        force the full product.
+        """
+        return state in self.state_index
+
+    @property
+    def supports_dense_tables(self) -> bool:
+        """Whether the ``s x s`` dense tables may be materialized.
+
+        Engines that vectorize through :meth:`transition_matrix`
+        (ensemble family, JIT kernels) check this up front and reject
+        oversized protocols with a capability error, steering callers
+        to the sparse count/agent paths.
+        """
+        return self.num_states <= MAX_DENSE_STATES
 
     @property
     def state_index(self) -> dict[State, int]:
@@ -175,11 +271,12 @@ class PopulationProtocol(ABC):
         cached = getattr(self, "_transition_matrix_cache", None)
         if cached is None:
             s = self.num_states
-            if s > 4096:
+            if not self.supports_dense_tables:
                 raise ProtocolError(
                     f"{self.name}: refusing to materialize a {s}x{s} "
-                    "transition table; use transition_index() for large "
-                    "state spaces")
+                    f"transition table (> {MAX_DENSE_STATES} states); "
+                    "use transition_index() or iter_transition_rows() "
+                    "for large state spaces")
             out_x = np.empty((s, s), dtype=np.int64)
             out_y = np.empty((s, s), dtype=np.int64)
             for i in range(s):
@@ -190,6 +287,32 @@ class PopulationProtocol(ABC):
             cached = (out_x, out_y)
             self._transition_matrix_cache = cached
         return cached
+
+    def iter_transition_rows(self, block: int = 256
+                             ) -> Iterator[tuple[slice, np.ndarray,
+                                                 np.ndarray]]:
+        """Chunked transition-table rows: ``(rows, out_x, out_y)``.
+
+        Yields blocks of at most ``block`` initiator rows with the
+        corresponding ``(len(rows), s)`` index tables.  Peak memory is
+        ``O(block * s)`` instead of ``O(s^2)``, so consumers that scan
+        the table once (validators, sparse analyses, out-of-core
+        kernels) can handle structured products beyond the
+        :data:`MAX_DENSE_STATES` dense guard.
+        """
+        if block < 1:
+            raise InvalidParameterError(
+                f"block must be >= 1, got {block}")
+        s = self.num_states
+        for start in range(0, s, block):
+            stop = min(start + block, s)
+            out_x = np.empty((stop - start, s), dtype=np.int64)
+            out_y = np.empty((stop - start, s), dtype=np.int64)
+            for i in range(start, stop):
+                for j in range(s):
+                    out_x[i - start, j], out_y[i - start, j] = \
+                        self.transition_index(i, j)
+            yield slice(start, stop), out_x, out_y
 
     def make_batch_kernel(self):
         """A vectorized pairwise-transition kernel, memoized per instance.
@@ -271,14 +394,165 @@ class PopulationProtocol(ABC):
         processes would only bloat the payload.
         """
         state = self.__dict__.copy()
-        for key in ("_state_index_cache", "_transition_cache",
-                    "_transition_matrix_cache", "_output_array_cache",
-                    "_batch_kernel_cache"):
+        for key in ("_states_cache", "_state_index_cache",
+                    "_transition_cache", "_transition_matrix_cache",
+                    "_output_array_cache", "_batch_kernel_cache"):
             state.pop(key, None)
         return state
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r} s={self.num_states}>"
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One typed field of a structured state: a name and its domain.
+
+    The domain order matters: composite states enumerate in
+    lexicographic field order, which pins the dense index order and
+    therefore every engine's RNG stream.
+    """
+
+    name: str
+    values: tuple
+
+    def __post_init__(self):
+        if not self.name or not isinstance(self.name, str):
+            raise InvalidParameterError(
+                f"field name must be a non-empty string, "
+                f"got {self.name!r}")
+        values = tuple(self.values)
+        if not values:
+            raise InvalidParameterError(
+                f"field {self.name!r} has an empty domain")
+        if len(set(values)) != len(values):
+            raise InvalidParameterError(
+                f"field {self.name!r} has duplicate domain values")
+        object.__setattr__(self, "values", values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class StructuredProtocol(PopulationProtocol):
+    """A protocol whose states are tuples of typed fields.
+
+    Modern phase-clocked protocols carry product states such as
+    ``(clock, opinion, level)``; enumerating the full product eagerly
+    explodes for ``O(log n)``-per-field domains.  This base class
+    declares the state space as a tuple of :class:`FieldSpec` domains
+    plus an optional validity predicate and derives everything else
+    lazily:
+
+    * :meth:`enumerate_states` walks the field product in
+      lexicographic order, keeping only :meth:`is_valid_state`
+      combinations — the pruned set is what engines index;
+    * :meth:`is_state` checks field membership *without* materializing
+      anything, so reachable-set validation stays cheap;
+    * the dense tables (:meth:`transition_matrix` and friends) remain
+      lazy and guarded exactly as for flat protocols.
+
+    Subclasses call ``super().__init__(fields)`` with their field
+    specs and implement ``transition`` / ``output`` / ``is_settled``
+    over plain state tuples (unpack the fields positionally).
+    """
+
+    def __init__(self, fields: Sequence[FieldSpec]):
+        fields = tuple(fields)
+        if not fields:
+            raise InvalidParameterError(
+                f"{type(self).__name__}: at least one field is required")
+        names = [f.name for f in fields]
+        if len(set(names)) != len(names):
+            raise InvalidParameterError(
+                f"{type(self).__name__}: duplicate field names {names}")
+        self._fields = fields
+        self._field_pos = {f.name: i for i, f in enumerate(fields)}
+        self._field_sets = tuple(frozenset(f.values) for f in fields)
+
+    @property
+    def fields(self) -> tuple[FieldSpec, ...]:
+        """The typed fields, in tuple-position order."""
+        return self._fields
+
+    def is_valid_state(self, state: tuple) -> bool:
+        """Whether a field combination is part of the state space.
+
+        Override to prune the raw product (e.g. role-dependent fields
+        where a follower carries no clock).  Must be deterministic.
+        """
+        return True
+
+    def enumerate_states(self) -> Iterator[tuple]:
+        """Lazily yield valid field tuples in lexicographic order."""
+        domains = [f.values for f in self._fields]
+        return (state for state in itertools.product(*domains)
+                if self.is_valid_state(state))
+
+    def is_state(self, state: State) -> bool:
+        """Field-domain membership check; never materializes states."""
+        if not isinstance(state, tuple) or len(state) != len(self._fields):
+            return False
+        if any(value not in domain
+               for value, domain in zip(state, self._field_sets)):
+            return False
+        return self.is_valid_state(state)
+
+    @property
+    def product_size(self) -> int:
+        """Size of the *unpruned* field product (cheap, closed form).
+
+        ``num_states <= product_size``; the gap is what the validity
+        predicate prunes.  Useful for deciding whether enumeration is
+        affordable before forcing it.
+        """
+        size = 1
+        for field in self._fields:
+            size *= len(field)
+        return size
+
+    # ------------------------------------------------------------------
+    # Field helpers (used by tests, analysis, and protocol authors)
+    # ------------------------------------------------------------------
+
+    def field_index(self, name: str) -> int:
+        """Tuple position of the field called ``name``."""
+        try:
+            return self._field_pos[name]
+        except KeyError:
+            raise InvalidParameterError(
+                f"{self.name}: unknown field {name!r}; fields are "
+                f"{[f.name for f in self._fields]}") from None
+
+    def field_value(self, state: tuple, name: str):
+        """The value of field ``name`` inside a state tuple."""
+        return state[self.field_index(name)]
+
+    def make_state(self, **field_values) -> tuple:
+        """Build (and validate) a state tuple from named field values."""
+        unknown = set(field_values) - set(self._field_pos)
+        if unknown:
+            raise InvalidParameterError(
+                f"{self.name}: unknown field(s) {sorted(unknown)}")
+        missing = set(self._field_pos) - set(field_values)
+        if missing:
+            raise InvalidParameterError(
+                f"{self.name}: missing field(s) {sorted(missing)}")
+        state = tuple(field_values[f.name] for f in self._fields)
+        if not self.is_state(state):
+            raise InvalidStateError(
+                f"{state!r} is not a state of protocol {self.name}")
+        return state
+
+    def marginal_counts(self, counts: Mapping[State, int],
+                        name: str) -> dict:
+        """Project a configuration onto one field (summing counts)."""
+        position = self.field_index(name)
+        marginal: dict = {}
+        for state, count in counts.items():
+            key = state[position]
+            marginal[key] = marginal.get(key, 0) + count
+        return marginal
 
 
 class MajorityProtocol(PopulationProtocol):

@@ -49,8 +49,6 @@ class ProductProtocol(PopulationProtocol):
         self.output_from = output_from
         self.require_both = require_both
         self.name = f"product({first.name}, {second.name})"
-        self._states = tuple((a, b) for a in first.states
-                             for b in second.states)
         # The product settles by unanimity only if the output
         # component does AND the other side never blocks settledness.
         self.unanimity_settles = False
@@ -58,9 +56,15 @@ class ProductProtocol(PopulationProtocol):
             getattr(first, "settled_support_only", True)
             and getattr(second, "settled_support_only", True))
 
-    @property
-    def states(self) -> tuple[State, ...]:
-        return self._states
+    def enumerate_states(self):
+        """Lazily yield component pairs in lexicographic order."""
+        return ((a, b) for a in self.first.states
+                for b in self.second.states)
+
+    def is_state(self, state: State) -> bool:
+        return (isinstance(state, tuple) and len(state) == 2
+                and self.first.is_state(state[0])
+                and self.second.is_state(state[1]))
 
     def transition(self, x: State, y: State) -> tuple[State, State]:
         (first_x, second_x), (first_y, second_y) = x, y

@@ -55,8 +55,7 @@ class FourStateProtocol(MajorityProtocol):
     name = "four-state"
     unanimity_settles = True
 
-    @property
-    def states(self) -> tuple[State, ...]:
+    def enumerate_states(self):
         return _STATES
 
     def initial_state(self, symbol: str) -> State:

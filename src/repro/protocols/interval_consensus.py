@@ -57,8 +57,7 @@ class IntervalConsensusProtocol(MajorityProtocol):
     name = "interval-consensus"
     unanimity_settles = True
 
-    @property
-    def states(self) -> tuple[State, ...]:
+    def enumerate_states(self):
         return _STATES
 
     def initial_state(self, symbol: str) -> State:

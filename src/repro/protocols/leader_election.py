@@ -86,8 +86,7 @@ class PairwiseLeaderElection(_LeaderElectionBase):
     _LEADER = "L"
     _STATES = (_LEADER, FOLLOWER)
 
-    @property
-    def states(self) -> tuple[State, ...]:
+    def enumerate_states(self):
         return self._STATES
 
     def initial_state(self) -> State:
@@ -112,11 +111,9 @@ class LeveledLeaderElection(_LeaderElectionBase):
                 f"levels must be >= 1, got {levels}")
         self.levels = levels
         self.name = f"leader-election(levels={levels})"
-        self._states = tuple(f"L{k}" for k in range(levels)) + (FOLLOWER,)
 
-    @property
-    def states(self) -> tuple[State, ...]:
-        return self._states
+    def enumerate_states(self):
+        return tuple(f"L{k}" for k in range(self.levels)) + (FOLLOWER,)
 
     def initial_state(self) -> State:
         return "L0"

@@ -1,0 +1,180 @@
+"""The protocol registry: name -> protocol factory.
+
+Mirrors :mod:`repro.sim.engines`: protocols register themselves under
+a name, experiment CLIs and the HTTP service resolve ``name + params``
+through :func:`create` instead of hard-coding constructors, and
+third-party code plugs in with :func:`register`.
+
+:class:`~repro.sim.run.RunSpec` accepts a registered name (or a
+``(name, params)`` pair) directly in its ``protocol`` field, and the
+service wire form accepts ``{"protocol": {"name": ..., "params":
+{...}}}`` — unknown names fail with
+:class:`~repro.errors.InvalidParameterError` listing the valid ones,
+which the service maps onto HTTP 422.
+
+Registry construction never changes fingerprints: :func:`create`
+returns ordinary protocol instances, and the run-store key is computed
+from :func:`repro.serialize.protocol_to_dict` of the *instance*, so
+``create("avc", {"m": 63})`` addresses exactly the same cache entries
+as ``AVCProtocol(m=63)``.
+
+Example — plugging in a custom protocol::
+
+    from repro.protocols import registry
+
+    registry.register("mine", lambda levels=3: MyProtocol(levels))
+    simulate(RunSpec(protocol=("mine", {"levels": 5}), ...))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import InvalidParameterError
+from .base import PopulationProtocol
+
+__all__ = [
+    "ProtocolEntry",
+    "register",
+    "unregister",
+    "get",
+    "available",
+    "create",
+]
+
+
+@dataclass(frozen=True)
+class ProtocolEntry:
+    """One registry row: a factory plus a one-line description."""
+
+    name: str
+    factory: Callable
+    description: str = ""
+
+
+_REGISTRY: dict[str, ProtocolEntry] = {}
+
+
+def register(name: str, factory: Callable, *, description: str = "",
+             replace: bool = False) -> None:
+    """Register ``factory`` as the protocol called ``name``.
+
+    ``factory(**params)`` must return a
+    :class:`~repro.protocols.base.PopulationProtocol`.  Re-registering
+    an existing name requires ``replace=True`` (guards against
+    accidental shadowing of the built-ins).
+    """
+    if not name or not isinstance(name, str):
+        raise InvalidParameterError(
+            f"protocol name must be a non-empty string, got {name!r}")
+    if not replace and name in _REGISTRY:
+        raise InvalidParameterError(
+            f"protocol {name!r} is already registered; pass "
+            "replace=True to override it")
+    _REGISTRY[name] = ProtocolEntry(name=name, factory=factory,
+                                    description=description)
+
+
+def unregister(name: str) -> None:
+    """Remove ``name`` from the registry (primarily for tests)."""
+    if name not in _REGISTRY:
+        raise InvalidParameterError(f"protocol {name!r} is not registered")
+    del _REGISTRY[name]
+
+
+def get(name: str) -> ProtocolEntry:
+    """The registry entry for ``name``; raises with the valid names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown protocol {name!r}; choose from {available()}"
+        ) from None
+
+
+def available() -> tuple[str, ...]:
+    """All registered protocol names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def create(name: str, params: dict | None = None) -> PopulationProtocol:
+    """Instantiate the protocol ``name`` with keyword ``params``.
+
+    Bad parameter *names* (a typo'd key, a missing required argument)
+    surface as :class:`InvalidParameterError` naming the protocol, so
+    service payloads fail with a 422 instead of a 500.
+    """
+    entry = get(name)
+    params = dict(params or {})
+    for key in params:
+        if not isinstance(key, str):
+            raise InvalidParameterError(
+                f"protocol {name!r}: parameter names must be strings, "
+                f"got {key!r}")
+    try:
+        protocol = entry.factory(**params)
+    except TypeError as error:
+        raise InvalidParameterError(
+            f"protocol {name!r} rejected params {sorted(params)}: "
+            f"{error}") from None
+    if not isinstance(protocol, PopulationProtocol):
+        raise InvalidParameterError(
+            f"protocol factory {name!r} returned "
+            f"{type(protocol).__name__}, not a PopulationProtocol")
+    return protocol
+
+
+# ----------------------------------------------------------------------
+# Built-in protocols
+# ----------------------------------------------------------------------
+
+def _make_avc(**params):
+    # Imported lazily: repro.core pulls in the vectorized AVC kernels,
+    # which callers resolving only baseline protocols should not pay
+    # for (and the late import keeps the package import graph acyclic).
+    from ..core.avc import AVCProtocol
+
+    return AVCProtocol(**params)
+
+
+def _register_builtins() -> None:
+    from .four_state import FourStateProtocol
+    from .interval_consensus import IntervalConsensusProtocol
+    from .leader_election import (
+        LeveledLeaderElection,
+        PairwiseLeaderElection,
+    )
+    from .successors import (
+        LogStateMajorityProtocol,
+        PhaseDoublingProtocol,
+    )
+    from .three_state import ThreeStateProtocol
+    from .voter import VoterProtocol
+
+    register("avc", _make_avc,
+             description="Average-and-Conquer exact majority "
+                         "(the paper's protocol; params m, d)")
+    register("three-state", ThreeStateProtocol,
+             description="3-state approximate majority [AAE08, PVV09]")
+    register("four-state", FourStateProtocol,
+             description="4-state exact majority [DV12, MNRS14]")
+    register("interval-consensus", IntervalConsensusProtocol,
+             description="general-graph exact 4-state majority [DV12]")
+    register("voter", VoterProtocol,
+             description="2-state voter model baseline")
+    register("leader-election", PairwiseLeaderElection,
+             description="folklore pairwise leader election")
+    register("leveled-leader-election", LeveledLeaderElection,
+             description="leveled leader election (param levels)")
+    register("phase-doubling", PhaseDoublingProtocol,
+             description="phase-clocked cancellation/doubling exact "
+                         "majority [arXiv:1805.05157] "
+                         "(params levels, theta)")
+    register("log-state", LogStateMajorityProtocol,
+             description="role-partitioned O(log n)-state exact "
+                         "majority [arXiv:2011.12633] "
+                         "(params levels, phase_len)")
+
+
+_register_builtins()

@@ -1,0 +1,387 @@
+"""Phase-clocked successors of AVC: the modern exact-majority zoo.
+
+The paper's AVC protocol (PODC 2015) opened a line of work that drove
+exact majority down to poly-logarithmic time with ``O(log n)`` states.
+The successors are all *phase-clocked*: agents carry a product state
+``clock x opinion x level`` in which a leaderless (or junta-driven)
+phase clock alternates **cancellation** phases (opposite tokens of
+equal weight annihilate) with **doubling** phases (surviving tokens
+split into two half-weight copies, recruiting idle agents), so the
+minority token mass halves every phase pair.  This module implements
+two of them on :class:`~repro.protocols.base.StructuredProtocol`:
+
+* :class:`PhaseDoublingProtocol` — the cancellation/doubling dynamics
+  of Berenbrink, Elsaesser, Friedetzky, Kaaser, Kling
+  (arXiv:1805.05157, ``O(log^{5/3} n)`` time), with a leaderless
+  circular-max phase clock carried by every agent.
+* :class:`LogStateMajorityProtocol` — the role-partitioned
+  ``O(log n)``-state design of Ben-Nun, Kopelowitz, Kraus, Porat
+  (arXiv:2011.12633, ``O(log^{3/2} n)`` time), in which *cancelled*
+  agents become the clock population (a synthetic junta), so the state
+  space is an additive union of roles instead of a full product —
+  exercised here as the showcase for ``is_valid_state`` pruning.
+
+Both are **exact**: every rule preserves the signed token mass
+
+    ``W = sum over tokens of  opinion * 2^(levels - level)``
+
+which starts at ``(count_a - count_b) * 2^levels != 0``, so a unanimous
+*minority* configuration is unreachable (it would need ``sign(W)``
+flipped) and tokens can never vanish entirely (that would need
+``W = 0``).  Cancellation and merging are deliberately *ungated* by the
+phase clock — the clock only gates splits — so correctness never
+depends on clock synchrony; the clock is purely an accelerant, exactly
+as in the source papers' "backup slow protocol" compositions.
+
+Both stabilize by unanimity: once every agent carries one opinion, no
+rule can reintroduce the other (cancellation needs opposite opinions,
+every other rule copies or keeps opinions), so ``unanimity_settles``
+holds and engines use their O(1) convergence tracking.
+
+These are faithful *dynamics* reproductions at simulation scale, not
+line-by-line transcriptions: the papers' w.h.p. analyses pick
+``levels ~ log2 n`` and clock constants from union bounds, which the
+classmethod :meth:`~PhaseDoublingProtocol.for_population` mirrors.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+
+from ..errors import InvalidParameterError
+from .base import (
+    MAJORITY_A,
+    MAJORITY_B,
+    FieldSpec,
+    MajorityProtocol,
+    State,
+    StructuredProtocol,
+)
+
+__all__ = [
+    "PhaseDoublingProtocol",
+    "LogStateMajorityProtocol",
+    "FOLLOWER_LEVEL",
+    "OPINION_A",
+    "OPINION_B",
+    "ROLE_TOKEN",
+    "ROLE_FOLLOWER",
+    "ROLE_CLOCK",
+]
+
+OPINION_A = 1
+OPINION_B = -1
+
+#: Sentinel level marking an agent that carries no token (a follower):
+#: it remembers an opinion for output purposes but owns zero weight.
+FOLLOWER_LEVEL = -1
+
+ROLE_TOKEN = "T"
+ROLE_FOLLOWER = "F"
+ROLE_CLOCK = "C"
+
+
+def _circular_clock(clock_x: int, clock_y: int, period: int) -> int:
+    """Leaderless phase-clock update: circular max with tick-on-equal.
+
+    Both agents move to the returned value.  On the circle
+    ``0 .. period-1`` the agent at most ``period // 2`` ahead (in
+    forward distance) wins; equal clocks tick forward by one.  Lagging
+    agents therefore catch up epidemically in ``O(log n)`` parallel
+    time while synchronized populations advance one tick per meeting —
+    the classic leaderless clock of the phase-doubling papers.
+    """
+    diff = (clock_y - clock_x) % period
+    if diff == 0:
+        return (clock_x + 1) % period
+    if diff <= period // 2:
+        return clock_y
+    return clock_x
+
+
+class PhaseDoublingProtocol(MajorityProtocol, StructuredProtocol):
+    """Exact majority by phase-clocked cancellation/doubling
+    [Berenbrink et al., arXiv:1805.05157].
+
+    States are ``(clock, opinion, level)`` tuples:
+
+    * ``clock`` in ``0 .. 2*theta - 1`` — the leaderless phase clock;
+      ``clock // theta`` is the current phase (0 = cancellation,
+      1 = doubling), so each phase lasts ``theta`` ticks.
+    * ``opinion`` in ``{+1, -1}`` — the agent's current output.
+    * ``level`` in ``{-1, 0 .. levels}`` — token weight exponent: a
+      level-``l`` token weighs ``2^(levels - l)``; ``level == -1``
+      marks a weightless follower.
+
+    Dynamics (clock updates first, on every interaction; the phase
+    below is the *updated* common phase):
+
+    * **cancel** (any phase): opposite-opinion tokens of equal level
+      both become followers, keeping their opinions for output.
+    * **merge** (any phase): same-opinion tokens of equal level
+      ``l >= 1`` combine — the initiator rises to level ``l - 1``
+      (doubling its weight), the responder becomes a follower.
+    * **split** (doubling phase only): a token at level ``l < levels``
+      meeting a follower splits into two level-``l + 1`` tokens of its
+      opinion.
+    * **recruit** (otherwise): a follower meeting a token adopts the
+      token's opinion.
+
+    All four rules preserve the signed mass
+    :meth:`total_signed_weight`; see the module docstring for why that
+    makes the protocol exact and unanimity absorbing.
+    """
+
+    unanimity_settles = True
+
+    def __init__(self, levels: int = 6, theta: int = 4):
+        if levels < 1:
+            raise InvalidParameterError(
+                f"levels must be >= 1, got {levels}")
+        if theta < 1:
+            raise InvalidParameterError(
+                f"theta must be >= 1, got {theta}")
+        self.levels = levels
+        self.theta = theta
+        self.name = f"phase-doubling(L={levels},theta={theta})"
+        super().__init__((
+            FieldSpec("clock", tuple(range(2 * theta))),
+            FieldSpec("opinion", (OPINION_A, OPINION_B)),
+            FieldSpec("level", tuple(range(-1, levels + 1))),
+        ))
+
+    @classmethod
+    def for_population(cls, n: int, theta: int = 4
+                       ) -> "PhaseDoublingProtocol":
+        """The paper's parameterization: ``levels ~ log2 n``."""
+        if n < 2:
+            raise InvalidParameterError(f"n must be >= 2, got {n}")
+        return cls(levels=max(1, math.ceil(math.log2(n))), theta=theta)
+
+    def initial_state(self, symbol: str) -> State:
+        if symbol == self.INPUT_A:
+            return (0, OPINION_A, 0)
+        if symbol == self.INPUT_B:
+            return (0, OPINION_B, 0)
+        raise ValueError(f"unknown input symbol {symbol!r}")
+
+    def transition(self, x: State, y: State) -> tuple[State, State]:
+        clock_x, opinion_x, level_x = x
+        clock_y, opinion_y, level_y = y
+        clock = _circular_clock(clock_x, clock_y, 2 * self.theta)
+        doubling = clock >= self.theta
+
+        x_token = level_x >= 0
+        y_token = level_y >= 0
+        if x_token and y_token:
+            if level_x == level_y and opinion_x != opinion_y:
+                # Cancel: equal weights annihilate; both keep their
+                # opinion as followers so the output stays defined.
+                return ((clock, opinion_x, FOLLOWER_LEVEL),
+                        (clock, opinion_y, FOLLOWER_LEVEL))
+            if level_x == level_y >= 1 and opinion_x == opinion_y:
+                # Merge: two half-weights combine into one token a
+                # level up; the responder is freed as a follower.
+                return ((clock, opinion_x, level_x - 1),
+                        (clock, opinion_y, FOLLOWER_LEVEL))
+            return (clock, opinion_x, level_x), (clock, opinion_y, level_y)
+        if x_token != y_token:
+            opinion = opinion_x if x_token else opinion_y
+            level = level_x if x_token else level_y
+            if doubling and level < self.levels:
+                # Split: the token halves onto the follower.
+                return ((clock, opinion, level + 1),
+                        (clock, opinion, level + 1))
+            # Recruit: the follower adopts the token's opinion.
+            return ((clock, opinion_x, level_x) if x_token
+                    else (clock, opinion, FOLLOWER_LEVEL),
+                    (clock, opinion, FOLLOWER_LEVEL) if x_token
+                    else (clock, opinion_y, level_y))
+        # Two followers: clocks sync, opinions spread only from tokens.
+        return (clock, opinion_x, level_x), (clock, opinion_y, level_y)
+
+    def output(self, state: State):
+        return MAJORITY_A if state[1] > 0 else MAJORITY_B
+
+    def is_settled(self, counts: Mapping[State, int]) -> bool:
+        """Settled iff every agent carries the same opinion.
+
+        Unanimity is absorbing: cancellation needs opposite opinions,
+        and every other rule copies or preserves opinions (the clock
+        field keeps churning, but outputs depend on opinion alone).
+        While both opinions are present the outputs disagree.
+        """
+        seen = 0
+        for state, count in counts.items():
+            if not count:
+                continue
+            if seen == 0:
+                seen = state[1]
+            elif state[1] != seen:
+                return False
+        return seen != 0
+
+    def total_signed_weight(self, counts: Mapping[State, int]) -> int:
+        """The conserved signed token mass ``sum o * 2^(levels - l)``.
+
+        Followers contribute nothing; the value equals
+        ``(count_a - count_b) * 2^levels`` in every reachable
+        configuration (the exactness invariant).
+        """
+        total = 0
+        for (unused_clock, opinion, level), count in counts.items():
+            if level >= 0:
+                total += count * opinion * (1 << (self.levels - level))
+        return total
+
+
+class LogStateMajorityProtocol(MajorityProtocol, StructuredProtocol):
+    """Exact majority with an additive ``O(log n)`` state space
+    [Ben-Nun et al., arXiv:2011.12633].
+
+    The state space is a *role-partitioned union*, not a product —
+    the defining trick of the ``O(log n)``-state constructions.  Raw
+    field tuples are ``(role, opinion, level, clock)`` but
+    :meth:`is_valid_state` prunes role-irrelevant combinations:
+
+    * **tokens** ``("T", o, l, p)`` with ``p in {0, 1}`` — weight
+      ``2^(levels - l)`` and a one-bit local view of the phase
+      (``4 * (levels + 1)`` states);
+    * **followers** ``("F", o, 0, 0)`` — weightless, opinion only
+      (2 states);
+    * **clocks** ``("C", o, 0, c)`` with ``c in 0 .. 2*phase_len - 1``
+      — the synthetic junta driving phases (``4 * phase_len`` states).
+
+    Total: ``4*(levels + 1) + 2 + 4*phase_len`` — *additive* in the
+    field sizes where a naive product is multiplicative.
+
+    Clock agents are *recruited from cancellations*: the population
+    starts all-token with no clock at all, and every annihilated pair
+    joins the clock junta.  Clocks run the same circular-max/tick rule
+    among themselves; tokens learn the phase bit ``c // phase_len``
+    on contact.  Splits fire when a token whose phase bit is 1 meets a
+    follower or a clock agent (consuming it).  Cancel/merge stay
+    ungated, so the same signed-mass invariant as
+    :class:`PhaseDoublingProtocol` gives exactness.
+    """
+
+    unanimity_settles = True
+
+    def __init__(self, levels: int = 6, phase_len: int = 4):
+        if levels < 1:
+            raise InvalidParameterError(
+                f"levels must be >= 1, got {levels}")
+        if phase_len < 1:
+            raise InvalidParameterError(
+                f"phase_len must be >= 1, got {phase_len}")
+        self.levels = levels
+        self.phase_len = phase_len
+        self.name = f"log-state(L={levels},B={phase_len})"
+        super().__init__((
+            FieldSpec("role", (ROLE_TOKEN, ROLE_FOLLOWER, ROLE_CLOCK)),
+            FieldSpec("opinion", (OPINION_A, OPINION_B)),
+            FieldSpec("level", tuple(range(levels + 1))),
+            FieldSpec("clock", tuple(range(2 * phase_len))),
+        ))
+
+    @classmethod
+    def for_population(cls, n: int, phase_len: int = 4
+                       ) -> "LogStateMajorityProtocol":
+        """The paper's parameterization: ``levels ~ log2 n``."""
+        if n < 2:
+            raise InvalidParameterError(f"n must be >= 2, got {n}")
+        return cls(levels=max(1, math.ceil(math.log2(n))),
+                   phase_len=phase_len)
+
+    def is_valid_state(self, state: tuple) -> bool:
+        role, unused_opinion, level, clock = state
+        if role == ROLE_TOKEN:
+            return clock <= 1
+        if role == ROLE_FOLLOWER:
+            return level == 0 and clock == 0
+        return level == 0  # clock agents carry no token level
+
+    def initial_state(self, symbol: str) -> State:
+        if symbol == self.INPUT_A:
+            return (ROLE_TOKEN, OPINION_A, 0, 0)
+        if symbol == self.INPUT_B:
+            return (ROLE_TOKEN, OPINION_B, 0, 0)
+        raise ValueError(f"unknown input symbol {symbol!r}")
+
+    def transition(self, x: State, y: State) -> tuple[State, State]:
+        role_x = x[0]
+        role_y = y[0]
+        if role_x == ROLE_TOKEN and role_y == ROLE_TOKEN:
+            return self._token_token(x, y)
+        if role_x == ROLE_TOKEN:
+            new_y, new_x = self._token_other(x, y)
+            return new_x, new_y
+        if role_y == ROLE_TOKEN:
+            return self._token_other(y, x)
+        if role_x == ROLE_CLOCK and role_y == ROLE_CLOCK:
+            clock = _circular_clock(x[3], y[3], 2 * self.phase_len)
+            return (ROLE_CLOCK, x[1], 0, clock), (ROLE_CLOCK, y[1], 0, clock)
+        # Clock/follower pairs exchange nothing: opinions spread only
+        # from tokens, which always exist (the invariant is nonzero).
+        return x, y
+
+    def _token_token(self, x: State, y: State) -> tuple[State, State]:
+        unused_role_x, opinion_x, level_x, phase_x = x
+        unused_role_y, opinion_y, level_y, phase_y = y
+        if level_x == level_y and opinion_x != opinion_y:
+            # Cancel — and the freed pair *joins the clock junta*.
+            return ((ROLE_CLOCK, opinion_x, 0, 0),
+                    (ROLE_CLOCK, opinion_y, 0, 0))
+        if level_x == level_y >= 1 and opinion_x == opinion_y:
+            # Merge: initiator doubles its weight, responder follows.
+            return ((ROLE_TOKEN, opinion_x, level_x - 1, phase_x),
+                    (ROLE_FOLLOWER, opinion_y, 0, 0))
+        return x, y
+
+    def _token_other(self, token: State, other: State
+                     ) -> tuple[State, State]:
+        """Token meets follower or clock; returns ``(other', token')``."""
+        unused_role, opinion, level, phase = token
+        other_role = other[0]
+        if other_role == ROLE_CLOCK:
+            phase = other[3] // self.phase_len  # learn the clock phase
+        if phase == 1 and level < self.levels:
+            # Split: the partner is consumed into a half-weight copy.
+            half = (ROLE_TOKEN, opinion, level + 1, 1)
+            return half, half
+        if other_role == ROLE_CLOCK:
+            # The clock adopts the token's opinion for output; the
+            # token records the learned phase bit.
+            return ((ROLE_CLOCK, opinion, 0, other[3]),
+                    (ROLE_TOKEN, opinion, level, phase))
+        # Recruit: the follower adopts the token's opinion.
+        return (ROLE_FOLLOWER, opinion, 0, 0), token
+
+    def output(self, state: State):
+        return MAJORITY_A if state[1] > 0 else MAJORITY_B
+
+    def is_settled(self, counts: Mapping[State, int]) -> bool:
+        """Settled iff every agent carries the same opinion.
+
+        Same argument as :meth:`PhaseDoublingProtocol.is_settled`:
+        cancellation is the only opinion-destroying rule and needs
+        both opinions; everything else copies or preserves them.
+        """
+        seen = 0
+        for state, count in counts.items():
+            if not count:
+                continue
+            if seen == 0:
+                seen = state[1]
+            elif state[1] != seen:
+                return False
+        return seen != 0
+
+    def total_signed_weight(self, counts: Mapping[State, int]) -> int:
+        """The conserved signed token mass (exactness invariant)."""
+        total = 0
+        for (role, opinion, level, unused_clock), count in counts.items():
+            if role == ROLE_TOKEN:
+                total += count * opinion * (1 << (self.levels - level))
+        return total

@@ -70,8 +70,7 @@ class TableProtocol(MajorityProtocol):
         self._outputs = dict(outputs)
         self.name = name
 
-    @property
-    def states(self) -> tuple[State, ...]:
+    def enumerate_states(self):
         return self._states
 
     def initial_state(self, symbol: str) -> State:

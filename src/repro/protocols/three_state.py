@@ -45,8 +45,7 @@ class ThreeStateProtocol(MajorityProtocol):
     name = "three-state"
     unanimity_settles = True
 
-    @property
-    def states(self) -> tuple[State, ...]:
+    def enumerate_states(self):
         return _STATES
 
     def initial_state(self, symbol: str) -> State:

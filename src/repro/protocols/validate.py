@@ -11,50 +11,111 @@ all of this exhaustively on small populations and raises
 :class:`~repro.errors.ProtocolError` with a precise description on the
 first violation — run it once in a test before trusting a new
 protocol on million-step simulations.
+
+Closure is checked **lazily**: states are discovered by breadth-first
+search over pairwise transitions (:func:`reachable_closure`), so only
+states actually reachable from the starting support are ever touched
+and membership is tested through
+:meth:`~repro.protocols.base.PopulationProtocol.is_state` — structured
+protocols answer that from field domains without materializing their
+product.  Pass ``initial=`` to validate exactly the slice of a large
+state space an experiment will exercise; with ``initial=None`` the
+walk seeds from *every* declared state, which reproduces the historic
+full ``Q x Q`` sweep.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections.abc import Iterable, Mapping
 
 from ..errors import ProtocolError
 from ..lowerbounds.reachability import (
     brute_force_is_settled,
     brute_force_output_stable,
 )
-from .base import MajorityProtocol, PopulationProtocol, UNDECIDED
+from .base import MajorityProtocol, PopulationProtocol, State, UNDECIDED
 
-__all__ = ["validate_protocol"]
+__all__ = ["reachable_closure", "validate_protocol"]
 
 
-def _check_transition_closure(protocol: PopulationProtocol) -> None:
-    states = protocol.states
-    known = set(states)
-    for x, y in itertools.product(states, repeat=2):
-        try:
-            result = protocol.transition(x, y)
-        except Exception as error:
+def reachable_closure(protocol: PopulationProtocol,
+                      support: Iterable[State],
+                      *, max_states: int | None = None) -> frozenset:
+    """All states reachable from ``support`` under pairwise transitions.
+
+    Breadth-first search over the *support* dynamics (which states can
+    appear, ignoring counts) — a superset of the states occurring in
+    any reachable configuration, computed without ever enumerating the
+    full state space.  Along the way every transition encountered is
+    checked for the engine contract (returns a pair, stays inside the
+    state space per :meth:`~PopulationProtocol.is_state`, and is
+    deterministic on repeat evaluation); violations raise
+    :class:`ProtocolError`.
+
+    ``max_states`` bounds the walk for runaway protocols (a transition
+    closure escaping into an unexpected region of a huge product);
+    exceeding it raises rather than spinning.
+    """
+    closure: set = set()
+    for state in support:
+        if not protocol.is_state(state):
             raise ProtocolError(
-                f"{protocol.name}: transition({x!r}, {y!r}) raised "
-                f"{error!r}") from error
-        if not isinstance(result, tuple) or len(result) != 2:
-            raise ProtocolError(
-                f"{protocol.name}: transition({x!r}, {y!r}) must return "
-                f"a pair, got {result!r}")
-        for new in result:
-            if new not in known:
-                raise ProtocolError(
-                    f"{protocol.name}: transition({x!r}, {y!r}) left the "
-                    f"state space with {new!r}")
-        repeat = protocol.transition(x, y)
-        if repeat != result:
-            raise ProtocolError(
-                f"{protocol.name}: transition({x!r}, {y!r}) is "
-                f"non-deterministic: {result!r} then {repeat!r}")
+                f"{protocol.name}: initial state {state!r} is not in "
+                "the state space")
+        closure.add(state)
+    if not closure:
+        raise ProtocolError(f"{protocol.name}: empty initial support")
+    frontier = list(closure)
+    while frontier:
+        next_frontier = []
+        snapshot = list(closure)
+        for x in frontier:
+            for y in snapshot:
+                for pair in ((x, y), (y, x)):
+                    result = _checked_transition(protocol, *pair)
+                    for new in result:
+                        if new not in closure:
+                            closure.add(new)
+                            next_frontier.append(new)
+                            if (max_states is not None
+                                    and len(closure) > max_states):
+                                raise ProtocolError(
+                                    f"{protocol.name}: reachable "
+                                    f"closure exceeded {max_states} "
+                                    "states")
+        frontier = next_frontier
+    return frozenset(closure)
 
 
-def _check_outputs(protocol: PopulationProtocol) -> None:
-    for state in protocol.states:
+def _checked_transition(protocol: PopulationProtocol, x: State,
+                        y: State) -> tuple[State, State]:
+    try:
+        result = protocol.transition(x, y)
+    except Exception as error:
+        raise ProtocolError(
+            f"{protocol.name}: transition({x!r}, {y!r}) raised "
+            f"{error!r}") from error
+    if not isinstance(result, tuple) or len(result) != 2:
+        raise ProtocolError(
+            f"{protocol.name}: transition({x!r}, {y!r}) must return "
+            f"a pair, got {result!r}")
+    for new in result:
+        if not protocol.is_state(new):
+            raise ProtocolError(
+                f"{protocol.name}: transition({x!r}, {y!r}) left the "
+                f"state space with {new!r}")
+    repeat = protocol.transition(x, y)
+    if repeat != result:
+        raise ProtocolError(
+            f"{protocol.name}: transition({x!r}, {y!r}) is "
+            f"non-deterministic: {result!r} then {repeat!r}")
+    return result
+
+
+def _check_outputs(protocol: PopulationProtocol,
+                   states: Iterable[State]) -> None:
+    for state in states:
         value = protocol.output(state)
         if value is not UNDECIDED and value not in (0, 1):
             raise ProtocolError(
@@ -72,9 +133,8 @@ def _configurations(num_states: int, max_agents: int):
             yield tuple(config)
 
 
-def _check_is_settled(protocol: PopulationProtocol,
-                      max_agents: int) -> None:
-    states = protocol.states
+def _check_is_settled(protocol: PopulationProtocol, max_agents: int,
+                      states: tuple[State, ...]) -> None:
     # Majority-style protocols settle on a unanimous output; other
     # protocols (e.g. leader election) settle when every agent's
     # output is final.  Both oracles are exact on small systems.
@@ -83,7 +143,7 @@ def _check_is_settled(protocol: PopulationProtocol,
     oracle = (brute_force_is_settled if majority_style
               else brute_force_output_stable)
     support_verdicts: dict[frozenset, bool] = {}
-    for config in _configurations(protocol.num_states, max_agents):
+    for config in _configurations(len(states), max_agents):
         sparse = {states[i]: c for i, c in enumerate(config) if c}
         claimed = protocol.is_settled(sparse)
         actual = oracle(protocol, sparse)
@@ -110,18 +170,40 @@ def _check_is_settled(protocol: PopulationProtocol,
 
 
 def validate_protocol(protocol: PopulationProtocol, *,
-                      max_agents: int = 4) -> None:
+                      max_agents: int = 4,
+                      initial: Mapping[State, int] | None = None) -> None:
     """Exhaustively validate ``protocol`` on populations up to
-    ``max_agents`` (cost grows like ``s^max_agents`` — keep it small
-    for large state spaces).  Raises :class:`ProtocolError` on the
-    first violation; returns ``None`` when everything checks out.
+    ``max_agents``.
+
+    With ``initial`` given (a configuration or any state->count
+    mapping; counts are ignored), the checks cover exactly the
+    transition-reachable closure of its support — the slice of the
+    state space a run starting there can visit — so large structured
+    protocols validate in time proportional to what they actually use.
+    With ``initial=None`` the closure is seeded from every declared
+    state, reproducing the historic full ``Q x Q`` sweep.
+
+    The settledness cross-check costs ``O(r^max_agents)`` for a
+    reachable set of size ``r`` — keep ``max_agents`` small for large
+    state spaces.  Raises :class:`ProtocolError` on the first
+    violation; returns ``None`` when everything checks out.
     """
     if max_agents < 2:
         raise ProtocolError("max_agents must be >= 2 to validate")
-    if protocol.num_states < 1:
-        raise ProtocolError(f"{protocol.name}: empty state space")
-    if len(set(protocol.states)) != protocol.num_states:
-        raise ProtocolError(f"{protocol.name}: duplicate states")
-    _check_transition_closure(protocol)
-    _check_outputs(protocol)
-    _check_is_settled(protocol, max_agents)
+    if initial is not None:
+        seeds = list(initial)
+        closure = reachable_closure(protocol, seeds)
+        # Deterministic order for the settledness sweep: seeds first,
+        # discoveries sorted by their repr (states need not be
+        # mutually comparable).
+        discovered = sorted(closure - set(seeds), key=repr)
+        states: tuple[State, ...] = tuple(seeds) + tuple(discovered)
+    else:
+        states = protocol.states
+        if len(states) < 1:
+            raise ProtocolError(f"{protocol.name}: empty state space")
+        if len(set(states)) != len(states):
+            raise ProtocolError(f"{protocol.name}: duplicate states")
+        reachable_closure(protocol, states)
+    _check_outputs(protocol, states)
+    _check_is_settled(protocol, max_agents, states)

@@ -27,8 +27,7 @@ class VoterProtocol(MajorityProtocol):
     name = "voter"
     unanimity_settles = True
 
-    @property
-    def states(self) -> tuple[State, ...]:
+    def enumerate_states(self):
         return _STATES
 
     def initial_state(self, symbol: str) -> State:

@@ -36,6 +36,10 @@ from .protocols.leader_election import (
     LeveledLeaderElection,
     PairwiseLeaderElection,
 )
+from .protocols.successors import (
+    LogStateMajorityProtocol,
+    PhaseDoublingProtocol,
+)
 from .protocols.table import MajorityTableProtocol, TableProtocol
 from .protocols.three_state import ThreeStateProtocol
 from .protocols.voter import VoterProtocol
@@ -72,6 +76,12 @@ def protocol_to_dict(protocol: PopulationProtocol) -> dict:
     """A JSON-safe description sufficient to rebuild the protocol."""
     if isinstance(protocol, AVCProtocol):
         return {"kind": "avc", "m": protocol.m, "d": protocol.d}
+    if isinstance(protocol, PhaseDoublingProtocol):
+        return {"kind": "phase-doubling", "levels": protocol.levels,
+                "theta": protocol.theta}
+    if isinstance(protocol, LogStateMajorityProtocol):
+        return {"kind": "log-state", "levels": protocol.levels,
+                "phase_len": protocol.phase_len}
     if isinstance(protocol, LeveledLeaderElection):
         return {"kind": "leveled-leader-election",
                 "levels": protocol.levels}
@@ -110,10 +120,40 @@ def _changing_pairs(protocol: TableProtocol):
 
 
 def protocol_from_dict(payload: dict) -> PopulationProtocol:
-    """Rebuild a protocol serialized by :func:`protocol_to_dict`."""
+    """Rebuild a protocol serialized by :func:`protocol_to_dict`.
+
+    Also accepts the *registry form* ``{"name": ..., "params": {...}}``
+    — the wire spelling used when a client addresses a protocol by its
+    :mod:`repro.protocols.registry` name instead of a serialized kind.
+    Unknown names raise :class:`InvalidParameterError` listing the
+    registered ones (HTTP 422 through the service).
+    """
     kind = payload.get("kind")
+    if kind is None and "name" in payload:
+        from .protocols import registry
+
+        name = payload["name"]
+        if not isinstance(name, str):
+            raise InvalidParameterError(
+                f"protocol name must be a string, got {name!r}")
+        params = payload.get("params", {})
+        if not isinstance(params, dict):
+            raise InvalidParameterError(
+                f"protocol params must be an object, got {params!r}")
+        extra = sorted(set(payload) - {"name", "params"})
+        if extra:
+            raise InvalidParameterError(
+                f"unknown protocol field(s) {extra}; the registry form "
+                "takes 'name' and 'params' only")
+        return registry.create(name, params)
     if kind == "avc":
         return AVCProtocol(m=payload["m"], d=payload["d"])
+    if kind == "phase-doubling":
+        return PhaseDoublingProtocol(levels=payload["levels"],
+                                     theta=payload["theta"])
+    if kind == "log-state":
+        return LogStateMajorityProtocol(levels=payload["levels"],
+                                        phase_len=payload["phase_len"])
     if kind == "leveled-leader-election":
         return LeveledLeaderElection(levels=payload["levels"])
     if kind in _SIMPLE_KINDS:

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..errors import InvalidParameterError
+from ..protocols.base import MAX_DENSE_STATES
 from ..telemetry.context import current as current_telemetry
 from . import kernels
 from .agent_engine import AgentEngine
@@ -63,9 +64,14 @@ __all__ = [
 NULL_SKIP_MAX_STATES = 16
 
 #: Largest state space for which the ensemble engine's dense
-#: transition table may be materialized (mirrors the guard in
-#: :meth:`~repro.protocols.base.PopulationProtocol.transition_matrix`).
-ENSEMBLE_MAX_STATES = 4096
+#: transition table may be materialized — aliased to the
+#: :data:`~repro.protocols.base.MAX_DENSE_STATES` guard behind
+#: :meth:`~repro.protocols.base.PopulationProtocol.transition_matrix`,
+#: so the ``"auto"`` policy, the explicit-engine capability checks,
+#: and the table itself agree on one threshold.  Structured protocols
+#: whose product exceeds it stay on the sparse count/agent paths
+#: (``protocol.supports_dense_tables`` is the canonical test).
+ENSEMBLE_MAX_STATES = MAX_DENSE_STATES
 
 #: Population threshold at which ``"auto"`` multi-trial batches switch
 #: from the token-matrix ensemble (``O(T*n)`` memory, gather-based
@@ -210,7 +216,8 @@ def _auto_policy(protocol, *, graph=None, num_trials: int = 1,
         return "null-skipping"
     if (num_trials > 1
             and getattr(protocol, "unanimity_settles", False)
-            and protocol.num_states <= ENSEMBLE_MAX_STATES):
+            and getattr(protocol, "supports_dense_tables",
+                        protocol.num_states <= ENSEMBLE_MAX_STATES)):
         if n is not None and n >= COUNT_ENSEMBLE_MIN_N:
             return kernels.jit_engine_name("count-ensemble")
         return "ensemble"
@@ -228,9 +235,30 @@ register("continuous-time",
 register("batch",
          lambda protocol, *, batch_fraction=0.05, **_:
          BatchEngine(protocol, batch_fraction=batch_fraction))
-register("ensemble", lambda protocol, **_: EnsembleEngine(protocol))
+def _require_dense_tables(protocol, name: str):
+    """Capability guard for engines that vectorize via the dense table.
+
+    Failing at engine *creation* (instead of deep inside the first
+    batch) gives explicit ``engine="ensemble"`` requests on oversized
+    structured protocols an actionable error.
+    """
+    if not getattr(protocol, "supports_dense_tables", True):
+        raise InvalidParameterError(
+            f"engine {name!r} vectorizes through the dense s x s "
+            f"transition table, but {protocol.name} has "
+            f"{protocol.num_states} states (> {ENSEMBLE_MAX_STATES}); "
+            "use the sparse engines ('count', 'agent') for large "
+            "structured state spaces")
+    return protocol
+
+
+register("ensemble",
+         lambda protocol, **_:
+         EnsembleEngine(_require_dense_tables(protocol, "ensemble")))
 register("count-ensemble",
-         lambda protocol, **_: CountEnsembleEngine(protocol))
+         lambda protocol, **_:
+         CountEnsembleEngine(
+             _require_dense_tables(protocol, "count-ensemble")))
 
 
 def _jit_factory(jit_name: str, numpy_factory: Callable) -> Callable:

@@ -139,6 +139,24 @@ class RunSpec:
     telemetry: Any = field(default=None, compare=False)
 
     def __post_init__(self):
+        if isinstance(self.protocol, (str, tuple)):
+            # Protocol-by-name: a registry name, or (name, params).
+            # Normalized to an instance here so downstream code (and
+            # spec.key(), which serializes the instance) never sees the
+            # indirection — "avc" and AVCProtocol() address the same
+            # cache entries.
+            from ..protocols import registry
+
+            if isinstance(self.protocol, str):
+                resolved = registry.create(self.protocol)
+            else:
+                if len(self.protocol) != 2:
+                    raise InvalidParameterError(
+                        "protocol tuples must be (name, params), got "
+                        f"{self.protocol!r}")
+                resolved = registry.create(self.protocol[0],
+                                           self.protocol[1])
+            object.__setattr__(self, "protocol", resolved)
         active = active_faults(self.faults)  # validates the type too
         if (active is not None and active.scheduler is not None
                 and self.graph is not None):
@@ -371,13 +389,11 @@ def resolve_trial_engine(spec: RunSpec) -> tuple[Engine | None,
                 "schedulers; use engine='agent'")
         if isinstance(engine, Engine):
             return engine, None
-        if engine == "count-ensemble":
-            return CountEnsembleEngine(spec.protocol), None
-        if engine == "count-ensemble-jit":
-            # Registry construction so an unusable kernel backend
-            # falls back to the numpy twin with its telemetry event.
-            return engine_registry.create(spec.protocol, engine), None
-        return EnsembleEngine(spec.protocol), None
+        # Registry construction for all three names: the dense-table
+        # capability guard rejects oversized structured protocols at
+        # creation, and an unusable kernel backend falls back to the
+        # numpy twin with its telemetry event.
+        return engine_registry.create(spec.protocol, engine), None
     if engine != "auto" or spec.num_trials < 2:
         return None, None
     if faults is not None and faults.scheduler is not None:

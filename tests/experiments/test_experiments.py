@@ -14,6 +14,7 @@ from repro.experiments.figure4 import figure4_rows, margin_advantages
 from repro.experiments.four_state_census import census_summary, scaling_rows
 from repro.experiments.lowerbound_logn import propagation_rows
 from repro.experiments.runner import measure_majority_point
+from repro.experiments.successors import successor_specs, successors_rows
 from repro import FourStateProtocol
 
 TINY = Scale(
@@ -34,6 +35,9 @@ TINY = Scale(
     census_limit=300,
     census_scaling_populations=(15, 45),
     census_scaling_trials=6,
+    successors_populations=(60, 100),
+    successors_trials=3,
+    successors_epsilon=0.2,
 )
 
 
@@ -64,6 +68,27 @@ class TestFigure3:
         assert four_state[-1]["mean_parallel_time"] > \
             avc[-1]["mean_parallel_time"]
         assert all(r["error_fraction"] == 0.0 for r in four_state + avc)
+
+
+class TestSuccessors:
+    def test_specs_resolve_through_registry(self):
+        specs = successor_specs(1000)
+        names = [name for name, _ in specs]
+        assert names == ["avc", "phase-doubling", "log-state"]
+        assert all(params["levels"] == 10 for name, params in specs
+                   if name != "avc")
+
+    def test_rows_shape(self):
+        rows = successors_rows(TINY, seed=1)
+        assert len(rows) == 2 * 3  # two n values x three protocols
+        assert all(r["error_fraction"] == 0.0 for r in rows)
+        assert all(r["settled_fraction"] == 1.0 for r in rows)
+        assert all(r["num_states"] > 0 for r in rows)
+        # The log-state successor's additive state space stays well
+        # below the phase-doubling product at equal level budgets.
+        by_name = {r["protocol"].split("(")[0]: r for r in rows}
+        assert (by_name["log-state"]["num_states"]
+                < by_name["phase-doubling"]["num_states"])
 
 
 class TestFigure4:

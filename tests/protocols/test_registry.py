@@ -1,0 +1,154 @@
+"""Tests for the protocol registry and its RunSpec / wire-form hooks."""
+
+import pytest
+
+from repro import (
+    AVCProtocol,
+    InvalidParameterError,
+    PhaseDoublingProtocol,
+    RunSpec,
+    ThreeStateProtocol,
+)
+from repro.protocols import registry
+from repro.protocols.base import PopulationProtocol
+
+
+class TestRegistry:
+    def test_builtins_available(self):
+        names = registry.available()
+        for expected in ("avc", "three-state", "four-state", "voter",
+                         "phase-doubling", "log-state",
+                         "leader-election"):
+            assert expected in names
+        assert names == tuple(sorted(names))
+
+    def test_create_with_params(self):
+        protocol = registry.create("avc", {"m": 15, "d": 2})
+        assert isinstance(protocol, AVCProtocol)
+        assert protocol.params.m == 15
+        assert protocol.params.d == 2
+
+    def test_create_without_params(self):
+        assert isinstance(registry.create("three-state"),
+                          ThreeStateProtocol)
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(InvalidParameterError,
+                           match="unknown protocol.*three-state"):
+            registry.create("majority-deluxe")
+
+    def test_bad_param_name_is_invalid_parameter(self):
+        # A typo'd keyword must surface as the 422-mapped error type,
+        # not a bare TypeError.
+        with pytest.raises(InvalidParameterError,
+                           match="phase-doubling.*rejected"):
+            registry.create("phase-doubling", {"levls": 3})
+
+    def test_bad_param_value_propagates(self):
+        with pytest.raises(InvalidParameterError):
+            registry.create("phase-doubling", {"levels": 0})
+
+    def test_non_string_param_key_rejected(self):
+        with pytest.raises(InvalidParameterError, match="strings"):
+            registry.create("avc", {3: 1})
+
+    def test_register_requires_replace_to_shadow(self):
+        with pytest.raises(InvalidParameterError, match="replace"):
+            registry.register("avc", lambda: None)
+
+    def test_register_unregister_round_trip(self):
+        registry.register("test-proto", ThreeStateProtocol,
+                          description="for this test")
+        try:
+            assert "test-proto" in registry.available()
+            assert registry.get("test-proto").description == \
+                "for this test"
+            assert isinstance(registry.create("test-proto"),
+                              ThreeStateProtocol)
+        finally:
+            registry.unregister("test-proto")
+        assert "test-proto" not in registry.available()
+        with pytest.raises(InvalidParameterError):
+            registry.unregister("test-proto")
+
+    def test_factory_must_return_protocol(self):
+        registry.register("test-broken", lambda: object())
+        try:
+            with pytest.raises(InvalidParameterError,
+                               match="not a PopulationProtocol"):
+                registry.create("test-broken")
+        finally:
+            registry.unregister("test-broken")
+
+    def test_rejects_bad_names(self):
+        with pytest.raises(InvalidParameterError):
+            registry.register("", ThreeStateProtocol)
+        with pytest.raises(InvalidParameterError):
+            registry.register(None, ThreeStateProtocol)
+
+
+class TestRunSpecByName:
+    def test_string_protocol_resolves(self):
+        spec = RunSpec("three-state", n=100, epsilon=0.2, seed=0)
+        assert isinstance(spec.protocol, ThreeStateProtocol)
+
+    def test_tuple_protocol_resolves(self):
+        spec = RunSpec(("phase-doubling", {"levels": 3, "theta": 2}),
+                       n=100, epsilon=0.2, seed=0)
+        assert isinstance(spec.protocol, PhaseDoublingProtocol)
+        assert spec.protocol.levels == 3
+
+    def test_by_name_key_matches_direct_construction(self):
+        # The run-store fingerprint is computed from the resolved
+        # instance, so by-name specs share cache entries with
+        # directly-constructed ones.
+        by_name = RunSpec(("avc", {"m": 15, "d": 1}), n=200,
+                          epsilon=0.1, num_trials=3, seed=7)
+        direct = RunSpec(AVCProtocol(m=15, d=1), n=200, epsilon=0.1,
+                         num_trials=3, seed=7)
+        assert by_name.key() == direct.key()
+        assert (RunSpec("three-state", n=100, epsilon=0.2, seed=0).key()
+                == RunSpec(ThreeStateProtocol(), n=100, epsilon=0.2,
+                           seed=0).key())
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(InvalidParameterError, match="unknown"):
+            RunSpec("majority-deluxe", n=100, epsilon=0.2)
+
+    def test_malformed_tuple_raises(self):
+        with pytest.raises(InvalidParameterError, match="name, params"):
+            RunSpec(("avc", {"m": 15}, "extra"), n=100, epsilon=0.2)
+
+
+class TestWireForm:
+    def _payload(self, protocol):
+        return {"schema": 1, "protocol": protocol, "n": 100,
+                "epsilon": 0.2, "seed": 0}
+
+    def test_registry_form_round_trips(self):
+        spec = RunSpec.from_json(self._payload(
+            {"name": "phase-doubling",
+             "params": {"levels": 3, "theta": 2}}))
+        assert isinstance(spec.protocol, PhaseDoublingProtocol)
+        direct = RunSpec(PhaseDoublingProtocol(levels=3, theta=2),
+                         n=100, epsilon=0.2, seed=0)
+        assert spec.key() == direct.key()
+
+    def test_registry_form_params_optional(self):
+        spec = RunSpec.from_json(self._payload({"name": "three-state"}))
+        assert isinstance(spec.protocol, ThreeStateProtocol)
+
+    def test_unknown_registry_name_is_422_error(self):
+        with pytest.raises(InvalidParameterError, match="unknown"):
+            RunSpec.from_json(self._payload(
+                {"name": "majority-deluxe"}))
+
+    def test_bad_registry_params_is_422_error(self):
+        with pytest.raises(InvalidParameterError, match="rejected"):
+            RunSpec.from_json(self._payload(
+                {"name": "phase-doubling", "params": {"levls": 3}}))
+
+    def test_registry_form_rejects_extra_fields(self):
+        with pytest.raises(InvalidParameterError):
+            RunSpec.from_json(self._payload(
+                {"name": "three-state", "turbo": True}))

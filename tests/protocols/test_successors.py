@@ -1,0 +1,253 @@
+"""Tests for the phase-clocked successor protocols.
+
+Covers the exactness invariant (conserved signed token mass), full
+validation on small instances, lazy reachable-closure regressions on
+paper-sized instances, correctness across engines/margins/majorities,
+and the wire forms.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    InvalidParameterError,
+    LogStateMajorityProtocol,
+    MAJORITY_A,
+    MAJORITY_B,
+    PhaseDoublingProtocol,
+    RunSpec,
+    protocol_from_dict,
+    protocol_to_dict,
+    simulate,
+    validate_protocol,
+)
+from repro.protocols.successors import (
+    FOLLOWER_LEVEL,
+    OPINION_A,
+    OPINION_B,
+    ROLE_CLOCK,
+    ROLE_TOKEN,
+    _circular_clock,
+)
+from repro.protocols.validate import reachable_closure
+
+ALL = (PhaseDoublingProtocol, LogStateMajorityProtocol)
+
+
+def small(cls):
+    """A fully-validatable instance (tiny clock and level budget)."""
+    if cls is PhaseDoublingProtocol:
+        return cls(levels=2, theta=2)
+    return cls(levels=2, phase_len=2)
+
+
+def _initial_support(protocol):
+    return [protocol.initial_state("A"), protocol.initial_state("B")]
+
+
+class TestCircularClock:
+    def test_equal_clocks_tick(self):
+        assert _circular_clock(3, 3, 8) == 4
+        assert _circular_clock(7, 7, 8) == 0  # wraps
+
+    def test_leader_wins_within_half_circle(self):
+        assert _circular_clock(1, 4, 8) == 4
+        assert _circular_clock(4, 1, 8) == 4  # symmetric
+
+    def test_far_ahead_reads_as_behind(self):
+        assert _circular_clock(0, 7, 8) == 0
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("cls", ALL)
+    def test_rejects_bad_levels(self, cls):
+        with pytest.raises(InvalidParameterError):
+            cls(levels=0)
+
+    def test_rejects_bad_clock_params(self):
+        with pytest.raises(InvalidParameterError):
+            PhaseDoublingProtocol(levels=2, theta=0)
+        with pytest.raises(InvalidParameterError):
+            LogStateMajorityProtocol(levels=2, phase_len=0)
+
+    @pytest.mark.parametrize("cls", ALL)
+    def test_for_population_sizes_levels_log2(self, cls):
+        for n in (2, 100, 1000, 100_000):
+            protocol = cls.for_population(n)
+            assert protocol.levels == max(1, math.ceil(math.log2(n)))
+        with pytest.raises(InvalidParameterError):
+            cls.for_population(1)
+
+    def test_state_count_formulas(self):
+        # phase-doubling: full product 2*theta x 2 x (levels + 2).
+        p = PhaseDoublingProtocol(levels=9, theta=4)
+        assert p.num_states == 8 * 2 * 11 == 176
+        # log-state: additive union of roles, far below the product.
+        q = LogStateMajorityProtocol(levels=9, phase_len=4)
+        assert q.num_states == 4 * 10 + 2 + 4 * 4 == 58
+        assert q.num_states < q.product_size == 3 * 2 * 10 * 8
+
+    @pytest.mark.parametrize("cls", ALL)
+    def test_initial_state_rejects_unknown_symbol(self, cls):
+        with pytest.raises(ValueError):
+            small(cls).initial_state("C")
+
+
+class TestValidation:
+    @pytest.mark.parametrize("cls", ALL)
+    def test_full_validation_on_small_instances(self, cls):
+        validate_protocol(small(cls), max_agents=3)
+
+    @pytest.mark.parametrize("cls", ALL)
+    def test_reachable_slice_validation(self, cls):
+        protocol = cls(levels=3, theta=2) \
+            if cls is PhaseDoublingProtocol else cls(levels=3, phase_len=2)
+        validate_protocol(protocol, max_agents=2,
+                          initial=protocol.initial_counts(2, 1))
+
+
+class TestReachableClosure:
+    """Paper-sized instances: the closure stays tiny relative to the
+    declared space and is reached without materializing it."""
+
+    def test_phase_doubling_closure_size(self):
+        protocol = PhaseDoublingProtocol(levels=20, theta=8)
+        closure = reachable_closure(protocol,
+                                    _initial_support(protocol))
+        # The full product is reachable (every clock value, opinion,
+        # level combination) — pinned so rule changes that grow or
+        # shrink the dynamics are caught.
+        assert len(closure) == 704 == 16 * 2 * 22
+        assert getattr(protocol, "_states_cache", None) is None
+
+    def test_log_state_closure_size(self):
+        protocol = LogStateMajorityProtocol(levels=20, phase_len=8)
+        closure = reachable_closure(protocol,
+                                    _initial_support(protocol))
+        # The pruned additive space (118 states) is fully reachable,
+        # and sits far below the raw 4-field product the pruning
+        # carves it from.
+        assert len(closure) == 118
+        assert protocol.product_size == 3 * 2 * 21 * 16
+        assert len(closure) < protocol.product_size
+        # The walk (and product_size) never forced the state tuple...
+        assert getattr(protocol, "_states_cache", None) is None
+        # ...which, once materialized, matches the closure exactly.
+        assert len(closure) == protocol.num_states
+
+    @pytest.mark.parametrize("cls", ALL)
+    def test_closure_scales_with_levels(self, cls):
+        sizes = []
+        for levels in (2, 4, 8):
+            protocol = (cls(levels=levels, theta=2)
+                        if cls is PhaseDoublingProtocol
+                        else cls(levels=levels, phase_len=2))
+            sizes.append(len(reachable_closure(
+                protocol, _initial_support(protocol))))
+        assert sizes == sorted(sizes)
+
+
+class TestInvariant:
+    """Every rule preserves the signed token mass — checked along a
+    simulated trajectory, not just rule-by-rule."""
+
+    @pytest.mark.parametrize("cls", ALL)
+    def test_signed_weight_conserved_along_trajectory(self, cls):
+        protocol = (cls(levels=4, theta=2)
+                    if cls is PhaseDoublingProtocol
+                    else cls(levels=4, phase_len=2))
+        count_a, count_b = 11, 5
+        agents = ([protocol.initial_state("A")] * count_a
+                  + [protocol.initial_state("B")] * count_b)
+        expected = (count_a - count_b) * (1 << protocol.levels)
+
+        def mass():
+            counts = {}
+            for state in agents:
+                counts[state] = counts.get(state, 0) + 1
+            return protocol.total_signed_weight(counts)
+
+        assert mass() == expected
+        rng = np.random.default_rng(42)
+        for _ in range(2000):
+            i, j = rng.choice(len(agents), size=2, replace=False)
+            agents[i], agents[j] = protocol.transition(agents[i],
+                                                       agents[j])
+            assert mass() == expected
+
+    @pytest.mark.parametrize("cls", ALL)
+    def test_unanimity_is_absorbing(self, cls):
+        protocol = small(cls)
+        agents = [protocol.initial_state("A")] * 8
+        rng = np.random.default_rng(3)
+        for _ in range(500):
+            i, j = rng.choice(len(agents), size=2, replace=False)
+            agents[i], agents[j] = protocol.transition(agents[i],
+                                                       agents[j])
+        assert all(protocol.output(s) == MAJORITY_A for s in agents)
+
+    def test_weight_accounting_roles(self):
+        protocol = PhaseDoublingProtocol(levels=3)
+        assert protocol.total_signed_weight(
+            {(0, OPINION_A, 0): 1}) == 8
+        assert protocol.total_signed_weight(
+            {(0, OPINION_B, 3): 2}) == -2
+        assert protocol.total_signed_weight(
+            {(0, OPINION_A, FOLLOWER_LEVEL): 5}) == 0
+        log = LogStateMajorityProtocol(levels=3)
+        assert log.total_signed_weight(
+            {(ROLE_TOKEN, OPINION_A, 1, 0): 1,
+             (ROLE_CLOCK, OPINION_B, 0, 5): 9}) == 4
+
+
+class TestCorrectness:
+    """Exact majority: the decision matches the initial majority on
+    every engine, every seed, and down to single-agent margins."""
+
+    @pytest.mark.parametrize("cls", ALL)
+    @pytest.mark.parametrize("engine", ["count", "agent", "ensemble"])
+    def test_decides_majority_across_engines(self, cls, engine):
+        protocol = cls.for_population(100)
+        results = simulate(RunSpec(protocol, n=100, epsilon=0.2,
+                                   num_trials=3, seed=11,
+                                   engine=engine))
+        assert all(r.settled for r in results)
+        assert all(r.decision == MAJORITY_A for r in results)
+
+    @pytest.mark.parametrize("cls", ALL)
+    def test_decides_minority_margin_one(self, cls):
+        # majority B with the smallest possible margin (one agent).
+        protocol = cls.for_population(101)
+        results = simulate(RunSpec(protocol, n=101, epsilon=1 / 101,
+                                   majority="B", num_trials=4,
+                                   seed=23, engine="count"))
+        assert all(r.settled for r in results)
+        assert all(r.decision == MAJORITY_B for r in results)
+
+    @pytest.mark.parametrize("cls", ALL)
+    def test_never_errs_across_seeds(self, cls):
+        protocol = cls.for_population(60)
+        for seed in range(5):
+            (result,) = simulate(RunSpec(protocol, n=60, epsilon=0.1,
+                                         num_trials=1, seed=seed,
+                                         engine="count"))
+            assert result.settled and result.decision == MAJORITY_A
+
+
+class TestWireForm:
+    @pytest.mark.parametrize("cls,kind,params", [
+        (PhaseDoublingProtocol, "phase-doubling",
+         {"levels": 5, "theta": 3}),
+        (LogStateMajorityProtocol, "log-state",
+         {"levels": 5, "phase_len": 3}),
+    ])
+    def test_round_trip(self, cls, kind, params):
+        protocol = cls(**params)
+        payload = protocol_to_dict(protocol)
+        assert payload == {"kind": kind, **params}
+        rebuilt = protocol_from_dict(payload)
+        assert isinstance(rebuilt, cls)
+        assert rebuilt.name == protocol.name
+        assert rebuilt.states == protocol.states

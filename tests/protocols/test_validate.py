@@ -44,8 +44,7 @@ class _Broken(PopulationProtocol):
         self.unanimity_settles = lies_about_unanimity
         self._count_sensitive = count_sensitive_but_undeclared
 
-    @property
-    def states(self):
+    def enumerate_states(self):
         return ("a", "b")
 
     def transition(self, x, y):

@@ -54,6 +54,23 @@ class TestSubmit:
         cached = client.post_json("/runs", small_spec()).json()
         assert cached["row"] == fresh["row"]
 
+    def test_registry_name_protocol_is_addressable(self, client):
+        # The registry wire form shares cache entries with the
+        # kind-based form of the same protocol.
+        by_kind = small_spec()
+        by_name = small_spec(
+            protocol={"name": by_kind["protocol"]["kind"]})
+        fresh = client.post_json("/runs?wait=60", by_kind).json()
+        cached = client.post_json("/runs", by_name).json()
+        assert cached["cached"] is True
+        assert cached["row"] == fresh["row"]
+
+    def test_unknown_registry_name_is_422(self, client):
+        payload = small_spec(protocol={"name": "majority-deluxe"})
+        response = client.post_json("/runs", payload)
+        assert response.status == 422
+        assert "unknown protocol" in response.json()["error"]
+
     def test_invalid_spec_is_422(self, client):
         response = client.post_json("/runs", {"schema": 1, "n": 3})
         assert response.status == 422

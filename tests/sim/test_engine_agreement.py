@@ -13,7 +13,13 @@ import numpy as np
 import pytest
 from scipy.stats import ks_2samp
 
-from repro import AVCProtocol, FourStateProtocol, ThreeStateProtocol
+from repro import (
+    AVCProtocol,
+    FourStateProtocol,
+    LogStateMajorityProtocol,
+    PhaseDoublingProtocol,
+    ThreeStateProtocol,
+)
 from repro.sim import (
     AgentEngine,
     BatchEngine,
@@ -46,6 +52,8 @@ def mean_time(engine, protocol, count_a, count_b, trials, seed):
     (FourStateProtocol, 40, 21),
     (ThreeStateProtocol, 45, 16),
     (lambda: AVCProtocol(m=9, d=1), 36, 25),
+    (lambda: PhaseDoublingProtocol(levels=5, theta=2), 36, 25),
+    (lambda: LogStateMajorityProtocol(levels=5, phase_len=2), 36, 25),
 ])
 def test_exact_engines_agree(protocol_factory, count_a, count_b):
     protocol = protocol_factory()
@@ -80,7 +88,10 @@ def test_batch_engine_agrees_within_tolerance():
     (FourStateProtocol, 40, 21),
     (ThreeStateProtocol, 45, 16),
     (lambda: AVCProtocol(m=9, d=1), 36, 25),
-], ids=["four-state", "three-state", "avc"])
+    (lambda: PhaseDoublingProtocol(levels=5, theta=2), 36, 25),
+    (lambda: LogStateMajorityProtocol(levels=5, phase_len=2), 36, 25),
+], ids=["four-state", "three-state", "avc", "phase-doubling",
+        "log-state"])
 def test_ensemble_matches_count_engine_distribution(protocol_factory,
                                                     count_a, count_b,
                                                     ensemble_cls):
