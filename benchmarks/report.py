@@ -55,13 +55,14 @@ import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
-from repro import AVCProtocol  # noqa: E402
+from repro import AVCProtocol, FaultSpec  # noqa: E402
 from repro.sim.run import ENGINE_NAMES, RunSpec, simulate  # noqa: E402
 from repro.telemetry import InMemorySink, Telemetry  # noqa: E402
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_engines.json"
 SERVICE_OUTPUT = REPO_ROOT / "BENCH_service.json"
+BYZANTINE_OUTPUT = REPO_ROOT / "BENCH_byzantine.json"
 
 WORKLOAD = {
     "protocol": "avc",
@@ -251,6 +252,144 @@ def service_report(label: str | None = None) -> int:
     return 0
 
 
+#: The rounds-engine throughput rows (``--byzantine``).  Ben-Or runs
+#: in the blocked regime (n = 3f, the adaptive adversary pins every
+#: trial to the full round budget) so each trial advances exactly
+#: ``rounds`` rounds and rounds/s is a deterministic-work throughput
+#: number; epsilon-agreement runs a tight tolerance under the
+#: equivocating adversary and reports the rounds it actually takes.
+BYZANTINE_ROUNDS_ROWS = [
+    {"protocol": "ben-or", "params": {}, "n": 300, "f": 100,
+     "mode": "adaptive", "rounds": 300, "trials": 20},
+    {"protocol": "epsilon-agreement",
+     "params": {"epsilon_agree": 1e-9}, "n": 300, "f": 90,
+     "mode": "adaptive", "rounds": 300, "trials": 20},
+]
+#: The byzantine-injection overhead workload: the standard AVC
+#: workload on the count engine, capped so clean and corrupted runs
+#: advance the same exact prefix of every trial (the cap binds long
+#: before convergence) and the interactions/s ratio isolates the cost
+#: of the per-meeting hypergeometric membership draws and message
+#: rewrites.
+BYZANTINE_OVERHEAD = {"trials": 10, "max_steps": 50_000,
+                      "byzantine_f": 100}
+
+
+def _measure_rounds(row: dict) -> dict:
+    sink = InMemorySink()
+    spec = RunSpec(
+        (row["protocol"], row["params"]),
+        n=row["n"],
+        epsilon=0.2,
+        seed=WORKLOAD["seed"],
+        num_trials=row["trials"],
+        max_steps=row["rounds"],
+        faults=FaultSpec(byzantine_f=row["f"],
+                         byzantine_mode=row["mode"]),
+        telemetry=Telemetry([sink]),
+    )
+    started = time.perf_counter()
+    results = simulate(spec)
+    seconds = time.perf_counter() - started
+    rounds = sum(r.steps for r in results)
+    counted = int(sink.total("engine.interactions"))
+    if counted != rounds:
+        raise AssertionError(
+            f"telemetry counted {counted} rounds but results sum "
+            f"to {rounds}")
+    return {
+        "n": row["n"],
+        "byzantine_f": row["f"],
+        "byzantine_mode": row["mode"],
+        "trials": row["trials"],
+        "settled": sum(r.settled for r in results),
+        "rounds": rounds,
+        "byzantine_lies": sum(
+            r.fault_events["byzantine_lies"] for r in results),
+        "seconds": round(seconds, 3),
+        "rounds_per_second": round(rounds / seconds, 1),
+    }
+
+
+def byzantine_report(label: str | None = None) -> int:
+    """Append a byzantine-machinery measurement to BENCH_byzantine.json.
+
+    Two throughput surfaces: rounds/s for the synchronous
+    message-passing engine (Ben-Or pinned at n = 3f plus a tight
+    epsilon-agreement run, both under the adaptive adversary), and the
+    byzantine-injection overhead on the count engine — the standard
+    AVC workload with and without a corruption budget, same
+    interaction cap, so the ratio is the per-interaction cost of the
+    fault channel.
+    """
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "git": git_revision(),
+        "label": label,
+        "rounds_engine": {},
+    }
+    for row in BYZANTINE_ROUNDS_ROWS:
+        print(f"measuring rounds engine: {row['protocol']} "
+              f"(n={row['n']}, f={row['f']}, {row['mode']})...",
+              flush=True)
+        outcome = _measure_rounds(row)
+        record["rounds_engine"][row["protocol"]] = outcome
+        print(f"  {row['protocol']}: {outcome['rounds_per_second']:.3g} "
+              f"rounds/s over {outcome['rounds']} rounds")
+
+    cap = BYZANTINE_OVERHEAD["max_steps"]
+    trials = BYZANTINE_OVERHEAD["trials"]
+    f = BYZANTINE_OVERHEAD["byzantine_f"]
+    overhead = {"workload": dict(BYZANTINE_OVERHEAD), "engines": {}}
+    protocol = AVCProtocol.with_num_states(WORKLOAD["num_states"])
+    for name, faults in (("clean", None),
+                         ("byzantine", FaultSpec(byzantine_f=f))):
+        print(f"measuring count engine ({name}, cap {cap}/trial)...",
+              flush=True)
+        spec = RunSpec(
+            protocol,
+            n=WORKLOAD["n"],
+            epsilon=WORKLOAD["epsilon_numerator"] / WORKLOAD["n"],
+            seed=WORKLOAD["seed"],
+            num_trials=trials,
+            engine="count",
+            max_steps=cap,
+            faults=faults,
+        )
+        started = time.perf_counter()
+        results = simulate(spec)
+        seconds = time.perf_counter() - started
+        interactions = sum(r.steps for r in results)
+        overhead["engines"][name] = {
+            "trials": trials,
+            "interactions": interactions,
+            "seconds": round(seconds, 3),
+            "interactions_per_second": round(
+                interactions / seconds, 1),
+        }
+        if faults is not None:
+            overhead["engines"][name]["byzantine_lies"] = sum(
+                r.fault_events["byzantine_lies"] for r in results)
+        per_sec = overhead["engines"][name]["interactions_per_second"]
+        print(f"  {name}: {per_sec:.3g} interactions/s")
+    overhead["overhead_ratio"] = round(
+        overhead["engines"]["clean"]["interactions_per_second"]
+        / overhead["engines"]["byzantine"]["interactions_per_second"],
+        2)
+    print(f"  byzantine-injection overhead: "
+          f"{overhead['overhead_ratio']}x")
+    record["count_engine_overhead"] = overhead
+
+    if BYZANTINE_OUTPUT.exists():
+        document = json.loads(BYZANTINE_OUTPUT.read_text())
+    else:
+        document = {"history": []}
+    document["history"].append(record)
+    BYZANTINE_OUTPUT.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"appended record to {BYZANTINE_OUTPUT}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--label", default=None,
@@ -282,10 +421,18 @@ def main(argv=None) -> int:
                              "coalescing at 64 concurrent identical "
                              "requests) and append to "
                              "BENCH_service.json instead")
+    parser.add_argument("--byzantine", action="store_true",
+                        help="measure the byzantine machinery "
+                             "(rounds/s for the message-passing "
+                             "engine, byzantine-injection overhead "
+                             "vs clean on the count engine) and "
+                             "append to BENCH_byzantine.json instead")
     args = parser.parse_args(argv)
 
     if args.service:
         return service_report(label=args.label)
+    if args.byzantine:
+        return byzantine_report(label=args.label)
     unknown = sorted(set(args.engines) - set(ENGINE_NAMES))
     if unknown:
         parser.error(f"unknown engine(s) {unknown}; "

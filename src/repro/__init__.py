@@ -13,8 +13,11 @@ The package provides:
   null-skipping/Gillespie, continuous-time, batched-numpy) and the
   run harness;
 * :mod:`repro.faults` — declarative fault injection (state
-  corruption, population churn, interaction faults, adversarial
-  schedulers) composing with every engine above;
+  corruption, population churn, interaction faults, byzantine
+  adversaries, adversarial schedulers) composing with every engine
+  above;
+* :mod:`repro.consensus` — round-based synchronous message-passing
+  consensus (Ben-Or, epsilon-agreement) on the same RunSpec rails;
 * :mod:`repro.graphs` — interaction-graph builders;
 * :mod:`repro.analysis` — closed-form bounds, mean-field ODE limits,
   and exact Markov-chain analysis;
@@ -64,6 +67,12 @@ from .protocols import (
     VoterProtocol,
     parse_protocol,
     validate_protocol,
+)
+from .consensus import (
+    BenOrConsensus,
+    ConsensusProtocol,
+    EpsilonAgreementConsensus,
+    RoundsEngine,
 )
 from .faults import FaultSpec, corrupt_counts
 from .serialize import (
@@ -124,6 +133,11 @@ __all__ = [
     "MAJORITY_A",
     "MAJORITY_B",
     "UNDECIDED",
+    # round-based consensus
+    "ConsensusProtocol",
+    "BenOrConsensus",
+    "EpsilonAgreementConsensus",
+    "RoundsEngine",
     # simulation
     "AgentEngine",
     "CountEngine",

@@ -21,6 +21,7 @@ import sys
 
 from . import (
     ablation_d,
+    byzantine,
     leader,
     report,
     phases,
@@ -45,6 +46,7 @@ _SUBCOMMANDS = {
     "four-state-census": four_state_census.main,
     "phases": phases.main,
     "robustness": robustness.main,
+    "byzantine": byzantine.main,
     "successors": successors.main,
     "topology": topology.main,
     "leader-election": leader.main,
@@ -76,7 +78,7 @@ def main(argv=None) -> int:
     if args.experiment == "all":
         status = 0
         for name in ("figure3", "figure4", "ablation-d", "phases",
-                     "topology", "robustness", "successors",
+                     "topology", "robustness", "byzantine", "successors",
                      "leader-election", "info-propagation",
                      "four-state-census", "report"):
             print(f"\n=== {name} ===", flush=True)

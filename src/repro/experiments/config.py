@@ -70,6 +70,13 @@ class Scale:
     robustness_horizon: float = 8.0
     robustness_budget: int = 200_000
 
+    #: byzantine: corruption budgets ``f`` for the exactness-breakdown
+    #: sweep.  Shares the robustness sweep's population / trials /
+    #: budget (so the ``f = 0`` controls share fingerprints with the
+    #: rate-0.0 robustness controls); the budgets bracket the initial
+    #: advantage, where exactness is expected to break.
+    byzantine_budgets: tuple[int, ...] = (0, 1, 2, 5, 10, 21, 42)
+
     #: successors: AVC vs. phase-clocked successor protocols.
     #: Populations are even multiples of 20 so ``epsilon * n`` splits
     #: into integer counts at every scale's margin.
@@ -102,6 +109,7 @@ SCALES: dict[str, Scale] = {
         robustness_rates=(0.0, 0.01, 0.05),
         robustness_horizon=4.0,
         robustness_budget=20_000,
+        byzantine_budgets=(0, 2, 7),
         successors_populations=(100, 400),
         successors_trials=5,
         successors_epsilon=0.2,
@@ -131,6 +139,7 @@ SCALES: dict[str, Scale] = {
         robustness_rates=(0.0, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05),
         robustness_horizon=10.0,
         robustness_budget=2_000_000,
+        byzantine_budgets=(0, 2, 5, 10, 25, 50, 101, 202),
         successors_populations=(200, 2000, 20_000, 200_000),
         successors_trials=101,
         successors_epsilon=0.1,

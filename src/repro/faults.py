@@ -33,13 +33,37 @@ class          per-interaction behaviour while the fault is *armed*
 ``drop``       the scheduled meeting silently does not happen
 ``oneway``     only the initiator applies the transition (the
                responder keeps its state — a one-way message)
+``byzantine``  a corruption budget of ``f`` agents lie: a meeting
+               participant is byzantine with the hypergeometric
+               probability of belonging to the corrupted set, presents
+               a lie state to its partner, and never updates its own
+               state (``byzantine_mode="stubborn"`` lies with the
+               fixed minority input state; ``"adaptive"`` lies with
+               the input state of whichever opinion currently trails —
+               the majority-flipping adversary)
 =============  =====================================================
 
 Each class fires independently with its own Bernoulli probability per
 scheduled interaction, and only while the interaction clock is below
 ``horizon`` (``None`` arms the faults for the whole run).  The
 canonical per-tick order — identical in every engine — is interaction
-(subject to drop/one-way), then flip, then crash, then join.
+(subject to drop, then byzantine message corruption, then one-way),
+then flip, then crash, then join.
+
+Byzantine semantics: the adversary controls a *budget* of ``f`` out of
+``n`` agents.  Agents on the complete graph are exchangeable, so the
+corrupted set is equivalent to possessing a uniformly random subset:
+at each scheduled meeting the initiator is byzantine with probability
+``f/n`` and, given that verdict, the responder with probability
+``(f - [initiator byzantine]) / (n - 1)`` — exactly the hypergeometric
+law of drawing the ordered pair from a population containing ``f``
+liars.  A byzantine participant presents the lie state to its partner
+(the honest partner applies the transition against the lie) and keeps
+its own tracked state, so the count vector stays conserved and every
+engine — count, agent, token ensemble — samples the identical chain.
+Byzantine corruption requires a fixed population (no churn, which
+would make ``f/n`` ill-defined) and, because the lie states are
+opinion-targeted, a majority protocol.
 
 Convergence semantics: faults that can *unsettle* a configuration
 (flips, joins) hold the run in the arena until the horizon passes —
@@ -71,9 +95,13 @@ __all__ = ["FaultSpec", "FaultRuntime", "corrupt_counts"]
 
 _FLIP_MODES = ("uniform", "targeted")
 _SCHEDULERS = ("stubborn", "clustered")
+_BYZANTINE_MODES = ("stubborn", "adaptive")
 
 #: Fault-event classes, in canonical order; counter keys everywhere.
 FAULT_CLASSES = ("flips", "crashes", "joins", "drops", "oneway")
+
+#: Extra counter keys present only on byzantine-faulted runs.
+BYZANTINE_CLASSES = ("byzantine_lies", "byzantine_meetings")
 
 
 @dataclass(frozen=True)
@@ -101,6 +129,17 @@ class FaultSpec:
         Interaction faults: the meeting is dropped entirely, or only
         the initiator applies the transition (checked in that order;
         a dropped meeting cannot also be one-way).
+    byzantine_f / byzantine_mode:
+        Byzantine corruption budget: ``f`` of the ``n`` agents lie.
+        Each meeting participant is byzantine with the hypergeometric
+        membership probability; a byzantine participant presents a lie
+        state and never updates its own.  ``"stubborn"`` always lies
+        with the minority input state (requires a defined expected
+        output, like targeted flips); ``"adaptive"`` lies with the
+        input state of whichever opinion class currently holds fewer
+        supporters — the majority-flipping adversary (ties fall back
+        to the stubborn lie).  Requires a fixed population (no churn)
+        and ``f < n`` (checked where ``n`` is known).
     horizon:
         Number of interactions during which faults are armed, counted
         on the run's interaction clock; ``None`` arms them forever.
@@ -121,6 +160,8 @@ class FaultSpec:
     join_prob: float = 0.0
     drop_prob: float = 0.0
     oneway_prob: float = 0.0
+    byzantine_f: int = 0
+    byzantine_mode: str = "stubborn"
     horizon: int | None = None
     min_population: int = 2
     scheduler: str | None = None
@@ -138,6 +179,23 @@ class FaultSpec:
             raise InvalidParameterError(
                 f"flip_mode must be one of {_FLIP_MODES}, "
                 f"got {self.flip_mode!r}")
+        if not isinstance(self.byzantine_f, int) \
+                or isinstance(self.byzantine_f, bool):
+            raise InvalidParameterError(
+                f"byzantine_f must be an integer corruption budget, "
+                f"got {self.byzantine_f!r}")
+        if self.byzantine_f < 0:
+            raise InvalidParameterError(
+                f"byzantine_f must be >= 0, got {self.byzantine_f}")
+        if self.byzantine_mode not in _BYZANTINE_MODES:
+            raise InvalidParameterError(
+                f"byzantine_mode must be one of {_BYZANTINE_MODES}, "
+                f"got {self.byzantine_mode!r}")
+        if self.byzantine_f > 0 and self.churn:
+            raise InvalidParameterError(
+                "byzantine corruption budgets address a fixed "
+                "population (f out of n); combining them with "
+                "crash/join churn is not supported")
         if self.horizon is not None and self.horizon < 1:
             raise InvalidParameterError(
                 f"horizon must be a positive interaction count, "
@@ -166,7 +224,8 @@ class FaultSpec:
         """Whether this spec perturbs the clean model at all."""
         return (self.flip_prob > 0 or self.crash_prob > 0
                 or self.join_prob > 0 or self.drop_prob > 0
-                or self.oneway_prob > 0 or self.scheduler is not None)
+                or self.oneway_prob > 0 or self.byzantine_f > 0
+                or self.scheduler is not None)
 
     @property
     def churn(self) -> bool:
@@ -177,11 +236,14 @@ class FaultSpec:
     def can_unsettle(self) -> bool:
         """Whether an armed fault can break an already-settled run.
 
-        Flips rewrite states arbitrarily and joins add input-state
-        agents; crashes, drops, and one-way interactions can only
-        remove or suppress activity, which preserves unanimity.
+        Flips rewrite states arbitrarily, joins add input-state
+        agents, and byzantine lies push honest agents out of a
+        unanimous configuration; crashes, drops, and one-way
+        interactions can only remove or suppress activity, which
+        preserves unanimity.
         """
-        return self.flip_prob > 0 or self.join_prob > 0
+        return (self.flip_prob > 0 or self.join_prob > 0
+                or self.byzantine_f > 0)
 
     def key(self) -> dict:
         """Canonical fingerprint fragment: non-default fields only.
@@ -221,9 +283,13 @@ class FaultRuntime:
     __slots__ = ("spec", "flip_prob", "crash_prob", "join_prob",
                  "drop_prob", "oneway_prob", "horizon", "hold_until",
                  "floor", "churn", "flip_states", "join_states",
-                 "flips", "crashes", "joins", "drops", "oneway")
+                 "byz_f", "byz_mode", "byz_lie", "byz_lie_a",
+                 "byz_lie_b", "byz_class",
+                 "flips", "crashes", "joins", "drops", "oneway",
+                 "byzantine_lies", "byzantine_meetings")
 
-    def __init__(self, spec, flip_states, join_states):
+    def __init__(self, spec, flip_states, join_states, *,
+                 byz_lie=0, byz_lie_a=0, byz_lie_b=0, byz_class=None):
         self.spec = spec
         self.flip_prob = spec.flip_prob
         self.crash_prob = spec.crash_prob
@@ -240,26 +306,51 @@ class FaultRuntime:
         self.churn = spec.churn
         self.flip_states = flip_states
         self.join_states = join_states
+        self.byz_f = spec.byzantine_f
+        self.byz_mode = spec.byzantine_mode
+        self.byz_lie = byz_lie
+        self.byz_lie_a = byz_lie_a
+        self.byz_lie_b = byz_lie_b
+        self.byz_class = byz_class
         self.flips = 0
         self.crashes = 0
         self.joins = 0
         self.drops = 0
         self.oneway = 0
+        self.byzantine_lies = 0
+        self.byzantine_meetings = 0
 
     @classmethod
     def build(cls, spec: FaultSpec, protocol: PopulationProtocol, *,
               expected: int | None,
-              scheduler_ok: bool = False) -> "FaultRuntime":
+              scheduler_ok: bool = False,
+              byzantine_ok: bool = False,
+              n: int | None = None) -> "FaultRuntime":
         """Resolve the protocol-dependent pieces of ``spec``.
 
         Raises when the fault model needs information the run cannot
-        provide (targeted corruption without an expected output) or a
-        capability the engine lacks (``scheduler_ok=False``).
+        provide (targeted corruption without an expected output, a
+        byzantine budget of ``f >= n`` when the population size ``n``
+        is known) or a capability the engine lacks (``scheduler_ok`` /
+        ``byzantine_ok`` = False).
         """
         if spec.scheduler is not None and not scheduler_ok:
             raise InvalidParameterError(
                 f"adversarial scheduler {spec.scheduler!r} requires the "
                 "agent engine on the complete graph (engine='agent')")
+        byz_kwargs = {}
+        if spec.byzantine_f > 0:
+            if not byzantine_ok:
+                raise InvalidParameterError(
+                    "byzantine corruption is supported by the count, "
+                    "agent, and (token) ensemble engines; use one of "
+                    "those instead")
+            if n is not None and spec.byzantine_f >= n:
+                raise InvalidParameterError(
+                    f"byzantine_f={spec.byzantine_f} must be smaller "
+                    f"than the population (n={n}); at least one honest "
+                    "agent is required")
+            byz_kwargs = cls._resolve_byzantine(spec, protocol, expected)
         s = protocol.num_states
         flip_states = np.arange(s, dtype=np.int64)
         if spec.flip_prob > 0 and spec.flip_mode == "targeted":
@@ -283,7 +374,42 @@ class FaultRuntime:
                 dtype=np.int64)
         else:
             join_states = np.arange(s, dtype=np.int64)
-        return cls(spec, flip_states, join_states)
+        return cls(spec, flip_states, join_states, **byz_kwargs)
+
+    @staticmethod
+    def _resolve_byzantine(spec, protocol, expected) -> dict:
+        """Lie-state indices and output classes for byzantine faults.
+
+        The stubborn lie (also the adaptive tie-breaker) is the
+        minority *input* state, resolved like targeted flips; when no
+        expected output exists (a tie input) the adaptive mode falls
+        back to lying with input B.
+        """
+        if not isinstance(protocol, MajorityProtocol):
+            raise InvalidParameterError(
+                "byzantine lies target majority opinions and need a "
+                f"majority protocol; {protocol.name} is not one")
+        if expected is None and spec.byzantine_mode == "stubborn":
+            raise InvalidParameterError(
+                "stubborn byzantine lies need a defined expected output "
+                "(a majority input form, or initial= with expected=)")
+        index = protocol.state_index
+        lie_a = index[protocol.initial_state(protocol.INPUT_A)]
+        lie_b = index[protocol.initial_state(protocol.INPUT_B)]
+        lie = lie_b if expected in (None, MAJORITY_A) else lie_a
+        byz_class = None
+        if spec.byzantine_mode == "adaptive":
+            # Output class per state: 0 undecided, 1 output-0 (B side),
+            # 2 output-1 (A side) — the trailing class picks the lie.
+            byz_class = np.zeros(protocol.num_states, dtype=np.int64)
+            for position, state in enumerate(protocol.states):
+                out = protocol.output(state)
+                if out == MAJORITY_A:
+                    byz_class[position] = 2
+                elif out is not None:
+                    byz_class[position] = 1
+        return {"byz_lie": lie, "byz_lie_a": lie_a, "byz_lie_b": lie_b,
+                "byz_class": byz_class}
 
     # -- scalar draws (sequential engines) -----------------------------
 
@@ -303,6 +429,29 @@ class FaultRuntime:
             return int(states[0])
         return int(states[int(rng.random() * len(states))])
 
+    def byzantine_lie_state(self, counts) -> int:
+        """The lie a byzantine participant presents right now.
+
+        ``counts`` is the live per-state count sequence.  Stubborn
+        liars present the fixed minority input state; adaptive liars
+        present the input state of the opinion class currently holding
+        fewer supporters (ties fall back to the stubborn lie).
+        """
+        if self.byz_class is None:
+            return self.byz_lie
+        sup_a = 0
+        sup_b = 0
+        for cls, count in zip(self.byz_class, counts):
+            if cls == 2:
+                sup_a += count
+            elif cls == 1:
+                sup_b += count
+        if sup_a < sup_b:
+            return self.byz_lie_a
+        if sup_b < sup_a:
+            return self.byz_lie_b
+        return self.byz_lie
+
     # -- vectorized draws (ensemble engine) ----------------------------
 
     def sample_flip_states(self, rng, size: int) -> np.ndarray:
@@ -317,13 +466,37 @@ class FaultRuntime:
             return np.full(size, states[0], dtype=np.int64)
         return states[rng.integers(0, len(states), size=size)]
 
+    def byzantine_lie_rows(self, counts_matrix: np.ndarray) -> np.ndarray:
+        """Per-row lie states for an ensemble counts matrix.
+
+        The vectorized counterpart of :meth:`byzantine_lie_state`:
+        one lie per ensemble row, from that row's live configuration.
+        """
+        rows = counts_matrix.shape[0]
+        if self.byz_class is None:
+            return np.full(rows, self.byz_lie, dtype=np.int64)
+        sup_a = counts_matrix @ (self.byz_class == 2).astype(np.int64)
+        sup_b = counts_matrix @ (self.byz_class == 1).astype(np.int64)
+        return np.where(
+            sup_a < sup_b, self.byz_lie_a,
+            np.where(sup_b < sup_a, self.byz_lie_b, self.byz_lie))
+
     # -- reporting -----------------------------------------------------
 
     def events(self) -> dict:
-        """Injection counts by fault class (the ``fault.*`` totals)."""
-        return {"flips": self.flips, "crashes": self.crashes,
-                "joins": self.joins, "drops": self.drops,
-                "oneway": self.oneway}
+        """Injection counts by fault class (the ``fault.*`` totals).
+
+        The byzantine counters appear only under an active byzantine
+        budget, so pre-existing fault models keep their exact event
+        dictionaries (and cached results stay byte-identical).
+        """
+        out = {"flips": self.flips, "crashes": self.crashes,
+               "joins": self.joins, "drops": self.drops,
+               "oneway": self.oneway}
+        if self.byz_f:
+            out["byzantine_lies"] = self.byzantine_lies
+            out["byzantine_meetings"] = self.byzantine_meetings
+        return out
 
     def make_scheduler(self, n: int):
         """The adversarial :class:`PairSampler`, or ``None``."""

@@ -138,6 +138,18 @@ def _make_avc(**params):
     return AVCProtocol(**params)
 
 
+def _make_ben_or(**params):
+    from ..consensus.algorithms import BenOrConsensus
+
+    return BenOrConsensus(**params)
+
+
+def _make_epsilon_agreement(**params):
+    from ..consensus.algorithms import EpsilonAgreementConsensus
+
+    return EpsilonAgreementConsensus(**params)
+
+
 def _register_builtins() -> None:
     from .four_state import FourStateProtocol
     from .interval_consensus import IntervalConsensusProtocol
@@ -175,6 +187,13 @@ def _register_builtins() -> None:
              description="role-partitioned O(log n)-state exact "
                          "majority [arXiv:2011.12633] "
                          "(params levels, phase_len)")
+    register("ben-or", _make_ben_or,
+             description="round-based randomized binary byzantine "
+                         "consensus [Ben-Or, PODC 1983]")
+    register("epsilon-agreement", _make_epsilon_agreement,
+             description="round-based deterministic approximate "
+                         "agreement by trimmed averaging [JACM 1986] "
+                         "(param epsilon_agree)")
 
 
 _register_builtins()

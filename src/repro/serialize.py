@@ -26,6 +26,10 @@ from __future__ import annotations
 
 import dataclasses
 
+from .consensus.algorithms import (
+    BenOrConsensus,
+    EpsilonAgreementConsensus,
+)
 from .core.avc import AVCProtocol
 from .errors import InvalidParameterError
 from .faults import FaultSpec
@@ -69,6 +73,7 @@ _SIMPLE_KINDS = {
     "interval-consensus": IntervalConsensusProtocol,
     "voter": VoterProtocol,
     "leader-election": PairwiseLeaderElection,
+    "ben-or": BenOrConsensus,
 }
 
 
@@ -85,6 +90,9 @@ def protocol_to_dict(protocol: PopulationProtocol) -> dict:
     if isinstance(protocol, LeveledLeaderElection):
         return {"kind": "leveled-leader-election",
                 "levels": protocol.levels}
+    if isinstance(protocol, EpsilonAgreementConsensus):
+        return {"kind": "epsilon-agreement",
+                "epsilon_agree": protocol.epsilon_agree}
     for kind, cls in _SIMPLE_KINDS.items():
         if type(protocol) is cls:
             return {"kind": kind}
@@ -156,6 +164,9 @@ def protocol_from_dict(payload: dict) -> PopulationProtocol:
                                         phase_len=payload["phase_len"])
     if kind == "leveled-leader-election":
         return LeveledLeaderElection(levels=payload["levels"])
+    if kind == "epsilon-agreement":
+        return EpsilonAgreementConsensus(
+            epsilon_agree=payload["epsilon_agree"])
     if kind in _SIMPLE_KINDS:
         return _SIMPLE_KINDS[kind]()
     if kind in ("table", "majority-table"):

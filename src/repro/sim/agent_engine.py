@@ -42,6 +42,7 @@ class AgentEngine(Engine):
     name = "agent"
     supports_faults = True
     supports_fault_scheduler = True
+    supports_byzantine = True
 
     def __init__(self, protocol, *, graph=None, pair_sampler=None,
                  placement: str = "random"):
@@ -153,11 +154,21 @@ class AgentEngine(Engine):
 
     def _faulted_sampler_loop(self, sampler, agents, counts, n, rng,
                               max_steps, tracker, recorder, runtime):
-        """Fixed-population fault loop: pairs come from the sampler."""
+        """Fixed-population fault loop: pairs come from the sampler.
+
+        Byzantine membership is drawn per meeting with the
+        hypergeometric probability of a participant belonging to the
+        corrupted set (agents are exchangeable, so this is the
+        fixed-subset adversary in distribution — and exactly the count
+        engine's chain).  The membership uniforms come from a separate
+        per-block batch drawn only when the budget is positive, so
+        pre-byzantine fault models keep their exact random streams.
+        """
         lookup = self._transition_lookup()
         flip_p = runtime.flip_prob
         drop_p = runtime.drop_prob
         ow_p = runtime.oneway_prob
+        byz_f = runtime.byz_f
         horizon = runtime.horizon
         hold_until = runtime.hold_until
 
@@ -168,7 +179,10 @@ class AgentEngine(Engine):
             first, second = sampler.sample_block(rng, block)
             # Columns: drop, one-way, flip.
             fault_rows = rng.random((block, 3)).tolist()
-            for a, b, (du, ou, fu) in zip(first, second, fault_rows):
+            # Columns: initiator-byzantine, responder-byzantine.
+            byz_rows = rng.random((block, 2)).tolist() if byz_f else None
+            for tick, (a, b, (du, ou, fu)) in enumerate(
+                    zip(first, second, fault_rows)):
                 armed = horizon is None or steps < horizon
                 steps += 1
                 changed = False
@@ -177,7 +191,25 @@ class AgentEngine(Engine):
                 else:
                     i = agents[a]
                     j = agents[b]
-                    new_i, new_j = lookup(i, j)
+                    if armed and byz_f:
+                        bu, bv = byz_rows[tick]
+                        b1 = bu * n < byz_f
+                        b2 = bv * (n - 1) < byz_f - b1
+                    else:
+                        b1 = b2 = False
+                    if b1 or b2:
+                        runtime.byzantine_meetings += 1
+                        runtime.byzantine_lies += b1 + b2
+                        if b1 and b2:
+                            new_i, new_j = i, j
+                        elif b1:
+                            lie = runtime.byzantine_lie_state(counts)
+                            new_i, new_j = i, lookup(lie, j)[1]
+                        else:
+                            lie = runtime.byzantine_lie_state(counts)
+                            new_i, new_j = lookup(i, lie)[0], j
+                    else:
+                        new_i, new_j = lookup(i, j)
                     if armed and ow_p > 0.0 and ou < ow_p:
                         runtime.oneway += 1
                         new_j = j

@@ -30,6 +30,7 @@ class CountEngine(Engine):
 
     name = "count"
     supports_faults = True
+    supports_byzantine = True
 
     def _simulate(self, counts, n, rng, max_steps, tracker, recorder):
         check_budget_sanity(max_steps)
@@ -99,12 +100,15 @@ def simulate_faulted_counts(engine, counts, n, rng, max_steps, tracker,
     """Sequential count-vector loop with online fault injection.
 
     The canonical per-tick order (identical across engines): the
-    scheduled interaction — suppressed by a drop, halved by a one-way
-    fault — then flip, crash, join.  Pair and Bernoulli uniforms are
-    pre-drawn per block; the rare per-event draws (victims, replacement
-    states) come from scalar calls at injection time.  Pairs are drawn
-    as floats scaled by the *live* population, since churn resizes it
-    mid-block.
+    scheduled interaction — suppressed by a drop, corrupted by
+    byzantine lies, halved by a one-way fault — then flip, crash,
+    join.  Pair and Bernoulli uniforms are pre-drawn per block; the
+    rare per-event draws (victims, replacement states) come from
+    scalar calls at injection time.  Pairs are drawn as floats scaled
+    by the *live* population, since churn resizes it mid-block.  The
+    byzantine membership uniforms are drawn in a separate per-block
+    batch only when the budget is positive, so every pre-byzantine
+    fault model keeps its exact random stream.
 
     Shared by :class:`CountEngine` and the ensemble engine's
     single-run path.
@@ -120,6 +124,7 @@ def simulate_faulted_counts(engine, counts, n, rng, max_steps, tracker,
     join_p = runtime.join_prob
     drop_p = runtime.drop_prob
     ow_p = runtime.oneway_prob
+    byz_f = runtime.byz_f
     horizon = runtime.horizon
     hold_until = runtime.hold_until
     floor = runtime.floor
@@ -131,7 +136,10 @@ def simulate_faulted_counts(engine, counts, n, rng, max_steps, tracker,
         pair_rows = rng.random((block, 2)).tolist()
         # Columns: drop, one-way, flip, crash, join.
         fault_rows = rng.random((block, 5)).tolist()
-        for (pu, pv), (du, ou, fu, cu, ju) in zip(pair_rows, fault_rows):
+        # Columns: initiator-byzantine, responder-byzantine.
+        byz_rows = rng.random((block, 2)).tolist() if byz_f else None
+        for tick, ((pu, pv), (du, ou, fu, cu, ju)) in enumerate(
+                zip(pair_rows, fault_rows)):
             armed = horizon is None or steps < horizon
             steps += 1
             changed = False
@@ -143,7 +151,25 @@ def simulate_faulted_counts(engine, counts, n, rng, max_steps, tracker,
                 tree_add(i, -1)
                 j = tree_find(int(pv * (n - 1)))
                 tree_add(i, 1)
-                new_i, new_j = lookup(i, j)
+                if armed and byz_f:
+                    bu, bv = byz_rows[tick]
+                    b1 = bu * n < byz_f
+                    b2 = bv * (n - 1) < byz_f - b1
+                else:
+                    b1 = b2 = False
+                if b1 or b2:
+                    runtime.byzantine_meetings += 1
+                    runtime.byzantine_lies += b1 + b2
+                    if b1 and b2:
+                        new_i, new_j = i, j
+                    elif b1:
+                        lie = runtime.byzantine_lie_state(counts)
+                        new_i, new_j = i, lookup(lie, j)[1]
+                    else:
+                        lie = runtime.byzantine_lie_state(counts)
+                        new_i, new_j = lookup(i, lie)[0], j
+                else:
+                    new_i, new_j = lookup(i, j)
                 if armed and ow_p > 0.0 and ou < ow_p:
                     runtime.oneway += 1
                     new_j = j

@@ -75,6 +75,10 @@ class Engine(ABC):
     #: Whether the engine honours adversarial pair schedulers
     #: (``FaultSpec.scheduler``); only the agent engine does.
     supports_fault_scheduler = False
+    #: Whether the engine injects byzantine lies
+    #: (``FaultSpec.byzantine_f``); the count, agent, and token
+    #: ensemble paths do.
+    supports_byzantine = False
 
     def __init__(self, protocol: PopulationProtocol):
         self.protocol = protocol
@@ -151,7 +155,8 @@ class Engine(ABC):
 
             runtime = FaultRuntime.build(
                 active, self.protocol, expected=expected,
-                scheduler_ok=self.supports_fault_scheduler)
+                scheduler_ok=self.supports_fault_scheduler,
+                byzantine_ok=self.supports_byzantine, n=n)
 
         count_list = [int(c) for c in counts]
         tracker = make_settle_tracker(self.protocol, count_list)
@@ -274,9 +279,10 @@ class Engine(ABC):
 
         Only called with an *active* :class:`~repro.faults.FaultRuntime`
         and only on engines declaring ``supports_faults = True``.  The
-        canonical per-tick order is interaction (subject to drop /
-        one-way), then flip, then crash, then join; settling is only
-        terminal once ``steps >= runtime.hold_until``.
+        canonical per-tick order is interaction (subject to drop, then
+        byzantine message corruption, then one-way), then flip, then
+        crash, then join; settling is only terminal once
+        ``steps >= runtime.hold_until``.
         """
         raise NotImplementedError(
             f"engine {self.name!r} declares fault support but does not "

@@ -190,6 +190,11 @@ def create(protocol, name: str, *, graph=None,
         raise InvalidParameterError(
             f"engine {resolved!r} only supports the complete graph; "
             "use engine='agent' for custom interaction graphs")
+    if getattr(protocol, "is_round_based", False) and resolved != "rounds":
+        raise InvalidParameterError(
+            f"{protocol.name} is a round-based message-passing "
+            f"protocol with no pairwise dynamics; engine {resolved!r} "
+            "cannot run it (use engine='rounds' or 'auto')")
     return entry.factory(protocol, graph=graph,
                          batch_fraction=batch_fraction)
 
@@ -210,6 +215,10 @@ def _auto_policy(protocol, *, graph=None, num_trials: int = 1,
     it), and the count engine otherwise.  The approximate batch engine
     is never chosen implicitly.
     """
+    if getattr(protocol, "is_round_based", False):
+        # Synchronous message-passing protocols (repro.consensus) have
+        # no pairwise dynamics; only the rounds engine can run them.
+        return "rounds"
     if graph is not None:
         return "agent"
     if protocol.num_states <= NULL_SKIP_MAX_STATES:
@@ -252,6 +261,15 @@ def _require_dense_tables(protocol, name: str):
     return protocol
 
 
+def _rounds_factory(protocol, **_):
+    # Imported lazily: the consensus subpackage is only paid for by
+    # callers actually running round-based protocols.
+    from ..consensus.rounds import RoundsEngine
+
+    return RoundsEngine(protocol)
+
+
+register("rounds", _rounds_factory)
 register("ensemble",
          lambda protocol, **_:
          EnsembleEngine(_require_dense_tables(protocol, "ensemble")))

@@ -108,6 +108,7 @@ class EnsembleEngine(Engine):
 
     name = "ensemble"
     supports_faults = True
+    supports_byzantine = True
 
     # ------------------------------------------------------------------
     # Vectorized ensemble path
@@ -153,7 +154,8 @@ class EnsembleEngine(Engine):
             # everything else is injected vectorized below.
             runtime = FaultRuntime.build(active, protocol,
                                          expected=expected,
-                                         scheduler_ok=False)
+                                         scheduler_ok=False,
+                                         byzantine_ok=True, n=n)
         # Telemetry records per-chunk aggregates only — the hot loop
         # just bumps two local ints per vectorized round.
         telemetry = current_telemetry()
@@ -340,9 +342,12 @@ class EnsembleEngine(Engine):
         valid exactly up to the first tick whose configuration differs
         from the one they were drawn from, and faults — like productive
         interactions — end that prefix.  Dropped meetings, one-way
-        faults on null pairs, and floor-suppressed crashes leave the
+        faults on null pairs, byzantine meetings whose lie induces a
+        null transition, and floor-suppressed crashes leave the
         configuration intact, so speculation runs straight through
-        them.
+        them.  Byzantine corruption is applied as a masked rewrite of
+        the presented pair before the transition gather (see the
+        ``byz_f`` branch below).
 
         Two extra pieces of bookkeeping versus the clean loop:
 
@@ -366,6 +371,7 @@ class EnsembleEngine(Engine):
         join_p = runtime.join_prob
         drop_p = runtime.drop_prob
         ow_p = runtime.oneway_prob
+        byz_f = runtime.byz_f
         horizon = runtime.horizon
         hold_until = runtime.hold_until
         floor = runtime.floor
@@ -381,8 +387,13 @@ class EnsembleEngine(Engine):
         productive = np.zeros(num_trials, dtype=np.int64)
         steps_r = np.zeros(num_trials, dtype=np.int64)
         n_live = np.full(num_trials, n, dtype=np.int64)
+        ev_kinds = ["flips", "crashes", "joins", "drops", "oneway"]
+        if byz_f:
+            # Only byzantine runs carry the byzantine counters, so
+            # pre-byzantine fault models keep their exact event dicts.
+            ev_kinds += ["byzantine_lies", "byzantine_meetings"]
         ev = {kind: np.zeros(num_trials, dtype=np.int64)
-              for kind in ("flips", "crashes", "joins", "drops", "oneway")}
+              for kind in ev_kinds}
         live = num_trials
         row_sel = np.arange(live)[None, :]
         counts_flat = counts.reshape(-1)
@@ -446,10 +457,40 @@ class EnsembleEngine(Engine):
             crash_ev = bernoulli(crash_p)
             join_ev = bernoulli(join_p)
 
-            inter_change = nonnull_full[pair]
-            if ow_ev is not None:
-                inter_change = np.where(ow_ev, nonnull_ow[pair],
-                                        inter_change)
+            if byz_f:
+                # Hypergeometric possession per meeting: initiator
+                # byzantine with probability f/n, responder with
+                # (f - [initiator byzantine])/(n - 1) — the fixed
+                # corrupted-subset adversary in distribution (tokens
+                # are exchangeable), and exactly the scalar engines'
+                # chain.  Drawn as a separate batch after the fault
+                # masks so pre-byzantine streams stay bit-identical.
+                b1 = generator.random((w, live)) * n < byz_f
+                b2 = (generator.random((w, live)) * (n - 1)
+                      < byz_f - b1.astype(np.int64))
+                if armed is not None:
+                    b1 &= armed
+                    b2 &= armed
+                # One lie per live row, valid for the whole window:
+                # speculation only consumes draws up to the first
+                # configuration change, so the counts the adaptive
+                # adversary reads are current for every consumed tick.
+                lie_r = runtime.byzantine_lie_rows(counts)
+                pres = (np.where(b1, lie_r[None, :], i) * s
+                        + np.where(b2, lie_r[None, :], j))
+                # A byzantine participant presents the lie but never
+                # updates its own state.
+                ni = np.where(b1, i, table_x[pres])
+                nj = np.where(b2, j, table_y[pres])
+                if ow_ev is not None:
+                    nj = np.where(ow_ev, j, nj)
+                inter_change = (ni != i) | (nj != j)
+            else:
+                ni = nj = None
+                inter_change = nonnull_full[pair]
+                if ow_ev is not None:
+                    inter_change = np.where(ow_ev, nonnull_ow[pair],
+                                            inter_change)
             if drop_ev is not None:
                 inter_change &= ~drop_ev
             config_change = inter_change
@@ -465,12 +506,22 @@ class EnsembleEngine(Engine):
             steps_pre = steps_r
             steps_r = steps_r + consumed
 
-            if drop_ev is not None or ow_ev is not None:
+            if drop_ev is not None or ow_ev is not None or byz_f:
                 prefix = np.arange(w)[:, None] < consumed[None, :]
                 if drop_ev is not None:
                     ev["drops"] += (drop_ev & prefix).sum(axis=0)
                 if ow_ev is not None:
                     ev["oneway"] += (ow_ev & prefix).sum(axis=0)
+                if byz_f:
+                    meet = b1 | b2
+                    if drop_ev is not None:
+                        meet &= ~drop_ev  # dropped meetings carry no lie
+                    meet &= prefix
+                    ev["byzantine_meetings"] += meet.sum(axis=0)
+                    ev["byzantine_lies"] += np.where(
+                        meet,
+                        b1.astype(np.int64) + b2.astype(np.int64),
+                        0).sum(axis=0)
 
             idx = np.flatnonzero(apply_mask)
             if idx.size:
@@ -479,11 +530,16 @@ class EnsembleEngine(Engine):
                 #    the responder's state)
                 old_i = i[at, idx].astype(np.int64)
                 old_j = j[at, idx].astype(np.int64)
-                hot = old_i * s + old_j
-                new_i = table_x[hot]
-                new_j = table_y[hot]
-                if ow_ev is not None:
-                    new_j = np.where(ow_ev[at, idx], old_j, new_j)
+                if byz_f:
+                    # ni/nj already fold in the lies and one-way mask.
+                    new_i = ni[at, idx]
+                    new_j = nj[at, idx]
+                else:
+                    hot = old_i * s + old_j
+                    new_i = table_x[hot]
+                    new_j = table_y[hot]
+                    if ow_ev is not None:
+                        new_j = np.where(ow_ev[at, idx], old_j, new_j)
                 dropped_at = (drop_ev[at, idx] if drop_ev is not None
                               else np.zeros(idx.size, dtype=bool))
                 prod = (~dropped_at) & ((new_i != old_i)

@@ -194,8 +194,8 @@ class RunSpec:
     @cached_property
     def _resolved_input(self) -> tuple[dict, int | None]:
         if self.initial is not None:
-            return dict(self.initial), self.expected
-        if self.n is not None:
+            initial, expected = dict(self.initial), self.expected
+        elif self.n is not None:
             initial = self.protocol.initial_counts_for_margin(
                 self.n, self.epsilon, self.majority)
             expected = MAJORITY_A if self.majority == "A" else MAJORITY_B
@@ -208,6 +208,14 @@ class RunSpec:
                 expected = MAJORITY_B
             else:
                 expected = None  # a tie has no correct output
+        faults = active_faults(self.faults)
+        if faults is not None and faults.byzantine_f:
+            total = sum(initial.values())
+            if faults.byzantine_f >= total:
+                raise InvalidParameterError(
+                    f"byzantine_f={faults.byzantine_f} must be smaller "
+                    f"than the population (n={total}); at least one "
+                    "honest agent is required")
         return initial, expected
 
     def resolve_input(self) -> tuple[dict, int | None]:
@@ -326,8 +334,13 @@ def make_run_engine(spec: RunSpec) -> Engine:
                            batch_fraction=spec.batch_fraction,
                            num_trials=1)
     if not isinstance(spec.engine, Engine) and spec.engine == "auto":
-        name = ("agent" if faults.scheduler is not None
-                or spec.graph is not None else "count")
+        if getattr(spec.protocol, "is_round_based", False):
+            # Round-based message-passing protocols run on the rounds
+            # engine, which interprets byzantine_f as corrupted servers.
+            name = "rounds"
+        else:
+            name = ("agent" if faults.scheduler is not None
+                    or spec.graph is not None else "count")
         return make_engine(spec.protocol, name, graph=spec.graph,
                            batch_fraction=spec.batch_fraction,
                            num_trials=1)
@@ -342,6 +355,10 @@ def make_run_engine(spec: RunSpec) -> Engine:
         raise InvalidParameterError(
             f"engine {engine.name!r} does not support adversarial fault "
             "schedulers; use engine='agent'")
+    if faults.byzantine_f and not engine.supports_byzantine:
+        raise InvalidParameterError(
+            f"engine {engine.name!r} does not support byzantine "
+            "corruption; use the agent, count, or ensemble engine")
     return engine
 
 
@@ -396,6 +413,10 @@ def resolve_trial_engine(spec: RunSpec) -> tuple[Engine | None,
         return engine_registry.create(spec.protocol, engine), None
     if engine != "auto" or spec.num_trials < 2:
         return None, None
+    if getattr(spec.protocol, "is_round_based", False):
+        # Round-based protocols advance on the rounds engine
+        # (per-trial path); no vectorized ensemble exists for them.
+        return None, None
     if faults is not None and faults.scheduler is not None:
         # Adversarial schedulers need the agent engine (per-trial path).
         return None, None
@@ -412,10 +433,13 @@ def resolve_trial_engine(spec: RunSpec) -> tuple[Engine | None,
         return None, (f"state space too large for the dense table "
                       f"({s} > {ENSEMBLE_MAX_STATES})")
     initial, _ = spec.resolve_input()
-    if sum(initial.values()) >= COUNT_ENSEMBLE_MIN_N:
+    if (sum(initial.values()) >= COUNT_ENSEMBLE_MIN_N
+            and not (faults is not None and faults.byzantine_f)):
         # Same upgrade the "auto" registry policy applies: the JIT
         # twin when a kernel backend is usable, numpy otherwise
-        # (silently -- auto never promised a compiled engine).
+        # (silently -- auto never promised a compiled engine).  The
+        # count-ensemble family has no byzantine path, so byzantine
+        # batches stay on the token ensemble at every n.
         from .kernels import jit_engine_name
         return engine_registry.create(
             spec.protocol, jit_engine_name("count-ensemble")), None

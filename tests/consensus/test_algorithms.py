@@ -1,0 +1,151 @@
+"""Round-based consensus algorithms: Ben-Or and epsilon-agreement.
+
+Unit-level checks against :meth:`simulate_rounds` directly — the
+engine-independent contracts: validity, agreement, determinism, the
+``n > 3f`` termination region, and the adversary accounting.
+"""
+
+import numpy as np
+import pytest
+
+from repro import InvalidParameterError
+from repro.consensus import BenOrConsensus, EpsilonAgreementConsensus
+from repro.consensus.algorithms import ConsensusProtocol
+from repro.protocols.base import MAJORITY_A, MAJORITY_B
+
+
+def run_rounds(protocol, count_a, count_b, *, f=0, mode="stubborn",
+               expected=1, seed=0, max_rounds=200):
+    return protocol.simulate_rounds(
+        count_a, count_b, f=f, mode=mode, expected=expected,
+        rng=np.random.default_rng(seed), max_rounds=max_rounds)
+
+
+class TestProtocolInterface:
+    @pytest.mark.parametrize("protocol", [BenOrConsensus(),
+                                          EpsilonAgreementConsensus()])
+    def test_round_based_flag_and_binary_states(self, protocol):
+        assert protocol.is_round_based
+        assert tuple(protocol.enumerate_states()) == ("A", "B")
+        assert protocol.output("A") == MAJORITY_A
+        assert protocol.output("B") == MAJORITY_B
+        # No pairwise dynamics: the transition is the identity.
+        assert protocol.transition("A", "B") == ("A", "B")
+
+    def test_settlement_is_unanimity(self):
+        protocol = BenOrConsensus()
+        assert protocol.is_settled({"A": 5})
+        assert protocol.is_settled({"B": 5})
+        assert not protocol.is_settled({"A": 3, "B": 2})
+
+    def test_corruption_hits_the_majority_first(self):
+        corrupt = ConsensusProtocol._corrupt
+        assert corrupt(60, 40, 10, MAJORITY_A) == (50, 40)
+        assert corrupt(60, 40, 10, MAJORITY_B) == (60, 30)
+        # Spill: the budget exceeds the preferred side.
+        assert corrupt(60, 40, 45, MAJORITY_B) == (55, 0)
+        # No expected majority: split evenly.
+        assert corrupt(50, 50, 4, None) == (48, 48)
+
+
+class TestBenOr:
+    def test_clean_run_decides_immediately(self):
+        outcome = run_rounds(BenOrConsensus(), 60, 40)
+        assert outcome.settled
+        assert outcome.rounds == 1
+        assert outcome.decision == 1
+        assert outcome.lies == 0
+        assert outcome.final_counts == {"A": 100}
+
+    def test_validity_unanimous_input_is_kept(self):
+        for value, count_a, count_b, decision in [
+                ("A", 100, 0, 1), ("B", 0, 100, 0)]:
+            outcome = run_rounds(BenOrConsensus(), count_a, count_b,
+                                 expected=decision)
+            assert outcome.settled
+            assert outcome.decision == decision
+
+    @pytest.mark.parametrize("mode", ["stubborn", "adaptive"])
+    def test_agreement_with_a_small_budget(self, mode):
+        outcome = run_rounds(BenOrConsensus(), 60, 40, f=8, mode=mode,
+                             seed=5)
+        assert outcome.settled
+        assert outcome.decision in (0, 1)
+
+    def test_deterministic_given_a_seed(self):
+        a = run_rounds(BenOrConsensus(), 52, 48, f=10, seed=9)
+        b = run_rounds(BenOrConsensus(), 52, 48, f=10, seed=9)
+        assert (a.rounds, a.decision, a.settled, a.lies) \
+            == (b.rounds, b.decision, b.settled, b.lies)
+
+    def test_blocked_beyond_a_third(self):
+        """At n <= 3f the adversary can stall Ben-Or forever: neither
+        value ever clears the (n + f)/2 proposal threshold."""
+        outcome = run_rounds(BenOrConsensus(), 60, 40, f=40,
+                             mode="adaptive", max_rounds=200)
+        assert not outcome.settled
+        assert outcome.rounds == 200
+        assert outcome.decision is None
+
+    def test_lie_accounting(self):
+        """Every round delivers 2 phases x f liars x h honest
+        recipients."""
+        outcome = run_rounds(BenOrConsensus(), 60, 40, f=5, seed=3)
+        h = 100 - 5
+        assert outcome.broadcasts == 2 * outcome.rounds
+        assert outcome.lies == 2 * 5 * h * outcome.rounds
+
+
+class TestEpsilonAgreement:
+    def test_parameter_validation(self):
+        for bad in (0.0, 1.0, -0.2, 5.0):
+            with pytest.raises(InvalidParameterError,
+                               match="epsilon_agree"):
+                EpsilonAgreementConsensus(epsilon_agree=bad)
+
+    def test_requires_honest_majority_of_received_values(self):
+        with pytest.raises(InvalidParameterError, match="n > 2f"):
+            run_rounds(EpsilonAgreementConsensus(), 60, 40, f=50)
+
+    def test_clean_run_averages_in_one_round(self):
+        outcome = run_rounds(EpsilonAgreementConsensus(), 60, 40)
+        assert outcome.settled
+        assert outcome.rounds == 1
+        assert outcome.decision == 1
+
+    @pytest.mark.parametrize("mode", ["stubborn", "adaptive"])
+    def test_converges_under_a_small_budget(self, mode):
+        outcome = run_rounds(EpsilonAgreementConsensus(), 60, 40, f=5,
+                             mode=mode)
+        assert outcome.settled
+        assert outcome.decision == 1
+
+    def test_adaptive_equivocation_slows_convergence(self):
+        stubborn = run_rounds(EpsilonAgreementConsensus(), 60, 40,
+                              f=10, mode="stubborn")
+        adaptive = run_rounds(EpsilonAgreementConsensus(), 60, 40,
+                              f=10, mode="adaptive")
+        assert adaptive.rounds > stubborn.rounds
+
+    def test_large_stubborn_budget_flips_the_decision(self):
+        """f = 20 of n = 100 erases a 60/40 margin: the adversary
+        corrupts 20 majority servers and drags the trimmed mean below
+        1/2 — exactness is gone well before n/3."""
+        outcome = run_rounds(EpsilonAgreementConsensus(), 60, 40, f=20)
+        assert outcome.settled
+        assert outcome.decision == 0
+
+    def test_deterministic_without_randomness(self):
+        a = run_rounds(EpsilonAgreementConsensus(), 60, 40, f=10,
+                       mode="adaptive", seed=1)
+        b = run_rounds(EpsilonAgreementConsensus(), 60, 40, f=10,
+                       mode="adaptive", seed=99)
+        assert (a.rounds, a.decision, a.settled) \
+            == (b.rounds, b.decision, b.settled)
+
+    def test_tighter_epsilon_needs_more_rounds(self):
+        loose = run_rounds(EpsilonAgreementConsensus(0.25), 60, 40,
+                           f=10, mode="adaptive")
+        tight = run_rounds(EpsilonAgreementConsensus(0.001), 60, 40,
+                           f=10, mode="adaptive")
+        assert tight.rounds > loose.rounds

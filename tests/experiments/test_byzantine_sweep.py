@@ -1,0 +1,101 @@
+"""The byzantine exactness-breakdown sweep and its cache contract.
+
+The load-bearing property: the sweep's ``f = 0`` control points carry
+the *same fingerprints* as the robustness sweep's rate-0.0 controls
+(same protocols, geometry, and per-point seed formula), so the two
+sweeps share control cache entries and never re-simulate them.
+"""
+
+import pytest
+
+from repro.experiments import byzantine, robustness
+from repro.experiments.config import SCALES, Scale
+from repro.faults import FaultSpec
+from repro.runstore import Orchestrator, RunStore
+
+TINY = Scale(
+    name="tiny",
+    robustness_population=41,
+    robustness_trials=3,
+    robustness_rates=(0.0, 0.02),
+    robustness_horizon=2.0,
+    robustness_budget=20_000,
+    byzantine_budgets=(0, 2),
+)
+
+
+def _orchestrator(tmp_path):
+    return Orchestrator(RunStore(tmp_path / ".runstore"))
+
+
+class TestSpecFor:
+    def test_zero_budget_is_the_clean_spec(self):
+        assert byzantine.byzantine_spec_for(0, "stubborn", 400) is None
+
+    def test_active_budget_carries_mode_and_horizon(self):
+        spec = byzantine.byzantine_spec_for(3, "adaptive", 400)
+        assert spec == FaultSpec(byzantine_f=3,
+                                 byzantine_mode="adaptive",
+                                 horizon=400)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            byzantine.byzantine_rows(TINY, mode="sneaky")
+
+
+class TestScales:
+    @pytest.mark.parametrize("name", sorted(SCALES))
+    def test_budgets_defined_and_inside_the_population(self, name):
+        scale = SCALES[name]
+        assert scale.byzantine_budgets[0] == 0
+        assert all(f < scale.robustness_population
+                   for f in scale.byzantine_budgets)
+        assert list(scale.byzantine_budgets) \
+            == sorted(set(scale.byzantine_budgets))
+
+
+class TestSweep:
+    def test_rows_cover_the_grid(self, tmp_path):
+        rows = byzantine.byzantine_rows(
+            TINY, orchestrator=_orchestrator(tmp_path))
+        assert len(rows) == 2 * len(TINY.byzantine_budgets)
+        assert {row["byzantine_f"] for row in rows} \
+            == set(TINY.byzantine_budgets)
+        assert {row["protocol"] for row in rows} \
+            == {"avc(m=15,d=1)", "four-state"}
+        controls = [row for row in rows if row["byzantine_f"] == 0]
+        assert all(row["fault_model"] == "fault-free"
+                   for row in controls)
+        assert all(row["residual_error"] == 0.0 for row in controls)
+
+    def test_rerun_is_a_pure_cache_hit(self, tmp_path):
+        orch = _orchestrator(tmp_path)
+        first = byzantine.byzantine_rows(TINY, orchestrator=orch)
+        computed = orch.counters["computed"]
+        second = byzantine.byzantine_rows(TINY, orchestrator=orch)
+        assert second == first
+        assert orch.counters["computed"] == computed
+        assert orch.counters["cached"] == computed
+
+    def test_controls_shared_with_the_robustness_sweep(self, tmp_path):
+        """The satellite contract: after a robustness sweep, the
+        byzantine sweep's f=0 points are served from cache (and only
+        those — the faulted points are new), in either order."""
+        orch = _orchestrator(tmp_path)
+        robustness.robustness_rows(TINY, orchestrator=orch)
+        assert orch.counters["cached"] == 0
+        byzantine.byzantine_rows(TINY, orchestrator=orch)
+        # 2 protocols x 1 control point each came from the robustness
+        # controls; 2 protocols x 1 faulted budget were computed fresh.
+        assert orch.counters["cached"] == 2
+
+    def test_adaptive_and_stubborn_are_distinct_points(self, tmp_path):
+        orch = _orchestrator(tmp_path)
+        byzantine.byzantine_rows(TINY, mode="stubborn",
+                                 orchestrator=orch)
+        computed = orch.counters["computed"]
+        byzantine.byzantine_rows(TINY, mode="adaptive",
+                                 orchestrator=orch)
+        # Controls are shared across modes; the faulted points differ.
+        assert orch.counters["cached"] == 2
+        assert orch.counters["computed"] == computed + 2

@@ -1,0 +1,114 @@
+"""Byzantine fault specs and round-based consensus over the wire.
+
+The HTTP service must address the new subsystem exactly like the
+population protocols: byzantine ``FaultSpec`` fields round-trip
+through the ``POST /runs`` body, invalid corruption budgets map onto
+HTTP 422, and the consensus protocols are served by registry name.
+"""
+
+from __future__ import annotations
+
+from .conftest import small_spec
+
+
+def byzantine_spec(**overrides) -> dict:
+    spec = small_spec(faults={"byzantine_f": 3, "horizon": 400})
+    spec.update(overrides)
+    return spec
+
+
+def ben_or_spec(**overrides) -> dict:
+    spec = {
+        "schema": 1,
+        "protocol": {"name": "ben-or"},
+        "n": 100,
+        "epsilon": 0.2,
+        "num_trials": 2,
+        "seed": 7,
+        "max_steps": 500,
+        "faults": {"byzantine_f": 8},
+    }
+    spec.update(overrides)
+    return spec
+
+
+class TestByzantineFaultsOverHttp:
+    def test_byzantine_run_completes(self, client):
+        response = client.post_json("/runs?wait=60", byzantine_spec())
+        assert response.status == 200
+        view = response.json()
+        assert view["status"] == "done"
+        assert view["row"]["n"] == 120
+
+    def test_byzantine_fields_round_trip_to_the_cache(self, client):
+        fresh = client.post_json("/runs?wait=60",
+                                 byzantine_spec()).json()
+        cached = client.post_json("/runs", byzantine_spec()).json()
+        assert cached["cached"] is True
+        assert cached["row"] == fresh["row"]
+
+    def test_zero_budget_shares_the_clean_cache_entry(self, client):
+        clean = client.post_json("/runs?wait=60", small_spec()).json()
+        nulled = client.post_json(
+            "/runs", small_spec(faults={"byzantine_f": 0})).json()
+        assert nulled["cached"] is True
+        assert nulled["id"] == clean["id"]
+
+    def test_negative_budget_is_422(self, client):
+        response = client.post_json(
+            "/runs", small_spec(faults={"byzantine_f": -1}))
+        assert response.status == 422
+        assert "byzantine_f" in response.json()["error"]
+
+    def test_budget_at_population_size_is_422(self, client):
+        response = client.post_json(
+            "/runs", small_spec(faults={"byzantine_f": 120}))
+        assert response.status == 422
+        assert "honest" in response.json()["error"]
+
+    def test_unknown_mode_is_422(self, client):
+        response = client.post_json(
+            "/runs", small_spec(faults={"byzantine_f": 2,
+                                        "byzantine_mode": "sneaky"}))
+        assert response.status == 422
+        assert "byzantine_mode" in response.json()["error"]
+
+
+class TestConsensusOverHttp:
+    def test_ben_or_reaches_agreement(self, client):
+        response = client.post_json("/runs?wait=60", ben_or_spec())
+        assert response.status == 200
+        view = response.json()
+        assert view["status"] == "done"
+        assert view["row"]["settled_fraction"] == 1.0
+
+    def test_epsilon_agreement_with_params(self, client):
+        spec = ben_or_spec(
+            protocol={"name": "epsilon-agreement",
+                      "params": {"epsilon_agree": 0.1}},
+            faults={"byzantine_f": 5, "byzantine_mode": "adaptive"})
+        response = client.post_json("/runs?wait=60", spec)
+        assert response.status == 200
+        assert response.json()["row"]["settled_fraction"] == 1.0
+
+    def test_consensus_runs_are_cached(self, client):
+        fresh = client.post_json("/runs?wait=60", ben_or_spec()).json()
+        cached = client.post_json("/runs", ben_or_spec()).json()
+        assert cached["cached"] is True
+        assert cached["row"] == fresh["row"]
+
+    def test_unknown_protocol_name_is_422(self, client):
+        response = client.post_json(
+            "/runs", ben_or_spec(protocol={"name": "ben-or-deluxe"}))
+        assert response.status == 422
+        assert "unknown protocol" in response.json()["error"]
+
+    def test_population_faults_on_consensus_fail_the_job(self, client):
+        # Engine-capability errors surface when the job runs (the spec
+        # itself is well-formed), so the run reports "failed" with the
+        # engine's message rather than rejecting the submit.
+        response = client.post_json(
+            "/runs?wait=60", ben_or_spec(faults={"flip_prob": 0.01}))
+        view = response.json()
+        assert view["status"] == "failed"
+        assert "byzantine servers only" in view["error"]

@@ -24,7 +24,7 @@ class TestBuiltins:
         assert engines.available() == (
             "auto", "agent", "batch", "batch-jit", "continuous-time",
             "count", "count-ensemble", "count-ensemble-jit",
-            "count-jit", "ensemble", "null-skipping")
+            "count-jit", "ensemble", "null-skipping", "rounds")
 
     def test_is_policy(self):
         assert engines.is_policy("auto")
