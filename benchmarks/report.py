@@ -4,6 +4,7 @@ Usage::
 
     PYTHONPATH=src python benchmarks/report.py [--label "..."] [--full]
     PYTHONPATH=src python benchmarks/report.py --scaling
+    PYTHONPATH=src python benchmarks/report.py --distributed
     PYTHONPATH=src python benchmarks/report.py --dry-run
 
 Runs the acceptance workload from the ensemble-engine PR — AVC with
@@ -47,10 +48,14 @@ rows; kernel compilation happens outside every timed window.
 """
 
 import argparse
+import hashlib
 import json
+import os
 import pathlib
+import re
 import subprocess
 import sys
+import tempfile
 import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
@@ -63,6 +68,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_engines.json"
 SERVICE_OUTPUT = REPO_ROOT / "BENCH_service.json"
 BYZANTINE_OUTPUT = REPO_ROOT / "BENCH_byzantine.json"
+SWEEPS_OUTPUT = REPO_ROOT / "BENCH_sweeps.json"
 
 WORKLOAD = {
     "protocol": "avc",
@@ -390,6 +396,112 @@ def byzantine_report(label: str | None = None) -> int:
     return 0
 
 
+#: The distributed-sweep scaling workload (``--distributed``): the
+#: default-scale figure-4 grid, drained fresh (empty store, temp
+#: output dir) once per worker count.  The CSV digest must match
+#: across every leg — distribution may only change wall time, never
+#: bytes — and the fleet audit must report zero duplicate simulations.
+DISTRIBUTED_SWEEP = ["figure4", "--scale", "default"]
+DISTRIBUTED_WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def _run_sweep_leg(workers: int) -> dict:
+    """One cold sweep with ``workers`` cooperating processes."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    with tempfile.TemporaryDirectory(
+            prefix=f"bench-sweeps-{workers}w-") as tmp:
+        command = [sys.executable, "-m", "repro", *DISTRIBUTED_SWEEP,
+                   "--output-dir", tmp]
+        if workers > 1:
+            command += ["--workers", str(workers)]
+        started = time.perf_counter()
+        proc = subprocess.run(command, capture_output=True, text=True,
+                              env=env, cwd=REPO_ROOT)
+        seconds = time.perf_counter() - started
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"sweep leg with {workers} worker(s) failed:\n"
+                f"{proc.stdout}\n{proc.stderr}")
+        csvs = sorted(pathlib.Path(tmp).glob("*.csv"))
+        if len(csvs) != 1:
+            raise RuntimeError(
+                f"expected one CSV from the sweep leg, found {csvs}")
+        leg = {
+            "workers": workers,
+            "seconds": round(seconds, 2),
+            "csv_sha256": hashlib.sha256(
+                csvs[0].read_bytes()).hexdigest(),
+        }
+        duplicates = re.search(r"(\d+) duplicate simulation\(s\)",
+                               proc.stdout)
+        if duplicates is not None:
+            leg["duplicate_simulations"] = int(duplicates.group(1))
+        reclaims = re.search(r"(\d+) lease\(s\) reclaimed", proc.stdout)
+        if reclaims is not None:
+            leg["lease_reclaims"] = int(reclaims.group(1))
+        return leg
+
+
+def distributed_report(label: str | None = None) -> int:
+    """Append a sweep-scaling measurement to BENCH_sweeps.json.
+
+    Wall time of the default-scale figure-4 sweep at 1/2/4/8
+    cooperating workers, each leg against a fresh store in a temp
+    output directory.  Three correctness gates ride along: every leg's
+    CSV digest must be identical (distribution never changes bytes),
+    every multi-worker leg's fleet audit must report zero duplicate
+    simulations, and a failed leg aborts the record.
+
+    The speedup ceiling is ``min(workers, cpu_count)``: the engines
+    are CPU-bound numpy loops, so worker processes beyond the core
+    count only add lease/poll overhead.  The record keeps
+    ``cpu_count`` so a reader never compares a 1-core container's
+    numbers against a workstation's.
+    """
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "git": git_revision(),
+        "label": label,
+        "sweep": " ".join(DISTRIBUTED_SWEEP),
+        "cpu_count": os.cpu_count(),
+        "note": ("speedup is bounded by min(workers, cpu_count); on a "
+                 "single-core host the legs only measure coordination "
+                 "overhead, not parallelism"),
+        "legs": [],
+    }
+    for workers in DISTRIBUTED_WORKER_COUNTS:
+        print(f"measuring {' '.join(DISTRIBUTED_SWEEP)} with "
+              f"{workers} worker(s)...", flush=True)
+        leg = _run_sweep_leg(workers)
+        record["legs"].append(leg)
+        print(f"  {workers} worker(s): {leg['seconds']} s, "
+              f"{leg.get('duplicate_simulations', 0)} duplicate(s)")
+    base = record["legs"][0]["seconds"]
+    for leg in record["legs"]:
+        leg["speedup_vs_single"] = round(base / leg["seconds"], 2)
+    digests = {leg["csv_sha256"] for leg in record["legs"]}
+    record["csv_identical_across_legs"] = len(digests) == 1
+    if len(digests) != 1:
+        raise AssertionError(
+            f"distributed legs produced differing CSVs: {digests}")
+    duplicates = sum(leg.get("duplicate_simulations", 0)
+                     for leg in record["legs"])
+    record["total_duplicate_simulations"] = duplicates
+    print(f"csv identical across legs: "
+          f"{record['csv_identical_across_legs']}, "
+          f"{duplicates} duplicate simulation(s) total")
+    if SWEEPS_OUTPUT.exists():
+        document = json.loads(SWEEPS_OUTPUT.read_text())
+    else:
+        document = {"history": []}
+    document["history"].append(record)
+    SWEEPS_OUTPUT.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"appended record to {SWEEPS_OUTPUT}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--label", default=None,
@@ -427,12 +539,20 @@ def main(argv=None) -> int:
                              "engine, byzantine-injection overhead "
                              "vs clean on the count engine) and "
                              "append to BENCH_byzantine.json instead")
+    parser.add_argument("--distributed", action="store_true",
+                        help="measure distributed sweep execution "
+                             "(default-scale figure-4 wall time at "
+                             "1/2/4/8 workers, duplicate audit, CSV "
+                             "byte-identity) and append to "
+                             "BENCH_sweeps.json instead")
     args = parser.parse_args(argv)
 
     if args.service:
         return service_report(label=args.label)
     if args.byzantine:
         return byzantine_report(label=args.label)
+    if args.distributed:
+        return distributed_report(label=args.label)
     unknown = sorted(set(args.engines) - set(ENGINE_NAMES))
     if unknown:
         parser.error(f"unknown engine(s) {unknown}; "

@@ -129,8 +129,14 @@ def byzantine_rows(scale: Scale, *, mode: str = "stubborn",
                 seed=seed + 1000 * f_index + proto_index,
                 faults=faults, max_steps=scale.robustness_budget,
                 describe=describe)
-            rows.append(dict(row, byzantine_f=f, byzantine_mode=mode,
-                             advantage=advantage))
+            # In place, not dict(row, ...): in work-queue mode `row`
+            # is a placeholder filled by drain(), and the store hands
+            # out fresh copies, so augmenting it is safe either way.
+            row["byzantine_f"] = f
+            row["byzantine_mode"] = mode
+            row["advantage"] = advantage
+            rows.append(row)
+    orch.drain()
     return rows
 
 
@@ -145,7 +151,7 @@ def main(argv=None) -> int:
     parser.add_argument("--mode", default="stubborn",
                         choices=BYZANTINE_MODES,
                         help="which adversary to sweep")
-    add_sweep_arguments(parser)
+    add_sweep_arguments(parser, workers=True)
     add_telemetry_arguments(parser)
     args = parser.parse_args(argv)
 

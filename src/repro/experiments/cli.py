@@ -34,6 +34,7 @@ from . import (
     lowerbound_logn,
 )
 from ..runstore import cli as runs_cli
+from ..runstore import workers_cli
 from ..service import cli as serve_cli
 
 __all__ = ["main"]
@@ -53,6 +54,7 @@ _SUBCOMMANDS = {
     "report": report.main,
     "runs": runs_cli.main,
     "serve": serve_cli.main,
+    "workers": workers_cli.main,
 }
 
 

@@ -100,6 +100,7 @@ def figure3_rows(scale: Scale, *, seed: int = DEFAULT_SEED,
                 seed=seed + 1000 * point_index + proto_index,
                 engine=engine)
             rows.append(row)
+    orch.drain()
     return rows
 
 
@@ -112,7 +113,7 @@ def main(argv=None) -> int:
     parser.add_argument("--avc-engine", default="ensemble",
                         choices=("ensemble", "count", "batch", "agent"),
                         help="engine for the n-state AVC runs")
-    add_sweep_arguments(parser)
+    add_sweep_arguments(parser, workers=True)
     add_telemetry_arguments(parser)
     args = parser.parse_args(argv)
 

@@ -86,6 +86,7 @@ def figure4_rows(scale: Scale, *, seed: int = DEFAULT_SEED,
             row["s"] = s
             row["s_times_epsilon"] = s * epsilon
             rows.append(row)
+    orch.drain()
     return rows
 
 
@@ -100,7 +101,7 @@ def main(argv=None) -> int:
                         help="ensemble advances all trials of a point "
                              "at once (exact); batch trades exactness "
                              "for speed at paper scale")
-    add_sweep_arguments(parser)
+    add_sweep_arguments(parser, workers=True)
     add_telemetry_arguments(parser)
     args = parser.parse_args(argv)
 

@@ -128,8 +128,13 @@ def robustness_rows(scale: Scale, *, fault_kind: str = "flip",
                 seed=seed + 1000 * rate_index + proto_index,
                 faults=faults, max_steps=scale.robustness_budget,
                 describe=describe)
-            rows.append(dict(row, fault_kind=fault_kind,
-                             fault_rate=rate))
+            # In place, not dict(row, ...): in work-queue mode `row`
+            # is a placeholder filled by drain(), and the store hands
+            # out fresh copies, so augmenting it is safe either way.
+            row["fault_kind"] = fault_kind
+            row["fault_rate"] = rate
+            rows.append(row)
+    orch.drain()
     return rows
 
 
@@ -142,7 +147,7 @@ def main(argv=None) -> int:
     parser.add_argument("--fault-kind", default="flip",
                         choices=FAULT_KINDS,
                         help="which fault class to sweep")
-    add_sweep_arguments(parser)
+    add_sweep_arguments(parser, workers=True)
     add_telemetry_arguments(parser)
     args = parser.parse_args(argv)
 

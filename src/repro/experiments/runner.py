@@ -28,8 +28,18 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 
+from ..errors import ExperimentError
 from ..protocols.base import MajorityProtocol
-from ..runstore import Orchestrator, RunStore
+from ..runstore import (
+    LeaseManager,
+    Orchestrator,
+    RunStore,
+    WorkerStatus,
+    lease_ttl_from_env,
+    new_worker_id,
+    read_worker_statuses,
+)
+from ..runstore.workers_cli import WorkerFleet
 from ..sim.results import TrialStats
 from ..sim.run import RunSpec, simulate
 from ..telemetry import JsonlTraceSink, SummarySink, Telemetry
@@ -76,8 +86,13 @@ def measure_majority_point(protocol: MajorityProtocol, *, n: int,
     }
 
 
-def add_sweep_arguments(parser) -> None:
-    """The run-store flags every sweep ``main`` shares."""
+def add_sweep_arguments(parser, *, workers: bool = False) -> None:
+    """The run-store flags every sweep ``main`` shares.
+
+    ``workers=True`` additionally exposes the distributed-execution
+    flags; only sweeps whose ``*_rows`` function drains the work queue
+    (figure3/figure4/robustness/successors/byzantine) may enable it.
+    """
     parser.add_argument("--output-dir", default=None,
                         help="directory for CSVs and the run store "
                              "(default: results/ or $REPRO_OUTPUT_DIR)")
@@ -87,6 +102,18 @@ def add_sweep_arguments(parser) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="recompute every point even when the run "
                              "store already holds it")
+    if workers:
+        parser.add_argument(
+            "--workers", type=int, default=1, metavar="N",
+            help="drain the grid with N cooperating worker processes "
+                 "(this one plus N-1 forked helpers) claiming points "
+                 "via leases on the run store; outputs are "
+                 "byte-identical to a single-process sweep")
+        parser.add_argument(
+            "--lease-ttl", type=float, default=None, metavar="SECONDS",
+            help="stale-lease TTL for --workers > 1 (default: "
+                 "$REPRO_LEASE_TTL or 600); a worker silent for this "
+                 "long is presumed dead and its point is reclaimed")
 
 
 def add_telemetry_arguments(parser) -> None:
@@ -134,21 +161,108 @@ def telemetry_session(args, *, session: str = "sweep"):
 
 
 def sweep_orchestrator(sweep: str, args, *, progress=None):
-    """Build ``(orchestrator, output_dir)`` for one sweep ``main``."""
+    """Build ``(orchestrator, output_dir)`` for one sweep ``main``.
+
+    With ``--workers N > 1`` the orchestrator comes back in
+    distributed work-queue mode: point calls return placeholder rows,
+    and the first :meth:`~repro.runstore.Orchestrator.drain` publishes
+    the work manifest, forks ``N - 1`` helper worker processes, and
+    computes the grid cooperatively with them under per-point leases.
+    ``finish_sweep`` joins the helpers and audits for duplicate
+    simulations.
+    """
     output_dir = (default_output_dir() if args.output_dir is None
                   else args.output_dir)
     store = RunStore.for_output_dir(output_dir)
+    workers = int(getattr(args, "workers", 1) or 1)
+    if workers <= 1:
+        orchestrator = Orchestrator(
+            store, sweep=sweep, resume=args.resume,
+            use_cache=not args.no_cache, progress=progress)
+        return orchestrator, output_dir
+    if args.no_cache:
+        raise ExperimentError(
+            "--no-cache is incompatible with --workers > 1: the "
+            "content-addressed cache is how cooperating workers "
+            "exchange results")
+    worker_id = new_worker_id("lead")
+    leases = LeaseManager(store.leases_dir, worker_id,
+                          ttl=lease_ttl_from_env(
+                              getattr(args, "lease_ttl", None)))
+    status = WorkerStatus(store.workers_dir, worker_id, sweep=sweep)
+    if not args.resume:
+        # A fresh (non-resume) distributed sweep must not replay any
+        # prior run's checkpoints — clear every worker's journal, not
+        # just our own.
+        store.clear_sweep_journals(sweep)
+    fleet = WorkerFleet(sweep=sweep, output_dir=output_dir,
+                        count=workers - 1,
+                        lease_ttl=getattr(args, "lease_ttl", None))
+
+    def on_drain(orch):
+        entries = orch.manifest()
+        orch.queued_points = len(entries)
+        if not entries:
+            return
+        store.write_manifest(sweep, entries)
+        if progress is not None:
+            progress(f"{sweep}: {len(entries)} point(s) queued; "
+                     f"forking {fleet.count} helper worker(s)")
+        fleet.launch(store)
+
     orchestrator = Orchestrator(
-        store, sweep=sweep, resume=args.resume,
-        use_cache=not args.no_cache, progress=progress)
+        store, sweep=sweep, resume=True, progress=progress,
+        leases=leases, worker=worker_id, defer=True, status=status,
+        on_drain=on_drain)
+    orchestrator.fleet = fleet
+    orchestrator.fleet_epoch = status.started_at
     return orchestrator, output_dir
 
 
 def finish_sweep(orchestrator: Orchestrator) -> str:
-    """Retire the sweep journal; return a one-line cache summary."""
+    """Retire the sweep journal; return a one-line cache summary.
+
+    For a distributed sweep this also joins the helper fleet, clears
+    the sweep's journals and manifest, and appends a fleet line with
+    the duplicate-simulation audit: total points computed across every
+    worker minus distinct points queued — pinned at 0 when the lease
+    protocol did its job (and never affecting correctness otherwise,
+    since duplicate commits are byte-identical).
+    """
     counters = orchestrator.counters
+    fleet = getattr(orchestrator, "fleet", None)
+    extra = ""
     orchestrator.finish()
+    if fleet is not None:
+        failures = fleet.join()
+        store, sweep = orchestrator.store, orchestrator.sweep
+        store.clear_sweep_journals(sweep)
+        store.clear_manifest(sweep)
+        # Only this run's workers: status files of an earlier run of
+        # the same sweep (not yet gc'd) predate the lead's epoch and
+        # must not pollute the duplicate audit.
+        epoch = getattr(orchestrator, "fleet_epoch", 0.0)
+        statuses = [status for status in
+                    read_worker_statuses(store.workers_dir)
+                    if status.get("sweep") == sweep
+                    and status.get("started_at", 0.0) >= epoch]
+        fleet_computed = sum(
+            status.get("counters", {}).get("computed", 0)
+            for status in statuses)
+        queued = getattr(orchestrator, "queued_points", None)
+        duplicates = (max(0, fleet_computed - queued)
+                      if queued is not None else 0)
+        reclaims = sum(
+            status.get("counters", {}).get("lease_reclaims", 0)
+            for status in statuses)
+        extra = (f"\nfleet: {len(statuses)} worker(s), "
+                 f"{0 if queued is None else queued} point(s) queued, "
+                 f"{fleet_computed} computed across the fleet, "
+                 f"{duplicates} duplicate simulation(s), "
+                 f"{reclaims} lease(s) reclaimed")
+        if failures:
+            extra += f", {failures} helper(s) failed"
     return (f"runstore: {counters['cached']} cached, "
             f"{counters['computed']} computed "
             f"({counters['resumed_chunks']} chunk(s) resumed, "
-            f"{counters['retries']} retries)")
+            f"{counters['retries']} retries)" + extra)

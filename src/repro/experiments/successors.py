@@ -91,9 +91,12 @@ def successors_rows(scale: Scale, *, seed: int = DEFAULT_SEED,
                 trials=scale.successors_trials,
                 seed=seed + 1000 * point_index + proto_index,
                 engine=engine)
-            row = dict(row)
+            # In place, not dict(row): in work-queue mode `row` is a
+            # placeholder filled by drain(), and the store hands out
+            # fresh copies, so augmenting it is safe either way.
             row["num_states"] = protocol.num_states
             rows.append(row)
+    orch.drain()
     return rows
 
 
@@ -108,7 +111,7 @@ def main(argv=None) -> int:
     parser.add_argument("--engine", default="auto",
                         help="engine (or policy) for every run; the "
                              "default picks an exact engine per point")
-    add_sweep_arguments(parser)
+    add_sweep_arguments(parser, workers=True)
     add_telemetry_arguments(parser)
     args = parser.parse_args(argv)
 

@@ -17,7 +17,12 @@ harness write-once:
   trial-chunk boundaries;
 * :mod:`repro.runstore.orchestrator` — the resumable sweep driver the
   experiment modules run their points through;
-* :mod:`repro.runstore.cli` — ``python -m repro runs list|status|gc``.
+* :mod:`repro.runstore.distributed` — the lease layer that lets N
+  worker processes (``--workers N`` / ``python -m repro workers
+  start``) drain one sweep cooperatively with zero duplicate
+  simulation;
+* :mod:`repro.runstore.cli` — ``python -m repro runs
+  list|status|workers|gc``.
 
 The contract that makes resumption safe: a point's simulation output
 is a pure function of its fingerprint key, and chunk boundaries are
@@ -25,6 +30,15 @@ derived only from the trial count — so a resumed sweep is bit-identical
 to an uninterrupted one.
 """
 
+from .distributed import (
+    DEFAULT_LEASE_TTL,
+    LeaseLost,
+    LeaseManager,
+    WorkerStatus,
+    lease_ttl_from_env,
+    new_worker_id,
+    read_worker_statuses,
+)
 from .fingerprint import (
     RESULT_SCHEMA_VERSION,
     canonical_json,
@@ -37,12 +51,19 @@ from .orchestrator import Orchestrator
 from .store import RunStore
 
 __all__ = [
+    "DEFAULT_LEASE_TTL",
     "RESULT_SCHEMA_VERSION",
     "canonical_json",
     "fingerprint",
+    "lease_ttl_from_env",
     "majority_point_key",
+    "new_worker_id",
     "point_key",
+    "read_worker_statuses",
     "Journal",
+    "LeaseLost",
+    "LeaseManager",
     "Orchestrator",
     "RunStore",
+    "WorkerStatus",
 ]

@@ -11,9 +11,14 @@ Subcommands:
   API; ``--metrics`` adds a per-point compute table (trials,
   interaction counts, throughput) from the telemetry meta each point
   carries;
-* ``gc`` — reclaim finished journals, schema-orphaned objects, and
-  stray temp files (``--all`` wipes the store; ``--dry-run`` prints
-  what would be deleted and deletes nothing).
+* ``workers`` — the distributed-sweep fleet view: live leases (point,
+  owner, age, staleness), per-worker status files (state, points
+  computed, throughput, reclaimed leases), and any sweep manifests
+  with work still outstanding;
+* ``gc`` — reclaim finished journals, schema-orphaned objects, retired
+  worker status files, lease tombstones, and stray temp files
+  (``--all`` wipes the store; ``--dry-run`` prints what would be
+  deleted and deletes nothing).
 
 All subcommands honor ``--output-dir`` / ``REPRO_OUTPUT_DIR`` the same
 way the experiments do: the store lives under
@@ -25,6 +30,7 @@ from __future__ import annotations
 import argparse
 
 from ..experiments.io import format_table
+from .distributed import LeaseManager, read_worker_statuses
 from .fingerprint import RESULT_SCHEMA_VERSION
 from .journal import chunk_map, committed_points
 from .store import RunStore
@@ -147,25 +153,82 @@ def cmd_status(store: RunStore, *, metrics: bool = False) -> int:
     if metrics:
         _print_metrics(objects)
     _print_service_state(store)
-    journals = list(store.journals())
-    if not journals:
+    sweeps = list(store.sweeps())
+    if not sweeps:
         print("  journals: none (no sweep in flight)")
         return 0
     rows = []
-    for name, journal in journals:
-        records = journal.replay()
+    for name, journals in sweeps:
+        # Per-worker journal files of a distributed sweep merge into
+        # one record stream — a second writer never shadows the first.
+        records = []
+        for journal in journals:
+            records.extend(journal.replay())
         pending = chunk_map(records)
         rows.append({
             "sweep": name,
+            "files": len(journals),
             "records": len(records),
             "committed_points": len(committed_points(records)),
             "points_in_flight": len(pending),
             "checkpointed_chunks": sum(len(chunks)
                                        for chunks in pending.values()),
-            "bytes": journal.path.stat().st_size,
+            "bytes": sum(journal.path.stat().st_size
+                         for journal in journals),
         })
     print()
     print(format_table(rows, title="journals (resumable with --resume)"))
+    return 0
+
+
+def cmd_workers(store: RunStore) -> int:
+    """The distributed-sweep fleet view: leases + worker statuses."""
+    print(f"run store {store.root}")
+    leases = LeaseManager(store.leases_dir, "observer").live()
+    if leases:
+        print()
+        print(format_table(
+            [{"point": lease.get("point", "?")[:12],
+              "worker": lease.get("worker", "?"),
+              "age_seconds": round(lease.get("age", 0.0), 1),
+              "stale": lease.get("stale", False)}
+             for lease in leases],
+            title="live leases (stale ones are reclaimable)"))
+    else:
+        print("  leases: none held")
+    statuses = read_worker_statuses(store.workers_dir)
+    if statuses:
+        rows = []
+        for status in statuses:
+            counters = status.get("counters", {})
+            elapsed = status.get("elapsed", 0.0) or 0.0
+            interactions = counters.get("interactions", 0)
+            rows.append({
+                "worker": status.get("worker", "?"),
+                "sweep": status.get("sweep", "?"),
+                "state": status.get("state", "?"),
+                "computed": counters.get("computed", 0),
+                "cached": counters.get("cached", 0),
+                "pending": status.get("pending_points", "-"),
+                "reclaimed": counters.get("lease_reclaims", 0),
+                "interactions_per_s": (f"{interactions / elapsed:.3g}"
+                                       if elapsed > 0 else "-"),
+                "elapsed_s": round(elapsed, 1),
+            })
+        print()
+        print(format_table(rows, title="sweep workers (status files; "
+                                       "gc removes finished ones)"))
+    else:
+        print("  workers: no status files")
+    if store.manifests_dir.is_dir():
+        for path in sorted(store.manifests_dir.glob("*.json")):
+            manifest = store.load_manifest(path.stem) or []
+            outstanding = sum(
+                1 for entry in manifest
+                if isinstance(entry, dict)
+                and entry.get("point") not in store)
+            print(f"  manifest {path.stem}: {len(manifest)} point(s), "
+                  f"{outstanding} not yet committed")
     return 0
 
 
@@ -176,7 +239,8 @@ def cmd_gc(store: RunStore, drop_all: bool, dry_run: bool = False) -> int:
     print(f"gc({scope}) under {store.root}: "
           f"{verb} {removed['journals']} journal(s), "
           f"{removed['objects']} object(s), "
-          f"{removed['temp_files']} temp file(s)")
+          f"{removed['temp_files']} temp file(s), "
+          f"{removed.get('worker_files', 0)} worker file(s)")
     if dry_run:
         for path in removed["would_remove"]:
             print(f"  would remove {path}")
@@ -188,7 +252,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro runs",
         description="Inspect and maintain the experiment run store.")
-    parser.add_argument("action", choices=("list", "status", "gc"),
+    parser.add_argument("action",
+                        choices=("list", "status", "workers", "gc"),
                         help="what to do with the store")
     parser.add_argument("--output-dir", default=None,
                         help="results directory owning the store "
@@ -209,6 +274,8 @@ def main(argv=None) -> int:
         return cmd_list(store)
     if args.action == "status":
         return cmd_status(store, metrics=args.metrics)
+    if args.action == "workers":
+        return cmd_workers(store)
     return cmd_gc(store, drop_all=args.all, dry_run=args.dry_run)
 
 

@@ -1,0 +1,311 @@
+"""Cooperative multi-worker sweep execution over one run store.
+
+The store's content addresses already make duplicate work *harmless*
+(two processes committing the same fingerprint write byte-identical
+objects); this module makes it *rare enough to be free*: N worker
+processes — forked locally with ``--workers N`` / ``python -m repro
+workers start``, or launched on separate machines against a shared
+filesystem — drain one sweep's grid cooperatively with zero duplicate
+simulation in the steady state.
+
+Three pieces:
+
+* :class:`LeaseManager` — advisory per-point locks under
+  ``<store>/leases/``.  A lease is a lockfile created with
+  ``O_CREAT | O_EXCL`` (atomic on POSIX and on NFSv3+ for local and
+  shared filesystems alike), named by the point's fingerprint and
+  carrying the owner's identity as JSON.  The owner refreshes the
+  file's mtime at every chunk boundary (:meth:`~LeaseManager.heartbeat`);
+  a lease whose mtime is older than the TTL is *stale* — its owner
+  crashed or stalled — and any live worker may reclaim it
+  (:meth:`~LeaseManager.reclaim`, a rename-then-unlink so exactly one
+  reclaimer wins) and recompute the point, resuming from whatever
+  chunks the dead owner journaled.
+
+* :func:`new_worker_id` — a filesystem-safe identity
+  (``host-pid-nonce``) used to name leases, per-worker journals
+  (``journals/<sweep>.<worker_id>.jsonl``) and status files.
+
+* :class:`WorkerStatus` — a small atomically-rewritten JSON status
+  file per worker under ``<store>/workers/``, read by
+  ``python -m repro runs workers`` for the live fleet view
+  (per-worker throughput, reclaimed leases, last heartbeat).
+
+Safety model: leases are an *optimization*, not a correctness
+mechanism.  Results are pure functions of their fingerprint, commits
+are atomic write-then-rename, and chunk journals are append-only per
+worker — so even a pathological TTL misconfiguration (two workers
+computing one point) produces identical bytes, never corruption.  The
+TTL therefore only needs to be long enough that a live worker's
+longest chunk never looks stale; it is configurable per sweep
+(``--lease-ttl`` / ``REPRO_LEASE_TTL``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import socket
+import time
+import uuid
+from pathlib import Path
+
+from ..errors import ExperimentError
+from .store import atomic_write_text
+
+__all__ = [
+    "DEFAULT_LEASE_TTL",
+    "LeaseLost",
+    "LeaseManager",
+    "WorkerStatus",
+    "lease_ttl_from_env",
+    "new_worker_id",
+    "read_worker_statuses",
+]
+
+#: Default stale-lease TTL in seconds.  Generous on purpose: a lease
+#: only goes stale when its owner misses every chunk-boundary
+#: heartbeat for this long, and a false positive means duplicated (not
+#: corrupted) work.  Sweeps with multi-minute chunks should raise it.
+DEFAULT_LEASE_TTL = 600.0
+
+_SAFE = re.compile(r"[^A-Za-z0-9_-]+")
+
+
+class LeaseLost(ExperimentError):
+    """This worker's lease on a point was reclaimed by a peer.
+
+    Raised at a chunk boundary when the heartbeat discovers the lease
+    file is gone or owned by someone else (the TTL elapsed while a
+    chunk ran long).  Every completed chunk is already journaled, so
+    the reclaiming worker resumes from the checkpoint; the loser
+    simply abandons the point and picks up other work.
+    """
+
+
+def new_worker_id(prefix: str | None = None) -> str:
+    """A filesystem-safe worker identity: ``[prefix-]host-pid-nonce``.
+
+    Worker ids never contain ``.`` — per-worker journal files are
+    named ``<sweep>.<worker_id>.jsonl`` and split on the dot.
+    """
+    host = _SAFE.sub("-", socket.gethostname()) or "host"
+    nonce = uuid.uuid4().hex[:6]
+    base = f"{host}-{os.getpid()}-{nonce}"
+    if prefix:
+        base = f"{_SAFE.sub('-', prefix)}-{base}"
+    return base
+
+
+def lease_ttl_from_env(value: float | None = None) -> float:
+    """Resolve the lease TTL: explicit > ``REPRO_LEASE_TTL`` > default."""
+    if value is not None:
+        ttl = float(value)
+    else:
+        ttl = float(os.environ.get("REPRO_LEASE_TTL",
+                                   DEFAULT_LEASE_TTL))
+    if ttl <= 0:
+        raise ExperimentError(f"lease TTL must be positive, got {ttl}")
+    return ttl
+
+
+class LeaseManager:
+    """Advisory per-fingerprint locks for cooperating sweep workers.
+
+    Parameters
+    ----------
+    root:
+        The lease directory (``RunStore.leases_dir``).
+    worker_id:
+        This worker's identity, written into every lease it takes.
+    ttl:
+        Staleness threshold in seconds: a lease whose mtime is older
+        than this is reclaimable.
+    clock:
+        Injectable time source (tests simulate worker death by
+        advancing it).
+    """
+
+    def __init__(self, root, worker_id: str, *,
+                 ttl: float | None = None, clock=time.time):
+        self.root = Path(root)
+        self.worker_id = worker_id
+        self.ttl = lease_ttl_from_env(ttl)
+        self._clock = clock
+        self.reclaimed = 0
+
+    def path(self, fp: str) -> Path:
+        return self.root / f"{fp}.lock"
+
+    # -- the lease lifecycle ------------------------------------------
+
+    def acquire(self, fp: str) -> bool:
+        """Try to take the lease on ``fp``; never blocks.
+
+        ``O_CREAT | O_EXCL`` guarantees exactly one creator even when
+        N workers race on a shared filesystem.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps({
+            "point": fp,
+            "worker": self.worker_id,
+            "pid": os.getpid(),
+            "acquired_at": self._clock(),
+        })
+        try:
+            handle = os.open(self.path(fp),
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        try:
+            os.write(handle, payload.encode("utf-8"))
+            os.fsync(handle)
+        finally:
+            os.close(handle)
+        return True
+
+    def owner(self, fp: str) -> dict | None:
+        """The lease record for ``fp``, or ``None`` when unleased.
+
+        A lease file that cannot be parsed (torn write from a dying
+        worker) reads as an anonymous lease — it still ages out and
+        gets reclaimed.
+        """
+        path = self.path(fp)
+        try:
+            stat = path.stat()
+            with open(path, encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            try:
+                stat = path.stat()
+            except OSError:
+                return None
+            record = {}
+        if not isinstance(record, dict):
+            record = {}
+        record.setdefault("point", fp)
+        record["age"] = max(0.0, self._clock() - stat.st_mtime)
+        record["stale"] = record["age"] > self.ttl
+        return record
+
+    def owned(self, fp: str) -> bool:
+        record = self.owner(fp)
+        return bool(record) and record.get("worker") == self.worker_id
+
+    def heartbeat(self, fp: str) -> None:
+        """Refresh the lease mtime; raise :class:`LeaseLost` if gone.
+
+        Called at chunk boundaries by the orchestrator.  Discovering
+        the lease reclaimed mid-compute means a peer decided this
+        worker was dead; the peer resumes from the journaled chunks,
+        so the correct move is to abandon the point, not to race it.
+        """
+        if not self.owned(fp):
+            raise LeaseLost(
+                f"lease on {fp[:12]} was reclaimed by a peer "
+                f"(ttl={self.ttl:g}s); abandoning the point")
+        os.utime(self.path(fp))
+
+    def release(self, fp: str) -> None:
+        """Drop the lease if this worker still holds it."""
+        if self.owned(fp):
+            self.path(fp).unlink(missing_ok=True)
+
+    def reclaim(self, fp: str) -> bool:
+        """Remove a *stale* lease so a live worker can re-acquire.
+
+        Rename-then-unlink: of any number of concurrent reclaimers,
+        exactly one wins the rename; the rest see ``ENOENT`` and
+        return ``False`` (they will find the lease free, or freshly
+        re-taken, on their next acquire attempt).
+        """
+        path = self.path(fp)
+        try:
+            stat = path.stat()
+        except OSError:
+            return False
+        if self._clock() - stat.st_mtime <= self.ttl:
+            return False
+        doomed = path.with_name(
+            f"{path.name}.reclaim-{uuid.uuid4().hex[:8]}")
+        try:
+            os.rename(path, doomed)
+        except OSError:
+            return False
+        doomed.unlink(missing_ok=True)
+        self.reclaimed += 1
+        return True
+
+    # -- introspection -------------------------------------------------
+
+    def live(self) -> list[dict]:
+        """Every lease on disk, oldest first (for ``runs workers``)."""
+        if not self.root.is_dir():
+            return []
+        leases = []
+        for path in sorted(self.root.glob("*.lock")):
+            record = self.owner(path.name[:-len(".lock")])
+            if record is not None:
+                leases.append(record)
+        leases.sort(key=lambda record: -record["age"])
+        return leases
+
+
+class WorkerStatus:
+    """One worker's atomically-rewritten status file.
+
+    ``<store>/workers/<worker_id>.json`` carries the worker's sweep,
+    lifecycle state, orchestrator counters, and timestamps.  Written
+    with the store's write-then-rename helper, so readers (the
+    ``runs workers`` view, the distributed benchmark's duplicate
+    audit) never see a torn file.
+    """
+
+    def __init__(self, root, worker_id: str, *, sweep: str,
+                 clock=time.time):
+        self.path = Path(root) / f"{worker_id}.json"
+        self.worker_id = worker_id
+        self.sweep = sweep
+        self._clock = clock
+        self._started = clock()
+
+    @property
+    def started_at(self) -> float:
+        """When this worker started (the fleet audit's epoch)."""
+        return self._started
+
+    def write(self, state: str, counters: dict | None = None,
+              **extra) -> None:
+        now = self._clock()
+        payload = {
+            "worker": self.worker_id,
+            "sweep": self.sweep,
+            "pid": os.getpid(),
+            "state": state,
+            "started_at": self._started,
+            "updated_at": now,
+            "elapsed": max(0.0, now - self._started),
+            "counters": dict(counters or {}),
+        }
+        payload.update(extra)
+        atomic_write_text(self.path, json.dumps(payload, indent=1))
+
+
+def read_worker_statuses(root) -> list[dict]:
+    """Every readable worker status file under ``root``, oldest first."""
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    statuses = []
+    for path in sorted(root.glob("*.json")):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            continue
+        if isinstance(payload, dict):
+            statuses.append(payload)
+    statuses.sort(key=lambda status: status.get("started_at", 0.0))
+    return statuses

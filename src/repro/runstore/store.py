@@ -2,8 +2,14 @@
 
 Layout, rooted at ``<output-dir>/.runstore/``::
 
-    objects/<fp[:2]>/<fp>.json   one committed point per file
-    journals/<sweep>.jsonl       per-sweep chunk checkpoints
+    objects/<fp[:2]>/<fp>.json            one committed point per file
+    journals/<sweep>.jsonl                per-sweep chunk checkpoints
+    journals/<sweep>.<worker>.jsonl       per-worker journals of a
+                                          distributed sweep
+    leases/<fp>.lock                      live worker leases
+    workers/<worker>.json                 worker status files
+    manifests/<sweep>.json                published work-lists for
+                                          `repro workers start`
 
 Each object file holds ``{"schema", "fingerprint", "key", "row",
 "meta"}`` — the full canonical key is stored next to the row so
@@ -22,6 +28,7 @@ observe a half-written object, and a crash leaves only a stray
 
 from __future__ import annotations
 
+import copy
 import json
 import os
 import shutil
@@ -58,6 +65,14 @@ class RunStore:
 
     def __init__(self, root):
         self.root = Path(root)
+        # Per-process memo of parsed object files, validated against
+        # (mtime_ns, size) on every read: a resuming grid re-reads the
+        # same committed points on each pass, and a distributed drain
+        # loop polls them while peers compute.  Misses are never
+        # memoized (a peer's commit must become visible immediately),
+        # and hits are returned as deep copies so callers can extend
+        # rows freely, exactly as with uncached reads.
+        self._memo: dict[str, tuple[tuple[int, int], dict]] = {}
 
     @classmethod
     def for_output_dir(cls, output_dir=None) -> "RunStore":
@@ -85,8 +100,23 @@ class RunStore:
         A corrupt object file (impossible via the atomic commit path,
         but disks happen) reads as a miss, not an error — the point is
         simply recomputed and recommitted.
+
+        Reads are memoized per process: the parsed payload is cached
+        against the file's ``(mtime_ns, size)`` and re-parsed only
+        when the object changes on disk, so a grid re-statting the
+        same committed points on every resume pass pays one ``stat``
+        per lookup instead of a full read-and-parse.
         """
         path = self.object_path(fp)
+        try:
+            stat = path.stat()
+        except OSError:
+            self._memo.pop(fp, None)
+            return None
+        token = (stat.st_mtime_ns, stat.st_size)
+        memo = self._memo.get(fp)
+        if memo is not None and memo[0] == token:
+            return copy.deepcopy(memo[1])
         try:
             with open(path, encoding="utf-8") as handle:
                 payload = json.load(handle)
@@ -94,7 +124,8 @@ class RunStore:
             return None
         if not isinstance(payload, dict) or "row" not in payload:
             return None
-        return payload
+        self._memo[fp] = (token, payload)
+        return copy.deepcopy(payload)
 
     def put(self, fp: str, *, key: dict, row, meta: dict | None = None
             ) -> Path:
@@ -106,6 +137,7 @@ class RunStore:
             "row": row,
             "meta": meta or {},
         }
+        self._memo.pop(fp, None)
         return atomic_write_text(self.object_path(fp),
                                  json.dumps(payload, indent=1))
 
@@ -119,20 +151,124 @@ class RunStore:
                 yield entry
 
     # -- journals -----------------------------------------------------
+    #
+    # A single-process sweep journals to ``<sweep>.jsonl``.  A
+    # distributed sweep gives every worker its own appender —
+    # ``<sweep>.<worker_id>.jsonl`` — and *merges on read*: each file
+    # is an ordinary torn-tail-recoverable journal, and the merged
+    # record stream is what chunk resume, ``runs status``, and gc
+    # consult.  Worker ids never contain ``.``, so the first dot in a
+    # stem separates sweep from worker.
 
     @property
     def journals_dir(self) -> Path:
         return self.root / "journals"
 
-    def journal(self, sweep: str) -> Journal:
-        return Journal(self.journals_dir / f"{sweep}.jsonl")
+    def journal(self, sweep: str, *, worker: str | None = None
+                ) -> Journal:
+        name = (f"{sweep}.jsonl" if worker is None
+                else f"{sweep}.{worker}.jsonl")
+        return Journal(self.journals_dir / name)
 
     def journals(self):
-        """``(sweep name, Journal)`` pairs for every journal on disk."""
+        """``(sweep name, Journal)`` pairs for every journal file.
+
+        Per-worker files of a distributed sweep report their *sweep's*
+        name (several pairs may share it); use :meth:`sweeps` for the
+        grouped view or :meth:`sweep_records` for the merged stream.
+        """
         if not self.journals_dir.is_dir():
             return
         for path in sorted(self.journals_dir.glob("*.jsonl")):
-            yield path.stem, Journal(path)
+            yield path.stem.split(".", 1)[0], Journal(path)
+
+    def sweeps(self):
+        """``(sweep name, [Journal, ...])`` grouped per sweep."""
+        grouped: dict[str, list[Journal]] = {}
+        for name, journal in self.journals() or ():
+            grouped.setdefault(name, []).append(journal)
+        for name in sorted(grouped):
+            yield name, grouped[name]
+
+    def sweep_journals(self, sweep: str) -> list[Journal]:
+        """Every journal file of ``sweep`` (base + per-worker)."""
+        if not self.journals_dir.is_dir():
+            return []
+        paths = [path for path in
+                 sorted(self.journals_dir.glob(f"{sweep}.jsonl"))
+                 + sorted(self.journals_dir.glob(f"{sweep}.*.jsonl"))]
+        return [Journal(path) for path in paths]
+
+    def sweep_records(self, sweep: str) -> list[dict]:
+        """The merged record stream of every journal of ``sweep``.
+
+        Each file contributes its own consistent (torn-tail-recovered)
+        prefix; files are concatenated in sorted-path order.  The
+        record vocabulary is order-insensitive across writers — chunk
+        records are keyed by ``(point, index)`` and ``point`` events
+        are idempotent — so any interleaving yields the same
+        :func:`~repro.runstore.journal.chunk_map`.
+        """
+        records: list[dict] = []
+        for journal in self.sweep_journals(sweep):
+            records.extend(journal.replay())
+        return records
+
+    def clear_sweep_journals(self, sweep: str) -> int:
+        """Remove every journal file of ``sweep``; returns the count."""
+        removed = 0
+        for journal in self.sweep_journals(sweep):
+            journal.clear()
+            removed += 1
+        return removed
+
+    # -- distributed execution ----------------------------------------
+
+    @property
+    def leases_dir(self) -> Path:
+        """Where sweep workers keep their per-point lease lockfiles."""
+        return self.root / "leases"
+
+    @property
+    def workers_dir(self) -> Path:
+        """Where sweep workers keep their status files."""
+        return self.root / "workers"
+
+    @property
+    def manifests_dir(self) -> Path:
+        """Where sweep launchers publish work manifests for helpers."""
+        return self.root / "manifests"
+
+    def manifest_path(self, sweep: str) -> Path:
+        return self.manifests_dir / f"{sweep}.json"
+
+    def write_manifest(self, sweep: str, entries: list[dict]) -> Path:
+        """Publish ``sweep``'s work-list for ``repro workers start``.
+
+        Each entry carries a point's RunSpec wire form (which preserves
+        ``spec.key()``, hence the fingerprint, exactly) plus whatever
+        row-side extras the point kind needs — enough for a helper
+        process with no knowledge of the experiment module to queue
+        the identical points.
+        """
+        payload = {"sweep": sweep, "points": entries}
+        return atomic_write_text(self.manifest_path(sweep),
+                                 json.dumps(payload, indent=1))
+
+    def load_manifest(self, sweep: str) -> list[dict] | None:
+        """``sweep``'s published work-list, or ``None`` if absent."""
+        try:
+            with open(self.manifest_path(sweep),
+                      encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        points = payload.get("points") if isinstance(payload, dict) \
+            else None
+        return points if isinstance(points, list) else None
+
+    def clear_manifest(self, sweep: str) -> None:
+        self.manifest_path(sweep).unlink(missing_ok=True)
 
     # -- service state ------------------------------------------------
     #
@@ -147,9 +283,33 @@ class RunStore:
     def service_dir(self) -> Path:
         return self.root / "service"
 
-    def service_queue(self) -> Journal:
-        """The service's durable submission journal."""
-        return Journal(self.service_dir / "queue.jsonl")
+    def service_queue(self, *, worker: str | None = None) -> Journal:
+        """The service's durable submission journal.
+
+        A single server appends to ``queue.jsonl``; additional server
+        processes sharing one store (or one server per worker id)
+        append to ``queue.<worker>.jsonl`` instead, and
+        :meth:`service_queue_records` merges them on read — a second
+        writer never shadows the first.
+        """
+        name = ("queue.jsonl" if worker is None
+                else f"queue.{worker}.jsonl")
+        return Journal(self.service_dir / name)
+
+    def service_queue_records(self) -> list[dict]:
+        """Merged records of every service queue journal on disk.
+
+        Records carrying a ``ts`` timestamp are merge-sorted by it
+        (stably, so same-file order is preserved); legacy records
+        without one sort first in file order.
+        """
+        if not self.service_dir.is_dir():
+            return []
+        records: list[dict] = []
+        for path in sorted(self.service_dir.glob("queue*.jsonl")):
+            records.extend(Journal(path).replay())
+        records.sort(key=lambda record: record.get("ts", 0.0) or 0.0)
+        return records
 
     def service_trace_path(self, fp: str) -> Path:
         """Where the service writes point ``fp``'s telemetry trace."""
@@ -161,9 +321,11 @@ class RunStore:
         Returns the ``submit`` records (fingerprint + spec wire form,
         submission order preserved) with no later ``done``/``failed``
         record — exactly the jobs a restarted server re-enqueues.
+        Every ``queue*.jsonl`` journal is merged, so multiple server
+        processes sharing one store replay each other's completions.
         """
         pending: dict[str, dict] = {}
-        for record in self.service_queue().replay():
+        for record in self.service_queue_records():
             event = record.get("event")
             if event == "submit" and record.get("point"):
                 pending.setdefault(record["point"], record)
@@ -174,14 +336,18 @@ class RunStore:
     def in_flight(self) -> list[dict]:
         """Points with journaled-but-uncommitted chunk checkpoints.
 
-        One row per in-flight point across every sweep journal:
-        ``{"sweep", "point", "chunks", "trials"}`` — what ``--resume``
-        (or the service's restart path) would pick up mid-point.
+        One row per in-flight point across every sweep (per-worker
+        journal files merged first, so a point checkpointed by several
+        workers reports once): ``{"sweep", "point", "chunks",
+        "trials"}`` — what ``--resume`` (or the service's restart
+        path) would pick up mid-point.
         """
         rows = []
-        for name, journal in self.journals():
-            for fp, chunks in sorted(
-                    chunk_map(journal.replay()).items()):
+        for name, journals in self.sweeps():
+            records: list[dict] = []
+            for journal in journals:
+                records.extend(journal.replay())
+            for fp, chunks in sorted(chunk_map(records).items()):
                 rows.append({
                     "sweep": name,
                     "point": fp,
@@ -199,17 +365,21 @@ class RunStore:
 
         Policy (see ``docs/runstore.md``):
 
-        * journals whose every journaled point was committed to the
-          store are finished business — removed;
+        * sweeps whose every journaled point (across all of the
+          sweep's per-worker journal files) was committed to the store
+          are finished business — their journals are removed;
         * objects with a schema version other than the current
           :data:`RESULT_SCHEMA_VERSION` can never be served — removed;
-        * stray ``*.tmp`` files from interrupted commits — removed;
+        * stray ``*.tmp`` files from interrupted commits, lease
+          reclaim tombstones, and worker status files whose worker
+          finished — removed;
         * ``drop_all=True`` wipes the whole store.
 
         ``dry_run=True`` reports the same counts (plus the doomed
         paths under ``"would_remove"``) while deleting nothing.
         """
-        removed = {"journals": 0, "objects": 0, "temp_files": 0}
+        removed = {"journals": 0, "objects": 0, "temp_files": 0,
+                   "worker_files": 0}
         doomed: list[str] = []
         if dry_run:
             removed["would_remove"] = doomed
@@ -223,18 +393,53 @@ class RunStore:
                 else:
                     shutil.rmtree(self.root)
             return removed
-        for _, journal in list(self.journals() or ()):
-            records = journal.replay()
+        for _, journals in list(self.sweeps() or ()):
+            records: list[dict] = []
+            for journal in journals:
+                records.extend(journal.replay())
             pending = chunk_map(records)
             journaled = {record["point"] for record in records
                          if record.get("event") in ("chunk", "point")}
             if not pending and (not journaled
                                 or journaled <= committed_points(records)):
+                for journal in journals:
+                    if dry_run:
+                        doomed.append(str(journal.path))
+                    else:
+                        journal.clear()
+                    removed["journals"] += 1
+        if self.workers_dir.is_dir():
+            for path in sorted(self.workers_dir.glob("*.json")):
+                try:
+                    with open(path, encoding="utf-8") as handle:
+                        payload = json.load(handle)
+                    state = payload.get("state")
+                except (OSError, ValueError, AttributeError):
+                    state = None
+                if state != "running":
+                    if dry_run:
+                        doomed.append(str(path))
+                    else:
+                        path.unlink(missing_ok=True)
+                    removed["worker_files"] += 1
+        if self.leases_dir.is_dir():
+            for path in sorted(self.leases_dir.glob("*.reclaim-*")):
                 if dry_run:
-                    doomed.append(str(journal.path))
+                    doomed.append(str(path))
                 else:
-                    journal.clear()
-                removed["journals"] += 1
+                    path.unlink(missing_ok=True)
+                removed["temp_files"] += 1
+        if self.manifests_dir.is_dir():
+            # A manifest with no journal left belongs to a finished
+            # sweep — the launcher normally deletes it, but a crashed
+            # launcher leaves it behind.
+            for path in sorted(self.manifests_dir.glob("*.json")):
+                if not self.sweep_journals(path.stem):
+                    if dry_run:
+                        doomed.append(str(path))
+                    else:
+                        path.unlink(missing_ok=True)
+                    removed["temp_files"] += 1
         if self.objects_dir.is_dir():
             for path in sorted(self.objects_dir.glob("*/*.json")):
                 entry = self.get(path.stem)

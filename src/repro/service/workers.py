@@ -31,6 +31,7 @@ import threading
 import traceback
 
 from ..errors import JobInterrupted
+from ..runstore.distributed import LeaseManager, new_worker_id
 from ..runstore.orchestrator import Orchestrator
 from ..sim.kernels import warm_up_for_spec
 from ..telemetry import JsonlTraceSink, Telemetry
@@ -119,6 +120,14 @@ class WorkerPool:
 
     def _loop(self) -> None:
         warmed: set[str] = set()
+        # Each worker thread shares the store's lease protocol with
+        # any distributed sweep workers (``--workers N`` / ``python -m
+        # repro workers start``) on the same store: a point being
+        # computed by either side is leased, so the other waits and
+        # serves it from the cache instead of duplicating the engine
+        # run.
+        worker_id = new_worker_id("svc")
+        leases = LeaseManager(self.store.leases_dir, worker_id)
         while not self._stop.is_set():
             job = self.queue.next_job(timeout=_IDLE_WAIT)
             if job is None:
@@ -127,9 +136,11 @@ class WorkerPool:
                 # Claimed during shutdown: hand it straight back.
                 self.queue.requeue(job)
                 return
-            self._execute(job, warmed)
+            self._execute(job, warmed, leases=leases,
+                          worker_id=worker_id)
 
-    def _execute(self, job: Job, warmed: set) -> None:
+    def _execute(self, job: Job, warmed: set, *, leases=None,
+                 worker_id=None) -> None:
         engine = job.payload.get("engine", "auto")
         if engine not in warmed:
             # Once per worker per engine family, outside any chunk.
@@ -143,11 +154,15 @@ class WorkerPool:
         orchestrator = Orchestrator(
             self.store, sweep=sweep_name(job.id), resume=True,
             max_attempts=self._max_attempts,
-            should_stop=self._stop.is_set)
+            should_stop=self._stop.is_set,
+            leases=leases, worker=worker_id)
         try:
             with use_telemetry(telemetry):
                 row = orchestrator.spec_point(job.spec)
             orchestrator.finish()
+            # Per-worker journal names change across restarts; sweep-
+            # wide cleanup drops any stale peers' files too.
+            self.store.clear_sweep_journals(sweep_name(job.id))
             entry = self.store.get(job.id) or {}
             self.queue.mark_done(job, row, entry.get("meta"))
             if self._on_done is not None:

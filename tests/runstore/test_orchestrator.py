@@ -98,7 +98,9 @@ class TestSweepResumeParity:
         rows = figure3_rows(TINY, seed=5, orchestrator=warm)
         assert rows == reference
         assert warm.counters == {"computed": 0, "cached": 6,
-                                 "resumed_chunks": 0, "retries": 0}
+                                 "resumed_chunks": 0, "retries": 0,
+                                 "trials": 0, "interactions": 0,
+                                 "lease_reclaims": 0, "lease_lost": 0}
 
 
 class TestChunkResume:

@@ -109,7 +109,7 @@ class TestGc:
     def test_gc_on_empty_store_is_safe(self, tmp_path):
         store = RunStore(tmp_path / ".runstore")
         assert store.gc() == {"journals": 0, "objects": 0,
-                              "temp_files": 0}
+                              "temp_files": 0, "worker_files": 0}
         assert store.gc(drop_all=True)["objects"] == 0
 
 
